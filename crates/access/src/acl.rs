@@ -1,0 +1,342 @@
+//! Access-control lists: direct actor → datastore grants.
+
+use crate::permission::{FieldScope, Permission};
+use privacy_model::{ActorId, DatastoreId, FieldId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One access-control grant: an actor may perform a set of operations on a
+/// scope of fields within a datastore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    actor: ActorId,
+    datastore: DatastoreId,
+    scope: FieldScope,
+    permissions: BTreeSet<Permission>,
+}
+
+impl Grant {
+    /// Creates a grant.
+    pub fn new(
+        actor: impl Into<ActorId>,
+        datastore: impl Into<DatastoreId>,
+        scope: FieldScope,
+        permissions: impl IntoIterator<Item = Permission>,
+    ) -> Self {
+        Grant {
+            actor: actor.into(),
+            datastore: datastore.into(),
+            scope,
+            permissions: permissions.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor for a whole-store read grant.
+    pub fn read_all(actor: impl Into<ActorId>, datastore: impl Into<DatastoreId>) -> Self {
+        Grant::new(actor, datastore, FieldScope::all(), [Permission::Read])
+    }
+
+    /// Convenience constructor for a whole-store read+create grant.
+    pub fn read_write_all(actor: impl Into<ActorId>, datastore: impl Into<DatastoreId>) -> Self {
+        Grant::new(
+            actor,
+            datastore,
+            FieldScope::all(),
+            [Permission::Read, Permission::Create],
+        )
+    }
+
+    /// The actor receiving the grant.
+    pub fn actor(&self) -> &ActorId {
+        &self.actor
+    }
+
+    /// The datastore the grant applies to.
+    pub fn datastore(&self) -> &DatastoreId {
+        &self.datastore
+    }
+
+    /// The field scope of the grant.
+    pub fn scope(&self) -> &FieldScope {
+        &self.scope
+    }
+
+    /// The granted permissions.
+    pub fn permissions(&self) -> &BTreeSet<Permission> {
+        &self.permissions
+    }
+
+    /// Returns `true` if the grant allows the actor to perform `permission`
+    /// on `field` of `datastore`.
+    pub fn allows(
+        &self,
+        actor: &ActorId,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> bool {
+        &self.actor == actor
+            && &self.datastore == datastore
+            && self.permissions.contains(&permission)
+            && self.scope.covers(field)
+    }
+}
+
+impl fmt::Display for Grant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let perms: Vec<String> = self.permissions.iter().map(|p| p.to_string()).collect();
+        write!(
+            f,
+            "{} may {} on {}:{}",
+            self.actor,
+            perms.join("/"),
+            self.datastore,
+            self.scope
+        )
+    }
+}
+
+/// A list of [`Grant`]s with query and revocation helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessControlList {
+    grants: Vec<Grant>,
+}
+
+impl AccessControlList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        AccessControlList::default()
+    }
+
+    /// Adds a grant.
+    pub fn grant(&mut self, grant: Grant) -> &mut Self {
+        self.grants.push(grant);
+        self
+    }
+
+    /// Builder-style variant of [`AccessControlList::grant`].
+    pub fn with_grant(mut self, grant: Grant) -> Self {
+        self.grants.push(grant);
+        self
+    }
+
+    /// Removes every grant that gives `actor` the `permission` on
+    /// `datastore`. Grants with an explicit field scope are narrowed rather
+    /// than removed when `fields` is provided.
+    ///
+    /// Returns the number of grants removed or narrowed.
+    pub fn revoke(
+        &mut self,
+        actor: &ActorId,
+        permission: Permission,
+        datastore: &DatastoreId,
+    ) -> usize {
+        let mut affected = 0;
+        self.grants.retain_mut(|grant| {
+            if grant.actor == *actor
+                && grant.datastore == *datastore
+                && grant.permissions.contains(&permission)
+            {
+                affected += 1;
+                grant.permissions.remove(&permission);
+                !grant.permissions.is_empty()
+            } else {
+                true
+            }
+        });
+        affected
+    }
+
+    /// The grants in insertion order.
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+
+    /// Number of grants.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// Returns `true` if any grant allows the access.
+    pub fn allows(
+        &self,
+        actor: &ActorId,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> bool {
+        self.grants
+            .iter()
+            .any(|g| g.allows(actor, permission, datastore, field))
+    }
+
+    /// The actors that hold `permission` over `field` in `datastore`.
+    pub fn actors_with(
+        &self,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> BTreeSet<ActorId> {
+        self.grants
+            .iter()
+            .filter(|g| {
+                g.datastore == *datastore
+                    && g.permissions.contains(&permission)
+                    && g.scope.covers(field)
+            })
+            .map(|g| g.actor.clone())
+            .collect()
+    }
+
+    /// Iterates over the grants held by an actor.
+    pub fn grants_of<'a>(&'a self, actor: &'a ActorId) -> impl Iterator<Item = &'a Grant> + 'a {
+        self.grants.iter().filter(move |g| &g.actor == actor)
+    }
+}
+
+impl FromIterator<Grant> for AccessControlList {
+    fn from_iter<T: IntoIterator<Item = Grant>>(iter: T) -> Self {
+        AccessControlList { grants: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Grant> for AccessControlList {
+    fn extend<T: IntoIterator<Item = Grant>>(&mut self, iter: T) {
+        self.grants.extend(iter);
+    }
+}
+
+impl fmt::Display for AccessControlList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "acl ({} grants):", self.grants.len())?;
+        for grant in &self.grants {
+            writeln!(f, "  {grant}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ehr() -> DatastoreId {
+        DatastoreId::new("EHR")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    #[test]
+    fn grant_allows_matching_access_only() {
+        let grant = Grant::new(
+            "Doctor",
+            "EHR",
+            FieldScope::fields([diagnosis()]),
+            [Permission::Read],
+        );
+        assert!(grant.allows(&ActorId::new("Doctor"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!grant.allows(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!grant.allows(&ActorId::new("Doctor"), Permission::Create, &ehr(), &diagnosis()));
+        assert!(!grant.allows(
+            &ActorId::new("Doctor"),
+            Permission::Read,
+            &DatastoreId::new("Appointments"),
+            &diagnosis()
+        ));
+        assert!(!grant.allows(
+            &ActorId::new("Doctor"),
+            Permission::Read,
+            &ehr(),
+            &FieldId::new("Name")
+        ));
+    }
+
+    #[test]
+    fn convenience_constructors_cover_all_fields() {
+        let read = Grant::read_all("Admin", "EHR");
+        assert!(read.allows(&ActorId::new("Admin"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!read.allows(&ActorId::new("Admin"), Permission::Create, &ehr(), &diagnosis()));
+
+        let rw = Grant::read_write_all("Doctor", "EHR");
+        assert!(rw.allows(&ActorId::new("Doctor"), Permission::Create, &ehr(), &diagnosis()));
+        assert_eq!(rw.permissions().len(), 2);
+    }
+
+    #[test]
+    fn acl_queries_union_over_grants() {
+        let acl = AccessControlList::new()
+            .with_grant(Grant::read_all("Administrator", "EHR"))
+            .with_grant(Grant::read_write_all("Doctor", "EHR"))
+            .with_grant(Grant::new(
+                "Nurse",
+                "EHR",
+                FieldScope::fields([FieldId::new("Treatment")]),
+                [Permission::Read],
+            ));
+
+        assert!(acl.allows(&ActorId::new("Administrator"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!acl.allows(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(acl.allows(
+            &ActorId::new("Nurse"),
+            Permission::Read,
+            &ehr(),
+            &FieldId::new("Treatment")
+        ));
+
+        let readers = acl.actors_with(Permission::Read, &ehr(), &diagnosis());
+        assert_eq!(readers.len(), 2);
+        assert!(readers.contains(&ActorId::new("Administrator")));
+        assert!(readers.contains(&ActorId::new("Doctor")));
+
+        assert_eq!(acl.grants_of(&ActorId::new("Doctor")).count(), 1);
+        assert_eq!(acl.len(), 3);
+    }
+
+    #[test]
+    fn revoke_removes_permission_and_prunes_empty_grants() {
+        let mut acl = AccessControlList::new()
+            .with_grant(Grant::read_all("Administrator", "EHR"))
+            .with_grant(Grant::read_write_all("Doctor", "EHR"));
+
+        // This is exactly the policy change of Case Study A: remove the
+        // Administrator's read access to the EHR datastore.
+        let affected = acl.revoke(&ActorId::new("Administrator"), Permission::Read, &ehr());
+        assert_eq!(affected, 1);
+        assert!(!acl.allows(&ActorId::new("Administrator"), Permission::Read, &ehr(), &diagnosis()));
+        // The read-only grant has become empty and is pruned entirely.
+        assert_eq!(acl.len(), 1);
+
+        // Revoking read from the doctor keeps their create permission.
+        let affected = acl.revoke(&ActorId::new("Doctor"), Permission::Read, &ehr());
+        assert_eq!(affected, 1);
+        assert_eq!(acl.len(), 1);
+        assert!(acl.allows(&ActorId::new("Doctor"), Permission::Create, &ehr(), &diagnosis()));
+
+        // Revoking something that was never granted affects nothing.
+        assert_eq!(acl.revoke(&ActorId::new("Doctor"), Permission::Delete, &ehr()), 0);
+    }
+
+    #[test]
+    fn collect_and_extend_grants() {
+        let mut acl: AccessControlList =
+            [Grant::read_all("A", "S"), Grant::read_all("B", "S")].into_iter().collect();
+        acl.extend([Grant::read_all("C", "S")]);
+        assert_eq!(acl.len(), 3);
+        assert!(!acl.is_empty());
+    }
+
+    #[test]
+    fn display_lists_grants() {
+        let acl = AccessControlList::new().with_grant(Grant::read_all("Admin", "EHR"));
+        let text = acl.to_string();
+        assert!(text.contains("acl (1 grants)"));
+        assert!(text.contains("Admin may read on EHR:*"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Permissions and field scopes.
+
+use privacy_model::FieldId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An operation an actor may be permitted to perform on datastore fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Permission {
+    /// Query / display individual fields from the datastore.
+    Read,
+    /// Write new values into the datastore.
+    Create,
+    /// Remove values from the datastore.
+    Delete,
+    /// Pass data obtained from the datastore on to another actor.
+    Disclose,
+}
+
+impl Permission {
+    /// All permissions.
+    pub const ALL: [Permission; 4] = [
+        Permission::Read,
+        Permission::Create,
+        Permission::Delete,
+        Permission::Disclose,
+    ];
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Permission::Read => "read",
+            Permission::Create => "create",
+            Permission::Delete => "delete",
+            Permission::Disclose => "disclose",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The set of fields a grant applies to: either every field of the datastore
+/// or an explicit subset.
+///
+/// The paper assumes *"datastore interfaces that support querying and display
+/// of individual fields (as opposed to coarse-grained records)"*, so grants
+/// are field-granular; `FieldScope::all()` is a convenience for whole-store
+/// grants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldScope {
+    /// The grant applies to every field of the datastore's schema.
+    All,
+    /// The grant applies only to the listed fields.
+    Fields(BTreeSet<FieldId>),
+}
+
+impl FieldScope {
+    /// A scope covering every field.
+    pub fn all() -> Self {
+        FieldScope::All
+    }
+
+    /// A scope covering only the given fields.
+    pub fn fields(fields: impl IntoIterator<Item = FieldId>) -> Self {
+        FieldScope::Fields(fields.into_iter().collect())
+    }
+
+    /// Returns `true` if the scope covers the given field.
+    pub fn covers(&self, field: &FieldId) -> bool {
+        match self {
+            FieldScope::All => true,
+            FieldScope::Fields(fields) => fields.contains(field),
+        }
+    }
+
+    /// Returns `true` if the scope covers every field (is [`FieldScope::All`]).
+    pub fn is_all(&self) -> bool {
+        matches!(self, FieldScope::All)
+    }
+
+    /// The explicit field set, if the scope is not [`FieldScope::All`].
+    pub fn explicit_fields(&self) -> Option<&BTreeSet<FieldId>> {
+        match self {
+            FieldScope::All => None,
+            FieldScope::Fields(fields) => Some(fields),
+        }
+    }
+}
+
+impl Default for FieldScope {
+    fn default() -> Self {
+        FieldScope::All
+    }
+}
+
+impl fmt::Display for FieldScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldScope::All => f.write_str("*"),
+            FieldScope::Fields(fields) => {
+                f.write_str("{")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scope_covers_everything() {
+        let scope = FieldScope::all();
+        assert!(scope.is_all());
+        assert!(scope.covers(&FieldId::new("anything")));
+        assert!(scope.explicit_fields().is_none());
+        assert_eq!(scope.to_string(), "*");
+        assert_eq!(FieldScope::default(), FieldScope::All);
+    }
+
+    #[test]
+    fn explicit_scope_covers_only_listed_fields() {
+        let scope = FieldScope::fields([FieldId::new("Name"), FieldId::new("DOB")]);
+        assert!(!scope.is_all());
+        assert!(scope.covers(&FieldId::new("Name")));
+        assert!(!scope.covers(&FieldId::new("Diagnosis")));
+        assert_eq!(scope.explicit_fields().unwrap().len(), 2);
+        assert_eq!(scope.to_string(), "{DOB, Name}");
+    }
+
+    #[test]
+    fn permission_display_and_all() {
+        assert_eq!(Permission::Read.to_string(), "read");
+        assert_eq!(Permission::Disclose.to_string(), "disclose");
+        assert_eq!(Permission::ALL.len(), 4);
+    }
+
+    #[test]
+    fn permissions_are_ordered_for_set_storage() {
+        let set: BTreeSet<Permission> =
+            [Permission::Delete, Permission::Read].into_iter().collect();
+        assert!(set.contains(&Permission::Read));
+        assert!(!set.contains(&Permission::Create));
+    }
+}

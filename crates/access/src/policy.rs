@@ -1,0 +1,388 @@
+//! The combined access policy (ACL ∪ RBAC) and policy-change descriptions.
+//!
+//! The LTS generator asks one question of the policy: *which actors can read
+//! (or write) which fields of which datastores?* The risk analysis of Case
+//! Study A additionally needs to express a **policy change** — the paper
+//! reduces the Administrator's risk from Medium to Low by changing the access
+//! policies — so [`PolicyDelta`] captures an editable sequence of
+//! [`PolicyChange`]s that can be applied to produce a revised policy.
+
+use crate::abac::AbacPolicy;
+use crate::acl::{AccessControlList, Grant};
+use crate::permission::Permission;
+use crate::rbac::RbacPolicy;
+use privacy_model::{ActorId, Catalog, DatastoreId, FieldId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The access policy of the whole system: a direct ACL, an RBAC policy and an
+/// optional attribute-based (ABAC) policy — the paper's "alternative forms of
+/// access control" extension point.
+///
+/// An access is allowed if **any** component allows it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessPolicy {
+    acl: AccessControlList,
+    rbac: RbacPolicy,
+    abac: AbacPolicy,
+}
+
+impl AccessPolicy {
+    /// Creates an empty policy (nobody can access anything).
+    pub fn new() -> Self {
+        AccessPolicy::default()
+    }
+
+    /// Creates a policy from its ACL and RBAC parts (no ABAC rules).
+    pub fn from_parts(acl: AccessControlList, rbac: RbacPolicy) -> Self {
+        AccessPolicy { acl, rbac, abac: AbacPolicy::new() }
+    }
+
+    /// The ABAC component.
+    pub fn abac(&self) -> &AbacPolicy {
+        &self.abac
+    }
+
+    /// Mutable access to the ABAC component.
+    pub fn abac_mut(&mut self) -> &mut AbacPolicy {
+        &mut self.abac
+    }
+
+    /// The ACL component.
+    pub fn acl(&self) -> &AccessControlList {
+        &self.acl
+    }
+
+    /// Mutable access to the ACL component.
+    pub fn acl_mut(&mut self) -> &mut AccessControlList {
+        &mut self.acl
+    }
+
+    /// The RBAC component.
+    pub fn rbac(&self) -> &RbacPolicy {
+        &self.rbac
+    }
+
+    /// Mutable access to the RBAC component.
+    pub fn rbac_mut(&mut self) -> &mut RbacPolicy {
+        &mut self.rbac
+    }
+
+    /// Returns `true` if the actor may perform the operation on the field of
+    /// the datastore.
+    pub fn can(
+        &self,
+        actor: &ActorId,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> bool {
+        self.acl.allows(actor, permission, datastore, field)
+            || self.rbac.allows(actor, permission, datastore, field)
+            || self.abac.allows(actor, permission, datastore, field)
+    }
+
+    /// The actors that may perform the operation on the field of the
+    /// datastore (union of ACL and RBAC).
+    pub fn actors_with(
+        &self,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> BTreeSet<ActorId> {
+        let mut actors = self.acl.actors_with(permission, datastore, field);
+        actors.extend(self.rbac.actors_with(permission, datastore, field));
+        actors.extend(self.abac.actors_with(permission, datastore, field));
+        actors
+    }
+
+    /// The fields of a datastore (according to the catalog's schema) that an
+    /// actor can read.
+    pub fn readable_fields(
+        &self,
+        actor: &ActorId,
+        datastore: &DatastoreId,
+        catalog: &Catalog,
+    ) -> BTreeSet<FieldId> {
+        catalog
+            .datastore_schema(datastore)
+            .map(|schema| {
+                schema
+                    .fields()
+                    .iter()
+                    .filter(|field| self.can(actor, Permission::Read, datastore, field))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Applies a policy delta, returning the number of individual changes
+    /// applied.
+    pub fn apply(&mut self, delta: &PolicyDelta) -> usize {
+        let mut applied = 0;
+        for change in delta.changes() {
+            match change {
+                PolicyChange::Grant(grant) => {
+                    self.acl.grant(grant.clone());
+                    applied += 1;
+                }
+                PolicyChange::Revoke { actor, permission, datastore } => {
+                    applied += self.acl.revoke(actor, *permission, datastore);
+                }
+            }
+        }
+        applied
+    }
+
+    /// Returns a copy of the policy with the delta applied.
+    pub fn with_applied(&self, delta: &PolicyDelta) -> AccessPolicy {
+        let mut revised = self.clone();
+        revised.apply(delta);
+        revised
+    }
+}
+
+impl fmt::Display for AccessPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "access policy: {} acl grants, {}", self.acl.len(), self.rbac)
+    }
+}
+
+/// One edit to an access policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyChange {
+    /// Add a direct ACL grant.
+    Grant(Grant),
+    /// Remove a permission from every matching direct ACL grant.
+    Revoke {
+        /// The actor losing the permission.
+        actor: ActorId,
+        /// The permission being revoked.
+        permission: Permission,
+        /// The datastore the revocation applies to.
+        datastore: DatastoreId,
+    },
+}
+
+impl fmt::Display for PolicyChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyChange::Grant(grant) => write!(f, "grant: {grant}"),
+            PolicyChange::Revoke { actor, permission, datastore } => {
+                write!(f, "revoke: {actor} may no longer {permission} on {datastore}")
+            }
+        }
+    }
+}
+
+/// An ordered sequence of policy changes — the system designer's response to
+/// an unacceptable risk finding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyDelta {
+    changes: Vec<PolicyChange>,
+}
+
+impl PolicyDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        PolicyDelta::default()
+    }
+
+    /// Builder-style: adds a grant change.
+    pub fn grant(mut self, grant: Grant) -> Self {
+        self.changes.push(PolicyChange::Grant(grant));
+        self
+    }
+
+    /// Builder-style: adds a revocation change.
+    pub fn revoke(
+        mut self,
+        actor: impl Into<ActorId>,
+        permission: Permission,
+        datastore: impl Into<DatastoreId>,
+    ) -> Self {
+        self.changes.push(PolicyChange::Revoke {
+            actor: actor.into(),
+            permission,
+            datastore: datastore.into(),
+        });
+        self
+    }
+
+    /// The changes in application order.
+    pub fn changes(&self) -> &[PolicyChange] {
+        &self.changes
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Returns `true` if the delta contains no changes.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+impl fmt::Display for PolicyDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy delta ({} changes):", self.changes.len())?;
+        for change in &self.changes {
+            writeln!(f, "  {change}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::FieldScope;
+    use crate::rbac::{Role, RoleGrant};
+    use privacy_model::{Actor, DataField, DataSchema, DatastoreDecl};
+
+    fn ehr() -> DatastoreId {
+        DatastoreId::new("EHR")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    fn sample_policy() -> AccessPolicy {
+        let mut policy = AccessPolicy::new();
+        policy
+            .acl_mut()
+            .grant(Grant::read_write_all("Doctor", "EHR"))
+            .grant(Grant::read_all("Administrator", "EHR"));
+        policy
+            .rbac_mut()
+            .add_role(
+                Role::new("nursing")
+                    .with_grant(RoleGrant::new(
+                        "EHR",
+                        FieldScope::fields([FieldId::new("Treatment")]),
+                        [Permission::Read],
+                    )),
+            )
+            .unwrap();
+        policy.rbac_mut().assign("Nurse", "nursing").unwrap();
+        policy
+    }
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_actor(Actor::role("Nurse")).unwrap();
+        catalog.add_actor(Actor::role("Administrator")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog.add_field(DataField::other("Treatment")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "EHRSchema",
+                [diagnosis(), FieldId::new("Treatment")],
+            ))
+            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
+        catalog
+    }
+
+    #[test]
+    fn combined_policy_unions_acl_and_rbac() {
+        let policy = sample_policy();
+        assert!(policy.can(&ActorId::new("Doctor"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(policy.can(
+            &ActorId::new("Nurse"),
+            Permission::Read,
+            &ehr(),
+            &FieldId::new("Treatment")
+        ));
+        assert!(!policy.can(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
+
+        let readers = policy.actors_with(Permission::Read, &ehr(), &diagnosis());
+        assert_eq!(readers.len(), 2);
+        let treatment_readers =
+            policy.actors_with(Permission::Read, &ehr(), &FieldId::new("Treatment"));
+        assert_eq!(treatment_readers.len(), 3);
+    }
+
+    #[test]
+    fn readable_fields_respects_schema_and_policy() {
+        let policy = sample_policy();
+        let catalog = catalog();
+        let nurse_fields = policy.readable_fields(&ActorId::new("Nurse"), &ehr(), &catalog);
+        assert_eq!(nurse_fields.len(), 1);
+        assert!(nurse_fields.contains(&FieldId::new("Treatment")));
+
+        let doctor_fields = policy.readable_fields(&ActorId::new("Doctor"), &ehr(), &catalog);
+        assert_eq!(doctor_fields.len(), 2);
+
+        // Unknown datastore yields an empty set rather than a panic.
+        let none = policy.readable_fields(
+            &ActorId::new("Doctor"),
+            &DatastoreId::new("Nowhere"),
+            &catalog,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn policy_delta_applies_case_study_a_change() {
+        let policy = sample_policy();
+        assert!(policy.can(&ActorId::new("Administrator"), Permission::Read, &ehr(), &diagnosis()));
+
+        let delta = PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR");
+        let revised = policy.with_applied(&delta);
+
+        assert!(!revised.can(
+            &ActorId::new("Administrator"),
+            Permission::Read,
+            &ehr(),
+            &diagnosis()
+        ));
+        // The original policy is untouched.
+        assert!(policy.can(&ActorId::new("Administrator"), Permission::Read, &ehr(), &diagnosis()));
+        // The doctor keeps access.
+        assert!(revised.can(&ActorId::new("Doctor"), Permission::Read, &ehr(), &diagnosis()));
+    }
+
+    #[test]
+    fn policy_delta_grant_and_counts() {
+        let mut policy = AccessPolicy::new();
+        let delta = PolicyDelta::new()
+            .grant(Grant::read_all("Researcher", "AnonEHR"))
+            .revoke("Researcher", Permission::Read, "EHR");
+        assert_eq!(delta.len(), 2);
+        assert!(!delta.is_empty());
+        // The revoke matches no grant so only the grant is applied.
+        let applied = policy.apply(&delta);
+        assert_eq!(applied, 1);
+        assert!(policy.can(
+            &ActorId::new("Researcher"),
+            Permission::Read,
+            &DatastoreId::new("AnonEHR"),
+            &FieldId::new("Weight_anon")
+        ));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let policy = sample_policy();
+        assert!(policy.to_string().contains("2 acl grants"));
+        let delta = PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR");
+        let text = delta.to_string();
+        assert!(text.contains("policy delta (1 changes)"));
+        assert!(text.contains("Administrator may no longer read on EHR"));
+        let grant_change = PolicyChange::Grant(Grant::read_all("A", "S"));
+        assert!(grant_change.to_string().starts_with("grant:"));
+    }
+
+    #[test]
+    fn empty_policy_denies_everything() {
+        let policy = AccessPolicy::new();
+        assert!(!policy.can(&ActorId::new("Anyone"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(policy.actors_with(Permission::Read, &ehr(), &diagnosis()).is_empty());
+    }
+}

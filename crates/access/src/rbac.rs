@@ -1,0 +1,397 @@
+//! Role-based access control.
+//!
+//! In larger deployments permissions are not granted to actors directly but
+//! to **roles**; actors are then assigned one or more roles. Roles may
+//! inherit from parent roles (a senior doctor inherits everything a doctor
+//! may do). The effective permission check flattens the role hierarchy.
+
+use crate::permission::{FieldScope, Permission};
+use privacy_model::{ActorId, DatastoreId, FieldId, ModelError, RoleId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A grant attached to a role rather than to an individual actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleGrant {
+    datastore: DatastoreId,
+    scope: FieldScope,
+    permissions: BTreeSet<Permission>,
+}
+
+impl RoleGrant {
+    /// Creates a role grant.
+    pub fn new(
+        datastore: impl Into<DatastoreId>,
+        scope: FieldScope,
+        permissions: impl IntoIterator<Item = Permission>,
+    ) -> Self {
+        RoleGrant {
+            datastore: datastore.into(),
+            scope,
+            permissions: permissions.into_iter().collect(),
+        }
+    }
+
+    /// The datastore the grant applies to.
+    pub fn datastore(&self) -> &DatastoreId {
+        &self.datastore
+    }
+
+    /// The field scope of the grant.
+    pub fn scope(&self) -> &FieldScope {
+        &self.scope
+    }
+
+    /// The granted permissions.
+    pub fn permissions(&self) -> &BTreeSet<Permission> {
+        &self.permissions
+    }
+
+    /// Returns `true` if this grant allows `permission` on `field` of
+    /// `datastore`.
+    pub fn allows(&self, permission: Permission, datastore: &DatastoreId, field: &FieldId) -> bool {
+        &self.datastore == datastore
+            && self.permissions.contains(&permission)
+            && self.scope.covers(field)
+    }
+}
+
+impl fmt::Display for RoleGrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let perms: Vec<String> = self.permissions.iter().map(|p| p.to_string()).collect();
+        write!(f, "may {} on {}:{}", perms.join("/"), self.datastore, self.scope)
+    }
+}
+
+/// A role: a named bundle of grants, optionally inheriting from parents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Role {
+    id: RoleId,
+    grants: Vec<RoleGrant>,
+    parents: BTreeSet<RoleId>,
+}
+
+impl Role {
+    /// Creates an empty role.
+    pub fn new(id: impl Into<RoleId>) -> Self {
+        Role { id: id.into(), grants: Vec::new(), parents: BTreeSet::new() }
+    }
+
+    /// Builder-style: adds a grant to the role.
+    pub fn with_grant(mut self, grant: RoleGrant) -> Self {
+        self.grants.push(grant);
+        self
+    }
+
+    /// Builder-style: declares a parent role whose grants are inherited.
+    pub fn inherits(mut self, parent: impl Into<RoleId>) -> Self {
+        self.parents.insert(parent.into());
+        self
+    }
+
+    /// The role identifier.
+    pub fn id(&self) -> &RoleId {
+        &self.id
+    }
+
+    /// The role's direct grants.
+    pub fn grants(&self) -> &[RoleGrant] {
+        &self.grants
+    }
+
+    /// The role's direct parents.
+    pub fn parents(&self) -> &BTreeSet<RoleId> {
+        &self.parents
+    }
+}
+
+/// A role-based access-control policy: role definitions plus actor → role
+/// assignments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RbacPolicy {
+    roles: BTreeMap<RoleId, Role>,
+    assignments: BTreeMap<ActorId, BTreeSet<RoleId>>,
+}
+
+impl RbacPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        RbacPolicy::default()
+    }
+
+    /// Defines a role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Duplicate`] if a role with the same id exists.
+    pub fn add_role(&mut self, role: Role) -> Result<&mut Self, ModelError> {
+        if self.roles.contains_key(role.id()) {
+            return Err(ModelError::duplicate("role", role.id().as_str()));
+        }
+        self.roles.insert(role.id().clone(), role);
+        Ok(self)
+    }
+
+    /// Assigns a role to an actor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] if the role has not been defined.
+    pub fn assign(
+        &mut self,
+        actor: impl Into<ActorId>,
+        role: impl Into<RoleId>,
+    ) -> Result<&mut Self, ModelError> {
+        let role = role.into();
+        if !self.roles.contains_key(&role) {
+            return Err(ModelError::unknown("role", role.as_str()));
+        }
+        self.assignments.entry(actor.into()).or_default().insert(role);
+        Ok(self)
+    }
+
+    /// Removes a role assignment. Returns `true` if the assignment existed.
+    pub fn unassign(&mut self, actor: &ActorId, role: &RoleId) -> bool {
+        if let Some(roles) = self.assignments.get_mut(actor) {
+            let removed = roles.remove(role);
+            if roles.is_empty() {
+                self.assignments.remove(actor);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Looks up a role definition.
+    pub fn role(&self, id: &RoleId) -> Option<&Role> {
+        self.roles.get(id)
+    }
+
+    /// The roles directly assigned to an actor.
+    pub fn roles_of(&self, actor: &ActorId) -> BTreeSet<RoleId> {
+        self.assignments.get(actor).cloned().unwrap_or_default()
+    }
+
+    /// The roles assigned to an actor including inherited parent roles.
+    pub fn effective_roles_of(&self, actor: &ActorId) -> BTreeSet<RoleId> {
+        let mut effective = BTreeSet::new();
+        let mut stack: Vec<RoleId> = self.roles_of(actor).into_iter().collect();
+        while let Some(role_id) = stack.pop() {
+            if !effective.insert(role_id.clone()) {
+                continue;
+            }
+            if let Some(role) = self.roles.get(&role_id) {
+                for parent in role.parents() {
+                    if !effective.contains(parent) {
+                        stack.push(parent.clone());
+                    }
+                }
+            }
+        }
+        effective
+    }
+
+    /// Returns `true` if the actor's effective roles allow the access.
+    pub fn allows(
+        &self,
+        actor: &ActorId,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> bool {
+        self.effective_roles_of(actor).iter().any(|role_id| {
+            self.roles
+                .get(role_id)
+                .map(|role| role.grants().iter().any(|g| g.allows(permission, datastore, field)))
+                .unwrap_or(false)
+        })
+    }
+
+    /// The actors whose effective roles allow the access.
+    pub fn actors_with(
+        &self,
+        permission: Permission,
+        datastore: &DatastoreId,
+        field: &FieldId,
+    ) -> BTreeSet<ActorId> {
+        self.assignments
+            .keys()
+            .filter(|actor| self.allows(actor, permission, datastore, field))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of defined roles.
+    pub fn role_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of actors with at least one assignment.
+    pub fn assigned_actor_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Iterates over every defined role in identifier order.
+    pub fn roles(&self) -> impl Iterator<Item = &Role> {
+        self.roles.values()
+    }
+
+    /// Iterates over every `(actor, role)` assignment pair in actor order.
+    pub fn assignments(&self) -> impl Iterator<Item = (&ActorId, &RoleId)> {
+        self.assignments
+            .iter()
+            .flat_map(|(actor, roles)| roles.iter().map(move |role| (actor, role)))
+    }
+
+    /// Checks that every parent role referenced by a role definition exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] naming the first missing parent.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for role in self.roles.values() {
+            for parent in role.parents() {
+                if !self.roles.contains_key(parent) {
+                    return Err(ModelError::unknown("role", parent.as_str()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RbacPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rbac: {} roles, {} assigned actors",
+            self.roles.len(),
+            self.assignments.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ehr() -> DatastoreId {
+        DatastoreId::new("EHR")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    fn sample_policy() -> RbacPolicy {
+        let mut rbac = RbacPolicy::new();
+        rbac.add_role(
+            Role::new("clinician")
+                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Read])),
+        )
+        .unwrap();
+        rbac.add_role(
+            Role::new("senior-clinician")
+                .inherits("clinician")
+                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Create])),
+        )
+        .unwrap();
+        rbac.add_role(Role::new("clerical").with_grant(RoleGrant::new(
+            "Appointments",
+            FieldScope::all(),
+            [Permission::Read, Permission::Create],
+        )))
+        .unwrap();
+        rbac.assign("Doctor", "senior-clinician").unwrap();
+        rbac.assign("Nurse", "clinician").unwrap();
+        rbac.assign("Receptionist", "clerical").unwrap();
+        rbac
+    }
+
+    #[test]
+    fn duplicate_roles_and_unknown_assignments_are_rejected() {
+        let mut rbac = sample_policy();
+        assert!(rbac.add_role(Role::new("clinician")).is_err());
+        assert!(rbac.assign("Doctor", "nonexistent").is_err());
+    }
+
+    #[test]
+    fn direct_grants_allow_access() {
+        let rbac = sample_policy();
+        assert!(rbac.allows(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!rbac.allows(&ActorId::new("Nurse"), Permission::Create, &ehr(), &diagnosis()));
+        assert!(!rbac.allows(
+            &ActorId::new("Receptionist"),
+            Permission::Read,
+            &ehr(),
+            &diagnosis()
+        ));
+    }
+
+    #[test]
+    fn inherited_grants_allow_access() {
+        let rbac = sample_policy();
+        // The doctor is only assigned senior-clinician, which inherits read
+        // from clinician.
+        assert!(rbac.allows(&ActorId::new("Doctor"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(rbac.allows(&ActorId::new("Doctor"), Permission::Create, &ehr(), &diagnosis()));
+        let effective = rbac.effective_roles_of(&ActorId::new("Doctor"));
+        assert_eq!(effective.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_inheritance_terminates() {
+        let mut rbac = RbacPolicy::new();
+        rbac.add_role(Role::new("a").inherits("b")).unwrap();
+        rbac.add_role(
+            Role::new("b")
+                .inherits("a")
+                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Read])),
+        )
+        .unwrap();
+        rbac.assign("X", "a").unwrap();
+        // Cycle a -> b -> a must not loop forever and permissions from both
+        // roles apply.
+        assert!(rbac.allows(&ActorId::new("X"), Permission::Read, &ehr(), &diagnosis()));
+        assert_eq!(rbac.effective_roles_of(&ActorId::new("X")).len(), 2);
+    }
+
+    #[test]
+    fn unassign_removes_access() {
+        let mut rbac = sample_policy();
+        assert!(rbac.unassign(&ActorId::new("Nurse"), &RoleId::new("clinician")));
+        assert!(!rbac.unassign(&ActorId::new("Nurse"), &RoleId::new("clinician")));
+        assert!(!rbac.allows(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
+        assert_eq!(rbac.assigned_actor_count(), 2);
+    }
+
+    #[test]
+    fn actors_with_lists_every_permitted_actor() {
+        let rbac = sample_policy();
+        let readers = rbac.actors_with(Permission::Read, &ehr(), &diagnosis());
+        assert_eq!(readers.len(), 2);
+        assert!(readers.contains(&ActorId::new("Doctor")));
+        assert!(readers.contains(&ActorId::new("Nurse")));
+    }
+
+    #[test]
+    fn validation_detects_missing_parent_roles() {
+        let mut rbac = RbacPolicy::new();
+        rbac.add_role(Role::new("child").inherits("ghost")).unwrap();
+        assert!(matches!(rbac.validate(), Err(ModelError::Unknown { .. })));
+        assert!(sample_policy().validate().is_ok());
+    }
+
+    #[test]
+    fn counters_and_display() {
+        let rbac = sample_policy();
+        assert_eq!(rbac.role_count(), 3);
+        assert_eq!(rbac.assigned_actor_count(), 3);
+        assert_eq!(rbac.to_string(), "rbac: 3 roles, 3 assigned actors");
+        assert!(rbac.role(&RoleId::new("clinician")).is_some());
+        assert!(rbac.role(&RoleId::new("missing")).is_none());
+        let grant = RoleGrant::new("EHR", FieldScope::all(), [Permission::Read]);
+        assert_eq!(grant.to_string(), "may read on EHR:*");
+    }
+}

@@ -1,0 +1,202 @@
+//! Generalisation hierarchies.
+//!
+//! A generalisation hierarchy describes how a quasi-identifier value can be
+//! replaced by progressively coarser values: level 0 is the original value,
+//! higher levels reveal less. Numeric hierarchies generalise values into
+//! interval bands of growing width (the paper's `30-40` age bands and
+//! `180-200` height bands are level-1 generalisations with widths 10 and 20);
+//! categorical hierarchies map values onto ancestor labels; the top of every
+//! hierarchy is full suppression (`*`).
+
+use privacy_model::{ModelError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A generalisation hierarchy for one quasi-identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hierarchy {
+    /// Numeric generalisation into aligned bands. `widths[l]` is the band
+    /// width at level `l + 1` (level 0 keeps the exact value); the final
+    /// level after all widths is suppression.
+    Numeric {
+        /// Band widths for levels `1..=widths.len()` in increasing order.
+        widths: Vec<f64>,
+    },
+    /// Categorical generalisation. `levels[l]` maps an original value to its
+    /// generalised label at level `l + 1`; missing entries generalise to
+    /// `"*"`.
+    Categorical {
+        /// Per-level mapping tables.
+        levels: Vec<BTreeMap<String, String>>,
+    },
+}
+
+impl Hierarchy {
+    /// Creates a numeric hierarchy from band widths.
+    ///
+    /// Widths that are not strictly increasing and positive are rejected.
+    pub fn numeric(widths: impl IntoIterator<Item = f64>) -> Self {
+        let widths: Vec<f64> = widths.into_iter().collect();
+        Hierarchy::Numeric { widths }
+    }
+
+    /// Creates a categorical hierarchy from per-level mapping tables.
+    pub fn categorical(levels: impl IntoIterator<Item = BTreeMap<String, String>>) -> Self {
+        Hierarchy::Categorical { levels: levels.into_iter().collect() }
+    }
+
+    /// Validates the hierarchy definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if a numeric hierarchy has
+    /// non-positive or non-increasing widths.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if let Hierarchy::Numeric { widths } = self {
+            let mut previous = 0.0;
+            for width in widths {
+                if *width <= 0.0 || !width.is_finite() {
+                    return Err(ModelError::invalid(format!(
+                        "generalisation band width {width} must be positive and finite"
+                    )));
+                }
+                if *width <= previous {
+                    return Err(ModelError::invalid(
+                        "generalisation band widths must be strictly increasing",
+                    ));
+                }
+                previous = *width;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of generalisation levels, including level 0 (exact value) and
+    /// the top suppression level.
+    pub fn level_count(&self) -> usize {
+        match self {
+            Hierarchy::Numeric { widths } => widths.len() + 2,
+            Hierarchy::Categorical { levels } => levels.len() + 2,
+        }
+    }
+
+    /// The maximum level (full suppression).
+    pub fn max_level(&self) -> usize {
+        self.level_count() - 1
+    }
+
+    /// Generalises a value to the given level.
+    ///
+    /// Level 0 returns the value unchanged; the maximum level returns
+    /// [`Value::Null`] (suppression). Values that cannot be generalised at a
+    /// requested level (non-numeric values in a numeric hierarchy, unknown
+    /// categories) are suppressed.
+    pub fn generalise(&self, value: &Value, level: usize) -> Value {
+        if level == 0 {
+            return value.clone();
+        }
+        if level >= self.max_level() {
+            return Value::Null;
+        }
+        match self {
+            Hierarchy::Numeric { widths } => match value.as_f64() {
+                Some(v) => {
+                    let width = widths[level - 1];
+                    let lo = (v / width).floor() * width;
+                    Value::interval(lo, lo + width)
+                }
+                None => Value::Null,
+            },
+            Hierarchy::Categorical { levels } => {
+                let key = match value {
+                    Value::Text(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                levels[level - 1]
+                    .get(&key)
+                    .map(|label| Value::Text(label.clone()))
+                    .unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hierarchy::Numeric { widths } => {
+                write!(f, "numeric hierarchy with band widths {widths:?}")
+            }
+            Hierarchy::Categorical { levels } => {
+                write!(f, "categorical hierarchy with {} levels", levels.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_generalisation_produces_aligned_bands() {
+        let hierarchy = Hierarchy::numeric([10.0, 20.0]);
+        assert!(hierarchy.validate().is_ok());
+        assert_eq!(hierarchy.level_count(), 4);
+
+        // Level 0: exact; level 1: decade bands; level 2: 20-wide bands;
+        // level 3: suppression.
+        assert_eq!(hierarchy.generalise(&Value::Int(34), 0), Value::Int(34));
+        assert_eq!(hierarchy.generalise(&Value::Int(34), 1), Value::interval(30.0, 40.0));
+        assert_eq!(hierarchy.generalise(&Value::Int(34), 2), Value::interval(20.0, 40.0));
+        assert_eq!(hierarchy.generalise(&Value::Int(34), 3), Value::Null);
+        assert_eq!(hierarchy.generalise(&Value::Int(34), 99), Value::Null);
+
+        // Paper bands: height 185 generalises to 180-200 with width 20.
+        let height = Hierarchy::numeric([20.0]);
+        assert_eq!(height.generalise(&Value::Int(185), 1), Value::interval(180.0, 200.0));
+    }
+
+    #[test]
+    fn numeric_generalisation_of_non_numeric_values_suppresses() {
+        let hierarchy = Hierarchy::numeric([10.0]);
+        assert_eq!(hierarchy.generalise(&Value::from("abc"), 1), Value::Null);
+    }
+
+    #[test]
+    fn invalid_numeric_hierarchies_are_rejected() {
+        assert!(Hierarchy::numeric([0.0]).validate().is_err());
+        assert!(Hierarchy::numeric([-5.0]).validate().is_err());
+        assert!(Hierarchy::numeric([10.0, 10.0]).validate().is_err());
+        assert!(Hierarchy::numeric([20.0, 10.0]).validate().is_err());
+        assert!(Hierarchy::numeric([f64::NAN]).validate().is_err());
+        assert!(Hierarchy::numeric([10.0, 20.0, 40.0]).validate().is_ok());
+    }
+
+    #[test]
+    fn categorical_generalisation_follows_the_mapping() {
+        let level1: BTreeMap<String, String> = [
+            ("flu".to_owned(), "respiratory".to_owned()),
+            ("asthma".to_owned(), "respiratory".to_owned()),
+            ("diabetes".to_owned(), "metabolic".to_owned()),
+        ]
+        .into_iter()
+        .collect();
+        let hierarchy = Hierarchy::categorical([level1]);
+        assert_eq!(hierarchy.level_count(), 3);
+        assert_eq!(hierarchy.generalise(&Value::from("flu"), 0), Value::from("flu"));
+        assert_eq!(
+            hierarchy.generalise(&Value::from("flu"), 1),
+            Value::from("respiratory")
+        );
+        // Unknown categories are suppressed rather than leaked.
+        assert_eq!(hierarchy.generalise(&Value::from("unknown"), 1), Value::Null);
+        assert_eq!(hierarchy.generalise(&Value::from("flu"), 2), Value::Null);
+    }
+
+    #[test]
+    fn display_summarises_the_hierarchy() {
+        assert!(Hierarchy::numeric([10.0]).to_string().contains("band widths"));
+        assert!(Hierarchy::categorical([]).to_string().contains("0 levels"));
+    }
+}

@@ -1,0 +1,489 @@
+//! k-anonymisation by global recoding over generalisation hierarchies.
+//!
+//! A release is k-anonymous with respect to a set of quasi-identifiers if
+//! every record is indistinguishable from at least `k − 1` other records when
+//! only the quasi-identifiers are visible. The anonymiser here performs
+//! **global recoding**: it searches for the lowest generalisation level per
+//! quasi-identifier (in lockstep, lowest total level first) at which every
+//! equivalence class reaches size `k`, suppressing the records of undersized
+//! classes if no level suffices.
+
+use crate::hierarchy::Hierarchy;
+use privacy_model::{Dataset, FieldId, ModelError, Record, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One equivalence class: the records (by index) that share the same visible
+/// quasi-identifier values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceClass {
+    key: String,
+    members: Vec<usize>,
+}
+
+impl EquivalenceClass {
+    /// The class key (the joined quasi-identifier values).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The indices (into the dataset) of the member records.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The class size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the class has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Partitions a dataset into equivalence classes induced by the given
+/// (visible) fields.
+pub fn equivalence_classes(dataset: &Dataset, visible: &[FieldId]) -> Vec<EquivalenceClass> {
+    let mut classes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (index, record) in dataset.iter().enumerate() {
+        let key = record.class_key(visible.iter());
+        classes.entry(key).or_default().push(index);
+    }
+    classes
+        .into_iter()
+        .map(|(key, members)| EquivalenceClass { key, members })
+        .collect()
+}
+
+/// The outcome of anonymising a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymisationResult {
+    data: Dataset,
+    quasi_identifiers: Vec<FieldId>,
+    k: usize,
+    levels: BTreeMap<FieldId, usize>,
+    suppressed: Vec<usize>,
+}
+
+impl AnonymisationResult {
+    /// The anonymised dataset (suppressed records removed).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The quasi-identifiers the anonymisation was performed over.
+    pub fn quasi_identifiers(&self) -> &[FieldId] {
+        &self.quasi_identifiers
+    }
+
+    /// The `k` that was requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The generalisation level chosen for each quasi-identifier.
+    pub fn levels(&self) -> &BTreeMap<FieldId, usize> {
+        &self.levels
+    }
+
+    /// The indices (into the original dataset) of suppressed records.
+    pub fn suppressed(&self) -> &[usize] {
+        &self.suppressed
+    }
+
+    /// The fraction of records suppressed.
+    pub fn suppression_rate(&self) -> f64 {
+        let total = self.data.len() + self.suppressed.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.suppressed.len() as f64 / total as f64
+        }
+    }
+
+    /// The equivalence classes of the anonymised data.
+    pub fn classes(&self) -> Vec<EquivalenceClass> {
+        equivalence_classes(&self.data, &self.quasi_identifiers)
+    }
+
+    /// Returns `true` if every remaining equivalence class has at least `k`
+    /// members.
+    pub fn is_k_anonymous(&self) -> bool {
+        self.data.is_empty() || self.classes().iter().all(|c| c.len() >= self.k)
+    }
+
+    /// The size of the smallest remaining equivalence class (0 for an empty
+    /// release).
+    pub fn min_class_size(&self) -> usize {
+        self.classes().iter().map(EquivalenceClass::len).min().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AnonymisationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-anonymised release: {} records, {} suppressed, levels {:?}",
+            self.k,
+            self.data.len(),
+            self.suppressed.len(),
+            self.levels
+        )
+    }
+}
+
+/// A k-anonymiser configured with per-field generalisation hierarchies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KAnonymizer {
+    k: usize,
+    hierarchies: BTreeMap<FieldId, Hierarchy>,
+    allow_suppression: bool,
+}
+
+impl KAnonymizer {
+    /// Creates an anonymiser for the given `k` (must be at least 1).
+    pub fn new(k: usize) -> Self {
+        KAnonymizer { k: k.max(1), hierarchies: BTreeMap::new(), allow_suppression: true }
+    }
+
+    /// Builder-style: registers the hierarchy of a quasi-identifier.
+    pub fn with_hierarchy(mut self, field: FieldId, hierarchy: Hierarchy) -> Self {
+        self.hierarchies.insert(field, hierarchy);
+        self
+    }
+
+    /// Builder-style: forbid record suppression (anonymisation fails instead).
+    pub fn without_suppression(mut self) -> Self {
+        self.allow_suppression = false;
+        self
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Anonymises a dataset over the given quasi-identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] if a quasi-identifier has no
+    /// registered hierarchy, [`ModelError::Invalid`] if a hierarchy is
+    /// malformed or if `k` cannot be reached without suppression while
+    /// suppression is disabled.
+    pub fn anonymise(
+        &self,
+        dataset: &Dataset,
+        quasi_identifiers: &[FieldId],
+    ) -> Result<AnonymisationResult, ModelError> {
+        for field in quasi_identifiers {
+            let hierarchy = self
+                .hierarchies
+                .get(field)
+                .ok_or_else(|| ModelError::unknown("generalisation hierarchy", field.as_str()))?;
+            hierarchy.validate()?;
+        }
+
+        // Enumerate level combinations in order of increasing total level so
+        // the least general (most useful) solution is found first.
+        let max_levels: Vec<usize> = quasi_identifiers
+            .iter()
+            .map(|f| self.hierarchies[f].max_level())
+            .collect();
+        let mut best: Option<(Vec<usize>, Dataset, Vec<usize>)> = None;
+        let total_max: usize = max_levels.iter().sum();
+
+        'outer: for total in 0..=total_max {
+            for levels in combinations_with_sum(&max_levels, total) {
+                let generalised = self.apply_levels(dataset, quasi_identifiers, &levels);
+                let classes = equivalence_classes(&generalised, quasi_identifiers);
+                let undersized: Vec<usize> = classes
+                    .iter()
+                    .filter(|c| c.len() < self.k)
+                    .flat_map(|c| c.members().iter().copied())
+                    .collect();
+                if undersized.is_empty() {
+                    best = Some((levels, generalised, Vec::new()));
+                    break 'outer;
+                }
+                // Remember the first (least generalised) solution needing
+                // suppression in case nothing better turns up.
+                if best.is_none() && self.allow_suppression {
+                    let kept = remove_records(&generalised, &undersized);
+                    best = Some((levels, kept, undersized));
+                }
+            }
+        }
+
+        let (levels, data, suppressed) = best.ok_or_else(|| {
+            ModelError::invalid(format!(
+                "cannot reach {}-anonymity without suppression",
+                self.k
+            ))
+        })?;
+        if !suppressed.is_empty() && !self.allow_suppression {
+            return Err(ModelError::invalid(format!(
+                "cannot reach {}-anonymity without suppression",
+                self.k
+            )));
+        }
+
+        Ok(AnonymisationResult {
+            data,
+            quasi_identifiers: quasi_identifiers.to_vec(),
+            k: self.k,
+            levels: quasi_identifiers.iter().cloned().zip(levels).collect(),
+            suppressed,
+        })
+    }
+
+    fn apply_levels(
+        &self,
+        dataset: &Dataset,
+        quasi_identifiers: &[FieldId],
+        levels: &[usize],
+    ) -> Dataset {
+        let mut result = Dataset::new(dataset.columns().to_vec());
+        for record in dataset.iter() {
+            let mut generalised = record.clone();
+            for (field, level) in quasi_identifiers.iter().zip(levels) {
+                let value = record.get(field).cloned().unwrap_or(Value::Null);
+                generalised.set(field.clone(), self.hierarchies[field].generalise(&value, *level));
+            }
+            result.push(generalised);
+        }
+        result
+    }
+}
+
+fn remove_records(dataset: &Dataset, indices: &[usize]) -> Dataset {
+    let mut kept = Dataset::new(dataset.columns().to_vec());
+    for (index, record) in dataset.iter().enumerate() {
+        if !indices.contains(&index) {
+            kept.push(record.clone());
+        }
+    }
+    kept
+}
+
+/// Enumerates every level vector bounded by `max_levels` whose components sum
+/// to `total`.
+fn combinations_with_sum(max_levels: &[usize], total: usize) -> Vec<Vec<usize>> {
+    fn recurse(max_levels: &[usize], total: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if max_levels.is_empty() {
+            if total == 0 {
+                out.push(prefix.clone());
+            }
+            return;
+        }
+        let cap = max_levels[0].min(total);
+        for level in 0..=cap {
+            prefix.push(level);
+            recurse(&max_levels[1..], total - level, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    recurse(max_levels, total, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Convenience: anonymise and also copy the sensitive fields through
+/// unchanged, renaming every column `f` to its pseudonymised counterpart
+/// `f_anon` so the release can be loaded into an anonymised datastore whose
+/// schema uses the `_anon` field identifiers.
+pub fn release_with_anon_columns(result: &AnonymisationResult) -> Dataset {
+    let columns: Vec<FieldId> = result
+        .data()
+        .columns()
+        .iter()
+        .map(FieldId::anonymised)
+        .collect();
+    let mut release = Dataset::new(columns);
+    for record in result.data().iter() {
+        let mut renamed = Record::new();
+        for (field, value) in record.iter() {
+            renamed.set(field.anonymised(), value.clone());
+        }
+        release.push(renamed);
+    }
+    release
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn height() -> FieldId {
+        FieldId::new("Height")
+    }
+
+    fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+
+    /// Raw values consistent with the six records of Table I before
+    /// generalisation.
+    fn raw_records() -> Dataset {
+        let rows = [
+            (34, 185, 100.0),
+            (36, 190, 102.0),
+            (25, 182, 110.0),
+            (28, 188, 111.0),
+            (22, 170, 80.0),
+            (27, 165, 110.0),
+        ];
+        Dataset::from_records(
+            [age(), height(), weight()],
+            rows.iter().map(|(a, h, w)| {
+                Record::new().with("Age", *a as i64).with("Height", *h as i64).with("Weight", *w)
+            }),
+        )
+    }
+
+    fn anonymiser() -> KAnonymizer {
+        KAnonymizer::new(2)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0, 20.0, 40.0]))
+            .with_hierarchy(height(), Hierarchy::numeric([20.0, 40.0]))
+    }
+
+    #[test]
+    fn equivalence_classes_partition_by_visible_fields() {
+        let data = raw_records();
+        let classes = equivalence_classes(&data, &[age()]);
+        // Every raw age is distinct, so six singleton classes.
+        assert_eq!(classes.len(), 6);
+        assert!(classes.iter().all(|c| c.len() == 1 && !c.is_empty()));
+
+        let classes = equivalence_classes(&data, &[]);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 6);
+    }
+
+    #[test]
+    fn two_anonymisation_reproduces_the_paper_bands() {
+        let result = anonymiser().anonymise(&raw_records(), &[age(), height()]).unwrap();
+        assert!(result.is_k_anonymous());
+        assert!(result.suppressed().is_empty());
+        assert_eq!(result.min_class_size(), 2);
+        assert_eq!(result.k(), 2);
+
+        // The chosen generalisation is one decade band for age and one
+        // 20 cm band for height — exactly Table I's bands.
+        assert_eq!(result.levels()[&age()], 1);
+        assert_eq!(result.levels()[&height()], 1);
+
+        let first = result.data().get(0).unwrap();
+        assert_eq!(first.get(&age()), Some(&Value::interval(30.0, 40.0)));
+        assert_eq!(first.get(&height()), Some(&Value::interval(180.0, 200.0)));
+        // The sensitive value is untouched.
+        assert_eq!(first.get(&weight()), Some(&Value::Float(100.0)));
+
+        // Three equivalence classes of sizes 2, 2 and 2.
+        let classes = result.classes();
+        assert_eq!(classes.len(), 3);
+        assert!(classes.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn higher_k_generalises_further_or_suppresses() {
+        let result = KAnonymizer::new(3)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0, 20.0, 40.0]))
+            .with_hierarchy(height(), Hierarchy::numeric([20.0, 40.0]))
+            .anonymise(&raw_records(), &[age(), height()])
+            .unwrap();
+        assert!(result.is_k_anonymous());
+        // Some generalisation level beyond (1, 1) is needed.
+        let total: usize = result.levels().values().sum();
+        assert!(total > 2 || !result.suppressed().is_empty());
+    }
+
+    #[test]
+    fn suppression_can_be_forbidden() {
+        // k larger than the dataset forces suppression of everything, which
+        // the no-suppression configuration must reject.
+        let result = KAnonymizer::new(7)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0]))
+            .with_hierarchy(height(), Hierarchy::numeric([20.0]))
+            .without_suppression()
+            .anonymise(&raw_records(), &[age(), height()]);
+        assert!(result.is_err());
+
+        // k = 4 can only be reached by suppressing both quasi-identifier
+        // columns entirely (levels 2 + 2), which the search prefers over
+        // suppressing records.
+        let heavily_generalised = KAnonymizer::new(4)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0]))
+            .with_hierarchy(height(), Hierarchy::numeric([20.0]))
+            .anonymise(&raw_records(), &[age(), height()])
+            .unwrap();
+        assert!(heavily_generalised.is_k_anonymous());
+        assert!(heavily_generalised.suppressed().is_empty());
+        assert_eq!(heavily_generalised.levels().values().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn missing_hierarchy_is_an_error() {
+        let err = KAnonymizer::new(2).anonymise(&raw_records(), &[age()]).unwrap_err();
+        assert!(matches!(err, ModelError::Unknown { .. }));
+    }
+
+    #[test]
+    fn invalid_hierarchy_is_rejected() {
+        let err = KAnonymizer::new(2)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0, 5.0]))
+            .anonymise(&raw_records(), &[age()])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Invalid { .. }));
+    }
+
+    #[test]
+    fn k_of_zero_is_clamped_to_one() {
+        let anonymiser = KAnonymizer::new(0).with_hierarchy(age(), Hierarchy::numeric([10.0]));
+        assert_eq!(anonymiser.k(), 1);
+        let result = anonymiser.anonymise(&raw_records(), &[age()]).unwrap();
+        // k = 1 is trivially satisfied with no generalisation at all.
+        assert_eq!(result.levels()[&age()], 0);
+        assert!(result.is_k_anonymous());
+    }
+
+    #[test]
+    fn release_with_anon_columns_renames_fields() {
+        let result = anonymiser().anonymise(&raw_records(), &[age(), height()]).unwrap();
+        let release = release_with_anon_columns(&result);
+        assert_eq!(release.len(), 6);
+        assert!(release.columns().iter().all(FieldId::is_anonymised));
+        let first = release.get(0).unwrap();
+        assert!(first.get(&FieldId::new("Age_anon")).is_some());
+        assert!(first.get(&age()).is_none());
+    }
+
+    #[test]
+    fn empty_dataset_is_trivially_anonymous() {
+        let empty = Dataset::new([age()]);
+        let result = KAnonymizer::new(5)
+            .with_hierarchy(age(), Hierarchy::numeric([10.0]))
+            .anonymise(&empty, &[age()])
+            .unwrap();
+        assert!(result.is_k_anonymous());
+        assert_eq!(result.suppression_rate(), 0.0);
+        assert!(result.to_string().contains("2-anonymised") == false);
+    }
+
+    #[test]
+    fn combinations_with_sum_enumerates_bounded_vectors() {
+        let combos = combinations_with_sum(&[2, 1], 2);
+        assert!(combos.contains(&vec![2, 0]));
+        assert!(combos.contains(&vec![1, 1]));
+        assert!(!combos.contains(&vec![0, 2]));
+        assert_eq!(combos.len(), 2);
+        assert_eq!(combinations_with_sum(&[], 0), vec![Vec::<usize>::new()]);
+        assert!(combinations_with_sum(&[], 1).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic pseudonymisation of direct identifiers.
+//!
+//! Before a dataset is released for research, direct identifiers (names,
+//! patient numbers) are replaced by opaque tokens. The tokeniser is
+//! deterministic — the same input always maps to the same token — so that
+//! longitudinal analyses remain possible, which is also precisely why
+//! pseudonymised data is still personal data and needs the risk analysis of
+//! this workspace.
+
+use privacy_model::{Dataset, FieldId, Record, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A deterministic pseudonymiser based on a keyed FNV-1a hash.
+///
+/// This is *not* a cryptographic primitive; it stands in for the keyed
+/// tokenisation service a production deployment would use, while keeping the
+/// workspace dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pseudonymizer {
+    key: u64,
+    prefix: String,
+}
+
+impl Pseudonymizer {
+    /// Creates a pseudonymiser with the given key and token prefix.
+    pub fn new(key: u64, prefix: impl Into<String>) -> Self {
+        Pseudonymizer { key, prefix: prefix.into() }
+    }
+
+    /// Creates a pseudonymiser with the default `"pid-"` prefix.
+    pub fn with_key(key: u64) -> Self {
+        Pseudonymizer::new(key, "pid-")
+    }
+
+    /// The token for one value.
+    pub fn token(&self, value: &Value) -> String {
+        let text = value.to_string();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ self.key;
+        for byte in text.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{}{:016x}", self.prefix, hash)
+    }
+
+    /// Pseudonymises one record: every listed field is replaced by its token
+    /// and renamed to the `_anon` counterpart; other fields pass through
+    /// unchanged.
+    pub fn pseudonymise_record(&self, record: &Record, fields: &BTreeSet<FieldId>) -> Record {
+        let mut result = Record::new();
+        for (field, value) in record.iter() {
+            if fields.contains(field) {
+                result.set(field.anonymised(), Value::Text(self.token(value)));
+            } else {
+                result.set(field.clone(), value.clone());
+            }
+        }
+        result
+    }
+
+    /// Pseudonymises a whole dataset.
+    pub fn pseudonymise(&self, dataset: &Dataset, fields: &BTreeSet<FieldId>) -> Dataset {
+        let columns: Vec<FieldId> = dataset
+            .columns()
+            .iter()
+            .map(|c| if fields.contains(c) { c.anonymised() } else { c.clone() })
+            .collect();
+        let mut result = Dataset::new(columns);
+        for record in dataset.iter() {
+            result.push(self.pseudonymise_record(record, fields));
+        }
+        result
+    }
+}
+
+impl fmt::Display for Pseudonymizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pseudonymiser (prefix `{}`)", self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name() -> FieldId {
+        FieldId::new("Name")
+    }
+
+    fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+
+    #[test]
+    fn tokens_are_deterministic_and_key_dependent() {
+        let a = Pseudonymizer::with_key(1);
+        let b = Pseudonymizer::with_key(2);
+        let value = Value::from("Alice");
+        assert_eq!(a.token(&value), a.token(&value));
+        assert_ne!(a.token(&value), b.token(&value));
+        assert_ne!(a.token(&Value::from("Alice")), a.token(&Value::from("Bob")));
+        assert!(a.token(&value).starts_with("pid-"));
+    }
+
+    #[test]
+    fn record_pseudonymisation_renames_and_tokenises_selected_fields() {
+        let pseudonymiser = Pseudonymizer::with_key(42);
+        let record = Record::new().with("Name", "Alice").with("Weight", 70.0);
+        let fields: BTreeSet<FieldId> = [name()].into_iter().collect();
+        let result = pseudonymiser.pseudonymise_record(&record, &fields);
+
+        assert!(result.get(&name()).is_none());
+        let token = result.get(&FieldId::new("Name_anon")).unwrap();
+        assert!(matches!(token, Value::Text(t) if t.starts_with("pid-")));
+        assert_eq!(result.get(&weight()), Some(&Value::Float(70.0)));
+    }
+
+    #[test]
+    fn dataset_pseudonymisation_keeps_linkability() {
+        let pseudonymiser = Pseudonymizer::new(7, "tok-");
+        let data = Dataset::from_records(
+            [name(), weight()],
+            [
+                Record::new().with("Name", "Alice").with("Weight", 70.0),
+                Record::new().with("Name", "Bob").with("Weight", 80.0),
+                Record::new().with("Name", "Alice").with("Weight", 71.0),
+            ],
+        );
+        let fields: BTreeSet<FieldId> = [name()].into_iter().collect();
+        let result = pseudonymiser.pseudonymise(&data, &fields);
+
+        assert_eq!(result.len(), 3);
+        assert!(result.columns().contains(&FieldId::new("Name_anon")));
+        assert!(!result.columns().contains(&name()));
+
+        let token = |i: usize| result.get(i).unwrap().get(&FieldId::new("Name_anon")).cloned();
+        // Alice's two records share a token (linkable), Bob's differs.
+        assert_eq!(token(0), token(2));
+        assert_ne!(token(0), token(1));
+    }
+
+    #[test]
+    fn display_mentions_the_prefix() {
+        assert_eq!(
+            Pseudonymizer::new(0, "t-").to_string(),
+            "pseudonymiser (prefix `t-`)"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! t-closeness checking.
+//!
+//! l-diversity removes the paper's value risk for homogeneous classes but is
+//! still vulnerable to *skewness* and *similarity* attacks: an equivalence
+//! class whose sensitive-value distribution differs strongly from the whole
+//! release still leaks information.  t-closeness (Li et al., ICDE 2007)
+//! bounds, for every equivalence class, the distance between the class
+//! distribution of the sensitive attribute and its global distribution.
+//!
+//! Two distances are used, following the original proposal:
+//!
+//! * numeric attributes — the ordered-distance Earth Mover's Distance over
+//!   the sorted value domain, normalised by `m - 1` (so the result is in
+//!   `[0, 1]`);
+//! * categorical attributes — the total-variation distance
+//!   `½ · Σ |p(v) − q(v)|`.
+
+use crate::kanon::equivalence_classes;
+use privacy_model::{Dataset, FieldId, Value};
+use std::collections::BTreeMap;
+
+/// The largest distance between any equivalence class's sensitive-value
+/// distribution and the global distribution — i.e. the smallest `t` for
+/// which the release is t-close.
+///
+/// Returns 0.0 for an empty release or when the sensitive column is missing.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_anonymity::tcloseness::t_closeness_of;
+/// use privacy_model::{Dataset, FieldId, Record, Value};
+///
+/// let release = Dataset::from_records(
+///     [FieldId::new("Age"), FieldId::new("Weight")],
+///     [
+///         Record::new().with("Age", Value::interval(20.0, 30.0)).with("Weight", 80.0),
+///         Record::new().with("Age", Value::interval(20.0, 30.0)).with("Weight", 110.0),
+///     ],
+/// );
+/// // A single class matching the global distribution is perfectly close.
+/// let t = t_closeness_of(&release, &[FieldId::new("Age")], &FieldId::new("Weight"));
+/// assert!(t.abs() < 1e-9);
+/// ```
+pub fn t_closeness_of(
+    release: &Dataset,
+    quasi_identifiers: &[FieldId],
+    sensitive: &FieldId,
+) -> f64 {
+    if release.is_empty() {
+        return 0.0;
+    }
+    let overall: Vec<Value> = release
+        .iter()
+        .filter_map(|record| record.get(sensitive).cloned())
+        .collect();
+    if overall.is_empty() {
+        return 0.0;
+    }
+    let numeric = overall.iter().all(|v| v.as_f64().is_some());
+
+    equivalence_classes(release, quasi_identifiers)
+        .iter()
+        .map(|class| {
+            let class_values: Vec<Value> = class
+                .members()
+                .iter()
+                .filter_map(|&i| release.get(i).and_then(|r| r.get(sensitive).cloned()))
+                .collect();
+            if class_values.is_empty() {
+                0.0
+            } else if numeric {
+                numeric_emd(&class_values, &overall)
+            } else {
+                total_variation(&class_values, &overall)
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Returns `true` if every equivalence class's sensitive-value distribution
+/// is within distance `t` of the global distribution.
+pub fn satisfies_t_closeness(
+    release: &Dataset,
+    quasi_identifiers: &[FieldId],
+    sensitive: &FieldId,
+    t: f64,
+) -> bool {
+    t_closeness_of(release, quasi_identifiers, sensitive) <= t + 1e-12
+}
+
+/// Ordered-distance EMD between the class and overall numeric distributions,
+/// computed over the sorted set of distinct values observed in the release
+/// and normalised by `m - 1` so the result lies in `[0, 1]`.
+fn numeric_emd(class: &[Value], overall: &[Value]) -> f64 {
+    let mut domain: Vec<f64> = overall.iter().filter_map(Value::as_f64).collect();
+    domain.sort_by(|a, b| a.partial_cmp(b).expect("sensitive values must not be NaN"));
+    domain.dedup();
+    let m = domain.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    let p = numeric_distribution(class, &domain);
+    let q = numeric_distribution(overall, &domain);
+
+    // EMD with ordered ground distance |i - j| / (m - 1): the prefix-sum form.
+    let mut cumulative = 0.0;
+    let mut total = 0.0;
+    for i in 0..m {
+        cumulative += p[i] - q[i];
+        total += cumulative.abs();
+    }
+    total / (m as f64 - 1.0)
+}
+
+fn numeric_distribution(values: &[Value], domain: &[f64]) -> Vec<f64> {
+    let mut histogram = vec![0.0; domain.len()];
+    let mut count = 0.0;
+    for value in values.iter().filter_map(Value::as_f64) {
+        if let Some(index) = domain
+            .iter()
+            .position(|d| (d - value).abs() < 1e-12)
+        {
+            histogram[index] += 1.0;
+            count += 1.0;
+        }
+    }
+    if count > 0.0 {
+        for entry in &mut histogram {
+            *entry /= count;
+        }
+    }
+    histogram
+}
+
+/// Total-variation distance `½ · Σ |p(v) − q(v)|` between the class and
+/// overall categorical distributions.
+fn total_variation(class: &[Value], overall: &[Value]) -> f64 {
+    let p = categorical_distribution(class);
+    let q = categorical_distribution(overall);
+    let mut keys: Vec<&String> = p.keys().chain(q.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    0.5 * keys
+        .into_iter()
+        .map(|key| (p.get(key).copied().unwrap_or(0.0) - q.get(key).copied().unwrap_or(0.0)).abs())
+        .sum::<f64>()
+}
+
+fn categorical_distribution(values: &[Value]) -> BTreeMap<String, f64> {
+    let mut histogram: BTreeMap<String, f64> = BTreeMap::new();
+    for value in values {
+        *histogram.entry(value.to_string()).or_insert(0.0) += 1.0;
+    }
+    let total: f64 = histogram.values().sum();
+    if total > 0.0 {
+        for entry in histogram.values_mut() {
+            *entry /= total;
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::Record;
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    fn numeric_release(rows: &[(f64, f64, f64)]) -> Dataset {
+        Dataset::from_records(
+            [age(), weight()],
+            rows.iter().map(|(lo, hi, w)| {
+                Record::new().with("Age", Value::interval(*lo, *hi)).with("Weight", *w)
+            }),
+        )
+    }
+
+    #[test]
+    fn single_class_release_is_perfectly_close() {
+        let release = numeric_release(&[(20.0, 30.0, 80.0), (20.0, 30.0, 110.0)]);
+        assert!(t_closeness_of(&release, &[age()], &weight()) < 1e-9);
+        assert!(satisfies_t_closeness(&release, &[age()], &weight(), 0.0));
+    }
+
+    #[test]
+    fn skewed_class_is_far_from_the_global_distribution() {
+        // One class holds the two lowest weights, the other the two highest.
+        let release = numeric_release(&[
+            (20.0, 30.0, 60.0),
+            (20.0, 30.0, 65.0),
+            (30.0, 40.0, 140.0),
+            (30.0, 40.0, 145.0),
+        ]);
+        // Each class holds one end of the weight range: p = [½,½,0,0] vs the
+        // uniform q gives an ordered EMD of ⅓.
+        let t = t_closeness_of(&release, &[age()], &weight());
+        assert!((t - 1.0 / 3.0).abs() < 1e-9, "expected t = 1/3, got t = {t}");
+        assert!(!satisfies_t_closeness(&release, &[age()], &weight(), 0.3));
+    }
+
+    #[test]
+    fn mixing_classes_reduces_the_distance() {
+        let skewed = numeric_release(&[
+            (20.0, 30.0, 60.0),
+            (20.0, 30.0, 65.0),
+            (30.0, 40.0, 140.0),
+            (30.0, 40.0, 145.0),
+        ]);
+        let mixed = numeric_release(&[
+            (20.0, 30.0, 60.0),
+            (20.0, 30.0, 140.0),
+            (30.0, 40.0, 65.0),
+            (30.0, 40.0, 145.0),
+        ]);
+        let t_skewed = t_closeness_of(&skewed, &[age()], &weight());
+        let t_mixed = t_closeness_of(&mixed, &[age()], &weight());
+        assert!(t_mixed < t_skewed);
+    }
+
+    #[test]
+    fn no_quasi_identifiers_means_one_class_and_zero_distance() {
+        let release = numeric_release(&[(20.0, 30.0, 60.0), (30.0, 40.0, 140.0)]);
+        assert!(t_closeness_of(&release, &[], &weight()) < 1e-9);
+    }
+
+    #[test]
+    fn categorical_sensitive_values_use_total_variation() {
+        let release = Dataset::from_records(
+            [age(), diagnosis()],
+            [
+                Record::new().with("Age", Value::interval(20.0, 30.0)).with("Diagnosis", "flu"),
+                Record::new().with("Age", Value::interval(20.0, 30.0)).with("Diagnosis", "flu"),
+                Record::new()
+                    .with("Age", Value::interval(30.0, 40.0))
+                    .with("Diagnosis", "cancer"),
+                Record::new()
+                    .with("Age", Value::interval(30.0, 40.0))
+                    .with("Diagnosis", "cancer"),
+            ],
+        );
+        // Each class is homogeneous while the global split is 50/50 → TV = 0.5.
+        let t = t_closeness_of(&release, &[age()], &diagnosis());
+        assert!((t - 0.5).abs() < 1e-9, "t = {t}");
+        assert!(satisfies_t_closeness(&release, &[age()], &diagnosis(), 0.5));
+        assert!(!satisfies_t_closeness(&release, &[age()], &diagnosis(), 0.4));
+    }
+
+    #[test]
+    fn empty_release_is_trivially_close() {
+        let release = Dataset::new([age(), weight()]);
+        assert_eq!(t_closeness_of(&release, &[age()], &weight()), 0.0);
+        assert!(satisfies_t_closeness(&release, &[age()], &weight(), 0.0));
+    }
+
+    #[test]
+    fn missing_sensitive_column_yields_zero_distance() {
+        let release = numeric_release(&[(20.0, 30.0, 60.0)]);
+        assert_eq!(t_closeness_of(&release, &[age()], &FieldId::new("Absent")), 0.0);
+    }
+
+    #[test]
+    fn distance_is_bounded_by_one() {
+        let release = numeric_release(&[
+            (20.0, 30.0, 1.0),
+            (30.0, 40.0, 1000.0),
+        ]);
+        let t = t_closeness_of(&release, &[age()], &weight());
+        assert!(t <= 1.0 + 1e-9);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Utility metrics for pseudonymised releases.
+//!
+//! Section III-B: *"The resulting pseudonymised dataset with values removed
+//! can be tested for utility, by comparing statistical qualities like means
+//! and variances between the original data and the pseudonymised data. If a
+//! technique requires too much data removal and utility is shown to be likely
+//! adversely affected, the technique used would clearly be not appropriate."*
+
+use privacy_model::{Dataset, FieldId};
+use std::fmt;
+
+/// Comparison of a numeric column before and after pseudonymisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityReport {
+    field: FieldId,
+    original_mean: f64,
+    released_mean: f64,
+    original_variance: f64,
+    released_variance: f64,
+    original_count: usize,
+    released_count: usize,
+}
+
+impl UtilityReport {
+    /// The compared field.
+    pub fn field(&self) -> &FieldId {
+        &self.field
+    }
+
+    /// Mean of the original column.
+    pub fn original_mean(&self) -> f64 {
+        self.original_mean
+    }
+
+    /// Mean of the released column (intervals contribute their midpoints).
+    pub fn released_mean(&self) -> f64 {
+        self.released_mean
+    }
+
+    /// Variance (population) of the original column.
+    pub fn original_variance(&self) -> f64 {
+        self.original_variance
+    }
+
+    /// Variance (population) of the released column.
+    pub fn released_variance(&self) -> f64 {
+        self.released_variance
+    }
+
+    /// Number of usable values in the original column.
+    pub fn original_count(&self) -> usize {
+        self.original_count
+    }
+
+    /// Number of usable values in the released column.
+    pub fn released_count(&self) -> usize {
+        self.released_count
+    }
+
+    /// Absolute difference of the means.
+    pub fn mean_shift(&self) -> f64 {
+        (self.original_mean - self.released_mean).abs()
+    }
+
+    /// Relative difference of the means (0 when the original mean is 0).
+    pub fn relative_mean_shift(&self) -> f64 {
+        if self.original_mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.mean_shift() / self.original_mean.abs()
+        }
+    }
+
+    /// Fraction of values lost to suppression or non-numeric generalisation.
+    pub fn loss_rate(&self) -> f64 {
+        if self.original_count == 0 {
+            0.0
+        } else {
+            1.0 - (self.released_count as f64 / self.original_count as f64)
+        }
+    }
+
+    /// A simple acceptability test: the release is acceptable if the relative
+    /// mean shift and the loss rate both stay below the given bounds.
+    pub fn is_acceptable(&self, max_relative_mean_shift: f64, max_loss_rate: f64) -> bool {
+        self.relative_mean_shift() <= max_relative_mean_shift && self.loss_rate() <= max_loss_rate
+    }
+}
+
+impl fmt::Display for UtilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "utility of {}: mean {:.2} -> {:.2}, variance {:.2} -> {:.2}, {} -> {} values",
+            self.field,
+            self.original_mean,
+            self.released_mean,
+            self.original_variance,
+            self.released_variance,
+            self.original_count,
+            self.released_count
+        )
+    }
+}
+
+/// Compares one numeric column of the original dataset against the release.
+pub fn utility_report(original: &Dataset, released: &Dataset, field: &FieldId) -> UtilityReport {
+    let original_values = original.numeric_column(field);
+    let released_values = released.numeric_column(field);
+    UtilityReport {
+        field: field.clone(),
+        original_mean: mean(&original_values),
+        released_mean: mean(&released_values),
+        original_variance: variance(&original_values),
+        released_variance: variance(&released_values),
+        original_count: original_values.len(),
+        released_count: released_values.len(),
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{Record, Value};
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn original() -> Dataset {
+        Dataset::from_records(
+            [age()],
+            [20, 30, 40, 50].into_iter().map(|a| Record::new().with("Age", a as i64)),
+        )
+    }
+
+    #[test]
+    fn identical_release_has_zero_shift_and_loss() {
+        let report = utility_report(&original(), &original(), &age());
+        assert_eq!(report.mean_shift(), 0.0);
+        assert_eq!(report.relative_mean_shift(), 0.0);
+        assert_eq!(report.loss_rate(), 0.0);
+        assert_eq!(report.original_mean(), 35.0);
+        assert_eq!(report.original_variance(), 125.0);
+        assert!(report.is_acceptable(0.01, 0.0));
+    }
+
+    #[test]
+    fn generalised_release_shifts_means_via_midpoints() {
+        let released = Dataset::from_records(
+            [age()],
+            [(20.0, 30.0), (30.0, 40.0), (40.0, 50.0), (50.0, 60.0)]
+                .into_iter()
+                .map(|(lo, hi)| Record::new().with("Age", Value::interval(lo, hi))),
+        );
+        let report = utility_report(&original(), &released, &age());
+        // Midpoints are 25, 35, 45, 55 -> mean 40 vs 35.
+        assert_eq!(report.released_mean(), 40.0);
+        assert_eq!(report.mean_shift(), 5.0);
+        assert!((report.relative_mean_shift() - 5.0 / 35.0).abs() < 1e-12);
+        assert_eq!(report.loss_rate(), 0.0);
+        assert!(!report.is_acceptable(0.05, 0.0));
+        assert!(report.is_acceptable(0.2, 0.0));
+    }
+
+    #[test]
+    fn suppression_shows_up_as_loss() {
+        let released = Dataset::from_records(
+            [age()],
+            [
+                Record::new().with("Age", 20i64),
+                Record::new().with("Age", Value::Null),
+                Record::new().with("Age", Value::Null),
+                Record::new().with("Age", 50i64),
+            ],
+        );
+        let report = utility_report(&original(), &released, &age());
+        assert_eq!(report.released_count(), 2);
+        assert_eq!(report.loss_rate(), 0.5);
+        assert!(!report.is_acceptable(1.0, 0.25));
+        assert!(report.to_string().contains("4 -> 2 values"));
+    }
+
+    #[test]
+    fn empty_columns_do_not_divide_by_zero() {
+        let empty = Dataset::new([age()]);
+        let report = utility_report(&empty, &empty, &age());
+        assert_eq!(report.original_mean(), 0.0);
+        assert_eq!(report.loss_rate(), 0.0);
+        assert_eq!(report.relative_mean_shift(), 0.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! The paper's pseudonymisation **value risk** (Section III-B, Table I).
+//!
+//! Given a pseudonymised release, an adversary who can see some of the
+//! quasi-identifier columns partitions the records into sets that *"now
+//! appear to be identical"*; the value risk of a record `r` for a sensitive
+//! field `f` is
+//!
+//! ```text
+//! risk(r, f) = frequency(f) / size(s)
+//! ```
+//!
+//! where `s` is the set containing `r`, `size(s)` its cardinality and
+//! `frequency(f)` the number of values in `s` that are *close enough* to the
+//! record's own value (the user may specify a closeness range, e.g. ±5 kg).
+//! A designer policy declares a confidence threshold (e.g. 90 %) above which
+//! the record counts as a **violation**.
+
+use crate::kanon::equivalence_classes;
+use privacy_model::{Dataset, FieldId, ModelError, Value};
+use std::fmt;
+
+/// The designer's value-risk policy: which sensitive field must not be
+/// predictable, how close a prediction counts as a match, and the confidence
+/// above which a record is a violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueRiskPolicy {
+    target: FieldId,
+    tolerance: f64,
+    confidence: f64,
+}
+
+impl ValueRiskPolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `confidence` is not within
+    /// `(0, 1]` or `tolerance` is negative or not finite.
+    pub fn new(
+        target: impl Into<FieldId>,
+        tolerance: f64,
+        confidence: f64,
+    ) -> Result<Self, ModelError> {
+        if !(f64::EPSILON..=1.0).contains(&confidence) || confidence.is_nan() {
+            return Err(ModelError::OutOfRange {
+                what: "confidence",
+                value: confidence,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if tolerance < 0.0 || !tolerance.is_finite() {
+            return Err(ModelError::OutOfRange {
+                what: "tolerance",
+                value: tolerance,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        Ok(ValueRiskPolicy { target: target.into(), tolerance, confidence })
+    }
+
+    /// The paper's Case Study B policy: *"the researcher being able to
+    /// predict an individual's weight to within 5 kg with at least 90 %
+    /// confidence"*.
+    pub fn weight_within_5kg_at_90_percent() -> Self {
+        ValueRiskPolicy::new("Weight", 5.0, 0.9).expect("constants are valid")
+    }
+
+    /// The sensitive field the policy protects.
+    pub fn target(&self) -> &FieldId {
+        &self.target
+    }
+
+    /// The closeness tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The confidence threshold at or above which a record is a violation.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+}
+
+impl fmt::Display for ValueRiskPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value-risk policy: {} must not be predictable to ±{} with ≥{:.0}% confidence",
+            self.target,
+            self.tolerance,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// The value risk of one record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordRisk {
+    record_index: usize,
+    class_size: usize,
+    frequency: usize,
+}
+
+impl RecordRisk {
+    /// The index of the record within the analysed dataset.
+    pub fn record_index(&self) -> usize {
+        self.record_index
+    }
+
+    /// `size(s)`: the size of the record's equivalence set.
+    pub fn class_size(&self) -> usize {
+        self.class_size
+    }
+
+    /// `frequency(f)`: how many values in the set are close enough to the
+    /// record's own value.
+    pub fn frequency(&self) -> usize {
+        self.frequency
+    }
+
+    /// `risk(r, f) = frequency(f) / size(s)`.
+    pub fn risk(&self) -> f64 {
+        if self.class_size == 0 {
+            0.0
+        } else {
+            self.frequency as f64 / self.class_size as f64
+        }
+    }
+
+    /// Renders the risk as the fraction used in Table I, e.g. `"2/4"`.
+    pub fn as_fraction(&self) -> String {
+        format!("{}/{}", self.frequency, self.class_size)
+    }
+}
+
+impl fmt::Display for RecordRisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {}: {}", self.record_index, self.as_fraction())
+    }
+}
+
+/// The result of a value-risk analysis for one visible quasi-identifier set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueRiskReport {
+    visible: Vec<FieldId>,
+    policy: ValueRiskPolicy,
+    records: Vec<RecordRisk>,
+}
+
+impl ValueRiskReport {
+    /// The quasi-identifiers assumed visible to the adversary.
+    pub fn visible(&self) -> &[FieldId] {
+        &self.visible
+    }
+
+    /// The policy the analysis was run against.
+    pub fn policy(&self) -> &ValueRiskPolicy {
+        &self.policy
+    }
+
+    /// Per-record risks, in dataset order.
+    pub fn records(&self) -> &[RecordRisk] {
+        &self.records
+    }
+
+    /// The records whose risk reaches the policy's confidence threshold.
+    pub fn violations(&self) -> Vec<&RecordRisk> {
+        self.records
+            .iter()
+            .filter(|r| r.risk() >= self.policy.confidence())
+            .collect()
+    }
+
+    /// Number of violating records (the paper's "Violations" row).
+    pub fn violation_count(&self) -> usize {
+        self.violations().len()
+    }
+
+    /// The fraction of records violating the policy.
+    pub fn violation_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.violation_count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// The maximum per-record risk.
+    pub fn max_risk(&self) -> f64 {
+        self.records.iter().map(RecordRisk::risk).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for ValueRiskReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let visible: Vec<&str> = self.visible.iter().map(FieldId::as_str).collect();
+        write!(
+            f,
+            "value risk with visible {{{}}}: {} violations of {} records (max risk {:.2})",
+            visible.join(", "),
+            self.violation_count(),
+            self.records.len(),
+            self.max_risk()
+        )
+    }
+}
+
+/// Computes the value risk of every record of `release` for the policy's
+/// target field, assuming the adversary can see exactly the `visible`
+/// quasi-identifier columns.
+///
+/// The release should contain the (generalised) quasi-identifier columns and
+/// the target column with its original values — exactly the shape produced by
+/// [`crate::kanon::KAnonymizer::anonymise`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Unknown`] if the target field is not a column of the
+/// release.
+pub fn value_risk(
+    release: &Dataset,
+    visible: &[FieldId],
+    policy: &ValueRiskPolicy,
+) -> Result<ValueRiskReport, ModelError> {
+    if !release.columns().iter().any(|c| c == policy.target()) {
+        return Err(ModelError::unknown("dataset column", policy.target().as_str()));
+    }
+
+    let classes = equivalence_classes(release, visible);
+    let mut records: Vec<RecordRisk> = Vec::with_capacity(release.len());
+
+    for class in &classes {
+        // Gather the target values of the class members once.
+        let values: Vec<(usize, Value)> = class
+            .members()
+            .iter()
+            .map(|&index| {
+                (
+                    index,
+                    release
+                        .get(index)
+                        .and_then(|r| r.get(policy.target()).cloned())
+                        .unwrap_or(Value::Null),
+                )
+            })
+            .collect();
+        for (index, value) in &values {
+            let frequency = values
+                .iter()
+                .filter(|(_, other)| other.is_close_to(value, policy.tolerance()))
+                .count();
+            records.push(RecordRisk {
+                record_index: *index,
+                class_size: class.len(),
+                frequency,
+            });
+        }
+    }
+
+    records.sort_by_key(RecordRisk::record_index);
+    Ok(ValueRiskReport { visible: visible.to_vec(), policy: policy.clone(), records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::Record;
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn height() -> FieldId {
+        FieldId::new("Height")
+    }
+
+    fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+
+    /// The six 2-anonymised records of Table I.
+    fn table1_release() -> Dataset {
+        let rows: [(f64, f64, f64, f64, f64); 6] = [
+            (30.0, 40.0, 180.0, 200.0, 100.0),
+            (30.0, 40.0, 180.0, 200.0, 102.0),
+            (20.0, 30.0, 180.0, 200.0, 110.0),
+            (20.0, 30.0, 180.0, 200.0, 111.0),
+            (20.0, 30.0, 160.0, 180.0, 80.0),
+            (20.0, 30.0, 160.0, 180.0, 110.0),
+        ];
+        Dataset::from_records(
+            [age(), height(), weight()],
+            rows.iter().map(|(alo, ahi, hlo, hhi, w)| {
+                Record::new()
+                    .with("Age", Value::interval(*alo, *ahi))
+                    .with("Height", Value::interval(*hlo, *hhi))
+                    .with("Weight", *w)
+            }),
+        )
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(ValueRiskPolicy::new("Weight", 5.0, 0.9).is_ok());
+        assert!(ValueRiskPolicy::new("Weight", -1.0, 0.9).is_err());
+        assert!(ValueRiskPolicy::new("Weight", 5.0, 0.0).is_err());
+        assert!(ValueRiskPolicy::new("Weight", 5.0, 1.5).is_err());
+        assert!(ValueRiskPolicy::new("Weight", f64::NAN, 0.9).is_err());
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        assert_eq!(policy.target().as_str(), "Weight");
+        assert_eq!(policy.tolerance(), 5.0);
+        assert_eq!(policy.confidence(), 0.9);
+        assert!(policy.to_string().contains("90%"));
+    }
+
+    #[test]
+    fn table1_height_column_matches_the_paper() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        let report = value_risk(&release, &[height()], &policy).unwrap();
+        let fractions: Vec<String> =
+            report.records().iter().map(RecordRisk::as_fraction).collect();
+        assert_eq!(fractions, vec!["2/4", "2/4", "2/4", "2/4", "1/2", "1/2"]);
+        assert_eq!(report.violation_count(), 0);
+    }
+
+    #[test]
+    fn table1_age_column_matches_the_paper() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        let report = value_risk(&release, &[age()], &policy).unwrap();
+        let fractions: Vec<String> =
+            report.records().iter().map(RecordRisk::as_fraction).collect();
+        assert_eq!(fractions, vec!["2/2", "2/2", "3/4", "3/4", "1/4", "3/4"]);
+        assert_eq!(report.violation_count(), 2);
+    }
+
+    #[test]
+    fn table1_age_height_column_matches_the_paper() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        let report = value_risk(&release, &[age(), height()], &policy).unwrap();
+        let fractions: Vec<String> =
+            report.records().iter().map(RecordRisk::as_fraction).collect();
+        assert_eq!(fractions, vec!["2/2", "2/2", "2/2", "2/2", "1/2", "1/2"]);
+        assert_eq!(report.violation_count(), 4);
+        assert_eq!(report.violation_rate(), 4.0 / 6.0);
+        assert_eq!(report.max_risk(), 1.0);
+    }
+
+    #[test]
+    fn no_visible_fields_means_one_big_class() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        let report = value_risk(&release, &[], &policy).unwrap();
+        assert!(report.records().iter().all(|r| r.class_size() == 6));
+        assert_eq!(report.violation_count(), 0);
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::new("BloodPressure", 5.0, 0.9).unwrap();
+        assert!(matches!(
+            value_risk(&release, &[age()], &policy),
+            Err(ModelError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_tolerance_requires_exact_matches() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::new("Weight", 0.0, 0.5).unwrap();
+        let report = value_risk(&release, &[age(), height()], &policy).unwrap();
+        // Record 5 (weight 110) is alone with record 4 (weight 80): only its
+        // own value matches exactly.
+        let fractions: Vec<String> =
+            report.records().iter().map(RecordRisk::as_fraction).collect();
+        assert_eq!(fractions, vec!["1/2", "1/2", "1/2", "1/2", "1/2", "1/2"]);
+        assert_eq!(report.violation_count(), 6);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let release = table1_release();
+        let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+        let report = value_risk(&release, &[age()], &policy).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("visible {Age}"));
+        assert!(text.contains("2 violations"));
+        assert_eq!(report.records()[0].to_string(), "record 0: 2/2");
+    }
+}

@@ -1,0 +1,177 @@
+//! CAT-style per-record disclosure risk.
+//!
+//! The Cornell Anonymization Toolkit evaluates *"the disclosure risks of each
+//! record in anonymised data based on user specified assumptions about the
+//! adversary's background knowledge"* (Xiao, Wang & Gehrke, 2009). Here the
+//! background knowledge is the set of quasi-identifier columns (and their
+//! precision) the adversary is assumed to know about their target; a record's
+//! disclosure risk is the reciprocal of the number of released records
+//! consistent with that knowledge.
+
+use privacy_model::{Dataset, FieldId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The adversary's assumed background knowledge about one target: exact
+/// values for some quasi-identifiers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BackgroundKnowledge {
+    known: BTreeMap<FieldId, Value>,
+}
+
+impl BackgroundKnowledge {
+    /// No background knowledge.
+    pub fn none() -> Self {
+        BackgroundKnowledge::default()
+    }
+
+    /// Builder-style: the adversary knows the target's value for a field.
+    pub fn knows(mut self, field: impl Into<FieldId>, value: impl Into<Value>) -> Self {
+        self.known.insert(field.into(), value.into());
+        self
+    }
+
+    /// The known fields.
+    pub fn fields(&self) -> impl Iterator<Item = (&FieldId, &Value)> {
+        self.known.iter()
+    }
+
+    /// Number of known fields.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Returns `true` if nothing is known.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// Returns `true` if a released record is consistent with this knowledge
+    /// (every known value is covered by the record's — possibly generalised —
+    /// value).
+    pub fn matches(&self, record: &privacy_model::Record) -> bool {
+        self.known.iter().all(|(field, known_value)| {
+            record
+                .get(field)
+                .map(|released| released.covers(known_value) || released == known_value)
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl fmt::Display for BackgroundKnowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "background knowledge of {} fields", self.known.len())
+    }
+}
+
+/// The per-record disclosure risks of a release for one adversary: for each
+/// record index, `1 / |records consistent with the knowledge|` if the record
+/// itself is consistent, `0.0` otherwise.
+pub fn record_disclosure_risks(release: &Dataset, knowledge: &BackgroundKnowledge) -> Vec<f64> {
+    let matching: Vec<usize> = release
+        .iter()
+        .enumerate()
+        .filter(|(_, record)| knowledge.matches(record))
+        .map(|(index, _)| index)
+        .collect();
+    let risk = if matching.is_empty() { 0.0 } else { 1.0 / matching.len() as f64 };
+    (0..release.len())
+        .map(|index| if matching.contains(&index) { risk } else { 0.0 })
+        .collect()
+}
+
+/// The indices of the records whose disclosure risk reaches `threshold`.
+pub fn records_at_risk(
+    release: &Dataset,
+    knowledge: &BackgroundKnowledge,
+    threshold: f64,
+) -> Vec<usize> {
+    record_disclosure_risks(release, knowledge)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, risk)| *risk >= threshold)
+        .map(|(index, _)| index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::Record;
+
+    fn release() -> Dataset {
+        Dataset::from_records(
+            [FieldId::new("Age"), FieldId::new("Height"), FieldId::new("Weight")],
+            [
+                (30.0, 40.0, 180.0, 200.0, 100.0),
+                (30.0, 40.0, 180.0, 200.0, 102.0),
+                (20.0, 30.0, 180.0, 200.0, 110.0),
+                (20.0, 30.0, 160.0, 180.0, 80.0),
+            ]
+            .into_iter()
+            .map(|(alo, ahi, hlo, hhi, w)| {
+                Record::new()
+                    .with("Age", Value::interval(alo, ahi))
+                    .with("Height", Value::interval(hlo, hhi))
+                    .with("Weight", w)
+            }),
+        )
+    }
+
+    #[test]
+    fn no_knowledge_spreads_risk_over_the_whole_release() {
+        let risks = record_disclosure_risks(&release(), &BackgroundKnowledge::none());
+        assert_eq!(risks, vec![0.25; 4]);
+        assert!(records_at_risk(&release(), &BackgroundKnowledge::none(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn knowing_the_age_band_narrows_the_candidates() {
+        let knowledge = BackgroundKnowledge::none().knows("Age", 35i64);
+        let risks = record_disclosure_risks(&release(), &knowledge);
+        // Two records cover age 35.
+        assert_eq!(risks[0], 0.5);
+        assert_eq!(risks[1], 0.5);
+        assert_eq!(risks[2], 0.0);
+        assert_eq!(risks[3], 0.0);
+        assert_eq!(records_at_risk(&release(), &knowledge, 0.5), vec![0, 1]);
+    }
+
+    #[test]
+    fn knowing_more_fields_can_single_out_a_record() {
+        let knowledge = BackgroundKnowledge::none()
+            .knows("Age", 25i64)
+            .knows("Height", 165i64);
+        let risks = record_disclosure_risks(&release(), &knowledge);
+        assert_eq!(risks[3], 1.0);
+        assert_eq!(risks.iter().filter(|r| **r > 0.0).count(), 1);
+        assert_eq!(records_at_risk(&release(), &knowledge, 0.9), vec![3]);
+        assert_eq!(knowledge.len(), 2);
+        assert!(!knowledge.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_knowledge_matches_nothing() {
+        let knowledge = BackgroundKnowledge::none().knows("Age", 70i64);
+        let risks = record_disclosure_risks(&release(), &knowledge);
+        assert!(risks.iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn knowledge_about_unreleased_fields_matches_nothing() {
+        let knowledge = BackgroundKnowledge::none().knows("ShoeSize", 42i64);
+        let risks = record_disclosure_risks(&release(), &knowledge);
+        assert!(risks.iter().all(|r| *r == 0.0));
+        assert!(knowledge.to_string().contains("1 fields"));
+        assert_eq!(knowledge.fields().count(), 1);
+    }
+
+    #[test]
+    fn exact_value_knowledge_matches_exact_columns() {
+        let knowledge = BackgroundKnowledge::none().knows("Weight", 100.0);
+        let risks = record_disclosure_risks(&release(), &knowledge);
+        assert_eq!(risks[0], 1.0);
+        assert_eq!(risks.iter().filter(|r| **r > 0.0).count(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! A hand-crafted finite-state-machine specification of the Medical Service.
+//!
+//! Fischer-Hübner & Ott (1998) and Kosa (2015) specify privacy state machines
+//! by hand. To quantify what the paper's automatic generation buys, this
+//! module contains such a hand-written machine for the Medical Service of
+//! Fig. 1, plus helpers to compare it with an automatically generated LTS
+//! (state/transition counts and missing behaviours).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A hand-written finite state machine: states are plain strings, transitions
+/// are (from, action, to) triples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HandcraftedFsm {
+    states: BTreeSet<String>,
+    initial: String,
+    transitions: Vec<(String, String, String)>,
+}
+
+impl HandcraftedFsm {
+    /// Creates an FSM with the given initial state.
+    pub fn new(initial: impl Into<String>) -> Self {
+        let initial = initial.into();
+        let mut states = BTreeSet::new();
+        states.insert(initial.clone());
+        HandcraftedFsm { states, initial, transitions: Vec::new() }
+    }
+
+    /// Adds a transition (registering both endpoint states).
+    pub fn transition(
+        mut self,
+        from: impl Into<String>,
+        action: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        let from = from.into();
+        let to = to.into();
+        self.states.insert(from.clone());
+        self.states.insert(to.clone());
+        self.transitions.push((from, action.into(), to));
+        self
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> &str {
+        &self.initial
+    }
+
+    /// The states.
+    pub fn states(&self) -> &BTreeSet<String> {
+        &self.states
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[(String, String, String)] {
+        &self.transitions
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The actions used by the machine.
+    pub fn actions(&self) -> BTreeSet<&str> {
+        self.transitions.iter().map(|(_, action, _)| action.as_str()).collect()
+    }
+}
+
+impl fmt::Display for HandcraftedFsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hand-crafted FSM: {} states, {} transitions",
+            self.state_count(),
+            self.transition_count()
+        )
+    }
+}
+
+/// The hand-written Medical Service machine in the style of the prior work:
+/// it tracks only the coarse progress of the service (booked → consulted →
+/// recorded → reviewed), not per-actor/per-field privacy variables — which is
+/// exactly the information the generated LTS adds.
+pub fn handcrafted_medical_service_fsm() -> HandcraftedFsm {
+    HandcraftedFsm::new("initial")
+        .transition("initial", "collect(Receptionist, booking details)", "booked")
+        .transition("booked", "create(Receptionist, appointment)", "appointment stored")
+        .transition("appointment stored", "read(Doctor, appointment)", "consultation")
+        .transition("consultation", "collect(Doctor, medical issues)", "examined")
+        .transition("examined", "create(Doctor, diagnosis)", "record stored")
+        .transition("record stored", "read(Nurse, treatment)", "treatment administered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handcrafted_machine_covers_the_medical_service_steps() {
+        let fsm = handcrafted_medical_service_fsm();
+        assert_eq!(fsm.state_count(), 7);
+        assert_eq!(fsm.transition_count(), 6);
+        assert_eq!(fsm.initial(), "initial");
+        assert!(fsm.states().contains("record stored"));
+        let actions = fsm.actions();
+        assert!(actions.iter().any(|a| a.starts_with("collect")));
+        assert!(actions.iter().any(|a| a.starts_with("create")));
+        assert!(actions.iter().any(|a| a.starts_with("read")));
+        assert!(fsm.to_string().contains("7 states"));
+    }
+
+    #[test]
+    fn transitions_register_their_states() {
+        let fsm = HandcraftedFsm::new("a").transition("a", "go", "b").transition("b", "go", "c");
+        assert_eq!(fsm.state_count(), 3);
+        assert_eq!(fsm.transitions().len(), 2);
+        assert_eq!(fsm.transitions()[0].1, "go");
+    }
+
+    #[test]
+    fn handcrafted_machine_lacks_per_actor_privacy_variables() {
+        // The point of the comparison: the hand-written states carry no
+        // has/could information, so questions like "can the administrator
+        // identify the diagnosis?" cannot even be phrased against it.
+        let fsm = handcrafted_medical_service_fsm();
+        assert!(fsm.states().iter().all(|s| !s.contains("Administrator")));
+        assert!(fsm.states().iter().all(|s| !s.contains("has(")));
+    }
+}

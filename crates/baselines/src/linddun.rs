@@ -1,0 +1,313 @@
+//! A LINDDUN-style privacy-threat-catalogue pass over the data-flow model.
+//!
+//! LINDDUN (Deng et al., 2011) elicits privacy threats by walking a data-flow
+//! diagram and, for every element, consulting a catalogue of threat types:
+//! Linkability, Identifiability, Non-repudiation, Detectability, Disclosure
+//! of information, Unawareness and Non-compliance. Unlike the paper's
+//! approach it does not generate a formal model or quantify risk — it lists
+//! candidate threats for a human analyst. This module implements that
+//! catalogue pass so benchmarks can compare the two methods' outputs on the
+//! same system model.
+
+use privacy_dataflow::{FlowKind, SystemDataFlows};
+use privacy_model::{Catalog, FieldKind, ServiceId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The LINDDUN threat categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ThreatCategory {
+    /// Linking two items of interest to the same data subject.
+    Linkability,
+    /// Identifying the data subject behind an item of interest.
+    Identifiability,
+    /// Being unable to deny having performed an action.
+    NonRepudiation,
+    /// Detecting that an item of interest about a subject exists.
+    Detectability,
+    /// Disclosure of personal information to unauthorised parties.
+    InformationDisclosure,
+    /// The data subject is unaware of collection or processing.
+    Unawareness,
+    /// Processing that does not comply with declared policy or regulation.
+    NonCompliance,
+}
+
+impl fmt::Display for ThreatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ThreatCategory::Linkability => "linkability",
+            ThreatCategory::Identifiability => "identifiability",
+            ThreatCategory::NonRepudiation => "non-repudiation",
+            ThreatCategory::Detectability => "detectability",
+            ThreatCategory::InformationDisclosure => "information disclosure",
+            ThreatCategory::Unawareness => "unawareness",
+            ThreatCategory::NonCompliance => "non-compliance",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One elicited threat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Threat {
+    category: ThreatCategory,
+    service: ServiceId,
+    element: String,
+    description: String,
+}
+
+impl Threat {
+    /// The threat category.
+    pub fn category(&self) -> ThreatCategory {
+        self.category
+    }
+
+    /// The service whose diagram the threat was elicited from.
+    pub fn service(&self) -> &ServiceId {
+        &self.service
+    }
+
+    /// The DFD element the threat concerns (rendered as text).
+    pub fn element(&self) -> &str {
+        &self.element
+    }
+
+    /// A description of the threat.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Display for Threat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} / {}: {}", self.category, self.service, self.element, self.description)
+    }
+}
+
+/// Walks every data-flow diagram and elicits catalogue threats:
+///
+/// * every flow carrying an identifier field → identifiability +
+///   linkability threats;
+/// * every flow carrying a sensitive field → information-disclosure threat;
+/// * every datastore that is written to → detectability threat (its mere
+///   existence reveals the subject has a record) and linkability threat when
+///   it stores identifier fields;
+/// * every `collect` flow without a declared purpose → unawareness and
+///   non-compliance threats;
+/// * every `read` flow from a non-anonymised store → information-disclosure
+///   threat.
+pub fn threat_catalogue_pass(catalog: &Catalog, system: &SystemDataFlows) -> Vec<Threat> {
+    let mut threats = Vec::new();
+    let anonymised: BTreeSet<_> = catalog
+        .datastores()
+        .filter(|d| d.is_anonymised())
+        .map(|d| d.id().clone())
+        .collect();
+
+    for diagram in system.diagrams() {
+        let service = diagram.service().clone();
+        for flow in diagram.iter() {
+            let element = format!("{} -> {}", flow.from(), flow.to());
+            let kinds: Vec<FieldKind> = flow
+                .fields()
+                .iter()
+                .filter_map(|f| catalog.field(f).map(|d| d.kind()))
+                .collect();
+
+            if kinds.contains(&FieldKind::Identifier) {
+                threats.push(Threat {
+                    category: ThreatCategory::Identifiability,
+                    service: service.clone(),
+                    element: element.clone(),
+                    description: "flow carries a direct identifier".to_owned(),
+                });
+                threats.push(Threat {
+                    category: ThreatCategory::Linkability,
+                    service: service.clone(),
+                    element: element.clone(),
+                    description: "identifier enables linking items of interest".to_owned(),
+                });
+            }
+            if kinds.contains(&FieldKind::Sensitive) {
+                threats.push(Threat {
+                    category: ThreatCategory::InformationDisclosure,
+                    service: service.clone(),
+                    element: element.clone(),
+                    description: "flow carries sensitive personal data".to_owned(),
+                });
+            }
+            match flow.kind(&anonymised) {
+                FlowKind::Collect if flow.purpose().is_unspecified() => {
+                    threats.push(Threat {
+                        category: ThreatCategory::Unawareness,
+                        service: service.clone(),
+                        element: element.clone(),
+                        description: "collection without a declared purpose".to_owned(),
+                    });
+                    threats.push(Threat {
+                        category: ThreatCategory::NonCompliance,
+                        service: service.clone(),
+                        element: element.clone(),
+                        description: "purpose limitation cannot be demonstrated".to_owned(),
+                    });
+                }
+                FlowKind::Read => {
+                    if let Some(store) = flow.from().as_datastore() {
+                        if !anonymised.contains(store) {
+                            threats.push(Threat {
+                                category: ThreatCategory::InformationDisclosure,
+                                service: service.clone(),
+                                element: element.clone(),
+                                description: format!(
+                                    "read from non-anonymised datastore `{store}`"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for store in diagram.datastores() {
+            let element = format!("[{store}]");
+            threats.push(Threat {
+                category: ThreatCategory::Detectability,
+                service: service.clone(),
+                element: element.clone(),
+                description: "existence of a record reveals the subject uses the service"
+                    .to_owned(),
+            });
+            let stores_identifier = catalog
+                .datastore_schema(&store)
+                .map(|schema| {
+                    schema.fields().iter().any(|f| {
+                        catalog.field(f).map(|d| d.kind() == FieldKind::Identifier).unwrap_or(false)
+                    })
+                })
+                .unwrap_or(false);
+            if stores_identifier {
+                threats.push(Threat {
+                    category: ThreatCategory::Linkability,
+                    service: service.clone(),
+                    element,
+                    description: "datastore links identifiers with other personal data".to_owned(),
+                });
+            }
+        }
+    }
+    threats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_dataflow::DiagramBuilder;
+    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, Purpose};
+
+    fn fixture() -> (Catalog, SystemDataFlows) {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_actor(Actor::role("Researcher")).unwrap();
+        catalog.add_field(DataField::identifier("Name")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis_anon")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "EHRSchema",
+                [FieldId::new("Name"), FieldId::new("Diagnosis")],
+            ))
+            .unwrap();
+        catalog
+            .add_schema(DataSchema::new("AnonSchema", [FieldId::new("Diagnosis_anon")]))
+            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
+        catalog
+            .add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema"))
+            .unwrap();
+        catalog
+            .add_service(privacy_model::ServiceDecl::new(
+                "MedicalService",
+                [ActorId::new("Doctor")],
+            ))
+            .unwrap();
+
+        let medical = DiagramBuilder::new("MedicalService")
+            .collect("Doctor", ["Name", "Diagnosis"], "consultation", 1)
+            .unwrap()
+            .create("Doctor", "EHR", ["Name", "Diagnosis"], "record", 2)
+            .unwrap()
+            .read("Doctor", "EHR", ["Diagnosis"], "review", 3)
+            .unwrap()
+            .read("Researcher", "AnonEHR", ["Diagnosis_anon"], "research", 4)
+            .unwrap()
+            .build();
+        let system = SystemDataFlows::new().with_diagram(medical).unwrap();
+        (catalog, system)
+    }
+
+    #[test]
+    fn catalogue_pass_elicits_expected_threat_categories() {
+        let (catalog, system) = fixture();
+        let threats = threat_catalogue_pass(&catalog, &system);
+        assert!(!threats.is_empty());
+
+        let categories: BTreeSet<ThreatCategory> =
+            threats.iter().map(Threat::category).collect();
+        assert!(categories.contains(&ThreatCategory::Identifiability));
+        assert!(categories.contains(&ThreatCategory::Linkability));
+        assert!(categories.contains(&ThreatCategory::InformationDisclosure));
+        assert!(categories.contains(&ThreatCategory::Detectability));
+        // All purposes are declared, so no unawareness threats.
+        assert!(!categories.contains(&ThreatCategory::Unawareness));
+    }
+
+    #[test]
+    fn reads_from_anonymised_stores_are_not_disclosure_threats() {
+        let (catalog, system) = fixture();
+        let threats = threat_catalogue_pass(&catalog, &system);
+        assert!(!threats.iter().any(|t| {
+            t.category() == ThreatCategory::InformationDisclosure
+                && t.description().contains("AnonEHR")
+        }));
+        assert!(threats.iter().any(|t| {
+            t.category() == ThreatCategory::InformationDisclosure
+                && t.description().contains("`EHR`")
+        }));
+    }
+
+    #[test]
+    fn undeclared_purposes_raise_unawareness_threats() {
+        let (catalog, _) = fixture();
+        let diagram = privacy_dataflow::DataFlowDiagram::new(
+            "MedicalService",
+            [privacy_dataflow::Flow::new(
+                privacy_dataflow::Node::User,
+                privacy_dataflow::Node::actor("Doctor"),
+                [FieldId::new("Diagnosis")],
+                Purpose::UNSPECIFIED,
+                1,
+            )
+            .unwrap()],
+        );
+        let system = SystemDataFlows::new().with_diagram(diagram).unwrap();
+        let threats = threat_catalogue_pass(&catalog, &system);
+        let categories: Vec<ThreatCategory> = threats.iter().map(Threat::category).collect();
+        assert!(categories.contains(&ThreatCategory::Unawareness));
+        assert!(categories.contains(&ThreatCategory::NonCompliance));
+    }
+
+    #[test]
+    fn threat_accessors_and_display() {
+        let (catalog, system) = fixture();
+        let threats = threat_catalogue_pass(&catalog, &system);
+        let first = &threats[0];
+        assert_eq!(first.service().as_str(), "MedicalService");
+        assert!(!first.element().is_empty());
+        assert!(!first.description().is_empty());
+        assert!(first.to_string().contains("MedicalService"));
+        assert_eq!(ThreatCategory::NonRepudiation.to_string(), "non-repudiation");
+    }
+}

@@ -1,0 +1,229 @@
+//! ARX-style re-identification risk under the standard attacker models.
+//!
+//! The ARX anonymisation tool reports re-identification risk under three
+//! attacker models (Prasser & Kohlmayer, 2015):
+//!
+//! * **prosecutor** — the adversary knows their target is in the released
+//!   dataset; the risk of a record is `1 / |equivalence class|`;
+//! * **journalist** — the adversary only knows the target is in the wider
+//!   population; the risk of a record is `1 / |population class|` for the
+//!   class the record generalises to;
+//! * **marketer** — the adversary wants to re-identify as many records as
+//!   possible; the risk is the expected fraction of re-identified records,
+//!   `|classes| / |records|`.
+//!
+//! These complement the paper's *value* risk: re-identification risk ignores
+//! what an adversary learns about sensitive values, which is exactly the gap
+//! the paper's Table I illustrates.
+
+use privacy_anonymity::kanon::equivalence_classes;
+use privacy_model::{Dataset, FieldId};
+use std::fmt;
+
+/// Summary of re-identification risk for one release and attacker model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReidentificationRisk {
+    /// The attacker model name.
+    pub model: &'static str,
+    /// The highest per-record risk.
+    pub max_risk: f64,
+    /// The average per-record risk.
+    pub average_risk: f64,
+    /// The fraction of records whose risk is at least 0.5.
+    pub at_high_risk: f64,
+}
+
+impl fmt::Display for ReidentificationRisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} risk: max {:.3}, average {:.3}, {:.0}% of records at high risk",
+            self.model,
+            self.max_risk,
+            self.average_risk,
+            self.at_high_risk * 100.0
+        )
+    }
+}
+
+/// Prosecutor-model risk of a release.
+pub fn prosecutor_risk(release: &Dataset, quasi_identifiers: &[FieldId]) -> ReidentificationRisk {
+    let classes = equivalence_classes(release, quasi_identifiers);
+    let total = release.len();
+    if total == 0 {
+        return empty("prosecutor");
+    }
+    let mut per_record = Vec::with_capacity(total);
+    for class in &classes {
+        let risk = 1.0 / class.len() as f64;
+        per_record.extend(std::iter::repeat(risk).take(class.len()));
+    }
+    summarise("prosecutor", &per_record)
+}
+
+/// Journalist-model risk: each released record's risk is `1 / |population
+/// class|`, where the population class is computed over `population` using
+/// the same (generalised) quasi-identifier values.
+pub fn journalist_risk(
+    release: &Dataset,
+    population: &Dataset,
+    quasi_identifiers: &[FieldId],
+) -> ReidentificationRisk {
+    if release.is_empty() {
+        return empty("journalist");
+    }
+    let population_classes = equivalence_classes(population, quasi_identifiers);
+    let per_record: Vec<f64> = release
+        .iter()
+        .map(|record| {
+            let key = record.class_key(quasi_identifiers.iter());
+            population_classes
+                .iter()
+                .find(|class| class.key() == key)
+                .map(|class| 1.0 / class.len() as f64)
+                // A released record absent from the population table is
+                // unique as far as the adversary can tell.
+                .unwrap_or(1.0)
+        })
+        .collect();
+    summarise("journalist", &per_record)
+}
+
+/// Marketer-model risk: the expected fraction of records an adversary can
+/// re-identify, `|classes| / |records|`.
+pub fn marketer_risk(release: &Dataset, quasi_identifiers: &[FieldId]) -> ReidentificationRisk {
+    let total = release.len();
+    if total == 0 {
+        return empty("marketer");
+    }
+    let classes = equivalence_classes(release, quasi_identifiers);
+    let risk = classes.len() as f64 / total as f64;
+    ReidentificationRisk {
+        model: "marketer",
+        max_risk: risk,
+        average_risk: risk,
+        at_high_risk: if risk >= 0.5 { 1.0 } else { 0.0 },
+    }
+}
+
+fn summarise(model: &'static str, per_record: &[f64]) -> ReidentificationRisk {
+    let total = per_record.len() as f64;
+    ReidentificationRisk {
+        model,
+        max_risk: per_record.iter().copied().fold(0.0, f64::max),
+        average_risk: per_record.iter().sum::<f64>() / total,
+        at_high_risk: per_record.iter().filter(|r| **r >= 0.5).count() as f64 / total,
+    }
+}
+
+fn empty(model: &'static str) -> ReidentificationRisk {
+    ReidentificationRisk { model, max_risk: 0.0, average_risk: 0.0, at_high_risk: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{Record, Value};
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn release_2anon() -> Dataset {
+        // Three classes of size 2 (the Table I shape projected to one QI
+        // combination).
+        Dataset::from_records(
+            [age()],
+            [
+                Value::interval(30.0, 40.0),
+                Value::interval(30.0, 40.0),
+                Value::interval(20.0, 30.0),
+                Value::interval(20.0, 30.0),
+                Value::interval(10.0, 20.0),
+                Value::interval(10.0, 20.0),
+            ]
+            .into_iter()
+            .map(|band| Record::new().with("Age", band)),
+        )
+    }
+
+    #[test]
+    fn prosecutor_risk_is_inverse_class_size() {
+        let risk = prosecutor_risk(&release_2anon(), &[age()]);
+        assert_eq!(risk.max_risk, 0.5);
+        assert_eq!(risk.average_risk, 0.5);
+        assert_eq!(risk.at_high_risk, 1.0);
+        assert!(risk.to_string().contains("prosecutor"));
+    }
+
+    #[test]
+    fn unique_records_have_maximal_prosecutor_risk() {
+        let unique = Dataset::from_records(
+            [age()],
+            (0..4).map(|i| Record::new().with("Age", i as i64)),
+        );
+        let risk = prosecutor_risk(&unique, &[age()]);
+        assert_eq!(risk.max_risk, 1.0);
+        assert_eq!(risk.average_risk, 1.0);
+    }
+
+    #[test]
+    fn journalist_risk_uses_the_population_table() {
+        let release = release_2anon();
+        // Population has 4 members of each class: journalist risk 0.25.
+        let population = Dataset::from_records(
+            [age()],
+            [
+                (30.0, 40.0),
+                (30.0, 40.0),
+                (30.0, 40.0),
+                (30.0, 40.0),
+                (20.0, 30.0),
+                (20.0, 30.0),
+                (20.0, 30.0),
+                (20.0, 30.0),
+                (10.0, 20.0),
+                (10.0, 20.0),
+                (10.0, 20.0),
+                (10.0, 20.0),
+            ]
+            .into_iter()
+            .map(|(lo, hi)| Record::new().with("Age", Value::interval(lo, hi))),
+        );
+        let risk = journalist_risk(&release, &population, &[age()]);
+        assert_eq!(risk.max_risk, 0.25);
+        assert_eq!(risk.at_high_risk, 0.0);
+        // Journalist risk is never higher than prosecutor risk for the same
+        // release when the population contains the sample.
+        assert!(risk.max_risk <= prosecutor_risk(&release, &[age()]).max_risk);
+    }
+
+    #[test]
+    fn journalist_risk_defaults_to_one_for_unknown_classes() {
+        let release = release_2anon();
+        let empty_population = Dataset::new([age()]);
+        let risk = journalist_risk(&release, &empty_population, &[age()]);
+        assert_eq!(risk.max_risk, 1.0);
+    }
+
+    #[test]
+    fn marketer_risk_is_classes_over_records() {
+        let risk = marketer_risk(&release_2anon(), &[age()]);
+        assert_eq!(risk.average_risk, 0.5);
+        assert_eq!(risk.at_high_risk, 1.0);
+
+        let unique = Dataset::from_records(
+            [age()],
+            (0..4).map(|i| Record::new().with("Age", i as i64)),
+        );
+        assert_eq!(marketer_risk(&unique, &[age()]).average_risk, 1.0);
+    }
+
+    #[test]
+    fn empty_releases_have_zero_risk() {
+        let empty = Dataset::new([age()]);
+        assert_eq!(prosecutor_risk(&empty, &[age()]).max_risk, 0.0);
+        assert_eq!(marketer_risk(&empty, &[age()]).max_risk, 0.0);
+        assert_eq!(journalist_risk(&empty, &empty, &[age()]).max_risk, 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Case Study A — the unwanted-disclosure analysis before and after the
+//! access-policy change, plus its scaling with the number of analysed users.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privacy_access::{Permission, PolicyDelta};
+use privacy_core::{casestudy, Pipeline};
+use privacy_synth::{random_profiles, ProfileGeneratorConfig};
+use std::hint::black_box;
+
+fn bench_case_a(c: &mut Criterion) {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let revised = system.with_policy(system.policy().with_applied(
+        &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
+    ));
+    let user = casestudy::case_a_user();
+    let mut group = c.benchmark_group("case_a_disclosure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("analyse_original_policy", |b| {
+        let pipeline = Pipeline::new(&system);
+        b.iter(|| black_box(pipeline.analyse_user(&user).expect("analyses")))
+    });
+
+    group.bench_function("analyse_revised_policy", |b| {
+        let pipeline = Pipeline::new(&revised);
+        b.iter(|| black_box(pipeline.analyse_user(&user).expect("analyses")))
+    });
+
+    // Per-user instances: the paper notes the analysis runs per user, so the
+    // cost grows linearly with the user population.
+    for count in [10usize, 50, 200] {
+        let users = random_profiles(&ProfileGeneratorConfig {
+            count,
+            services: vec![casestudy::medical_service(), casestudy::research_service()],
+            fields: vec![casestudy::fields::diagnosis(), casestudy::fields::treatment()],
+            ..ProfileGeneratorConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("analyse_population", count), &users, |b, users| {
+            let pipeline = Pipeline::new(&system);
+            b.iter(|| {
+                let mut worst = privacy_model::RiskLevel::Low;
+                for user in users {
+                    let outcome = pipeline.analyse_user(user).expect("analyses");
+                    worst = worst.max(outcome.report.overall_level());
+                }
+                black_box(worst)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_a);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Extension benchmarks (not tied to a paper table/figure): the `.psm`
+//! interchange front end, privacy-policy compliance checking and the
+//! additional anonymisation risk metrics (re-identification risk and
+//! t-closeness), measured on the healthcare case study and on synthetic
+//! populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privacy_anonymity::t_closeness_of;
+use privacy_compliance::{baseline_policy, check_lts, PrivacyPolicy};
+use privacy_core::casestudy;
+use privacy_interchange::{parse_document, render_system};
+use privacy_model::{FieldId, Purpose};
+use privacy_risk::{reident_risk, ReidentPolicy};
+use privacy_synth::{random_health_records, RecordGeneratorConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_interchange(c: &mut Criterion) {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let source = render_system("Healthcare", &system);
+
+    let mut group = c.benchmark_group("extensions_interchange");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("render_healthcare_psm", |b| {
+        b.iter(|| black_box(render_system("Healthcare", &system)))
+    });
+    group.bench_function("parse_healthcare_psm", |b| {
+        b.iter(|| black_box(parse_document(&source).expect("parses")))
+    });
+    group.finish();
+}
+
+fn bench_compliance(c: &mut Criterion) {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let lts = system.generate_lts().expect("generates");
+    let mut policy: PrivacyPolicy = baseline_policy(
+        system.catalog(),
+        [Purpose::new("record diagnosis and treatment").unwrap()],
+        4,
+    );
+    policy.extend(
+        baseline_policy(system.catalog(), [], 3)
+            .iter()
+            .cloned()
+            .map(|s| privacy_compliance::Statement::new(format!("dup-{}", s.id()), s.description(), s.kind().clone())),
+    );
+
+    let mut group = c.benchmark_group("extensions_compliance");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("check_lts_baseline_policy", |b| {
+        b.iter(|| black_box(check_lts(&lts, &policy)))
+    });
+    group.finish();
+}
+
+fn bench_reident_and_tcloseness(c: &mut Criterion) {
+    let age = FieldId::new("Age");
+    let height = FieldId::new("Height");
+    let weight = FieldId::new("Weight");
+
+    let mut group = c.benchmark_group("extensions_anonymity_metrics");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    for records in [100usize, 1000] {
+        let data = random_health_records(
+            &RecordGeneratorConfig::with_count(records).with_seed(7),
+        );
+        let visible_sets =
+            vec![vec![], vec![height.clone()], vec![age.clone(), height.clone()]];
+        group.bench_with_input(
+            BenchmarkId::new("reident_risk", records),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    black_box(reident_risk(data, &visible_sets, &ReidentPolicy::majority()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("t_closeness", records),
+            &data,
+            |b, data| {
+                b.iter(|| black_box(t_closeness_of(data, &[age.clone(), height.clone()], &weight)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interchange,
+    bench_compliance,
+    bench_reident_and_tcloseness
+);
+criterion_main!(benches);

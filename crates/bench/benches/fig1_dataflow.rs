@@ -1,0 +1,34 @@
+//! Fig. 1 — constructing and validating the healthcare data-flow model.
+//!
+//! Measures how long the design artefacts (catalog, diagrams, policy) take to
+//! build, validate and export, i.e. the developer-facing step of the method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privacy_core::casestudy;
+use privacy_dataflow::dot::system_to_dot;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_dataflow");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("build_healthcare_model", |b| {
+        b.iter(|| black_box(casestudy::healthcare().expect("fixture builds")))
+    });
+
+    let system = casestudy::healthcare().expect("fixture builds");
+    group.bench_function("validate_healthcare_model", |b| {
+        b.iter(|| black_box(system.validate().expect("validates")))
+    });
+
+    group.bench_function("export_dot", |b| {
+        b.iter(|| black_box(system_to_dot(system.dataflows())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 2 — the state-based model of user privacy.
+//!
+//! Measures the cost of the state representation itself: building variable
+//! spaces, flipping state variables and rendering the Fig. 2 table, at the
+//! paper's 60-variable scale and beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privacy_lts::{PrivacyState, VarSpace};
+use privacy_model::{ActorId, FieldId};
+use std::hint::black_box;
+
+fn space(actors: usize, fields: usize) -> VarSpace {
+    VarSpace::new(
+        (0..actors).map(|i| ActorId::new(format!("a{i}"))),
+        (0..fields).map(|i| FieldId::new(format!("f{i}"))),
+    )
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_state_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // The paper's scale: 5 actors x 6 fields = 60 Boolean variables.
+    for (actors, fields) in [(5usize, 6usize), (10, 20), (20, 50)] {
+        let variables = 2 * actors * fields;
+        let space = space(actors, fields);
+        group.bench_with_input(
+            BenchmarkId::new("set_all_variables", variables),
+            &space,
+            |b, space| {
+                b.iter(|| {
+                    let mut state = PrivacyState::absolute(space);
+                    for (actor, field) in
+                        space.pairs().map(|(a, f)| (a.clone(), f.clone())).collect::<Vec<_>>()
+                    {
+                        state.set_has(space, &actor, &field, true);
+                        state.set_could(space, &actor, &field, true);
+                    }
+                    black_box(state.count_true())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("render_fig2_table", variables),
+            &space,
+            |b, space| {
+                let state = PrivacyState::absolute(space);
+                b.iter(|| black_box(state.table(space)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 3 — automatic generation of the LTS for the Medical Service process
+//! (and for the whole two-service system).
+//!
+//! The headline claim of Section II-B is that the data-flow model keeps the
+//! generated LTS tiny compared with the `2^60` theoretical state space; the
+//! benchmark measures generation time for the medical service alone, the full
+//! interleaved system and the potential-read variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privacy_core::casestudy;
+use privacy_lts::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let mut group = c.benchmark_group("fig3_lts_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("medical_service_only", |b| {
+        let config = GeneratorConfig::for_service("MedicalService");
+        b.iter(|| black_box(system.generate_lts_with(&config).expect("generates")))
+    });
+
+    group.bench_function("both_services_interleaved", |b| {
+        let config = GeneratorConfig::default();
+        b.iter(|| black_box(system.generate_lts_with(&config).expect("generates")))
+    });
+
+    group.bench_function("both_services_sequential", |b| {
+        let config = GeneratorConfig { interleave_services: false, ..GeneratorConfig::default() };
+        b.iter(|| black_box(system.generate_lts_with(&config).expect("generates")))
+    });
+
+    group.bench_function("with_potential_reads", |b| {
+        let config = GeneratorConfig::default().with_potential_reads();
+        b.iter(|| black_box(system.generate_lts_with(&config).expect("generates")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 4 — annotating the LTS with pseudonymisation risk-transitions.
+//!
+//! Measures the full Case Study B pipeline: generate the LTS, run the
+//! unwanted-disclosure analysis and inject the researcher's risk-transitions
+//! with their violation scores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privacy_anonymity::ValueRiskPolicy;
+use privacy_core::{casestudy, Pipeline};
+use privacy_synth::table1_release;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let user = casestudy::case_a_user();
+    let release = table1_release();
+    let visible_sets = casestudy::table1_visible_sets();
+    let mut group = c.benchmark_group("fig4_pseudonym_lts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("full_case_study_b_pipeline", |b| {
+        b.iter(|| {
+            let outcome = Pipeline::new(&system)
+                .analyse_user_and_release(
+                    &user,
+                    &casestudy::case_b_adversary(),
+                    &release,
+                    ValueRiskPolicy::weight_within_5kg_at_90_percent(),
+                    &visible_sets,
+                    Some(0.5),
+                )
+                .expect("pipeline runs");
+            black_box(outcome.lts.stats().risk_transitions)
+        })
+    });
+
+    group.bench_function("violation_series_only", |b| {
+        b.iter(|| {
+            let outcome = Pipeline::new(&system)
+                .analyse_user_and_release(
+                    &user,
+                    &casestudy::case_b_adversary(),
+                    &release,
+                    ValueRiskPolicy::weight_within_5kg_at_90_percent(),
+                    &visible_sets,
+                    None,
+                )
+                .expect("pipeline runs");
+            black_box(outcome.report.pseudonym().expect("ran").violation_series())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

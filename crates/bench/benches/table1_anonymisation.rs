@@ -1,0 +1,76 @@
+//! Table I — 2-anonymisation and the per-record value-risk computation.
+//!
+//! Measures the k-anonymiser on the paper's six records and on larger
+//! synthetic populations, and the value-risk scoring for each of Table I's
+//! quasi-identifier combinations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privacy_anonymity::{value_risk, Hierarchy, KAnonymizer, ValueRiskPolicy};
+use privacy_model::FieldId;
+use privacy_synth::{random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let age = FieldId::new("Age");
+    let height = FieldId::new("Height");
+    let mut group = c.benchmark_group("table1_anonymisation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("two_anonymise_paper_records", |b| {
+        let raw = table1_raw_records();
+        let anonymiser = KAnonymizer::new(2)
+            .with_hierarchy(age.clone(), Hierarchy::numeric([10.0, 20.0, 40.0]))
+            .with_hierarchy(height.clone(), Hierarchy::numeric([20.0, 40.0]));
+        b.iter(|| {
+            black_box(
+                anonymiser
+                    .anonymise(&raw, &[age.clone(), height.clone()])
+                    .expect("anonymises"),
+            )
+        })
+    });
+
+    let release = table1_release();
+    let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+    for (label, visible) in [
+        ("height_only", vec![height.clone()]),
+        ("age_only", vec![age.clone()]),
+        ("age_and_height", vec![age.clone(), height.clone()]),
+    ] {
+        group.bench_function(format!("value_risk_{label}"), |b| {
+            b.iter(|| black_box(value_risk(&release, &visible, &policy).expect("scores")))
+        });
+    }
+
+    // Scaling: anonymise and score growing synthetic populations.
+    for count in [100usize, 1_000, 5_000] {
+        let data = random_health_records(&RecordGeneratorConfig::with_count(count));
+        let anonymiser = KAnonymizer::new(2)
+            .with_hierarchy(age.clone(), Hierarchy::numeric([10.0, 20.0, 40.0]))
+            .with_hierarchy(height.clone(), Hierarchy::numeric([20.0, 40.0]));
+        group.bench_with_input(
+            BenchmarkId::new("anonymise_and_score", count),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let result = anonymiser
+                        .anonymise(data, &[age.clone(), height.clone()])
+                        .expect("anonymises");
+                    let report = value_risk(
+                        result.data(),
+                        &[age.clone(), height.clone()],
+                        &policy,
+                    )
+                    .expect("scores");
+                    black_box(report.violation_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! # privacy-bench
+//!
+//! Benchmark harness for the reproduction: one Criterion bench per table and
+//! figure of the paper's evaluation (Section IV), plus scaling/ablation
+//! benches, plus the `experiments` binary that regenerates every table and
+//! figure as text (the rows recorded in `EXPERIMENTS.md`).
+//!
+//! Shared fixtures live here so the benches and the binary use identical
+//! workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use privacy_access::{AccessControlList, AccessPolicy, Grant};
+use privacy_core::PrivacySystem;
+use privacy_dataflow::DiagramBuilder;
+use privacy_model::{
+    Actor, ActorId, Catalog, DataField, DataSchema, DatastoreDecl, FieldId, ModelError,
+    ServiceDecl,
+};
+
+/// Builds a synthetic system with `actors` actors, `fields` fields and one
+/// service whose diagram collects, stores and reads every field — used by the
+/// scaling / ablation benches to measure how LTS generation and risk analysis
+/// grow with model size.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] only if the synthetic construction itself is
+/// inconsistent (a bug in the generator).
+pub fn scaled_system(actors: usize, fields: usize) -> Result<PrivacySystem, ModelError> {
+    let actor_ids: Vec<ActorId> = (0..actors).map(|i| ActorId::new(format!("actor-{i}"))).collect();
+    let field_ids: Vec<FieldId> = (0..fields).map(|i| FieldId::new(format!("field-{i}"))).collect();
+
+    let mut catalog = Catalog::new();
+    for actor in &actor_ids {
+        catalog.add_actor(Actor::role(actor.clone()))?;
+    }
+    for field in &field_ids {
+        catalog.add_field(DataField::sensitive(field.clone()))?;
+    }
+    catalog.add_schema(DataSchema::new("Schema", field_ids.clone()))?;
+    catalog.add_datastore(DatastoreDecl::new("Store", "Schema"))?;
+    catalog.add_service(ServiceDecl::new("Service", actor_ids.clone()))?;
+
+    let mut acl = AccessControlList::new();
+    for actor in &actor_ids {
+        acl.grant(Grant::read_write_all(actor.clone(), "Store"));
+    }
+    let policy = AccessPolicy::from_parts(acl, Default::default());
+
+    let collector = actor_ids[0].clone();
+    let mut builder = DiagramBuilder::new("Service")
+        .collect(collector.clone(), field_ids.clone(), "intake", 1)?
+        .create(collector.clone(), "Store", field_ids.clone(), "persist", 2)?;
+    let mut order = 3;
+    for actor in actor_ids.iter().skip(1) {
+        builder = builder.read(actor.clone(), "Store", field_ids.clone(), "process", order)?;
+        order += 1;
+    }
+
+    let mut system_builder = PrivacySystem::builder();
+    *system_builder.catalog_mut() = catalog;
+    *system_builder.policy_mut() = policy;
+    system_builder.add_diagram(builder.build())?;
+    system_builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_systems_are_valid_and_scale_in_the_expected_dimensions() {
+        let small = scaled_system(2, 2).unwrap();
+        assert!(small.validate().unwrap().is_ok());
+        assert_eq!(small.catalog().state_variable_count(), 8);
+
+        let larger = scaled_system(5, 6).unwrap();
+        assert_eq!(larger.catalog().state_variable_count(), 60);
+        assert_eq!(larger.dataflows().flow_count(), 2 + 4);
+
+        let lts_small = small.generate_lts().unwrap();
+        let lts_larger = larger.generate_lts().unwrap();
+        assert!(lts_larger.transition_count() > lts_small.transition_count());
+    }
+}

@@ -1,0 +1,380 @@
+//! Checking a privacy policy against the generated LTS privacy model.
+//!
+//! Every transition in the LTS represents a possible action on personal
+//! data, so design-time compliance amounts to scanning the transition
+//! relation (and, for exposure bounds, the reachable states) for behaviour
+//! the policy rules out.
+
+use crate::policy::PrivacyPolicy;
+use crate::report::{ComplianceReport, StatementOutcome, Violation};
+use crate::statement::{Statement, StatementKind};
+use privacy_lts::{ActionKind, Lts, LtsQuery};
+use privacy_model::FieldId;
+use std::collections::BTreeSet;
+
+/// Checks every statement of `policy` against the transitions and states of
+/// `lts`.
+///
+/// [`StatementKind::ServiceLimit`] statements are reported as *skipped*: LTS
+/// transitions carry an action, actor, field set and purpose, but not the
+/// executing service, so the statement can only be checked against runtime
+/// event logs ([`crate::runtime_check::check_log`]).
+///
+/// # Examples
+///
+/// ```
+/// use privacy_compliance::{check_lts, FieldMatcher, PrivacyPolicy, Statement};
+/// use privacy_core::casestudy;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = casestudy::healthcare()?;
+/// let lts = system.generate_lts()?;
+/// let policy = PrivacyPolicy::new("erasure only")
+///     .with_statement(Statement::require_erasure("E1", "erasable", FieldMatcher::Any));
+/// let report = check_lts(&lts, &policy);
+/// // The healthcare flows never delete anything, so erasure fails.
+/// assert!(!report.is_compliant());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_lts(lts: &Lts, policy: &PrivacyPolicy) -> ComplianceReport {
+    let outcomes = policy
+        .iter()
+        .map(|statement| check_statement(lts, statement))
+        .collect();
+    ComplianceReport::new(
+        format!("LTS ({} states, {} transitions)", lts.state_count(), lts.transition_count()),
+        outcomes,
+    )
+}
+
+fn check_statement(lts: &Lts, statement: &Statement) -> StatementOutcome {
+    let violations = match statement.kind() {
+        StatementKind::Forbid { actors, action, fields } => {
+            let mut violations = Vec::new();
+            for (id, transition) in lts.transitions() {
+                let label = transition.label();
+                let action_matches = action.map_or(true, |a| a == label.action());
+                if action_matches
+                    && actors.matches(label.actor())
+                    && fields.matches_any(label.fields())
+                {
+                    violations.push(Violation::new(
+                        statement.id(),
+                        format!("transition #{}", id.0),
+                        format!(
+                            "{:?} on {{{}}} by `{}` is forbidden by the policy",
+                            label.action(),
+                            join_fields(label.fields()),
+                            label.actor()
+                        ),
+                    ));
+                }
+            }
+            violations
+        }
+        StatementKind::PurposeLimit { fields, allowed } => {
+            let mut violations = Vec::new();
+            for (id, transition) in lts.transitions() {
+                let label = transition.label();
+                if !fields.matches_any(label.fields()) {
+                    continue;
+                }
+                match label.purpose() {
+                    Some(purpose) if allowed.contains(purpose) => {}
+                    Some(purpose) => violations.push(Violation::new(
+                        statement.id(),
+                        format!("transition #{}", id.0),
+                        format!(
+                            "purpose `{purpose}` is not among the declared purposes for {{{}}}",
+                            join_fields(label.fields())
+                        ),
+                    )),
+                    None => violations.push(Violation::new(
+                        statement.id(),
+                        format!("transition #{}", id.0),
+                        "the transition states no purpose for purpose-limited fields".to_string(),
+                    )),
+                }
+            }
+            violations
+        }
+        StatementKind::ServiceLimit { .. } => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "LTS transitions carry no service information; check the event log instead"
+                    .into(),
+            };
+        }
+        StatementKind::RequireErasure { fields } => {
+            let processed: BTreeSet<&FieldId> = lts
+                .transitions()
+                .flat_map(|(_, t)| t.label().fields().iter())
+                .filter(|f| fields.matches(f))
+                .collect();
+            let mut violations = Vec::new();
+            for field in processed {
+                let erasable = lts.transitions().any(|(_, t)| {
+                    t.label().action() == ActionKind::Delete && t.label().involves_field(field)
+                });
+                if !erasable {
+                    violations.push(Violation::new(
+                        statement.id(),
+                        format!("field `{field}`"),
+                        "the model contains no delete action covering this field",
+                    ));
+                }
+            }
+            violations
+        }
+        StatementKind::MaxExposure { field, max_actors } => {
+            let query = LtsQuery::new(lts);
+            let exposed: Vec<&privacy_model::ActorId> = lts
+                .space()
+                .actors()
+                .iter()
+                .filter(|actor| query.can_actor_identify(actor, field))
+                .collect();
+            if exposed.len() > *max_actors {
+                vec![Violation::new(
+                    statement.id(),
+                    format!("field `{field}`"),
+                    format!(
+                        "{} actors can identify the field (limit {}): {}",
+                        exposed.len(),
+                        max_actors,
+                        exposed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        // Future statement kinds default to skipped rather than silently passing.
+        #[allow(unreachable_patterns)]
+        _ => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "statement kind is not supported by the LTS checker".into(),
+            };
+        }
+    };
+    StatementOutcome::Checked { statement: statement.clone(), violations }
+}
+
+fn join_fields(fields: &BTreeSet<FieldId>) -> String {
+    fields.iter().map(|f| f.as_str()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::{ActorMatcher, FieldMatcher};
+    use privacy_lts::{PrivacyState, TransitionLabel, VarSpace};
+    use privacy_model::{ActorId, Purpose};
+
+    /// A tiny hand-built LTS: the Doctor collects and stores Diagnosis, the
+    /// Administrator reads it, nothing is ever deleted.
+    fn tiny_lts() -> Lts {
+        let space = VarSpace::new(
+            [ActorId::new("Doctor"), ActorId::new("Administrator")],
+            [FieldId::new("Name"), FieldId::new("Diagnosis")],
+        );
+        let mut lts = Lts::new(space.clone());
+        let s0 = lts.initial();
+        let s1 = lts.intern(
+            PrivacyState::absolute(&space).with_has(
+                &space,
+                &ActorId::new("Doctor"),
+                &FieldId::new("Diagnosis"),
+            ),
+        );
+        let s2 = lts.intern(lts.state(s1).with_has(
+            &space,
+            &ActorId::new("Administrator"),
+            &FieldId::new("Diagnosis"),
+        ));
+        lts.add_transition(
+            s0,
+            s1,
+            TransitionLabel::new(
+                ActionKind::Collect,
+                "Doctor",
+                [FieldId::new("Diagnosis")],
+                None,
+            )
+            .with_purpose(Purpose::new("consultation").unwrap()),
+        );
+        lts.add_transition(
+            s1,
+            s2,
+            TransitionLabel::new(
+                ActionKind::Read,
+                "Administrator",
+                [FieldId::new("Diagnosis")],
+                None,
+            )
+            .with_purpose(Purpose::new("maintenance").unwrap()),
+        );
+        lts
+    }
+
+    #[test]
+    fn forbid_flags_matching_transitions() {
+        let lts = tiny_lts();
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::forbid(
+            "F1",
+            "administrator must not read diagnosis",
+            ActorMatcher::only([ActorId::new("Administrator")]),
+            Some(ActionKind::Read),
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        let report = check_lts(&lts, &policy);
+        assert_eq!(report.violation_count(), 1);
+        let violation = report.violations().next().unwrap();
+        assert!(violation.subject().contains("transition #1"));
+        assert!(violation.detail().contains("Administrator"));
+    }
+
+    #[test]
+    fn forbid_with_unmatched_actor_passes() {
+        let lts = tiny_lts();
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::forbid(
+            "F2",
+            "researcher must not read",
+            ActorMatcher::only([ActorId::new("Researcher")]),
+            None,
+            FieldMatcher::Any,
+        ));
+        assert!(check_lts(&lts, &policy).is_compliant());
+    }
+
+    #[test]
+    fn purpose_limit_accepts_declared_purposes_and_rejects_others() {
+        let lts = tiny_lts();
+        let ok = PrivacyPolicy::new("p").with_statement(Statement::purpose_limit(
+            "P1",
+            "diagnosis only for consultation and maintenance",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [Purpose::new("consultation").unwrap(), Purpose::new("maintenance").unwrap()],
+        ));
+        assert!(check_lts(&lts, &ok).is_compliant());
+
+        let narrow = PrivacyPolicy::new("p").with_statement(Statement::purpose_limit(
+            "P2",
+            "diagnosis only for consultation",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [Purpose::new("consultation").unwrap()],
+        ));
+        let report = check_lts(&lts, &narrow);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().detail().contains("maintenance"));
+    }
+
+    #[test]
+    fn purpose_limit_flags_missing_purposes() {
+        let space = VarSpace::new([ActorId::new("Doctor")], [FieldId::new("Diagnosis")]);
+        let mut lts = Lts::new(space);
+        let s0 = lts.initial();
+        lts.add_transition(
+            s0,
+            s0,
+            TransitionLabel::new(ActionKind::Read, "Doctor", [FieldId::new("Diagnosis")], None),
+        );
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::purpose_limit(
+            "P3",
+            "must state a purpose",
+            FieldMatcher::Any,
+            [Purpose::new("treatment").unwrap()],
+        ));
+        let report = check_lts(&lts, &policy);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().detail().contains("no purpose"));
+    }
+
+    #[test]
+    fn require_erasure_fails_without_delete_transitions() {
+        let lts = tiny_lts();
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E1",
+            "diagnosis must be erasable",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        let report = check_lts(&lts, &policy);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().subject().contains("Diagnosis"));
+    }
+
+    #[test]
+    fn require_erasure_passes_when_a_delete_action_exists() {
+        let mut lts = tiny_lts();
+        let s0 = lts.initial();
+        lts.add_transition(
+            s0,
+            s0,
+            TransitionLabel::new(ActionKind::Delete, "Doctor", [FieldId::new("Diagnosis")], None),
+        );
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E1",
+            "diagnosis must be erasable",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        assert!(check_lts(&lts, &policy).is_compliant());
+    }
+
+    #[test]
+    fn require_erasure_ignores_fields_never_processed() {
+        let lts = tiny_lts();
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E2",
+            "weight must be erasable",
+            FieldMatcher::only([FieldId::new("Weight")]),
+        ));
+        // Weight never appears in the LTS, so there is nothing to erase.
+        assert!(check_lts(&lts, &policy).is_compliant());
+    }
+
+    #[test]
+    fn max_exposure_counts_identifying_actors() {
+        let lts = tiny_lts();
+        let strict = PrivacyPolicy::new("p").with_statement(Statement::max_exposure(
+            "M1",
+            "only one actor may identify diagnosis",
+            FieldId::new("Diagnosis"),
+            1,
+        ));
+        let report = check_lts(&lts, &strict);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().detail().contains("2 actors"));
+
+        let relaxed = PrivacyPolicy::new("p").with_statement(Statement::max_exposure(
+            "M2",
+            "two actors may identify diagnosis",
+            FieldId::new("Diagnosis"),
+            2,
+        ));
+        assert!(check_lts(&lts, &relaxed).is_compliant());
+    }
+
+    #[test]
+    fn service_limit_is_skipped_on_the_lts() {
+        let lts = tiny_lts();
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::service_limit(
+            "S1",
+            "diagnosis stays in the medical service",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [privacy_model::ServiceId::new("MedicalService")],
+        ));
+        let report = check_lts(&lts, &policy);
+        assert!(report.is_compliant());
+        assert_eq!(report.skipped().count(), 1);
+    }
+
+    #[test]
+    fn report_target_mentions_the_lts_size() {
+        let lts = tiny_lts();
+        let report = check_lts(&lts, &PrivacyPolicy::new("empty"));
+        assert!(report.target().contains("states"));
+        assert!(report.is_compliant());
+    }
+}

@@ -1,0 +1,253 @@
+//! Compliance reports: the outcome of checking a policy against a model or
+//! an observed execution.
+
+use crate::statement::Statement;
+use std::fmt;
+
+/// One detected breach of a policy statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    statement_id: String,
+    subject: String,
+    detail: String,
+}
+
+impl Violation {
+    /// Creates a violation record.
+    pub fn new(
+        statement_id: impl Into<String>,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Violation {
+            statement_id: statement_id.into(),
+            subject: subject.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The identifier of the violated statement.
+    pub fn statement_id(&self) -> &str {
+        &self.statement_id
+    }
+
+    /// What violated it (a transition, an event, a field...).
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Why it is a violation.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.statement_id, self.subject, self.detail)
+    }
+}
+
+/// The outcome of checking one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// The statement was checked; zero violations means it holds.
+    Checked {
+        /// The checked statement.
+        statement: Statement,
+        /// The violations found (empty when the statement holds).
+        violations: Vec<Violation>,
+    },
+    /// The statement cannot be evaluated against this artifact (e.g. a
+    /// service-limit statement against an LTS, which carries no service
+    /// information).
+    Skipped {
+        /// The skipped statement.
+        statement: Statement,
+        /// Why it was skipped.
+        reason: String,
+    },
+}
+
+impl StatementOutcome {
+    /// The statement this outcome refers to.
+    pub fn statement(&self) -> &Statement {
+        match self {
+            StatementOutcome::Checked { statement, .. }
+            | StatementOutcome::Skipped { statement, .. } => statement,
+        }
+    }
+
+    /// The violations found (empty for skipped statements).
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            StatementOutcome::Checked { violations, .. } => violations,
+            StatementOutcome::Skipped { .. } => &[],
+        }
+    }
+
+    /// Whether the statement was checked and holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, StatementOutcome::Checked { violations, .. } if violations.is_empty())
+    }
+
+    /// Whether the statement was skipped.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, StatementOutcome::Skipped { .. })
+    }
+}
+
+/// The result of checking a whole [`crate::PrivacyPolicy`] against one
+/// artifact (an LTS or an event log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplianceReport {
+    target: String,
+    outcomes: Vec<StatementOutcome>,
+}
+
+impl ComplianceReport {
+    /// Creates a report for the named target artifact.
+    pub fn new(target: impl Into<String>, outcomes: Vec<StatementOutcome>) -> Self {
+        ComplianceReport { target: target.into(), outcomes }
+    }
+
+    /// A short description of what was checked (e.g. `"LTS of MedicalService"`).
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Per-statement outcomes in policy order.
+    pub fn outcomes(&self) -> &[StatementOutcome] {
+        &self.outcomes
+    }
+
+    /// Every violation across all statements.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.outcomes.iter().flat_map(|o| o.violations().iter())
+    }
+
+    /// Total number of violations.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// Statements that could not be evaluated against this artifact.
+    pub fn skipped(&self) -> impl Iterator<Item = &StatementOutcome> {
+        self.outcomes.iter().filter(|o| o.is_skipped())
+    }
+
+    /// Whether every checked statement holds (skipped statements do not count
+    /// against compliance).
+    pub fn is_compliant(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// The outcome for a particular statement identifier.
+    pub fn outcome(&self, statement_id: &str) -> Option<&StatementOutcome> {
+        self.outcomes.iter().find(|o| o.statement().id() == statement_id)
+    }
+
+    /// Renders a human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "compliance report for {} — {} statement(s), {} violation(s)\n",
+            self.target,
+            self.outcomes.len(),
+            self.violation_count()
+        );
+        for outcome in &self.outcomes {
+            match outcome {
+                StatementOutcome::Checked { statement, violations } if violations.is_empty() => {
+                    out.push_str(&format!("  PASS  {statement}\n"));
+                }
+                StatementOutcome::Checked { statement, violations } => {
+                    out.push_str(&format!("  FAIL  {statement}\n"));
+                    for violation in violations {
+                        out.push_str(&format!("        - {}: {}\n", violation.subject(), violation.detail()));
+                    }
+                }
+                StatementOutcome::Skipped { statement, reason } => {
+                    out.push_str(&format!("  SKIP  {statement} ({reason})\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ComplianceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::FieldMatcher;
+
+    fn statement(id: &str) -> Statement {
+        Statement::require_erasure(id, "erasable", FieldMatcher::Any)
+    }
+
+    fn sample_report() -> ComplianceReport {
+        ComplianceReport::new(
+            "test artifact",
+            vec![
+                StatementOutcome::Checked { statement: statement("A"), violations: vec![] },
+                StatementOutcome::Checked {
+                    statement: statement("B"),
+                    violations: vec![Violation::new("B", "field `Weight`", "no delete action")],
+                },
+                StatementOutcome::Skipped {
+                    statement: statement("C"),
+                    reason: "not checkable here".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn report_counts_violations_across_statements() {
+        let report = sample_report();
+        assert_eq!(report.violation_count(), 1);
+        assert!(!report.is_compliant());
+        assert_eq!(report.skipped().count(), 1);
+        assert_eq!(report.outcomes().len(), 3);
+    }
+
+    #[test]
+    fn statement_outcomes_expose_holds_and_skipped() {
+        let report = sample_report();
+        assert!(report.outcome("A").unwrap().holds());
+        assert!(!report.outcome("B").unwrap().holds());
+        assert!(report.outcome("C").unwrap().is_skipped());
+        assert!(report.outcome("Z").is_none());
+    }
+
+    #[test]
+    fn empty_report_is_compliant() {
+        let report = ComplianceReport::new("nothing", vec![]);
+        assert!(report.is_compliant());
+        assert_eq!(report.violation_count(), 0);
+    }
+
+    #[test]
+    fn render_marks_pass_fail_and_skip_lines() {
+        let text = sample_report().render();
+        assert!(text.contains("PASS  [A]"));
+        assert!(text.contains("FAIL  [B]"));
+        assert!(text.contains("SKIP  [C]"));
+        assert!(text.contains("no delete action"));
+        assert_eq!(text, sample_report().to_string());
+    }
+
+    #[test]
+    fn violation_accessors_round_trip() {
+        let violation = Violation::new("X", "transition #3", "forbidden read");
+        assert_eq!(violation.statement_id(), "X");
+        assert_eq!(violation.subject(), "transition #3");
+        assert_eq!(violation.detail(), "forbidden read");
+        assert_eq!(violation.to_string(), "[X] transition #3: forbidden read");
+    }
+}

@@ -1,0 +1,333 @@
+//! Checking a privacy policy against runtime event logs.
+//!
+//! The paper motivates applying the model-driven analysis to *running*
+//! systems; the [`privacy_runtime`] simulator produces an [`EventLog`] of
+//! permitted and denied actions, and this module audits that log against the
+//! same [`PrivacyPolicy`] used at design time.
+
+use crate::policy::PrivacyPolicy;
+use crate::report::{ComplianceReport, StatementOutcome, Violation};
+use crate::statement::{Statement, StatementKind};
+use privacy_lts::ActionKind;
+use privacy_model::{ActorId, FieldId, UserId};
+use privacy_runtime::EventLog;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks every statement of `policy` against the observed events in `log`.
+///
+/// Only *permitted* events count as behaviour: denied attempts were stopped
+/// by the access-control enforcement and therefore do not breach the policy.
+/// [`StatementKind::PurposeLimit`] statements are reported as skipped —
+/// runtime events record the executing service but not a per-action purpose.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_compliance::{check_log, PrivacyPolicy};
+/// use privacy_runtime::EventLog;
+///
+/// let report = check_log(&EventLog::new(), &PrivacyPolicy::new("empty"));
+/// assert!(report.is_compliant());
+/// ```
+pub fn check_log(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceReport {
+    let outcomes = policy
+        .iter()
+        .map(|statement| check_statement(log, statement))
+        .collect();
+    ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes)
+}
+
+fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
+    let violations = match statement.kind() {
+        StatementKind::Forbid { actors, action, fields } => log
+            .iter()
+            .filter(|event| event.permitted())
+            .filter(|event| action.map_or(true, |a| a == event.action()))
+            .filter(|event| actors.matches(event.actor()))
+            .filter(|event| fields.matches_any(event.fields()))
+            .map(|event| {
+                Violation::new(
+                    statement.id(),
+                    format!("event #{}", event.sequence()),
+                    format!(
+                        "{:?} on {{{}}} by `{}` during `{}` is forbidden by the policy",
+                        event.action(),
+                        join_fields(event.fields()),
+                        event.actor(),
+                        event.service()
+                    ),
+                )
+            })
+            .collect(),
+        StatementKind::ServiceLimit { fields, allowed } => log
+            .iter()
+            .filter(|event| event.permitted())
+            .filter(|event| fields.matches_any(event.fields()))
+            .filter(|event| !allowed.contains(event.service()))
+            .map(|event| {
+                Violation::new(
+                    statement.id(),
+                    format!("event #{}", event.sequence()),
+                    format!(
+                        "fields {{{}}} were processed by service `{}`, outside the allowed set",
+                        join_fields(event.fields()),
+                        event.service()
+                    ),
+                )
+            })
+            .collect(),
+        StatementKind::PurposeLimit { .. } => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "runtime events record the service but not a per-action purpose".into(),
+            };
+        }
+        StatementKind::RequireErasure { fields } => {
+            // For every user whose matched fields were stored (collect /
+            // create / anon), a later delete covering the field must exist.
+            let mut stored: BTreeMap<(UserId, FieldId), u64> = BTreeMap::new();
+            let mut deleted: BTreeMap<(UserId, FieldId), u64> = BTreeMap::new();
+            for event in log.iter().filter(|e| e.permitted()) {
+                for field in event.fields().iter().filter(|f| fields.matches(f)) {
+                    let key = (event.user().clone(), field.clone());
+                    match event.action() {
+                        ActionKind::Collect | ActionKind::Create | ActionKind::Anon => {
+                            stored.entry(key).or_insert(event.sequence());
+                        }
+                        ActionKind::Delete => {
+                            deleted
+                                .entry(key)
+                                .and_modify(|latest| *latest = (*latest).max(event.sequence()))
+                                .or_insert(event.sequence());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            stored
+                .iter()
+                .filter(|(key, stored_at)| {
+                    deleted.get(key).map_or(true, |deleted_at| deleted_at < stored_at)
+                })
+                .map(|((user, field), _)| {
+                    Violation::new(
+                        statement.id(),
+                        format!("user `{user}`, field `{field}`"),
+                        "the field was stored but never deleted in the observed execution",
+                    )
+                })
+                .collect()
+        }
+        StatementKind::MaxExposure { field, max_actors } => {
+            let exposed: BTreeSet<&ActorId> = log
+                .iter()
+                .filter(|event| event.permitted())
+                .filter(|event| event.fields().contains(field))
+                .filter(|event| {
+                    matches!(
+                        event.action(),
+                        ActionKind::Read | ActionKind::Collect | ActionKind::Disclose
+                    )
+                })
+                .map(|event| event.actor())
+                .collect();
+            if exposed.len() > *max_actors {
+                vec![Violation::new(
+                    statement.id(),
+                    format!("field `{field}`"),
+                    format!(
+                        "{} actors observed the field at runtime (limit {}): {}",
+                        exposed.len(),
+                        max_actors,
+                        exposed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        // Future statement kinds default to skipped rather than silently passing.
+        #[allow(unreachable_patterns)]
+        _ => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "statement kind is not supported by the event-log checker".into(),
+            };
+        }
+    };
+    StatementOutcome::Checked { statement: statement.clone(), violations }
+}
+
+fn join_fields(fields: &BTreeSet<FieldId>) -> String {
+    fields.iter().map(|f| f.as_str()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::{ActorMatcher, FieldMatcher};
+    use privacy_model::{DatastoreId, ServiceId};
+    use privacy_runtime::Event;
+
+    fn event(
+        sequence: u64,
+        service: &str,
+        actor: &str,
+        action: ActionKind,
+        fields: &[&str],
+        permitted: bool,
+    ) -> Event {
+        Event::new(
+            sequence,
+            "user-1",
+            service,
+            actor,
+            action,
+            fields.iter().map(|f| FieldId::new(*f)),
+            Some(DatastoreId::new("EHR")),
+            permitted,
+        )
+    }
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.append(event(0, "MedicalService", "Doctor", ActionKind::Collect, &["Diagnosis"], true));
+        log.append(event(1, "MedicalService", "Doctor", ActionKind::Create, &["Diagnosis"], true));
+        log.append(event(2, "MedicalService", "Nurse", ActionKind::Read, &["Treatment"], true));
+        log.append(event(
+            3,
+            "MedicalResearchService",
+            "Administrator",
+            ActionKind::Read,
+            &["Diagnosis"],
+            true,
+        ));
+        log.append(event(
+            4,
+            "MedicalResearchService",
+            "Researcher",
+            ActionKind::Read,
+            &["Diagnosis"],
+            false, // denied by the access policy
+        ));
+        log
+    }
+
+    #[test]
+    fn forbid_flags_only_permitted_matching_events() {
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::forbid(
+            "F1",
+            "nobody outside the care team reads diagnosis",
+            ActorMatcher::except([ActorId::new("Doctor"), ActorId::new("Nurse")]),
+            Some(ActionKind::Read),
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        let report = check_log(&sample_log(), &policy);
+        // The administrator's permitted read violates; the researcher's
+        // denied attempt does not.
+        assert_eq!(report.violation_count(), 1);
+        let violation = report.violations().next().unwrap();
+        assert!(violation.subject().contains("event #3"));
+        assert!(violation.detail().contains("Administrator"));
+    }
+
+    #[test]
+    fn service_limit_flags_processing_outside_the_allowed_services() {
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::service_limit(
+            "S1",
+            "diagnosis is only processed by the medical service",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [ServiceId::new("MedicalService")],
+        ));
+        let report = check_log(&sample_log(), &policy);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().detail().contains("MedicalResearchService"));
+    }
+
+    #[test]
+    fn purpose_limit_is_skipped_at_runtime() {
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::purpose_limit(
+            "P1",
+            "purpose limited",
+            FieldMatcher::Any,
+            [privacy_model::Purpose::new("treatment").unwrap()],
+        ));
+        let report = check_log(&sample_log(), &policy);
+        assert!(report.is_compliant());
+        assert_eq!(report.skipped().count(), 1);
+    }
+
+    #[test]
+    fn require_erasure_fails_for_stored_but_never_deleted_fields() {
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E1",
+            "diagnosis must be deleted",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        let report = check_log(&sample_log(), &policy);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().subject().contains("user-1"));
+    }
+
+    #[test]
+    fn require_erasure_passes_once_a_later_delete_is_observed() {
+        let mut log = sample_log();
+        log.append(event(5, "MedicalService", "Administrator", ActionKind::Delete, &["Diagnosis"], true));
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E1",
+            "diagnosis must be deleted",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        assert!(check_log(&log, &policy).is_compliant());
+    }
+
+    #[test]
+    fn require_erasure_ignores_deletes_that_precede_storage() {
+        let mut log = EventLog::new();
+        log.append(event(0, "MedicalService", "Administrator", ActionKind::Delete, &["Diagnosis"], true));
+        log.append(event(1, "MedicalService", "Doctor", ActionKind::Create, &["Diagnosis"], true));
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "E1",
+            "diagnosis must be deleted",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+        ));
+        assert_eq!(check_log(&log, &policy).violation_count(), 1);
+    }
+
+    #[test]
+    fn max_exposure_counts_distinct_observing_actors() {
+        let strict = PrivacyPolicy::new("p").with_statement(Statement::max_exposure(
+            "M1",
+            "only the doctor may observe diagnosis",
+            FieldId::new("Diagnosis"),
+            1,
+        ));
+        let report = check_log(&sample_log(), &strict);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().detail().contains("2 actors"));
+
+        let relaxed = PrivacyPolicy::new("p").with_statement(Statement::max_exposure(
+            "M2",
+            "two observers allowed",
+            FieldId::new("Diagnosis"),
+            2,
+        ));
+        assert!(check_log(&sample_log(), &relaxed).is_compliant());
+    }
+
+    #[test]
+    fn empty_log_is_compliant_with_everything_checkable() {
+        let policy = PrivacyPolicy::new("p")
+            .with_statement(Statement::forbid(
+                "F1",
+                "no reads at all",
+                ActorMatcher::Any,
+                Some(ActionKind::Read),
+                FieldMatcher::Any,
+            ))
+            .with_statement(Statement::require_erasure("E1", "erasable", FieldMatcher::Any));
+        let report = check_log(&EventLog::new(), &policy);
+        assert!(report.is_compliant());
+        assert!(report.target().contains("0 events"));
+    }
+}

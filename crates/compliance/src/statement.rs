@@ -1,0 +1,354 @@
+//! The vocabulary of privacy-policy statements.
+//!
+//! A [`Statement`] is one machine-checkable promise made by a system's
+//! privacy policy.  The related-work section of the paper (Section V)
+//! observes that a system's *behaviour* should be matched against its own
+//! stated privacy policy; the checkers in [`crate::lts_check`] and
+//! [`crate::runtime_check`] do exactly that, against the generated LTS and
+//! against runtime event logs respectively.
+
+use privacy_lts::ActionKind;
+use privacy_model::{ActorId, FieldId, Purpose, ServiceId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Selects which actors a statement applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActorMatcher {
+    /// Every actor.
+    Any,
+    /// Only the listed actors.
+    Only(BTreeSet<ActorId>),
+    /// Every actor except the listed ones.
+    Except(BTreeSet<ActorId>),
+}
+
+impl ActorMatcher {
+    /// Matches only the given actors.
+    pub fn only(actors: impl IntoIterator<Item = ActorId>) -> Self {
+        ActorMatcher::Only(actors.into_iter().collect())
+    }
+
+    /// Matches every actor except the given ones.
+    pub fn except(actors: impl IntoIterator<Item = ActorId>) -> Self {
+        ActorMatcher::Except(actors.into_iter().collect())
+    }
+
+    /// Whether the matcher selects `actor`.
+    pub fn matches(&self, actor: &ActorId) -> bool {
+        match self {
+            ActorMatcher::Any => true,
+            ActorMatcher::Only(set) => set.contains(actor),
+            ActorMatcher::Except(set) => !set.contains(actor),
+        }
+    }
+}
+
+impl fmt::Display for ActorMatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorMatcher::Any => f.write_str("any actor"),
+            ActorMatcher::Only(set) => {
+                let names: Vec<&str> = set.iter().map(|a| a.as_str()).collect();
+                write!(f, "only {{{}}}", names.join(", "))
+            }
+            ActorMatcher::Except(set) => {
+                let names: Vec<&str> = set.iter().map(|a| a.as_str()).collect();
+                write!(f, "anyone except {{{}}}", names.join(", "))
+            }
+        }
+    }
+}
+
+/// Selects which data fields a statement applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldMatcher {
+    /// Every field.
+    Any,
+    /// Only the listed fields.
+    Only(BTreeSet<FieldId>),
+}
+
+impl FieldMatcher {
+    /// Matches only the given fields.
+    pub fn only(fields: impl IntoIterator<Item = FieldId>) -> Self {
+        FieldMatcher::Only(fields.into_iter().collect())
+    }
+
+    /// Whether the matcher selects `field`.
+    pub fn matches(&self, field: &FieldId) -> bool {
+        match self {
+            FieldMatcher::Any => true,
+            FieldMatcher::Only(set) => set.contains(field),
+        }
+    }
+
+    /// Whether any field in `fields` is selected.
+    pub fn matches_any<'a>(&self, fields: impl IntoIterator<Item = &'a FieldId>) -> bool {
+        fields.into_iter().any(|f| self.matches(f))
+    }
+}
+
+impl fmt::Display for FieldMatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldMatcher::Any => f.write_str("any field"),
+            FieldMatcher::Only(set) => {
+                let names: Vec<&str> = set.iter().map(|x| x.as_str()).collect();
+                write!(f, "{{{}}}", names.join(", "))
+            }
+        }
+    }
+}
+
+/// The body of a privacy-policy statement.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatementKind {
+    /// The listed actors must never perform the (optionally restricted)
+    /// action on the listed fields.
+    Forbid {
+        /// Which actors the prohibition applies to.
+        actors: ActorMatcher,
+        /// Restrict the prohibition to one action; `None` forbids every
+        /// action kind.
+        action: Option<ActionKind>,
+        /// Which fields are covered.
+        fields: FieldMatcher,
+    },
+    /// The listed fields may only be processed for the listed purposes.
+    PurposeLimit {
+        /// Which fields are covered.
+        fields: FieldMatcher,
+        /// The closed set of acceptable purposes.
+        allowed: BTreeSet<Purpose>,
+    },
+    /// The listed fields may only be processed in the course of the listed
+    /// services (checkable against runtime event logs, which record the
+    /// executing service).
+    ServiceLimit {
+        /// Which fields are covered.
+        fields: FieldMatcher,
+        /// The services allowed to process them.
+        allowed: BTreeSet<ServiceId>,
+    },
+    /// Personal data in the listed fields must be erasable: the model (or
+    /// the observed behaviour) must contain a `delete` action covering them.
+    RequireErasure {
+        /// Which fields must be erasable.
+        fields: FieldMatcher,
+    },
+    /// At most `max_actors` distinct actors may be able to identify the
+    /// field (counting both *has identified* and *could identify*).
+    MaxExposure {
+        /// The field whose exposure is bounded.
+        field: FieldId,
+        /// The maximum number of distinct actors allowed.
+        max_actors: usize,
+    },
+}
+
+/// One statement of a privacy policy: an identifier, a human-readable
+/// description and the machine-checkable [`StatementKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    id: String,
+    description: String,
+    kind: StatementKind,
+}
+
+impl Statement {
+    /// Creates a statement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use privacy_compliance::{ActorMatcher, FieldMatcher, Statement, StatementKind};
+    /// use privacy_model::ActorId;
+    ///
+    /// let statement = Statement::new(
+    ///     "S1",
+    ///     "researchers must never read raw records",
+    ///     StatementKind::Forbid {
+    ///         actors: ActorMatcher::only([ActorId::new("Researcher")]),
+    ///         action: None,
+    ///         fields: FieldMatcher::Any,
+    ///     },
+    /// );
+    /// assert_eq!(statement.id(), "S1");
+    /// ```
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        kind: StatementKind,
+    ) -> Self {
+        Statement { id: id.into(), description: description.into(), kind }
+    }
+
+    /// Shorthand for a [`StatementKind::Forbid`] statement.
+    pub fn forbid(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        actors: ActorMatcher,
+        action: Option<ActionKind>,
+        fields: FieldMatcher,
+    ) -> Self {
+        Statement::new(id, description, StatementKind::Forbid { actors, action, fields })
+    }
+
+    /// Shorthand for a [`StatementKind::PurposeLimit`] statement.
+    pub fn purpose_limit(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        fields: FieldMatcher,
+        allowed: impl IntoIterator<Item = Purpose>,
+    ) -> Self {
+        Statement::new(
+            id,
+            description,
+            StatementKind::PurposeLimit { fields, allowed: allowed.into_iter().collect() },
+        )
+    }
+
+    /// Shorthand for a [`StatementKind::ServiceLimit`] statement.
+    pub fn service_limit(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        fields: FieldMatcher,
+        allowed: impl IntoIterator<Item = ServiceId>,
+    ) -> Self {
+        Statement::new(
+            id,
+            description,
+            StatementKind::ServiceLimit { fields, allowed: allowed.into_iter().collect() },
+        )
+    }
+
+    /// Shorthand for a [`StatementKind::RequireErasure`] statement.
+    pub fn require_erasure(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        fields: FieldMatcher,
+    ) -> Self {
+        Statement::new(id, description, StatementKind::RequireErasure { fields })
+    }
+
+    /// Shorthand for a [`StatementKind::MaxExposure`] statement.
+    pub fn max_exposure(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        field: FieldId,
+        max_actors: usize,
+    ) -> Self {
+        Statement::new(id, description, StatementKind::MaxExposure { field, max_actors })
+    }
+
+    /// The statement identifier (e.g. `"P3"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The machine-checkable body.
+    pub fn kind(&self) -> &StatementKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.id, self.description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_matcher_any_matches_everything() {
+        assert!(ActorMatcher::Any.matches(&ActorId::new("Doctor")));
+    }
+
+    #[test]
+    fn actor_matcher_only_matches_listed_actors() {
+        let matcher = ActorMatcher::only([ActorId::new("Doctor"), ActorId::new("Nurse")]);
+        assert!(matcher.matches(&ActorId::new("Doctor")));
+        assert!(!matcher.matches(&ActorId::new("Researcher")));
+    }
+
+    #[test]
+    fn actor_matcher_except_excludes_listed_actors() {
+        let matcher = ActorMatcher::except([ActorId::new("Doctor")]);
+        assert!(!matcher.matches(&ActorId::new("Doctor")));
+        assert!(matcher.matches(&ActorId::new("Researcher")));
+    }
+
+    #[test]
+    fn field_matcher_only_matches_listed_fields() {
+        let matcher = FieldMatcher::only([FieldId::new("Diagnosis")]);
+        assert!(matcher.matches(&FieldId::new("Diagnosis")));
+        assert!(!matcher.matches(&FieldId::new("Name")));
+        assert!(matcher.matches_any([&FieldId::new("Name"), &FieldId::new("Diagnosis")]));
+        assert!(!matcher.matches_any([&FieldId::new("Name")]));
+    }
+
+    #[test]
+    fn matchers_render_readably() {
+        assert_eq!(ActorMatcher::Any.to_string(), "any actor");
+        assert_eq!(
+            ActorMatcher::only([ActorId::new("A"), ActorId::new("B")]).to_string(),
+            "only {A, B}"
+        );
+        assert_eq!(ActorMatcher::except([ActorId::new("A")]).to_string(), "anyone except {A}");
+        assert_eq!(FieldMatcher::Any.to_string(), "any field");
+        assert_eq!(FieldMatcher::only([FieldId::new("W")]).to_string(), "{W}");
+    }
+
+    #[test]
+    fn statement_accessors_and_display() {
+        let statement = Statement::require_erasure("E1", "data must be erasable", FieldMatcher::Any);
+        assert_eq!(statement.id(), "E1");
+        assert_eq!(statement.description(), "data must be erasable");
+        assert!(matches!(statement.kind(), StatementKind::RequireErasure { .. }));
+        assert_eq!(statement.to_string(), "[E1] data must be erasable");
+    }
+
+    #[test]
+    fn shorthand_constructors_produce_the_expected_kinds() {
+        let forbid = Statement::forbid(
+            "F1",
+            "no researcher reads",
+            ActorMatcher::only([ActorId::new("Researcher")]),
+            Some(ActionKind::Read),
+            FieldMatcher::Any,
+        );
+        assert!(matches!(
+            forbid.kind(),
+            StatementKind::Forbid { action: Some(ActionKind::Read), .. }
+        ));
+
+        let purpose = Statement::purpose_limit(
+            "P1",
+            "diagnosis only for treatment",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [Purpose::new("treatment").unwrap()],
+        );
+        assert!(matches!(purpose.kind(), StatementKind::PurposeLimit { allowed, .. } if allowed.len() == 1));
+
+        let service = Statement::service_limit(
+            "S1",
+            "diagnosis stays in the medical service",
+            FieldMatcher::only([FieldId::new("Diagnosis")]),
+            [ServiceId::new("MedicalService")],
+        );
+        assert!(matches!(service.kind(), StatementKind::ServiceLimit { allowed, .. } if allowed.len() == 1));
+
+        let exposure = Statement::max_exposure("M1", "bounded", FieldId::new("Weight"), 3);
+        assert!(matches!(exposure.kind(), StatementKind::MaxExposure { max_actors: 3, .. }));
+    }
+}

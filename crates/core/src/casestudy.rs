@@ -1,0 +1,396 @@
+//! The doctors'-surgery case study of the paper (Fig. 1, Case Studies A and
+//! B, Table I).
+//!
+//! The system has five actors (Receptionist, Doctor, Nurse, Administrator,
+//! Researcher), the six personal-data fields listed in Section II-B (Name,
+//! Date of Birth, Appointment, Medical Issues, Diagnosis, Treatment
+//! Information) plus the three physical-attribute fields of Table I (Age,
+//! Height, Weight) and their pseudonymised counterparts, three datastores
+//! (Appointments, EHR, Anonymised EHR) and two services (the Medical Service
+//! and the Medical Research Service).
+
+use crate::system::PrivacySystem;
+use privacy_access::{FieldScope, Grant, Permission};
+use privacy_dataflow::DiagramBuilder;
+use privacy_model::{
+    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ModelError,
+    SensitivityCategory, ServiceDecl, ServiceId, UserProfile,
+};
+
+/// Field identifiers of the case study.
+pub mod fields {
+    use privacy_model::FieldId;
+
+    /// The patient's name.
+    pub fn name() -> FieldId {
+        FieldId::new("Name")
+    }
+
+    /// The patient's date of birth.
+    pub fn date_of_birth() -> FieldId {
+        FieldId::new("Date of Birth")
+    }
+
+    /// The appointment details.
+    pub fn appointment() -> FieldId {
+        FieldId::new("Appointment")
+    }
+
+    /// The medical issues reported by the patient.
+    pub fn medical_issues() -> FieldId {
+        FieldId::new("Medical Issues")
+    }
+
+    /// The diagnosis.
+    pub fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    /// The treatment information.
+    pub fn treatment() -> FieldId {
+        FieldId::new("Treatment Information")
+    }
+
+    /// The patient's age (quasi-identifier, Table I).
+    pub fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    /// The patient's height (quasi-identifier, Table I).
+    pub fn height() -> FieldId {
+        FieldId::new("Height")
+    }
+
+    /// The patient's weight (sensitive value, Table I).
+    pub fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+}
+
+/// Actor identifiers of the case study.
+pub mod actors {
+    use privacy_model::ActorId;
+
+    /// The receptionist booking appointments.
+    pub fn receptionist() -> ActorId {
+        ActorId::new("Receptionist")
+    }
+
+    /// The doctor treating the patient.
+    pub fn doctor() -> ActorId {
+        ActorId::new("Doctor")
+    }
+
+    /// The nurse administering treatment.
+    pub fn nurse() -> ActorId {
+        ActorId::new("Nurse")
+    }
+
+    /// The administrator maintaining the datastores and preparing research
+    /// releases.
+    pub fn administrator() -> ActorId {
+        ActorId::new("Administrator")
+    }
+
+    /// The researcher working on the anonymised release.
+    pub fn researcher() -> ActorId {
+        ActorId::new("Researcher")
+    }
+}
+
+/// The identifier of the Medical Service.
+pub fn medical_service() -> ServiceId {
+    ServiceId::new("MedicalService")
+}
+
+/// The identifier of the Medical Research Service.
+pub fn research_service() -> ServiceId {
+    ServiceId::new("MedicalResearchService")
+}
+
+/// Builds the full healthcare [`PrivacySystem`] of Fig. 1.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if the fixture itself is inconsistent (which the
+/// tests guard against).
+pub fn healthcare() -> Result<PrivacySystem, ModelError> {
+    let mut builder = PrivacySystem::builder();
+
+    // --- Catalog: actors -------------------------------------------------
+    {
+        let catalog = builder.catalog_mut();
+        catalog.add_actor(Actor::role("Receptionist").with_description("books appointments"))?;
+        catalog.add_actor(Actor::role("Doctor").with_description("treats patients"))?;
+        catalog.add_actor(Actor::role("Nurse").with_description("administers treatment"))?;
+        catalog.add_actor(
+            Actor::role("Administrator").with_description("maintains datastores and releases"),
+        )?;
+        catalog.add_actor(Actor::role("Researcher").with_description("analyses released data"))?;
+
+        // --- Catalog: fields ---------------------------------------------
+        catalog.add_field(DataField::identifier("Name"))?;
+        catalog.add_field(DataField::quasi_identifier("Date of Birth"))?;
+        catalog.add_field(DataField::other("Appointment"))?;
+        catalog.add_field(DataField::sensitive("Medical Issues"))?;
+        catalog.add_field_with_anonymised(DataField::sensitive("Diagnosis"))?;
+        catalog.add_field(DataField::sensitive("Treatment Information"))?;
+        catalog.add_field_with_anonymised(DataField::quasi_identifier("Age"))?;
+        catalog.add_field_with_anonymised(DataField::quasi_identifier("Height"))?;
+        catalog.add_field_with_anonymised(DataField::sensitive("Weight"))?;
+
+        // --- Catalog: schemas and datastores -------------------------------
+        catalog.add_schema(DataSchema::new(
+            "AppointmentsSchema",
+            [fields::name(), fields::date_of_birth(), fields::appointment()],
+        ))?;
+        catalog.add_schema(DataSchema::new(
+            "EHRSchema",
+            [
+                fields::name(),
+                fields::date_of_birth(),
+                fields::medical_issues(),
+                fields::diagnosis(),
+                fields::treatment(),
+                fields::age(),
+                fields::height(),
+                fields::weight(),
+            ],
+        ))?;
+        catalog.add_schema(DataSchema::new(
+            "AnonEHRSchema",
+            [
+                fields::diagnosis().anonymised(),
+                fields::age().anonymised(),
+                fields::height().anonymised(),
+                fields::weight().anonymised(),
+            ],
+        ))?;
+        catalog.add_datastore(DatastoreDecl::new("Appointments", "AppointmentsSchema"))?;
+        catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema"))?;
+        catalog.add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonEHRSchema"))?;
+
+        // --- Catalog: services --------------------------------------------
+        catalog.add_service(
+            ServiceDecl::new(
+                "MedicalService",
+                [actors::receptionist(), actors::doctor(), actors::nurse()],
+            )
+            .with_description("appointment booking, consultation and treatment"),
+        )?;
+        catalog.add_service(
+            ServiceDecl::new(
+                "MedicalResearchService",
+                [actors::administrator(), actors::researcher()],
+            )
+            .with_description("anonymised release of health records for research"),
+        )?;
+    }
+
+    // --- Access policy ----------------------------------------------------
+    {
+        let policy = builder.policy_mut();
+        let acl = policy.acl_mut();
+        acl.grant(Grant::read_write_all("Receptionist", "Appointments"));
+        acl.grant(Grant::read_write_all("Doctor", "Appointments"));
+        acl.grant(Grant::read_write_all("Doctor", "EHR"));
+        acl.grant(Grant::new(
+            "Nurse",
+            "EHR",
+            FieldScope::fields([fields::treatment(), fields::name()]),
+            [Permission::Read],
+        ));
+        // The administrator maintains the EHR (the paper's unwanted
+        // disclosure) and produces the anonymised release.
+        acl.grant(Grant::read_all("Administrator", "EHR"));
+        acl.grant(Grant::read_write_all("Administrator", "AnonEHR"));
+        acl.grant(Grant::read_all("Researcher", "AnonEHR"));
+    }
+
+    // --- Data-flow diagrams (Fig. 1) ---------------------------------------
+    let medical = DiagramBuilder::new("MedicalService")
+        .collect(
+            "Receptionist",
+            [fields::name(), fields::date_of_birth()],
+            "book appointment",
+            1,
+        )?
+        .create(
+            "Receptionist",
+            "Appointments",
+            [fields::name(), fields::date_of_birth(), fields::appointment()],
+            "book appointment",
+            2,
+        )?
+        .read(
+            "Doctor",
+            "Appointments",
+            [fields::name(), fields::appointment()],
+            "prepare consultation",
+            3,
+        )?
+        .collect("Doctor", [fields::medical_issues()], "consultation", 4)?
+        .create(
+            "Doctor",
+            "EHR",
+            [
+                fields::name(),
+                fields::medical_issues(),
+                fields::diagnosis(),
+                fields::treatment(),
+            ],
+            "record diagnosis and treatment",
+            5,
+        )?
+        .read(
+            "Nurse",
+            "EHR",
+            [fields::name(), fields::treatment()],
+            "administer treatment",
+            6,
+        )?
+        .build();
+
+    let research = DiagramBuilder::new("MedicalResearchService")
+        .read(
+            "Administrator",
+            "EHR",
+            [fields::diagnosis(), fields::age(), fields::height(), fields::weight()],
+            "prepare research dataset",
+            1,
+        )?
+        .anonymise(
+            "Administrator",
+            "AnonEHR",
+            [
+                fields::diagnosis().anonymised(),
+                fields::age().anonymised(),
+                fields::height().anonymised(),
+                fields::weight().anonymised(),
+            ],
+            "2-anonymise the dataset",
+            2,
+        )?
+        .read(
+            "Researcher",
+            "AnonEHR",
+            [
+                fields::diagnosis().anonymised(),
+                fields::age().anonymised(),
+                fields::height().anonymised(),
+                fields::weight().anonymised(),
+            ],
+            "medical research",
+            3,
+        )?
+        .build();
+
+    builder.add_diagram(medical)?;
+    builder.add_diagram(research)?;
+    builder.build()
+}
+
+/// The Case Study A user: consents to the Medical Service only and is highly
+/// sensitive about the Diagnosis field.
+pub fn case_a_user() -> UserProfile {
+    UserProfile::new("case-a-user")
+        .consents_to(medical_service())
+        .with_category_sensitivity(fields::diagnosis(), SensitivityCategory::High)
+}
+
+/// The quasi-identifier combinations of Table I in column order:
+/// Height only, Age only, Age+Height.
+pub fn table1_visible_sets() -> Vec<Vec<FieldId>> {
+    vec![
+        vec![fields::height()],
+        vec![fields::age()],
+        vec![fields::age(), fields::height()],
+    ]
+}
+
+/// The adversary of Case Study B.
+pub fn case_b_adversary() -> ActorId {
+    actors::researcher()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_access::Permission;
+
+    #[test]
+    fn healthcare_system_is_consistent() {
+        let system = healthcare().unwrap();
+        let report = system.validate().unwrap();
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(system.catalog().actor_count(), 5);
+        assert_eq!(system.catalog().datastore_count(), 3);
+        assert_eq!(system.catalog().service_count(), 2);
+        assert_eq!(system.dataflows().len(), 2);
+        assert_eq!(system.dataflows().flow_count(), 9);
+    }
+
+    #[test]
+    fn state_variable_count_scales_with_the_paper_formula() {
+        // The paper counts 60 variables for 5 actors x 6 fields; our catalog
+        // additionally registers the Table I physical attributes and the
+        // pseudonymised counterparts, so the count is 2 x 5 x |fields|.
+        let system = healthcare().unwrap();
+        let fields = system.catalog().field_count();
+        assert_eq!(system.catalog().state_variable_count(), 2 * 5 * fields);
+        assert!(fields >= 6);
+    }
+
+    #[test]
+    fn access_policy_matches_the_narrative() {
+        let system = healthcare().unwrap();
+        let policy = system.policy();
+        let ehr = privacy_model::DatastoreId::new("EHR");
+        assert!(policy.can(&actors::doctor(), Permission::Read, &ehr, &fields::diagnosis()));
+        assert!(policy.can(&actors::administrator(), Permission::Read, &ehr, &fields::diagnosis()));
+        assert!(!policy.can(&actors::nurse(), Permission::Read, &ehr, &fields::diagnosis()));
+        assert!(!policy.can(&actors::researcher(), Permission::Read, &ehr, &fields::diagnosis()));
+        let anon = privacy_model::DatastoreId::new("AnonEHR");
+        assert!(policy.can(
+            &actors::researcher(),
+            Permission::Read,
+            &anon,
+            &fields::weight().anonymised()
+        ));
+    }
+
+    #[test]
+    fn case_a_user_profile_matches_the_paper() {
+        let user = case_a_user();
+        assert!(user.consent().includes(&medical_service()));
+        assert!(!user.consent().includes(&research_service()));
+        assert_eq!(
+            user.sensitivities().sensitivity(&fields::diagnosis()).category(),
+            SensitivityCategory::High
+        );
+    }
+
+    #[test]
+    fn lts_generation_succeeds_for_both_services() {
+        let system = healthcare().unwrap();
+        let full = system.generate_lts().unwrap();
+        assert!(full.state_count() > 1);
+        assert!(full.transition_count() >= system.dataflows().flow_count());
+
+        let medical_only = system
+            .generate_lts_with(&privacy_lts::GeneratorConfig::for_service("MedicalService"))
+            .unwrap();
+        assert!(medical_only.state_count() <= full.state_count());
+        assert_eq!(medical_only.transition_count(), 6);
+    }
+
+    #[test]
+    fn table1_visible_sets_are_in_paper_column_order() {
+        let sets = table1_visible_sets();
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0], vec![fields::height()]);
+        assert_eq!(sets[1], vec![fields::age()]);
+        assert_eq!(sets[2], vec![fields::age(), fields::height()]);
+        assert_eq!(case_b_adversary().as_str(), "Researcher");
+    }
+}

@@ -1,0 +1,233 @@
+//! The privacy system model: everything the developer declares.
+
+use privacy_access::AccessPolicy;
+use privacy_dataflow::validate::validate_system;
+use privacy_dataflow::{DataFlowDiagram, SystemDataFlows, ValidationReport};
+use privacy_lts::{generate_lts, GeneratorConfig, Lts};
+use privacy_model::{Catalog, ModelError};
+use std::fmt;
+
+/// The complete design-time description of a privacy-aware system: the
+/// catalog (vocabulary), the per-service data-flow diagrams and the
+/// access-control policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacySystem {
+    catalog: Catalog,
+    dataflows: SystemDataFlows,
+    policy: AccessPolicy,
+}
+
+impl PrivacySystem {
+    /// Starts a builder.
+    pub fn builder() -> PrivacySystemBuilder {
+        PrivacySystemBuilder::default()
+    }
+
+    /// Creates a system from its parts.
+    pub fn new(catalog: Catalog, dataflows: SystemDataFlows, policy: AccessPolicy) -> Self {
+        PrivacySystem { catalog, dataflows, policy }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The data-flow diagrams.
+    pub fn dataflows(&self) -> &SystemDataFlows {
+        &self.dataflows
+    }
+
+    /// The access policy.
+    pub fn policy(&self) -> &AccessPolicy {
+        &self.policy
+    }
+
+    /// Returns a copy of the system with a different access policy — the
+    /// designer's loop of Case Study A (change the policy, re-analyse).
+    pub fn with_policy(&self, policy: AccessPolicy) -> PrivacySystem {
+        PrivacySystem { catalog: self.catalog.clone(), dataflows: self.dataflows.clone(), policy }
+    }
+
+    /// Validates the catalog's referential integrity and the data-flow
+    /// diagrams against the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the catalog's [`ModelError`] if its references dangle; the
+    /// data-flow issues are returned in the [`ValidationReport`] (which can
+    /// contain errors and warnings).
+    pub fn validate(&self) -> Result<ValidationReport, ModelError> {
+        self.catalog.validate()?;
+        Ok(validate_system(&self.dataflows, &self.catalog))
+    }
+
+    /// Generates the formal privacy LTS with the default generator
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (unknown service selection, state bound
+    /// exceeded).
+    pub fn generate_lts(&self) -> Result<Lts, ModelError> {
+        self.generate_lts_with(&GeneratorConfig::default())
+    }
+
+    /// Generates the formal privacy LTS with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (unknown service selection, state bound
+    /// exceeded).
+    pub fn generate_lts_with(&self, config: &GeneratorConfig) -> Result<Lts, ModelError> {
+        generate_lts(&self.catalog, &self.dataflows, &self.policy, config)
+    }
+}
+
+impl fmt::Display for PrivacySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "privacy system: {}; {}", self.catalog, self.dataflows)
+    }
+}
+
+/// Builder for [`PrivacySystem`].
+#[derive(Debug, Clone, Default)]
+pub struct PrivacySystemBuilder {
+    catalog: Catalog,
+    dataflows: SystemDataFlows,
+    policy: AccessPolicy,
+}
+
+impl PrivacySystemBuilder {
+    /// Mutable access to the catalog being built.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Mutable access to the access policy being built.
+    pub fn policy_mut(&mut self) -> &mut AccessPolicy {
+        &mut self.policy
+    }
+
+    /// Adds a per-service data-flow diagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Duplicate`] if the service already has a
+    /// diagram.
+    pub fn add_diagram(&mut self, diagram: DataFlowDiagram) -> Result<&mut Self, ModelError> {
+        self.dataflows.add_diagram(diagram)?;
+        Ok(self)
+    }
+
+    /// Finishes the system, validating the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the catalog's [`ModelError`] if its references dangle.
+    pub fn build(self) -> Result<PrivacySystem, ModelError> {
+        self.catalog.validate()?;
+        Ok(PrivacySystem { catalog: self.catalog, dataflows: self.dataflows, policy: self.policy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_access::{Grant, PolicyDelta};
+    use privacy_dataflow::DiagramBuilder;
+    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl};
+
+    fn build_small_system() -> PrivacySystem {
+        let mut builder = PrivacySystem::builder();
+        builder.catalog_mut().add_actor(Actor::role("Doctor")).unwrap();
+        builder.catalog_mut().add_field(DataField::sensitive("Diagnosis")).unwrap();
+        builder
+            .catalog_mut()
+            .add_schema(DataSchema::new("S", [FieldId::new("Diagnosis")]))
+            .unwrap();
+        builder
+            .catalog_mut()
+            .add_datastore(DatastoreDecl::new("EHR", "S"))
+            .unwrap();
+        builder
+            .catalog_mut()
+            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
+            .unwrap();
+        builder
+            .policy_mut()
+            .acl_mut()
+            .grant(Grant::read_write_all("Doctor", "EHR"));
+        builder
+            .add_diagram(
+                DiagramBuilder::new("MedicalService")
+                    .collect("Doctor", ["Diagnosis"], "consult", 1)
+                    .unwrap()
+                    .create("Doctor", "EHR", ["Diagnosis"], "record", 2)
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_a_consistent_system() {
+        let system = build_small_system();
+        assert_eq!(system.catalog().actor_count(), 1);
+        assert_eq!(system.dataflows().len(), 1);
+        let report = system.validate().unwrap();
+        assert!(report.is_ok(), "{report}");
+        assert!(system.to_string().contains("privacy system"));
+    }
+
+    #[test]
+    fn build_rejects_dangling_catalog_references() {
+        let mut builder = PrivacySystem::builder();
+        builder
+            .catalog_mut()
+            .add_schema(DataSchema::new("S", [FieldId::new("Ghost")]))
+            .unwrap();
+        assert!(builder.build().is_err());
+    }
+
+    #[test]
+    fn lts_generation_and_policy_replacement() {
+        let system = build_small_system();
+        let lts = system.generate_lts().unwrap();
+        assert_eq!(lts.transition_count(), 2);
+
+        // Removing the doctor's grant removes the exposure recorded on
+        // create.
+        let revised = system.with_policy(system.policy().with_applied(
+            &PolicyDelta::new().revoke("Doctor", privacy_access::Permission::Read, "EHR"),
+        ));
+        let lts2 = revised.generate_lts().unwrap();
+        let space = lts2.space().clone();
+        assert!(!lts2.states().any(|(_, s)| s.could(
+            &space,
+            &ActorId::new("Doctor"),
+            &FieldId::new("Diagnosis")
+        )));
+        // The original system is unchanged.
+        let space1 = lts.space().clone();
+        assert!(lts.states().any(|(_, s)| s.could(
+            &space1,
+            &ActorId::new("Doctor"),
+            &FieldId::new("Diagnosis")
+        )));
+    }
+
+    #[test]
+    fn duplicate_diagrams_are_rejected_by_the_builder() {
+        let mut builder = PrivacySystem::builder();
+        builder.catalog_mut().add_actor(Actor::role("Doctor")).unwrap();
+        builder.catalog_mut().add_field(DataField::sensitive("Diagnosis")).unwrap();
+        let diagram = DiagramBuilder::new("S")
+            .collect("Doctor", ["Diagnosis"], "p", 1)
+            .unwrap()
+            .build();
+        builder.add_diagram(diagram.clone()).unwrap();
+        assert!(builder.add_diagram(diagram).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Graphviz DOT export of data-flow diagrams.
+//!
+//! The paper visualises its modelling artefacts as data-flow diagrams
+//! (Fig. 1). [`diagram_to_dot`] and [`system_to_dot`] render the same
+//! information as Graphviz source: actors as ellipses, datastores as boxes,
+//! the data subject as a double circle, and flow arrows labelled with
+//! `order. {fields} (purpose)`.
+
+use crate::diagram::DataFlowDiagram;
+use crate::node::Node;
+use crate::system::SystemDataFlows;
+use privacy_model::FieldId;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders a single diagram as a Graphviz `digraph`.
+pub fn diagram_to_dot(diagram: &DataFlowDiagram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(diagram.service().as_str()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"{}\";", escape(diagram.service().as_str()));
+    write_nodes(&mut out, &diagram.nodes(), "  ");
+    write_edges(&mut out, diagram, "  ");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole system as a Graphviz `digraph` with one cluster per
+/// service, mirroring the two side-by-side diagrams of Fig. 1.
+pub fn system_to_dot(system: &SystemDataFlows) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph system {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  compound=true;");
+    for (index, diagram) in system.diagrams().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{index} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(diagram.service().as_str()));
+        write_nodes_prefixed(&mut out, &diagram.nodes(), "    ", index);
+        write_edges_prefixed(&mut out, diagram, "    ", index);
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_attributes(node: &Node) -> String {
+    match node {
+        Node::User => "shape=doublecircle, style=filled, fillcolor=lightyellow".to_owned(),
+        Node::Actor(_) => "shape=ellipse".to_owned(),
+        Node::Datastore(_) => "shape=box, style=filled, fillcolor=lightgrey".to_owned(),
+    }
+}
+
+fn write_nodes(out: &mut String, nodes: &BTreeSet<Node>, indent: &str) {
+    for node in nodes {
+        let _ = writeln!(
+            out,
+            "{indent}{} [label=\"{}\", {}];",
+            node.graph_id(),
+            escape(&node.to_string()),
+            node_attributes(node)
+        );
+    }
+}
+
+fn write_nodes_prefixed(out: &mut String, nodes: &BTreeSet<Node>, indent: &str, prefix: usize) {
+    for node in nodes {
+        let _ = writeln!(
+            out,
+            "{indent}c{prefix}_{} [label=\"{}\", {}];",
+            node.graph_id(),
+            escape(&node.to_string()),
+            node_attributes(node)
+        );
+    }
+}
+
+fn edge_label(flow: &crate::flow::Flow) -> String {
+    let fields: Vec<&str> = flow.fields().iter().map(FieldId::as_str).collect();
+    format!("{}. {{{}}} ({})", flow.order(), fields.join(", "), flow.purpose())
+}
+
+fn write_edges(out: &mut String, diagram: &DataFlowDiagram, indent: &str) {
+    for flow in diagram.iter() {
+        let _ = writeln!(
+            out,
+            "{indent}{} -> {} [label=\"{}\"];",
+            flow.from().graph_id(),
+            flow.to().graph_id(),
+            escape(&edge_label(flow))
+        );
+    }
+}
+
+fn write_edges_prefixed(out: &mut String, diagram: &DataFlowDiagram, indent: &str, prefix: usize) {
+    for flow in diagram.iter() {
+        let _ = writeln!(
+            out,
+            "{indent}c{prefix}_{} -> c{prefix}_{} [label=\"{}\"];",
+            flow.from().graph_id(),
+            flow.to().graph_id(),
+            escape(&edge_label(flow))
+        );
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::DiagramBuilder;
+
+    fn diagram() -> DataFlowDiagram {
+        DiagramBuilder::new("MedicalService")
+            .collect("Receptionist", ["Name"], "book appointment", 1)
+            .unwrap()
+            .create("Receptionist", "Appointments", ["Name"], "book appointment", 2)
+            .unwrap()
+            .read("Doctor", "Appointments", ["Name"], "consultation", 3)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn diagram_dot_contains_every_node_and_edge() {
+        let dot = diagram_to_dot(&diagram());
+        assert!(dot.starts_with("digraph \"MedicalService\""));
+        assert!(dot.contains("user [label=\"User\""));
+        assert!(dot.contains("actor_Receptionist"));
+        assert!(dot.contains("store_Appointments"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("user -> actor_Receptionist"));
+        assert!(dot.contains("1. {Name} (book appointment)"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn system_dot_uses_one_cluster_per_service() {
+        let system = SystemDataFlows::new()
+            .with_diagram(diagram())
+            .unwrap()
+            .with_diagram(
+                DiagramBuilder::new("ResearchService")
+                    .read("Researcher", "AnonEHR", ["Diagnosis_anon"], "research", 1)
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        let dot = system_to_dot(&system);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("label=\"MedicalService\""));
+        assert!(dot.contains("label=\"ResearchService\""));
+        // Cluster-prefixed node names keep the two services separate.
+        assert!(dot.contains("c0_actor_Receptionist"));
+        assert!(dot.contains("c1_actor_Researcher"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let diagram = DiagramBuilder::new("Quote\"Service")
+            .collect("A", ["f"], "say \"hi\"", 1)
+            .unwrap()
+            .build();
+        let dot = diagram_to_dot(&diagram);
+        assert!(dot.contains("digraph \"Quote\\\"Service\""));
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,359 @@
+//! Flow arrows: the directed, labelled edges of a data-flow diagram.
+//!
+//! Each flow arrow is labelled with three objects (Section II-A): the set of
+//! data fields which flows between the two nodes, the purpose of the flow,
+//! and a numeric value indicating the order in which the data flow is
+//! executed.
+
+use crate::node::Node;
+use privacy_model::{FieldId, ModelError, Purpose};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The privacy-action classification of a flow, derived from the kinds of its
+/// endpoints according to the extraction rules of Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum FlowKind {
+    /// User → actor: the actor collects personal data from the data subject.
+    Collect,
+    /// Actor → actor: the sending actor discloses personal data to the
+    /// receiving actor.
+    Disclose,
+    /// Actor → (regular) datastore: the actor creates data in the datastore.
+    Create,
+    /// Actor → anonymised datastore: the actor writes pseudonymised data.
+    Anonymise,
+    /// Datastore → actor: the actor reads data from the datastore.
+    Read,
+    /// Any flow shape the extraction rules do not recognise (e.g. datastore →
+    /// datastore); validation reports these.
+    Unclassified,
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FlowKind::Collect => "collect",
+            FlowKind::Disclose => "disclose",
+            FlowKind::Create => "create",
+            FlowKind::Anonymise => "anon",
+            FlowKind::Read => "read",
+            FlowKind::Unclassified => "unclassified",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A directed, labelled data flow between two nodes.
+///
+/// # Example
+///
+/// ```
+/// use privacy_dataflow::{Flow, Node};
+/// use privacy_model::FieldId;
+///
+/// # fn main() -> Result<(), privacy_model::ModelError> {
+/// let flow = Flow::new(
+///     Node::User,
+///     Node::actor("Receptionist"),
+///     [FieldId::new("Name")],
+///     "book appointment",
+///     1,
+/// )?;
+/// assert_eq!(flow.order(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    from: Node,
+    to: Node,
+    fields: BTreeSet<FieldId>,
+    purpose: Purpose,
+    order: u32,
+}
+
+impl Flow {
+    /// Creates a flow arrow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if the field set is empty or the purpose
+    /// label is blank, and [`ModelError::Invalid`] if source and destination
+    /// are the same node.
+    pub fn new(
+        from: Node,
+        to: Node,
+        fields: impl IntoIterator<Item = FieldId>,
+        purpose: impl Into<String>,
+        order: u32,
+    ) -> Result<Self, ModelError> {
+        let fields: BTreeSet<FieldId> = fields.into_iter().collect();
+        if fields.is_empty() {
+            return Err(ModelError::Empty { what: "flow field set" });
+        }
+        if from == to {
+            return Err(ModelError::invalid(format!(
+                "flow {order} connects node `{from}` to itself"
+            )));
+        }
+        let purpose = Purpose::new(purpose)?;
+        Ok(Flow { from, to, fields, purpose, order })
+    }
+
+    /// The source node.
+    pub fn from(&self) -> &Node {
+        &self.from
+    }
+
+    /// The destination node.
+    pub fn to(&self) -> &Node {
+        &self.to
+    }
+
+    /// The set of data fields carried by the flow.
+    pub fn fields(&self) -> &BTreeSet<FieldId> {
+        &self.fields
+    }
+
+    /// The purpose of the flow.
+    pub fn purpose(&self) -> &Purpose {
+        &self.purpose
+    }
+
+    /// The execution order of the flow within its diagram.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Classifies the flow according to the extraction rules of Section II-B.
+    ///
+    /// `anonymised_stores` lists the datastores declared as anonymised; a
+    /// flow into such a store is an [`FlowKind::Anonymise`] action.
+    pub fn kind(&self, anonymised_stores: &BTreeSet<privacy_model::DatastoreId>) -> FlowKind {
+        match (&self.from, &self.to) {
+            (Node::User, Node::Actor(_)) => FlowKind::Collect,
+            (Node::Actor(_), Node::Actor(_)) => FlowKind::Disclose,
+            (Node::Actor(_), Node::Datastore(store)) => {
+                if anonymised_stores.contains(store) {
+                    FlowKind::Anonymise
+                } else {
+                    FlowKind::Create
+                }
+            }
+            (Node::Datastore(_), Node::Actor(_)) => FlowKind::Read,
+            _ => FlowKind::Unclassified,
+        }
+    }
+
+    /// Classifies the flow assuming no anonymised datastores.
+    pub fn kind_simple(&self) -> FlowKind {
+        self.kind(&BTreeSet::new())
+    }
+
+    /// The actor that performs the action represented by this flow, if any.
+    ///
+    /// For `collect`, `create`, `anon` the acting actor is the flow's
+    /// destination or source actor respectively; for `read` it is the
+    /// destination; for `disclose` it is the source (the actor doing the
+    /// disclosing).
+    pub fn acting_actor(&self) -> Option<&privacy_model::ActorId> {
+        match (&self.from, &self.to) {
+            (Node::User, Node::Actor(a)) => Some(a),
+            (Node::Actor(a), Node::Actor(_)) => Some(a),
+            (Node::Actor(a), Node::Datastore(_)) => Some(a),
+            (Node::Datastore(_), Node::Actor(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The actor that receives data as a result of this flow, if any.
+    pub fn receiving_actor(&self) -> Option<&privacy_model::ActorId> {
+        match (&self.from, &self.to) {
+            (_, Node::Actor(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the flow involves the given field.
+    pub fn carries(&self, field: &FieldId) -> bool {
+        self.fields.contains(field)
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fields: Vec<&str> = self.fields.iter().map(FieldId::as_str).collect();
+        write!(
+            f,
+            "{}. {} -> {} [{}] for `{}`",
+            self.order,
+            self.from,
+            self.to,
+            fields.join(", "),
+            self.purpose
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::DatastoreId;
+
+    fn fields(names: &[&str]) -> Vec<FieldId> {
+        names.iter().map(|n| FieldId::new(*n)).collect()
+    }
+
+    #[test]
+    fn flow_requires_fields_and_purpose() {
+        let err = Flow::new(Node::User, Node::actor("A"), [], "p", 1).unwrap_err();
+        assert!(matches!(err, ModelError::Empty { .. }));
+        let err =
+            Flow::new(Node::User, Node::actor("A"), fields(&["f"]), "  ", 1).unwrap_err();
+        assert!(matches!(err, ModelError::Empty { .. }));
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let err = Flow::new(
+            Node::actor("A"),
+            Node::actor("A"),
+            fields(&["f"]),
+            "p",
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::Invalid { .. }));
+    }
+
+    #[test]
+    fn extraction_rules_classify_flows() {
+        let anon_stores: BTreeSet<DatastoreId> =
+            [DatastoreId::new("AnonEHR")].into_iter().collect();
+
+        let collect =
+            Flow::new(Node::User, Node::actor("Receptionist"), fields(&["Name"]), "p", 1)
+                .unwrap();
+        assert_eq!(collect.kind(&anon_stores), FlowKind::Collect);
+
+        let disclose = Flow::new(
+            Node::actor("Doctor"),
+            Node::actor("Nurse"),
+            fields(&["Diagnosis"]),
+            "p",
+            2,
+        )
+        .unwrap();
+        assert_eq!(disclose.kind(&anon_stores), FlowKind::Disclose);
+
+        let create = Flow::new(
+            Node::actor("Doctor"),
+            Node::datastore("EHR"),
+            fields(&["Diagnosis"]),
+            "p",
+            3,
+        )
+        .unwrap();
+        assert_eq!(create.kind(&anon_stores), FlowKind::Create);
+
+        let anon = Flow::new(
+            Node::actor("Administrator"),
+            Node::datastore("AnonEHR"),
+            fields(&["Diagnosis"]),
+            "p",
+            4,
+        )
+        .unwrap();
+        assert_eq!(anon.kind(&anon_stores), FlowKind::Anonymise);
+
+        let read = Flow::new(
+            Node::datastore("EHR"),
+            Node::actor("Doctor"),
+            fields(&["Diagnosis"]),
+            "p",
+            5,
+        )
+        .unwrap();
+        assert_eq!(read.kind(&anon_stores), FlowKind::Read);
+
+        let odd = Flow::new(
+            Node::datastore("EHR"),
+            Node::datastore("AnonEHR"),
+            fields(&["Diagnosis"]),
+            "p",
+            6,
+        )
+        .unwrap();
+        assert_eq!(odd.kind(&anon_stores), FlowKind::Unclassified);
+        assert_eq!(odd.kind_simple(), FlowKind::Unclassified);
+    }
+
+    #[test]
+    fn acting_and_receiving_actor() {
+        let read = Flow::new(
+            Node::datastore("EHR"),
+            Node::actor("Doctor"),
+            fields(&["Diagnosis"]),
+            "p",
+            1,
+        )
+        .unwrap();
+        assert_eq!(read.acting_actor().unwrap().as_str(), "Doctor");
+        assert_eq!(read.receiving_actor().unwrap().as_str(), "Doctor");
+
+        let disclose = Flow::new(
+            Node::actor("Doctor"),
+            Node::actor("Nurse"),
+            fields(&["Diagnosis"]),
+            "p",
+            2,
+        )
+        .unwrap();
+        assert_eq!(disclose.acting_actor().unwrap().as_str(), "Doctor");
+        assert_eq!(disclose.receiving_actor().unwrap().as_str(), "Nurse");
+
+        let create = Flow::new(
+            Node::actor("Doctor"),
+            Node::datastore("EHR"),
+            fields(&["Diagnosis"]),
+            "p",
+            3,
+        )
+        .unwrap();
+        assert_eq!(create.acting_actor().unwrap().as_str(), "Doctor");
+        assert!(create.receiving_actor().is_none());
+    }
+
+    #[test]
+    fn field_membership_and_display() {
+        let flow = Flow::new(
+            Node::User,
+            Node::actor("Receptionist"),
+            fields(&["Name", "Date of Birth"]),
+            "book appointment",
+            1,
+        )
+        .unwrap();
+        assert!(flow.carries(&FieldId::new("Name")));
+        assert!(!flow.carries(&FieldId::new("Diagnosis")));
+        assert_eq!(
+            flow.to_string(),
+            "1. User -> Receptionist [Date of Birth, Name] for `book appointment`"
+        );
+    }
+
+    #[test]
+    fn duplicate_fields_are_collapsed() {
+        let flow = Flow::new(
+            Node::User,
+            Node::actor("A"),
+            fields(&["x", "x", "y"]),
+            "p",
+            1,
+        )
+        .unwrap();
+        assert_eq!(flow.fields().len(), 2);
+    }
+}

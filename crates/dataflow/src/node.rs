@@ -1,0 +1,147 @@
+//! Nodes of a data-flow diagram.
+//!
+//! Fig. 1 of the paper draws actors as ovals and datastores as rectangles;
+//! the data subject (the user) is the source of `collect` flows. A [`Node`]
+//! is one endpoint of a flow arrow.
+
+use privacy_model::{ActorId, DatastoreId};
+use std::fmt;
+
+/// One endpoint of a data-flow arrow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// The data subject (the user the personal data is about).
+    User,
+    /// An actor (individual or role) of the system.
+    Actor(ActorId),
+    /// A datastore.
+    Datastore(DatastoreId),
+}
+
+impl Node {
+    /// Creates an actor node.
+    pub fn actor(id: impl Into<ActorId>) -> Self {
+        Node::Actor(id.into())
+    }
+
+    /// Creates a datastore node.
+    pub fn datastore(id: impl Into<DatastoreId>) -> Self {
+        Node::Datastore(id.into())
+    }
+
+    /// Returns `true` if this node is the data subject.
+    pub fn is_user(&self) -> bool {
+        matches!(self, Node::User)
+    }
+
+    /// Returns `true` if this node is an actor.
+    pub fn is_actor(&self) -> bool {
+        matches!(self, Node::Actor(_))
+    }
+
+    /// Returns `true` if this node is a datastore.
+    pub fn is_datastore(&self) -> bool {
+        matches!(self, Node::Datastore(_))
+    }
+
+    /// The actor identifier if this node is an actor.
+    pub fn as_actor(&self) -> Option<&ActorId> {
+        match self {
+            Node::Actor(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The datastore identifier if this node is a datastore.
+    pub fn as_datastore(&self) -> Option<&DatastoreId> {
+        match self {
+            Node::Datastore(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// A stable identifier usable as a graph node name (e.g. in DOT output).
+    pub fn graph_id(&self) -> String {
+        match self {
+            Node::User => "user".to_owned(),
+            Node::Actor(id) => format!("actor_{}", sanitise(id.as_str())),
+            Node::Datastore(id) => format!("store_{}", sanitise(id.as_str())),
+        }
+    }
+}
+
+fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::User => f.write_str("User"),
+            Node::Actor(id) => write!(f, "{id}"),
+            Node::Datastore(id) => write!(f, "[{id}]"),
+        }
+    }
+}
+
+impl From<ActorId> for Node {
+    fn from(id: ActorId) -> Self {
+        Node::Actor(id)
+    }
+}
+
+impl From<DatastoreId> for Node {
+    fn from(id: DatastoreId) -> Self {
+        Node::Datastore(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Node::User.is_user());
+        assert!(Node::actor("Doctor").is_actor());
+        assert!(Node::datastore("EHR").is_datastore());
+        assert!(!Node::User.is_actor());
+        assert!(!Node::actor("Doctor").is_datastore());
+    }
+
+    #[test]
+    fn accessors_return_inner_ids() {
+        assert_eq!(Node::actor("Doctor").as_actor(), Some(&ActorId::new("Doctor")));
+        assert_eq!(Node::actor("Doctor").as_datastore(), None);
+        assert_eq!(
+            Node::datastore("EHR").as_datastore(),
+            Some(&DatastoreId::new("EHR"))
+        );
+        assert_eq!(Node::User.as_actor(), None);
+    }
+
+    #[test]
+    fn graph_ids_are_sanitised_and_unique_per_kind() {
+        assert_eq!(Node::User.graph_id(), "user");
+        assert_eq!(Node::actor("Dr. Who").graph_id(), "actor_Dr__Who");
+        assert_eq!(Node::datastore("EHR-2").graph_id(), "store_EHR_2");
+        assert_ne!(Node::actor("X").graph_id(), Node::datastore("X").graph_id());
+    }
+
+    #[test]
+    fn display_marks_datastores_with_brackets() {
+        assert_eq!(Node::User.to_string(), "User");
+        assert_eq!(Node::actor("Doctor").to_string(), "Doctor");
+        assert_eq!(Node::datastore("EHR").to_string(), "[EHR]");
+    }
+
+    #[test]
+    fn from_impls_build_the_right_variant() {
+        let node: Node = ActorId::new("Nurse").into();
+        assert!(node.is_actor());
+        let node: Node = DatastoreId::new("EHR").into();
+        assert!(node.is_datastore());
+    }
+}

@@ -1,0 +1,302 @@
+//! Whole-system composition of per-service data-flow diagrams.
+//!
+//! The healthcare example of Fig. 1 comprises two independent services (a
+//! Medical Service and a Medical Research Service) that share actors and
+//! datastores. [`SystemDataFlows`] collects the per-service diagrams so the
+//! LTS generator and risk analyses can reason about the system as a whole —
+//! in particular about actors that are *not* involved in the services a user
+//! consented to but can still reach the user's data.
+
+use crate::diagram::DataFlowDiagram;
+use crate::flow::{Flow, FlowKind};
+use privacy_model::{ActorId, DatastoreId, FieldId, ModelError, ServiceId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A collection of per-service data-flow diagrams forming the system model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemDataFlows {
+    diagrams: BTreeMap<ServiceId, DataFlowDiagram>,
+}
+
+impl SystemDataFlows {
+    /// Creates an empty system model.
+    pub fn new() -> Self {
+        SystemDataFlows::default()
+    }
+
+    /// Adds a per-service diagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Duplicate`] if a diagram for the same service
+    /// has already been added.
+    pub fn add_diagram(&mut self, diagram: DataFlowDiagram) -> Result<&mut Self, ModelError> {
+        if self.diagrams.contains_key(diagram.service()) {
+            return Err(ModelError::duplicate("diagram", diagram.service().as_str()));
+        }
+        self.diagrams.insert(diagram.service().clone(), diagram);
+        Ok(self)
+    }
+
+    /// Builder-style variant of [`SystemDataFlows::add_diagram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Duplicate`] if a diagram for the same service
+    /// has already been added.
+    pub fn with_diagram(mut self, diagram: DataFlowDiagram) -> Result<Self, ModelError> {
+        self.add_diagram(diagram)?;
+        Ok(self)
+    }
+
+    /// Looks up the diagram of a service.
+    pub fn diagram(&self, service: &ServiceId) -> Option<&DataFlowDiagram> {
+        self.diagrams.get(service)
+    }
+
+    /// Iterates over the diagrams in service-id order.
+    pub fn diagrams(&self) -> impl Iterator<Item = &DataFlowDiagram> {
+        self.diagrams.values()
+    }
+
+    /// The services modelled by this system.
+    pub fn services(&self) -> impl Iterator<Item = &ServiceId> {
+        self.diagrams.keys()
+    }
+
+    /// Number of diagrams (services).
+    pub fn len(&self) -> usize {
+        self.diagrams.len()
+    }
+
+    /// Returns `true` if no diagrams have been added.
+    pub fn is_empty(&self) -> bool {
+        self.diagrams.is_empty()
+    }
+
+    /// Total number of flows across all diagrams.
+    pub fn flow_count(&self) -> usize {
+        self.diagrams.values().map(DataFlowDiagram::len).sum()
+    }
+
+    /// All distinct actors appearing anywhere in the system.
+    pub fn actors(&self) -> BTreeSet<ActorId> {
+        self.diagrams.values().flat_map(|d| d.actors()).collect()
+    }
+
+    /// All distinct datastores appearing anywhere in the system.
+    pub fn datastores(&self) -> BTreeSet<DatastoreId> {
+        self.diagrams.values().flat_map(|d| d.datastores()).collect()
+    }
+
+    /// All distinct fields flowing anywhere in the system.
+    pub fn fields(&self) -> BTreeSet<FieldId> {
+        self.diagrams.values().flat_map(|d| d.fields()).collect()
+    }
+
+    /// All flows across all services, tagged with their service.
+    pub fn flows(&self) -> impl Iterator<Item = (&ServiceId, &Flow)> {
+        self.diagrams
+            .iter()
+            .flat_map(|(service, diagram)| diagram.iter().map(move |f| (service, f)))
+    }
+
+    /// Flows of a given kind across the whole system.
+    pub fn flows_of_kind(
+        &self,
+        kind: FlowKind,
+        anonymised_stores: &BTreeSet<DatastoreId>,
+    ) -> Vec<(&ServiceId, &Flow)> {
+        self.flows()
+            .filter(|(_, f)| f.kind(anonymised_stores) == kind)
+            .collect()
+    }
+
+    /// The services in which an actor participates (derived from the flows
+    /// rather than from the catalog's service declarations — the two should
+    /// agree, and validation compares them).
+    pub fn services_involving(&self, actor: &ActorId) -> Vec<&ServiceId> {
+        self.diagrams
+            .iter()
+            .filter(|(_, d)| d.actors().contains(actor))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// The datastores an actor reads from anywhere in the system.
+    pub fn datastores_read_by(&self, actor: &ActorId) -> BTreeSet<DatastoreId> {
+        let mut stores = BTreeSet::new();
+        for (_, flow) in self.flows() {
+            if flow.from().is_datastore() && flow.to().as_actor() == Some(actor) {
+                if let Some(store) = flow.from().as_datastore() {
+                    stores.insert(store.clone());
+                }
+            }
+        }
+        stores
+    }
+
+    /// The fields an actor is exposed to anywhere in the system (via collect,
+    /// disclose-to or read flows).
+    pub fn fields_exposed_to(&self, actor: &ActorId) -> BTreeSet<FieldId> {
+        let mut fields = BTreeSet::new();
+        for (_, flow) in self.flows() {
+            if flow.to().as_actor() == Some(actor) {
+                fields.extend(flow.fields().iter().cloned());
+            }
+        }
+        fields
+    }
+
+    /// The per-service actor sets, useful for building
+    /// [`privacy_model::ServiceDecl`] declarations consistent with the
+    /// diagrams.
+    pub fn actors_per_service(&self) -> BTreeMap<ServiceId, BTreeSet<ActorId>> {
+        self.diagrams
+            .iter()
+            .map(|(service, diagram)| (service.clone(), diagram.actors()))
+            .collect()
+    }
+}
+
+impl FromIterator<DataFlowDiagram> for SystemDataFlows {
+    fn from_iter<T: IntoIterator<Item = DataFlowDiagram>>(iter: T) -> Self {
+        let mut system = SystemDataFlows::new();
+        for diagram in iter {
+            // Last diagram wins on duplicates when collecting silently; the
+            // fallible `add_diagram` is the strict path.
+            system.diagrams.insert(diagram.service().clone(), diagram);
+        }
+        system
+    }
+}
+
+impl fmt::Display for SystemDataFlows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "system data flows: {} services, {} flows, {} actors, {} datastores, {} fields",
+            self.len(),
+            self.flow_count(),
+            self.actors().len(),
+            self.datastores().len(),
+            self.fields().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::DiagramBuilder;
+
+    fn medical() -> DataFlowDiagram {
+        DiagramBuilder::new("MedicalService")
+            .collect("Receptionist", ["Name"], "book appointment", 1)
+            .unwrap()
+            .create("Receptionist", "Appointments", ["Name", "Appointment"], "book", 2)
+            .unwrap()
+            .read("Doctor", "Appointments", ["Name", "Appointment"], "consult", 3)
+            .unwrap()
+            .create("Doctor", "EHR", ["Diagnosis"], "treat", 4)
+            .unwrap()
+            .build()
+    }
+
+    fn research() -> DataFlowDiagram {
+        DiagramBuilder::new("ResearchService")
+            .read("Administrator", "EHR", ["Diagnosis"], "prepare dataset", 1)
+            .unwrap()
+            .anonymise("Administrator", "AnonEHR", ["Diagnosis_anon"], "anonymise", 2)
+            .unwrap()
+            .read("Researcher", "AnonEHR", ["Diagnosis_anon"], "research", 3)
+            .unwrap()
+            .build()
+    }
+
+    fn system() -> SystemDataFlows {
+        SystemDataFlows::new()
+            .with_diagram(medical())
+            .unwrap()
+            .with_diagram(research())
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicate_services_are_rejected() {
+        let mut system = system();
+        assert!(matches!(
+            system.add_diagram(medical()),
+            Err(ModelError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_queries_span_services() {
+        let system = system();
+        assert_eq!(system.len(), 2);
+        assert_eq!(system.flow_count(), 7);
+        assert_eq!(system.actors().len(), 4);
+        assert_eq!(system.datastores().len(), 3);
+        assert!(system.fields().contains(&FieldId::new("Diagnosis_anon")));
+        assert_eq!(system.flows().count(), 7);
+    }
+
+    #[test]
+    fn per_actor_queries() {
+        let system = system();
+        let admin = ActorId::new("Administrator");
+        let services = system.services_involving(&admin);
+        assert_eq!(services.len(), 1);
+        assert_eq!(services[0].as_str(), "ResearchService");
+
+        let stores = system.datastores_read_by(&admin);
+        assert!(stores.contains(&DatastoreId::new("EHR")));
+        assert_eq!(stores.len(), 1);
+
+        let exposed = system.fields_exposed_to(&ActorId::new("Doctor"));
+        assert!(exposed.contains(&FieldId::new("Appointment")));
+        assert!(!exposed.contains(&FieldId::new("Diagnosis_anon")));
+    }
+
+    #[test]
+    fn flows_of_kind_uses_anonymised_store_set() {
+        let system = system();
+        let anon: BTreeSet<DatastoreId> =
+            [DatastoreId::new("AnonEHR")].into_iter().collect();
+        assert_eq!(system.flows_of_kind(FlowKind::Anonymise, &anon).len(), 1);
+        assert_eq!(system.flows_of_kind(FlowKind::Create, &anon).len(), 2);
+        // Without declaring the anonymised store everything is a plain create.
+        assert_eq!(system.flows_of_kind(FlowKind::Create, &BTreeSet::new()).len(), 3);
+    }
+
+    #[test]
+    fn actors_per_service_matches_diagrams() {
+        let map = system().actors_per_service();
+        assert!(map[&ServiceId::new("MedicalService")].contains(&ActorId::new("Doctor")));
+        assert!(map[&ServiceId::new("ResearchService")].contains(&ActorId::new("Researcher")));
+    }
+
+    #[test]
+    fn from_iterator_collects_diagrams() {
+        let system: SystemDataFlows = [medical(), research()].into_iter().collect();
+        assert_eq!(system.len(), 2);
+        assert!(system.diagram(&ServiceId::new("MedicalService")).is_some());
+        assert!(system.diagram(&ServiceId::new("Nope")).is_none());
+    }
+
+    #[test]
+    fn display_summarises_the_system() {
+        let text = system().to_string();
+        assert!(text.contains("2 services"));
+        assert!(text.contains("7 flows"));
+    }
+
+    #[test]
+    fn empty_system_reports_empty() {
+        let system = SystemDataFlows::new();
+        assert!(system.is_empty());
+        assert_eq!(system.flow_count(), 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Validation of data-flow diagrams against the system catalog.
+//!
+//! Model-driven engineering lives or dies by early feedback: the framework
+//! must tell the developer when their design artefacts are inconsistent
+//! *before* a formal model is generated from them. The validator checks a
+//! [`SystemDataFlows`] against a [`Catalog`] and produces a
+//! [`ValidationReport`] of individual [`ValidationIssue`]s rather than
+//! failing on the first problem.
+
+use crate::diagram::DataFlowDiagram;
+use crate::flow::FlowKind;
+use crate::system::SystemDataFlows;
+use privacy_model::{Catalog, DatastoreId, FieldId, ServiceId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Severity of a validation issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IssueSeverity {
+    /// The model can still be processed but the developer should review the
+    /// issue.
+    Warning,
+    /// The model is inconsistent and LTS generation would produce misleading
+    /// results.
+    Error,
+}
+
+impl fmt::Display for IssueSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueSeverity::Warning => f.write_str("warning"),
+            IssueSeverity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One problem found while validating the data-flow model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    severity: IssueSeverity,
+    service: Option<ServiceId>,
+    message: String,
+}
+
+impl ValidationIssue {
+    fn error(service: Option<&ServiceId>, message: impl Into<String>) -> Self {
+        ValidationIssue {
+            severity: IssueSeverity::Error,
+            service: service.cloned(),
+            message: message.into(),
+        }
+    }
+
+    fn warning(service: Option<&ServiceId>, message: impl Into<String>) -> Self {
+        ValidationIssue {
+            severity: IssueSeverity::Warning,
+            service: service.cloned(),
+            message: message.into(),
+        }
+    }
+
+    /// The severity of the issue.
+    pub fn severity(&self) -> IssueSeverity {
+        self.severity
+    }
+
+    /// The service the issue concerns, if it is service specific.
+    pub fn service(&self) -> Option<&ServiceId> {
+        self.service.as_ref()
+    }
+
+    /// The human readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.service {
+            Some(service) => write!(f, "[{}] {}: {}", self.severity, service, self.message),
+            None => write!(f, "[{}] {}", self.severity, self.message),
+        }
+    }
+}
+
+/// The result of validating a system model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// All issues found, in discovery order.
+    pub fn issues(&self) -> &[ValidationIssue] {
+        &self.issues
+    }
+
+    /// Only the error-severity issues.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity() == IssueSeverity::Error)
+    }
+
+    /// Only the warning-severity issues.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity() == IssueSeverity::Warning)
+    }
+
+    /// Returns `true` if no errors were found (warnings are allowed).
+    pub fn is_ok(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Returns `true` if nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    fn push(&mut self, issue: ValidationIssue) {
+        self.issues.push(issue);
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return f.write_str("validation: clean");
+        }
+        writeln!(
+            f,
+            "validation: {} error(s), {} warning(s)",
+            self.errors().count(),
+            self.warnings().count()
+        )?;
+        for issue in &self.issues {
+            writeln!(f, "  {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates a whole system model against the catalog.
+///
+/// Checks performed per diagram (see [`validate_diagram`]) plus system-wide
+/// checks:
+///
+/// * every service with a diagram should be declared in the catalog, and the
+///   actors used by the diagram should be a subset of the declared service
+///   actors (warning otherwise);
+/// * every catalog service should have a diagram (warning otherwise).
+pub fn validate_system(system: &SystemDataFlows, catalog: &Catalog) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    for diagram in system.diagrams() {
+        validate_diagram_into(diagram, catalog, &mut report);
+
+        match catalog.service(diagram.service()) {
+            None => report.push(ValidationIssue::warning(
+                Some(diagram.service()),
+                "service has a data-flow diagram but is not declared in the catalog",
+            )),
+            Some(decl) => {
+                for actor in diagram.actors() {
+                    if !decl.involves(&actor) {
+                        report.push(ValidationIssue::warning(
+                            Some(diagram.service()),
+                            format!(
+                                "actor `{actor}` appears in the diagram but is not listed \
+                                 as an actor of the declared service"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for service in catalog.services() {
+        if system.diagram(service.id()).is_none() {
+            report.push(ValidationIssue::warning(
+                Some(service.id()),
+                "service is declared in the catalog but has no data-flow diagram",
+            ));
+        }
+    }
+
+    report
+}
+
+/// Validates one diagram against the catalog.
+///
+/// Checks:
+///
+/// * every actor, datastore and field referenced by a flow is declared;
+/// * every field flowing into or out of a datastore is part of that
+///   datastore's schema;
+/// * flows are classifiable by the extraction rules (no datastore→datastore
+///   or user-targeted arrows);
+/// * execution orders are unique (warning);
+/// * data is collected or read before it flows onward from an actor
+///   (warning — "the start node has the correct data to flow").
+pub fn validate_diagram(diagram: &DataFlowDiagram, catalog: &Catalog) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    validate_diagram_into(diagram, catalog, &mut report);
+    report
+}
+
+fn validate_diagram_into(
+    diagram: &DataFlowDiagram,
+    catalog: &Catalog,
+    report: &mut ValidationReport,
+) {
+    let service = Some(diagram.service());
+    let anonymised_stores: BTreeSet<DatastoreId> = catalog
+        .datastores()
+        .filter(|d| d.is_anonymised())
+        .map(|d| d.id().clone())
+        .collect();
+
+    // Reference checks.
+    for actor in diagram.actors() {
+        if catalog.actor(&actor).is_none() {
+            report.push(ValidationIssue::error(
+                service,
+                format!("flow references undeclared actor `{actor}`"),
+            ));
+        }
+    }
+    for store in diagram.datastores() {
+        if catalog.datastore(&store).is_none() {
+            report.push(ValidationIssue::error(
+                service,
+                format!("flow references undeclared datastore `{store}`"),
+            ));
+        }
+    }
+    for field in diagram.fields() {
+        if catalog.field(&field).is_none() {
+            report.push(ValidationIssue::error(
+                service,
+                format!("flow references undeclared field `{field}`"),
+            ));
+        }
+    }
+
+    // Schema compatibility and classification.
+    for flow in diagram.iter() {
+        if flow.kind(&anonymised_stores) == FlowKind::Unclassified {
+            report.push(ValidationIssue::error(
+                service,
+                format!(
+                    "flow {} ({} -> {}) cannot be classified by the extraction rules",
+                    flow.order(),
+                    flow.from(),
+                    flow.to()
+                ),
+            ));
+        }
+
+        for endpoint in [flow.from(), flow.to()] {
+            if let Some(store) = endpoint.as_datastore() {
+                if let Some(schema) = catalog.datastore_schema(store) {
+                    for field in flow.fields() {
+                        if !schema.contains(field) {
+                            report.push(ValidationIssue::error(
+                                service,
+                                format!(
+                                    "flow {} moves field `{field}` through datastore `{store}` \
+                                     whose schema `{}` does not contain it",
+                                    flow.order(),
+                                    schema.id()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Order uniqueness.
+    for (order, count) in diagram.order_multiplicity() {
+        if count > 1 {
+            report.push(ValidationIssue::warning(
+                service,
+                format!("execution order {order} is used by {count} flows"),
+            ));
+        }
+    }
+
+    // Data availability: a field leaving an actor must have reached that
+    // actor earlier (collected, read or disclosed to them), and a field read
+    // from a datastore must have been written to it earlier in this diagram
+    // or be assumed pre-existing (warning only).
+    let mut actor_has: BTreeSet<(privacy_model::ActorId, FieldId)> = BTreeSet::new();
+    let mut store_has: BTreeSet<(DatastoreId, FieldId)> = BTreeSet::new();
+    for flow in diagram.iter() {
+        match (flow.from(), flow.to()) {
+            (crate::node::Node::Actor(actor), _) => {
+                for field in flow.fields() {
+                    if !actor_has.contains(&(actor.clone(), field.clone())) {
+                        report.push(ValidationIssue::warning(
+                            service,
+                            format!(
+                                "flow {}: actor `{actor}` sends field `{field}` before any \
+                                 earlier flow provided it to them",
+                                flow.order()
+                            ),
+                        ));
+                    }
+                }
+            }
+            (crate::node::Node::Datastore(store), _) => {
+                for field in flow.fields() {
+                    if !store_has.contains(&(store.clone(), field.clone())) {
+                        report.push(ValidationIssue::warning(
+                            service,
+                            format!(
+                                "flow {}: datastore `{store}` is read for field `{field}` \
+                                 before any earlier flow wrote it (assumed pre-existing)",
+                                flow.order()
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        match flow.to() {
+            crate::node::Node::Actor(actor) => {
+                for field in flow.fields() {
+                    actor_has.insert((actor.clone(), field.clone()));
+                }
+            }
+            crate::node::Node::Datastore(store) => {
+                for field in flow.fields() {
+                    store_has.insert((store.clone(), field.clone()));
+                }
+            }
+            crate::node::Node::User => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::DiagramBuilder;
+    use crate::node::Node;
+    use privacy_model::{
+        Actor, ActorId, DataField, DataSchema, DatastoreDecl, ServiceDecl,
+    };
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::role("Receptionist")).unwrap();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_field(DataField::identifier("Name")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "EHRSchema",
+                [FieldId::new("Name"), FieldId::new("Diagnosis")],
+            ))
+            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
+        catalog
+            .add_service(ServiceDecl::new(
+                "MedicalService",
+                [ActorId::new("Receptionist"), ActorId::new("Doctor")],
+            ))
+            .unwrap();
+        catalog
+    }
+
+    fn valid_diagram() -> DataFlowDiagram {
+        DiagramBuilder::new("MedicalService")
+            .collect("Receptionist", ["Name"], "book", 1)
+            .unwrap()
+            .create("Receptionist", "EHR", ["Name"], "book", 2)
+            .unwrap()
+            .collect("Doctor", ["Diagnosis"], "consult", 3)
+            .unwrap()
+            .create("Doctor", "EHR", ["Diagnosis"], "treat", 4)
+            .unwrap()
+            .read("Doctor", "EHR", ["Name"], "review", 5)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn a_consistent_model_validates_cleanly() {
+        let system = SystemDataFlows::new().with_diagram(valid_diagram()).unwrap();
+        let report = validate_system(&system, &catalog());
+        assert!(report.is_ok(), "unexpected issues: {report}");
+        assert!(report.is_clean(), "unexpected issues: {report}");
+    }
+
+    #[test]
+    fn undeclared_elements_are_errors() {
+        let diagram = DiagramBuilder::new("MedicalService")
+            .collect("Ghost", ["Unknown"], "p", 1)
+            .unwrap()
+            .create("Ghost", "Nowhere", ["Unknown"], "p", 2)
+            .unwrap()
+            .build();
+        let report = validate_diagram(&diagram, &catalog());
+        assert!(!report.is_ok());
+        let messages: Vec<_> = report.errors().map(|i| i.message().to_owned()).collect();
+        assert!(messages.iter().any(|m| m.contains("undeclared actor `Ghost`")));
+        assert!(messages.iter().any(|m| m.contains("undeclared datastore `Nowhere`")));
+        assert!(messages.iter().any(|m| m.contains("undeclared field `Unknown`")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let mut catalog = catalog();
+        catalog.add_field(DataField::other("Extra")).unwrap();
+        let diagram = DiagramBuilder::new("MedicalService")
+            .collect("Doctor", ["Extra"], "p", 1)
+            .unwrap()
+            .create("Doctor", "EHR", ["Extra"], "p", 2)
+            .unwrap()
+            .build();
+        let report = validate_diagram(&diagram, &catalog);
+        assert!(!report.is_ok());
+        assert!(report
+            .errors()
+            .any(|i| i.message().contains("schema `EHRSchema` does not contain it")));
+    }
+
+    #[test]
+    fn unclassifiable_flows_are_errors() {
+        let mut catalog = catalog();
+        catalog
+            .add_schema(DataSchema::new("S2", [FieldId::new("Name")]))
+            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("Backup", "S2")).unwrap();
+        let diagram = DataFlowDiagram::new(
+            "MedicalService",
+            [crate::flow::Flow::new(
+                Node::datastore("EHR"),
+                Node::datastore("Backup"),
+                [FieldId::new("Name")],
+                "backup",
+                1,
+            )
+            .unwrap()],
+        );
+        let report = validate_diagram(&diagram, &catalog);
+        assert!(report
+            .errors()
+            .any(|i| i.message().contains("cannot be classified")));
+    }
+
+    #[test]
+    fn duplicate_orders_and_missing_data_are_warnings() {
+        let diagram = DiagramBuilder::new("MedicalService")
+            .read("Doctor", "EHR", ["Diagnosis"], "review", 1)
+            .unwrap()
+            .disclose("Doctor", "Receptionist", ["Name"], "handover", 1)
+            .unwrap()
+            .build();
+        let report = validate_diagram(&diagram, &catalog());
+        // No hard errors: everything is declared and classifiable.
+        assert!(report.is_ok());
+        let warnings: Vec<_> = report.warnings().map(|i| i.message().to_owned()).collect();
+        assert!(warnings.iter().any(|m| m.contains("order 1 is used by 2 flows")));
+        assert!(warnings.iter().any(|m| m.contains("before any earlier flow wrote it")));
+        assert!(warnings
+            .iter()
+            .any(|m| m.contains("sends field `Name` before any earlier flow provided it")));
+    }
+
+    #[test]
+    fn catalog_and_diagram_service_mismatches_are_warnings() {
+        let system = SystemDataFlows::new()
+            .with_diagram(
+                DiagramBuilder::new("UnknownService")
+                    .collect("Doctor", ["Name"], "p", 1)
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        let report = validate_system(&system, &catalog());
+        assert!(report.is_ok());
+        let warnings: Vec<_> = report.warnings().map(|i| i.message().to_owned()).collect();
+        assert!(warnings.iter().any(|m| m.contains("not declared in the catalog")));
+        assert!(warnings.iter().any(|m| m.contains("has no data-flow diagram")));
+    }
+
+    #[test]
+    fn diagram_actor_not_in_service_declaration_is_a_warning() {
+        let mut catalog = catalog();
+        catalog.add_actor(Actor::role("Intruder")).unwrap();
+        let system = SystemDataFlows::new()
+            .with_diagram(
+                DiagramBuilder::new("MedicalService")
+                    .collect("Intruder", ["Name"], "p", 1)
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        let report = validate_system(&system, &catalog);
+        assert!(report
+            .warnings()
+            .any(|i| i.message().contains("not listed as an actor of the declared service")));
+    }
+
+    #[test]
+    fn report_display_counts_issues() {
+        let report = ValidationReport::default();
+        assert_eq!(report.to_string(), "validation: clean");
+
+        let diagram = DiagramBuilder::new("MedicalService")
+            .collect("Ghost", ["Name"], "p", 1)
+            .unwrap()
+            .build();
+        let report = validate_diagram(&diagram, &catalog());
+        let text = report.to_string();
+        assert!(text.contains("error(s)"));
+        assert!(text.contains("Ghost"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Abstract syntax tree of a `.psm` model document.
+//!
+//! The AST mirrors the surface grammar and keeps the [`Span`] of every
+//! declaration so the [`resolver`](crate::resolve) can report semantic
+//! errors at the location of the offending text.
+
+use crate::span::Span;
+
+/// A parsed name (identifier or quoted string) with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Name {
+    /// The textual value.
+    pub text: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Name {
+    /// Creates a name.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Name { text: text.into(), span }
+    }
+}
+
+/// The kind of an actor declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorKindAst {
+    /// A role type (the common case, `role`).
+    Role,
+    /// A named individual (`individual`).
+    Individual,
+    /// The data subject (`subject`).
+    DataSubject,
+    /// An automated system component (`system`).
+    System,
+}
+
+/// The kind of a field declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKindAst {
+    /// Directly identifying (`identifier`).
+    Identifier,
+    /// Quasi-identifier (`quasi`).
+    QuasiIdentifier,
+    /// Sensitive attribute (`sensitive`).
+    Sensitive,
+    /// Anything else (`other`).
+    Other,
+}
+
+/// `actor <name> : <kind> ["description"]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorDecl {
+    /// The actor identifier.
+    pub name: Name,
+    /// The actor kind.
+    pub kind: ActorKindAst,
+    /// Optional free-text description.
+    pub description: Option<String>,
+}
+
+/// `field <name> : <kind> [anonymised]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// The field identifier.
+    pub name: Name,
+    /// The field kind.
+    pub kind: FieldKindAst,
+    /// Whether a pseudonymised counterpart (`<name>_anon`) is also declared.
+    pub anonymised: bool,
+}
+
+/// `schema <name> { field, field, ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaDecl {
+    /// The schema identifier.
+    pub name: Name,
+    /// The fields contained in the schema.
+    pub fields: Vec<Name>,
+}
+
+/// `datastore <name> : <schema> [anonymised]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatastoreDeclAst {
+    /// The datastore identifier.
+    pub name: Name,
+    /// The schema stored in the datastore.
+    pub schema: Name,
+    /// Whether the datastore holds pseudonymised data.
+    pub anonymised: bool,
+}
+
+/// `service <name> { actors a, b [description "..."] }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDeclAst {
+    /// The service identifier.
+    pub name: Name,
+    /// The actors involved in providing the service.
+    pub actors: Vec<Name>,
+    /// Optional free-text description.
+    pub description: Option<String>,
+}
+
+/// A permission keyword in a policy rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermissionAst {
+    /// `read`
+    Read,
+    /// `create`
+    Create,
+    /// `delete`
+    Delete,
+    /// `disclose`
+    Disclose,
+}
+
+/// `allow <actor> <perm,...> on <datastore> [fields { ... }]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowDecl {
+    /// The actor granted access.
+    pub actor: Name,
+    /// The granted permissions.
+    pub permissions: Vec<PermissionAst>,
+    /// The datastore the grant applies to.
+    pub datastore: Name,
+    /// Restriction to specific fields; `None` means the whole store.
+    pub fields: Option<Vec<Name>>,
+    /// Location of the whole rule (for diagnostics).
+    pub span: Span,
+}
+
+/// One grant inside a `role` declaration: `<perm,...> on <datastore> [fields {...}]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleGrantDecl {
+    /// The granted permissions.
+    pub permissions: Vec<PermissionAst>,
+    /// The datastore the grant applies to.
+    pub datastore: Name,
+    /// Restriction to specific fields; `None` means the whole store.
+    pub fields: Option<Vec<Name>>,
+}
+
+/// `role <name> { <grant>* }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleDecl {
+    /// The role identifier.
+    pub name: Name,
+    /// The grants attached to the role.
+    pub grants: Vec<RoleGrantDecl>,
+}
+
+/// `assign <actor> -> <role>`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignDecl {
+    /// The actor receiving the role.
+    pub actor: Name,
+    /// The assigned role.
+    pub role: Name,
+}
+
+/// The body of a `policy { ... }` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyDecl {
+    /// ACL rules.
+    pub allows: Vec<AllowDecl>,
+    /// RBAC role definitions.
+    pub roles: Vec<RoleDecl>,
+    /// RBAC role assignments.
+    pub assignments: Vec<AssignDecl>,
+}
+
+/// The kind of a flow statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowKindAst {
+    /// `collect <actor> { fields }` — user → actor.
+    Collect {
+        /// The collecting actor.
+        actor: Name,
+    },
+    /// `disclose <from> -> <to> { fields }` — actor → actor.
+    Disclose {
+        /// The disclosing actor.
+        from: Name,
+        /// The receiving actor.
+        to: Name,
+    },
+    /// `create <actor> -> <datastore> { fields }` — actor → datastore.
+    Create {
+        /// The writing actor.
+        actor: Name,
+        /// The target datastore.
+        datastore: Name,
+    },
+    /// `anonymise <actor> -> <datastore> { fields }` — actor → anonymised
+    /// datastore (surface sugar; behaves like `create`).
+    Anonymise {
+        /// The writing actor.
+        actor: Name,
+        /// The target (anonymised) datastore.
+        datastore: Name,
+    },
+    /// `read <actor> <- <datastore> { fields }` — datastore → actor.
+    Read {
+        /// The reading actor.
+        actor: Name,
+        /// The source datastore.
+        datastore: Name,
+    },
+}
+
+/// One `order: <kind> { fields } for "purpose"` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDecl {
+    /// The execution order of the flow inside its service.
+    pub order: u32,
+    /// The flow kind and endpoints.
+    pub kind: FlowKindAst,
+    /// The fields carried by the flow.
+    pub fields: Vec<Name>,
+    /// The stated purpose of the flow.
+    pub purpose: String,
+    /// Location of the whole statement (for diagnostics).
+    pub span: Span,
+}
+
+/// `flows <service> { <flow>* }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowsDecl {
+    /// The service the flows belong to.
+    pub service: Name,
+    /// The flow statements.
+    pub flows: Vec<FlowDecl>,
+}
+
+/// A user sensitivity setting: either a category keyword or a number in `[0,1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensitivityAst {
+    /// `low`, `medium` or `high`.
+    Category(String),
+    /// A numeric value.
+    Value(f64),
+}
+
+/// `user <name> { consents ...  sensitivity <field> = ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserDecl {
+    /// The user identifier.
+    pub name: Name,
+    /// Services the user consents to.
+    pub consents: Vec<Name>,
+    /// Per-field sensitivities.
+    pub sensitivities: Vec<(Name, SensitivityAst)>,
+}
+
+/// The root of a parsed `.psm` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAst {
+    /// The system name (from `system "<name>" { ... }`).
+    pub name: String,
+    /// Actor declarations in source order.
+    pub actors: Vec<ActorDecl>,
+    /// Field declarations in source order.
+    pub fields: Vec<FieldDecl>,
+    /// Schema declarations in source order.
+    pub schemas: Vec<SchemaDecl>,
+    /// Datastore declarations in source order.
+    pub datastores: Vec<DatastoreDeclAst>,
+    /// Service declarations in source order.
+    pub services: Vec<ServiceDeclAst>,
+    /// The merged policy block(s).
+    pub policy: PolicyDecl,
+    /// Data-flow blocks, one per service.
+    pub flows: Vec<FlowsDecl>,
+    /// Declared user profiles.
+    pub users: Vec<UserDecl>,
+}
+
+impl ModelAst {
+    /// Creates an empty document with the given system name.
+    pub fn empty(name: impl Into<String>) -> Self {
+        ModelAst {
+            name: name.into(),
+            actors: Vec::new(),
+            fields: Vec::new(),
+            schemas: Vec::new(),
+            datastores: Vec::new(),
+            services: Vec::new(),
+            policy: PolicyDecl::default(),
+            flows: Vec::new(),
+            users: Vec::new(),
+        }
+    }
+
+    /// Total number of declarations of any kind (useful as a size heuristic).
+    pub fn declaration_count(&self) -> usize {
+        self.actors.len()
+            + self.fields.len()
+            + self.schemas.len()
+            + self.datastores.len()
+            + self.services.len()
+            + self.policy.allows.len()
+            + self.policy.roles.len()
+            + self.policy.assignments.len()
+            + self.flows.iter().map(|f| f.flows.len()).sum::<usize>()
+            + self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn empty_document_has_no_declarations() {
+        let ast = ModelAst::empty("Demo");
+        assert_eq!(ast.name, "Demo");
+        assert_eq!(ast.declaration_count(), 0);
+    }
+
+    #[test]
+    fn declaration_count_sums_every_section() {
+        let mut ast = ModelAst::empty("Demo");
+        ast.actors.push(ActorDecl {
+            name: Name::new("Doctor", Span::default()),
+            kind: ActorKindAst::Role,
+            description: None,
+        });
+        ast.fields.push(FieldDecl {
+            name: Name::new("Name", Span::default()),
+            kind: FieldKindAst::Identifier,
+            anonymised: false,
+        });
+        ast.policy.allows.push(AllowDecl {
+            actor: Name::new("Doctor", Span::default()),
+            permissions: vec![PermissionAst::Read],
+            datastore: Name::new("EHR", Span::default()),
+            fields: None,
+            span: Span::default(),
+        });
+        ast.flows.push(FlowsDecl {
+            service: Name::new("MedicalService", Span::default()),
+            flows: vec![FlowDecl {
+                order: 1,
+                kind: FlowKindAst::Collect { actor: Name::new("Doctor", Span::default()) },
+                fields: vec![Name::new("Name", Span::default())],
+                purpose: "consultation".into(),
+                span: Span::default(),
+            }],
+        });
+        assert_eq!(ast.declaration_count(), 4);
+    }
+}

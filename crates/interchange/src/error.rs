@@ -1,0 +1,185 @@
+//! Diagnostics raised while lexing, parsing or resolving `.psm` documents.
+
+use crate::span::Span;
+use privacy_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// The category of an [`InterchangeError`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InterchangeErrorKind {
+    /// A character sequence could not be tokenised.
+    Lex {
+        /// Description of the offending input.
+        message: String,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The document was syntactically valid but semantically inconsistent
+    /// (e.g. a flow references an undeclared field).
+    Resolve {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// A model-construction error bubbled up from the substrate crates.
+    Model(ModelError),
+}
+
+/// An error produced while reading a `.psm` document, carrying the source
+/// location it refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterchangeError {
+    kind: InterchangeErrorKind,
+    span: Span,
+}
+
+impl InterchangeError {
+    /// Creates a lexical error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        InterchangeError { kind: InterchangeErrorKind::Lex { message: message.into() }, span }
+    }
+
+    /// Creates a parse error from an expectation and the offending token.
+    pub fn parse(expected: impl Into<String>, found: impl Into<String>, span: Span) -> Self {
+        InterchangeError {
+            kind: InterchangeErrorKind::Parse {
+                expected: expected.into(),
+                found: found.into(),
+            },
+            span,
+        }
+    }
+
+    /// Creates a resolution (semantic) error.
+    pub fn resolve(message: impl Into<String>, span: Span) -> Self {
+        InterchangeError {
+            kind: InterchangeErrorKind::Resolve { message: message.into() },
+            span,
+        }
+    }
+
+    /// Wraps a substrate [`ModelError`] at a source location.
+    pub fn model(error: ModelError, span: Span) -> Self {
+        InterchangeError { kind: InterchangeErrorKind::Model(error), span }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &InterchangeErrorKind {
+        &self.kind
+    }
+
+    /// The source span the error refers to.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error together with the offending source line and a caret
+    /// marker, in the style of a compiler diagnostic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use privacy_interchange::parse_ast;
+    /// let source = "system \"X\" {\n    actor : role\n}";
+    /// let error = parse_ast(source).unwrap_err();
+    /// let rendered = error.render(source);
+    /// assert!(rendered.contains("line 2"));
+    /// assert!(rendered.contains("^"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_number = self.span.start.line as usize;
+        let column = self.span.start.column as usize;
+        let mut out = format!("error at {}: {self}\n", self.span);
+        if let Some(line) = source.lines().nth(line_number.saturating_sub(1)) {
+            out.push_str(&format!("  --> line {line_number}\n"));
+            out.push_str(&format!("   | {line}\n"));
+            let caret_width = {
+                let same_line = self.span.start.line == self.span.end.line;
+                let end = if same_line { self.span.end.column as usize } else { column + 1 };
+                end.saturating_sub(column).max(1)
+            };
+            out.push_str(&format!(
+                "   | {}{}\n",
+                " ".repeat(column.saturating_sub(1)),
+                "^".repeat(caret_width)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for InterchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            InterchangeErrorKind::Lex { message } => write!(f, "lexical error: {message}"),
+            InterchangeErrorKind::Parse { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            InterchangeErrorKind::Resolve { message } => f.write_str(message),
+            InterchangeErrorKind::Model(error) => write!(f, "model error: {error}"),
+        }
+    }
+}
+
+impl Error for InterchangeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            InterchangeErrorKind::Model(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Position, Span};
+
+    fn span() -> Span {
+        Span::new(Position::new(2, 5), Position::new(2, 9))
+    }
+
+    #[test]
+    fn display_mentions_expectation_for_parse_errors() {
+        let error = InterchangeError::parse("`{`", "`,`", span());
+        assert_eq!(error.to_string(), "expected `{`, found `,`");
+    }
+
+    #[test]
+    fn display_forwards_resolve_message() {
+        let error = InterchangeError::resolve("unknown field `Weight`", span());
+        assert_eq!(error.to_string(), "unknown field `Weight`");
+        assert_eq!(error.span(), span());
+    }
+
+    #[test]
+    fn model_errors_are_wrapped_with_source() {
+        let error = InterchangeError::model(ModelError::duplicate("actor", "Doctor"), span());
+        assert!(error.to_string().contains("duplicate actor"));
+        assert!(Error::source(&error).is_some());
+    }
+
+    #[test]
+    fn render_points_at_the_offending_column() {
+        let source = "line one\nabcdefghij\nline three";
+        let error = InterchangeError::lex("unexpected character `%`", span());
+        let rendered = error.render(source);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("abcdefghij"));
+        // Caret starts under column 5 and spans four characters (5..9).
+        assert!(rendered.contains("   |     ^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_lines() {
+        let error = InterchangeError::lex("boom", Span::at(Position::new(99, 1)));
+        let rendered = error.render("only one line");
+        assert!(rendered.contains("boom"));
+    }
+}

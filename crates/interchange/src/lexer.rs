@@ -1,0 +1,353 @@
+//! The `.psm` lexer.
+//!
+//! Tokenises source text into [`Token`]s, tracking 1-based line/column
+//! positions for diagnostics.  Both `#` and `//` line comments are
+//! supported; string literals use double quotes with `\"` and `\\` escapes.
+
+use crate::error::InterchangeError;
+use crate::span::{Position, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises an entire document.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns an [`InterchangeError`] for unterminated strings, malformed
+/// numbers or characters outside the grammar's alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_interchange::lexer::tokenize;
+/// use privacy_interchange::TokenKind;
+///
+/// let tokens = tokenize("actor Doctor : role").unwrap();
+/// assert_eq!(tokens.len(), 5); // actor, Doctor, `:`, role, EOF
+/// assert!(matches!(tokens.last().unwrap().kind, TokenKind::Eof));
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, InterchangeError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    position: Position,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            position: Position::START,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, InterchangeError> {
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '#' => self.skip_line_comment(),
+                '/' => {
+                    let start = self.position;
+                    self.bump();
+                    if self.chars.peek() == Some(&'/') {
+                        self.skip_line_comment();
+                    } else {
+                        return Err(InterchangeError::lex(
+                            "unexpected character `/` (did you mean a `//` comment?)",
+                            Span::at(start),
+                        ));
+                    }
+                }
+                '{' => self.single(TokenKind::LBrace),
+                '}' => self.single(TokenKind::RBrace),
+                ':' => self.single(TokenKind::Colon),
+                ',' => self.single(TokenKind::Comma),
+                '=' => self.single(TokenKind::Equals),
+                '-' => self.arrow()?,
+                '<' => self.back_arrow()?,
+                '"' => self.string()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if is_ident_start(c) => self.ident(),
+                other => {
+                    return Err(InterchangeError::lex(
+                        format!("unexpected character `{other}`"),
+                        Span::at(self.position),
+                    ));
+                }
+            }
+        }
+        self.tokens.push(Token::new(TokenKind::Eof, Span::at(self.position)));
+        Ok(self.tokens)
+    }
+
+    /// Consumes one character, updating the line/column bookkeeping.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.position.line += 1;
+            self.position.column = 1;
+        } else {
+            self.position.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(&c) = self.chars.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.position;
+        self.bump();
+        self.tokens.push(Token::new(kind, Span::new(start, self.position)));
+    }
+
+    fn arrow(&mut self) -> Result<(), InterchangeError> {
+        let start = self.position;
+        self.bump(); // '-'
+        if self.chars.peek() == Some(&'>') {
+            self.bump();
+            self.tokens.push(Token::new(TokenKind::Arrow, Span::new(start, self.position)));
+            Ok(())
+        } else {
+            Err(InterchangeError::lex("expected `->`", Span::at(start)))
+        }
+    }
+
+    fn back_arrow(&mut self) -> Result<(), InterchangeError> {
+        let start = self.position;
+        self.bump(); // '<'
+        if self.chars.peek() == Some(&'-') {
+            self.bump();
+            self.tokens.push(Token::new(TokenKind::BackArrow, Span::new(start, self.position)));
+            Ok(())
+        } else {
+            Err(InterchangeError::lex("expected `<-`", Span::at(start)))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), InterchangeError> {
+        let start = self.position;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('"') => text.push('"'),
+                    Some('\\') => text.push('\\'),
+                    Some('n') => text.push('\n'),
+                    Some(other) => {
+                        return Err(InterchangeError::lex(
+                            format!("unknown escape `\\{other}`"),
+                            Span::new(start, self.position),
+                        ));
+                    }
+                    None => {
+                        return Err(InterchangeError::lex(
+                            "unterminated string literal",
+                            Span::new(start, self.position),
+                        ));
+                    }
+                },
+                Some('\n') | None => {
+                    return Err(InterchangeError::lex(
+                        "unterminated string literal",
+                        Span::new(start, self.position),
+                    ));
+                }
+                Some(other) => text.push(other),
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Str(text), Span::new(start, self.position)));
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), InterchangeError> {
+        let start = self.position;
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || c == '.' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let value: f64 = text.parse().map_err(|_| {
+            InterchangeError::lex(
+                format!("malformed number `{text}`"),
+                Span::new(start, self.position),
+            )
+        })?;
+        self.tokens
+            .push(Token::new(TokenKind::Number(value), Span::new(start, self.position)));
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.position;
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Ident(text), Span::new(start, self.position)));
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenises_punctuation_and_identifiers() {
+        let tokens = kinds("actor Doctor : role { } , =");
+        assert_eq!(
+            tokens,
+            vec![
+                TokenKind::Ident("actor".into()),
+                TokenKind::Ident("Doctor".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("role".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Comma,
+                TokenKind::Equals,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenises_arrows() {
+        assert_eq!(
+            kinds("A -> B <- C"),
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("B".into()),
+                TokenKind::BackArrow,
+                TokenKind::Ident("C".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenises_strings_with_spaces_and_escapes() {
+        let tokens = kinds(r#""Date of Birth" "say \"hi\"""#);
+        assert_eq!(
+            tokens,
+            vec![
+                TokenKind::Str("Date of Birth".into()),
+                TokenKind::Str("say \"hi\"".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenises_integers_and_decimals() {
+        assert_eq!(
+            kinds("2 0.95"),
+            vec![TokenKind::Number(2.0), TokenKind::Number(0.95), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_hash_and_slash_comments() {
+        let source = "# heading\nactor // trailing comment\nDoctor";
+        assert_eq!(
+            kinds(source),
+            vec![
+                TokenKind::Ident("actor".into()),
+                TokenKind::Ident("Doctor".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column_positions() {
+        let tokens = tokenize("actor\n  Doctor").unwrap();
+        assert_eq!(tokens[0].span.start.line, 1);
+        assert_eq!(tokens[0].span.start.column, 1);
+        assert_eq!(tokens[1].span.start.line, 2);
+        assert_eq!(tokens[1].span.start.column, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_strings() {
+        let error = tokenize("\"never closed").unwrap_err();
+        assert!(error.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let error = tokenize("actor %").unwrap_err();
+        assert!(error.to_string().contains("unexpected character `%`"));
+        assert_eq!(error.span().start.column, 7);
+    }
+
+    #[test]
+    fn rejects_lone_dash_and_lone_angle() {
+        assert!(tokenize("a - b").is_err());
+        assert!(tokenize("a < b").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        let error = tokenize("1.2.3").unwrap_err();
+        assert!(error.to_string().contains("malformed number"));
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        let tokens = tokenize("").unwrap();
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn identifiers_may_contain_dashes_and_underscores() {
+        assert_eq!(
+            kinds("case-a-user some_field"),
+            vec![
+                TokenKind::Ident("case-a-user".into()),
+                TokenKind::Ident("some_field".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,695 @@
+//! Recursive-descent parser for `.psm` documents.
+//!
+//! The grammar (names may be bare identifiers or quoted strings):
+//!
+//! ```text
+//! document   := "system" NAME "{" item* "}"
+//! item       := actor | field | schema | datastore | service
+//!             | policy | flows | user
+//! actor      := "actor" NAME ":" ("role"|"individual"|"subject"|"system") [STRING]
+//! field      := "field" NAME ":" ("identifier"|"quasi"|"sensitive"|"other") ["anonymised"]
+//! schema     := "schema" NAME "{" NAME ("," NAME)* "}"
+//! datastore  := "datastore" NAME ":" NAME ["anonymised"]
+//! service    := "service" NAME "{" "actors" NAME ("," NAME)* ["description" STRING] "}"
+//! policy     := "policy" "{" (allow | role | assign)* "}"
+//! allow      := "allow" NAME perms "on" NAME ["fields" "{" names "}"]
+//! role       := "role" NAME "{" (perms "on" NAME ["fields" "{" names "}"])* "}"
+//! assign     := "assign" NAME "->" NAME
+//! perms      := ("read"|"create"|"delete"|"disclose") ("," ...)*
+//! flows      := "flows" NAME "{" flow* "}"
+//! flow       := NUMBER ":" body "for" STRING
+//! body       := "collect" NAME "{" names "}"
+//!             | "disclose" NAME "->" NAME "{" names "}"
+//!             | "create" NAME "->" NAME "{" names "}"
+//!             | "anonymise" NAME "->" NAME "{" names "}"
+//!             | "read" NAME "<-" NAME "{" names "}"
+//! user       := "user" NAME "{" ("consents" names | "sensitivity" NAME "=" sens)* "}"
+//! sens       := NUMBER | "low" | "medium" | "high"
+//! ```
+
+use crate::ast::*;
+use crate::error::InterchangeError;
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses source text into a [`ModelAst`] without resolving it.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_interchange::parse_ast;
+/// let ast = parse_ast("system \"S\" { actor A : role }").unwrap();
+/// assert_eq!(ast.actors.len(), 1);
+/// ```
+pub fn parse_ast(source: &str) -> Result<ModelAst, InterchangeError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, index: 0 }.document()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        if self.index < self.tokens.len() - 1 {
+            self.index += 1;
+        }
+        token
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn error_here(&self, expected: impl Into<String>) -> InterchangeError {
+        let token = self.peek();
+        InterchangeError::parse(expected, token.kind.describe(), token.span)
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<Span, InterchangeError> {
+        if self.peek().kind.is_keyword(keyword) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error_here(format!("`{keyword}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek().kind.is_keyword(keyword) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, describe: &str) -> Result<Span, InterchangeError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error_here(describe))
+        }
+    }
+
+    /// A name is either a bare identifier or a quoted string.
+    fn name(&mut self, what: &str) -> Result<Name, InterchangeError> {
+        let token = self.peek().clone();
+        match token.kind.as_name() {
+            Some(text) => {
+                self.bump();
+                Ok(Name::new(text, token.span))
+            }
+            None => Err(self.error_here(format!("a {what} name"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, InterchangeError> {
+        match &self.peek().kind {
+            TokenKind::Str(text) => {
+                let text = text.clone();
+                self.bump();
+                Ok(text)
+            }
+            _ => Err(self.error_here(format!("a quoted {what} string"))),
+        }
+    }
+
+    fn optional_string(&mut self) -> Option<String> {
+        match &self.peek().kind {
+            TokenKind::Str(text) => {
+                let text = text.clone();
+                self.bump();
+                Some(text)
+            }
+            _ => None,
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(f64, Span), InterchangeError> {
+        match self.peek().kind {
+            TokenKind::Number(value) => {
+                let span = self.bump().span;
+                Ok((value, span))
+            }
+            _ => Err(self.error_here(format!("a {what} number"))),
+        }
+    }
+
+    /// `name ("," name)*`
+    fn name_list(&mut self, what: &str) -> Result<Vec<Name>, InterchangeError> {
+        let mut names = vec![self.name(what)?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            names.push(self.name(what)?);
+        }
+        Ok(names)
+    }
+
+    /// `"{" name ("," name)* "}"`
+    fn braced_name_list(&mut self, what: &str) -> Result<Vec<Name>, InterchangeError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let names = self.name_list(what)?;
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(names)
+    }
+
+    fn document(&mut self) -> Result<ModelAst, InterchangeError> {
+        self.expect_keyword("system")?;
+        let name = self.name("system")?;
+        let mut ast = ModelAst::empty(name.text);
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("`}` closing the system block"));
+            }
+            self.item(&mut ast)?;
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        if !self.at_eof() {
+            return Err(self.error_here("end of input after the system block"));
+        }
+        Ok(ast)
+    }
+
+    fn item(&mut self, ast: &mut ModelAst) -> Result<(), InterchangeError> {
+        let token = self.peek().clone();
+        match token.kind.as_name() {
+            Some("actor") => {
+                let decl = self.actor()?;
+                ast.actors.push(decl);
+            }
+            Some("field") => {
+                let decl = self.field()?;
+                ast.fields.push(decl);
+            }
+            Some("schema") => {
+                let decl = self.schema()?;
+                ast.schemas.push(decl);
+            }
+            Some("datastore") => {
+                let decl = self.datastore()?;
+                ast.datastores.push(decl);
+            }
+            Some("service") => {
+                let decl = self.service()?;
+                ast.services.push(decl);
+            }
+            Some("policy") => {
+                self.policy(&mut ast.policy)?;
+            }
+            Some("flows") => {
+                let decl = self.flows()?;
+                ast.flows.push(decl);
+            }
+            Some("user") => {
+                let decl = self.user()?;
+                ast.users.push(decl);
+            }
+            _ => {
+                return Err(self.error_here(
+                    "`actor`, `field`, `schema`, `datastore`, `service`, `policy`, `flows` or `user`",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn actor(&mut self) -> Result<ActorDecl, InterchangeError> {
+        self.expect_keyword("actor")?;
+        let name = self.name("actor")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let kind_token = self.peek().clone();
+        let kind = match kind_token.kind.as_name() {
+            Some("role") => ActorKindAst::Role,
+            Some("individual") => ActorKindAst::Individual,
+            Some("subject") => ActorKindAst::DataSubject,
+            Some("system") => ActorKindAst::System,
+            _ => {
+                return Err(self.error_here("`role`, `individual`, `subject` or `system`"));
+            }
+        };
+        self.bump();
+        let description = self.optional_string();
+        Ok(ActorDecl { name, kind, description })
+    }
+
+    fn field(&mut self) -> Result<FieldDecl, InterchangeError> {
+        self.expect_keyword("field")?;
+        let name = self.name("field")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let kind_token = self.peek().clone();
+        let kind = match kind_token.kind.as_name() {
+            Some("identifier") => FieldKindAst::Identifier,
+            Some("quasi") => FieldKindAst::QuasiIdentifier,
+            Some("sensitive") => FieldKindAst::Sensitive,
+            Some("other") => FieldKindAst::Other,
+            _ => return Err(self.error_here("`identifier`, `quasi`, `sensitive` or `other`")),
+        };
+        self.bump();
+        let anonymised = self.eat_keyword("anonymised");
+        Ok(FieldDecl { name, kind, anonymised })
+    }
+
+    fn schema(&mut self) -> Result<SchemaDecl, InterchangeError> {
+        self.expect_keyword("schema")?;
+        let name = self.name("schema")?;
+        let fields = self.braced_name_list("field")?;
+        Ok(SchemaDecl { name, fields })
+    }
+
+    fn datastore(&mut self) -> Result<DatastoreDeclAst, InterchangeError> {
+        self.expect_keyword("datastore")?;
+        let name = self.name("datastore")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let schema = self.name("schema")?;
+        let anonymised = self.eat_keyword("anonymised");
+        Ok(DatastoreDeclAst { name, schema, anonymised })
+    }
+
+    fn service(&mut self) -> Result<ServiceDeclAst, InterchangeError> {
+        self.expect_keyword("service")?;
+        let name = self.name("service")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        self.expect_keyword("actors")?;
+        let actors = self.name_list("actor")?;
+        let description = if self.eat_keyword("description") {
+            Some(self.string("description")?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(ServiceDeclAst { name, actors, description })
+    }
+
+    fn permissions(&mut self) -> Result<Vec<PermissionAst>, InterchangeError> {
+        let mut permissions = vec![self.permission()?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            permissions.push(self.permission()?);
+        }
+        Ok(permissions)
+    }
+
+    fn permission(&mut self) -> Result<PermissionAst, InterchangeError> {
+        let token = self.peek().clone();
+        let permission = match token.kind.as_name() {
+            Some("read") => PermissionAst::Read,
+            Some("create") => PermissionAst::Create,
+            Some("delete") => PermissionAst::Delete,
+            Some("disclose") => PermissionAst::Disclose,
+            _ => return Err(self.error_here("`read`, `create`, `delete` or `disclose`")),
+        };
+        self.bump();
+        Ok(permission)
+    }
+
+    fn field_restriction(&mut self) -> Result<Option<Vec<Name>>, InterchangeError> {
+        if self.eat_keyword("fields") {
+            Ok(Some(self.braced_name_list("field")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn policy(&mut self, policy: &mut PolicyDecl) -> Result<(), InterchangeError> {
+        self.expect_keyword("policy")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("`}` closing the policy block"));
+            }
+            let token = self.peek().clone();
+            match token.kind.as_name() {
+                Some("allow") => {
+                    let start = self.bump().span;
+                    let actor = self.name("actor")?;
+                    let permissions = self.permissions()?;
+                    self.expect_keyword("on")?;
+                    let datastore = self.name("datastore")?;
+                    let fields = self.field_restriction()?;
+                    let span = start.merge(datastore.span);
+                    policy.allows.push(AllowDecl { actor, permissions, datastore, fields, span });
+                }
+                Some("role") => {
+                    self.bump();
+                    let name = self.name("role")?;
+                    self.expect(&TokenKind::LBrace, "`{`")?;
+                    let mut grants = Vec::new();
+                    while !matches!(self.peek().kind, TokenKind::RBrace) {
+                        if self.at_eof() {
+                            return Err(self.error_here("`}` closing the role block"));
+                        }
+                        let permissions = self.permissions()?;
+                        self.expect_keyword("on")?;
+                        let datastore = self.name("datastore")?;
+                        let fields = self.field_restriction()?;
+                        grants.push(RoleGrantDecl { permissions, datastore, fields });
+                    }
+                    self.expect(&TokenKind::RBrace, "`}`")?;
+                    policy.roles.push(RoleDecl { name, grants });
+                }
+                Some("assign") => {
+                    self.bump();
+                    let actor = self.name("actor")?;
+                    self.expect(&TokenKind::Arrow, "`->`")?;
+                    let role = self.name("role")?;
+                    policy.assignments.push(AssignDecl { actor, role });
+                }
+                _ => return Err(self.error_here("`allow`, `role` or `assign`")),
+            }
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(())
+    }
+
+    fn flows(&mut self) -> Result<FlowsDecl, InterchangeError> {
+        self.expect_keyword("flows")?;
+        let service = self.name("service")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut flows = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("`}` closing the flows block"));
+            }
+            flows.push(self.flow()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(FlowsDecl { service, flows })
+    }
+
+    fn flow(&mut self) -> Result<FlowDecl, InterchangeError> {
+        let (order_value, start) = self.number("flow order")?;
+        if order_value.fract() != 0.0 || order_value < 0.0 || order_value > u32::MAX as f64 {
+            return Err(InterchangeError::parse(
+                "a non-negative integer flow order",
+                format!("`{order_value}`"),
+                start,
+            ));
+        }
+        let order = order_value as u32;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let verb = self.peek().clone();
+        let kind = match verb.kind.as_name() {
+            Some("collect") => {
+                self.bump();
+                let actor = self.name("actor")?;
+                FlowKindAst::Collect { actor }
+            }
+            Some("disclose") => {
+                self.bump();
+                let from = self.name("actor")?;
+                self.expect(&TokenKind::Arrow, "`->`")?;
+                let to = self.name("actor")?;
+                FlowKindAst::Disclose { from, to }
+            }
+            Some("create") => {
+                self.bump();
+                let actor = self.name("actor")?;
+                self.expect(&TokenKind::Arrow, "`->`")?;
+                let datastore = self.name("datastore")?;
+                FlowKindAst::Create { actor, datastore }
+            }
+            Some("anonymise") => {
+                self.bump();
+                let actor = self.name("actor")?;
+                self.expect(&TokenKind::Arrow, "`->`")?;
+                let datastore = self.name("datastore")?;
+                FlowKindAst::Anonymise { actor, datastore }
+            }
+            Some("read") => {
+                self.bump();
+                let actor = self.name("actor")?;
+                self.expect(&TokenKind::BackArrow, "`<-`")?;
+                let datastore = self.name("datastore")?;
+                FlowKindAst::Read { actor, datastore }
+            }
+            _ => {
+                return Err(self.error_here(
+                    "`collect`, `disclose`, `create`, `anonymise` or `read`",
+                ));
+            }
+        };
+        let fields = self.braced_name_list("field")?;
+        self.expect_keyword("for")?;
+        let purpose = self.string("purpose")?;
+        let span = start.merge(self.tokens[self.index.saturating_sub(1)].span);
+        Ok(FlowDecl { order, kind, fields, purpose, span })
+    }
+
+    fn user(&mut self) -> Result<UserDecl, InterchangeError> {
+        self.expect_keyword("user")?;
+        let name = self.name("user")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut consents = Vec::new();
+        let mut sensitivities = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(self.error_here("`}` closing the user block"));
+            }
+            let token = self.peek().clone();
+            match token.kind.as_name() {
+                Some("consents") => {
+                    self.bump();
+                    consents.extend(self.name_list("service")?);
+                }
+                Some("sensitivity") => {
+                    self.bump();
+                    let field = self.name("field")?;
+                    self.expect(&TokenKind::Equals, "`=`")?;
+                    let value_token = self.peek().clone();
+                    let sensitivity = match &value_token.kind {
+                        TokenKind::Number(value) => {
+                            self.bump();
+                            SensitivityAst::Value(*value)
+                        }
+                        TokenKind::Ident(word)
+                            if ["low", "medium", "high"].contains(&word.as_str()) =>
+                        {
+                            let word = word.clone();
+                            self.bump();
+                            SensitivityAst::Category(word)
+                        }
+                        _ => {
+                            return Err(self.error_here(
+                                "a sensitivity value in [0, 1] or `low`/`medium`/`high`",
+                            ));
+                        }
+                    };
+                    sensitivities.push((field, sensitivity));
+                }
+                _ => return Err(self.error_here("`consents` or `sensitivity`")),
+            }
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(UserDecl { name, consents, sensitivities })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+    # A miniature clinic.
+    system "Clinic" {
+        actor Doctor : role "treats patients"
+        actor Researcher : role
+        field Name : identifier
+        field Diagnosis : sensitive anonymised
+        field "Date of Birth" : quasi
+        schema EHRSchema { Name, "Date of Birth", Diagnosis }
+        datastore EHR : EHRSchema
+        datastore AnonEHR : EHRSchema anonymised
+        service MedicalService { actors Doctor description "consultation" }
+        policy {
+            allow Doctor read, create on EHR
+            allow Researcher read on AnonEHR fields { Diagnosis }
+            role Clinician { read on EHR }
+            assign Doctor -> Clinician
+        }
+        flows MedicalService {
+            1: collect Doctor { Name, Diagnosis } for "consultation"
+            2: create Doctor -> EHR { Name, Diagnosis } for "record keeping"
+            3: read Researcher <- AnonEHR { Diagnosis } for "research"
+        }
+        user "patient-1" {
+            consents MedicalService
+            sensitivity Diagnosis = high
+            sensitivity Name = 0.25
+        }
+    }
+    "#;
+
+    #[test]
+    fn parses_the_small_clinic_document() {
+        let ast = parse_ast(SMALL).unwrap();
+        assert_eq!(ast.name, "Clinic");
+        assert_eq!(ast.actors.len(), 2);
+        assert_eq!(ast.fields.len(), 3);
+        assert_eq!(ast.schemas.len(), 1);
+        assert_eq!(ast.datastores.len(), 2);
+        assert_eq!(ast.services.len(), 1);
+        assert_eq!(ast.policy.allows.len(), 2);
+        assert_eq!(ast.policy.roles.len(), 1);
+        assert_eq!(ast.policy.assignments.len(), 1);
+        assert_eq!(ast.flows.len(), 1);
+        assert_eq!(ast.flows[0].flows.len(), 3);
+        assert_eq!(ast.users.len(), 1);
+    }
+
+    #[test]
+    fn actor_descriptions_and_kinds_are_recorded() {
+        let ast = parse_ast(SMALL).unwrap();
+        assert_eq!(ast.actors[0].description.as_deref(), Some("treats patients"));
+        assert_eq!(ast.actors[0].kind, ActorKindAst::Role);
+        assert_eq!(ast.actors[1].description, None);
+    }
+
+    #[test]
+    fn quoted_names_preserve_spaces() {
+        let ast = parse_ast(SMALL).unwrap();
+        assert_eq!(ast.fields[2].name.text, "Date of Birth");
+        assert!(ast.schemas[0].fields.iter().any(|f| f.text == "Date of Birth"));
+    }
+
+    #[test]
+    fn field_anonymised_marker_is_parsed() {
+        let ast = parse_ast(SMALL).unwrap();
+        assert!(ast.fields[1].anonymised);
+        assert!(!ast.fields[0].anonymised);
+        assert!(ast.datastores[1].anonymised);
+    }
+
+    #[test]
+    fn allow_rules_capture_permissions_and_field_restrictions() {
+        let ast = parse_ast(SMALL).unwrap();
+        let allow = &ast.policy.allows[0];
+        assert_eq!(allow.permissions, vec![PermissionAst::Read, PermissionAst::Create]);
+        assert!(allow.fields.is_none());
+        let restricted = &ast.policy.allows[1];
+        assert_eq!(restricted.fields.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flow_statements_capture_order_kind_fields_and_purpose() {
+        let ast = parse_ast(SMALL).unwrap();
+        let flows = &ast.flows[0].flows;
+        assert_eq!(flows[0].order, 1);
+        assert!(matches!(flows[0].kind, FlowKindAst::Collect { .. }));
+        assert!(matches!(flows[1].kind, FlowKindAst::Create { .. }));
+        assert!(matches!(flows[2].kind, FlowKindAst::Read { .. }));
+        assert_eq!(flows[2].purpose, "research");
+        assert_eq!(flows[1].fields.len(), 2);
+    }
+
+    #[test]
+    fn user_blocks_capture_consent_and_sensitivities() {
+        let ast = parse_ast(SMALL).unwrap();
+        let user = &ast.users[0];
+        assert_eq!(user.name.text, "patient-1");
+        assert_eq!(user.consents.len(), 1);
+        assert_eq!(user.sensitivities.len(), 2);
+        assert_eq!(user.sensitivities[0].1, SensitivityAst::Category("high".into()));
+        assert_eq!(user.sensitivities[1].1, SensitivityAst::Value(0.25));
+    }
+
+    #[test]
+    fn missing_system_keyword_is_reported() {
+        let error = parse_ast("actor A : role").unwrap_err();
+        assert!(error.to_string().contains("`system`"));
+    }
+
+    #[test]
+    fn unknown_item_keyword_is_reported_with_position() {
+        let error = parse_ast("system \"S\" {\n  widget W\n}").unwrap_err();
+        assert_eq!(error.span().start.line, 2);
+        assert!(error.to_string().contains("expected `actor`"));
+    }
+
+    #[test]
+    fn missing_colon_in_actor_is_reported() {
+        let error = parse_ast("system \"S\" { actor Doctor role }").unwrap_err();
+        assert!(error.to_string().contains("`:`"));
+    }
+
+    #[test]
+    fn invalid_actor_kind_is_reported() {
+        let error = parse_ast("system \"S\" { actor Doctor : wizard }").unwrap_err();
+        assert!(error.to_string().contains("`role`, `individual`, `subject` or `system`"));
+    }
+
+    #[test]
+    fn fractional_flow_order_is_rejected() {
+        let source = r#"system "S" {
+            actor A : role
+            field F : other
+            schema Sc { F }
+            datastore D : Sc
+            service Svc { actors A }
+            flows Svc { 1.5: collect A { F } for "x" }
+        }"#;
+        let error = parse_ast(source).unwrap_err();
+        assert!(error.to_string().contains("integer flow order"));
+    }
+
+    #[test]
+    fn read_flow_requires_back_arrow() {
+        let source = r#"system "S" {
+            flows Svc { 1: read A -> D { F } for "x" }
+        }"#;
+        let error = parse_ast(source).unwrap_err();
+        assert!(error.to_string().contains("`<-`"));
+    }
+
+    #[test]
+    fn trailing_tokens_after_system_block_are_rejected() {
+        let error = parse_ast("system \"S\" { } extra").unwrap_err();
+        assert!(error.to_string().contains("end of input"));
+    }
+
+    #[test]
+    fn unterminated_system_block_is_rejected() {
+        let error = parse_ast("system \"S\" { actor A : role").unwrap_err();
+        assert!(error.to_string().contains("closing the system block"));
+    }
+
+    #[test]
+    fn invalid_sensitivity_value_is_rejected() {
+        let source = r#"system "S" { user U { sensitivity F = extreme } }"#;
+        let error = parse_ast(source).unwrap_err();
+        assert!(error.to_string().contains("sensitivity value"));
+    }
+
+    #[test]
+    fn empty_system_parses() {
+        let ast = parse_ast("system Demo { }").unwrap();
+        assert_eq!(ast.name, "Demo");
+        assert_eq!(ast.declaration_count(), 0);
+    }
+
+    #[test]
+    fn multiple_policy_blocks_are_merged() {
+        let source = r#"system "S" {
+            actor A : role
+            schema Sc { F }
+            field F : other
+            datastore D : Sc
+            policy { allow A read on D }
+            policy { allow A create on D }
+        }"#;
+        let ast = parse_ast(source).unwrap();
+        assert_eq!(ast.policy.allows.len(), 2);
+    }
+}

@@ -1,0 +1,479 @@
+//! Rendering system models back into canonical `.psm` text.
+//!
+//! The printer is the inverse of the parser: `parse_document(render_document(d))`
+//! yields a document describing the same system.  Output is deterministic
+//! (catalog iteration order), so rendered models can be diffed meaningfully
+//! in version control.
+//!
+//! ABAC rules are intentionally not rendered — the `.psm` surface syntax
+//! covers ACL and RBAC only; systems using ABAC must be built with the Rust
+//! API.
+
+use crate::resolve::ModelDocument;
+use privacy_access::Permission;
+use privacy_core::PrivacySystem;
+use privacy_dataflow::{FlowKind, Node};
+use privacy_model::{ActorKind, FieldKind, UserProfile};
+use std::fmt::Write as _;
+
+/// Renders a resolved document (system plus users) into `.psm` text.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_interchange::{parse_document, render_document};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let source = "system S { actor A : role field F : other schema Sc { F } \
+///               datastore D : Sc service Svc { actors A } \
+///               flows Svc { 1: collect A { F } for \"x\" } }";
+/// let document = parse_document(source)?;
+/// let rendered = render_document(&document);
+/// assert!(rendered.starts_with("system"));
+/// assert!(parse_document(&rendered).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_document(document: &ModelDocument) -> String {
+    render(&document.name, &document.system, &document.users)
+}
+
+/// Renders a [`PrivacySystem`] (with no user profiles) into `.psm` text.
+pub fn render_system(name: &str, system: &PrivacySystem) -> String {
+    render(name, system, &[])
+}
+
+fn render(name: &str, system: &PrivacySystem, users: &[UserProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "system {} {{", quote(name));
+
+    render_actors(&mut out, system);
+    render_fields(&mut out, system);
+    render_schemas(&mut out, system);
+    render_datastores(&mut out, system);
+    render_services(&mut out, system);
+    render_policy(&mut out, system);
+    render_flows(&mut out, system);
+    render_users(&mut out, users);
+
+    out.push_str("}\n");
+    out
+}
+
+fn render_actors(out: &mut String, system: &PrivacySystem) {
+    for actor in system.catalog().actors() {
+        let kind = match actor.kind() {
+            ActorKind::Individual => "individual",
+            ActorKind::DataSubject => "subject",
+            ActorKind::System => "system",
+            // `Role` and any future kinds render as the common case.
+            _ => "role",
+        };
+        let _ = write!(out, "    actor {} : {kind}", quote(actor.id().as_str()));
+        if !actor.description().is_empty() {
+            let _ = write!(out, " {}", quote_always(actor.description()));
+        }
+        out.push('\n');
+    }
+}
+
+fn render_fields(out: &mut String, system: &PrivacySystem) {
+    let catalog = system.catalog();
+    for field in catalog.fields() {
+        if field.is_pseudonymised() {
+            // Skip counterparts that will be re-created by the `anonymised`
+            // marker on their original; render orphans as plain fields.
+            if let Some(original) = field.original() {
+                if catalog.field(&original).is_some() {
+                    continue;
+                }
+            }
+        }
+        let kind = match field.kind() {
+            FieldKind::Identifier => "identifier",
+            FieldKind::QuasiIdentifier => "quasi",
+            FieldKind::Sensitive => "sensitive",
+            // `Other` and any future kinds render as the catch-all case.
+            _ => "other",
+        };
+        let _ = write!(out, "    field {} : {kind}", quote(field.id().as_str()));
+        if !field.is_pseudonymised() && catalog.field(&field.id().anonymised()).is_some() {
+            out.push_str(" anonymised");
+        }
+        out.push('\n');
+    }
+}
+
+fn render_schemas(out: &mut String, system: &PrivacySystem) {
+    for schema in system.catalog().schemas() {
+        let fields: Vec<String> = schema.fields().iter().map(|f| quote(f.as_str())).collect();
+        let _ = writeln!(out, "    schema {} {{ {} }}", quote(schema.id().as_str()), fields.join(", "));
+    }
+}
+
+fn render_datastores(out: &mut String, system: &PrivacySystem) {
+    for datastore in system.catalog().datastores() {
+        let _ = write!(
+            out,
+            "    datastore {} : {}",
+            quote(datastore.id().as_str()),
+            quote(datastore.schema().as_str())
+        );
+        if datastore.is_anonymised() {
+            out.push_str(" anonymised");
+        }
+        out.push('\n');
+    }
+}
+
+fn render_services(out: &mut String, system: &PrivacySystem) {
+    for service in system.catalog().services() {
+        let actors: Vec<String> =
+            service.actors().iter().map(|a| quote(a.as_str())).collect();
+        let _ = write!(
+            out,
+            "    service {} {{ actors {}",
+            quote(service.id().as_str()),
+            actors.join(", ")
+        );
+        if !service.description().is_empty() {
+            let _ = write!(out, " description {}", quote_always(service.description()));
+        }
+        out.push_str(" }\n");
+    }
+}
+
+fn permission_keyword(permission: Permission) -> &'static str {
+    match permission {
+        Permission::Create => "create",
+        Permission::Delete => "delete",
+        Permission::Disclose => "disclose",
+        // `Read` and any future permissions render as the least-privileged
+        // keyword the grammar accepts.
+        _ => "read",
+    }
+}
+
+fn render_policy(out: &mut String, system: &PrivacySystem) {
+    let policy = system.policy();
+    let acl = policy.acl();
+    let rbac = policy.rbac();
+    if acl.is_empty() && rbac.role_count() == 0 {
+        return;
+    }
+    out.push_str("    policy {\n");
+    for grant in acl.grants() {
+        let permissions: Vec<&str> =
+            grant.permissions().iter().map(|p| permission_keyword(*p)).collect();
+        let _ = write!(
+            out,
+            "        allow {} {} on {}",
+            quote(grant.actor().as_str()),
+            permissions.join(", "),
+            quote(grant.datastore().as_str())
+        );
+        if let Some(fields) = grant.scope().explicit_fields() {
+            let fields: Vec<String> = fields.iter().map(|f| quote(f.as_str())).collect();
+            let _ = write!(out, " fields {{ {} }}", fields.join(", "));
+        }
+        out.push('\n');
+    }
+    for role in rbac.roles() {
+        let _ = write!(out, "        role {} {{", quote(role.id().as_str()));
+        if role.grants().is_empty() {
+            out.push_str(" }\n");
+            continue;
+        }
+        out.push('\n');
+        for grant in role.grants() {
+            let permissions: Vec<&str> =
+                grant.permissions().iter().map(|p| permission_keyword(*p)).collect();
+            let _ = write!(
+                out,
+                "            {} on {}",
+                permissions.join(", "),
+                quote(grant.datastore().as_str())
+            );
+            if let Some(fields) = grant.scope().explicit_fields() {
+                let fields: Vec<String> = fields.iter().map(|f| quote(f.as_str())).collect();
+                let _ = write!(out, " fields {{ {} }}", fields.join(", "));
+            }
+            out.push('\n');
+        }
+        out.push_str("        }\n");
+    }
+    for (actor, role) in rbac.assignments() {
+        let _ = writeln!(out, "        assign {} -> {}", quote(actor.as_str()), quote(role.as_str()));
+    }
+    out.push_str("    }\n");
+}
+
+fn render_flows(out: &mut String, system: &PrivacySystem) {
+    let anonymised_stores: std::collections::BTreeSet<_> = system
+        .catalog()
+        .datastores()
+        .filter(|d| d.is_anonymised())
+        .map(|d| d.id().clone())
+        .collect();
+    for diagram in system.dataflows().diagrams() {
+        let _ = writeln!(out, "    flows {} {{", quote(diagram.service().as_str()));
+        let mut flows: Vec<_> = diagram.flows().iter().collect();
+        flows.sort_by_key(|f| f.order());
+        for flow in flows {
+            let fields: Vec<String> = flow.fields().iter().map(|f| quote(f.as_str())).collect();
+            let verb = match (flow.from(), flow.to()) {
+                (Node::User, Node::Actor(actor)) => {
+                    format!("collect {}", quote(actor.as_str()))
+                }
+                (Node::Actor(from), Node::Actor(to)) => {
+                    format!("disclose {} -> {}", quote(from.as_str()), quote(to.as_str()))
+                }
+                (Node::Actor(actor), Node::Datastore(datastore)) => {
+                    let keyword = if flow.kind(&anonymised_stores) == FlowKind::Anonymise {
+                        "anonymise"
+                    } else {
+                        "create"
+                    };
+                    format!(
+                        "{keyword} {} -> {}",
+                        quote(actor.as_str()),
+                        quote(datastore.as_str())
+                    )
+                }
+                (Node::Datastore(datastore), Node::Actor(actor)) => {
+                    format!("read {} <- {}", quote(actor.as_str()), quote(datastore.as_str()))
+                }
+                // Remaining combinations are rejected by diagram validation;
+                // render them as a disclose-style comment-free best effort.
+                (from, to) => format!("disclose {} -> {}", quote(&from.to_string()), quote(&to.to_string())),
+            };
+            let _ = writeln!(
+                out,
+                "        {}: {verb} {{ {} }} for {}",
+                flow.order(),
+                fields.join(", "),
+                quote_always(flow.purpose().as_str())
+            );
+        }
+        out.push_str("    }\n");
+    }
+}
+
+fn render_users(out: &mut String, users: &[UserProfile]) {
+    for user in users {
+        let _ = writeln!(out, "    user {} {{", quote(user.id().as_str()));
+        let consents: Vec<String> =
+            user.consent().services().map(|s| quote(s.as_str())).collect();
+        if !consents.is_empty() {
+            let _ = writeln!(out, "        consents {}", consents.join(", "));
+        }
+        for (field, sensitivity) in user.sensitivities().iter() {
+            let _ = writeln!(
+                out,
+                "        sensitivity {} = {}",
+                quote(field.as_str()),
+                format_number(sensitivity.value())
+            );
+        }
+        out.push_str("    }\n");
+    }
+}
+
+fn format_number(value: f64) -> String {
+    if value.fract() == 0.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Quotes a name only when it cannot be written as a bare identifier.
+fn quote(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        && !is_reserved(name);
+    if bare {
+        name.to_string()
+    } else {
+        quote_always(name)
+    }
+}
+
+/// Always wraps the text in quotes, escaping embedded quotes and backslashes.
+fn quote_always(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len() + 2);
+    escaped.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped.push('"');
+    escaped
+}
+
+/// Keywords that would change the parse if emitted as bare identifiers in
+/// name position are always quoted.
+fn is_reserved(name: &str) -> bool {
+    matches!(
+        name,
+        "actor"
+            | "field"
+            | "schema"
+            | "datastore"
+            | "service"
+            | "policy"
+            | "flows"
+            | "user"
+            | "allow"
+            | "role"
+            | "assign"
+            | "consents"
+            | "sensitivity"
+            | "fields"
+            | "actors"
+            | "description"
+            | "anonymised"
+            | "on"
+            | "for"
+            | "system"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    const CLINIC: &str = r#"
+    system "Clinic" {
+        actor Doctor : role "treats patients"
+        actor Researcher : role
+        field Name : identifier
+        field Diagnosis : sensitive anonymised
+        field "Date of Birth" : quasi
+        schema EHRSchema { Name, "Date of Birth", Diagnosis }
+        schema AnonSchema { Diagnosis_anon }
+        datastore EHR : EHRSchema
+        datastore AnonEHR : AnonSchema anonymised
+        service MedicalService { actors Doctor description "consultation" }
+        service ResearchService { actors Researcher }
+        policy {
+            allow Doctor read, create on EHR
+            allow Researcher read on AnonEHR fields { Diagnosis_anon }
+            role Auditor { read on EHR fields { Name } }
+            assign Researcher -> Auditor
+        }
+        flows MedicalService {
+            1: collect Doctor { Name, Diagnosis } for "consultation"
+            2: create Doctor -> EHR { Name, Diagnosis } for "record keeping"
+        }
+        flows ResearchService {
+            1: anonymise Doctor -> AnonEHR { Diagnosis_anon } for "release"
+            2: read Researcher <- AnonEHR { Diagnosis_anon } for "research"
+        }
+        user "patient-1" {
+            consents MedicalService
+            sensitivity Diagnosis = 0.9
+        }
+    }
+    "#;
+
+    #[test]
+    fn rendered_document_reparses() {
+        let document = parse_document(CLINIC).unwrap();
+        let rendered = render_document(&document);
+        let again = parse_document(&rendered).unwrap();
+        assert_eq!(again.name, "Clinic");
+        assert_eq!(
+            again.system.catalog().actor_count(),
+            document.system.catalog().actor_count()
+        );
+        assert_eq!(
+            again.system.catalog().field_count(),
+            document.system.catalog().field_count()
+        );
+        assert_eq!(again.system.dataflows().flow_count(), document.system.dataflows().flow_count());
+        assert_eq!(again.users.len(), 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_access_decisions() {
+        let document = parse_document(CLINIC).unwrap();
+        let again = parse_document(&render_document(&document)).unwrap();
+        let ehr = privacy_model::DatastoreId::new("EHR");
+        let anon = privacy_model::DatastoreId::new("AnonEHR");
+        let doctor = privacy_model::ActorId::new("Doctor");
+        let researcher = privacy_model::ActorId::new("Researcher");
+        let diagnosis = privacy_model::FieldId::new("Diagnosis");
+        let name = privacy_model::FieldId::new("Name");
+        for (policy_a, policy_b) in [(document.system.policy(), again.system.policy())].iter().map(|(a, b)| (*a, *b)) {
+            for (actor, store, field) in [
+                (&doctor, &ehr, &diagnosis),
+                (&researcher, &ehr, &diagnosis),
+                (&researcher, &ehr, &name),
+                (&researcher, &anon, &diagnosis.anonymised()),
+            ] {
+                assert_eq!(
+                    policy_a.can(actor, Permission::Read, store, field),
+                    policy_b.can(actor, Permission::Read, store, field),
+                    "decision changed for {actor} on {store}/{field}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_user_sensitivities() {
+        let document = parse_document(CLINIC).unwrap();
+        let again = parse_document(&render_document(&document)).unwrap();
+        let diagnosis = privacy_model::FieldId::new("Diagnosis");
+        let before = document.users[0].sensitivities().sensitivity(&diagnosis).value();
+        let after = again.users[0].sensitivities().sensitivity(&diagnosis).value();
+        assert!((before - after).abs() < 1e-9);
+        assert!(again.users[0]
+            .consent()
+            .includes(&privacy_model::ServiceId::new("MedicalService")));
+    }
+
+    #[test]
+    fn names_with_spaces_are_quoted() {
+        let document = parse_document(CLINIC).unwrap();
+        let rendered = render_document(&document);
+        assert!(rendered.contains("\"Date of Birth\""));
+        assert!(!rendered.contains("\nDate of Birth"));
+    }
+
+    #[test]
+    fn reserved_words_used_as_names_are_quoted() {
+        assert_eq!(quote("actor"), "\"actor\"");
+        assert_eq!(quote("Doctor"), "Doctor");
+        assert_eq!(quote("1st"), "\"1st\"");
+        assert_eq!(quote(""), "\"\"");
+    }
+
+    #[test]
+    fn quote_always_escapes_quotes_and_backslashes() {
+        assert_eq!(quote_always("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(quote_always("a\\b"), "\"a\\\\b\"");
+    }
+
+    #[test]
+    fn anonymise_flows_render_with_the_anonymise_keyword() {
+        let document = parse_document(CLINIC).unwrap();
+        let rendered = render_document(&document);
+        assert!(rendered.contains("anonymise Doctor -> AnonEHR"), "{rendered}");
+        assert!(rendered.contains("read Researcher <- AnonEHR"));
+    }
+
+    #[test]
+    fn render_system_without_users_omits_user_blocks() {
+        let document = parse_document(CLINIC).unwrap();
+        let rendered = render_system("Clinic", &document.system);
+        assert!(!rendered.contains("user "));
+        assert!(parse_document(&rendered).unwrap().users.is_empty());
+    }
+}

@@ -1,0 +1,557 @@
+//! Semantic resolution of a parsed [`ModelAst`] into a runnable
+//! [`PrivacySystem`] plus the user profiles declared in the document.
+
+use crate::ast::*;
+use crate::error::InterchangeError;
+use privacy_access::{FieldScope, Grant, Permission, Role, RoleGrant};
+use privacy_core::{PrivacySystem, PrivacySystemBuilder};
+use privacy_dataflow::DiagramBuilder;
+use privacy_model::{
+    Actor, DataField, DataSchema, DatastoreDecl, FieldId, SensitivityCategory, ServiceDecl,
+    ServiceId, UserProfile,
+};
+use std::collections::BTreeSet;
+
+/// The result of resolving a `.psm` document.
+#[derive(Debug, Clone)]
+pub struct ModelDocument {
+    /// The system name given in the `system "<name>"` header.
+    pub name: String,
+    /// The resolved system model (catalog + data flows + access policy).
+    pub system: PrivacySystem,
+    /// User profiles declared with `user` blocks, in source order.
+    pub users: Vec<UserProfile>,
+}
+
+impl ModelDocument {
+    /// Looks up a declared user profile by identifier.
+    pub fn user(&self, id: &str) -> Option<&UserProfile> {
+        self.users.iter().find(|u| u.id().as_str() == id)
+    }
+}
+
+/// Resolves a parsed AST into a [`ModelDocument`].
+///
+/// # Errors
+///
+/// Returns an [`InterchangeError`] pointing at the first declaration that
+/// references an unknown element, re-declares an existing one, or fails the
+/// substrate crates' own validation.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_interchange::{parse_ast, resolve_ast};
+/// let ast = parse_ast(
+///     "system S { actor A : role field F : other schema Sc { F } \
+///      datastore D : Sc service Svc { actors A } \
+///      flows Svc { 1: collect A { F } for \"x\" } }",
+/// ).unwrap();
+/// let document = resolve_ast(&ast).unwrap();
+/// assert_eq!(document.system.catalog().actor_count(), 1);
+/// ```
+pub fn resolve_ast(ast: &ModelAst) -> Result<ModelDocument, InterchangeError> {
+    Resolver::new(ast).run()
+}
+
+struct Resolver<'a> {
+    ast: &'a ModelAst,
+    builder: PrivacySystemBuilder,
+    actors: BTreeSet<String>,
+    fields: BTreeSet<String>,
+    schemas: BTreeSet<String>,
+    datastores: BTreeSet<String>,
+    services: BTreeSet<String>,
+    roles: BTreeSet<String>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(ast: &'a ModelAst) -> Self {
+        Resolver {
+            ast,
+            builder: PrivacySystem::builder(),
+            actors: BTreeSet::new(),
+            fields: BTreeSet::new(),
+            schemas: BTreeSet::new(),
+            datastores: BTreeSet::new(),
+            services: BTreeSet::new(),
+            roles: BTreeSet::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<ModelDocument, InterchangeError> {
+        self.catalog()?;
+        self.policy()?;
+        self.flows()?;
+        let users = self.users()?;
+        let system = self
+            .builder
+            .build()
+            .map_err(|e| InterchangeError::model(e, crate::span::Span::default()))?;
+        Ok(ModelDocument { name: self.ast.name.clone(), system, users })
+    }
+
+    fn check_known(
+        &self,
+        set: &BTreeSet<String>,
+        name: &Name,
+        what: &str,
+    ) -> Result<(), InterchangeError> {
+        if set.contains(&name.text) {
+            Ok(())
+        } else {
+            Err(InterchangeError::resolve(
+                format!("unknown {what} `{}`", name.text),
+                name.span,
+            ))
+        }
+    }
+
+    fn check_field(&self, name: &Name) -> Result<(), InterchangeError> {
+        self.check_known(&self.fields, name, "field")
+    }
+
+    fn catalog(&mut self) -> Result<(), InterchangeError> {
+        for decl in &self.ast.actors {
+            let kind_ctor: fn(&str) -> Actor = match decl.kind {
+                ActorKindAst::Role => |id| Actor::role(id),
+                ActorKindAst::Individual => |id| Actor::individual(id),
+                ActorKindAst::DataSubject => |id| Actor::data_subject(id),
+                ActorKindAst::System => |id| Actor::system(id),
+            };
+            let mut actor = kind_ctor(&decl.name.text);
+            if let Some(description) = &decl.description {
+                actor = actor.with_description(description.clone());
+            }
+            self.builder
+                .catalog_mut()
+                .add_actor(actor)
+                .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+            self.actors.insert(decl.name.text.clone());
+        }
+
+        for decl in &self.ast.fields {
+            let field = match decl.kind {
+                FieldKindAst::Identifier => DataField::identifier(decl.name.text.as_str()),
+                FieldKindAst::QuasiIdentifier => {
+                    DataField::quasi_identifier(decl.name.text.as_str())
+                }
+                FieldKindAst::Sensitive => DataField::sensitive(decl.name.text.as_str()),
+                FieldKindAst::Other => DataField::other(decl.name.text.as_str()),
+            };
+            if decl.anonymised {
+                self.builder
+                    .catalog_mut()
+                    .add_field_with_anonymised(field)
+                    .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+                self.fields
+                    .insert(FieldId::new(decl.name.text.as_str()).anonymised().into_string());
+            } else {
+                self.builder
+                    .catalog_mut()
+                    .add_field(field)
+                    .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+            }
+            self.fields.insert(decl.name.text.clone());
+        }
+
+        for decl in &self.ast.schemas {
+            for field in &decl.fields {
+                self.check_field(field)?;
+            }
+            let schema = DataSchema::new(
+                decl.name.text.as_str(),
+                decl.fields.iter().map(|f| FieldId::new(f.text.as_str())),
+            );
+            self.builder
+                .catalog_mut()
+                .add_schema(schema)
+                .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+            self.schemas.insert(decl.name.text.clone());
+        }
+
+        for decl in &self.ast.datastores {
+            self.check_known(&self.schemas, &decl.schema, "schema")?;
+            let datastore = if decl.anonymised {
+                DatastoreDecl::anonymised(decl.name.text.as_str(), decl.schema.text.as_str())
+            } else {
+                DatastoreDecl::new(decl.name.text.as_str(), decl.schema.text.as_str())
+            };
+            self.builder
+                .catalog_mut()
+                .add_datastore(datastore)
+                .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+            self.datastores.insert(decl.name.text.clone());
+        }
+
+        for decl in &self.ast.services {
+            for actor in &decl.actors {
+                self.check_known(&self.actors, actor, "actor")?;
+            }
+            let mut service = ServiceDecl::new(
+                decl.name.text.as_str(),
+                decl.actors.iter().map(|a| privacy_model::ActorId::new(a.text.as_str())),
+            );
+            if let Some(description) = &decl.description {
+                service = service.with_description(description.clone());
+            }
+            self.builder
+                .catalog_mut()
+                .add_service(service)
+                .map_err(|e| InterchangeError::model(e, decl.name.span))?;
+            self.services.insert(decl.name.text.clone());
+        }
+        Ok(())
+    }
+
+    fn convert_permissions(permissions: &[PermissionAst]) -> Vec<Permission> {
+        permissions
+            .iter()
+            .map(|p| match p {
+                PermissionAst::Read => Permission::Read,
+                PermissionAst::Create => Permission::Create,
+                PermissionAst::Delete => Permission::Delete,
+                PermissionAst::Disclose => Permission::Disclose,
+            })
+            .collect()
+    }
+
+    fn convert_scope(&self, fields: &Option<Vec<Name>>) -> Result<FieldScope, InterchangeError> {
+        match fields {
+            None => Ok(FieldScope::all()),
+            Some(names) => {
+                for name in names {
+                    self.check_field(name)?;
+                }
+                Ok(FieldScope::fields(names.iter().map(|n| FieldId::new(n.text.as_str()))))
+            }
+        }
+    }
+
+    fn policy(&mut self) -> Result<(), InterchangeError> {
+        // ACL grants.
+        for allow in &self.ast.policy.allows {
+            self.check_known(&self.actors, &allow.actor, "actor")?;
+            self.check_known(&self.datastores, &allow.datastore, "datastore")?;
+            let scope = self.convert_scope(&allow.fields)?;
+            let grant = Grant::new(
+                allow.actor.text.as_str(),
+                allow.datastore.text.as_str(),
+                scope,
+                Self::convert_permissions(&allow.permissions),
+            );
+            self.builder.policy_mut().acl_mut().grant(grant);
+        }
+
+        // RBAC roles.
+        for role_decl in &self.ast.policy.roles {
+            let mut role = Role::new(role_decl.name.text.as_str());
+            for grant in &role_decl.grants {
+                self.check_known(&self.datastores, &grant.datastore, "datastore")?;
+                let scope = self.convert_scope(&grant.fields)?;
+                role = role.with_grant(RoleGrant::new(
+                    grant.datastore.text.as_str(),
+                    scope,
+                    Self::convert_permissions(&grant.permissions),
+                ));
+            }
+            self.builder
+                .policy_mut()
+                .rbac_mut()
+                .add_role(role)
+                .map_err(|e| InterchangeError::model(e, role_decl.name.span))?;
+            self.roles.insert(role_decl.name.text.clone());
+        }
+
+        // RBAC assignments.
+        for assign in &self.ast.policy.assignments {
+            self.check_known(&self.actors, &assign.actor, "actor")?;
+            self.check_known(&self.roles, &assign.role, "role")?;
+            self.builder
+                .policy_mut()
+                .rbac_mut()
+                .assign(assign.actor.text.as_str(), assign.role.text.as_str())
+                .map_err(|e| InterchangeError::model(e, assign.role.span))?;
+        }
+        Ok(())
+    }
+
+    fn flows(&mut self) -> Result<(), InterchangeError> {
+        for block in &self.ast.flows {
+            self.check_known(&self.services, &block.service, "service")?;
+            let mut diagram = DiagramBuilder::new(block.service.text.as_str());
+            for flow in &block.flows {
+                for field in &flow.fields {
+                    self.check_field(field)?;
+                }
+                let fields: Vec<FieldId> =
+                    flow.fields.iter().map(|f| FieldId::new(f.text.as_str())).collect();
+                diagram = match &flow.kind {
+                    FlowKindAst::Collect { actor } => {
+                        self.check_known(&self.actors, actor, "actor")?;
+                        diagram.collect(
+                            actor.text.as_str(),
+                            fields,
+                            flow.purpose.as_str(),
+                            flow.order,
+                        )
+                    }
+                    FlowKindAst::Disclose { from, to } => {
+                        self.check_known(&self.actors, from, "actor")?;
+                        self.check_known(&self.actors, to, "actor")?;
+                        diagram.disclose(
+                            from.text.as_str(),
+                            to.text.as_str(),
+                            fields,
+                            flow.purpose.as_str(),
+                            flow.order,
+                        )
+                    }
+                    FlowKindAst::Create { actor, datastore } => {
+                        self.check_known(&self.actors, actor, "actor")?;
+                        self.check_known(&self.datastores, datastore, "datastore")?;
+                        diagram.create(
+                            actor.text.as_str(),
+                            datastore.text.as_str(),
+                            fields,
+                            flow.purpose.as_str(),
+                            flow.order,
+                        )
+                    }
+                    FlowKindAst::Anonymise { actor, datastore } => {
+                        self.check_known(&self.actors, actor, "actor")?;
+                        self.check_known(&self.datastores, datastore, "datastore")?;
+                        diagram.anonymise(
+                            actor.text.as_str(),
+                            datastore.text.as_str(),
+                            fields,
+                            flow.purpose.as_str(),
+                            flow.order,
+                        )
+                    }
+                    FlowKindAst::Read { actor, datastore } => {
+                        self.check_known(&self.actors, actor, "actor")?;
+                        self.check_known(&self.datastores, datastore, "datastore")?;
+                        diagram.read(
+                            actor.text.as_str(),
+                            datastore.text.as_str(),
+                            fields,
+                            flow.purpose.as_str(),
+                            flow.order,
+                        )
+                    }
+                }
+                .map_err(|e| InterchangeError::model(e, flow.span))?;
+            }
+            self.builder
+                .add_diagram(diagram.build())
+                .map_err(|e| InterchangeError::model(e, block.service.span))?;
+        }
+        Ok(())
+    }
+
+    fn users(&mut self) -> Result<Vec<UserProfile>, InterchangeError> {
+        let mut users = Vec::new();
+        for decl in &self.ast.users {
+            let mut profile = UserProfile::new(decl.name.text.as_str());
+            for service in &decl.consents {
+                self.check_known(&self.services, service, "service")?;
+                profile = profile.consents_to(ServiceId::new(service.text.as_str()));
+            }
+            for (field, sensitivity) in &decl.sensitivities {
+                self.check_field(field)?;
+                let field_id = FieldId::new(field.text.as_str());
+                profile = match sensitivity {
+                    SensitivityAst::Category(word) => {
+                        let category = match word.as_str() {
+                            "low" => SensitivityCategory::Low,
+                            "medium" => SensitivityCategory::Medium,
+                            _ => SensitivityCategory::High,
+                        };
+                        profile.with_category_sensitivity(field_id, category)
+                    }
+                    SensitivityAst::Value(value) => {
+                        let sensitivity = privacy_model::Sensitivity::new(*value)
+                            .map_err(|e| InterchangeError::model(e, field.span))?;
+                        profile.with_sensitivity(field_id, sensitivity)
+                    }
+                };
+            }
+            users.push(profile);
+        }
+        Ok(users)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ast;
+
+    const CLINIC: &str = r#"
+    system "Clinic" {
+        actor Doctor : role
+        actor Researcher : role
+        field Name : identifier
+        field Diagnosis : sensitive anonymised
+        schema EHRSchema { Name, Diagnosis }
+        schema AnonSchema { Diagnosis_anon }
+        datastore EHR : EHRSchema
+        datastore AnonEHR : AnonSchema anonymised
+        service MedicalService { actors Doctor }
+        service ResearchService { actors Researcher }
+        policy {
+            allow Doctor read, create on EHR
+            allow Researcher read on AnonEHR
+            role Auditor { read on EHR fields { Name } }
+            assign Researcher -> Auditor
+        }
+        flows MedicalService {
+            1: collect Doctor { Name, Diagnosis } for "consultation"
+            2: create Doctor -> EHR { Name, Diagnosis } for "record keeping"
+        }
+        flows ResearchService {
+            1: anonymise Doctor -> AnonEHR { Diagnosis_anon } for "release"
+            2: read Researcher <- AnonEHR { Diagnosis_anon } for "research"
+        }
+        user "patient-1" {
+            consents MedicalService
+            sensitivity Diagnosis = high
+            sensitivity Name = 0.2
+        }
+    }
+    "#;
+
+    fn resolve(source: &str) -> Result<ModelDocument, InterchangeError> {
+        resolve_ast(&parse_ast(source).unwrap())
+    }
+
+    #[test]
+    fn resolves_the_clinic_document_end_to_end() {
+        let document = resolve(CLINIC).unwrap();
+        assert_eq!(document.name, "Clinic");
+        let catalog = document.system.catalog();
+        assert_eq!(catalog.actor_count(), 2);
+        // Diagnosis declared `anonymised` registers its _anon counterpart too.
+        assert_eq!(catalog.field_count(), 3);
+        assert_eq!(catalog.datastore_count(), 2);
+        assert_eq!(catalog.service_count(), 2);
+        assert_eq!(document.system.dataflows().len(), 2);
+        assert_eq!(document.users.len(), 1);
+    }
+
+    #[test]
+    fn resolved_policy_answers_access_queries() {
+        let document = resolve(CLINIC).unwrap();
+        let policy = document.system.policy();
+        let ehr = privacy_model::DatastoreId::new("EHR");
+        let diagnosis = FieldId::new("Diagnosis");
+        let name = FieldId::new("Name");
+        assert!(policy.can(
+            &privacy_model::ActorId::new("Doctor"),
+            Permission::Read,
+            &ehr,
+            &diagnosis
+        ));
+        // The researcher's RBAC role only covers the Name field of the EHR.
+        assert!(policy.can(
+            &privacy_model::ActorId::new("Researcher"),
+            Permission::Read,
+            &ehr,
+            &name
+        ));
+        assert!(!policy.can(
+            &privacy_model::ActorId::new("Researcher"),
+            Permission::Read,
+            &ehr,
+            &diagnosis
+        ));
+    }
+
+    #[test]
+    fn resolved_users_carry_consent_and_sensitivities() {
+        let document = resolve(CLINIC).unwrap();
+        let user = document.user("patient-1").unwrap();
+        assert!(user.consent().includes(&ServiceId::new("MedicalService")));
+        assert!(!user.consent().includes(&ServiceId::new("ResearchService")));
+        assert_eq!(
+            user.sensitivities().sensitivity(&FieldId::new("Diagnosis")).category(),
+            SensitivityCategory::High
+        );
+        assert!((user.sensitivities().sensitivity(&FieldId::new("Name")).value() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolved_system_generates_an_lts() {
+        let document = resolve(CLINIC).unwrap();
+        let lts = document.system.generate_lts().unwrap();
+        assert!(lts.state_count() > 1);
+        assert!(lts.transition_count() >= 4);
+    }
+
+    #[test]
+    fn unknown_field_in_schema_is_reported_with_location() {
+        let source = r#"system S {
+            field Name : identifier
+            schema Sc { Name, Missing }
+        }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("unknown field `Missing`"));
+        assert_eq!(error.span().start.line, 3);
+    }
+
+    #[test]
+    fn unknown_actor_in_service_is_reported() {
+        let source = r#"system S { service Svc { actors Ghost } }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("unknown actor `Ghost`"));
+    }
+
+    #[test]
+    fn unknown_datastore_in_allow_rule_is_reported() {
+        let source = r#"system S {
+            actor A : role
+            policy { allow A read on Nowhere }
+        }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("unknown datastore `Nowhere`"));
+    }
+
+    #[test]
+    fn assignment_to_undefined_role_is_reported() {
+        let source = r#"system S {
+            actor A : role
+            policy { assign A -> Phantom }
+        }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("unknown role `Phantom`"));
+    }
+
+    #[test]
+    fn duplicate_actor_is_reported_as_a_model_error() {
+        let source = r#"system S { actor A : role actor A : role }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("duplicate actor"));
+    }
+
+    #[test]
+    fn out_of_range_sensitivity_is_rejected() {
+        let source = r#"system S {
+            actor A : role
+            field F : other
+            schema Sc { F }
+            datastore D : Sc
+            service Svc { actors A }
+            user U { consents Svc sensitivity F = 1.5 }
+        }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn consent_to_unknown_service_is_rejected() {
+        let source = r#"system S { user U { consents Ghost } }"#;
+        let error = resolve(source).unwrap_err();
+        assert!(error.to_string().contains("unknown service `Ghost`"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Source positions and spans used by the lexer, parser and diagnostics.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (counted in characters, not bytes).
+    pub column: u32,
+}
+
+impl Position {
+    /// The first position of any document.
+    pub const START: Position = Position { line: 1, column: 1 };
+
+    /// Creates a position.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use privacy_interchange::Position;
+    /// let p = Position::new(3, 14);
+    /// assert_eq!(p.line, 3);
+    /// assert_eq!(p.column, 14);
+    /// ```
+    pub fn new(line: u32, column: u32) -> Self {
+        Position { line, column }
+    }
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::START
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A contiguous region of source text, from `start` (inclusive) to `end`
+/// (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Where the region starts.
+    pub start: Position,
+    /// Where the region ends (exclusive).
+    pub end: Position,
+}
+
+impl Span {
+    /// Creates a span from two positions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use privacy_interchange::{Position, Span};
+    /// let span = Span::new(Position::new(1, 1), Position::new(1, 5));
+    /// assert_eq!(span.start.column, 1);
+    /// assert_eq!(span.end.column, 5);
+    /// ```
+    pub fn new(start: Position, end: Position) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a single position.
+    pub fn at(position: Position) -> Self {
+        Span { start: position, end: position }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}-{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_orders_by_line_then_column() {
+        assert!(Position::new(1, 9) < Position::new(2, 1));
+        assert!(Position::new(3, 2) < Position::new(3, 4));
+        assert_eq!(Position::new(2, 2), Position::new(2, 2));
+    }
+
+    #[test]
+    fn span_merge_covers_both_operands() {
+        let a = Span::new(Position::new(1, 4), Position::new(1, 8));
+        let b = Span::new(Position::new(1, 2), Position::new(1, 6));
+        let merged = a.merge(b);
+        assert_eq!(merged.start, Position::new(1, 2));
+        assert_eq!(merged.end, Position::new(1, 8));
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(Position::new(7, 3).to_string(), "7:3");
+        let span = Span::new(Position::new(1, 1), Position::new(2, 1));
+        assert_eq!(span.to_string(), "1:1-2:1");
+        assert_eq!(Span::at(Position::new(4, 4)).to_string(), "4:4");
+    }
+
+    #[test]
+    fn default_position_is_document_start() {
+        assert_eq!(Position::default(), Position::START);
+    }
+}

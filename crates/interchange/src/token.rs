@@ -1,0 +1,132 @@
+//! Tokens produced by the [`lexer`](crate::lexer).
+
+use crate::span::Span;
+use std::fmt;
+
+/// The different kinds of token recognised by the `.psm` grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier, e.g. `Doctor` or `EHRSchema`.
+    Ident(String),
+    /// A double-quoted string literal (quotes removed, escapes resolved),
+    /// e.g. `"Date of Birth"`.
+    Str(String),
+    /// A numeric literal, e.g. `2` or `0.9`.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `<-`
+    BackArrow,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Str(text) => format!("string \"{text}\""),
+            TokenKind::Number(value) => format!("number `{value}`"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Equals => "`=`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+            TokenKind::BackArrow => "`<-`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+
+    /// Returns the textual content of an identifier or string token.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(name) => Some(name),
+            TokenKind::Str(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the token is the identifier `keyword`
+    /// (case-sensitive).
+    pub fn is_keyword(&self, keyword: &str) -> bool {
+        matches!(self, TokenKind::Ident(name) if name == keyword)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with the source span it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// Where it was read from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Position, Span};
+
+    #[test]
+    fn describe_is_human_readable() {
+        assert_eq!(TokenKind::Ident("Doctor".into()).describe(), "identifier `Doctor`");
+        assert_eq!(TokenKind::Str("a b".into()).describe(), "string \"a b\"");
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+
+    #[test]
+    fn as_name_extracts_identifier_and_string_content() {
+        assert_eq!(TokenKind::Ident("EHR".into()).as_name(), Some("EHR"));
+        assert_eq!(TokenKind::Str("Date of Birth".into()).as_name(), Some("Date of Birth"));
+        assert_eq!(TokenKind::Comma.as_name(), None);
+        assert_eq!(TokenKind::Number(4.0).as_name(), None);
+    }
+
+    #[test]
+    fn keyword_check_is_exact() {
+        assert!(TokenKind::Ident("actor".into()).is_keyword("actor"));
+        assert!(!TokenKind::Ident("Actor".into()).is_keyword("actor"));
+        assert!(!TokenKind::Str("actor".into()).is_keyword("actor"));
+    }
+
+    #[test]
+    fn token_display_includes_span() {
+        let token = Token::new(
+            TokenKind::Colon,
+            Span::new(Position::new(2, 5), Position::new(2, 6)),
+        );
+        assert_eq!(token.to_string(), "`:` at 2:5-2:6");
+    }
+}

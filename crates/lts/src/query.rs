@@ -1,0 +1,244 @@
+//! Privacy-specific queries over a generated LTS.
+//!
+//! The paper argues that *"a developer can determine which actors can
+//! identify which data during the course of a service (in conflict with user
+//! preferences)"*. [`LtsQuery`] wraps an [`Lts`] with the questions the risk
+//! analyses and the examples need to ask.
+
+use crate::label::ActionKind;
+use crate::lts::{Lts, StateId, Transition, TransitionId};
+use privacy_model::{ActorId, FieldId};
+use std::collections::BTreeSet;
+
+/// A read-only query interface over an [`Lts`].
+#[derive(Debug, Clone, Copy)]
+pub struct LtsQuery<'a> {
+    lts: &'a Lts,
+}
+
+impl<'a> LtsQuery<'a> {
+    /// Wraps an LTS.
+    pub fn new(lts: &'a Lts) -> Self {
+        LtsQuery { lts }
+    }
+
+    /// The underlying LTS.
+    pub fn lts(&self) -> &'a Lts {
+        self.lts
+    }
+
+    /// The reachable states in which `actor` **has identified** `field`.
+    pub fn states_where_identified(&self, actor: &ActorId, field: &FieldId) -> Vec<StateId> {
+        let space = self.lts.space();
+        self.lts
+            .reachable()
+            .into_iter()
+            .filter(|id| self.lts.state(*id).has(space, actor, field))
+            .collect()
+    }
+
+    /// The reachable states in which `actor` **could identify** `field`.
+    pub fn states_where_accessible(&self, actor: &ActorId, field: &FieldId) -> Vec<StateId> {
+        let space = self.lts.space();
+        self.lts
+            .reachable()
+            .into_iter()
+            .filter(|id| self.lts.state(*id).could(space, actor, field))
+            .collect()
+    }
+
+    /// Returns `true` if some reachable state lets `actor` identify `field`
+    /// (either `has` or `could`).
+    pub fn can_actor_identify(&self, actor: &ActorId, field: &FieldId) -> bool {
+        let space = self.lts.space();
+        self.lts
+            .reachable()
+            .into_iter()
+            .any(|id| self.lts.state(id).has_or_could(space, actor, field))
+    }
+
+    /// Every (actor, field) pair exposed (`has ∨ could`) in some reachable
+    /// state — the paper's "which actors can identify which data during the
+    /// course of a service".
+    pub fn exposure_summary(&self) -> BTreeSet<(ActorId, FieldId)> {
+        let space = self.lts.space();
+        let mut summary = BTreeSet::new();
+        for id in self.lts.reachable() {
+            for (actor, field) in self.lts.state(id).exposed_pairs(space) {
+                summary.insert((actor.clone(), field.clone()));
+            }
+        }
+        summary
+    }
+
+    /// The transitions performing a given action kind.
+    pub fn transitions_of_kind(
+        &self,
+        action: ActionKind,
+    ) -> Vec<(TransitionId, &'a Transition)> {
+        self.lts
+            .transitions()
+            .filter(|(_, t)| t.label().action() == action)
+            .collect()
+    }
+
+    /// The transitions performed by a given actor.
+    pub fn transitions_by_actor(&self, actor: &ActorId) -> Vec<(TransitionId, &'a Transition)> {
+        self.lts
+            .transitions()
+            .filter(|(_, t)| t.label().actor() == actor)
+            .collect()
+    }
+
+    /// The transitions that involve a given field.
+    pub fn transitions_involving_field(
+        &self,
+        field: &FieldId,
+    ) -> Vec<(TransitionId, &'a Transition)> {
+        self.lts
+            .transitions()
+            .filter(|(_, t)| t.label().involves_field(field))
+            .collect()
+    }
+
+    /// The `read` transitions performed by actors outside the allowed set —
+    /// the transitions the disclosure-risk analysis attaches risk labels to.
+    pub fn reads_by_non_allowed(
+        &self,
+        allowed: &BTreeSet<ActorId>,
+    ) -> Vec<(TransitionId, &'a Transition)> {
+        self.lts
+            .transitions()
+            .filter(|(_, t)| {
+                t.label().action() == ActionKind::Read && !allowed.contains(t.label().actor())
+            })
+            .collect()
+    }
+
+    /// The shortest action trace (labels only) leading to a state where
+    /// `actor` has identified `field`, if any.
+    pub fn trace_to_identification(
+        &self,
+        actor: &ActorId,
+        field: &FieldId,
+    ) -> Option<Vec<String>> {
+        let space = self.lts.space();
+        let actor = actor.clone();
+        let field = field.clone();
+        self.lts
+            .path_to(move |state| state.has(space, &actor, &field))
+            .map(|path| {
+                path.into_iter()
+                    .map(|tid| self.lts.transition(tid).label().to_string())
+                    .collect()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::TransitionLabel;
+    use crate::space::VarSpace;
+    use crate::state::PrivacyState;
+
+    fn doctor() -> ActorId {
+        ActorId::new("Doctor")
+    }
+
+    fn admin() -> ActorId {
+        ActorId::new("Admin")
+    }
+
+    fn name() -> FieldId {
+        FieldId::new("Name")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    /// s0 --collect(Doctor,Name)--> s1 --create(Doctor,Diagnosis)--> s2
+    ///    (s2: Admin could identify Diagnosis)
+    /// s2 --read(Admin,Diagnosis)--> s3
+    fn sample_lts() -> Lts {
+        let space = VarSpace::new([doctor(), admin()], [name(), diagnosis()]);
+        let mut lts = Lts::new(space.clone());
+        let s0 = lts.initial();
+        let s1 = lts.intern(PrivacyState::absolute(&space).with_has(&space, &doctor(), &name()));
+        let s2 = lts.intern(lts.state(s1).clone().with_could(&space, &admin(), &diagnosis()));
+        let s3 = lts.intern(lts.state(s2).clone().with_has(&space, &admin(), &diagnosis()));
+        lts.add_transition(
+            s0,
+            s1,
+            TransitionLabel::new(ActionKind::Collect, doctor(), [name()], None),
+        );
+        lts.add_transition(
+            s1,
+            s2,
+            TransitionLabel::new(ActionKind::Create, doctor(), [diagnosis()], None),
+        );
+        lts.add_transition(
+            s2,
+            s3,
+            TransitionLabel::new(ActionKind::Read, admin(), [diagnosis()], None),
+        );
+        lts
+    }
+
+    #[test]
+    fn state_queries_find_identification_and_accessibility() {
+        let lts = sample_lts();
+        let query = LtsQuery::new(&lts);
+
+        assert_eq!(query.states_where_identified(&doctor(), &name()).len(), 3);
+        assert_eq!(query.states_where_identified(&admin(), &diagnosis()).len(), 1);
+        assert_eq!(query.states_where_accessible(&admin(), &diagnosis()).len(), 2);
+        assert!(query.can_actor_identify(&admin(), &diagnosis()));
+        assert!(!query.can_actor_identify(&admin(), &name()));
+    }
+
+    #[test]
+    fn exposure_summary_lists_every_exposed_pair() {
+        let lts = sample_lts();
+        let summary = LtsQuery::new(&lts).exposure_summary();
+        assert!(summary.contains(&(doctor(), name())));
+        assert!(summary.contains(&(admin(), diagnosis())));
+        assert!(!summary.contains(&(admin(), name())));
+        assert_eq!(summary.len(), 2);
+    }
+
+    #[test]
+    fn transition_filters_work() {
+        let lts = sample_lts();
+        let query = LtsQuery::new(&lts);
+        assert_eq!(query.transitions_of_kind(ActionKind::Read).len(), 1);
+        assert_eq!(query.transitions_of_kind(ActionKind::Delete).len(), 0);
+        assert_eq!(query.transitions_by_actor(&doctor()).len(), 2);
+        assert_eq!(query.transitions_involving_field(&diagnosis()).len(), 2);
+    }
+
+    #[test]
+    fn non_allowed_reads_are_found() {
+        let lts = sample_lts();
+        let query = LtsQuery::new(&lts);
+        let allowed: BTreeSet<ActorId> = [doctor()].into_iter().collect();
+        let risky = query.reads_by_non_allowed(&allowed);
+        assert_eq!(risky.len(), 1);
+        assert_eq!(risky[0].1.label().actor(), &admin());
+
+        let all_allowed: BTreeSet<ActorId> = [doctor(), admin()].into_iter().collect();
+        assert!(query.reads_by_non_allowed(&all_allowed).is_empty());
+    }
+
+    #[test]
+    fn trace_to_identification_returns_action_sequence() {
+        let lts = sample_lts();
+        let query = LtsQuery::new(&lts);
+        let trace = query.trace_to_identification(&admin(), &diagnosis()).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(trace[0].starts_with("collect"));
+        assert!(trace[2].starts_with("read"));
+        assert!(query.trace_to_identification(&admin(), &name()).is_none());
+    }
+}

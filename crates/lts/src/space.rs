@@ -1,0 +1,270 @@
+//! The variable space: which (actor, field) pairs label the states.
+//!
+//! Section II-B: *"each state must be labelled with `2 × |actors| × |fields|`
+//! Boolean state variables"* — one `has` and one `could` variable per
+//! (actor, field) pair. The [`VarSpace`] fixes the ordering of actors and
+//! fields so that every [`crate::state::PrivacyState`] can be stored as a
+//! compact bit set and variables can be addressed by index.
+
+use privacy_model::{ActorId, Catalog, FieldId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which of the two per-pair variables is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarKind {
+    /// The actor *has identified* the field.
+    Has,
+    /// The actor *could identify* the field.
+    Could,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarKind::Has => f.write_str("has"),
+            VarKind::Could => f.write_str("could"),
+        }
+    }
+}
+
+/// The ordered space of state variables for one system model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarSpace {
+    actors: Vec<ActorId>,
+    fields: Vec<FieldId>,
+    actor_index: BTreeMap<ActorId, usize>,
+    field_index: BTreeMap<FieldId, usize>,
+}
+
+impl VarSpace {
+    /// Creates a variable space from explicit actor and field orderings.
+    ///
+    /// Duplicates are collapsed (first occurrence wins).
+    pub fn new(
+        actors: impl IntoIterator<Item = ActorId>,
+        fields: impl IntoIterator<Item = FieldId>,
+    ) -> Self {
+        let mut actor_list = Vec::new();
+        let mut actor_index = BTreeMap::new();
+        for actor in actors {
+            if !actor_index.contains_key(&actor) {
+                actor_index.insert(actor.clone(), actor_list.len());
+                actor_list.push(actor);
+            }
+        }
+        let mut field_list = Vec::new();
+        let mut field_index = BTreeMap::new();
+        for field in fields {
+            if !field_index.contains_key(&field) {
+                field_index.insert(field.clone(), field_list.len());
+                field_list.push(field);
+            }
+        }
+        VarSpace { actors: actor_list, fields: field_list, actor_index, field_index }
+    }
+
+    /// Creates the variable space of a catalog: every identifying actor
+    /// (i.e. every actor that is not the data subject) crossed with every
+    /// registered field.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        VarSpace::new(
+            catalog.identifying_actors().map(|a| a.id().clone()),
+            catalog.fields().map(|f| f.id().clone()),
+        )
+    }
+
+    /// The actors, in index order.
+    pub fn actors(&self) -> &[ActorId] {
+        &self.actors
+    }
+
+    /// The fields, in index order.
+    pub fn fields(&self) -> &[FieldId] {
+        &self.fields
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Total number of Boolean state variables: `2 × actors × fields`.
+    pub fn variable_count(&self) -> usize {
+        2 * self.actors.len() * self.fields.len()
+    }
+
+    /// The number of distinct privacy states this space can express
+    /// (`2^variable_count`), as an `f64` because it overflows integers
+    /// quickly — the paper quotes `2^60` for the healthcare example.
+    pub fn theoretical_state_count(&self) -> f64 {
+        2f64.powi(self.variable_count() as i32)
+    }
+
+    /// The index of an actor, if it is part of the space.
+    pub fn actor_index(&self, actor: &ActorId) -> Option<usize> {
+        self.actor_index.get(actor).copied()
+    }
+
+    /// The index of a field, if it is part of the space.
+    pub fn field_index(&self, field: &FieldId) -> Option<usize> {
+        self.field_index.get(field).copied()
+    }
+
+    /// The bit index of the (actor, field, kind) variable, if both actor and
+    /// field are part of the space.
+    ///
+    /// Layout: variables are grouped by actor, then field, with the `has`
+    /// bit immediately followed by the `could` bit.
+    pub fn bit_index(&self, actor: &ActorId, field: &FieldId, kind: VarKind) -> Option<usize> {
+        let a = self.actor_index(actor)?;
+        let f = self.field_index(field)?;
+        let base = 2 * (a * self.fields.len() + f);
+        Some(match kind {
+            VarKind::Has => base,
+            VarKind::Could => base + 1,
+        })
+    }
+
+    /// The (actor, field, kind) triple addressed by a bit index.
+    ///
+    /// Returns `None` if the index is out of range.
+    pub fn variable_at(&self, bit: usize) -> Option<(&ActorId, &FieldId, VarKind)> {
+        if bit >= self.variable_count() {
+            return None;
+        }
+        let kind = if bit % 2 == 0 { VarKind::Has } else { VarKind::Could };
+        let pair = bit / 2;
+        let actor = &self.actors[pair / self.fields.len()];
+        let field = &self.fields[pair % self.fields.len()];
+        Some((actor, field, kind))
+    }
+
+    /// Iterates over every (actor, field) pair in bit order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&ActorId, &FieldId)> {
+        self.actors
+            .iter()
+            .flat_map(move |actor| self.fields.iter().map(move |field| (actor, field)))
+    }
+}
+
+impl fmt::Display for VarSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "variable space: {} actors x {} fields = {} state variables",
+            self.actors.len(),
+            self.fields.len(),
+            self.variable_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{Actor, DataField};
+
+    fn space() -> VarSpace {
+        VarSpace::new(
+            [ActorId::new("Doctor"), ActorId::new("Nurse")],
+            [FieldId::new("Name"), FieldId::new("Diagnosis"), FieldId::new("Treatment")],
+        )
+    }
+
+    #[test]
+    fn counts_follow_the_paper_formula() {
+        let space = space();
+        assert_eq!(space.actor_count(), 2);
+        assert_eq!(space.field_count(), 3);
+        assert_eq!(space.variable_count(), 12);
+        assert_eq!(space.theoretical_state_count(), 4096.0);
+    }
+
+    #[test]
+    fn healthcare_scale_matches_two_to_the_sixty() {
+        let space = VarSpace::new(
+            (0..5).map(|i| ActorId::new(format!("a{i}"))),
+            (0..6).map(|i| FieldId::new(format!("f{i}"))),
+        );
+        assert_eq!(space.variable_count(), 60);
+        assert_eq!(space.theoretical_state_count(), 2f64.powi(60));
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let space = VarSpace::new(
+            [ActorId::new("A"), ActorId::new("A")],
+            [FieldId::new("f"), FieldId::new("f")],
+        );
+        assert_eq!(space.actor_count(), 1);
+        assert_eq!(space.field_count(), 1);
+    }
+
+    #[test]
+    fn bit_index_round_trips_through_variable_at() {
+        let space = space();
+        for actor in space.actors().to_vec() {
+            for field in space.fields().to_vec() {
+                for kind in [VarKind::Has, VarKind::Could] {
+                    let bit = space.bit_index(&actor, &field, kind).unwrap();
+                    let (a, f, k) = space.variable_at(bit).unwrap();
+                    assert_eq!((a, f, k), (&actor, &field, kind));
+                }
+            }
+        }
+        assert!(space.variable_at(space.variable_count()).is_none());
+    }
+
+    #[test]
+    fn unknown_actor_or_field_has_no_index() {
+        let space = space();
+        assert!(space.actor_index(&ActorId::new("Ghost")).is_none());
+        assert!(space.field_index(&FieldId::new("Ghost")).is_none());
+        assert!(space
+            .bit_index(&ActorId::new("Ghost"), &FieldId::new("Name"), VarKind::Has)
+            .is_none());
+    }
+
+    #[test]
+    fn bit_indices_are_unique_and_dense() {
+        let space = space();
+        let mut seen = vec![false; space.variable_count()];
+        for (actor, field) in space.pairs().map(|(a, f)| (a.clone(), f.clone())).collect::<Vec<_>>() {
+            for kind in [VarKind::Has, VarKind::Could] {
+                let bit = space.bit_index(&actor, &field, kind).unwrap();
+                assert!(!seen[bit], "bit {bit} assigned twice");
+                seen[bit] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn from_catalog_uses_identifying_actors_and_all_fields() {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::data_subject("Patient")).unwrap();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog.add_field(DataField::identifier("Name")).unwrap();
+        let space = VarSpace::from_catalog(&catalog);
+        assert_eq!(space.actor_count(), 1);
+        assert_eq!(space.field_count(), 2);
+        assert_eq!(space.variable_count(), catalog.state_variable_count());
+    }
+
+    #[test]
+    fn display_mentions_the_variable_count() {
+        assert_eq!(
+            space().to_string(),
+            "variable space: 2 actors x 3 fields = 12 state variables"
+        );
+        assert_eq!(VarKind::Has.to_string(), "has");
+        assert_eq!(VarKind::Could.to_string(), "could");
+    }
+}

@@ -1,0 +1,371 @@
+//! Privacy states: assignments of every state variable (Fig. 2).
+
+use crate::space::{VarKind, VarSpace};
+use privacy_model::{ActorId, FieldId};
+use std::fmt;
+
+/// A state of user privacy: one Boolean per (actor, field, has/could)
+/// variable, stored as a packed bit set.
+///
+/// The *absolute privacy state* (every variable false) is the initial state
+/// of the generated LTS and the reference point for sensitivity-change
+/// computations in the risk analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrivacyState {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl PrivacyState {
+    /// Creates the absolute privacy state (all variables false) for a space.
+    pub fn absolute(space: &VarSpace) -> Self {
+        let len = space.variable_count();
+        PrivacyState { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of variables tracked by this state.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the state tracks no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if every variable is false (the absolute privacy
+    /// state).
+    pub fn is_absolute(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    fn get_bit(&self, bit: usize) -> bool {
+        if bit >= self.len {
+            return false;
+        }
+        (self.bits[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, bit: usize, value: bool) {
+        if bit >= self.len {
+            return;
+        }
+        let word = bit / 64;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            self.bits[word] |= mask;
+        } else {
+            self.bits[word] &= !mask;
+        }
+    }
+
+    /// Whether `actor` **has identified** `field` in this state.
+    pub fn has(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> bool {
+        space
+            .bit_index(actor, field, VarKind::Has)
+            .map(|bit| self.get_bit(bit))
+            .unwrap_or(false)
+    }
+
+    /// Whether `actor` **could identify** `field` in this state.
+    pub fn could(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> bool {
+        space
+            .bit_index(actor, field, VarKind::Could)
+            .map(|bit| self.get_bit(bit))
+            .unwrap_or(false)
+    }
+
+    /// Whether `actor` has identified **or** could identify `field`.
+    ///
+    /// The impact model of Section III-A treats the two equivalently: *"a
+    /// user will be equivalently sensitive if the data field has been
+    /// identified or the data field could be identified by a non-allowed
+    /// actor"*.
+    pub fn has_or_could(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> bool {
+        self.has(space, actor, field) || self.could(space, actor, field)
+    }
+
+    /// Sets the `has` variable for (actor, field). Unknown actors/fields are
+    /// ignored.
+    pub fn set_has(&mut self, space: &VarSpace, actor: &ActorId, field: &FieldId, value: bool) {
+        if let Some(bit) = space.bit_index(actor, field, VarKind::Has) {
+            self.set_bit(bit, value);
+        }
+    }
+
+    /// Sets the `could` variable for (actor, field). Unknown actors/fields
+    /// are ignored.
+    pub fn set_could(&mut self, space: &VarSpace, actor: &ActorId, field: &FieldId, value: bool) {
+        if let Some(bit) = space.bit_index(actor, field, VarKind::Could) {
+            self.set_bit(bit, value);
+        }
+    }
+
+    /// Returns a copy with the `has` variable set.
+    pub fn with_has(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> PrivacyState {
+        let mut next = self.clone();
+        next.set_has(space, actor, field, true);
+        next
+    }
+
+    /// Returns a copy with the `could` variable set.
+    pub fn with_could(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> PrivacyState {
+        let mut next = self.clone();
+        next.set_could(space, actor, field, true);
+        next
+    }
+
+    /// Number of variables that are true.
+    pub fn count_true(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The fields that `actor` has identified in this state.
+    pub fn fields_identified_by<'a>(
+        &'a self,
+        space: &'a VarSpace,
+        actor: &'a ActorId,
+    ) -> impl Iterator<Item = &'a FieldId> + 'a {
+        space
+            .fields()
+            .iter()
+            .filter(move |field| self.has(space, actor, field))
+    }
+
+    /// The fields that `actor` could identify (but has not necessarily
+    /// identified) in this state.
+    pub fn fields_accessible_by<'a>(
+        &'a self,
+        space: &'a VarSpace,
+        actor: &'a ActorId,
+    ) -> impl Iterator<Item = &'a FieldId> + 'a {
+        space
+            .fields()
+            .iter()
+            .filter(move |field| self.could(space, actor, field))
+    }
+
+    /// The (actor, field) pairs for which `has ∨ could` holds.
+    pub fn exposed_pairs<'a>(
+        &'a self,
+        space: &'a VarSpace,
+    ) -> impl Iterator<Item = (&'a ActorId, &'a FieldId)> + 'a {
+        space
+            .pairs()
+            .filter(move |(actor, field)| self.has_or_could(space, actor, field))
+    }
+
+    /// Returns `true` if every variable true in `self` is also true in
+    /// `other` — i.e. `other` exposes at least as much as `self`.
+    pub fn is_subset_of(&self, other: &PrivacyState) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The union of two states (variable-wise OR). Panics are avoided by
+    /// truncating to the shorter of the two bit vectors; in practice states
+    /// always come from the same [`VarSpace`].
+    pub fn union(&self, other: &PrivacyState) -> PrivacyState {
+        let mut result = self.clone();
+        for (dst, src) in result.bits.iter_mut().zip(other.bits.iter()) {
+            *dst |= *src;
+        }
+        result
+    }
+
+    /// Renders the state-variable table of Fig. 2 as text: one row per
+    /// (actor, field) pair with the values of the `has` and `could`
+    /// variables.
+    pub fn table(&self, space: &VarSpace) -> String {
+        let mut out = String::new();
+        out.push_str("actor | field | has | could\n");
+        for (actor, field) in space.pairs() {
+            out.push_str(&format!(
+                "{} | {} | {} | {}\n",
+                actor,
+                field,
+                self.has(space, actor, field),
+                self.could(space, actor, field)
+            ));
+        }
+        out
+    }
+
+    /// A short label for the state listing only the true variables, e.g.
+    /// `"has(Doctor,Name) could(Admin,Diagnosis)"`. The absolute state is
+    /// labelled `"⊥"`.
+    pub fn short_label(&self, space: &VarSpace) -> String {
+        if self.is_absolute() {
+            return "⊥".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (actor, field) in space.pairs() {
+            if self.has(space, actor, field) {
+                parts.push(format!("has({actor},{field})"));
+            }
+            if self.could(space, actor, field) {
+                parts.push(format!("could({actor},{field})"));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl fmt::Display for PrivacyState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "privacy state ({} of {} variables set)", self.count_true(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> VarSpace {
+        VarSpace::new(
+            [ActorId::new("Doctor"), ActorId::new("Admin")],
+            [FieldId::new("Name"), FieldId::new("Diagnosis")],
+        )
+    }
+
+    fn doctor() -> ActorId {
+        ActorId::new("Doctor")
+    }
+
+    fn admin() -> ActorId {
+        ActorId::new("Admin")
+    }
+
+    fn name() -> FieldId {
+        FieldId::new("Name")
+    }
+
+    fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+
+    #[test]
+    fn absolute_state_has_everything_false() {
+        let space = space();
+        let state = PrivacyState::absolute(&space);
+        assert!(state.is_absolute());
+        assert_eq!(state.len(), 8);
+        assert_eq!(state.count_true(), 0);
+        assert!(!state.has(&space, &doctor(), &name()));
+        assert!(!state.could(&space, &doctor(), &name()));
+    }
+
+    #[test]
+    fn setting_and_clearing_variables() {
+        let space = space();
+        let mut state = PrivacyState::absolute(&space);
+        state.set_has(&space, &doctor(), &name(), true);
+        state.set_could(&space, &admin(), &diagnosis(), true);
+
+        assert!(state.has(&space, &doctor(), &name()));
+        assert!(!state.has(&space, &doctor(), &diagnosis()));
+        assert!(state.could(&space, &admin(), &diagnosis()));
+        assert!(state.has_or_could(&space, &admin(), &diagnosis()));
+        assert!(!state.is_absolute());
+        assert_eq!(state.count_true(), 2);
+
+        state.set_has(&space, &doctor(), &name(), false);
+        assert!(!state.has(&space, &doctor(), &name()));
+        assert_eq!(state.count_true(), 1);
+    }
+
+    #[test]
+    fn unknown_variables_are_ignored_not_panicking() {
+        let space = space();
+        let mut state = PrivacyState::absolute(&space);
+        state.set_has(&space, &ActorId::new("Ghost"), &name(), true);
+        assert!(state.is_absolute());
+        assert!(!state.has(&space, &ActorId::new("Ghost"), &name()));
+    }
+
+    #[test]
+    fn with_variants_do_not_mutate_the_original() {
+        let space = space();
+        let state = PrivacyState::absolute(&space);
+        let next = state.with_has(&space, &doctor(), &name());
+        let next2 = next.with_could(&space, &admin(), &name());
+        assert!(state.is_absolute());
+        assert!(next.has(&space, &doctor(), &name()));
+        assert!(next2.could(&space, &admin(), &name()));
+        assert_ne!(state, next);
+        assert_ne!(next, next2);
+    }
+
+    #[test]
+    fn field_iterators_list_the_right_fields() {
+        let space = space();
+        let state = PrivacyState::absolute(&space)
+            .with_has(&space, &doctor(), &name())
+            .with_could(&space, &doctor(), &diagnosis());
+
+        let doctor = doctor();
+        let identified: Vec<_> = state.fields_identified_by(&space, &doctor).collect();
+        assert_eq!(identified, vec![&name()]);
+        let accessible: Vec<_> = state.fields_accessible_by(&space, &doctor).collect();
+        assert_eq!(accessible, vec![&diagnosis()]);
+        let exposed: Vec<_> = state.exposed_pairs(&space).collect();
+        assert_eq!(exposed.len(), 2);
+    }
+
+    #[test]
+    fn subset_and_union_behave_like_sets() {
+        let space = space();
+        let a = PrivacyState::absolute(&space).with_has(&space, &doctor(), &name());
+        let b = a.with_could(&space, &admin(), &diagnosis());
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+
+        let u = a.union(&b);
+        assert_eq!(u, b);
+        let absolute = PrivacyState::absolute(&space);
+        assert_eq!(absolute.union(&a), a);
+    }
+
+    #[test]
+    fn states_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let space = space();
+        let mut set = HashSet::new();
+        set.insert(PrivacyState::absolute(&space));
+        set.insert(PrivacyState::absolute(&space).with_has(&space, &doctor(), &name()));
+        set.insert(PrivacyState::absolute(&space));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn table_and_labels_render() {
+        let space = space();
+        let state = PrivacyState::absolute(&space).with_has(&space, &doctor(), &name());
+        let table = state.table(&space);
+        assert!(table.contains("actor | field | has | could"));
+        assert!(table.contains("Doctor | Name | true | false"));
+        assert_eq!(table.lines().count(), 1 + 4);
+
+        assert_eq!(PrivacyState::absolute(&space).short_label(&space), "⊥");
+        assert_eq!(state.short_label(&space), "has(Doctor,Name)");
+        assert!(state.to_string().contains("1 of 8"));
+    }
+
+    #[test]
+    fn large_spaces_span_multiple_words() {
+        let space = VarSpace::new(
+            (0..10).map(|i| ActorId::new(format!("a{i}"))),
+            (0..10).map(|i| FieldId::new(format!("f{i}"))),
+        );
+        assert_eq!(space.variable_count(), 200);
+        let mut state = PrivacyState::absolute(&space);
+        let actor = ActorId::new("a9");
+        let field = FieldId::new("f9");
+        state.set_could(&space, &actor, &field, true);
+        assert!(state.could(&space, &actor, &field));
+        assert_eq!(state.count_true(), 1);
+    }
+}

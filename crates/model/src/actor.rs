@@ -1,0 +1,155 @@
+//! Actors: the individuals and role types that can act on personal data.
+//!
+//! The paper defines an actor as *"an individual or role type which can
+//! identify the user's personal data"*. The data subject (the user the
+//! personal data is about) is also modelled as an actor so data-flow arrows
+//! can originate from them (`collect` actions).
+
+use crate::ids::ActorId;
+use std::fmt;
+
+/// The kind of an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ActorKind {
+    /// The data subject: the user whose personal data the model is about.
+    DataSubject,
+    /// A specific human individual (e.g. a named employee).
+    Individual,
+    /// A role type (e.g. `Doctor`, `Receptionist`) that one or more humans
+    /// may hold; role-based access control grants permissions at this level.
+    Role,
+    /// An automated system component acting on data (e.g. a backup job).
+    System,
+}
+
+impl fmt::Display for ActorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ActorKind::DataSubject => "data subject",
+            ActorKind::Individual => "individual",
+            ActorKind::Role => "role",
+            ActorKind::System => "system",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An actor that can perform privacy-relevant actions on personal data.
+///
+/// # Example
+///
+/// ```
+/// use privacy_model::{Actor, ActorKind};
+///
+/// let doctor = Actor::role("Doctor").with_description("treats patients");
+/// assert_eq!(doctor.kind(), ActorKind::Role);
+/// assert_eq!(doctor.description(), "treats patients");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Actor {
+    id: ActorId,
+    kind: ActorKind,
+    description: String,
+}
+
+impl Actor {
+    /// Creates an actor of the given kind.
+    pub fn new(id: impl Into<ActorId>, kind: ActorKind) -> Self {
+        Actor { id: id.into(), kind, description: String::new() }
+    }
+
+    /// Creates a role-type actor (the most common case in the paper).
+    pub fn role(id: impl Into<ActorId>) -> Self {
+        Actor::new(id, ActorKind::Role)
+    }
+
+    /// Creates an individual actor.
+    pub fn individual(id: impl Into<ActorId>) -> Self {
+        Actor::new(id, ActorKind::Individual)
+    }
+
+    /// Creates the data-subject actor.
+    pub fn data_subject(id: impl Into<ActorId>) -> Self {
+        Actor::new(id, ActorKind::DataSubject)
+    }
+
+    /// Creates a system actor.
+    pub fn system(id: impl Into<ActorId>) -> Self {
+        Actor::new(id, ActorKind::System)
+    }
+
+    /// Attaches a human readable description and returns the actor.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// The actor's identifier.
+    pub fn id(&self) -> &ActorId {
+        &self.id
+    }
+
+    /// The actor's kind.
+    pub fn kind(&self) -> ActorKind {
+        self.kind
+    }
+
+    /// The actor's human readable description (may be empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Returns `true` if the actor is the data subject.
+    pub fn is_data_subject(&self) -> bool {
+        self.kind == ActorKind::DataSubject
+    }
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_expected_kind() {
+        assert_eq!(Actor::role("Doctor").kind(), ActorKind::Role);
+        assert_eq!(Actor::individual("Alice").kind(), ActorKind::Individual);
+        assert_eq!(Actor::data_subject("Patient").kind(), ActorKind::DataSubject);
+        assert_eq!(Actor::system("BackupJob").kind(), ActorKind::System);
+    }
+
+    #[test]
+    fn data_subject_detection() {
+        assert!(Actor::data_subject("Patient").is_data_subject());
+        assert!(!Actor::role("Doctor").is_data_subject());
+    }
+
+    #[test]
+    fn description_round_trip() {
+        let actor = Actor::role("Nurse").with_description("administers care");
+        assert_eq!(actor.description(), "administers care");
+        assert_eq!(Actor::role("Nurse").description(), "");
+    }
+
+    #[test]
+    fn display_includes_id_and_kind() {
+        assert_eq!(Actor::role("Doctor").to_string(), "Doctor (role)");
+        assert_eq!(
+            Actor::data_subject("Patient").to_string(),
+            "Patient (data subject)"
+        );
+    }
+
+    #[test]
+    fn actors_are_ordered_by_id_then_kind() {
+        let a = Actor::role("A");
+        let b = Actor::role("B");
+        assert!(a < b);
+    }
+}

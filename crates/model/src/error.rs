@@ -1,0 +1,121 @@
+//! Error types shared across the workspace's modelling crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating elements of the system
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An element with the same identifier has already been registered.
+    Duplicate {
+        /// The kind of element (e.g. `"actor"`).
+        kind: &'static str,
+        /// The duplicated identifier.
+        id: String,
+    },
+    /// An element referenced by identifier does not exist in the catalog.
+    Unknown {
+        /// The kind of element (e.g. `"field"`).
+        kind: &'static str,
+        /// The missing identifier.
+        id: String,
+    },
+    /// A numeric quantity was outside its permitted range.
+    OutOfRange {
+        /// A description of the quantity, e.g. `"sensitivity"`.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// An identifier or label was empty where a value is required.
+    Empty {
+        /// Description of the element that may not be empty.
+        what: &'static str,
+    },
+    /// A free-form validation failure.
+    Invalid {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl ModelError {
+    /// Creates a [`ModelError::Duplicate`].
+    pub fn duplicate(kind: &'static str, id: impl Into<String>) -> Self {
+        ModelError::Duplicate { kind, id: id.into() }
+    }
+
+    /// Creates a [`ModelError::Unknown`].
+    pub fn unknown(kind: &'static str, id: impl Into<String>) -> Self {
+        ModelError::Unknown { kind, id: id.into() }
+    }
+
+    /// Creates a [`ModelError::Invalid`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        ModelError::Invalid { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Duplicate { kind, id } => {
+                write!(f, "duplicate {kind} `{id}`")
+            }
+            ModelError::Unknown { kind, id } => {
+                write!(f, "unknown {kind} `{id}`")
+            }
+            ModelError::OutOfRange { what, value, min, max } => write!(
+                f,
+                "{what} {value} is outside the permitted range [{min}, {max}]"
+            ),
+            ModelError::Empty { what } => write!(f, "{what} must not be empty"),
+            ModelError::Invalid { reason } => f.write_str(reason),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = ModelError::duplicate("actor", "Doctor");
+        assert_eq!(err.to_string(), "duplicate actor `Doctor`");
+
+        let err = ModelError::unknown("field", "Weight");
+        assert_eq!(err.to_string(), "unknown field `Weight`");
+
+        let err = ModelError::OutOfRange {
+            what: "sensitivity",
+            value: 1.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        assert_eq!(
+            err.to_string(),
+            "sensitivity 1.5 is outside the permitted range [0, 1]"
+        );
+
+        let err = ModelError::Empty { what: "purpose" };
+        assert_eq!(err.to_string(), "purpose must not be empty");
+
+        let err = ModelError::invalid("flow order 3 used twice");
+        assert_eq!(err.to_string(), "flow order 3 used twice");
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

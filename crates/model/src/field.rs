@@ -1,0 +1,348 @@
+//! Personal-data fields and the schemas that group them.
+//!
+//! A [`DataField`] describes one item of personal data (e.g. `Name`,
+//! `Diagnosis`). Fields are classified ([`FieldKind`]) so anonymisation and
+//! risk analysis can treat direct identifiers, quasi-identifiers and
+//! sensitive attributes differently. A [`DataSchema`] is the ordered set of
+//! fields held by a datastore.
+
+use crate::error::ModelError;
+use crate::ids::{FieldId, SchemaId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Classification of a personal-data field.
+///
+/// The classification follows the standard disclosure-control terminology
+/// used by the paper's pseudonymisation risk analysis (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum FieldKind {
+    /// Directly identifies the data subject (e.g. `Name`, `NHS number`).
+    Identifier,
+    /// Does not identify on its own but can in combination with other
+    /// quasi-identifiers (e.g. `Age`, `Height`, `Date of Birth`).
+    QuasiIdentifier,
+    /// A sensitive attribute whose value the data subject may want to keep
+    /// private (e.g. `Diagnosis`, `Weight`).
+    Sensitive,
+    /// Any other personal data field.
+    Other,
+}
+
+impl fmt::Display for FieldKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FieldKind::Identifier => "identifier",
+            FieldKind::QuasiIdentifier => "quasi-identifier",
+            FieldKind::Sensitive => "sensitive",
+            FieldKind::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One item of personal data.
+///
+/// # Example
+///
+/// ```
+/// use privacy_model::{DataField, FieldKind};
+///
+/// let diagnosis = DataField::sensitive("Diagnosis");
+/// assert_eq!(diagnosis.kind(), FieldKind::Sensitive);
+/// assert!(!diagnosis.is_pseudonymised());
+///
+/// let anon = diagnosis.pseudonymised();
+/// assert!(anon.is_pseudonymised());
+/// assert_eq!(anon.original(), Some(diagnosis.id().clone()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataField {
+    id: FieldId,
+    kind: FieldKind,
+    display_name: String,
+    description: String,
+}
+
+impl DataField {
+    /// Creates a field of the given kind.
+    pub fn new(id: impl Into<FieldId>, kind: FieldKind) -> Self {
+        let id = id.into();
+        let display_name = id.as_str().to_owned();
+        DataField { id, kind, display_name, description: String::new() }
+    }
+
+    /// Creates a direct identifier field.
+    pub fn identifier(id: impl Into<FieldId>) -> Self {
+        DataField::new(id, FieldKind::Identifier)
+    }
+
+    /// Creates a quasi-identifier field.
+    pub fn quasi_identifier(id: impl Into<FieldId>) -> Self {
+        DataField::new(id, FieldKind::QuasiIdentifier)
+    }
+
+    /// Creates a sensitive field.
+    pub fn sensitive(id: impl Into<FieldId>) -> Self {
+        DataField::new(id, FieldKind::Sensitive)
+    }
+
+    /// Creates a field with no special classification.
+    pub fn other(id: impl Into<FieldId>) -> Self {
+        DataField::new(id, FieldKind::Other)
+    }
+
+    /// Overrides the human readable display name.
+    pub fn with_display_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// Attaches a description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// The field identifier.
+    pub fn id(&self) -> &FieldId {
+        &self.id
+    }
+
+    /// The field classification.
+    pub fn kind(&self) -> FieldKind {
+        self.kind
+    }
+
+    /// The human readable display name.
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// The description (may be empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Returns the pseudonymised counterpart of this field.
+    ///
+    /// The counterpart keeps the same classification but carries the
+    /// `_anon`-suffixed identifier, matching the paper's treatment of
+    /// `weight_anon` as a distinct field with its own access-control state
+    /// variables.
+    pub fn pseudonymised(&self) -> DataField {
+        DataField {
+            id: self.id.anonymised(),
+            kind: self.kind,
+            display_name: format!("{} (pseudonymised)", self.display_name),
+            description: self.description.clone(),
+        }
+    }
+
+    /// Returns `true` if this field is a pseudonymised counterpart.
+    pub fn is_pseudonymised(&self) -> bool {
+        self.id.is_anonymised()
+    }
+
+    /// Returns the original field identifier if this field is pseudonymised.
+    pub fn original(&self) -> Option<FieldId> {
+        self.id.original()
+    }
+}
+
+impl fmt::Display for DataField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.id, self.kind)
+    }
+}
+
+/// The ordered set of fields held by a datastore.
+///
+/// # Example
+///
+/// ```
+/// use privacy_model::{DataSchema, FieldId};
+///
+/// let schema = DataSchema::new("EHR", [FieldId::new("Name"), FieldId::new("Diagnosis")]);
+/// assert!(schema.contains(&FieldId::new("Name")));
+/// assert_eq!(schema.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSchema {
+    id: SchemaId,
+    fields: Vec<FieldId>,
+}
+
+impl DataSchema {
+    /// Creates a schema from an identifier and an iterator of field ids.
+    ///
+    /// Duplicate field identifiers are collapsed, preserving first-seen
+    /// order.
+    pub fn new(id: impl Into<SchemaId>, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut unique = Vec::new();
+        for field in fields {
+            if seen.insert(field.clone()) {
+                unique.push(field);
+            }
+        }
+        DataSchema { id: id.into(), fields: unique }
+    }
+
+    /// Creates an empty schema.
+    pub fn empty(id: impl Into<SchemaId>) -> Self {
+        DataSchema { id: id.into(), fields: Vec::new() }
+    }
+
+    /// The schema identifier.
+    pub fn id(&self) -> &SchemaId {
+        &self.id
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[FieldId] {
+        &self.fields
+    }
+
+    /// Number of fields in the schema.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Returns `true` if the schema contains the given field.
+    pub fn contains(&self, field: &FieldId) -> bool {
+        self.fields.iter().any(|f| f == field)
+    }
+
+    /// Adds a field to the schema if not already present. Returns an error if
+    /// the field is already part of the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Duplicate`] if the field is already present.
+    pub fn add_field(&mut self, field: FieldId) -> Result<(), ModelError> {
+        if self.contains(&field) {
+            return Err(ModelError::duplicate("schema field", field.as_str()));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// Returns a new schema whose fields are the pseudonymised counterparts
+    /// of this schema's fields.
+    pub fn pseudonymised(&self, id: impl Into<SchemaId>) -> DataSchema {
+        DataSchema {
+            id: id.into(),
+            fields: self.fields.iter().map(FieldId::anonymised).collect(),
+        }
+    }
+
+    /// Iterates over the fields of the schema.
+    pub fn iter(&self) -> impl Iterator<Item = &FieldId> {
+        self.fields.iter()
+    }
+}
+
+impl fmt::Display for DataSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_constructors_set_kind() {
+        assert_eq!(DataField::identifier("Name").kind(), FieldKind::Identifier);
+        assert_eq!(
+            DataField::quasi_identifier("Age").kind(),
+            FieldKind::QuasiIdentifier
+        );
+        assert_eq!(DataField::sensitive("Diagnosis").kind(), FieldKind::Sensitive);
+        assert_eq!(DataField::other("Notes").kind(), FieldKind::Other);
+    }
+
+    #[test]
+    fn pseudonymised_field_keeps_kind_and_links_back() {
+        let weight = DataField::sensitive("Weight").with_description("kg");
+        let anon = weight.pseudonymised();
+        assert_eq!(anon.kind(), FieldKind::Sensitive);
+        assert!(anon.is_pseudonymised());
+        assert_eq!(anon.original(), Some(FieldId::new("Weight")));
+        assert_eq!(anon.description(), "kg");
+        assert!(anon.display_name().contains("pseudonymised"));
+    }
+
+    #[test]
+    fn display_name_defaults_to_id_and_can_be_overridden() {
+        let field = DataField::other("DOB");
+        assert_eq!(field.display_name(), "DOB");
+        let field = field.with_display_name("Date of Birth");
+        assert_eq!(field.display_name(), "Date of Birth");
+    }
+
+    #[test]
+    fn schema_deduplicates_fields_preserving_order() {
+        let schema = DataSchema::new(
+            "S",
+            [
+                FieldId::new("b"),
+                FieldId::new("a"),
+                FieldId::new("b"),
+                FieldId::new("c"),
+            ],
+        );
+        let order: Vec<_> = schema.fields().iter().map(FieldId::as_str).collect();
+        assert_eq!(order, vec!["b", "a", "c"]);
+        assert_eq!(schema.len(), 3);
+    }
+
+    #[test]
+    fn schema_add_field_rejects_duplicates() {
+        let mut schema = DataSchema::empty("S");
+        assert!(schema.is_empty());
+        schema.add_field(FieldId::new("x")).unwrap();
+        let err = schema.add_field(FieldId::new("x")).unwrap_err();
+        assert!(matches!(err, ModelError::Duplicate { .. }));
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn pseudonymised_schema_maps_every_field() {
+        let schema = DataSchema::new("EHR", [FieldId::new("Age"), FieldId::new("Weight")]);
+        let anon = schema.pseudonymised("EHR_anon");
+        assert_eq!(anon.id().as_str(), "EHR_anon");
+        assert!(anon.contains(&FieldId::new("Age_anon")));
+        assert!(anon.contains(&FieldId::new("Weight_anon")));
+        assert_eq!(anon.len(), 2);
+    }
+
+    #[test]
+    fn schema_display_lists_fields() {
+        let schema = DataSchema::new("S", [FieldId::new("a"), FieldId::new("b")]);
+        assert_eq!(schema.to_string(), "S{a, b}");
+    }
+
+    #[test]
+    fn field_display_contains_kind() {
+        assert_eq!(
+            DataField::sensitive("Diagnosis").to_string(),
+            "Diagnosis [sensitive]"
+        );
+    }
+}

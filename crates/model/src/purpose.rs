@@ -1,0 +1,105 @@
+//! Purposes of processing.
+//!
+//! Each data-flow arrow in the paper's modelling framework is labelled with a
+//! *purpose* explaining why the flow exists (e.g. "book appointment",
+//! "medical research"). Purposes also appear as optional labels on LTS
+//! transitions.
+
+use crate::error::ModelError;
+use std::fmt;
+
+/// The purpose for which a data flow or privacy action is performed.
+///
+/// A purpose must be a non-empty string; use [`Purpose::unspecified`] for
+/// flows where the developer has not (yet) declared a purpose — modelling an
+/// unspecified purpose explicitly lets validation flag it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Purpose(String);
+
+impl Purpose {
+    /// The placeholder purpose used when no purpose has been declared.
+    pub const UNSPECIFIED: &'static str = "<unspecified>";
+
+    /// Creates a purpose from a non-empty label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if `label` is empty or whitespace only.
+    pub fn new(label: impl Into<String>) -> Result<Self, ModelError> {
+        let label = label.into();
+        if label.trim().is_empty() {
+            return Err(ModelError::Empty { what: "purpose" });
+        }
+        Ok(Purpose(label))
+    }
+
+    /// Creates the explicit "unspecified" purpose.
+    pub fn unspecified() -> Self {
+        Purpose(Self::UNSPECIFIED.to_owned())
+    }
+
+    /// Returns `true` if this purpose is the unspecified placeholder.
+    pub fn is_unspecified(&self) -> bool {
+        self.0 == Self::UNSPECIFIED
+    }
+
+    /// The purpose label.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TryFrom<&str> for Purpose {
+    type Error = ModelError;
+
+    fn try_from(value: &str) -> Result<Self, Self::Error> {
+        Purpose::new(value)
+    }
+}
+
+impl TryFrom<String> for Purpose {
+    type Error = ModelError;
+
+    fn try_from(value: String) -> Result<Self, Self::Error> {
+        Purpose::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_empty_purposes_are_accepted() {
+        let p = Purpose::new("book appointment").unwrap();
+        assert_eq!(p.as_str(), "book appointment");
+        assert_eq!(p.to_string(), "book appointment");
+        assert!(!p.is_unspecified());
+    }
+
+    #[test]
+    fn empty_or_whitespace_purposes_are_rejected() {
+        assert!(Purpose::new("").is_err());
+        assert!(Purpose::new("   ").is_err());
+        assert!(Purpose::try_from("\t").is_err());
+    }
+
+    #[test]
+    fn unspecified_placeholder_is_flagged() {
+        let p = Purpose::unspecified();
+        assert!(p.is_unspecified());
+        assert_eq!(p.as_str(), Purpose::UNSPECIFIED);
+    }
+
+    #[test]
+    fn try_from_string_works() {
+        let p = Purpose::try_from(String::from("medical research")).unwrap();
+        assert_eq!(p.as_str(), "medical research");
+    }
+}

@@ -1,0 +1,153 @@
+//! The low / medium / high vocabulary used for impact, likelihood and risk.
+//!
+//! Section III-A of the paper categorises both dimensions of risk (impact
+//! and likelihood) into low / medium / high and combines them through a
+//! service-specific table into a risk level. The three enums here share the
+//! same three-point scale but are distinct types so that an impact category
+//! cannot be passed where a likelihood category is expected.
+
+use std::fmt;
+
+macro_rules! three_point_scale {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub enum $name {
+            /// The lowest category.
+            #[default]
+            Low,
+            /// The middle category.
+            Medium,
+            /// The highest category.
+            High,
+        }
+
+        impl $name {
+            /// All categories in ascending order.
+            pub const ALL: [$name; 3] = [$name::Low, $name::Medium, $name::High];
+
+            /// Returns the category as an index (`Low = 0`, `Medium = 1`,
+            /// `High = 2`), useful for building lookup tables.
+            pub fn index(self) -> usize {
+                match self {
+                    $name::Low => 0,
+                    $name::Medium => 1,
+                    $name::High => 2,
+                }
+            }
+
+            /// Builds a category from an index.
+            ///
+            /// Returns `None` if `index > 2`.
+            pub fn from_index(index: usize) -> Option<Self> {
+                match index {
+                    0 => Some($name::Low),
+                    1 => Some($name::Medium),
+                    2 => Some($name::High),
+                    _ => None,
+                }
+            }
+
+            /// Returns the next category up, saturating at `High`.
+            pub fn escalate(self) -> Self {
+                Self::from_index((self.index() + 1).min(2)).expect("index <= 2")
+            }
+
+            /// Returns the next category down, saturating at `Low`.
+            pub fn deescalate(self) -> Self {
+                Self::from_index(self.index().saturating_sub(1)).expect("index <= 2")
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let name = match self {
+                    $name::Low => "Low",
+                    $name::Medium => "Medium",
+                    $name::High => "High",
+                };
+                f.write_str(name)
+            }
+        }
+    };
+}
+
+three_point_scale! {
+    /// The severity (impact) category of a privacy risk.
+    Severity
+}
+
+three_point_scale! {
+    /// The likelihood category of a privacy risk.
+    Likelihood
+}
+
+three_point_scale! {
+    /// The combined risk level attached to an LTS transition or reported to
+    /// the system designer.
+    RiskLevel
+}
+
+impl RiskLevel {
+    /// Returns `true` if this level is at least as severe as `other`.
+    ///
+    /// ```
+    /// use privacy_model::RiskLevel;
+    /// assert!(RiskLevel::High.at_least(RiskLevel::Medium));
+    /// assert!(!RiskLevel::Low.at_least(RiskLevel::Medium));
+    /// ```
+    pub fn at_least(self, other: RiskLevel) -> bool {
+        self.index() >= other.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_low_medium_high() {
+        assert!(RiskLevel::Low < RiskLevel::Medium);
+        assert!(RiskLevel::Medium < RiskLevel::High);
+        assert!(Severity::Low < Severity::High);
+        assert!(Likelihood::Medium > Likelihood::Low);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for level in RiskLevel::ALL {
+            assert_eq!(RiskLevel::from_index(level.index()), Some(level));
+        }
+        assert_eq!(RiskLevel::from_index(3), None);
+        assert_eq!(Severity::from_index(17), None);
+    }
+
+    #[test]
+    fn escalate_and_deescalate_saturate() {
+        assert_eq!(RiskLevel::Low.escalate(), RiskLevel::Medium);
+        assert_eq!(RiskLevel::High.escalate(), RiskLevel::High);
+        assert_eq!(RiskLevel::Medium.deescalate(), RiskLevel::Low);
+        assert_eq!(RiskLevel::Low.deescalate(), RiskLevel::Low);
+    }
+
+    #[test]
+    fn at_least_is_reflexive_and_monotone() {
+        assert!(RiskLevel::Medium.at_least(RiskLevel::Medium));
+        assert!(RiskLevel::High.at_least(RiskLevel::Low));
+        assert!(!RiskLevel::Low.at_least(RiskLevel::High));
+    }
+
+    #[test]
+    fn default_is_low() {
+        assert_eq!(RiskLevel::default(), RiskLevel::Low);
+        assert_eq!(Severity::default(), Severity::Low);
+        assert_eq!(Likelihood::default(), Likelihood::Low);
+    }
+
+    #[test]
+    fn display_uses_capitalised_names() {
+        assert_eq!(RiskLevel::Medium.to_string(), "Medium");
+        assert_eq!(Severity::High.to_string(), "High");
+        assert_eq!(Likelihood::Low.to_string(), "Low");
+    }
+}

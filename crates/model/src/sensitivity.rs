@@ -1,0 +1,360 @@
+//! User sensitivities about personal-data fields.
+//!
+//! Section III-A of the paper assumes that the user declares, per data field
+//! `d`, a sensitivity `σ(d)` — either as a category (low / medium / high) or
+//! as a quantitative value in `[0, 1]`. The paper uses the quantitative value
+//! throughout and so do we; [`SensitivityCategory`] provides the standard
+//! mapping in both directions.
+//!
+//! The *relative* sensitivity `σ(d, a)` of a field with respect to an actor
+//! is zero when the actor is *allowed* (participates in a service the user
+//! consented to) and `σ(d)` otherwise; that function lives in the risk crate
+//! because it also needs the consent information, but the raw profile is
+//! defined here so the synthetic-data generator can produce it.
+
+use crate::error::ModelError;
+use crate::ids::FieldId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A quantitative sensitivity in `[0, 1]`.
+///
+/// `0.0` means the user does not care at all about disclosure of the field;
+/// `1.0` means maximally sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// The zero sensitivity.
+    pub const ZERO: Sensitivity = Sensitivity(0.0);
+    /// The maximum sensitivity.
+    pub const MAX: Sensitivity = Sensitivity(1.0);
+
+    /// Creates a sensitivity, validating that the value lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `value` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(ModelError::OutOfRange {
+                what: "sensitivity",
+                value,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Sensitivity(value))
+    }
+
+    /// Creates a sensitivity, clamping the value into `[0, 1]` (NaN becomes
+    /// `0.0`).
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Sensitivity(0.0)
+        } else {
+            Sensitivity(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The underlying value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The category this sensitivity falls into.
+    ///
+    /// The thresholds follow the common three-point split of the unit
+    /// interval: `[0, 1/3)` is low, `[1/3, 2/3)` is medium and `[2/3, 1]` is
+    /// high.
+    pub fn category(self) -> SensitivityCategory {
+        SensitivityCategory::from_value(self.0)
+    }
+
+    /// Returns the larger of two sensitivities.
+    pub fn max(self, other: Sensitivity) -> Sensitivity {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` if the sensitivity is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<SensitivityCategory> for Sensitivity {
+    fn from(category: SensitivityCategory) -> Self {
+        category.representative()
+    }
+}
+
+/// The categorical (low / medium / high) view of a sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SensitivityCategory {
+    /// Sensitivity in `[0, 1/3)`.
+    #[default]
+    Low,
+    /// Sensitivity in `[1/3, 2/3)`.
+    Medium,
+    /// Sensitivity in `[2/3, 1]`.
+    High,
+}
+
+impl SensitivityCategory {
+    /// Maps a quantitative sensitivity onto its category.
+    pub fn from_value(value: f64) -> Self {
+        if value >= 2.0 / 3.0 {
+            SensitivityCategory::High
+        } else if value >= 1.0 / 3.0 {
+            SensitivityCategory::Medium
+        } else {
+            SensitivityCategory::Low
+        }
+    }
+
+    /// A representative quantitative value for the category (the midpoint of
+    /// its interval), used when a user only supplies categorical answers to
+    /// the sensitivity questionnaire.
+    pub fn representative(self) -> Sensitivity {
+        match self {
+            SensitivityCategory::Low => Sensitivity(1.0 / 6.0),
+            SensitivityCategory::Medium => Sensitivity(0.5),
+            SensitivityCategory::High => Sensitivity(5.0 / 6.0),
+        }
+    }
+}
+
+impl fmt::Display for SensitivityCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SensitivityCategory::Low => "Low",
+            SensitivityCategory::Medium => "Medium",
+            SensitivityCategory::High => "High",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A user's per-field sensitivities `σ(d)`.
+///
+/// Fields without an explicit entry take the profile's default sensitivity
+/// (zero unless changed), matching the paper's assumption that only fields
+/// the user has *particular* sensitivities about need to be declared.
+///
+/// # Example
+///
+/// ```
+/// use privacy_model::{FieldId, Sensitivity, SensitivityCategory, SensitivityProfile};
+///
+/// # fn main() -> Result<(), privacy_model::ModelError> {
+/// let mut profile = SensitivityProfile::new();
+/// profile.set_category(FieldId::new("Diagnosis"), SensitivityCategory::High);
+/// profile.set(FieldId::new("Appointment"), Sensitivity::new(0.2)?);
+/// assert_eq!(
+///     profile.sensitivity(&FieldId::new("Diagnosis")).category(),
+///     SensitivityCategory::High
+/// );
+/// assert!(profile.sensitivity(&FieldId::new("Name")).is_zero());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SensitivityProfile {
+    default: Sensitivity,
+    per_field: BTreeMap<FieldId, Sensitivity>,
+}
+
+impl SensitivityProfile {
+    /// Creates an empty profile with a zero default sensitivity.
+    pub fn new() -> Self {
+        SensitivityProfile::default()
+    }
+
+    /// Creates an empty profile with the given default sensitivity.
+    pub fn with_default(default: Sensitivity) -> Self {
+        SensitivityProfile { default, per_field: BTreeMap::new() }
+    }
+
+    /// Sets the sensitivity for a field, returning the previous value if any.
+    pub fn set(&mut self, field: FieldId, sensitivity: Sensitivity) -> Option<Sensitivity> {
+        self.per_field.insert(field, sensitivity)
+    }
+
+    /// Sets the sensitivity for a field from a category.
+    pub fn set_category(
+        &mut self,
+        field: FieldId,
+        category: SensitivityCategory,
+    ) -> Option<Sensitivity> {
+        self.per_field.insert(field, category.representative())
+    }
+
+    /// The sensitivity of a field (falling back to the default).
+    ///
+    /// Pseudonymised fields (`f_anon`) that have no explicit entry inherit
+    /// the sensitivity of their original field: the user cares about the
+    /// value, not the column name under which it is released.
+    pub fn sensitivity(&self, field: &FieldId) -> Sensitivity {
+        if let Some(s) = self.per_field.get(field) {
+            return *s;
+        }
+        if let Some(original) = field.original() {
+            if let Some(s) = self.per_field.get(&original) {
+                return *s;
+            }
+        }
+        self.default
+    }
+
+    /// The default sensitivity used for fields with no explicit entry.
+    pub fn default_sensitivity(&self) -> Sensitivity {
+        self.default
+    }
+
+    /// The explicitly declared entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&FieldId, Sensitivity)> {
+        self.per_field.iter().map(|(f, s)| (f, *s))
+    }
+
+    /// Number of explicitly declared entries.
+    pub fn len(&self) -> usize {
+        self.per_field.len()
+    }
+
+    /// Returns `true` if no explicit entries have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.per_field.is_empty()
+    }
+
+    /// The maximum sensitivity across a set of fields.
+    ///
+    /// The paper asserts that *"a collection of data fields is only as
+    /// sensitive as the most sensitive data field"*; this helper implements
+    /// that aggregation.
+    pub fn max_over<'a>(&self, fields: impl IntoIterator<Item = &'a FieldId>) -> Sensitivity {
+        fields
+            .into_iter()
+            .map(|f| self.sensitivity(f))
+            .fold(Sensitivity::ZERO, Sensitivity::max)
+    }
+}
+
+impl FromIterator<(FieldId, Sensitivity)> for SensitivityProfile {
+    fn from_iter<T: IntoIterator<Item = (FieldId, Sensitivity)>>(iter: T) -> Self {
+        SensitivityProfile {
+            default: Sensitivity::ZERO,
+            per_field: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(FieldId, Sensitivity)> for SensitivityProfile {
+    fn extend<T: IntoIterator<Item = (FieldId, Sensitivity)>>(&mut self, iter: T) {
+        self.per_field.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_validates_range() {
+        assert!(Sensitivity::new(0.0).is_ok());
+        assert!(Sensitivity::new(1.0).is_ok());
+        assert!(Sensitivity::new(0.5).is_ok());
+        assert!(Sensitivity::new(-0.1).is_err());
+        assert!(Sensitivity::new(1.1).is_err());
+        assert!(Sensitivity::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamped_never_fails() {
+        assert_eq!(Sensitivity::clamped(-3.0).value(), 0.0);
+        assert_eq!(Sensitivity::clamped(3.0).value(), 1.0);
+        assert_eq!(Sensitivity::clamped(f64::NAN).value(), 0.0);
+        assert_eq!(Sensitivity::clamped(0.4).value(), 0.4);
+    }
+
+    #[test]
+    fn categories_partition_the_unit_interval() {
+        assert_eq!(SensitivityCategory::from_value(0.0), SensitivityCategory::Low);
+        assert_eq!(SensitivityCategory::from_value(0.32), SensitivityCategory::Low);
+        assert_eq!(SensitivityCategory::from_value(0.34), SensitivityCategory::Medium);
+        assert_eq!(SensitivityCategory::from_value(0.65), SensitivityCategory::Medium);
+        assert_eq!(SensitivityCategory::from_value(0.67), SensitivityCategory::High);
+        assert_eq!(SensitivityCategory::from_value(1.0), SensitivityCategory::High);
+    }
+
+    #[test]
+    fn representative_values_round_trip_through_category() {
+        for category in [
+            SensitivityCategory::Low,
+            SensitivityCategory::Medium,
+            SensitivityCategory::High,
+        ] {
+            assert_eq!(category.representative().category(), category);
+        }
+    }
+
+    #[test]
+    fn profile_falls_back_to_default() {
+        let profile = SensitivityProfile::with_default(Sensitivity::clamped(0.25));
+        assert_eq!(profile.sensitivity(&FieldId::new("Name")).value(), 0.25);
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn anonymised_fields_inherit_original_sensitivity() {
+        let mut profile = SensitivityProfile::new();
+        profile.set(FieldId::new("Weight"), Sensitivity::clamped(0.9));
+        let anon = FieldId::new("Weight").anonymised();
+        assert_eq!(profile.sensitivity(&anon).value(), 0.9);
+
+        // But an explicit entry for the anonymised field takes precedence.
+        profile.set(anon.clone(), Sensitivity::clamped(0.1));
+        assert_eq!(profile.sensitivity(&anon).value(), 0.1);
+    }
+
+    #[test]
+    fn max_over_returns_most_sensitive_field() {
+        let mut profile = SensitivityProfile::new();
+        profile.set(FieldId::new("Diagnosis"), Sensitivity::clamped(0.9));
+        profile.set(FieldId::new("Appointment"), Sensitivity::clamped(0.2));
+        let fields = [FieldId::new("Appointment"), FieldId::new("Diagnosis"), FieldId::new("Name")];
+        assert_eq!(profile.max_over(fields.iter()).value(), 0.9);
+        let none: Vec<FieldId> = Vec::new();
+        assert!(profile.max_over(none.iter()).is_zero());
+    }
+
+    #[test]
+    fn profile_collects_and_extends() {
+        let mut profile: SensitivityProfile = [
+            (FieldId::new("a"), Sensitivity::clamped(0.1)),
+            (FieldId::new("b"), Sensitivity::clamped(0.2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(profile.len(), 2);
+        profile.extend([(FieldId::new("c"), Sensitivity::clamped(0.3))]);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile.sensitivity(&FieldId::new("c")).value(), 0.3);
+    }
+
+    #[test]
+    fn sensitivity_display_is_three_decimals() {
+        assert_eq!(Sensitivity::clamped(0.5).to_string(), "0.500");
+        assert_eq!(SensitivityCategory::High.to_string(), "High");
+    }
+}

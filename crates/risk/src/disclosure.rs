@@ -1,0 +1,507 @@
+//! Unwanted-disclosure risk analysis (Section III-A, Case Study A).
+//!
+//! For one user, the analysis determines the **non-allowed actors** (those
+//! not involved in any service the user consented to), finds every field of
+//! every datastore such an actor has read access to once the user's data is
+//! stored there, computes the impact (the relative sensitivity `σ(d, a)`) and
+//! the likelihood (the summed scenario probabilities) of the actor actually
+//! reading the field, combines them through the risk matrix, and annotates
+//! the LTS: existing `read` transitions by non-allowed actors receive a risk
+//! label, and a *potential-read* risk transition is added from every state
+//! where the actor could (but has not yet) identified the field.
+
+use crate::likelihood::LikelihoodModel;
+use crate::matrix::RiskMatrix;
+use crate::sensitivity::SensitivityModel;
+use privacy_access::{AccessPolicy, Permission};
+use privacy_lts::{ActionKind, Lts, RiskAnnotation, TransitionId, TransitionLabel};
+use privacy_model::{
+    ActorId, Catalog, DatastoreId, FieldId, Likelihood, RiskLevel, Severity, UserProfile,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One unwanted-disclosure finding: a non-allowed actor that can identify a
+/// field of a datastore the user's data reaches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisclosureFinding {
+    actor: ActorId,
+    field: FieldId,
+    datastore: DatastoreId,
+    severity: Severity,
+    likelihood: Likelihood,
+    probability: f64,
+    level: RiskLevel,
+    annotated_transitions: Vec<TransitionId>,
+    exposed_states: usize,
+}
+
+impl DisclosureFinding {
+    /// The non-allowed actor.
+    pub fn actor(&self) -> &ActorId {
+        &self.actor
+    }
+
+    /// The field at risk.
+    pub fn field(&self) -> &FieldId {
+        &self.field
+    }
+
+    /// The datastore through which the actor can reach the field.
+    pub fn datastore(&self) -> &DatastoreId {
+        &self.datastore
+    }
+
+    /// The impact category.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The likelihood category.
+    pub fn likelihood(&self) -> Likelihood {
+        self.likelihood
+    }
+
+    /// The raw likelihood probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// The combined risk level.
+    pub fn level(&self) -> RiskLevel {
+        self.level
+    }
+
+    /// The transitions (existing reads and added potential reads) that were
+    /// annotated with this finding's risk.
+    pub fn annotated_transitions(&self) -> &[TransitionId] {
+        &self.annotated_transitions
+    }
+
+    /// The number of reachable states in which the actor could identify the
+    /// field.
+    pub fn exposed_states(&self) -> usize {
+        self.exposed_states
+    }
+}
+
+impl fmt::Display for DisclosureFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: non-allowed actor {} can read {} from {} \
+             (impact {}, likelihood {} [p={:.3}], {} exposed states)",
+            self.level,
+            self.actor,
+            self.field,
+            self.datastore,
+            self.severity,
+            self.likelihood,
+            self.probability,
+            self.exposed_states
+        )
+    }
+}
+
+/// The result of the unwanted-disclosure analysis for one user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisclosureReport {
+    user: UserProfile,
+    allowed: BTreeSet<ActorId>,
+    non_allowed: BTreeSet<ActorId>,
+    findings: Vec<DisclosureFinding>,
+}
+
+impl DisclosureReport {
+    /// The user the analysis was run for.
+    pub fn user(&self) -> &UserProfile {
+        &self.user
+    }
+
+    /// The allowed actors derived from the user's consent.
+    pub fn allowed_actors(&self) -> &BTreeSet<ActorId> {
+        &self.allowed
+    }
+
+    /// The non-allowed actors.
+    pub fn non_allowed_actors(&self) -> &BTreeSet<ActorId> {
+        &self.non_allowed
+    }
+
+    /// All findings, sorted by descending risk level.
+    pub fn findings(&self) -> &[DisclosureFinding] {
+        &self.findings
+    }
+
+    /// The findings at or above the given level.
+    pub fn findings_at_least(&self, level: RiskLevel) -> Vec<&DisclosureFinding> {
+        self.findings.iter().filter(|f| f.level().at_least(level)).collect()
+    }
+
+    /// The highest risk level found (Low when there are no findings).
+    pub fn max_level(&self) -> RiskLevel {
+        self.findings
+            .iter()
+            .map(DisclosureFinding::level)
+            .max()
+            .unwrap_or(RiskLevel::Low)
+    }
+
+    /// The risk level for a specific actor and field (Low if no finding
+    /// exists — no exposure means no unwanted-disclosure risk).
+    pub fn risk_for(&self, actor: &ActorId, field: &FieldId) -> RiskLevel {
+        self.findings
+            .iter()
+            .filter(|f| f.actor() == actor && f.field() == field)
+            .map(DisclosureFinding::level)
+            .max()
+            .unwrap_or(RiskLevel::Low)
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Returns `true` if no unwanted disclosure was found.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for DisclosureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "disclosure risk for {}: {} findings (max level {})",
+            self.user.id(),
+            self.findings.len(),
+            self.max_level()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The unwanted-disclosure analysis.
+#[derive(Debug, Clone)]
+pub struct DisclosureAnalysis<'a> {
+    catalog: &'a Catalog,
+    policy: &'a AccessPolicy,
+    matrix: RiskMatrix,
+    likelihood: LikelihoodModel,
+}
+
+impl<'a> DisclosureAnalysis<'a> {
+    /// Creates an analysis with the standard risk matrix and likelihood
+    /// model.
+    pub fn new(catalog: &'a Catalog, policy: &'a AccessPolicy) -> Self {
+        DisclosureAnalysis {
+            catalog,
+            policy,
+            matrix: RiskMatrix::standard(),
+            likelihood: LikelihoodModel::standard(),
+        }
+    }
+
+    /// Builder-style: overrides the risk matrix.
+    pub fn with_matrix(mut self, matrix: RiskMatrix) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// Builder-style: overrides the likelihood model.
+    pub fn with_likelihood(mut self, likelihood: LikelihoodModel) -> Self {
+        self.likelihood = likelihood;
+        self
+    }
+
+    /// Runs the analysis for one user, annotating the LTS in place.
+    pub fn analyse(&self, lts: &mut Lts, user: &UserProfile) -> DisclosureReport {
+        let sensitivity = SensitivityModel::new(self.catalog, user);
+        let allowed: BTreeSet<ActorId> = sensitivity.allowed_actors().clone();
+        let non_allowed: BTreeSet<ActorId> = self
+            .catalog
+            .identifying_actors()
+            .map(|a| a.id().clone())
+            .filter(|a| !allowed.contains(a))
+            .collect();
+
+        let mut findings = Vec::new();
+        let space = lts.space().clone();
+        let reachable = lts.reachable();
+
+        for datastore in self.catalog.datastores() {
+            let schema = match self.catalog.schema(datastore.schema()) {
+                Some(schema) => schema,
+                None => continue,
+            };
+            for field in schema.fields() {
+                for actor in &non_allowed {
+                    if !self.policy.can(actor, Permission::Read, datastore.id(), field) {
+                        continue;
+                    }
+                    // Which reachable states expose the field to this actor?
+                    let exposed: Vec<_> = reachable
+                        .iter()
+                        .copied()
+                        .filter(|id| lts.state(*id).could(&space, actor, field))
+                        .collect();
+                    if exposed.is_empty() {
+                        continue;
+                    }
+
+                    let impact = sensitivity.relative_sensitivity(field, actor);
+                    let probability = self.likelihood.probability(actor, datastore.id());
+                    let severity = self.matrix.categorise_impact(impact);
+                    let likelihood_cat = self.matrix.categorise_likelihood(probability);
+                    let level = self.matrix.level(severity, likelihood_cat);
+                    let annotation = RiskAnnotation::dimensions(severity, likelihood_cat, level)
+                        .with_score(impact.value().max(probability))
+                        .with_note(format!(
+                            "unwanted disclosure of {field} to non-allowed actor {actor}"
+                        ));
+
+                    let mut annotated = Vec::new();
+
+                    // Annotate existing read transitions by this actor on
+                    // this field.
+                    let existing: Vec<TransitionId> = lts
+                        .transitions()
+                        .filter(|(_, t)| {
+                            t.label().action() == ActionKind::Read
+                                && t.label().actor() == actor
+                                && t.label().involves_field(field)
+                        })
+                        .map(|(id, _)| id)
+                        .collect();
+                    for id in existing {
+                        lts.annotate(id, annotation.clone());
+                        annotated.push(id);
+                    }
+
+                    // Add potential-read risk transitions from every exposed
+                    // state where the actor has not yet identified the field.
+                    for state_id in &exposed {
+                        let state = lts.state(*state_id).clone();
+                        if state.has(&space, actor, field) {
+                            continue;
+                        }
+                        let target = state.with_has(&space, actor, field);
+                        let target_id = lts.intern(target);
+                        let label = TransitionLabel::new(
+                            ActionKind::Read,
+                            actor.clone(),
+                            [field.clone()],
+                            Some(datastore.schema().clone()),
+                        )
+                        .with_risk(annotation.clone());
+                        let tid = lts.add_risk_transition(*state_id, target_id, label);
+                        annotated.push(tid);
+                    }
+
+                    findings.push(DisclosureFinding {
+                        actor: actor.clone(),
+                        field: field.clone(),
+                        datastore: datastore.id().clone(),
+                        severity,
+                        likelihood: likelihood_cat,
+                        probability,
+                        level,
+                        annotated_transitions: annotated,
+                        exposed_states: exposed.len(),
+                    });
+                }
+            }
+        }
+
+        findings.sort_by(|a, b| {
+            b.level
+                .cmp(&a.level)
+                .then_with(|| a.actor.cmp(&b.actor))
+                .then_with(|| a.field.cmp(&b.field))
+        });
+
+        DisclosureReport { user: user.clone(), allowed, non_allowed, findings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_access::{AccessControlList, Grant, PolicyDelta};
+    use privacy_dataflow::{DiagramBuilder, SystemDataFlows};
+    use privacy_lts::{generate_lts, GeneratorConfig};
+    use privacy_model::{
+        Actor, DataField, DataSchema, DatastoreDecl, SensitivityCategory, ServiceDecl, ServiceId,
+    };
+
+    /// The doctors'-surgery fixture of Case Study A, reduced to the elements
+    /// the analysis needs.
+    fn fixture() -> (Catalog, SystemDataFlows, AccessPolicy) {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::role("Receptionist")).unwrap();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_actor(Actor::role("Administrator")).unwrap();
+        catalog.add_actor(Actor::role("Researcher")).unwrap();
+        catalog.add_field(DataField::identifier("Name")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "EHRSchema",
+                [FieldId::new("Name"), FieldId::new("Diagnosis")],
+            ))
+            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
+        catalog
+            .add_service(ServiceDecl::new(
+                "MedicalService",
+                [ActorId::new("Receptionist"), ActorId::new("Doctor")],
+            ))
+            .unwrap();
+        catalog
+            .add_service(ServiceDecl::new(
+                "MedicalResearchService",
+                [ActorId::new("Administrator"), ActorId::new("Researcher")],
+            ))
+            .unwrap();
+
+        let medical = DiagramBuilder::new("MedicalService")
+            .collect("Doctor", ["Name", "Diagnosis"], "consultation", 1)
+            .unwrap()
+            .create("Doctor", "EHR", ["Name", "Diagnosis"], "record", 2)
+            .unwrap()
+            .build();
+        let system = SystemDataFlows::new().with_diagram(medical).unwrap();
+
+        let acl = AccessControlList::new()
+            .with_grant(Grant::read_write_all("Doctor", "EHR"))
+            .with_grant(Grant::read_all("Administrator", "EHR"));
+        let policy = AccessPolicy::from_parts(acl, Default::default());
+        (catalog, system, policy)
+    }
+
+    fn case_a_user() -> UserProfile {
+        UserProfile::new("patient-1")
+            .consents_to(ServiceId::new("MedicalService"))
+            .with_category_sensitivity(FieldId::new("Diagnosis"), SensitivityCategory::High)
+    }
+
+    #[test]
+    fn case_study_a_administrator_read_is_medium_risk() {
+        let (catalog, system, policy) = fixture();
+        let mut lts =
+            generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let report =
+            DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
+
+        // The non-allowed actors are exactly the Administrator and the
+        // Researcher, as in the paper.
+        assert_eq!(
+            report.non_allowed_actors().iter().map(ActorId::as_str).collect::<Vec<_>>(),
+            vec!["Administrator", "Researcher"]
+        );
+
+        // The Administrator's potential read of the Diagnosis is Medium.
+        assert_eq!(
+            report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
+            RiskLevel::Medium
+        );
+        assert_eq!(report.max_level(), RiskLevel::Medium);
+
+        // The Name is not sensitive for this user, so its disclosure to the
+        // administrator is Low.
+        assert_eq!(
+            report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Name")),
+            RiskLevel::Low
+        );
+
+        // The researcher has no access to the EHR, so no finding exists.
+        assert_eq!(
+            report.risk_for(&ActorId::new("Researcher"), &FieldId::new("Diagnosis")),
+            RiskLevel::Low
+        );
+
+        // The LTS now carries annotated risk transitions.
+        assert!(lts.stats().risk_transitions > 0);
+        assert!(lts.transitions_at_risk(RiskLevel::Medium).count() > 0);
+        let medium_findings = report.findings_at_least(RiskLevel::Medium);
+        assert_eq!(medium_findings.len(), 1);
+        assert!(!medium_findings[0].annotated_transitions().is_empty());
+        assert!(medium_findings[0].exposed_states() > 0);
+    }
+
+    #[test]
+    fn case_study_a_policy_change_reduces_the_risk_to_low() {
+        let (catalog, system, policy) = fixture();
+        // The designer revokes the Administrator's read access to the EHR.
+        let delta = PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR");
+        let revised = policy.with_applied(&delta);
+
+        let mut lts =
+            generate_lts(&catalog, &system, &revised, &GeneratorConfig::default()).unwrap();
+        let report =
+            DisclosureAnalysis::new(&catalog, &revised).analyse(&mut lts, &case_a_user());
+
+        assert_eq!(
+            report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
+            RiskLevel::Low
+        );
+        assert_eq!(report.max_level(), RiskLevel::Low);
+        assert!(report.is_empty());
+        assert_eq!(lts.stats().risk_transitions, 0);
+    }
+
+    #[test]
+    fn consenting_to_every_service_removes_all_findings() {
+        let (catalog, system, policy) = fixture();
+        let mut lts =
+            generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let user = case_a_user().consents_to(ServiceId::new("MedicalResearchService"));
+        let report = DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &user);
+        // The administrator is now an allowed actor, so σ(d, a) = 0 and no
+        // finding is produced.
+        assert!(report.is_empty());
+        assert_eq!(report.non_allowed_actors().len(), 0);
+    }
+
+    #[test]
+    fn higher_likelihood_escalates_the_risk_level() {
+        let (catalog, system, policy) = fixture();
+        let mut lts =
+            generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let mut likelihood = LikelihoodModel::standard();
+        likelihood.set_override(
+            "Administrator",
+            "EHR",
+            [crate::likelihood::Scenario::new(
+                crate::likelihood::ScenarioKind::NonAgreedService,
+                0.5,
+            )
+            .unwrap()],
+        );
+        let report = DisclosureAnalysis::new(&catalog, &policy)
+            .with_likelihood(likelihood)
+            .analyse(&mut lts, &case_a_user());
+        assert_eq!(
+            report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
+            RiskLevel::High
+        );
+    }
+
+    #[test]
+    fn report_display_lists_findings() {
+        let (catalog, system, policy) = fixture();
+        let mut lts =
+            generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let report =
+            DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
+        let text = report.to_string();
+        assert!(text.contains("disclosure risk for patient-1"));
+        assert!(text.contains("Administrator"));
+        assert!(text.contains("Medium"));
+        assert!(report.len() >= 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The likelihood dimension of disclosure risk.
+//!
+//! Section III-A narrows the likelihood question to the `read` action: a
+//! non-allowed actor with read access to stored personal data may identify it
+//! through a handful of uncorrelated scenarios — accidentally while querying
+//! for someone else, while previewing data to be deleted, or by starting a
+//! service the user never agreed to. *"The resulting probability will be the
+//! sum of the probabilities of these scenarios occurring, as they are
+//! intrinsically uncorrelated situations."*
+
+use privacy_model::{ActorId, DatastoreId, ModelError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The scenario types the paper enumerates, plus an extension point.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ScenarioKind {
+    /// A datastore query returns a small subset of users and the actor
+    /// identifies fields while searching for a different user.
+    AccidentalAccess,
+    /// The system shows data to an actor before deletion.
+    DeletePreview,
+    /// The actor begins the execution of a service the user did not agree to
+    /// use.
+    NonAgreedService,
+    /// Any other, deployment-specific scenario.
+    Custom(String),
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioKind::AccidentalAccess => f.write_str("accidental access"),
+            ScenarioKind::DeletePreview => f.write_str("delete preview"),
+            ScenarioKind::NonAgreedService => f.write_str("non-agreed service execution"),
+            ScenarioKind::Custom(name) => f.write_str(name),
+        }
+    }
+}
+
+/// One scenario with its probability of occurring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    kind: ScenarioKind,
+    probability: f64,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if the probability is not in
+    /// `[0, 1]`.
+    pub fn new(kind: ScenarioKind, probability: f64) -> Result<Self, ModelError> {
+        if probability.is_nan() || !(0.0..=1.0).contains(&probability) {
+            return Err(ModelError::OutOfRange {
+                what: "scenario probability",
+                value: probability,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Scenario { kind, probability })
+    }
+
+    /// The scenario kind.
+    pub fn kind(&self) -> &ScenarioKind {
+        &self.kind
+    }
+
+    /// The probability of the scenario occurring.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (p={:.3})", self.kind, self.probability)
+    }
+}
+
+/// The likelihood model: default scenarios plus per-(actor, datastore)
+/// overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikelihoodModel {
+    default_scenarios: Vec<Scenario>,
+    overrides: BTreeMap<(ActorId, DatastoreId), Vec<Scenario>>,
+}
+
+impl LikelihoodModel {
+    /// An empty model (zero likelihood everywhere).
+    pub fn empty() -> Self {
+        LikelihoodModel { default_scenarios: Vec::new(), overrides: BTreeMap::new() }
+    }
+
+    /// The default model used throughout the case studies: a small
+    /// accidental-access probability plus an even smaller delete-preview
+    /// probability, which categorises as *Low* likelihood.
+    pub fn standard() -> Self {
+        LikelihoodModel {
+            default_scenarios: vec![
+                Scenario::new(ScenarioKind::AccidentalAccess, 0.05).expect("constant"),
+                Scenario::new(ScenarioKind::DeletePreview, 0.02).expect("constant"),
+            ],
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a model with the given default scenarios.
+    pub fn with_defaults(scenarios: impl IntoIterator<Item = Scenario>) -> Self {
+        LikelihoodModel {
+            default_scenarios: scenarios.into_iter().collect(),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a default scenario that applies to every (actor, datastore)
+    /// without an override.
+    pub fn add_default(&mut self, scenario: Scenario) -> &mut Self {
+        self.default_scenarios.push(scenario);
+        self
+    }
+
+    /// Sets the scenarios for a specific actor and datastore, replacing the
+    /// defaults for that pair.
+    pub fn set_override(
+        &mut self,
+        actor: impl Into<ActorId>,
+        datastore: impl Into<DatastoreId>,
+        scenarios: impl IntoIterator<Item = Scenario>,
+    ) -> &mut Self {
+        self.overrides
+            .insert((actor.into(), datastore.into()), scenarios.into_iter().collect());
+        self
+    }
+
+    /// The scenarios that apply to an actor reading from a datastore.
+    pub fn scenarios_for(&self, actor: &ActorId, datastore: &DatastoreId) -> &[Scenario] {
+        self.overrides
+            .get(&(actor.clone(), datastore.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&self.default_scenarios)
+    }
+
+    /// The total probability that the actor identifies data in the datastore
+    /// outside of an agreed service: the sum of the scenario probabilities,
+    /// capped at 1.
+    pub fn probability(&self, actor: &ActorId, datastore: &DatastoreId) -> f64 {
+        self.scenarios_for(actor, datastore)
+            .iter()
+            .map(Scenario::probability)
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// The default scenarios.
+    pub fn default_scenarios(&self) -> &[Scenario] {
+        &self.default_scenarios
+    }
+}
+
+impl Default for LikelihoodModel {
+    fn default() -> Self {
+        LikelihoodModel::standard()
+    }
+}
+
+impl fmt::Display for LikelihoodModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "likelihood model: {} default scenarios, {} overrides",
+            self.default_scenarios.len(),
+            self.overrides.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admin() -> ActorId {
+        ActorId::new("Administrator")
+    }
+
+    fn ehr() -> DatastoreId {
+        DatastoreId::new("EHR")
+    }
+
+    #[test]
+    fn scenario_probabilities_are_validated() {
+        assert!(Scenario::new(ScenarioKind::AccidentalAccess, 0.5).is_ok());
+        assert!(Scenario::new(ScenarioKind::AccidentalAccess, -0.1).is_err());
+        assert!(Scenario::new(ScenarioKind::AccidentalAccess, 1.1).is_err());
+        assert!(Scenario::new(ScenarioKind::AccidentalAccess, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn standard_model_sums_to_a_low_probability() {
+        let model = LikelihoodModel::standard();
+        let p = model.probability(&admin(), &ehr());
+        assert!((p - 0.07).abs() < 1e-12);
+        assert_eq!(model.default_scenarios().len(), 2);
+    }
+
+    #[test]
+    fn empty_model_gives_zero() {
+        assert_eq!(LikelihoodModel::empty().probability(&admin(), &ehr()), 0.0);
+    }
+
+    #[test]
+    fn overrides_replace_defaults_for_their_pair_only() {
+        let mut model = LikelihoodModel::standard();
+        model.set_override(
+            "Administrator",
+            "EHR",
+            [
+                Scenario::new(ScenarioKind::NonAgreedService, 0.4).unwrap(),
+                Scenario::new(ScenarioKind::AccidentalAccess, 0.2).unwrap(),
+            ],
+        );
+        assert!((model.probability(&admin(), &ehr()) - 0.6).abs() < 1e-12);
+        // Other pairs keep the defaults.
+        assert!(
+            (model.probability(&ActorId::new("Researcher"), &ehr()) - 0.07).abs() < 1e-12
+        );
+        assert_eq!(model.scenarios_for(&admin(), &ehr()).len(), 2);
+    }
+
+    #[test]
+    fn probability_is_capped_at_one() {
+        let model = LikelihoodModel::with_defaults([
+            Scenario::new(ScenarioKind::AccidentalAccess, 0.9).unwrap(),
+            Scenario::new(ScenarioKind::NonAgreedService, 0.9).unwrap(),
+        ]);
+        assert_eq!(model.probability(&admin(), &ehr()), 1.0);
+    }
+
+    #[test]
+    fn custom_scenarios_and_display() {
+        let scenario =
+            Scenario::new(ScenarioKind::Custom("backup restore".to_owned()), 0.01).unwrap();
+        assert_eq!(scenario.to_string(), "backup restore (p=0.010)");
+        assert_eq!(scenario.kind(), &ScenarioKind::Custom("backup restore".to_owned()));
+        let mut model = LikelihoodModel::empty();
+        model.add_default(scenario);
+        assert!(model.to_string().contains("1 default scenarios"));
+        assert_eq!(ScenarioKind::DeletePreview.to_string(), "delete preview");
+        assert_eq!(
+            ScenarioKind::NonAgreedService.to_string(),
+            "non-agreed service execution"
+        );
+    }
+}

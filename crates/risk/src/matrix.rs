@@ -1,0 +1,224 @@
+//! Categorisation of the two risk dimensions and the combining risk table.
+//!
+//! Section III-A: *"we categorise the impact and likelihood into categories
+//! (low, medium and high), and then use a table to determine a risk level.
+//! The categorisation of the impact and likelihood, as well as the table to
+//! determine the risk level, should be specified according to the type of
+//! service."* [`RiskMatrix`] is that table, with a sensible healthcare
+//! default that reproduces the paper's Case Study A outcome (High impact ×
+//! Low likelihood → Medium risk).
+
+use privacy_model::{Likelihood, ModelError, RiskLevel, Sensitivity, Severity};
+use std::fmt;
+
+/// A 3×3 table mapping (impact, likelihood) to a risk level, together with
+/// the thresholds used to categorise the raw quantitative values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskMatrix {
+    /// `table[impact][likelihood]`.
+    table: [[RiskLevel; 3]; 3],
+    /// Impact thresholds: values `>= medium` are Medium, `>= high` are High.
+    impact_medium: f64,
+    impact_high: f64,
+    /// Likelihood thresholds.
+    likelihood_medium: f64,
+    likelihood_high: f64,
+}
+
+impl RiskMatrix {
+    /// The default matrix:
+    ///
+    /// | impact \ likelihood | Low | Medium | High |
+    /// |---------------------|-----|--------|------|
+    /// | Low                 | Low | Low    | Medium |
+    /// | Medium              | Low | Medium | High |
+    /// | High                | Medium | High | High |
+    ///
+    /// with the standard third-based thresholds on both dimensions.
+    pub fn standard() -> Self {
+        use RiskLevel::{High, Low, Medium};
+        RiskMatrix {
+            table: [
+                [Low, Low, Medium],
+                [Low, Medium, High],
+                [Medium, High, High],
+            ],
+            impact_medium: 1.0 / 3.0,
+            impact_high: 2.0 / 3.0,
+            likelihood_medium: 1.0 / 3.0,
+            likelihood_high: 2.0 / 3.0,
+        }
+    }
+
+    /// Creates a matrix with an explicit table and the standard thresholds.
+    pub fn with_table(table: [[RiskLevel; 3]; 3]) -> Self {
+        RiskMatrix { table, ..RiskMatrix::standard() }
+    }
+
+    /// Overrides the impact thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if the thresholds are not ordered
+    /// within `[0, 1]`.
+    pub fn with_impact_thresholds(mut self, medium: f64, high: f64) -> Result<Self, ModelError> {
+        validate_thresholds(medium, high)?;
+        self.impact_medium = medium;
+        self.impact_high = high;
+        Ok(self)
+    }
+
+    /// Overrides the likelihood thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if the thresholds are not ordered
+    /// within `[0, 1]`.
+    pub fn with_likelihood_thresholds(
+        mut self,
+        medium: f64,
+        high: f64,
+    ) -> Result<Self, ModelError> {
+        validate_thresholds(medium, high)?;
+        self.likelihood_medium = medium;
+        self.likelihood_high = high;
+        Ok(self)
+    }
+
+    /// Categorises a quantitative impact (a sensitivity change).
+    pub fn categorise_impact(&self, impact: Sensitivity) -> Severity {
+        let value = impact.value();
+        if value >= self.impact_high {
+            Severity::High
+        } else if value >= self.impact_medium {
+            Severity::Medium
+        } else {
+            Severity::Low
+        }
+    }
+
+    /// Categorises a likelihood probability.
+    pub fn categorise_likelihood(&self, probability: f64) -> Likelihood {
+        if probability >= self.likelihood_high {
+            Likelihood::High
+        } else if probability >= self.likelihood_medium {
+            Likelihood::Medium
+        } else {
+            Likelihood::Low
+        }
+    }
+
+    /// Looks up the risk level for categorical dimensions.
+    pub fn level(&self, impact: Severity, likelihood: Likelihood) -> RiskLevel {
+        self.table[impact.index()][likelihood.index()]
+    }
+
+    /// Convenience: categorise both quantitative dimensions and look up the
+    /// combined risk level.
+    pub fn combine(&self, impact: Sensitivity, probability: f64) -> RiskLevel {
+        self.level(self.categorise_impact(impact), self.categorise_likelihood(probability))
+    }
+}
+
+impl Default for RiskMatrix {
+    fn default() -> Self {
+        RiskMatrix::standard()
+    }
+}
+
+fn validate_thresholds(medium: f64, high: f64) -> Result<(), ModelError> {
+    if !(0.0..=1.0).contains(&medium)
+        || !(0.0..=1.0).contains(&high)
+        || medium.is_nan()
+        || high.is_nan()
+        || medium > high
+    {
+        return Err(ModelError::invalid(
+            "thresholds must satisfy 0 <= medium <= high <= 1",
+        ));
+    }
+    Ok(())
+}
+
+impl fmt::Display for RiskMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "risk matrix (impact x likelihood):")?;
+        writeln!(f, "           Low     Medium  High")?;
+        for severity in Severity::ALL {
+            write!(f, "  {:<8}", severity.to_string())?;
+            for likelihood in Likelihood::ALL {
+                write!(f, " {:<7}", self.level(severity, likelihood).to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matrix_reproduces_case_study_a() {
+        let matrix = RiskMatrix::standard();
+        // High impact (sensitive Diagnosis) x Low likelihood (standard
+        // scenario probabilities sum to 0.07) -> Medium, as in the paper.
+        assert_eq!(matrix.combine(Sensitivity::clamped(0.83), 0.07), RiskLevel::Medium);
+        // After the policy change the exposure disappears; with zero impact
+        // the level is Low whatever the likelihood.
+        assert_eq!(matrix.combine(Sensitivity::ZERO, 0.07), RiskLevel::Low);
+    }
+
+    #[test]
+    fn categorisation_thresholds() {
+        let matrix = RiskMatrix::standard();
+        assert_eq!(matrix.categorise_impact(Sensitivity::clamped(0.1)), Severity::Low);
+        assert_eq!(matrix.categorise_impact(Sensitivity::clamped(0.5)), Severity::Medium);
+        assert_eq!(matrix.categorise_impact(Sensitivity::clamped(0.9)), Severity::High);
+        assert_eq!(matrix.categorise_likelihood(0.1), Likelihood::Low);
+        assert_eq!(matrix.categorise_likelihood(0.5), Likelihood::Medium);
+        assert_eq!(matrix.categorise_likelihood(0.9), Likelihood::High);
+    }
+
+    #[test]
+    fn table_lookup_covers_every_cell() {
+        let matrix = RiskMatrix::standard();
+        assert_eq!(matrix.level(Severity::Low, Likelihood::Low), RiskLevel::Low);
+        assert_eq!(matrix.level(Severity::Low, Likelihood::High), RiskLevel::Medium);
+        assert_eq!(matrix.level(Severity::Medium, Likelihood::Medium), RiskLevel::Medium);
+        assert_eq!(matrix.level(Severity::High, Likelihood::Low), RiskLevel::Medium);
+        assert_eq!(matrix.level(Severity::High, Likelihood::High), RiskLevel::High);
+    }
+
+    #[test]
+    fn custom_table_and_thresholds() {
+        use RiskLevel::High;
+        let strict = RiskMatrix::with_table([[High; 3]; 3])
+            .with_impact_thresholds(0.1, 0.2)
+            .unwrap()
+            .with_likelihood_thresholds(0.01, 0.02)
+            .unwrap();
+        assert_eq!(strict.combine(Sensitivity::clamped(0.05), 0.001), High);
+        assert_eq!(strict.categorise_impact(Sensitivity::clamped(0.15)), Severity::Medium);
+        assert_eq!(strict.categorise_likelihood(0.015), Likelihood::Medium);
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        assert!(RiskMatrix::standard().with_impact_thresholds(0.8, 0.2).is_err());
+        assert!(RiskMatrix::standard().with_impact_thresholds(-0.1, 0.5).is_err());
+        assert!(RiskMatrix::standard().with_likelihood_thresholds(0.5, 1.5).is_err());
+        assert!(RiskMatrix::standard()
+            .with_likelihood_thresholds(f64::NAN, 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn display_renders_the_full_table() {
+        let text = RiskMatrix::standard().to_string();
+        assert!(text.contains("risk matrix"));
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("High"));
+    }
+}

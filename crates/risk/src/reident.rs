@@ -1,0 +1,346 @@
+//! Re-identification risk analysis — the *first* pseudonymisation risk the
+//! paper names in Section III-B ("the risk that a person whose personal data
+//! is pseudonymised within a disclosed data set can be re-identified") and
+//! then defers in favour of value risk.  This module supplies the deferred
+//! dimension so both risk types can be reported side by side.
+//!
+//! The analysis follows the prosecutor attacker model used by ARX-style
+//! tooling: for every combination of quasi-identifiers readable by the
+//! adversary, a record's re-identification probability is `1 / |s|`, where
+//! `s` is the equivalence class the record falls into once only those
+//! quasi-identifiers are visible.
+
+use privacy_anonymity::kanon::equivalence_classes;
+use privacy_model::{Dataset, FieldId, ModelError};
+use std::fmt;
+
+/// The designer's re-identification policy: a record is *at risk* when its
+/// re-identification probability is at least `threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReidentPolicy {
+    threshold: f64,
+}
+
+impl ReidentPolicy {
+    /// Creates a policy flagging records whose re-identification probability
+    /// is at least `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `threshold` is outside `(0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use privacy_risk::reident::ReidentPolicy;
+    /// let policy = ReidentPolicy::new(0.5)?;
+    /// assert_eq!(policy.threshold(), 0.5);
+    /// # Ok::<(), privacy_model::ModelError>(())
+    /// ```
+    pub fn new(threshold: f64) -> Result<Self, ModelError> {
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(ModelError::OutOfRange {
+                what: "re-identification threshold",
+                value: threshold,
+                min: f64::MIN_POSITIVE,
+                max: 1.0,
+            });
+        }
+        Ok(ReidentPolicy { threshold })
+    }
+
+    /// The prosecutor-model policy used by the examples: a record is at risk
+    /// when the adversary is at least 50 % certain of the match.
+    pub fn majority() -> Self {
+        ReidentPolicy { threshold: 0.5 }
+    }
+
+    /// The probability threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Default for ReidentPolicy {
+    fn default() -> Self {
+        ReidentPolicy::majority()
+    }
+}
+
+/// Re-identification risk for one visible quasi-identifier combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReidentFinding {
+    visible: Vec<FieldId>,
+    record_risks: Vec<f64>,
+    at_risk: usize,
+    threshold: f64,
+}
+
+impl ReidentFinding {
+    /// The quasi-identifiers assumed visible to the adversary.
+    pub fn visible(&self) -> &[FieldId] {
+        &self.visible
+    }
+
+    /// Per-record re-identification probabilities (`1 / |class|`), in record
+    /// order.
+    pub fn record_risks(&self) -> &[f64] {
+        &self.record_risks
+    }
+
+    /// The prosecutor risk: the largest per-record probability.
+    pub fn max_risk(&self) -> f64 {
+        self.record_risks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The marketer risk: the expected fraction of records an adversary
+    /// matching every record at random would re-identify (the mean
+    /// per-record probability).
+    pub fn average_risk(&self) -> f64 {
+        if self.record_risks.is_empty() {
+            0.0
+        } else {
+            self.record_risks.iter().sum::<f64>() / self.record_risks.len() as f64
+        }
+    }
+
+    /// The number of records whose probability reaches the policy threshold.
+    pub fn at_risk(&self) -> usize {
+        self.at_risk
+    }
+
+    /// A label for the combination, e.g. `"Age+Height"` or `"(none)"`.
+    pub fn label(&self) -> String {
+        if self.visible.is_empty() {
+            "(none)".to_owned()
+        } else {
+            self.visible.iter().map(FieldId::as_str).collect::<Vec<_>>().join("+")
+        }
+    }
+}
+
+impl fmt::Display for ReidentFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "visible {}: prosecutor {:.2}, marketer {:.2}, {} record(s) at risk (>= {:.0}%)",
+            self.label(),
+            self.max_risk(),
+            self.average_risk(),
+            self.at_risk,
+            self.threshold * 100.0
+        )
+    }
+}
+
+/// The result of the re-identification analysis over a set of visible
+/// quasi-identifier combinations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReidentReport {
+    policy: ReidentPolicy,
+    findings: Vec<ReidentFinding>,
+}
+
+impl ReidentReport {
+    /// The policy the analysis was run with.
+    pub fn policy(&self) -> &ReidentPolicy {
+        &self.policy
+    }
+
+    /// One finding per visible combination, in supply order.
+    pub fn findings(&self) -> &[ReidentFinding] {
+        &self.findings
+    }
+
+    /// The at-risk record counts in supply order (the analogue of the
+    /// paper's violation series for value risk).
+    pub fn at_risk_series(&self) -> Vec<usize> {
+        self.findings.iter().map(ReidentFinding::at_risk).collect()
+    }
+
+    /// The worst prosecutor risk across all combinations.
+    pub fn max_risk(&self) -> f64 {
+        self.findings.iter().map(ReidentFinding::max_risk).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for ReidentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "re-identification risk (threshold {:.0}%)", self.policy.threshold() * 100.0)?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes re-identification risk of `release` for every quasi-identifier
+/// combination in `visible_sets`.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_risk::reident::{reident_risk, ReidentPolicy};
+/// use privacy_model::{Dataset, FieldId, Record, Value};
+///
+/// let release = Dataset::from_records(
+///     [FieldId::new("Age"), FieldId::new("Height")],
+///     [
+///         Record::new().with("Age", Value::interval(20.0, 30.0)).with("Height", 180),
+///         Record::new().with("Age", Value::interval(20.0, 30.0)).with("Height", 165),
+///     ],
+/// );
+/// let report = reident_risk(
+///     &release,
+///     &[vec![], vec![FieldId::new("Height")]],
+///     &ReidentPolicy::majority(),
+/// );
+/// // With no quasi-identifier both records share one class of size 2;
+/// // once Height is visible every record is unique.
+/// assert_eq!(report.at_risk_series(), vec![2, 2]);
+/// assert!(report.findings()[0].max_risk() < report.findings()[1].max_risk());
+/// ```
+pub fn reident_risk(
+    release: &Dataset,
+    visible_sets: &[Vec<FieldId>],
+    policy: &ReidentPolicy,
+) -> ReidentReport {
+    let findings = visible_sets
+        .iter()
+        .map(|visible| {
+            let mut record_risks = vec![0.0; release.len()];
+            for class in equivalence_classes(release, visible) {
+                let risk = if class.is_empty() { 0.0 } else { 1.0 / class.len() as f64 };
+                for &member in class.members() {
+                    record_risks[member] = risk;
+                }
+            }
+            let at_risk = record_risks
+                .iter()
+                .filter(|&&r| r + 1e-12 >= policy.threshold())
+                .count();
+            ReidentFinding {
+                visible: visible.clone(),
+                record_risks,
+                at_risk,
+                threshold: policy.threshold(),
+            }
+        })
+        .collect();
+    ReidentReport { policy: policy.clone(), findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{Record, Value};
+
+    fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    fn height() -> FieldId {
+        FieldId::new("Height")
+    }
+
+    /// The six Table I records, generalised for 2-anonymisation.
+    fn table1_release() -> Dataset {
+        let rows: [(f64, f64, f64, f64, f64); 6] = [
+            (30.0, 40.0, 180.0, 200.0, 100.0),
+            (30.0, 40.0, 180.0, 200.0, 102.0),
+            (20.0, 30.0, 180.0, 200.0, 110.0),
+            (20.0, 30.0, 180.0, 200.0, 111.0),
+            (20.0, 30.0, 160.0, 180.0, 80.0),
+            (20.0, 30.0, 160.0, 180.0, 110.0),
+        ];
+        Dataset::from_records(
+            [age(), height(), FieldId::new("Weight")],
+            rows.iter().map(|(alo, ahi, hlo, hhi, w)| {
+                Record::new()
+                    .with("Age", Value::interval(*alo, *ahi))
+                    .with("Height", Value::interval(*hlo, *hhi))
+                    .with("Weight", *w)
+            }),
+        )
+    }
+
+    #[test]
+    fn policy_rejects_out_of_range_thresholds() {
+        assert!(ReidentPolicy::new(0.0).is_err());
+        assert!(ReidentPolicy::new(1.5).is_err());
+        assert!(ReidentPolicy::new(-0.1).is_err());
+        assert!(ReidentPolicy::new(1.0).is_ok());
+        assert_eq!(ReidentPolicy::default(), ReidentPolicy::majority());
+    }
+
+    #[test]
+    fn more_visible_quasi_identifiers_never_reduce_risk() {
+        let release = table1_release();
+        let report = reident_risk(
+            &release,
+            &[vec![], vec![height()], vec![age()], vec![age(), height()]],
+            &ReidentPolicy::majority(),
+        );
+        let series: Vec<f64> = report.findings().iter().map(ReidentFinding::max_risk).collect();
+        for window in series.windows(2) {
+            assert!(window[1] >= window[0] - 1e-12, "risk decreased: {series:?}");
+        }
+    }
+
+    #[test]
+    fn table1_classes_give_expected_prosecutor_risks() {
+        let release = table1_release();
+        let report = reident_risk(
+            &release,
+            &[vec![], vec![age(), height()]],
+            &ReidentPolicy::majority(),
+        );
+        // With nothing visible there is a single class of six records.
+        assert!((report.findings()[0].max_risk() - 1.0 / 6.0).abs() < 1e-9);
+        // With Age and Height visible the smallest class has two records.
+        assert!((report.findings()[1].max_risk() - 0.5).abs() < 1e-9);
+        assert_eq!(report.at_risk_series(), vec![0, 6]);
+    }
+
+    #[test]
+    fn marketer_risk_equals_classes_over_records() {
+        let release = table1_release();
+        let report =
+            reident_risk(&release, &[vec![age(), height()]], &ReidentPolicy::majority());
+        // Three equivalence classes over six records → expected fraction 1/2.
+        assert!((report.findings()[0].average_risk() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_records_are_fully_identifiable() {
+        let release = Dataset::from_records(
+            [height()],
+            [Record::new().with("Height", 150), Record::new().with("Height", 190)],
+        );
+        let report = reident_risk(&release, &[vec![height()]], &ReidentPolicy::new(1.0).unwrap());
+        assert_eq!(report.findings()[0].at_risk(), 2);
+        assert!((report.max_risk() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_release_reports_no_risk() {
+        let release = Dataset::new([age()]);
+        let report = reident_risk(&release, &[vec![age()]], &ReidentPolicy::majority());
+        assert_eq!(report.at_risk_series(), vec![0]);
+        assert_eq!(report.max_risk(), 0.0);
+        assert_eq!(report.findings()[0].average_risk(), 0.0);
+    }
+
+    #[test]
+    fn report_and_findings_render_readably() {
+        let release = table1_release();
+        let report =
+            reident_risk(&release, &[vec![age()]], &ReidentPolicy::majority());
+        let text = report.to_string();
+        assert!(text.contains("re-identification risk"));
+        assert!(text.contains("visible Age"));
+        assert!(report.findings()[0].label() == "Age");
+        let empty = reident_risk(&release, &[vec![]], &ReidentPolicy::majority());
+        assert_eq!(empty.findings()[0].label(), "(none)");
+    }
+}

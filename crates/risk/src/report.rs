@@ -1,0 +1,109 @@
+//! Combined risk reports.
+//!
+//! The paper argues that the output of the analysis can *"form part of the
+//! privacy policy explained to users"* and inform the system designer's
+//! decisions. [`RiskReport`] bundles the unwanted-disclosure report and the
+//! pseudonymisation report for one user and renders them as human-readable
+//! text (the experiments binary prints these for every case study).
+
+use crate::disclosure::DisclosureReport;
+use crate::pseudonym::PseudonymReport;
+use privacy_model::RiskLevel;
+use std::fmt;
+
+/// The combined result of running every risk analysis for one user.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RiskReport {
+    disclosure: Option<DisclosureReport>,
+    pseudonym: Option<PseudonymReport>,
+}
+
+impl RiskReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        RiskReport::default()
+    }
+
+    /// Attaches an unwanted-disclosure report.
+    pub fn with_disclosure(mut self, report: DisclosureReport) -> Self {
+        self.disclosure = Some(report);
+        self
+    }
+
+    /// Attaches a pseudonymisation report.
+    pub fn with_pseudonym(mut self, report: PseudonymReport) -> Self {
+        self.pseudonym = Some(report);
+        self
+    }
+
+    /// The unwanted-disclosure report, if present.
+    pub fn disclosure(&self) -> Option<&DisclosureReport> {
+        self.disclosure.as_ref()
+    }
+
+    /// The pseudonymisation report, if present.
+    pub fn pseudonym(&self) -> Option<&PseudonymReport> {
+        self.pseudonym.as_ref()
+    }
+
+    /// The overall risk level: the maximum of the disclosure findings and
+    /// High/Medium when the pseudonymisation is unacceptable / has
+    /// violations.
+    pub fn overall_level(&self) -> RiskLevel {
+        let mut level = RiskLevel::Low;
+        if let Some(disclosure) = &self.disclosure {
+            level = level.max(disclosure.max_level());
+        }
+        if let Some(pseudonym) = &self.pseudonym {
+            if pseudonym.is_unacceptable() {
+                level = level.max(RiskLevel::High);
+            } else if pseudonym.violation_series().iter().any(|v| *v > 0) {
+                level = level.max(RiskLevel::Medium);
+            }
+        }
+        level
+    }
+
+    /// Returns `true` if the report contains something a designer must act
+    /// on (any finding above Low, or an unacceptable pseudonymisation).
+    pub fn requires_action(&self) -> bool {
+        self.overall_level().at_least(RiskLevel::Medium)
+    }
+
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for RiskReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== privacy risk report (overall level: {}) ===", self.overall_level())?;
+        match &self.disclosure {
+            Some(report) => write!(f, "{report}")?,
+            None => writeln!(f, "unwanted-disclosure analysis: not run")?,
+        }
+        match &self.pseudonym {
+            Some(report) => write!(f, "{report}")?,
+            None => writeln!(f, "pseudonymisation analysis: not run")?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_low_and_requires_no_action() {
+        let report = RiskReport::new();
+        assert_eq!(report.overall_level(), RiskLevel::Low);
+        assert!(!report.requires_action());
+        assert!(report.disclosure().is_none());
+        assert!(report.pseudonym().is_none());
+        let text = report.render();
+        assert!(text.contains("not run"));
+        assert!(text.contains("overall level: Low"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Relative sensitivity `σ(d, a)` and the impact dimension of risk.
+//!
+//! Section III-A: *"we may write the sensitivity of a data field d relative
+//! to an actor a as σ(d, a), where σ(d, a) = 0 if the actor is allowed, and
+//! σ(d, a) = σ(d) if the actor is non-allowed."* The sensitivity of a privacy
+//! state is *"the maximum sensitivity amongst the data fields that have
+//! either been identified or could be identified"* (by a non-allowed actor),
+//! and the impact of a transition is the sensitivity **change** it causes
+//! relative to the absolute privacy state.
+
+use privacy_lts::{PrivacyState, VarSpace};
+use privacy_model::{ActorId, Catalog, FieldId, Sensitivity, UserProfile};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The per-user sensitivity model: the user's declared sensitivities plus the
+/// allowed-actor set derived from their consent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityModel {
+    user: UserProfile,
+    allowed: BTreeSet<ActorId>,
+}
+
+impl SensitivityModel {
+    /// Builds the model for one user: the allowed actors are the union of
+    /// the actors of every service the user consented to.
+    pub fn new(catalog: &Catalog, user: &UserProfile) -> Self {
+        let allowed = catalog
+            .allowed_actors(user.consent().services())
+            .into_iter()
+            .collect();
+        SensitivityModel { user: user.clone(), allowed }
+    }
+
+    /// The user this model belongs to.
+    pub fn user(&self) -> &UserProfile {
+        &self.user
+    }
+
+    /// The allowed actors.
+    pub fn allowed_actors(&self) -> &BTreeSet<ActorId> {
+        &self.allowed
+    }
+
+    /// Returns `true` if the actor is allowed for this user.
+    pub fn is_allowed(&self, actor: &ActorId) -> bool {
+        self.allowed.contains(actor)
+    }
+
+    /// The non-allowed actors among the given candidates.
+    pub fn non_allowed<'a>(
+        &self,
+        actors: impl IntoIterator<Item = &'a ActorId>,
+    ) -> Vec<ActorId> {
+        actors
+            .into_iter()
+            .filter(|a| !self.is_allowed(a))
+            .cloned()
+            .collect()
+    }
+
+    /// The user's raw sensitivity `σ(d)` for a field.
+    pub fn field_sensitivity(&self, field: &FieldId) -> Sensitivity {
+        self.user.sensitivities().sensitivity(field)
+    }
+
+    /// The relative sensitivity `σ(d, a)`.
+    pub fn relative_sensitivity(&self, field: &FieldId, actor: &ActorId) -> Sensitivity {
+        if self.is_allowed(actor) {
+            Sensitivity::ZERO
+        } else {
+            self.field_sensitivity(field)
+        }
+    }
+
+    /// The sensitivity of a privacy state: the maximum `σ(d, a)` over every
+    /// (actor, field) pair for which `has ∨ could` holds.
+    pub fn state_sensitivity(&self, space: &VarSpace, state: &PrivacyState) -> Sensitivity {
+        state
+            .exposed_pairs(space)
+            .map(|(actor, field)| self.relative_sensitivity(field, actor))
+            .fold(Sensitivity::ZERO, Sensitivity::max)
+    }
+
+    /// The sensitivity change caused by moving from `before` to `after`,
+    /// measured (as the paper prescribes) relative to the absolute privacy
+    /// state: the sensitivity contributed by pairs newly exposed in `after`.
+    pub fn transition_sensitivity(
+        &self,
+        space: &VarSpace,
+        before: &PrivacyState,
+        after: &PrivacyState,
+    ) -> Sensitivity {
+        after
+            .exposed_pairs(space)
+            .filter(|(actor, field)| !before.has_or_could(space, actor, field))
+            .map(|(actor, field)| self.relative_sensitivity(field, actor))
+            .fold(Sensitivity::ZERO, Sensitivity::max)
+    }
+}
+
+impl fmt::Display for SensitivityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sensitivity model for {} ({} allowed actors)",
+            self.user.id(),
+            self.allowed.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{
+        Actor, DataField, DataSchema, SensitivityCategory, ServiceDecl, ServiceId,
+    };
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add_actor(Actor::role("Doctor")).unwrap();
+        catalog.add_actor(Actor::role("Administrator")).unwrap();
+        catalog.add_actor(Actor::role("Researcher")).unwrap();
+        catalog.add_field(DataField::identifier("Name")).unwrap();
+        catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "S",
+                [FieldId::new("Name"), FieldId::new("Diagnosis")],
+            ))
+            .unwrap();
+        catalog
+            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
+            .unwrap();
+        catalog
+            .add_service(ServiceDecl::new(
+                "ResearchService",
+                [ActorId::new("Administrator"), ActorId::new("Researcher")],
+            ))
+            .unwrap();
+        catalog
+    }
+
+    fn case_a_user() -> UserProfile {
+        UserProfile::new("patient-1")
+            .consents_to(ServiceId::new("MedicalService"))
+            .with_category_sensitivity(FieldId::new("Diagnosis"), SensitivityCategory::High)
+    }
+
+    #[test]
+    fn allowed_actors_follow_consent() {
+        let model = SensitivityModel::new(&catalog(), &case_a_user());
+        assert!(model.is_allowed(&ActorId::new("Doctor")));
+        assert!(!model.is_allowed(&ActorId::new("Administrator")));
+        assert!(!model.is_allowed(&ActorId::new("Researcher")));
+        let non_allowed = model.non_allowed(
+            [
+                ActorId::new("Doctor"),
+                ActorId::new("Administrator"),
+                ActorId::new("Researcher"),
+            ]
+            .iter(),
+        );
+        assert_eq!(non_allowed.len(), 2);
+    }
+
+    #[test]
+    fn relative_sensitivity_is_zero_for_allowed_actors() {
+        let model = SensitivityModel::new(&catalog(), &case_a_user());
+        let diagnosis = FieldId::new("Diagnosis");
+        assert!(model.relative_sensitivity(&diagnosis, &ActorId::new("Doctor")).is_zero());
+        let admin_sensitivity =
+            model.relative_sensitivity(&diagnosis, &ActorId::new("Administrator"));
+        assert_eq!(admin_sensitivity, model.field_sensitivity(&diagnosis));
+        assert!(admin_sensitivity.value() > 0.66);
+        // An unmentioned field has zero sensitivity for everyone.
+        assert!(model
+            .relative_sensitivity(&FieldId::new("Name"), &ActorId::new("Administrator"))
+            .is_zero());
+    }
+
+    #[test]
+    fn state_sensitivity_takes_the_maximum_over_exposed_pairs() {
+        let model = SensitivityModel::new(&catalog(), &case_a_user());
+        let space = VarSpace::from_catalog(&catalog());
+        let diagnosis = FieldId::new("Diagnosis");
+        let name = FieldId::new("Name");
+
+        let absolute = PrivacyState::absolute(&space);
+        assert!(model.state_sensitivity(&space, &absolute).is_zero());
+
+        // Only the allowed doctor is exposed: still zero.
+        let doctor_knows = absolute.with_has(&space, &ActorId::new("Doctor"), &diagnosis);
+        assert!(model.state_sensitivity(&space, &doctor_knows).is_zero());
+
+        // The administrator *could* read the diagnosis: high sensitivity.
+        let admin_could =
+            doctor_knows.with_could(&space, &ActorId::new("Administrator"), &diagnosis);
+        assert!(model.state_sensitivity(&space, &admin_could).value() > 0.66);
+
+        // Exposure of a non-sensitive field contributes nothing extra.
+        let with_name = admin_could.with_has(&space, &ActorId::new("Researcher"), &name);
+        assert_eq!(
+            model.state_sensitivity(&space, &with_name),
+            model.state_sensitivity(&space, &admin_could)
+        );
+    }
+
+    #[test]
+    fn transition_sensitivity_measures_only_the_new_exposure() {
+        let model = SensitivityModel::new(&catalog(), &case_a_user());
+        let space = VarSpace::from_catalog(&catalog());
+        let diagnosis = FieldId::new("Diagnosis");
+        let admin = ActorId::new("Administrator");
+
+        let before = PrivacyState::absolute(&space);
+        let after = before.with_could(&space, &admin, &diagnosis);
+        let change = model.transition_sensitivity(&space, &before, &after);
+        assert!(change.value() > 0.66);
+
+        // Re-exposing the same pair causes no further change.
+        let after_again = after.with_has(&space, &admin, &diagnosis);
+        // has was not set before, but could was — the pair was already
+        // exposed, so the change is zero.
+        assert!(model.transition_sensitivity(&space, &after, &after_again).is_zero());
+    }
+
+    #[test]
+    fn display_names_the_user() {
+        let model = SensitivityModel::new(&catalog(), &case_a_user());
+        assert!(model.to_string().contains("patient-1"));
+        assert!(model.to_string().contains("1 allowed actors"));
+        assert_eq!(model.user().id().as_str(), "patient-1");
+        assert_eq!(model.allowed_actors().len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # privacy-runtime
+//!
+//! A distributed data-service simulator and runtime privacy monitor.
+//!
+//! The paper argues that the generated privacy model is useful not only at
+//! design time but also *"to monitor the privacy risks during the lifetime of
+//! the service (as the users, data, and behaviour may change)"*. The authors'
+//! OPERANDO deployment is not available, so this crate provides the closest
+//! substitute: an in-process service runtime that executes the modelled
+//! data flows as discrete events against in-memory datastores (with access
+//! control enforced), an append-only event log, a runtime monitor that walks
+//! each user's privacy state as the events arrive, and a multi-threaded
+//! driver that replays synthetic workloads concurrently.
+//!
+//! * [`event`] — privacy events and the event log;
+//! * [`store`] — in-memory, access-controlled datastores;
+//! * [`engine`] — the service engine executing data-flow diagrams;
+//! * [`monitor`] — the runtime privacy monitor raising alerts;
+//! * [`concurrent`] — a crossbeam-based concurrent workload driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod engine;
+pub mod event;
+pub mod monitor;
+pub mod store;
+
+pub use concurrent::{run_concurrent_workload, ConcurrentConfig};
+pub use engine::{ExecutionOutcome, ServiceEngine};
+pub use event::{Event, EventLog};
+pub use monitor::{Alert, RuntimeMonitor};
+pub use store::DatastoreState;
+
+/// Convenience re-export of the most commonly used items.
+pub mod prelude {
+    pub use crate::concurrent::{run_concurrent_workload, ConcurrentConfig};
+    pub use crate::engine::{ExecutionOutcome, ServiceEngine};
+    pub use crate::event::{Event, EventLog};
+    pub use crate::monitor::{Alert, RuntimeMonitor};
+    pub use crate::store::DatastoreState;
+}

@@ -1,0 +1,153 @@
+//! In-memory, per-user datastore state.
+//!
+//! Each modelled datastore holds one record per data subject (the paper's
+//! datastores are queried per field and per user). Reads and writes are
+//! checked against the access-control policy by the engine; the store itself
+//! only tracks contents.
+
+use privacy_model::{DatastoreId, FieldId, Record, UserId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The contents of every datastore, per user.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DatastoreState {
+    contents: BTreeMap<DatastoreId, BTreeMap<UserId, Record>>,
+}
+
+impl DatastoreState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        DatastoreState::default()
+    }
+
+    /// Writes field values for a user into a datastore (merging with any
+    /// existing record).
+    pub fn write(
+        &mut self,
+        datastore: &DatastoreId,
+        user: &UserId,
+        values: impl IntoIterator<Item = (FieldId, Value)>,
+    ) {
+        let record = self
+            .contents
+            .entry(datastore.clone())
+            .or_default()
+            .entry(user.clone())
+            .or_default();
+        for (field, value) in values {
+            record.set(field, value);
+        }
+    }
+
+    /// Reads one field of a user's record from a datastore.
+    pub fn read(&self, datastore: &DatastoreId, user: &UserId, field: &FieldId) -> Option<Value> {
+        self.contents
+            .get(datastore)
+            .and_then(|records| records.get(user))
+            .and_then(|record| record.get(field).cloned())
+    }
+
+    /// The whole record of a user in a datastore, if any.
+    pub fn record(&self, datastore: &DatastoreId, user: &UserId) -> Option<&Record> {
+        self.contents.get(datastore).and_then(|records| records.get(user))
+    }
+
+    /// Deletes a user's record from a datastore. Returns `true` if a record
+    /// existed.
+    pub fn delete(&mut self, datastore: &DatastoreId, user: &UserId) -> bool {
+        self.contents
+            .get_mut(datastore)
+            .map(|records| records.remove(user).is_some())
+            .unwrap_or(false)
+    }
+
+    /// The fields currently stored for a user in a datastore.
+    pub fn stored_fields(&self, datastore: &DatastoreId, user: &UserId) -> Vec<FieldId> {
+        self.record(datastore, user)
+            .map(|record| record.fields().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of user records held in a datastore.
+    pub fn record_count(&self, datastore: &DatastoreId) -> usize {
+        self.contents.get(datastore).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// Total number of user records across all datastores.
+    pub fn total_records(&self) -> usize {
+        self.contents.values().map(BTreeMap::len).sum()
+    }
+}
+
+impl fmt::Display for DatastoreState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "datastore state: {} stores, {} records",
+            self.contents.len(),
+            self.total_records()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ehr() -> DatastoreId {
+        DatastoreId::new("EHR")
+    }
+
+    fn alice() -> UserId {
+        UserId::new("alice")
+    }
+
+    #[test]
+    fn write_read_and_merge() {
+        let mut state = DatastoreState::new();
+        state.write(&ehr(), &alice(), [(FieldId::new("Name"), Value::from("Alice"))]);
+        state.write(&ehr(), &alice(), [(FieldId::new("Diagnosis"), Value::from("flu"))]);
+
+        assert_eq!(
+            state.read(&ehr(), &alice(), &FieldId::new("Name")),
+            Some(Value::from("Alice"))
+        );
+        assert_eq!(
+            state.read(&ehr(), &alice(), &FieldId::new("Diagnosis")),
+            Some(Value::from("flu"))
+        );
+        assert_eq!(state.read(&ehr(), &alice(), &FieldId::new("Missing")), None);
+        assert_eq!(state.stored_fields(&ehr(), &alice()).len(), 2);
+        assert_eq!(state.record_count(&ehr()), 1);
+        assert_eq!(state.total_records(), 1);
+        assert!(state.record(&ehr(), &alice()).is_some());
+    }
+
+    #[test]
+    fn different_users_and_stores_are_isolated() {
+        let mut state = DatastoreState::new();
+        state.write(&ehr(), &alice(), [(FieldId::new("Name"), Value::from("Alice"))]);
+        state.write(
+            &DatastoreId::new("Appointments"),
+            &UserId::new("bob"),
+            [(FieldId::new("Name"), Value::from("Bob"))],
+        );
+
+        assert_eq!(state.read(&ehr(), &UserId::new("bob"), &FieldId::new("Name")), None);
+        assert_eq!(state.record_count(&ehr()), 1);
+        assert_eq!(state.total_records(), 2);
+        assert!(state.to_string().contains("2 stores"));
+    }
+
+    #[test]
+    fn delete_removes_the_record() {
+        let mut state = DatastoreState::new();
+        state.write(&ehr(), &alice(), [(FieldId::new("Name"), Value::from("Alice"))]);
+        assert!(state.delete(&ehr(), &alice()));
+        assert!(!state.delete(&ehr(), &alice()));
+        assert!(state.record(&ehr(), &alice()).is_none());
+        assert!(state.stored_fields(&ehr(), &alice()).is_empty());
+        assert!(!state.delete(&DatastoreId::new("Nowhere"), &alice()));
+    }
+}

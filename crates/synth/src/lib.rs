@@ -1,0 +1,40 @@
+//! # privacy-synth
+//!
+//! Synthetic data and workload generation.
+//!
+//! The paper evaluates its method on a doctors'-surgery case study with
+//! health records and profiled users. Real patient data and real user
+//! questionnaires are obviously unavailable, so this crate generates the
+//! closest synthetic equivalents (the substitution is documented in
+//! DESIGN.md):
+//!
+//! * [`records`] — health-record datasets: the exact six records behind
+//!   Table I plus seeded random populations with controllable distributions
+//!   for the scaling benchmarks;
+//! * [`profiles`] — user sensitivity profiles and consent assignments (the
+//!   Case Study A profile plus random populations of users);
+//! * [`workload`] — sequences of service executions used to drive the
+//!   runtime simulator.
+//!
+//! All generators are deterministic given a seed so experiments are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod records;
+pub mod workload;
+
+pub use profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
+pub use records::{random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig};
+pub use workload::{random_workload, ServiceRequest, WorkloadConfig};
+
+/// Convenience re-export of the most commonly used items.
+pub mod prelude {
+    pub use crate::profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
+    pub use crate::records::{
+        random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
+    };
+    pub use crate::workload::{random_workload, ServiceRequest, WorkloadConfig};
+}

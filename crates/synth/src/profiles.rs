@@ -1,0 +1,170 @@
+//! Synthetic user sensitivity profiles and consent assignments.
+//!
+//! The paper obtains user sensitivities *"directly from the user through a
+//! questionnaire (if necessary)"*. With no real users available, this module
+//! produces the exact profile of Case Study A plus seeded random populations
+//! used by the scaling benchmarks.
+
+use privacy_model::{FieldId, Sensitivity, SensitivityCategory, ServiceId, UserProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The user profile of Case Study A: consents to the Medical Service only and
+/// is highly sensitive about the Diagnosis field.
+pub fn case_a_profile() -> UserProfile {
+    UserProfile::new("case-a-user")
+        .consents_to(ServiceId::new("MedicalService"))
+        .with_category_sensitivity(FieldId::new("Diagnosis"), SensitivityCategory::High)
+}
+
+/// Configuration of the random profile generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileGeneratorConfig {
+    /// Number of users to generate.
+    pub count: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// The services users may consent to.
+    pub services: Vec<ServiceId>,
+    /// Probability that a user consents to any given service.
+    pub consent_probability: f64,
+    /// The fields users may declare sensitivities about.
+    pub fields: Vec<FieldId>,
+    /// Probability that a user declares a sensitivity for any given field.
+    pub sensitivity_probability: f64,
+}
+
+impl Default for ProfileGeneratorConfig {
+    fn default() -> Self {
+        ProfileGeneratorConfig {
+            count: 10,
+            seed: 42,
+            services: vec![
+                ServiceId::new("MedicalService"),
+                ServiceId::new("MedicalResearchService"),
+            ],
+            consent_probability: 0.5,
+            fields: vec![
+                FieldId::new("Name"),
+                FieldId::new("Date of Birth"),
+                FieldId::new("Appointment"),
+                FieldId::new("Medical Issues"),
+                FieldId::new("Diagnosis"),
+                FieldId::new("Treatment"),
+            ],
+            sensitivity_probability: 0.4,
+        }
+    }
+}
+
+impl ProfileGeneratorConfig {
+    /// A configuration generating `count` users.
+    pub fn with_count(count: usize) -> Self {
+        ProfileGeneratorConfig { count, ..ProfileGeneratorConfig::default() }
+    }
+
+    /// Builder-style: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a seeded random population of user profiles.
+pub fn random_profiles(config: &ProfileGeneratorConfig) -> Vec<UserProfile> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.count)
+        .map(|index| {
+            let mut user = UserProfile::new(format!("user-{index:05}"));
+            for service in &config.services {
+                if rng.gen_bool(config.consent_probability.clamp(0.0, 1.0)) {
+                    user.consent_mut().grant(service.clone());
+                }
+            }
+            for field in &config.fields {
+                if rng.gen_bool(config.sensitivity_probability.clamp(0.0, 1.0)) {
+                    let value: f64 = rng.gen_range(0.0..=1.0);
+                    user.sensitivities_mut()
+                        .set(field.clone(), Sensitivity::clamped(value));
+                }
+            }
+            user
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_a_profile_matches_the_paper() {
+        let user = case_a_profile();
+        assert!(user.consent().includes(&ServiceId::new("MedicalService")));
+        assert!(!user.consent().includes(&ServiceId::new("MedicalResearchService")));
+        assert_eq!(
+            user.sensitivities()
+                .sensitivity(&FieldId::new("Diagnosis"))
+                .category(),
+            SensitivityCategory::High
+        );
+        assert!(user
+            .sensitivities()
+            .sensitivity(&FieldId::new("Name"))
+            .is_zero());
+    }
+
+    #[test]
+    fn random_profiles_are_deterministic_per_seed() {
+        let config = ProfileGeneratorConfig::with_count(20).with_seed(3);
+        let a = random_profiles(&config);
+        let b = random_profiles(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        let c = random_profiles(&ProfileGeneratorConfig::with_count(20).with_seed(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn probabilities_control_consent_and_sensitivities() {
+        let everything = ProfileGeneratorConfig {
+            count: 5,
+            consent_probability: 1.0,
+            sensitivity_probability: 1.0,
+            ..ProfileGeneratorConfig::default()
+        };
+        for user in random_profiles(&everything) {
+            assert_eq!(user.consent().len(), 2);
+            assert_eq!(user.sensitivities().len(), 6);
+        }
+
+        let nothing = ProfileGeneratorConfig {
+            count: 5,
+            consent_probability: 0.0,
+            sensitivity_probability: 0.0,
+            ..ProfileGeneratorConfig::default()
+        };
+        for user in random_profiles(&nothing) {
+            assert!(user.consent().is_empty());
+            assert!(user.sensitivities().is_empty());
+        }
+    }
+
+    #[test]
+    fn user_ids_are_unique() {
+        let users = random_profiles(&ProfileGeneratorConfig::with_count(50));
+        let ids: std::collections::BTreeSet<String> =
+            users.iter().map(|u| u.id().as_str().to_owned()).collect();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn generated_sensitivities_are_valid() {
+        let users = random_profiles(&ProfileGeneratorConfig::with_count(30));
+        for user in users {
+            for (_, sensitivity) in user.sensitivities().iter() {
+                assert!((0.0..=1.0).contains(&sensitivity.value()));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic health-record datasets.
+
+use privacy_model::{Dataset, Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The field identifiers used by the generated health records.
+pub mod fields {
+    use privacy_model::FieldId;
+
+    /// The patient age in years.
+    pub fn age() -> FieldId {
+        FieldId::new("Age")
+    }
+
+    /// The patient height in centimetres.
+    pub fn height() -> FieldId {
+        FieldId::new("Height")
+    }
+
+    /// The patient weight in kilograms.
+    pub fn weight() -> FieldId {
+        FieldId::new("Weight")
+    }
+
+    /// The patient name (direct identifier).
+    pub fn name() -> FieldId {
+        FieldId::new("Name")
+    }
+
+    /// The diagnosis code (sensitive).
+    pub fn diagnosis() -> FieldId {
+        FieldId::new("Diagnosis")
+    }
+}
+
+/// The raw (pre-anonymisation) values consistent with the six records of
+/// Table I: ages inside the printed decade bands, heights inside the printed
+/// 20 cm bands and the exact printed weights.
+pub fn table1_raw_records() -> Dataset {
+    let rows: [(i64, i64, f64); 6] = [
+        (34, 185, 100.0),
+        (36, 190, 102.0),
+        (25, 182, 110.0),
+        (28, 188, 111.0),
+        (22, 170, 80.0),
+        (27, 165, 110.0),
+    ];
+    Dataset::from_records(
+        [fields::age(), fields::height(), fields::weight()],
+        rows.iter().map(|(age, height, weight)| {
+            Record::new()
+                .with("Age", *age)
+                .with("Height", *height)
+                .with("Weight", *weight)
+        }),
+    )
+}
+
+/// The six 2-anonymised records exactly as printed in Table I of the paper
+/// (age and height generalised to bands, weight kept).
+pub fn table1_release() -> Dataset {
+    let rows: [(f64, f64, f64, f64, f64); 6] = [
+        (30.0, 40.0, 180.0, 200.0, 100.0),
+        (30.0, 40.0, 180.0, 200.0, 102.0),
+        (20.0, 30.0, 180.0, 200.0, 110.0),
+        (20.0, 30.0, 180.0, 200.0, 111.0),
+        (20.0, 30.0, 160.0, 180.0, 80.0),
+        (20.0, 30.0, 160.0, 180.0, 110.0),
+    ];
+    Dataset::from_records(
+        [fields::age(), fields::height(), fields::weight()],
+        rows.iter().map(|(alo, ahi, hlo, hhi, weight)| {
+            Record::new()
+                .with("Age", Value::interval(*alo, *ahi))
+                .with("Height", Value::interval(*hlo, *hhi))
+                .with("Weight", *weight)
+        }),
+    )
+}
+
+/// Configuration of the random health-record generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordGeneratorConfig {
+    /// Number of records to generate.
+    pub count: usize,
+    /// Random seed (the same seed always produces the same dataset).
+    pub seed: u64,
+    /// Age range (inclusive).
+    pub age_range: (i64, i64),
+    /// Height range in centimetres (inclusive).
+    pub height_range: (i64, i64),
+    /// Weight range in kilograms (inclusive bounds of a uniform draw).
+    pub weight_range: (f64, f64),
+    /// Include a `Name` identifier column.
+    pub include_names: bool,
+    /// Include a `Diagnosis` code column drawn from this list (ignored when
+    /// empty).
+    pub diagnosis_codes: Vec<String>,
+}
+
+impl Default for RecordGeneratorConfig {
+    fn default() -> Self {
+        RecordGeneratorConfig {
+            count: 100,
+            seed: 42,
+            age_range: (18, 90),
+            height_range: (150, 200),
+            weight_range: (45.0, 130.0),
+            include_names: false,
+            diagnosis_codes: Vec::new(),
+        }
+    }
+}
+
+impl RecordGeneratorConfig {
+    /// A configuration producing `count` records with the default ranges.
+    pub fn with_count(count: usize) -> Self {
+        RecordGeneratorConfig { count, ..RecordGeneratorConfig::default() }
+    }
+
+    /// Builder-style: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: include names and diagnosis codes, making the dataset
+    /// suitable for the full healthcare case study.
+    pub fn with_clinical_columns(mut self) -> Self {
+        self.include_names = true;
+        self.diagnosis_codes = vec![
+            "hypertension".to_owned(),
+            "diabetes".to_owned(),
+            "asthma".to_owned(),
+            "fracture".to_owned(),
+            "influenza".to_owned(),
+        ];
+        self
+    }
+}
+
+/// Generates a seeded random health-record dataset.
+pub fn random_health_records(config: &RecordGeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut columns = vec![fields::age(), fields::height(), fields::weight()];
+    if config.include_names {
+        columns.insert(0, fields::name());
+    }
+    if !config.diagnosis_codes.is_empty() {
+        columns.push(fields::diagnosis());
+    }
+    let mut dataset = Dataset::new(columns);
+    for index in 0..config.count {
+        let mut record = Record::new()
+            .with("Age", rng.gen_range(config.age_range.0..=config.age_range.1))
+            .with(
+                "Height",
+                rng.gen_range(config.height_range.0..=config.height_range.1),
+            )
+            .with(
+                "Weight",
+                round1(rng.gen_range(config.weight_range.0..=config.weight_range.1)),
+            );
+        if config.include_names {
+            record.set("Name", format!("patient-{index:05}"));
+        }
+        if !config.diagnosis_codes.is_empty() {
+            let code = &config.diagnosis_codes[rng.gen_range(0..config.diagnosis_codes.len())];
+            record.set("Diagnosis", code.clone());
+        }
+        dataset.push(record);
+    }
+    dataset
+}
+
+fn round1(value: f64) -> f64 {
+    (value * 10.0).round() / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_release_matches_the_paper_rows() {
+        let release = table1_release();
+        assert_eq!(release.len(), 6);
+        let first = release.get(0).unwrap();
+        assert_eq!(first.get(&fields::age()), Some(&Value::interval(30.0, 40.0)));
+        assert_eq!(first.get(&fields::height()), Some(&Value::interval(180.0, 200.0)));
+        assert_eq!(first.get(&fields::weight()), Some(&Value::Float(100.0)));
+        let last = release.get(5).unwrap();
+        assert_eq!(last.get(&fields::weight()), Some(&Value::Float(110.0)));
+        assert_eq!(last.get(&fields::height()), Some(&Value::interval(160.0, 180.0)));
+    }
+
+    #[test]
+    fn raw_records_fall_inside_the_released_bands() {
+        let raw = table1_raw_records();
+        let release = table1_release();
+        for (raw_record, released) in raw.iter().zip(release.iter()) {
+            for field in [fields::age(), fields::height()] {
+                let band = released.get(&field).unwrap();
+                let value = raw_record.get(&field).unwrap();
+                assert!(band.covers(value), "{value} not inside {band}");
+            }
+            assert_eq!(raw_record.get(&fields::weight()), released.get(&fields::weight()));
+        }
+    }
+
+    #[test]
+    fn random_records_are_deterministic_per_seed() {
+        let config = RecordGeneratorConfig::with_count(50).with_seed(7);
+        let a = random_health_records(&config);
+        let b = random_health_records(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+
+        let c = random_health_records(&RecordGeneratorConfig::with_count(50).with_seed(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_values_respect_the_configured_ranges() {
+        let config = RecordGeneratorConfig {
+            count: 200,
+            age_range: (20, 30),
+            height_range: (160, 170),
+            weight_range: (60.0, 70.0),
+            ..RecordGeneratorConfig::default()
+        };
+        let data = random_health_records(&config);
+        for record in data.iter() {
+            let age = record.get(&fields::age()).unwrap().as_f64().unwrap();
+            assert!((20.0..=30.0).contains(&age));
+            let height = record.get(&fields::height()).unwrap().as_f64().unwrap();
+            assert!((160.0..=170.0).contains(&height));
+            let weight = record.get(&fields::weight()).unwrap().as_f64().unwrap();
+            assert!((60.0..=70.0).contains(&weight));
+        }
+    }
+
+    #[test]
+    fn clinical_columns_add_names_and_diagnoses() {
+        let config = RecordGeneratorConfig::with_count(10).with_clinical_columns();
+        let data = random_health_records(&config);
+        assert!(data.columns().contains(&fields::name()));
+        assert!(data.columns().contains(&fields::diagnosis()));
+        for record in data.iter() {
+            assert!(record.get(&fields::name()).is_some());
+            let diagnosis = record.get(&fields::diagnosis()).unwrap().as_text().unwrap();
+            assert!(config.diagnosis_codes.contains(&diagnosis.to_owned()));
+        }
+        // Names are unique.
+        let names: std::collections::BTreeSet<String> = data
+            .iter()
+            .map(|r| r.get(&fields::name()).unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn validation_passes_for_generated_datasets() {
+        assert!(table1_release().validate().is_ok());
+        assert!(table1_raw_records().validate().is_ok());
+        let data = random_health_records(&RecordGeneratorConfig::default());
+        assert!(data.validate().is_ok());
+    }
+}

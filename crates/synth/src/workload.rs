@@ -1,0 +1,164 @@
+//! Synthetic workloads: sequences of service executions.
+//!
+//! The runtime simulator replays a workload — which user executes which
+//! service, in which order — to exercise the "analysis of running systems"
+//! path the paper motivates.
+
+use privacy_model::{ServiceId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One request: a user asks for one execution of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    user: UserId,
+    service: ServiceId,
+}
+
+impl ServiceRequest {
+    /// Creates a request.
+    pub fn new(user: impl Into<UserId>, service: impl Into<ServiceId>) -> Self {
+        ServiceRequest { user: user.into(), service: service.into() }
+    }
+
+    /// The requesting user.
+    pub fn user(&self) -> &UserId {
+        &self.user
+    }
+
+    /// The requested service.
+    pub fn service(&self) -> &ServiceId {
+        &self.service
+    }
+}
+
+impl fmt::Display for ServiceRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.user, self.service)
+    }
+}
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of requests.
+    pub length: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// The users issuing requests.
+    pub users: Vec<UserId>,
+    /// The services that may be requested, with a relative weight each.
+    pub services: Vec<(ServiceId, f64)>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            length: 100,
+            seed: 42,
+            users: (0..10).map(|i| UserId::new(format!("user-{i:05}"))).collect(),
+            services: vec![
+                (ServiceId::new("MedicalService"), 0.8),
+                (ServiceId::new("MedicalResearchService"), 0.2),
+            ],
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A configuration with the given number of requests.
+    pub fn with_length(length: usize) -> Self {
+        WorkloadConfig { length, ..WorkloadConfig::default() }
+    }
+
+    /// Builder-style: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a seeded random workload.
+///
+/// Returns an empty workload if no users or services are configured.
+pub fn random_workload(config: &WorkloadConfig) -> Vec<ServiceRequest> {
+    if config.users.is_empty() || config.services.is_empty() {
+        return Vec::new();
+    }
+    let total_weight: f64 = config.services.iter().map(|(_, w)| w.max(0.0)).sum();
+    if total_weight <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.length)
+        .map(|_| {
+            let user = &config.users[rng.gen_range(0..config.users.len())];
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let mut chosen = &config.services[0].0;
+            for (service, weight) in &config.services {
+                let weight = weight.max(0.0);
+                if pick < weight {
+                    chosen = service;
+                    break;
+                }
+                pick -= weight;
+            }
+            ServiceRequest::new(user.clone(), chosen.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let config = WorkloadConfig::with_length(50).with_seed(1);
+        assert_eq!(random_workload(&config), random_workload(&config));
+        assert_ne!(
+            random_workload(&config),
+            random_workload(&WorkloadConfig::with_length(50).with_seed(2))
+        );
+        assert_eq!(random_workload(&config).len(), 50);
+    }
+
+    #[test]
+    fn weights_bias_the_service_mix() {
+        let config = WorkloadConfig {
+            length: 500,
+            services: vec![
+                (ServiceId::new("A"), 1.0),
+                (ServiceId::new("B"), 0.0),
+            ],
+            ..WorkloadConfig::default()
+        };
+        let workload = random_workload(&config);
+        assert!(workload.iter().all(|r| r.service().as_str() == "A"));
+    }
+
+    #[test]
+    fn empty_configurations_produce_empty_workloads() {
+        let no_users = WorkloadConfig { users: Vec::new(), ..WorkloadConfig::default() };
+        assert!(random_workload(&no_users).is_empty());
+        let no_services = WorkloadConfig { services: Vec::new(), ..WorkloadConfig::default() };
+        assert!(random_workload(&no_services).is_empty());
+        let zero_weights = WorkloadConfig {
+            services: vec![(ServiceId::new("A"), 0.0)],
+            ..WorkloadConfig::default()
+        };
+        assert!(random_workload(&zero_weights).is_empty());
+    }
+
+    #[test]
+    fn requests_reference_configured_users_and_services() {
+        let workload = random_workload(&WorkloadConfig::default());
+        for request in &workload {
+            assert!(request.user().as_str().starts_with("user-"));
+            assert!(request.service().as_str().contains("Service"));
+        }
+        assert_eq!(workload.len(), 100);
+        assert!(workload[0].to_string().contains("->"));
+    }
+}

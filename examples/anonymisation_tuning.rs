@@ -1,0 +1,75 @@
+//! Tuning a pseudonymisation technique: sweep the anonymity parameter `k`
+//! over a synthetic patient population and compare value risk (the paper's
+//! Table I metric), re-identification risk, l-diversity, t-closeness and
+//! data utility — the "risk versus data utility" trade-off Section III-B
+//! says the risk scores should inform.
+//!
+//! Run with `cargo run --example anonymisation_tuning`.
+
+use privacy_mde::anonymity::{
+    l_diversity_of, t_closeness_of, utility_report, value_risk, Hierarchy, KAnonymizer,
+    ValueRiskPolicy,
+};
+use privacy_mde::model::FieldId;
+use privacy_mde::risk::{reident_risk, ReidentPolicy};
+use privacy_mde::synth::{random_health_records, RecordGeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let age = FieldId::new("Age");
+    let height = FieldId::new("Height");
+    let weight = FieldId::new("Weight");
+
+    // A deterministic synthetic population (no real patient data exists in
+    // this reproduction; see DESIGN.md for the substitution note).
+    let raw = random_health_records(&RecordGeneratorConfig::with_count(500).with_seed(42));
+    println!("population: {} synthetic patient records", raw.len());
+
+    let value_policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
+    let reident_policy = ReidentPolicy::majority();
+    let quasi = [age.clone(), height.clone()];
+
+    println!(
+        "\n{:>3} {:>12} {:>12} {:>12} {:>8} {:>10} {:>12} {:>12}",
+        "k", "value-viol", "reident@50%", "prosecutor", "l-div", "t-close", "mean-shift", "suppressed"
+    );
+    for k in [2, 3, 5, 10, 20] {
+        let anonymiser = KAnonymizer::new(k)
+            .with_hierarchy(age.clone(), Hierarchy::numeric([5.0, 10.0, 20.0, 40.0, 80.0]))
+            .with_hierarchy(height.clone(), Hierarchy::numeric([5.0, 10.0, 20.0, 40.0, 80.0]));
+        let result = anonymiser.anonymise(&raw, &quasi)?;
+        let release = result.data();
+
+        // The paper's value-risk violations with both quasi-identifiers
+        // visible to the adversary.
+        let value = value_risk(release, &quasi, &value_policy)?;
+        // The deferred re-identification dimension.
+        let reident = reident_risk(release, &[quasi.to_vec()], &reident_policy);
+        // Diversity / closeness of the sensitive attribute inside classes.
+        let l = l_diversity_of(release, &quasi, &weight, 5.0);
+        let t = t_closeness_of(release, &quasi, &weight);
+        // Utility: how far the released weight distribution drifted.
+        let utility = utility_report(&raw, release, &weight);
+
+        println!(
+            "{:>3} {:>12} {:>12} {:>12.3} {:>8} {:>10.3} {:>12.3} {:>12}",
+            k,
+            value.violation_count(),
+            reident.findings()[0].at_risk(),
+            reident.max_risk(),
+            l,
+            t,
+            utility.relative_mean_shift(),
+            result.suppressed().len(),
+        );
+
+        assert!(result.is_k_anonymous());
+        assert!(result.min_class_size() >= k || release.is_empty());
+    }
+
+    println!(
+        "\nreading the table: larger k suppresses more records and lowers both risk columns,\n\
+         while the utility column (relative mean shift of Weight) stays small — the designer\n\
+         picks the smallest k whose risks are acceptable, as Section III-B prescribes."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: model a small data service, generate its privacy LTS and run
+//! the risk analysis.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use privacy_mde::access::Grant;
+use privacy_mde::core::{Pipeline, PrivacySystem};
+use privacy_mde::dataflow::DiagramBuilder;
+use privacy_mde::lts::dot::lts_to_dot;
+use privacy_mde::model::{
+    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, SensitivityCategory,
+    ServiceDecl, ServiceId, UserProfile,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the vocabulary: actors, fields, schema, datastore, service.
+    let mut builder = PrivacySystem::builder();
+    {
+        let catalog = builder.catalog_mut();
+        catalog.add_actor(Actor::role("Advisor"))?;
+        catalog.add_actor(Actor::role("Marketing"))?;
+        catalog.add_field(DataField::identifier("Email"))?;
+        catalog.add_field(DataField::sensitive("Salary"))?;
+        catalog.add_schema(DataSchema::new(
+            "CustomerSchema",
+            [FieldId::new("Email"), FieldId::new("Salary")],
+        ))?;
+        catalog.add_datastore(DatastoreDecl::new("CustomerDB", "CustomerSchema"))?;
+        catalog.add_service(ServiceDecl::new(
+            "AdviceService",
+            [ActorId::new("Advisor")],
+        ))?;
+    }
+
+    // 2. Declare who may access what.
+    builder
+        .policy_mut()
+        .acl_mut()
+        .grant(Grant::read_write_all("Advisor", "CustomerDB"))
+        .grant(Grant::read_all("Marketing", "CustomerDB"));
+
+    // 3. Describe the service as a purpose-driven data-flow diagram.
+    builder.add_diagram(
+        DiagramBuilder::new("AdviceService")
+            .collect("Advisor", ["Email", "Salary"], "financial advice intake", 1)?
+            .create("Advisor", "CustomerDB", ["Email", "Salary"], "keep customer record", 2)?
+            .read("Advisor", "CustomerDB", ["Salary"], "prepare follow-up", 3)?
+            .build(),
+    )?;
+    let system = builder.build()?;
+
+    // 4. Validate the design artefacts.
+    let validation = system.validate()?;
+    println!("validation: {}", if validation.is_ok() { "ok" } else { "has errors" });
+
+    // 5. Describe the user: consents to the advice service, cares about the
+    //    salary field.
+    let user = UserProfile::new("customer-42")
+        .consents_to(ServiceId::new("AdviceService"))
+        .with_category_sensitivity(FieldId::new("Salary"), SensitivityCategory::High);
+
+    // 6. Generate the LTS and run the automated risk analysis.
+    let outcome = Pipeline::new(&system).analyse_user(&user)?;
+    println!("{}", outcome.lts.stats());
+    println!("{}", outcome.report);
+
+    // 7. Export the annotated LTS for visual inspection.
+    let dot = lts_to_dot(&outcome.lts);
+    println!("--- annotated LTS (Graphviz) ---\n{dot}");
+    Ok(())
+}

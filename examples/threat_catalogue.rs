@@ -1,0 +1,57 @@
+//! Baseline comparison: run the LINDDUN-style threat-catalogue pass and the
+//! ARX-style re-identification attacker models on the same healthcare system
+//! and release that the model-driven analyses use, to contrast what each
+//! method reports.
+//!
+//! Run with `cargo run --example threat_catalogue`.
+
+use privacy_mde::baselines::{
+    journalist_risk, marketer_risk, prosecutor_risk, record_disclosure_risks,
+    threat_catalogue_pass, BackgroundKnowledge,
+};
+use privacy_mde::core::{casestudy, Pipeline};
+use privacy_mde::model::FieldId;
+use privacy_mde::synth::{random_health_records, table1_release, RecordGeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = casestudy::healthcare()?;
+
+    // --- LINDDUN-style threat elicitation over the data-flow diagrams ------
+    let threats = threat_catalogue_pass(system.catalog(), system.dataflows());
+    println!("LINDDUN-style catalogue pass: {} candidate threats", threats.len());
+    for threat in threats.iter().take(8) {
+        println!("  {threat}");
+    }
+    println!("  ... (a human analyst must now triage all of these by hand)\n");
+
+    // --- Model-driven analysis on the same system ---------------------------
+    let outcome = Pipeline::new(&system).analyse_user(&casestudy::case_a_user())?;
+    let disclosure = outcome.report.disclosure().expect("analysis ran");
+    println!(
+        "model-driven analysis: {} quantified findings for this user (max level {})\n",
+        disclosure.len(),
+        disclosure.max_level()
+    );
+
+    // --- ARX-style re-identification risk on the Table I release -----------
+    let release = table1_release();
+    let quasi_identifiers = [FieldId::new("Age"), FieldId::new("Height")];
+    let population = random_health_records(&RecordGeneratorConfig::with_count(500).with_seed(11));
+    println!("{}", prosecutor_risk(&release, &quasi_identifiers));
+    println!("{}", journalist_risk(&release, &population, &quasi_identifiers));
+    println!("{}", marketer_risk(&release, &quasi_identifiers));
+
+    // --- CAT-style per-record risk under explicit background knowledge ------
+    let knowledge = BackgroundKnowledge::none().knows("Age", 35i64).knows("Height", 185i64);
+    let risks = record_disclosure_risks(&release, &knowledge);
+    println!(
+        "CAT-style: adversary knowing age 35 and height 185 re-identifies a record with \
+         probability {:.2}",
+        risks.iter().cloned().fold(0.0f64, f64::max)
+    );
+    println!(
+        "note: none of the baselines flags the weight-value inference that the paper's \
+         value-risk analysis reports (Table I violations 0 / 2 / 4)"
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # privacy-mde
+//!
+//! Umbrella crate for the reproduction of *"Identifying Privacy Risks in
+//! Distributed Data Services: A Model-Driven Approach"* (Grace et al.,
+//! ICDCS 2018).
+//!
+//! This crate simply re-exports every workspace crate under one roof so the
+//! examples and integration tests can depend on a single package:
+//!
+//! * [`model`] — domain vocabulary (actors, fields, schemas, sensitivities,
+//!   consent, datasets);
+//! * [`dataflow`] — purpose-driven data-flow diagrams and validation;
+//! * [`access`] — access-control lists, RBAC and policy deltas;
+//! * [`lts`] — the generated labelled-transition-system privacy model;
+//! * [`anonymity`] — k-anonymity, l-diversity, pseudonymisation, value risk
+//!   and utility metrics;
+//! * [`risk`] — the unwanted-disclosure and pseudonymisation risk analyses;
+//! * [`runtime`] — the service simulator and runtime privacy monitor;
+//! * [`synth`] — synthetic records, user profiles and workloads;
+//! * [`baselines`] — ARX-, CAT- and LINDDUN-style comparator analysers;
+//! * [`core`] — the model-driven pipeline and the healthcare case study;
+//! * [`interchange`] — the textual `.psm` model interchange format (parser,
+//!   resolver and printer);
+//! * [`compliance`] — privacy-policy compliance checking over the LTS and
+//!   over runtime event logs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use privacy_mde::core::{casestudy, Pipeline};
+//! use privacy_mde::model::RiskLevel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = casestudy::healthcare()?;
+//! let outcome = Pipeline::new(&system).analyse_user(&casestudy::case_a_user())?;
+//! assert_eq!(outcome.report.overall_level(), RiskLevel::Medium);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use privacy_access as access;
+pub use privacy_anonymity as anonymity;
+pub use privacy_baselines as baselines;
+pub use privacy_compliance as compliance;
+pub use privacy_core as core;
+pub use privacy_interchange as interchange;
+pub use privacy_dataflow as dataflow;
+pub use privacy_lts as lts;
+pub use privacy_model as model;
+pub use privacy_runtime as runtime;
+pub use privacy_synth as synth;
+
+pub use privacy_risk as risk;

@@ -1,0 +1,143 @@
+//! Integration tests for the ABAC extension: attribute-based grants feed the
+//! same exposure computation as ACL/RBAC grants, so the LTS generation and
+//! the disclosure-risk analysis see them identically.
+
+use privacy_mde::access::{AbacRule, AttributePredicate, Grant, Permission};
+use privacy_mde::core::{casestudy, Pipeline, PrivacySystem};
+use privacy_mde::dataflow::DiagramBuilder;
+use privacy_mde::model::{
+    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, RiskLevel,
+    SensitivityCategory, ServiceDecl, ServiceId, UserProfile,
+};
+
+/// A small system where the only way an analyst can reach the salary data is
+/// through an ABAC rule keyed on a clearance attribute.
+fn abac_system(clearance: i64) -> PrivacySystem {
+    let mut builder = PrivacySystem::builder();
+    {
+        let catalog = builder.catalog_mut();
+        catalog.add_actor(Actor::role("Advisor")).unwrap();
+        catalog.add_actor(Actor::role("Analyst")).unwrap();
+        catalog.add_field(DataField::identifier("Email")).unwrap();
+        catalog.add_field(DataField::sensitive("Salary")).unwrap();
+        catalog
+            .add_schema(DataSchema::new(
+                "CustomerSchema",
+                [FieldId::new("Email"), FieldId::new("Salary")],
+            ))
+            .unwrap();
+        catalog
+            .add_datastore(DatastoreDecl::new("CustomerDB", "CustomerSchema"))
+            .unwrap();
+        catalog
+            .add_service(ServiceDecl::new("AdviceService", [ActorId::new("Advisor")]))
+            .unwrap();
+    }
+    {
+        let policy = builder.policy_mut();
+        policy.acl_mut().grant(Grant::read_write_all("Advisor", "CustomerDB"));
+        policy
+            .abac_mut()
+            .set_actor_attribute("Analyst", "clearance", clearance)
+            .set_datastore_attribute("CustomerDB", "classification", "financial")
+            .add_rule(
+                AbacRule::new("financial-analytics", [Permission::Read])
+                    .when_actor(AttributePredicate::AtLeast("clearance".into(), 3))
+                    .when_datastore(AttributePredicate::Equals(
+                        "classification".into(),
+                        "financial".into(),
+                    )),
+            );
+    }
+    builder
+        .add_diagram(
+            DiagramBuilder::new("AdviceService")
+                .collect("Advisor", ["Email", "Salary"], "intake", 1)
+                .unwrap()
+                .create("Advisor", "CustomerDB", ["Email", "Salary"], "persist", 2)
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+    builder.build().unwrap()
+}
+
+fn customer() -> UserProfile {
+    UserProfile::new("customer-1")
+        .consents_to(ServiceId::new("AdviceService"))
+        .with_category_sensitivity(FieldId::new("Salary"), SensitivityCategory::High)
+}
+
+#[test]
+fn abac_granted_access_is_reported_as_unwanted_disclosure() {
+    // With clearance 3 the ABAC rule fires: the analyst (non-allowed for this
+    // user) can read the salary once it is stored — Medium risk.
+    let system = abac_system(3);
+    let outcome = Pipeline::new(&system).analyse_user(&customer()).unwrap();
+    let disclosure = outcome.report.disclosure().unwrap();
+    assert_eq!(
+        disclosure.risk_for(&ActorId::new("Analyst"), &FieldId::new("Salary")),
+        RiskLevel::Medium
+    );
+
+    // The LTS exposure (could-variable) reflects the ABAC grant too.
+    let space = outcome.lts.space().clone();
+    assert!(outcome
+        .lts
+        .states()
+        .any(|(_, s)| s.could(&space, &ActorId::new("Analyst"), &FieldId::new("Salary"))));
+}
+
+#[test]
+fn insufficient_clearance_means_no_exposure_and_no_finding() {
+    let system = abac_system(1);
+    let outcome = Pipeline::new(&system).analyse_user(&customer()).unwrap();
+    let disclosure = outcome.report.disclosure().unwrap();
+    assert_eq!(
+        disclosure.risk_for(&ActorId::new("Analyst"), &FieldId::new("Salary")),
+        RiskLevel::Low
+    );
+    assert!(disclosure.is_empty());
+    let space = outcome.lts.space().clone();
+    assert!(!outcome
+        .lts
+        .states()
+        .any(|(_, s)| s.could(&space, &ActorId::new("Analyst"), &FieldId::new("Salary"))));
+}
+
+#[test]
+fn abac_policy_composes_with_the_healthcare_acl_policy() {
+    // Granting the researcher clearance-based read access to the raw EHR via
+    // ABAC (on top of the paper's ACL policy) turns the researcher into a
+    // second Medium-risk finding for the Case Study A user.
+    let system = casestudy::healthcare().unwrap();
+    let mut policy = system.policy().clone();
+    policy
+        .abac_mut()
+        .set_actor_attribute("Researcher", "clearance", 5i64)
+        .set_datastore_attribute("EHR", "classification", "clinical")
+        .add_rule(
+            AbacRule::new("clinical-research-override", [Permission::Read])
+                .when_actor(AttributePredicate::AtLeast("clearance".into(), 4))
+                .when_datastore(AttributePredicate::Equals(
+                    "classification".into(),
+                    "clinical".into(),
+                )),
+        );
+    let extended = system.with_policy(policy);
+
+    let baseline = Pipeline::new(&system).analyse_user(&casestudy::case_a_user()).unwrap();
+    let with_abac = Pipeline::new(&extended).analyse_user(&casestudy::case_a_user()).unwrap();
+
+    let researcher = casestudy::actors::researcher();
+    let diagnosis = casestudy::fields::diagnosis();
+    assert_eq!(
+        baseline.report.disclosure().unwrap().risk_for(&researcher, &diagnosis),
+        RiskLevel::Low
+    );
+    assert_eq!(
+        with_abac.report.disclosure().unwrap().risk_for(&researcher, &diagnosis),
+        RiskLevel::Medium
+    );
+    assert!(with_abac.report.disclosure().unwrap().len() > baseline.report.disclosure().unwrap().len());
+}

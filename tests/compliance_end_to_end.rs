@@ -1,0 +1,204 @@
+//! Integration tests for privacy-policy compliance checking over the
+//! healthcare case study: design-time findings on the LTS, operation-time
+//! findings on simulated event logs, and their consistency.
+
+use privacy_mde::access::{Permission, PolicyDelta};
+use privacy_mde::compliance::{
+    baseline_policy, check_log, check_lts, forbid_non_allowed, ActorMatcher, FieldMatcher,
+    PrivacyPolicy, Statement,
+};
+use privacy_mde::core::casestudy;
+use privacy_mde::lts::ActionKind;
+use privacy_mde::model::{Record, UserId};
+use privacy_mde::runtime::ServiceEngine;
+
+fn patient_record(name: &str) -> Record {
+    Record::new()
+        .with("Name", name)
+        .with("Date of Birth", "1979-05-05")
+        .with("Medical Issues", "fatigue")
+        .with("Diagnosis", "anaemia")
+        .with("Treatment Information", "iron supplements")
+        .with("Age", 46)
+        .with("Height", 170)
+        .with("Weight", 72.0)
+}
+
+#[test]
+fn the_case_a_unwanted_disclosure_is_also_a_compliance_violation() {
+    let system = casestudy::healthcare().unwrap();
+    let lts = system.generate_lts().unwrap();
+
+    // The statement mirrors Case Study A: the user consented to the Medical
+    // Service only, so only its actors may touch the diagnosis.
+    let medical_actors = system
+        .catalog()
+        .service(&casestudy::medical_service())
+        .unwrap()
+        .actors()
+        .to_vec();
+    let policy = PrivacyPolicy::new("consent boundary").with_statement(forbid_non_allowed(
+        "CONSENT",
+        medical_actors,
+        FieldMatcher::only([casestudy::fields::diagnosis()]),
+    ));
+
+    let report = check_lts(&lts, &policy);
+    assert!(!report.is_compliant());
+    // The administrator's release-preparation read is among the violations.
+    assert!(report
+        .violations()
+        .any(|v| v.detail().contains("Administrator")));
+}
+
+#[test]
+fn researcher_promises_hold_on_the_design() {
+    let system = casestudy::healthcare().unwrap();
+    let lts = system.generate_lts().unwrap();
+    let policy = PrivacyPolicy::new("researcher boundary").with_statement(Statement::forbid(
+        "NO-RESEARCHER-RAW",
+        "researchers never read raw diagnosis records",
+        ActorMatcher::only([casestudy::actors::researcher()]),
+        Some(ActionKind::Read),
+        FieldMatcher::only([
+            casestudy::fields::diagnosis(),
+            casestudy::fields::medical_issues(),
+            casestudy::fields::treatment(),
+        ]),
+    ));
+    assert!(check_lts(&lts, &policy).is_compliant());
+}
+
+#[test]
+fn baseline_policy_flags_the_missing_erasure_path_in_the_healthcare_design() {
+    let system = casestudy::healthcare().unwrap();
+    let lts = system.generate_lts().unwrap();
+    let policy = baseline_policy(system.catalog(), [], 5);
+    let report = check_lts(&lts, &policy);
+    // No flow in Fig. 1 ever deletes personal data, so every processed
+    // sensitive field fails its erasure obligation.
+    assert!(!report.is_compliant());
+    assert!(!report.outcome("ERASE-Diagnosis").unwrap().holds());
+    // The exposure bound of 5 actors is generous enough to hold.
+    assert!(report.outcome("EXPOSE-Name").unwrap().holds());
+}
+
+#[test]
+fn design_time_and_runtime_checks_agree_on_the_administrator_read() {
+    let system = casestudy::healthcare().unwrap();
+    let policy = PrivacyPolicy::new("notice").with_statement(Statement::forbid(
+        "NO-ADMIN-DIAGNOSIS",
+        "administrators never read the diagnosis",
+        ActorMatcher::only([casestudy::actors::administrator()]),
+        Some(ActionKind::Read),
+        FieldMatcher::only([casestudy::fields::diagnosis()]),
+    ));
+
+    // Design time: the research flow violates the promise.
+    let lts = system.generate_lts().unwrap();
+    let design = check_lts(&lts, &policy);
+    assert!(!design.is_compliant());
+
+    // Operation time: replaying both services produces the same finding.
+    let mut engine = ServiceEngine::new(
+        system.catalog().clone(),
+        system.dataflows().clone(),
+        system.policy().clone(),
+    );
+    let user = UserId::new("p-1");
+    engine.execute(&user, &casestudy::medical_service(), &patient_record("p-1")).unwrap();
+    engine.execute(&user, &casestudy::research_service(), &patient_record("p-1")).unwrap();
+    let runtime = check_log(engine.log(), &policy);
+    assert!(!runtime.is_compliant());
+    assert!(runtime.violations().any(|v| v.detail().contains("Administrator")));
+}
+
+#[test]
+fn revoking_access_suppresses_the_runtime_violation_but_not_the_design_conflict() {
+    let system = casestudy::healthcare().unwrap();
+    let policy = PrivacyPolicy::new("notice").with_statement(Statement::forbid(
+        "NO-ADMIN-DIAGNOSIS",
+        "administrators never read the diagnosis",
+        ActorMatcher::only([casestudy::actors::administrator()]),
+        Some(ActionKind::Read),
+        FieldMatcher::only([casestudy::fields::diagnosis()]),
+    ));
+
+    let delta = PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR");
+    let revised = system.with_policy(system.policy().with_applied(&delta));
+
+    // At runtime the enforcement now denies the read, so the observed
+    // behaviour complies...
+    let mut engine = ServiceEngine::new(
+        revised.catalog().clone(),
+        revised.dataflows().clone(),
+        revised.policy().clone(),
+    );
+    let user = UserId::new("p-2");
+    engine.execute(&user, &casestudy::medical_service(), &patient_record("p-2")).unwrap();
+    engine.execute(&user, &casestudy::research_service(), &patient_record("p-2")).unwrap();
+    let runtime = check_log(engine.log(), &policy);
+    assert!(runtime.is_compliant(), "{runtime}");
+
+    // ...but the research service still *declares* the read in its data
+    // flow, so the design-time conflict remains until the flow is redesigned.
+    let lts = revised.generate_lts().unwrap();
+    assert!(!check_lts(&lts, &policy).is_compliant());
+}
+
+#[test]
+fn service_limits_are_skipped_on_the_lts_and_checked_on_the_log() {
+    let system = casestudy::healthcare().unwrap();
+    let policy = PrivacyPolicy::new("notice").with_statement(Statement::service_limit(
+        "RAW-STAYS-CLINICAL",
+        "raw diagnosis data is only processed by the medical service",
+        FieldMatcher::only([casestudy::fields::diagnosis()]),
+        [casestudy::medical_service()],
+    ));
+
+    let lts = system.generate_lts().unwrap();
+    let design = check_lts(&lts, &policy);
+    assert!(design.is_compliant());
+    assert_eq!(design.skipped().count(), 1);
+
+    let mut engine = ServiceEngine::new(
+        system.catalog().clone(),
+        system.dataflows().clone(),
+        system.policy().clone(),
+    );
+    let user = UserId::new("p-3");
+    engine.execute(&user, &casestudy::medical_service(), &patient_record("p-3")).unwrap();
+    engine.execute(&user, &casestudy::research_service(), &patient_record("p-3")).unwrap();
+    let runtime = check_log(engine.log(), &policy);
+    assert!(!runtime.is_compliant());
+    assert_eq!(runtime.skipped().count(), 0);
+}
+
+#[test]
+fn compliance_reports_render_with_pass_fail_and_skip_sections() {
+    let system = casestudy::healthcare().unwrap();
+    let lts = system.generate_lts().unwrap();
+    let policy = PrivacyPolicy::new("notice")
+        .with_statement(Statement::forbid(
+            "NO-RESEARCHER-RAW",
+            "researchers never read raw diagnosis records",
+            ActorMatcher::only([casestudy::actors::researcher()]),
+            Some(ActionKind::Read),
+            FieldMatcher::only([casestudy::fields::diagnosis()]),
+        ))
+        .with_statement(Statement::require_erasure(
+            "ERASE-Diagnosis",
+            "diagnosis must be erasable",
+            FieldMatcher::only([casestudy::fields::diagnosis()]),
+        ))
+        .with_statement(Statement::service_limit(
+            "RAW-STAYS-CLINICAL",
+            "raw diagnosis stays clinical",
+            FieldMatcher::only([casestudy::fields::diagnosis()]),
+            [casestudy::medical_service()],
+        ));
+    let rendered = check_lts(&lts, &policy).render();
+    assert!(rendered.contains("PASS  [NO-RESEARCHER-RAW]"));
+    assert!(rendered.contains("FAIL  [ERASE-Diagnosis]"));
+    assert!(rendered.contains("SKIP  [RAW-STAYS-CLINICAL]"));
+}

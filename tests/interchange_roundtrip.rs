@@ -1,0 +1,177 @@
+//! Integration tests for the `.psm` model interchange format: the healthcare
+//! case study survives a render → parse round trip with identical analysis
+//! results, and randomly generated models round-trip structurally.
+
+use privacy_mde::core::{casestudy, Pipeline};
+use privacy_mde::interchange::{parse_document, render_document, render_system};
+use privacy_mde::model::{FieldId, RiskLevel, SensitivityCategory, UserProfile};
+use proptest::prelude::*;
+
+#[test]
+fn healthcare_system_round_trips_through_the_interchange_format() {
+    let system = casestudy::healthcare().unwrap();
+    let rendered = render_system("Healthcare", &system);
+    let document = parse_document(&rendered)
+        .unwrap_or_else(|e| panic!("rendered model must re-parse:\n{}", e.render(&rendered)));
+
+    let original = system.catalog();
+    let reparsed = document.system.catalog();
+    assert_eq!(reparsed.actor_count(), original.actor_count());
+    assert_eq!(reparsed.field_count(), original.field_count());
+    assert_eq!(reparsed.datastore_count(), original.datastore_count());
+    assert_eq!(reparsed.service_count(), original.service_count());
+    assert_eq!(
+        document.system.dataflows().flow_count(),
+        system.dataflows().flow_count()
+    );
+    assert_eq!(reparsed.state_variable_count(), original.state_variable_count());
+}
+
+#[test]
+fn round_tripped_healthcare_system_reports_the_same_case_a_risk() {
+    let system = casestudy::healthcare().unwrap();
+    let user = casestudy::case_a_user();
+    let original_outcome = Pipeline::new(&system).analyse_user(&user).unwrap();
+
+    let rendered = render_system("Healthcare", &system);
+    let document = parse_document(&rendered).unwrap();
+    let round_tripped_outcome = Pipeline::new(&document.system).analyse_user(&user).unwrap();
+
+    assert_eq!(
+        original_outcome.report.overall_level(),
+        round_tripped_outcome.report.overall_level()
+    );
+    assert_eq!(original_outcome.report.overall_level(), RiskLevel::Medium);
+    assert_eq!(
+        original_outcome.lts.state_count(),
+        round_tripped_outcome.lts.state_count()
+    );
+    assert_eq!(
+        original_outcome.lts.transition_count(),
+        round_tripped_outcome.lts.transition_count()
+    );
+}
+
+#[test]
+fn user_profiles_declared_in_psm_match_programmatic_profiles() {
+    let source = r#"
+    system "Healthcare" {
+        actor Doctor : role
+        field Diagnosis : sensitive
+        schema EHRSchema { Diagnosis }
+        datastore EHR : EHRSchema
+        service MedicalService { actors Doctor }
+        flows MedicalService {
+            1: collect Doctor { Diagnosis } for "consultation"
+            2: create Doctor -> EHR { Diagnosis } for "record keeping"
+        }
+        user "case-a-user" {
+            consents MedicalService
+            sensitivity Diagnosis = high
+        }
+    }
+    "#;
+    let document = parse_document(source).unwrap();
+    let declared = document.user("case-a-user").unwrap();
+    let programmatic = UserProfile::new("case-a-user")
+        .consents_to(privacy_mde::model::ServiceId::new("MedicalService"))
+        .with_category_sensitivity(FieldId::new("Diagnosis"), SensitivityCategory::High);
+    assert_eq!(
+        declared.consent().services().collect::<Vec<_>>(),
+        programmatic.consent().services().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        declared.sensitivities().sensitivity(&FieldId::new("Diagnosis")).category(),
+        SensitivityCategory::High
+    );
+}
+
+#[test]
+fn parse_errors_carry_usable_line_information() {
+    let source = "system \"Broken\" {\n    actor A : role\n    field F : wizard\n}";
+    let error = parse_document(source).unwrap_err();
+    assert_eq!(error.span().start.line, 3, "error should point at the bad field kind");
+    let rendered = error.render(source);
+    assert!(rendered.contains("line 3"));
+    assert!(rendered.contains('^'));
+}
+
+/// Builds a small random-but-valid `.psm` document: `actors` role actors,
+/// `fields` plain fields, one schema/datastore, one service with a chain of
+/// collect/create/read flows.
+fn synth_model(actors: usize, fields: usize, flows: usize) -> String {
+    let mut out = String::from("system \"Synth\" {\n");
+    for a in 0..actors {
+        out.push_str(&format!("    actor Actor{a} : role\n"));
+    }
+    for f in 0..fields {
+        out.push_str(&format!("    field Field{f} : sensitive\n"));
+    }
+    let all_fields: Vec<String> = (0..fields).map(|f| format!("Field{f}")).collect();
+    out.push_str(&format!("    schema Schema0 {{ {} }}\n", all_fields.join(", ")));
+    out.push_str("    datastore Store0 : Schema0\n");
+    let all_actors: Vec<String> = (0..actors).map(|a| format!("Actor{a}")).collect();
+    out.push_str(&format!("    service Service0 {{ actors {} }}\n", all_actors.join(", ")));
+    out.push_str("    policy {\n");
+    for a in 0..actors {
+        out.push_str(&format!("        allow Actor{a} read, create on Store0\n"));
+    }
+    out.push_str("    }\n    flows Service0 {\n");
+    for i in 0..flows {
+        let actor = format!("Actor{}", i % actors);
+        let field = format!("Field{}", i % fields);
+        match i % 3 {
+            0 => out.push_str(&format!(
+                "        {}: collect {actor} {{ {field} }} for \"step {i}\"\n",
+                i + 1
+            )),
+            1 => out.push_str(&format!(
+                "        {}: create {actor} -> Store0 {{ {field} }} for \"step {i}\"\n",
+                i + 1
+            )),
+            _ => out.push_str(&format!(
+                "        {}: read {actor} <- Store0 {{ {field} }} for \"step {i}\"\n",
+                i + 1
+            )),
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any generated model parses, and rendering + re-parsing preserves the
+    /// element counts and the generated LTS size.
+    #[test]
+    fn generated_models_round_trip(actors in 1usize..5, fields in 1usize..5, flows in 1usize..8) {
+        let source = synth_model(actors, fields, flows);
+        let document = parse_document(&source).expect("generated model parses");
+        prop_assert_eq!(document.system.catalog().actor_count(), actors);
+        prop_assert_eq!(document.system.catalog().field_count(), fields);
+        prop_assert_eq!(document.system.dataflows().flow_count(), flows);
+
+        let rendered = render_document(&document);
+        let reparsed = parse_document(&rendered).expect("rendered model parses");
+        prop_assert_eq!(reparsed.system.catalog().actor_count(), actors);
+        prop_assert_eq!(reparsed.system.catalog().field_count(), fields);
+        prop_assert_eq!(reparsed.system.dataflows().flow_count(), flows);
+
+        let lts_a = document.system.generate_lts().expect("original generates");
+        let lts_b = reparsed.system.generate_lts().expect("round-trip generates");
+        prop_assert_eq!(lts_a.state_count(), lts_b.state_count());
+        prop_assert_eq!(lts_a.transition_count(), lts_b.transition_count());
+    }
+
+    /// Rendering is idempotent: rendering the re-parsed document yields the
+    /// same text as rendering the original document.
+    #[test]
+    fn rendering_is_idempotent(actors in 1usize..4, fields in 1usize..4, flows in 1usize..6) {
+        let source = synth_model(actors, fields, flows);
+        let document = parse_document(&source).expect("generated model parses");
+        let once = render_document(&document);
+        let twice = render_document(&parse_document(&once).expect("re-parses"));
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the formal model relies on.
+
+use privacy_mde::access::{AccessControlList, AccessPolicy, FieldScope, Grant, Permission};
+use privacy_mde::anonymity::{value_risk, Hierarchy, KAnonymizer, ValueRiskPolicy};
+use privacy_mde::lts::{PrivacyState, VarSpace};
+use privacy_mde::model::{
+    ActorId, Dataset, DatastoreId, FieldId, Record, Sensitivity, SensitivityProfile,
+};
+use proptest::prelude::*;
+
+fn actor_ids(count: usize) -> Vec<ActorId> {
+    (0..count).map(|i| ActorId::new(format!("actor-{i}"))).collect()
+}
+
+fn field_ids(count: usize) -> Vec<FieldId> {
+    (0..count).map(|i| FieldId::new(format!("field-{i}"))).collect()
+}
+
+proptest! {
+    /// Every (actor, field, kind) variable has a unique bit index and the
+    /// index round-trips back to the same variable.
+    #[test]
+    fn var_space_bit_indices_are_a_bijection(actors in 1usize..6, fields in 1usize..6) {
+        let space = VarSpace::new(actor_ids(actors), field_ids(fields));
+        prop_assert_eq!(space.variable_count(), 2 * actors * fields);
+        let mut seen = std::collections::BTreeSet::new();
+        for (actor, field) in space.pairs().map(|(a, f)| (a.clone(), f.clone())).collect::<Vec<_>>() {
+            for kind in [privacy_mde::lts::space::VarKind::Has, privacy_mde::lts::space::VarKind::Could] {
+                let bit = space.bit_index(&actor, &field, kind).unwrap();
+                prop_assert!(bit < space.variable_count());
+                prop_assert!(seen.insert(bit));
+                let (a, f, k) = space.variable_at(bit).unwrap();
+                prop_assert_eq!((a.clone(), f.clone(), k), (actor.clone(), field.clone(), kind));
+            }
+        }
+    }
+
+    /// Setting a state variable affects exactly that variable, and union /
+    /// subset behave like set operations.
+    #[test]
+    fn privacy_state_set_and_union_laws(
+        actors in 1usize..5,
+        fields in 1usize..5,
+        picks in proptest::collection::vec((0usize..5, 0usize..5, proptest::bool::ANY), 0..12),
+    ) {
+        let space = VarSpace::new(actor_ids(actors), field_ids(fields));
+        let mut state = PrivacyState::absolute(&space);
+        let mut expected_true = std::collections::BTreeSet::new();
+        for (a, f, has) in picks {
+            let actor = ActorId::new(format!("actor-{}", a % actors));
+            let field = FieldId::new(format!("field-{}", f % fields));
+            if has {
+                state.set_has(&space, &actor, &field, true);
+            } else {
+                state.set_could(&space, &actor, &field, true);
+            }
+            expected_true.insert((actor, field, has));
+        }
+        prop_assert_eq!(state.count_true(), expected_true.len());
+
+        // Union with the absolute state is the identity; every state is a
+        // subset of its union with anything.
+        let absolute = PrivacyState::absolute(&space);
+        prop_assert_eq!(&absolute.union(&state), &state);
+        prop_assert!(state.is_subset_of(&state.union(&absolute)));
+        prop_assert!(absolute.is_subset_of(&state));
+    }
+
+    /// Sensitivity clamping always lands in [0, 1] and max_over never exceeds
+    /// the declared maximum.
+    #[test]
+    fn sensitivity_profile_max_is_bounded(values in proptest::collection::vec(-2.0f64..3.0, 1..10)) {
+        let mut profile = SensitivityProfile::new();
+        let mut max_declared: f64 = 0.0;
+        let fields: Vec<FieldId> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let field = FieldId::new(format!("f{i}"));
+                let clamped = Sensitivity::clamped(*v);
+                max_declared = max_declared.max(clamped.value());
+                profile.set(field.clone(), clamped);
+                field
+            })
+            .collect();
+        let max = profile.max_over(fields.iter());
+        prop_assert!((0.0..=1.0).contains(&max.value()));
+        prop_assert!((max.value() - max_declared).abs() < 1e-12);
+    }
+
+    /// Revoking a permission always removes the ability it granted, and never
+    /// grants anything new.
+    #[test]
+    fn acl_revoke_is_sound(grants in proptest::collection::vec((0usize..4, 0usize..3, 0usize..3), 1..12)) {
+        let actors = actor_ids(4);
+        let stores: Vec<DatastoreId> =
+            (0..3).map(|i| DatastoreId::new(format!("store-{i}"))).collect();
+        let perms = [Permission::Read, Permission::Create, Permission::Delete];
+        let mut acl = AccessControlList::new();
+        for (a, s, p) in &grants {
+            acl.grant(Grant::new(
+                actors[*a].clone(),
+                stores[*s].clone(),
+                FieldScope::all(),
+                [perms[*p]],
+            ));
+        }
+        let policy = AccessPolicy::from_parts(acl.clone(), Default::default());
+        let field = FieldId::new("x");
+
+        // Pick the first grant and revoke it.
+        let (a, s, p) = grants[0];
+        let mut revoked_acl = acl.clone();
+        revoked_acl.revoke(&actors[a], perms[p], &stores[s]);
+        let revoked = AccessPolicy::from_parts(revoked_acl, Default::default());
+
+        prop_assert!(policy.can(&actors[a], perms[p], &stores[s], &field));
+        prop_assert!(!revoked.can(&actors[a], perms[p], &stores[s], &field));
+        // Nothing new is allowed after a revocation.
+        for actor in &actors {
+            for store in &stores {
+                for perm in perms {
+                    if revoked.can(actor, perm, store, &field) {
+                        prop_assert!(policy.can(actor, perm, store, &field));
+                    }
+                }
+            }
+        }
+    }
+
+    /// k-anonymisation either fails or produces a release in which every
+    /// equivalence class has at least k members and no record was invented.
+    #[test]
+    fn k_anonymisation_postconditions(
+        ages in proptest::collection::vec(18i64..90, 2..25),
+        k in 1usize..6,
+    ) {
+        let age = FieldId::new("Age");
+        let data = Dataset::from_records(
+            [age.clone()],
+            ages.iter().map(|a| Record::new().with("Age", *a)),
+        );
+        let anonymiser = KAnonymizer::new(k)
+            .with_hierarchy(age.clone(), Hierarchy::numeric([5.0, 10.0, 20.0, 40.0]));
+        let result = anonymiser.anonymise(&data, &[age.clone()]).unwrap();
+        prop_assert!(result.is_k_anonymous());
+        prop_assert!(result.data().len() + result.suppressed().len() == data.len());
+        prop_assert!((0.0..=1.0).contains(&result.suppression_rate()));
+    }
+
+    /// Value risk is always a probability, a record's own value always counts
+    /// towards its frequency (so the risk is at least `1 / |class|`), and the
+    /// frequency never exceeds the class size.
+    #[test]
+    fn value_risk_scores_are_well_formed(
+        rows in proptest::collection::vec((20i64..40, 150i64..200, 50.0f64..120.0), 2..20),
+        tolerance in 0.0f64..10.0,
+    ) {
+        let age = FieldId::new("Age");
+        let height = FieldId::new("Height");
+        let weight = FieldId::new("Weight");
+        let release = Dataset::from_records(
+            [age.clone(), height.clone(), weight.clone()],
+            rows.iter().map(|(a, h, w)| {
+                // Coarse bands as the anonymised view.
+                Record::new()
+                    .with("Age", privacy_mde::model::Value::interval((a / 10 * 10) as f64, (a / 10 * 10 + 10) as f64))
+                    .with("Height", privacy_mde::model::Value::interval((h / 20 * 20) as f64, (h / 20 * 20 + 20) as f64))
+                    .with("Weight", *w)
+            }),
+        );
+        let policy = ValueRiskPolicy::new("Weight", tolerance, 0.9).unwrap();
+        let none = value_risk(&release, &[], &policy).unwrap();
+        let fewer = value_risk(&release, &[age.clone()], &policy).unwrap();
+        let more = value_risk(&release, &[age.clone(), height.clone()], &policy).unwrap();
+        for report in [&none, &fewer, &more] {
+            prop_assert_eq!(report.records().len(), release.len());
+            prop_assert!(report.violation_count() <= release.len());
+            for record in report.records() {
+                prop_assert!((0.0..=1.0).contains(&record.risk()));
+                prop_assert!(record.frequency() >= 1, "a record always matches itself");
+                prop_assert!(record.frequency() <= record.class_size());
+                prop_assert!(record.risk() + 1e-12 >= 1.0 / record.class_size() as f64);
+            }
+        }
+        // With nothing visible there is a single class covering the whole
+        // release.
+        prop_assert!(none.records().iter().all(|r| r.class_size() == release.len()));
+        // Classes only shrink as more quasi-identifiers become visible.
+        for (a, b) in fewer.records().iter().zip(more.records().iter()) {
+            prop_assert!(b.class_size() <= a.class_size());
+        }
+    }
+}
