@@ -67,9 +67,7 @@ pub enum AttributePredicate {
 impl AttributePredicate {
     fn holds(&self, attributes: &BTreeMap<String, AttributeValue>) -> bool {
         match self {
-            AttributePredicate::Equals(name, expected) => {
-                attributes.get(name) == Some(expected)
-            }
+            AttributePredicate::Equals(name, expected) => attributes.get(name) == Some(expected),
             AttributePredicate::AtLeast(name, minimum) => matches!(
                 attributes.get(name),
                 Some(AttributeValue::Number(actual)) if actual >= minimum
@@ -169,10 +167,7 @@ impl AbacPolicy {
         name: impl Into<String>,
         value: impl Into<AttributeValue>,
     ) -> &mut Self {
-        self.actor_attributes
-            .entry(actor.into())
-            .or_default()
-            .insert(name.into(), value.into());
+        self.actor_attributes.entry(actor.into()).or_default().insert(name.into(), value.into());
         self
     }
 
@@ -233,10 +228,7 @@ impl AbacPolicy {
             rule.permissions.contains(&permission)
                 && rule.covers_field(field)
                 && rule.actor_predicates.iter().all(|p| p.holds(actor_attributes))
-                && rule
-                    .datastore_predicates
-                    .iter()
-                    .all(|p| p.holds(datastore_attributes))
+                && rule.datastore_predicates.iter().all(|p| p.holds(datastore_attributes))
         })
     }
 
@@ -324,13 +316,11 @@ mod tests {
     #[test]
     fn field_restrictions_and_presence_predicates() {
         let mut policy = AbacPolicy::new();
-        policy
-            .set_actor_attribute("Auditor", "badge", true)
-            .add_rule(
-                AbacRule::new("audit-names", [Permission::Read])
-                    .when_actor(AttributePredicate::Present("badge".into()))
-                    .on_fields([FieldId::new("Name")]),
-            );
+        policy.set_actor_attribute("Auditor", "badge", true).add_rule(
+            AbacRule::new("audit-names", [Permission::Read])
+                .when_actor(AttributePredicate::Present("badge".into()))
+                .on_fields([FieldId::new("Name")]),
+        );
         assert!(policy.allows(
             &ActorId::new("Auditor"),
             Permission::Read,
@@ -373,13 +363,7 @@ mod tests {
             AttributePredicate::AtLeast("clearance".into(), 2).to_string(),
             "clearance >= 2"
         );
-        assert_eq!(
-            AttributePredicate::Present("badge".into()).to_string(),
-            "has badge"
-        );
-        assert_eq!(
-            AttributePredicate::Equals("d".into(), "x".into()).to_string(),
-            "d == x"
-        );
+        assert_eq!(AttributePredicate::Present("badge".into()).to_string(), "has badge");
+        assert_eq!(AttributePredicate::Equals("d".into(), "x".into()).to_string(), "d == x");
     }
 }

@@ -38,12 +38,7 @@ impl Grant {
 
     /// Convenience constructor for a whole-store read+create grant.
     pub fn read_write_all(actor: impl Into<ActorId>, datastore: impl Into<DatastoreId>) -> Self {
-        Grant::new(
-            actor,
-            datastore,
-            FieldScope::all(),
-            [Permission::Read, Permission::Create],
-        )
+        Grant::new(actor, datastore, FieldScope::all(), [Permission::Read, Permission::Create])
     }
 
     /// The actor receiving the grant.
@@ -85,14 +80,7 @@ impl Grant {
 impl fmt::Display for Grant {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let perms: Vec<String> = self.permissions.iter().map(|p| p.to_string()).collect();
-        write!(
-            f,
-            "{} may {} on {}:{}",
-            self.actor,
-            perms.join("/"),
-            self.datastore,
-            self.scope
-        )
+        write!(f, "{} may {} on {}:{}", self.actor, perms.join("/"), self.datastore, self.scope)
     }
 }
 
@@ -170,9 +158,7 @@ impl AccessControlList {
         datastore: &DatastoreId,
         field: &FieldId,
     ) -> bool {
-        self.grants
-            .iter()
-            .any(|g| g.allows(actor, permission, datastore, field))
+        self.grants.iter().any(|g| g.allows(actor, permission, datastore, field))
     }
 
     /// The actors that hold `permission` over `field` in `datastore`.
@@ -235,12 +221,8 @@ mod tests {
 
     #[test]
     fn grant_allows_matching_access_only() {
-        let grant = Grant::new(
-            "Doctor",
-            "EHR",
-            FieldScope::fields([diagnosis()]),
-            [Permission::Read],
-        );
+        let grant =
+            Grant::new("Doctor", "EHR", FieldScope::fields([diagnosis()]), [Permission::Read]);
         assert!(grant.allows(&ActorId::new("Doctor"), Permission::Read, &ehr(), &diagnosis()));
         assert!(!grant.allows(&ActorId::new("Nurse"), Permission::Read, &ehr(), &diagnosis()));
         assert!(!grant.allows(&ActorId::new("Doctor"), Permission::Create, &ehr(), &diagnosis()));
@@ -309,7 +291,12 @@ mod tests {
         // Administrator's read access to the EHR datastore.
         let affected = acl.revoke(&ActorId::new("Administrator"), Permission::Read, &ehr());
         assert_eq!(affected, 1);
-        assert!(!acl.allows(&ActorId::new("Administrator"), Permission::Read, &ehr(), &diagnosis()));
+        assert!(!acl.allows(
+            &ActorId::new("Administrator"),
+            Permission::Read,
+            &ehr(),
+            &diagnosis()
+        ));
         // The read-only grant has become empty and is pruned entirely.
         assert_eq!(acl.len(), 1);
 

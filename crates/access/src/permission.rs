@@ -20,12 +20,8 @@ pub enum Permission {
 
 impl Permission {
     /// All permissions.
-    pub const ALL: [Permission; 4] = [
-        Permission::Read,
-        Permission::Create,
-        Permission::Delete,
-        Permission::Disclose,
-    ];
+    pub const ALL: [Permission; 4] =
+        [Permission::Read, Permission::Create, Permission::Delete, Permission::Disclose];
 }
 
 impl fmt::Display for Permission {
@@ -47,9 +43,10 @@ impl fmt::Display for Permission {
 /// of individual fields (as opposed to coarse-grained records)"*, so grants
 /// are field-granular; `FieldScope::all()` is a convenience for whole-store
 /// grants.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum FieldScope {
     /// The grant applies to every field of the datastore's schema.
+    #[default]
     All,
     /// The grant applies only to the listed fields.
     Fields(BTreeSet<FieldId>),
@@ -85,12 +82,6 @@ impl FieldScope {
             FieldScope::All => None,
             FieldScope::Fields(fields) => Some(fields),
         }
-    }
-}
-
-impl Default for FieldScope {
-    fn default() -> Self {
-        FieldScope::All
     }
 }
 

@@ -259,14 +259,11 @@ mod tests {
             .grant(Grant::read_all("Administrator", "EHR"));
         policy
             .rbac_mut()
-            .add_role(
-                Role::new("nursing")
-                    .with_grant(RoleGrant::new(
-                        "EHR",
-                        FieldScope::fields([FieldId::new("Treatment")]),
-                        [Permission::Read],
-                    )),
-            )
+            .add_role(Role::new("nursing").with_grant(RoleGrant::new(
+                "EHR",
+                FieldScope::fields([FieldId::new("Treatment")]),
+                [Permission::Read],
+            )))
             .unwrap();
         policy.rbac_mut().assign("Nurse", "nursing").unwrap();
         policy
@@ -280,10 +277,7 @@ mod tests {
         catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
         catalog.add_field(DataField::other("Treatment")).unwrap();
         catalog
-            .add_schema(DataSchema::new(
-                "EHRSchema",
-                [diagnosis(), FieldId::new("Treatment")],
-            ))
+            .add_schema(DataSchema::new("EHRSchema", [diagnosis(), FieldId::new("Treatment")]))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
         catalog
@@ -320,11 +314,8 @@ mod tests {
         assert_eq!(doctor_fields.len(), 2);
 
         // Unknown datastore yields an empty set rather than a panic.
-        let none = policy.readable_fields(
-            &ActorId::new("Doctor"),
-            &DatastoreId::new("Nowhere"),
-            &catalog,
-        );
+        let none =
+            policy.readable_fields(&ActorId::new("Doctor"), &DatastoreId::new("Nowhere"), &catalog);
         assert!(none.is_empty());
     }
 
@@ -351,9 +342,11 @@ mod tests {
     #[test]
     fn policy_delta_grant_and_counts() {
         let mut policy = AccessPolicy::new();
-        let delta = PolicyDelta::new()
-            .grant(Grant::read_all("Researcher", "AnonEHR"))
-            .revoke("Researcher", Permission::Read, "EHR");
+        let delta = PolicyDelta::new().grant(Grant::read_all("Researcher", "AnonEHR")).revoke(
+            "Researcher",
+            Permission::Read,
+            "EHR",
+        );
         assert_eq!(delta.len(), 2);
         assert!(!delta.is_empty());
         // The revoke matches no grant so only the grant is applied.

@@ -263,12 +263,7 @@ impl RbacPolicy {
 
 impl fmt::Display for RbacPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "rbac: {} roles, {} assigned actors",
-            self.roles.len(),
-            self.assignments.len()
-        )
+        write!(f, "rbac: {} roles, {} assigned actors", self.roles.len(), self.assignments.len())
     }
 }
 
@@ -286,15 +281,18 @@ mod tests {
 
     fn sample_policy() -> RbacPolicy {
         let mut rbac = RbacPolicy::new();
-        rbac.add_role(
-            Role::new("clinician")
-                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Read])),
-        )
+        rbac.add_role(Role::new("clinician").with_grant(RoleGrant::new(
+            "EHR",
+            FieldScope::all(),
+            [Permission::Read],
+        )))
         .unwrap();
         rbac.add_role(
-            Role::new("senior-clinician")
-                .inherits("clinician")
-                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Create])),
+            Role::new("senior-clinician").inherits("clinician").with_grant(RoleGrant::new(
+                "EHR",
+                FieldScope::all(),
+                [Permission::Create],
+            )),
         )
         .unwrap();
         rbac.add_role(Role::new("clerical").with_grant(RoleGrant::new(
@@ -344,11 +342,11 @@ mod tests {
     fn cyclic_inheritance_terminates() {
         let mut rbac = RbacPolicy::new();
         rbac.add_role(Role::new("a").inherits("b")).unwrap();
-        rbac.add_role(
-            Role::new("b")
-                .inherits("a")
-                .with_grant(RoleGrant::new("EHR", FieldScope::all(), [Permission::Read])),
-        )
+        rbac.add_role(Role::new("b").inherits("a").with_grant(RoleGrant::new(
+            "EHR",
+            FieldScope::all(),
+            [Permission::Read],
+        )))
         .unwrap();
         rbac.assign("X", "a").unwrap();
         // Cycle a -> b -> a must not loop forever and permissions from both

@@ -185,10 +185,7 @@ mod tests {
         let hierarchy = Hierarchy::categorical([level1]);
         assert_eq!(hierarchy.level_count(), 3);
         assert_eq!(hierarchy.generalise(&Value::from("flu"), 0), Value::from("flu"));
-        assert_eq!(
-            hierarchy.generalise(&Value::from("flu"), 1),
-            Value::from("respiratory")
-        );
+        assert_eq!(hierarchy.generalise(&Value::from("flu"), 1), Value::from("respiratory"));
         // Unknown categories are suppressed rather than leaked.
         assert_eq!(hierarchy.generalise(&Value::from("unknown"), 1), Value::Null);
         assert_eq!(hierarchy.generalise(&Value::from("flu"), 2), Value::Null);

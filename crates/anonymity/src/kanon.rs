@@ -51,10 +51,7 @@ pub fn equivalence_classes(dataset: &Dataset, visible: &[FieldId]) -> Vec<Equiva
         let key = record.class_key(visible.iter());
         classes.entry(key).or_default().push(index);
     }
-    classes
-        .into_iter()
-        .map(|(key, members)| EquivalenceClass { key, members })
-        .collect()
+    classes.into_iter().map(|(key, members)| EquivalenceClass { key, members }).collect()
 }
 
 /// The outcome of anonymising a dataset.
@@ -188,10 +185,8 @@ impl KAnonymizer {
 
         // Enumerate level combinations in order of increasing total level so
         // the least general (most useful) solution is found first.
-        let max_levels: Vec<usize> = quasi_identifiers
-            .iter()
-            .map(|f| self.hierarchies[f].max_level())
-            .collect();
+        let max_levels: Vec<usize> =
+            quasi_identifiers.iter().map(|f| self.hierarchies[f].max_level()).collect();
         let mut best: Option<(Vec<usize>, Dataset, Vec<usize>)> = None;
         let total_max: usize = max_levels.iter().sum();
 
@@ -218,10 +213,7 @@ impl KAnonymizer {
         }
 
         let (levels, data, suppressed) = best.ok_or_else(|| {
-            ModelError::invalid(format!(
-                "cannot reach {}-anonymity without suppression",
-                self.k
-            ))
+            ModelError::invalid(format!("cannot reach {}-anonymity without suppression", self.k))
         })?;
         if !suppressed.is_empty() && !self.allow_suppression {
             return Err(ModelError::invalid(format!(
@@ -271,7 +263,12 @@ fn remove_records(dataset: &Dataset, indices: &[usize]) -> Dataset {
 /// Enumerates every level vector bounded by `max_levels` whose components sum
 /// to `total`.
 fn combinations_with_sum(max_levels: &[usize], total: usize) -> Vec<Vec<usize>> {
-    fn recurse(max_levels: &[usize], total: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        max_levels: &[usize],
+        total: usize,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if max_levels.is_empty() {
             if total == 0 {
                 out.push(prefix.clone());
@@ -295,12 +292,7 @@ fn combinations_with_sum(max_levels: &[usize], total: usize) -> Vec<Vec<usize>> 
 /// `f_anon` so the release can be loaded into an anonymised datastore whose
 /// schema uses the `_anon` field identifiers.
 pub fn release_with_anon_columns(result: &AnonymisationResult) -> Dataset {
-    let columns: Vec<FieldId> = result
-        .data()
-        .columns()
-        .iter()
-        .map(FieldId::anonymised)
-        .collect();
+    let columns: Vec<FieldId> = result.data().columns().iter().map(FieldId::anonymised).collect();
     let mut release = Dataset::new(columns);
     for record in result.data().iter() {
         let mut renamed = Record::new();
@@ -473,7 +465,7 @@ mod tests {
             .unwrap();
         assert!(result.is_k_anonymous());
         assert_eq!(result.suppression_rate(), 0.0);
-        assert!(result.to_string().contains("2-anonymised") == false);
+        assert!(!result.to_string().contains("2-anonymised"));
     }
 
     #[test]

@@ -134,12 +134,8 @@ mod tests {
     fn table1_age_height_release_is_not_2_diverse() {
         // The Table I release violates 2-diversity under a ±5 kg closeness
         // notion, which is exactly why the paper's value risk flags it.
-        let rows = [
-            (30.0, 40.0, 100.0),
-            (30.0, 40.0, 102.0),
-            (20.0, 30.0, 110.0),
-            (20.0, 30.0, 111.0),
-        ];
+        let rows =
+            [(30.0, 40.0, 100.0), (30.0, 40.0, 102.0), (20.0, 30.0, 110.0), (20.0, 30.0, 111.0)];
         let data = release(&rows);
         assert!(!satisfies_l_diversity(&data, &[age()], &weight(), 2, 5.0));
     }

@@ -19,7 +19,7 @@
 //!   total-variation for categorical values), guarding against the skewness
 //!   attacks that l-diversity still permits;
 //! * [`pseudonym`] — deterministic tokenisation of direct identifiers;
-//! * [`value_risk`] — the paper's per-record value-risk score
+//! * [`value_risk`](mod@value_risk) — the paper's per-record value-risk score
 //!   `risk(r, f) = frequency(f) / size(s)` (Table I) and violation counting
 //!   against a designer policy such as *"weight must not be predictable to
 //!   ±5 kg with ≥90 % confidence"*;
@@ -63,8 +63,8 @@ pub use kanon::{AnonymisationResult, EquivalenceClass, KAnonymizer};
 pub use ldiversity::{l_diversity_of, satisfies_l_diversity};
 pub use pseudonym::Pseudonymizer;
 pub use tcloseness::{satisfies_t_closeness, t_closeness_of};
-pub use utility::{UtilityReport, utility_report};
-pub use value_risk::{RecordRisk, ValueRiskPolicy, ValueRiskReport, value_risk};
+pub use utility::{utility_report, UtilityReport};
+pub use value_risk::{value_risk, RecordRisk, ValueRiskPolicy, ValueRiskReport};
 
 /// Convenience re-export of the most commonly used items.
 pub mod prelude {

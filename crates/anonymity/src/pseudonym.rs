@@ -142,9 +142,6 @@ mod tests {
 
     #[test]
     fn display_mentions_the_prefix() {
-        assert_eq!(
-            Pseudonymizer::new(0, "t-").to_string(),
-            "pseudonymiser (prefix `t-`)"
-        );
+        assert_eq!(Pseudonymizer::new(0, "t-").to_string(), "pseudonymiser (prefix `t-`)");
     }
 }

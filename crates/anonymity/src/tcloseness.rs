@@ -50,10 +50,8 @@ pub fn t_closeness_of(
     if release.is_empty() {
         return 0.0;
     }
-    let overall: Vec<Value> = release
-        .iter()
-        .filter_map(|record| record.get(sensitive).cloned())
-        .collect();
+    let overall: Vec<Value> =
+        release.iter().filter_map(|record| record.get(sensitive).cloned()).collect();
     if overall.is_empty() {
         return 0.0;
     }
@@ -117,10 +115,7 @@ fn numeric_distribution(values: &[Value], domain: &[f64]) -> Vec<f64> {
     let mut histogram = vec![0.0; domain.len()];
     let mut count = 0.0;
     for value in values.iter().filter_map(Value::as_f64) {
-        if let Some(index) = domain
-            .iter()
-            .position(|d| (d - value).abs() < 1e-12)
-        {
+        if let Some(index) = domain.iter().position(|d| (d - value).abs() < 1e-12) {
             histogram[index] += 1.0;
             count += 1.0;
         }
@@ -242,12 +237,8 @@ mod tests {
             [
                 Record::new().with("Age", Value::interval(20.0, 30.0)).with("Diagnosis", "flu"),
                 Record::new().with("Age", Value::interval(20.0, 30.0)).with("Diagnosis", "flu"),
-                Record::new()
-                    .with("Age", Value::interval(30.0, 40.0))
-                    .with("Diagnosis", "cancer"),
-                Record::new()
-                    .with("Age", Value::interval(30.0, 40.0))
-                    .with("Diagnosis", "cancer"),
+                Record::new().with("Age", Value::interval(30.0, 40.0)).with("Diagnosis", "cancer"),
+                Record::new().with("Age", Value::interval(30.0, 40.0)).with("Diagnosis", "cancer"),
             ],
         );
         // Each class is homogeneous while the global split is 50/50 → TV = 0.5.
@@ -272,10 +263,7 @@ mod tests {
 
     #[test]
     fn distance_is_bounded_by_one() {
-        let release = numeric_release(&[
-            (20.0, 30.0, 1.0),
-            (30.0, 40.0, 1000.0),
-        ]);
+        let release = numeric_release(&[(20.0, 30.0, 1.0), (30.0, 40.0, 1000.0)]);
         let t = t_closeness_of(&release, &[age()], &weight());
         assert!(t <= 1.0 + 1e-9);
         assert!(t > 0.0);

@@ -167,10 +167,7 @@ impl ValueRiskReport {
 
     /// The records whose risk reaches the policy's confidence threshold.
     pub fn violations(&self) -> Vec<&RecordRisk> {
-        self.records
-            .iter()
-            .filter(|r| r.risk() >= self.policy.confidence())
-            .collect()
+        self.records.iter().filter(|r| r.risk() >= self.policy.confidence()).collect()
     }
 
     /// Number of violating records (the paper's "Violations" row).
@@ -251,11 +248,7 @@ pub fn value_risk(
                 .iter()
                 .filter(|(_, other)| other.is_close_to(value, policy.tolerance()))
                 .count();
-            records.push(RecordRisk {
-                record_index: *index,
-                class_size: class.len(),
-                frequency,
-            });
+            records.push(RecordRisk { record_index: *index, class_size: class.len(), frequency });
         }
     }
 
@@ -320,8 +313,7 @@ mod tests {
         let release = table1_release();
         let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
         let report = value_risk(&release, &[height()], &policy).unwrap();
-        let fractions: Vec<String> =
-            report.records().iter().map(RecordRisk::as_fraction).collect();
+        let fractions: Vec<String> = report.records().iter().map(RecordRisk::as_fraction).collect();
         assert_eq!(fractions, vec!["2/4", "2/4", "2/4", "2/4", "1/2", "1/2"]);
         assert_eq!(report.violation_count(), 0);
     }
@@ -331,8 +323,7 @@ mod tests {
         let release = table1_release();
         let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
         let report = value_risk(&release, &[age()], &policy).unwrap();
-        let fractions: Vec<String> =
-            report.records().iter().map(RecordRisk::as_fraction).collect();
+        let fractions: Vec<String> = report.records().iter().map(RecordRisk::as_fraction).collect();
         assert_eq!(fractions, vec!["2/2", "2/2", "3/4", "3/4", "1/4", "3/4"]);
         assert_eq!(report.violation_count(), 2);
     }
@@ -342,8 +333,7 @@ mod tests {
         let release = table1_release();
         let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
         let report = value_risk(&release, &[age(), height()], &policy).unwrap();
-        let fractions: Vec<String> =
-            report.records().iter().map(RecordRisk::as_fraction).collect();
+        let fractions: Vec<String> = report.records().iter().map(RecordRisk::as_fraction).collect();
         assert_eq!(fractions, vec!["2/2", "2/2", "2/2", "2/2", "1/2", "1/2"]);
         assert_eq!(report.violation_count(), 4);
         assert_eq!(report.violation_rate(), 4.0 / 6.0);
@@ -363,10 +353,7 @@ mod tests {
     fn unknown_target_is_an_error() {
         let release = table1_release();
         let policy = ValueRiskPolicy::new("BloodPressure", 5.0, 0.9).unwrap();
-        assert!(matches!(
-            value_risk(&release, &[age()], &policy),
-            Err(ModelError::Unknown { .. })
-        ));
+        assert!(matches!(value_risk(&release, &[age()], &policy), Err(ModelError::Unknown { .. })));
     }
 
     #[test]
@@ -376,8 +363,7 @@ mod tests {
         let report = value_risk(&release, &[age(), height()], &policy).unwrap();
         // Record 5 (weight 110) is alone with record 4 (weight 80): only its
         // own value matches exactly.
-        let fractions: Vec<String> =
-            report.records().iter().map(RecordRisk::as_fraction).collect();
+        let fractions: Vec<String> = report.records().iter().map(RecordRisk::as_fraction).collect();
         assert_eq!(fractions, vec!["1/2", "1/2", "1/2", "1/2", "1/2", "1/2"]);
         assert_eq!(report.violation_count(), 6);
     }

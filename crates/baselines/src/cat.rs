@@ -76,9 +76,7 @@ pub fn record_disclosure_risks(release: &Dataset, knowledge: &BackgroundKnowledg
         .map(|(index, _)| index)
         .collect();
     let risk = if matching.is_empty() { 0.0 } else { 1.0 / matching.len() as f64 };
-    (0..release.len())
-        .map(|index| if matching.contains(&index) { risk } else { 0.0 })
-        .collect()
+    (0..release.len()).map(|index| if matching.contains(&index) { risk } else { 0.0 }).collect()
 }
 
 /// The indices of the records whose disclosure risk reaches `threshold`.
@@ -140,9 +138,7 @@ mod tests {
 
     #[test]
     fn knowing_more_fields_can_single_out_a_record() {
-        let knowledge = BackgroundKnowledge::none()
-            .knows("Age", 25i64)
-            .knows("Height", 165i64);
+        let knowledge = BackgroundKnowledge::none().knows("Age", 25i64).knows("Height", 165i64);
         let risks = record_disclosure_risks(&release(), &knowledge);
         assert_eq!(risks[3], 1.0);
         assert_eq!(risks.iter().filter(|r| **r > 0.0).count(), 1);

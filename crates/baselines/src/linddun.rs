@@ -100,21 +100,15 @@ impl fmt::Display for Threat {
 ///   threat.
 pub fn threat_catalogue_pass(catalog: &Catalog, system: &SystemDataFlows) -> Vec<Threat> {
     let mut threats = Vec::new();
-    let anonymised: BTreeSet<_> = catalog
-        .datastores()
-        .filter(|d| d.is_anonymised())
-        .map(|d| d.id().clone())
-        .collect();
+    let anonymised: BTreeSet<_> =
+        catalog.datastores().filter(|d| d.is_anonymised()).map(|d| d.id().clone()).collect();
 
     for diagram in system.diagrams() {
         let service = diagram.service().clone();
         for flow in diagram.iter() {
             let element = format!("{} -> {}", flow.from(), flow.to());
-            let kinds: Vec<FieldKind> = flow
-                .fields()
-                .iter()
-                .filter_map(|f| catalog.field(f).map(|d| d.kind()))
-                .collect();
+            let kinds: Vec<FieldKind> =
+                flow.fields().iter().filter_map(|f| catalog.field(f).map(|d| d.kind())).collect();
 
             if kinds.contains(&FieldKind::Identifier) {
                 threats.push(Threat {
@@ -224,9 +218,7 @@ mod tests {
             .add_schema(DataSchema::new("AnonSchema", [FieldId::new("Diagnosis_anon")]))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
-        catalog
-            .add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema"))
-            .unwrap();
+        catalog.add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema")).unwrap();
         catalog
             .add_service(privacy_model::ServiceDecl::new(
                 "MedicalService",
@@ -254,8 +246,7 @@ mod tests {
         let threats = threat_catalogue_pass(&catalog, &system);
         assert!(!threats.is_empty());
 
-        let categories: BTreeSet<ThreatCategory> =
-            threats.iter().map(Threat::category).collect();
+        let categories: BTreeSet<ThreatCategory> = threats.iter().map(Threat::category).collect();
         assert!(categories.contains(&ThreatCategory::Identifiability));
         assert!(categories.contains(&ThreatCategory::Linkability));
         assert!(categories.contains(&ThreatCategory::InformationDisclosure));

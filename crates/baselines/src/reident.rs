@@ -56,7 +56,7 @@ pub fn prosecutor_risk(release: &Dataset, quasi_identifiers: &[FieldId]) -> Reid
     let mut per_record = Vec::with_capacity(total);
     for class in &classes {
         let risk = 1.0 / class.len() as f64;
-        per_record.extend(std::iter::repeat(risk).take(class.len()));
+        per_record.extend(std::iter::repeat_n(risk, class.len()));
     }
     summarise("prosecutor", &per_record)
 }
@@ -158,10 +158,8 @@ mod tests {
 
     #[test]
     fn unique_records_have_maximal_prosecutor_risk() {
-        let unique = Dataset::from_records(
-            [age()],
-            (0..4).map(|i| Record::new().with("Age", i as i64)),
-        );
+        let unique =
+            Dataset::from_records([age()], (0..4).map(|i| Record::new().with("Age", i as i64)));
         let risk = prosecutor_risk(&unique, &[age()]);
         assert_eq!(risk.max_risk, 1.0);
         assert_eq!(risk.average_risk, 1.0);
@@ -212,10 +210,8 @@ mod tests {
         assert_eq!(risk.average_risk, 0.5);
         assert_eq!(risk.at_high_risk, 1.0);
 
-        let unique = Dataset::from_records(
-            [age()],
-            (0..4).map(|i| Record::new().with("Age", i as i64)),
-        );
+        let unique =
+            Dataset::from_records([age()], (0..4).map(|i| Record::new().with("Age", i as i64)));
         assert_eq!(marketer_risk(&unique, &[age()]).average_risk, 1.0);
     }
 

@@ -23,9 +23,7 @@ fn bench_lts_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("generate", format!("{actors}a_{fields}f_{variables}vars")),
             &system,
-            |b, system| {
-                b.iter(|| black_box(system.generate_lts().expect("generates")))
-            },
+            |b, system| b.iter(|| black_box(system.generate_lts().expect("generates"))),
         );
     }
     // Ablation: the potential-read exploration on a mid-sized model.
@@ -55,10 +53,8 @@ fn bench_runtime_scaling(c: &mut Criterion) {
                         system.dataflows().clone(),
                         system.policy().clone(),
                     );
-                    let mut monitor = RuntimeMonitor::new(
-                        system.catalog().clone(),
-                        system.policy().clone(),
-                    );
+                    let mut monitor =
+                        RuntimeMonitor::new(system.catalog().clone(), system.policy().clone());
                     let users: Vec<UserId> =
                         (0..20).map(|i| UserId::new(format!("u{i}"))).collect();
                     for user in &users {

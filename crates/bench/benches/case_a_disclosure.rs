@@ -9,9 +9,11 @@ use std::hint::black_box;
 
 fn bench_case_a(c: &mut Criterion) {
     let system = casestudy::healthcare().expect("fixture builds");
-    let revised = system.with_policy(system.policy().with_applied(
-        &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-    ));
+    let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+        "Administrator",
+        Permission::Read,
+        "EHR",
+    )));
     let user = casestudy::case_a_user();
     let mut group = c.benchmark_group("case_a_disclosure");
     group.sample_size(10);
@@ -37,17 +39,21 @@ fn bench_case_a(c: &mut Criterion) {
             fields: vec![casestudy::fields::diagnosis(), casestudy::fields::treatment()],
             ..ProfileGeneratorConfig::default()
         });
-        group.bench_with_input(BenchmarkId::new("analyse_population", count), &users, |b, users| {
-            let pipeline = Pipeline::new(&system);
-            b.iter(|| {
-                let mut worst = privacy_model::RiskLevel::Low;
-                for user in users {
-                    let outcome = pipeline.analyse_user(user).expect("analyses");
-                    worst = worst.max(outcome.report.overall_level());
-                }
-                black_box(worst)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("analyse_population", count),
+            &users,
+            |b, users| {
+                let pipeline = Pipeline::new(&system);
+                b.iter(|| {
+                    let mut worst = privacy_model::RiskLevel::Low;
+                    for user in users {
+                        let outcome = pipeline.analyse_user(user).expect("analyses");
+                        worst = worst.max(outcome.report.overall_level());
+                    }
+                    black_box(worst)
+                })
+            },
+        );
     }
     group.finish();
 }

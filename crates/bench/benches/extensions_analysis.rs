@@ -41,12 +41,13 @@ fn bench_compliance(c: &mut Criterion) {
         [Purpose::new("record diagnosis and treatment").unwrap()],
         4,
     );
-    policy.extend(
-        baseline_policy(system.catalog(), [], 3)
-            .iter()
-            .cloned()
-            .map(|s| privacy_compliance::Statement::new(format!("dup-{}", s.id()), s.description(), s.kind().clone())),
-    );
+    policy.extend(baseline_policy(system.catalog(), [], 3).iter().map(|s| {
+        privacy_compliance::Statement::new(
+            format!("dup-{}", s.id()),
+            s.description(),
+            s.kind().clone(),
+        )
+    }));
 
     let mut group = c.benchmark_group("extensions_compliance");
     group.sample_size(10);
@@ -70,35 +71,17 @@ fn bench_reident_and_tcloseness(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
 
     for records in [100usize, 1000] {
-        let data = random_health_records(
-            &RecordGeneratorConfig::with_count(records).with_seed(7),
-        );
-        let visible_sets =
-            vec![vec![], vec![height.clone()], vec![age.clone(), height.clone()]];
-        group.bench_with_input(
-            BenchmarkId::new("reident_risk", records),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    black_box(reident_risk(data, &visible_sets, &ReidentPolicy::majority()))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("t_closeness", records),
-            &data,
-            |b, data| {
-                b.iter(|| black_box(t_closeness_of(data, &[age.clone(), height.clone()], &weight)))
-            },
-        );
+        let data = random_health_records(&RecordGeneratorConfig::with_count(records).with_seed(7));
+        let visible_sets = vec![vec![], vec![height.clone()], vec![age.clone(), height.clone()]];
+        group.bench_with_input(BenchmarkId::new("reident_risk", records), &data, |b, data| {
+            b.iter(|| black_box(reident_risk(data, &visible_sets, &ReidentPolicy::majority())))
+        });
+        group.bench_with_input(BenchmarkId::new("t_closeness", records), &data, |b, data| {
+            b.iter(|| black_box(t_closeness_of(data, &[age.clone(), height.clone()], &weight)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_interchange,
-    bench_compliance,
-    bench_reident_and_tcloseness
-);
+criterion_group!(benches, bench_interchange, bench_compliance, bench_reident_and_tcloseness);
 criterion_main!(benches);

@@ -23,9 +23,7 @@ fn bench_fig1(c: &mut Criterion) {
         b.iter(|| black_box(system.validate().expect("validates")))
     });
 
-    group.bench_function("export_dot", |b| {
-        b.iter(|| black_box(system_to_dot(system.dataflows())))
-    });
+    group.bench_function("export_dot", |b| b.iter(|| black_box(system_to_dot(system.dataflows()))));
 
     group.finish();
 }

@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privacy_anonymity::{value_risk, Hierarchy, KAnonymizer, ValueRiskPolicy};
 use privacy_model::FieldId;
-use privacy_synth::{random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig};
+use privacy_synth::{
+    random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
+};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
@@ -25,9 +27,7 @@ fn bench_table1(c: &mut Criterion) {
             .with_hierarchy(height.clone(), Hierarchy::numeric([20.0, 40.0]));
         b.iter(|| {
             black_box(
-                anonymiser
-                    .anonymise(&raw, &[age.clone(), height.clone()])
-                    .expect("anonymises"),
+                anonymiser.anonymise(&raw, &[age.clone(), height.clone()]).expect("anonymises"),
             )
         })
     });
@@ -50,24 +50,15 @@ fn bench_table1(c: &mut Criterion) {
         let anonymiser = KAnonymizer::new(2)
             .with_hierarchy(age.clone(), Hierarchy::numeric([10.0, 20.0, 40.0]))
             .with_hierarchy(height.clone(), Hierarchy::numeric([20.0, 40.0]));
-        group.bench_with_input(
-            BenchmarkId::new("anonymise_and_score", count),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let result = anonymiser
-                        .anonymise(data, &[age.clone(), height.clone()])
-                        .expect("anonymises");
-                    let report = value_risk(
-                        result.data(),
-                        &[age.clone(), height.clone()],
-                        &policy,
-                    )
+        group.bench_with_input(BenchmarkId::new("anonymise_and_score", count), &data, |b, data| {
+            b.iter(|| {
+                let result =
+                    anonymiser.anonymise(data, &[age.clone(), height.clone()]).expect("anonymises");
+                let report = value_risk(result.data(), &[age.clone(), height.clone()], &policy)
                     .expect("scores");
-                    black_box(report.violation_count())
-                })
-            },
-        );
+                black_box(report.violation_count())
+            })
+        });
     }
     group.finish();
 }

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("==========================================================");
     println!(" Fig. 2 — state-based model of user privacy");
     println!("==========================================================");
-    let medical_lts =
-        system.generate_lts_with(&GeneratorConfig::for_service("MedicalService"))?;
+    let medical_lts = system.generate_lts_with(&GeneratorConfig::for_service("MedicalService"))?;
     println!(
         "state variables per state: {} (paper: 2 x 5 actors x 6 fields = 60 for its field set; \
          ours also registers the Table I attributes and pseudonymised counterparts)",
@@ -58,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (_, transition) in medical_lts.transitions() {
         println!("  {transition}");
     }
-    println!(
-        "(Graphviz available: {} characters of DOT)\n",
-        lts_to_dot(&medical_lts).len()
-    );
+    println!("(Graphviz available: {} characters of DOT)\n", lts_to_dot(&medical_lts).len());
 
     println!("==========================================================");
     println!(" Table I — risk values for 2-anonymisation data records");
@@ -81,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let release = table1_release();
     let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
-    let by_height = value_risk(&release, &[height.clone()], &policy)?;
-    let by_age = value_risk(&release, &[age.clone()], &policy)?;
+    let by_height = value_risk(&release, std::slice::from_ref(&height), &policy)?;
+    let by_age = value_risk(&release, std::slice::from_ref(&age), &policy)?;
     let by_both = value_risk(&release, &[age.clone(), height.clone()], &policy)?;
     println!(
         "{:<10} {:<12} {:<8} | {:>11} {:>9} {:>16}",
@@ -134,10 +130,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome_a = Pipeline::new(&system).analyse_user(&user)?;
     let disclosure = outcome_a.report.disclosure().expect("disclosure analysis ran");
     println!("{disclosure}");
-    let before = disclosure.risk_for(
-        &casestudy::actors::administrator(),
-        &casestudy::fields::diagnosis(),
-    );
+    let before =
+        disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis());
     let revised = system.with_policy(system.policy().with_applied(
         &privacy_access::PolicyDelta::new().revoke(
             "Administrator",
@@ -166,10 +160,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", prosecutor_risk(&release, &[age.clone(), height.clone()]));
     println!("{}", marketer_risk(&release, &[age, height]));
-    println!(
-        "value-risk violations (this paper's measure): {:?}",
-        pseudonym.violation_series()
-    );
+    println!("value-risk violations (this paper's measure): {:?}", pseudonym.violation_series());
 
     println!("\nall figures and tables regenerated successfully");
     Ok(())

@@ -15,8 +15,7 @@ use privacy_access::{AccessControlList, AccessPolicy, Grant};
 use privacy_core::PrivacySystem;
 use privacy_dataflow::DiagramBuilder;
 use privacy_model::{
-    Actor, ActorId, Catalog, DataField, DataSchema, DatastoreDecl, FieldId, ModelError,
-    ServiceDecl,
+    Actor, ActorId, Catalog, DataField, DataSchema, DatastoreDecl, FieldId, ModelError, ServiceDecl,
 };
 
 /// Builds a synthetic system with `actors` actors, `fields` fields and one
@@ -53,10 +52,8 @@ pub fn scaled_system(actors: usize, fields: usize) -> Result<PrivacySystem, Mode
     let mut builder = DiagramBuilder::new("Service")
         .collect(collector.clone(), field_ids.clone(), "intake", 1)?
         .create(collector.clone(), "Store", field_ids.clone(), "persist", 2)?;
-    let mut order = 3;
-    for actor in actor_ids.iter().skip(1) {
+    for (order, actor) in (3..).zip(actor_ids.iter().skip(1)) {
         builder = builder.read(actor.clone(), "Store", field_ids.clone(), "process", order)?;
-        order += 1;
     }
 
     let mut system_builder = PrivacySystem::builder();

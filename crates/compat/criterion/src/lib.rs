@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crate registry, so this vendored
+//! shim provides the subset of Criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! deliberately simple measurement loop (median of wall-clock samples, no
+//! outlier analysis, no HTML reports).
+//!
+//! Behavioural notes:
+//!
+//! * `cargo bench` runs each benchmark for up to `sample_size` samples or the
+//!   group's `measurement_time`, whichever is hit first, and prints
+//!   `<name> ... median <t> (<n> samples)`.
+//! * `cargo test` passes `--test` to `harness = false` bench binaries; in
+//!   that mode every benchmark body runs **once** as a smoke test.
+//! * A single positional CLI argument is treated as a substring filter over
+//!   benchmark names, like real Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterised benchmark: a function name plus a parameter
+/// rendered with `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: &'a mut Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly, recording one wall-clock sample per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // One untimed warm-up call, then timed samples.
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < self.budget {
+            let sample = Instant::now();
+            black_box(routine());
+            self.samples.push(sample.elapsed());
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// Run every body once (`cargo test` on a `harness = false` bench).
+    Test,
+}
+
+/// Entry point: owns the CLI configuration shared by every group.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Bench, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Applies the harness CLI arguments (`--test`, a name filter); flags the
+    /// shim does not model (`--bench`, `--save-baseline`, …) are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self.configure_from(std::env::args().skip(1))
+    }
+
+    fn configure_from(mut self, mut args: impl Iterator<Item = String>) -> Self {
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.mode = Mode::Test,
+                "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--sample-size"
+                | "--profile-time"
+                | "--output-format"
+                | "--color"
+                | "--plotting-backend"
+                | "--sampling-mode"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--nresamples" => {
+                    args.next();
+                }
+                // `--flag=value` forms carry their value with them; bare
+                // unknown flags are assumed boolean. Anything else would leak
+                // a flag's value into the name filter and silently skip every
+                // benchmark.
+                flag if flag.starts_with('-') => {}
+                name => self.filter = Some(name.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        routine: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let name = name.to_string();
+        self.benchmark_group(name.clone()).run(&name, 100, Duration::from_secs(5), routine);
+        self
+    }
+
+    /// Prints the closing summary (a no-op in the shim; kept for API parity).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget. The shim always does exactly one warm-up
+    /// call, so this only exists for API parity.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        self.run(&id, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        self.run(&id, self.sample_size, self.measurement_time, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run(
+        &self,
+        id: &str,
+        sample_size: usize,
+        budget: Duration,
+        mut routine: impl FnMut(&mut Bencher<'_>),
+    ) {
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut bencher =
+            Bencher { mode: self.criterion.mode, samples: &mut samples, budget, sample_size };
+        routine(&mut bencher);
+        match self.criterion.mode {
+            Mode::Test => println!("{id} ... ok (ran once in test mode)"),
+            Mode::Bench => {
+                samples.sort_unstable();
+                let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+                println!("{id} ... median {median:?} ({} samples)", samples.len());
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets with a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_in_bench_mode() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Bench,
+            samples: &mut samples,
+            budget: Duration::from_millis(50),
+            sample_size: 5,
+        };
+        let mut runs = 0usize;
+        bencher.iter(|| runs += 1);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(runs, 6, "one warm-up call plus five samples");
+    }
+
+    #[test]
+    fn bencher_runs_once_in_test_mode() {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: Mode::Test,
+            samples: &mut samples,
+            budget: Duration::from_secs(1),
+            sample_size: 100,
+        };
+        let mut runs = 0usize;
+        bencher.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn value_taking_flags_do_not_leak_into_the_name_filter() {
+        let args = ["--profile-time", "10", "--output-format", "bencher"];
+        let criterion = Criterion::default().configure_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(criterion.filter, None);
+        assert_eq!(criterion.mode, Mode::Bench);
+
+        let args = ["--test", "--color=always", "generate"];
+        let criterion = Criterion::default().configure_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(criterion.filter.as_deref(), Some("generate"));
+        assert_eq!(criterion.mode, Mode::Test);
+    }
+
+    #[test]
+    fn benchmark_ids_render_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("generate", "4a_8f").to_string(), "generate/4a_8f");
+        assert_eq!(BenchmarkId::from_parameter(100).to_string(), "100");
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this vendored
+//! shim provides the subset of `rand` 0.8's API the workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and the [`Rng`] extension
+//! trait with `gen_range` (over half-open and inclusive integer / float
+//! ranges) and `gen_bool`. The generator is splitmix64 — statistically fine
+//! for synthetic-workload generation, deliberately **not** cryptographic.
+//!
+//! Determinism matters more than distribution quality here: the synthetic
+//! record/profile/workload generators promise "same seed, same output", which
+//! this shim honours (within this workspace; the streams differ from the real
+//! `rand::rngs::StdRng`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core: the only primitive is `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (e.g. `5..5` or `2.0..1.0`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0, 1], got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits onto `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, the float equivalent of `bits / 2^64`.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style multiply-shift (the mild
+/// modulo bias is irrelevant at the workspace's sample sizes, but the
+/// multiply keeps the hot path branch-free).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = end.abs_diff(start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let value = self.start + unit * (self.end - self.start);
+                // `unit < 1`, but the multiply-add can still round up to
+                // exactly `end`; the half-open contract excludes it.
+                if value < self.end {
+                    value
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                // For floats the closed upper bound is a measure-zero
+                // distinction; sample the half-open range and clamp.
+                let unit = unit_f64(rng.next_u64()) as $t;
+                (start + unit * (end - start)).clamp(start, end)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f64, f32);
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (splitmix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): one 64-bit state word, full
+            // period, passes BigCrush when used as a stream like this.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn half_open_float_range_never_returns_the_upper_bound() {
+        // An RNG pinned at u64::MAX makes `unit` as close to 1 as possible;
+        // at magnitudes where the bound's ULP exceeds the gap, the
+        // multiply-add would round to exactly `end` without the clamp.
+        struct Max;
+        impl super::RngCore for Max {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let mut rng = Max;
+        let (start, end) = (1.0e16, 1.0e16 + 2.0);
+        let value = rng.gen_range(start..end);
+        assert!((start..end).contains(&value), "{value} escaped [{start}, {end})");
+    }
+
+    #[test]
+    fn gen_range_covers_every_value_of_a_small_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_the_requested_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits} hits for p=0.3");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

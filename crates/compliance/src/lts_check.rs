@@ -38,10 +38,7 @@ use std::collections::BTreeSet;
 /// # }
 /// ```
 pub fn check_lts(lts: &Lts, policy: &PrivacyPolicy) -> ComplianceReport {
-    let outcomes = policy
-        .iter()
-        .map(|statement| check_statement(lts, statement))
-        .collect();
+    let outcomes = policy.iter().map(|statement| check_statement(lts, statement)).collect();
     ComplianceReport::new(
         format!("LTS ({} states, {} transitions)", lts.state_count(), lts.transition_count()),
         outcomes,
@@ -54,7 +51,7 @@ fn check_statement(lts: &Lts, statement: &Statement) -> StatementOutcome {
             let mut violations = Vec::new();
             for (id, transition) in lts.transitions() {
                 let label = transition.label();
-                let action_matches = action.map_or(true, |a| a == label.action());
+                let action_matches = action.is_none_or(|a| a == label.action());
                 if action_matches
                     && actors.matches(label.actor())
                     && fields.matches_any(label.fields())
@@ -182,13 +179,11 @@ mod tests {
         );
         let mut lts = Lts::new(space.clone());
         let s0 = lts.initial();
-        let s1 = lts.intern(
-            PrivacyState::absolute(&space).with_has(
-                &space,
-                &ActorId::new("Doctor"),
-                &FieldId::new("Diagnosis"),
-            ),
-        );
+        let s1 = lts.intern(PrivacyState::absolute(&space).with_has(
+            &space,
+            &ActorId::new("Doctor"),
+            &FieldId::new("Diagnosis"),
+        ));
         let s2 = lts.intern(lts.state(s1).with_has(
             &space,
             &ActorId::new("Administrator"),
@@ -197,13 +192,8 @@ mod tests {
         lts.add_transition(
             s0,
             s1,
-            TransitionLabel::new(
-                ActionKind::Collect,
-                "Doctor",
-                [FieldId::new("Diagnosis")],
-                None,
-            )
-            .with_purpose(Purpose::new("consultation").unwrap()),
+            TransitionLabel::new(ActionKind::Collect, "Doctor", [FieldId::new("Diagnosis")], None)
+                .with_purpose(Purpose::new("consultation").unwrap()),
         );
         lts.add_transition(
             s1,

@@ -180,11 +180,7 @@ pub fn forbid_non_allowed(
     Statement::new(
         id,
         description,
-        StatementKind::Forbid {
-            actors: ActorMatcher::except(allowed),
-            action: None,
-            fields,
-        },
+        StatementKind::Forbid { actors: ActorMatcher::except(allowed), action: None, fields },
     )
 }
 
@@ -237,9 +233,7 @@ mod tests {
     #[test]
     fn baseline_policy_skips_pseudonymised_fields() {
         let policy = baseline_policy(&catalog(), [], 3);
-        assert!(policy
-            .iter()
-            .all(|s| !s.id().contains(privacy_model::FieldId::ANON_SUFFIX)));
+        assert!(policy.iter().all(|s| !s.id().contains(privacy_model::FieldId::ANON_SUFFIX)));
     }
 
     #[test]
@@ -269,8 +263,11 @@ mod tests {
 
     #[test]
     fn policy_display_lists_every_statement() {
-        let policy = PrivacyPolicy::new("p")
-            .with_statement(Statement::require_erasure("A", "erasable", FieldMatcher::Any));
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
+            "A",
+            "erasable",
+            FieldMatcher::Any,
+        ));
         let text = policy.to_string();
         assert!(text.contains("privacy policy `p`"));
         assert!(text.contains("[A] erasable"));

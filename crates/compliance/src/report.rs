@@ -163,7 +163,11 @@ impl ComplianceReport {
                 StatementOutcome::Checked { statement, violations } => {
                     out.push_str(&format!("  FAIL  {statement}\n"));
                     for violation in violations {
-                        out.push_str(&format!("        - {}: {}\n", violation.subject(), violation.detail()));
+                        out.push_str(&format!(
+                            "        - {}: {}\n",
+                            violation.subject(),
+                            violation.detail()
+                        ));
                     }
                 }
                 StatementOutcome::Skipped { statement, reason } => {

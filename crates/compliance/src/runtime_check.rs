@@ -30,10 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert!(report.is_compliant());
 /// ```
 pub fn check_log(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceReport {
-    let outcomes = policy
-        .iter()
-        .map(|statement| check_statement(log, statement))
-        .collect();
+    let outcomes = policy.iter().map(|statement| check_statement(log, statement)).collect();
     ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes)
 }
 
@@ -42,7 +39,7 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
         StatementKind::Forbid { actors, action, fields } => log
             .iter()
             .filter(|event| event.permitted())
-            .filter(|event| action.map_or(true, |a| a == event.action()))
+            .filter(|event| action.is_none_or(|a| a == event.action()))
             .filter(|event| actors.matches(event.actor()))
             .filter(|event| fields.matches_any(event.fields()))
             .map(|event| {
@@ -107,7 +104,7 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
             stored
                 .iter()
                 .filter(|(key, stored_at)| {
-                    deleted.get(key).map_or(true, |deleted_at| deleted_at < stored_at)
+                    deleted.get(key).is_none_or(|deleted_at| deleted_at < stored_at)
                 })
                 .map(|((user, field), _)| {
                     Violation::new(
@@ -272,7 +269,14 @@ mod tests {
     #[test]
     fn require_erasure_passes_once_a_later_delete_is_observed() {
         let mut log = sample_log();
-        log.append(event(5, "MedicalService", "Administrator", ActionKind::Delete, &["Diagnosis"], true));
+        log.append(event(
+            5,
+            "MedicalService",
+            "Administrator",
+            ActionKind::Delete,
+            &["Diagnosis"],
+            true,
+        ));
         let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
             "E1",
             "diagnosis must be deleted",
@@ -284,7 +288,14 @@ mod tests {
     #[test]
     fn require_erasure_ignores_deletes_that_precede_storage() {
         let mut log = EventLog::new();
-        log.append(event(0, "MedicalService", "Administrator", ActionKind::Delete, &["Diagnosis"], true));
+        log.append(event(
+            0,
+            "MedicalService",
+            "Administrator",
+            ActionKind::Delete,
+            &["Diagnosis"],
+            true,
+        ));
         log.append(event(1, "MedicalService", "Doctor", ActionKind::Create, &["Diagnosis"], true));
         let policy = PrivacyPolicy::new("p").with_statement(Statement::require_erasure(
             "E1",

@@ -177,11 +177,7 @@ impl Statement {
     /// );
     /// assert_eq!(statement.id(), "S1");
     /// ```
-    pub fn new(
-        id: impl Into<String>,
-        description: impl Into<String>,
-        kind: StatementKind,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, description: impl Into<String>, kind: StatementKind) -> Self {
         Statement { id: id.into(), description: description.into(), kind }
     }
 
@@ -311,7 +307,8 @@ mod tests {
 
     #[test]
     fn statement_accessors_and_display() {
-        let statement = Statement::require_erasure("E1", "data must be erasable", FieldMatcher::Any);
+        let statement =
+            Statement::require_erasure("E1", "data must be erasable", FieldMatcher::Any);
         assert_eq!(statement.id(), "E1");
         assert_eq!(statement.description(), "data must be erasable");
         assert!(matches!(statement.kind(), StatementKind::RequireErasure { .. }));
@@ -338,7 +335,9 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [Purpose::new("treatment").unwrap()],
         );
-        assert!(matches!(purpose.kind(), StatementKind::PurposeLimit { allowed, .. } if allowed.len() == 1));
+        assert!(
+            matches!(purpose.kind(), StatementKind::PurposeLimit { allowed, .. } if allowed.len() == 1)
+        );
 
         let service = Statement::service_limit(
             "S1",
@@ -346,7 +345,9 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [ServiceId::new("MedicalService")],
         );
-        assert!(matches!(service.kind(), StatementKind::ServiceLimit { allowed, .. } if allowed.len() == 1));
+        assert!(
+            matches!(service.kind(), StatementKind::ServiceLimit { allowed, .. } if allowed.len() == 1)
+        );
 
         let exposure = Statement::max_exposure("M1", "bounded", FieldId::new("Weight"), 3);
         assert!(matches!(exposure.kind(), StatementKind::MaxExposure { max_actors: 3, .. }));

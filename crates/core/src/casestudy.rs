@@ -13,8 +13,8 @@ use crate::system::PrivacySystem;
 use privacy_access::{FieldScope, Grant, Permission};
 use privacy_dataflow::DiagramBuilder;
 use privacy_model::{
-    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ModelError,
-    SensitivityCategory, ServiceDecl, ServiceId, UserProfile,
+    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ModelError, SensitivityCategory,
+    ServiceDecl, ServiceId, UserProfile,
 };
 
 /// Field identifiers of the case study.
@@ -209,12 +209,7 @@ pub fn healthcare() -> Result<PrivacySystem, ModelError> {
 
     // --- Data-flow diagrams (Fig. 1) ---------------------------------------
     let medical = DiagramBuilder::new("MedicalService")
-        .collect(
-            "Receptionist",
-            [fields::name(), fields::date_of_birth()],
-            "book appointment",
-            1,
-        )?
+        .collect("Receptionist", [fields::name(), fields::date_of_birth()], "book appointment", 1)?
         .create(
             "Receptionist",
             "Appointments",
@@ -233,22 +228,11 @@ pub fn healthcare() -> Result<PrivacySystem, ModelError> {
         .create(
             "Doctor",
             "EHR",
-            [
-                fields::name(),
-                fields::medical_issues(),
-                fields::diagnosis(),
-                fields::treatment(),
-            ],
+            [fields::name(), fields::medical_issues(), fields::diagnosis(), fields::treatment()],
             "record diagnosis and treatment",
             5,
         )?
-        .read(
-            "Nurse",
-            "EHR",
-            [fields::name(), fields::treatment()],
-            "administer treatment",
-            6,
-        )?
+        .read("Nurse", "EHR", [fields::name(), fields::treatment()], "administer treatment", 6)?
         .build();
 
     let research = DiagramBuilder::new("MedicalResearchService")
@@ -301,11 +285,7 @@ pub fn case_a_user() -> UserProfile {
 /// The quasi-identifier combinations of Table I in column order:
 /// Height only, Age only, Age+Height.
 pub fn table1_visible_sets() -> Vec<Vec<FieldId>> {
-    vec![
-        vec![fields::height()],
-        vec![fields::age()],
-        vec![fields::age(), fields::height()],
-    ]
+    vec![vec![fields::height()], vec![fields::age()], vec![fields::age(), fields::height()]]
 }
 
 /// The adversary of Case Study B.

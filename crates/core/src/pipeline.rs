@@ -156,20 +156,24 @@ mod tests {
         let outcome = pipeline.analyse_user(&casestudy::case_a_user()).unwrap();
         let disclosure = outcome.report.disclosure().unwrap();
         assert_eq!(
-            disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
+            disclosure
+                .risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
             RiskLevel::Medium
         );
         assert!(outcome.report.requires_action());
 
         // Apply the paper's remedy: revoke the administrator's EHR read.
-        let revised = system.with_policy(system.policy().with_applied(
-            &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-        ));
+        let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+            "Administrator",
+            Permission::Read,
+            "EHR",
+        )));
         let pipeline = Pipeline::new(&revised);
         let outcome = pipeline.analyse_user(&casestudy::case_a_user()).unwrap();
         let disclosure = outcome.report.disclosure().unwrap();
         assert_eq!(
-            disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
+            disclosure
+                .risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
             RiskLevel::Low
         );
         assert!(!outcome.report.requires_action());

@@ -136,7 +136,9 @@ mod tests {
     use super::*;
     use privacy_access::{Grant, PolicyDelta};
     use privacy_dataflow::DiagramBuilder;
-    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl};
+    use privacy_model::{
+        Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl,
+    };
 
     fn build_small_system() -> PrivacySystem {
         let mut builder = PrivacySystem::builder();
@@ -146,18 +148,12 @@ mod tests {
             .catalog_mut()
             .add_schema(DataSchema::new("S", [FieldId::new("Diagnosis")]))
             .unwrap();
-        builder
-            .catalog_mut()
-            .add_datastore(DatastoreDecl::new("EHR", "S"))
-            .unwrap();
+        builder.catalog_mut().add_datastore(DatastoreDecl::new("EHR", "S")).unwrap();
         builder
             .catalog_mut()
             .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
             .unwrap();
-        builder
-            .policy_mut()
-            .acl_mut()
-            .grant(Grant::read_write_all("Doctor", "EHR"));
+        builder.policy_mut().acl_mut().grant(Grant::read_write_all("Doctor", "EHR"));
         builder
             .add_diagram(
                 DiagramBuilder::new("MedicalService")
@@ -184,10 +180,7 @@ mod tests {
     #[test]
     fn build_rejects_dangling_catalog_references() {
         let mut builder = PrivacySystem::builder();
-        builder
-            .catalog_mut()
-            .add_schema(DataSchema::new("S", [FieldId::new("Ghost")]))
-            .unwrap();
+        builder.catalog_mut().add_schema(DataSchema::new("S", [FieldId::new("Ghost")])).unwrap();
         assert!(builder.build().is_err());
     }
 
@@ -199,9 +192,11 @@ mod tests {
 
         // Removing the doctor's grant removes the exposure recorded on
         // create.
-        let revised = system.with_policy(system.policy().with_applied(
-            &PolicyDelta::new().revoke("Doctor", privacy_access::Permission::Read, "EHR"),
-        ));
+        let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+            "Doctor",
+            privacy_access::Permission::Read,
+            "EHR",
+        )));
         let lts2 = revised.generate_lts().unwrap();
         let space = lts2.space().clone();
         assert!(!lts2.states().any(|(_, s)| s.could(
@@ -223,10 +218,8 @@ mod tests {
         let mut builder = PrivacySystem::builder();
         builder.catalog_mut().add_actor(Actor::role("Doctor")).unwrap();
         builder.catalog_mut().add_field(DataField::sensitive("Diagnosis")).unwrap();
-        let diagram = DiagramBuilder::new("S")
-            .collect("Doctor", ["Diagnosis"], "p", 1)
-            .unwrap()
-            .build();
+        let diagram =
+            DiagramBuilder::new("S").collect("Doctor", ["Diagnosis"], "p", 1).unwrap().build();
         builder.add_diagram(diagram.clone()).unwrap();
         assert!(builder.add_diagram(diagram).is_err());
     }

@@ -53,9 +53,7 @@ impl DataFlowDiagram {
 
     /// Appends a flow, keeping the order-sorted invariant.
     pub fn add_flow(&mut self, flow: Flow) {
-        let position = self
-            .flows
-            .partition_point(|existing| existing.order() <= flow.order());
+        let position = self.flows.partition_point(|existing| existing.order() <= flow.order());
         self.flows.insert(position, flow);
     }
 
@@ -71,18 +69,12 @@ impl DataFlowDiagram {
 
     /// The distinct actors appearing in the diagram.
     pub fn actors(&self) -> BTreeSet<ActorId> {
-        self.nodes()
-            .into_iter()
-            .filter_map(|n| n.as_actor().cloned())
-            .collect()
+        self.nodes().into_iter().filter_map(|n| n.as_actor().cloned()).collect()
     }
 
     /// The distinct datastores appearing in the diagram.
     pub fn datastores(&self) -> BTreeSet<DatastoreId> {
-        self.nodes()
-            .into_iter()
-            .filter_map(|n| n.as_datastore().cloned())
-            .collect()
+        self.nodes().into_iter().filter_map(|n| n.as_datastore().cloned()).collect()
     }
 
     /// The distinct fields flowing anywhere in the diagram.
@@ -101,19 +93,14 @@ impl DataFlowDiagram {
         kind: FlowKind,
         anonymised_stores: &BTreeSet<DatastoreId>,
     ) -> Vec<&Flow> {
-        self.flows
-            .iter()
-            .filter(|f| f.kind(anonymised_stores) == kind)
-            .collect()
+        self.flows.iter().filter(|f| f.kind(anonymised_stores) == kind).collect()
     }
 
     /// Flows that involve the given actor (as either endpoint).
     pub fn flows_involving(&self, actor: &ActorId) -> Vec<&Flow> {
         self.flows
             .iter()
-            .filter(|f| {
-                f.from().as_actor() == Some(actor) || f.to().as_actor() == Some(actor)
-            })
+            .filter(|f| f.from().as_actor() == Some(actor) || f.to().as_actor() == Some(actor))
             .collect()
     }
 
@@ -224,13 +211,7 @@ impl DiagramBuilder {
         purpose: impl Into<String>,
         order: u32,
     ) -> Result<Self, ModelError> {
-        self.flow(
-            Node::Actor(from.into()),
-            Node::Actor(to.into()),
-            fields,
-            purpose,
-            order,
-        )
+        self.flow(Node::Actor(from.into()), Node::Actor(to.into()), fields, purpose, order)
     }
 
     /// Adds an actor → datastore creation flow.
@@ -319,7 +300,13 @@ mod tests {
         DiagramBuilder::new("MedicalService")
             .collect("Receptionist", ["Name", "DOB"], "book appointment", 1)
             .unwrap()
-            .create("Receptionist", "Appointments", ["Name", "DOB", "Appointment"], "book appointment", 2)
+            .create(
+                "Receptionist",
+                "Appointments",
+                ["Name", "DOB", "Appointment"],
+                "book appointment",
+                2,
+            )
             .unwrap()
             .read("Doctor", "Appointments", ["Name", "Appointment"], "consultation", 3)
             .unwrap()
@@ -374,8 +361,7 @@ mod tests {
         let diagram = medical_service();
         let actors: Vec<_> = diagram.actors().iter().map(|a| a.as_str().to_owned()).collect();
         assert_eq!(actors, vec!["Doctor", "Nurse", "Receptionist"]);
-        let stores: Vec<_> =
-            diagram.datastores().iter().map(|d| d.as_str().to_owned()).collect();
+        let stores: Vec<_> = diagram.datastores().iter().map(|d| d.as_str().to_owned()).collect();
         assert_eq!(stores, vec!["Appointments", "EHR"]);
         assert!(diagram.fields().contains(&FieldId::new("Diagnosis")));
         assert_eq!(diagram.nodes().len(), 6);

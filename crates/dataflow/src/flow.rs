@@ -210,21 +210,14 @@ mod tests {
     fn flow_requires_fields_and_purpose() {
         let err = Flow::new(Node::User, Node::actor("A"), [], "p", 1).unwrap_err();
         assert!(matches!(err, ModelError::Empty { .. }));
-        let err =
-            Flow::new(Node::User, Node::actor("A"), fields(&["f"]), "  ", 1).unwrap_err();
+        let err = Flow::new(Node::User, Node::actor("A"), fields(&["f"]), "  ", 1).unwrap_err();
         assert!(matches!(err, ModelError::Empty { .. }));
     }
 
     #[test]
     fn self_loops_are_rejected() {
-        let err = Flow::new(
-            Node::actor("A"),
-            Node::actor("A"),
-            fields(&["f"]),
-            "p",
-            1,
-        )
-        .unwrap_err();
+        let err =
+            Flow::new(Node::actor("A"), Node::actor("A"), fields(&["f"]), "p", 1).unwrap_err();
         assert!(matches!(err, ModelError::Invalid { .. }));
     }
 
@@ -234,18 +227,12 @@ mod tests {
             [DatastoreId::new("AnonEHR")].into_iter().collect();
 
         let collect =
-            Flow::new(Node::User, Node::actor("Receptionist"), fields(&["Name"]), "p", 1)
-                .unwrap();
+            Flow::new(Node::User, Node::actor("Receptionist"), fields(&["Name"]), "p", 1).unwrap();
         assert_eq!(collect.kind(&anon_stores), FlowKind::Collect);
 
-        let disclose = Flow::new(
-            Node::actor("Doctor"),
-            Node::actor("Nurse"),
-            fields(&["Diagnosis"]),
-            "p",
-            2,
-        )
-        .unwrap();
+        let disclose =
+            Flow::new(Node::actor("Doctor"), Node::actor("Nurse"), fields(&["Diagnosis"]), "p", 2)
+                .unwrap();
         assert_eq!(disclose.kind(&anon_stores), FlowKind::Disclose);
 
         let create = Flow::new(
@@ -303,14 +290,9 @@ mod tests {
         assert_eq!(read.acting_actor().unwrap().as_str(), "Doctor");
         assert_eq!(read.receiving_actor().unwrap().as_str(), "Doctor");
 
-        let disclose = Flow::new(
-            Node::actor("Doctor"),
-            Node::actor("Nurse"),
-            fields(&["Diagnosis"]),
-            "p",
-            2,
-        )
-        .unwrap();
+        let disclose =
+            Flow::new(Node::actor("Doctor"), Node::actor("Nurse"), fields(&["Diagnosis"]), "p", 2)
+                .unwrap();
         assert_eq!(disclose.acting_actor().unwrap().as_str(), "Doctor");
         assert_eq!(disclose.receiving_actor().unwrap().as_str(), "Nurse");
 
@@ -346,14 +328,8 @@ mod tests {
 
     #[test]
     fn duplicate_fields_are_collapsed() {
-        let flow = Flow::new(
-            Node::User,
-            Node::actor("A"),
-            fields(&["x", "x", "y"]),
-            "p",
-            1,
-        )
-        .unwrap();
+        let flow =
+            Flow::new(Node::User, Node::actor("A"), fields(&["x", "x", "y"]), "p", 1).unwrap();
         assert_eq!(flow.fields().len(), 2);
     }
 }

@@ -71,9 +71,7 @@ impl Node {
 }
 
 fn sanitise(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 impl fmt::Display for Node {
@@ -115,10 +113,7 @@ mod tests {
     fn accessors_return_inner_ids() {
         assert_eq!(Node::actor("Doctor").as_actor(), Some(&ActorId::new("Doctor")));
         assert_eq!(Node::actor("Doctor").as_datastore(), None);
-        assert_eq!(
-            Node::datastore("EHR").as_datastore(),
-            Some(&DatastoreId::new("EHR"))
-        );
+        assert_eq!(Node::datastore("EHR").as_datastore(), Some(&DatastoreId::new("EHR")));
         assert_eq!(Node::User.as_actor(), None);
     }
 

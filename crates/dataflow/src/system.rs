@@ -108,20 +108,14 @@ impl SystemDataFlows {
         kind: FlowKind,
         anonymised_stores: &BTreeSet<DatastoreId>,
     ) -> Vec<(&ServiceId, &Flow)> {
-        self.flows()
-            .filter(|(_, f)| f.kind(anonymised_stores) == kind)
-            .collect()
+        self.flows().filter(|(_, f)| f.kind(anonymised_stores) == kind).collect()
     }
 
     /// The services in which an actor participates (derived from the flows
     /// rather than from the catalog's service declarations — the two should
     /// agree, and validation compares them).
     pub fn services_involving(&self, actor: &ActorId) -> Vec<&ServiceId> {
-        self.diagrams
-            .iter()
-            .filter(|(_, d)| d.actors().contains(actor))
-            .map(|(s, _)| s)
-            .collect()
+        self.diagrams.iter().filter(|(_, d)| d.actors().contains(actor)).map(|(s, _)| s).collect()
     }
 
     /// The datastores an actor reads from anywhere in the system.
@@ -153,10 +147,7 @@ impl SystemDataFlows {
     /// [`privacy_model::ServiceDecl`] declarations consistent with the
     /// diagrams.
     pub fn actors_per_service(&self) -> BTreeMap<ServiceId, BTreeSet<ActorId>> {
-        self.diagrams
-            .iter()
-            .map(|(service, diagram)| (service.clone(), diagram.actors()))
-            .collect()
+        self.diagrams.iter().map(|(service, diagram)| (service.clone(), diagram.actors())).collect()
     }
 }
 
@@ -216,20 +207,13 @@ mod tests {
     }
 
     fn system() -> SystemDataFlows {
-        SystemDataFlows::new()
-            .with_diagram(medical())
-            .unwrap()
-            .with_diagram(research())
-            .unwrap()
+        SystemDataFlows::new().with_diagram(medical()).unwrap().with_diagram(research()).unwrap()
     }
 
     #[test]
     fn duplicate_services_are_rejected() {
         let mut system = system();
-        assert!(matches!(
-            system.add_diagram(medical()),
-            Err(ModelError::Duplicate { .. })
-        ));
+        assert!(matches!(system.add_diagram(medical()), Err(ModelError::Duplicate { .. })));
     }
 
     #[test]
@@ -263,8 +247,7 @@ mod tests {
     #[test]
     fn flows_of_kind_uses_anonymised_store_set() {
         let system = system();
-        let anon: BTreeSet<DatastoreId> =
-            [DatastoreId::new("AnonEHR")].into_iter().collect();
+        let anon: BTreeSet<DatastoreId> = [DatastoreId::new("AnonEHR")].into_iter().collect();
         assert_eq!(system.flows_of_kind(FlowKind::Anonymise, &anon).len(), 1);
         assert_eq!(system.flows_of_kind(FlowKind::Create, &anon).len(), 2);
         // Without declaring the anonymised store everything is a plain create.

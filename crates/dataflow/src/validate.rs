@@ -211,11 +211,8 @@ fn validate_diagram_into(
     report: &mut ValidationReport,
 ) {
     let service = Some(diagram.service());
-    let anonymised_stores: BTreeSet<DatastoreId> = catalog
-        .datastores()
-        .filter(|d| d.is_anonymised())
-        .map(|d| d.id().clone())
-        .collect();
+    let anonymised_stores: BTreeSet<DatastoreId> =
+        catalog.datastores().filter(|d| d.is_anonymised()).map(|d| d.id().clone()).collect();
 
     // Reference checks.
     for actor in diagram.actors() {
@@ -347,9 +344,7 @@ mod tests {
     use super::*;
     use crate::diagram::DiagramBuilder;
     use crate::node::Node;
-    use privacy_model::{
-        Actor, ActorId, DataField, DataSchema, DatastoreDecl, ServiceDecl,
-    };
+    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, ServiceDecl};
 
     fn catalog() -> Catalog {
         let mut catalog = Catalog::new();
@@ -432,9 +427,7 @@ mod tests {
     #[test]
     fn unclassifiable_flows_are_errors() {
         let mut catalog = catalog();
-        catalog
-            .add_schema(DataSchema::new("S2", [FieldId::new("Name")]))
-            .unwrap();
+        catalog.add_schema(DataSchema::new("S2", [FieldId::new("Name")])).unwrap();
         catalog.add_datastore(DatastoreDecl::new("Backup", "S2")).unwrap();
         let diagram = DataFlowDiagram::new(
             "MedicalService",
@@ -448,9 +441,7 @@ mod tests {
             .unwrap()],
         );
         let report = validate_diagram(&diagram, &catalog);
-        assert!(report
-            .errors()
-            .any(|i| i.message().contains("cannot be classified")));
+        assert!(report.errors().any(|i| i.message().contains("cannot be classified")));
     }
 
     #[test]

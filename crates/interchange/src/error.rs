@@ -48,20 +48,14 @@ impl InterchangeError {
     /// Creates a parse error from an expectation and the offending token.
     pub fn parse(expected: impl Into<String>, found: impl Into<String>, span: Span) -> Self {
         InterchangeError {
-            kind: InterchangeErrorKind::Parse {
-                expected: expected.into(),
-                found: found.into(),
-            },
+            kind: InterchangeErrorKind::Parse { expected: expected.into(), found: found.into() },
             span,
         }
     }
 
     /// Creates a resolution (semantic) error.
     pub fn resolve(message: impl Into<String>, span: Span) -> Self {
-        InterchangeError {
-            kind: InterchangeErrorKind::Resolve { message: message.into() },
-            span,
-        }
+        InterchangeError { kind: InterchangeErrorKind::Resolve { message: message.into() }, span }
     }
 
     /// Wraps a substrate [`ModelError`] at a source location.

@@ -39,11 +39,7 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer {
-            chars: source.chars().peekable(),
-            position: Position::START,
-            tokens: Vec::new(),
-        }
+        Lexer { chars: source.chars().peekable(), position: Position::START, tokens: Vec::new() }
     }
 
     fn run(mut self) -> Result<Vec<Token>, InterchangeError> {
@@ -171,8 +167,7 @@ impl<'a> Lexer<'a> {
                 Some(other) => text.push(other),
             }
         }
-        self.tokens
-            .push(Token::new(TokenKind::Str(text), Span::new(start, self.position)));
+        self.tokens.push(Token::new(TokenKind::Str(text), Span::new(start, self.position)));
         Ok(())
     }
 
@@ -193,8 +188,7 @@ impl<'a> Lexer<'a> {
                 Span::new(start, self.position),
             )
         })?;
-        self.tokens
-            .push(Token::new(TokenKind::Number(value), Span::new(start, self.position)));
+        self.tokens.push(Token::new(TokenKind::Number(value), Span::new(start, self.position)));
         Ok(())
     }
 
@@ -209,8 +203,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        self.tokens
-            .push(Token::new(TokenKind::Ident(text), Span::new(start, self.position)));
+        self.tokens.push(Token::new(TokenKind::Ident(text), Span::new(start, self.position)));
     }
 }
 

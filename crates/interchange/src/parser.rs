@@ -284,11 +284,8 @@ impl Parser {
         self.expect(&TokenKind::LBrace, "`{`")?;
         self.expect_keyword("actors")?;
         let actors = self.name_list("actor")?;
-        let description = if self.eat_keyword("description") {
-            Some(self.string("description")?)
-        } else {
-            None
-        };
+        let description =
+            if self.eat_keyword("description") { Some(self.string("description")?) } else { None };
         self.expect(&TokenKind::RBrace, "`}`")?;
         Ok(ServiceDeclAst { name, actors, description })
     }
@@ -436,9 +433,9 @@ impl Parser {
                 FlowKindAst::Read { actor, datastore }
             }
             _ => {
-                return Err(self.error_here(
-                    "`collect`, `disclose`, `create`, `anonymise` or `read`",
-                ));
+                return Err(
+                    self.error_here("`collect`, `disclose`, `create`, `anonymise` or `read`")
+                );
             }
         };
         let fields = self.braced_name_list("field")?;

@@ -106,7 +106,8 @@ fn render_fields(out: &mut String, system: &PrivacySystem) {
 fn render_schemas(out: &mut String, system: &PrivacySystem) {
     for schema in system.catalog().schemas() {
         let fields: Vec<String> = schema.fields().iter().map(|f| quote(f.as_str())).collect();
-        let _ = writeln!(out, "    schema {} {{ {} }}", quote(schema.id().as_str()), fields.join(", "));
+        let _ =
+            writeln!(out, "    schema {} {{ {} }}", quote(schema.id().as_str()), fields.join(", "));
     }
 }
 
@@ -127,8 +128,7 @@ fn render_datastores(out: &mut String, system: &PrivacySystem) {
 
 fn render_services(out: &mut String, system: &PrivacySystem) {
     for service in system.catalog().services() {
-        let actors: Vec<String> =
-            service.actors().iter().map(|a| quote(a.as_str())).collect();
+        let actors: Vec<String> = service.actors().iter().map(|a| quote(a.as_str())).collect();
         let _ = write!(
             out,
             "    service {} {{ actors {}",
@@ -202,7 +202,8 @@ fn render_policy(out: &mut String, system: &PrivacySystem) {
         out.push_str("        }\n");
     }
     for (actor, role) in rbac.assignments() {
-        let _ = writeln!(out, "        assign {} -> {}", quote(actor.as_str()), quote(role.as_str()));
+        let _ =
+            writeln!(out, "        assign {} -> {}", quote(actor.as_str()), quote(role.as_str()));
     }
     out.push_str("    }\n");
 }
@@ -233,18 +234,16 @@ fn render_flows(out: &mut String, system: &PrivacySystem) {
                     } else {
                         "create"
                     };
-                    format!(
-                        "{keyword} {} -> {}",
-                        quote(actor.as_str()),
-                        quote(datastore.as_str())
-                    )
+                    format!("{keyword} {} -> {}", quote(actor.as_str()), quote(datastore.as_str()))
                 }
                 (Node::Datastore(datastore), Node::Actor(actor)) => {
                     format!("read {} <- {}", quote(actor.as_str()), quote(datastore.as_str()))
                 }
                 // Remaining combinations are rejected by diagram validation;
                 // render them as a disclose-style comment-free best effort.
-                (from, to) => format!("disclose {} -> {}", quote(&from.to_string()), quote(&to.to_string())),
+                (from, to) => {
+                    format!("disclose {} -> {}", quote(&from.to_string()), quote(&to.to_string()))
+                }
             };
             let _ = writeln!(
                 out,
@@ -261,8 +260,7 @@ fn render_flows(out: &mut String, system: &PrivacySystem) {
 fn render_users(out: &mut String, users: &[UserProfile]) {
     for user in users {
         let _ = writeln!(out, "    user {} {{", quote(user.id().as_str()));
-        let consents: Vec<String> =
-            user.consent().services().map(|s| quote(s.as_str())).collect();
+        let consents: Vec<String> = user.consent().services().map(|s| quote(s.as_str())).collect();
         if !consents.is_empty() {
             let _ = writeln!(out, "        consents {}", consents.join(", "));
         }
@@ -388,14 +386,8 @@ mod tests {
         let rendered = render_document(&document);
         let again = parse_document(&rendered).unwrap();
         assert_eq!(again.name, "Clinic");
-        assert_eq!(
-            again.system.catalog().actor_count(),
-            document.system.catalog().actor_count()
-        );
-        assert_eq!(
-            again.system.catalog().field_count(),
-            document.system.catalog().field_count()
-        );
+        assert_eq!(again.system.catalog().actor_count(), document.system.catalog().actor_count());
+        assert_eq!(again.system.catalog().field_count(), document.system.catalog().field_count());
         assert_eq!(again.system.dataflows().flow_count(), document.system.dataflows().flow_count());
         assert_eq!(again.users.len(), 1);
     }
@@ -410,7 +402,9 @@ mod tests {
         let researcher = privacy_model::ActorId::new("Researcher");
         let diagnosis = privacy_model::FieldId::new("Diagnosis");
         let name = privacy_model::FieldId::new("Name");
-        for (policy_a, policy_b) in [(document.system.policy(), again.system.policy())].iter().map(|(a, b)| (*a, *b)) {
+        for (policy_a, policy_b) in
+            [(document.system.policy(), again.system.policy())].iter().map(|(a, b)| (*a, *b))
+        {
             for (actor, store, field) in [
                 (&doctor, &ehr, &diagnosis),
                 (&researcher, &ehr, &diagnosis),

@@ -100,10 +100,7 @@ impl<'a> Resolver<'a> {
         if set.contains(&name.text) {
             Ok(())
         } else {
-            Err(InterchangeError::resolve(
-                format!("unknown {what} `{}`", name.text),
-                name.span,
-            ))
+            Err(InterchangeError::resolve(format!("unknown {what} `{}`", name.text), name.span))
         }
     }
 
@@ -478,7 +475,9 @@ mod tests {
             user.sensitivities().sensitivity(&FieldId::new("Diagnosis")).category(),
             SensitivityCategory::High
         );
-        assert!((user.sensitivities().sensitivity(&FieldId::new("Name")).value() - 0.2).abs() < 1e-9);
+        assert!(
+            (user.sensitivities().sensitivity(&FieldId::new("Name")).value() - 0.2).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -123,10 +123,8 @@ mod tests {
 
     #[test]
     fn token_display_includes_span() {
-        let token = Token::new(
-            TokenKind::Colon,
-            Span::new(Position::new(2, 5), Position::new(2, 6)),
-        );
+        let token =
+            Token::new(TokenKind::Colon, Span::new(Position::new(2, 5), Position::new(2, 6)));
         assert_eq!(token.to_string(), "`:` at 2:5-2:6");
     }
 }

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn verbose_rendering_includes_state_variables() {
-        let options = DotOptions {
-            show_state_variables: true,
-            title: "Fig. 3".to_owned(),
-        };
+        let options = DotOptions { show_state_variables: true, title: "Fig. 3".to_owned() };
         let dot = lts_to_dot_with(&sample(), &options);
         assert!(dot.contains("label=\"Fig. 3\""));
         assert!(dot.contains("has(Doctor,Name)"));

@@ -29,9 +29,7 @@ use crate::space::VarSpace;
 use crate::state::PrivacyState;
 use privacy_access::{AccessPolicy, Permission};
 use privacy_dataflow::{Flow, FlowKind, SystemDataFlows};
-use privacy_model::{
-    Catalog, DatastoreId, FieldId, ModelError, SchemaId, ServiceId,
-};
+use privacy_model::{Catalog, DatastoreId, FieldId, ModelError, SchemaId, ServiceId};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Configuration of the LTS generator.
@@ -134,11 +132,8 @@ pub fn generate_lts(
     let diagrams: Vec<&privacy_dataflow::DataFlowDiagram> =
         services.iter().map(|s| system.diagram(s).expect("checked above")).collect();
 
-    let anonymised_stores: BTreeSet<DatastoreId> = catalog
-        .datastores()
-        .filter(|d| d.is_anonymised())
-        .map(|d| d.id().clone())
-        .collect();
+    let anonymised_stores: BTreeSet<DatastoreId> =
+        catalog.datastores().filter(|d| d.is_anonymised()).map(|d| d.id().clone()).collect();
 
     let initial = CompositeState {
         progress: vec![0; diagrams.len()],
@@ -162,9 +157,7 @@ pub fn generate_lts(
 
         // Which services may fire their next flow from this composite state?
         let enabled: Vec<usize> = if config.interleave_services {
-            (0..diagrams.len())
-                .filter(|&i| current.progress[i] < diagrams[i].len())
-                .collect()
+            (0..diagrams.len()).filter(|&i| current.progress[i] < diagrams[i].len()).collect()
         } else {
             // Sequential execution: only the first unfinished service fires.
             (0..diagrams.len())
@@ -252,10 +245,8 @@ fn apply_flow(
     let mut next_stored = stored.clone();
 
     let kind = flow.kind(anonymised_stores);
-    let actor = flow
-        .acting_actor()
-        .cloned()
-        .unwrap_or_else(|| privacy_model::ActorId::new("<unknown>"));
+    let actor =
+        flow.acting_actor().cloned().unwrap_or_else(|| privacy_model::ActorId::new("<unknown>"));
     let purpose = flow.purpose().clone();
 
     let schema_of = |store: &DatastoreId| -> Option<SchemaId> {
@@ -280,11 +271,8 @@ fn apply_flow(
             (ActionKind::Disclose, None)
         }
         FlowKind::Create | FlowKind::Anonymise => {
-            let store = flow
-                .to()
-                .as_datastore()
-                .cloned()
-                .unwrap_or_else(|| DatastoreId::new("<unknown>"));
+            let store =
+                flow.to().as_datastore().cloned().unwrap_or_else(|| DatastoreId::new("<unknown>"));
             for field in flow.fields() {
                 next_stored.insert((store.clone(), field.clone()));
                 // Every actor with read access to this field in this store
@@ -293,11 +281,8 @@ fn apply_flow(
                     next_privacy.set_could(space, &reader, field, true);
                 }
             }
-            let action = if kind == FlowKind::Anonymise {
-                ActionKind::Anon
-            } else {
-                ActionKind::Create
-            };
+            let action =
+                if kind == FlowKind::Anonymise { ActionKind::Anon } else { ActionKind::Create };
             (action, schema_of(&store))
         }
         FlowKind::Read => {
@@ -352,15 +337,8 @@ mod tests {
             .add_schema(DataSchema::new("AnonSchema", [FieldId::new("Diagnosis_anon")]))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
-        catalog
-            .add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema"))
-            .unwrap();
-        catalog
-            .add_service(ServiceDecl::new(
-                "MedicalService",
-                [ActorId::new("Doctor")],
-            ))
-            .unwrap();
+        catalog.add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema")).unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
         catalog
             .add_service(ServiceDecl::new(
                 "ResearchService",
@@ -384,11 +362,8 @@ mod tests {
             .read("Researcher", "AnonEHR", ["Diagnosis_anon"], "research", 3)
             .unwrap()
             .build();
-        let system = SystemDataFlows::new()
-            .with_diagram(medical)
-            .unwrap()
-            .with_diagram(research)
-            .unwrap();
+        let system =
+            SystemDataFlows::new().with_diagram(medical).unwrap().with_diagram(research).unwrap();
 
         let acl = AccessControlList::new()
             .with_grant(Grant::read_write_all("Doctor", "EHR"))
@@ -419,21 +394,13 @@ mod tests {
 
         // After the create, the administrator could identify the diagnosis
         // because the ACL grants them read access to the EHR.
-        let reachable_exposure = lts
-            .states()
-            .any(|(_, s)| s.could(&space, &admin, &diagnosis));
+        let reachable_exposure = lts.states().any(|(_, s)| s.could(&space, &admin, &diagnosis));
         assert!(reachable_exposure, "administrator exposure must be represented");
-        assert!(lts
-            .states()
-            .any(|(_, s)| s.has(&space, &doctor, &diagnosis)));
+        assert!(lts.states().any(|(_, s)| s.has(&space, &doctor, &diagnosis)));
 
         // Actions are labelled as the paper prescribes.
-        let actions: Vec<ActionKind> =
-            lts.transitions().map(|(_, t)| t.label().action()).collect();
-        assert_eq!(
-            actions,
-            vec![ActionKind::Collect, ActionKind::Create, ActionKind::Read]
-        );
+        let actions: Vec<ActionKind> = lts.transitions().map(|(_, t)| t.label().action()).collect();
+        assert_eq!(actions, vec![ActionKind::Collect, ActionKind::Create, ActionKind::Read]);
     }
 
     #[test]
@@ -441,8 +408,7 @@ mod tests {
         let (catalog, system, policy) = fixture();
         let config = GeneratorConfig::for_service("ResearchService");
         let lts = generate_lts(&catalog, &system, &policy, &config).unwrap();
-        let actions: Vec<ActionKind> =
-            lts.transitions().map(|(_, t)| t.label().action()).collect();
+        let actions: Vec<ActionKind> = lts.transitions().map(|(_, t)| t.label().action()).collect();
         assert!(actions.contains(&ActionKind::Anon));
         assert!(actions.contains(&ActionKind::Read));
     }
@@ -461,9 +427,7 @@ mod tests {
         let space = lts.space().clone();
         let researcher = ActorId::new("Researcher");
         let anon_field = FieldId::new("Diagnosis_anon");
-        assert!(lts
-            .states()
-            .any(|(_, s)| s.has(&space, &researcher, &anon_field)));
+        assert!(lts.states().any(|(_, s)| s.has(&space, &researcher, &anon_field)));
     }
 
     #[test]
@@ -506,9 +470,7 @@ mod tests {
         let space = with_reads.space().clone();
         let admin = ActorId::new("Administrator");
         let diagnosis = FieldId::new("Diagnosis");
-        assert!(with_reads
-            .states()
-            .any(|(_, s)| s.has(&space, &admin, &diagnosis)));
+        assert!(with_reads.states().any(|(_, s)| s.has(&space, &admin, &diagnosis)));
         assert!(!base.states().any(|(_, s)| s.has(&space, &admin, &diagnosis)));
     }
 
@@ -530,9 +492,7 @@ mod tests {
         let diagnosis = FieldId::new("Diagnosis");
         assert!(!lts.states().any(|(_, s)| s.could(&space, &admin, &diagnosis)));
         // The doctor still identifies the diagnosis by collecting it.
-        assert!(lts
-            .states()
-            .any(|(_, s)| s.has(&space, &ActorId::new("Doctor"), &diagnosis)));
+        assert!(lts.states().any(|(_, s)| s.has(&space, &ActorId::new("Doctor"), &diagnosis)));
     }
 
     #[test]
@@ -554,12 +514,8 @@ mod tests {
     #[test]
     fn generated_space_matches_catalog_variables() {
         let (catalog, system, policy) = fixture();
-        let lts =
-            generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
-        assert_eq!(
-            lts.space().variable_count(),
-            catalog.state_variable_count()
-        );
+        let lts = generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        assert_eq!(lts.space().variable_count(), catalog.state_variable_count());
         // 3 identifying actors x 3 fields x 2 = 18.
         assert_eq!(lts.space().variable_count(), 18);
     }

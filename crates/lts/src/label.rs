@@ -295,9 +295,8 @@ mod tests {
 
     #[test]
     fn risk_annotation_with_score_and_note() {
-        let annotation = RiskAnnotation::level(RiskLevel::High)
-            .with_score(0.9)
-            .with_note("value risk over 90%");
+        let annotation =
+            RiskAnnotation::level(RiskLevel::High).with_score(0.9).with_note("value risk over 90%");
         assert_eq!(annotation.score(), Some(0.9));
         assert_eq!(annotation.note(), "value risk over 90%");
         let text = annotation.to_string();
@@ -315,10 +314,7 @@ mod tests {
             None,
         )
         .with_purpose(Purpose::new("book appointment").unwrap());
-        assert_eq!(
-            label.to_string(),
-            "collect(Receptionist, {DOB, Name}) for `book appointment`"
-        );
+        assert_eq!(label.to_string(), "collect(Receptionist, {DOB, Name}) for `book appointment`");
 
         let label = label.with_risk(RiskAnnotation::level(RiskLevel::Low));
         assert!(label.to_string().contains("risk=Low"));

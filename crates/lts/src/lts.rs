@@ -249,9 +249,7 @@ impl Lts {
 
     /// The outgoing transitions of a state.
     pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = (TransitionId, &Transition)> {
-        self.outgoing[state.0]
-            .iter()
-            .map(move |tid| (*tid, &self.transitions[tid.0]))
+        self.outgoing[state.0].iter().map(move |tid| (*tid, &self.transitions[tid.0]))
     }
 
     /// The incoming transitions of a state.
@@ -352,10 +350,7 @@ impl Lts {
         level: RiskLevel,
     ) -> impl Iterator<Item = (TransitionId, &Transition)> {
         self.transitions().filter(move |(_, t)| {
-            t.label()
-                .risk()
-                .map(|r| r.risk_level().at_least(level))
-                .unwrap_or(false)
+            t.label().risk().map(|r| r.risk_level().at_least(level)).unwrap_or(false)
         })
     }
 }
@@ -391,16 +386,16 @@ mod tests {
         let space = space();
         let mut lts = Lts::new(space.clone());
         let s0 = lts.initial();
-        let s1 = lts.intern(
-            lts.state(s0)
-                .clone()
-                .with_has(&space, &ActorId::new("Doctor"), &FieldId::new("Name")),
-        );
-        let s2 = lts.intern(
-            lts.state(s1)
-                .clone()
-                .with_could(&space, &ActorId::new("Admin"), &FieldId::new("Diagnosis")),
-        );
+        let s1 = lts.intern(lts.state(s0).clone().with_has(
+            &space,
+            &ActorId::new("Doctor"),
+            &FieldId::new("Name"),
+        ));
+        let s2 = lts.intern(lts.state(s1).clone().with_could(
+            &space,
+            &ActorId::new("Admin"),
+            &FieldId::new("Diagnosis"),
+        ));
         lts.add_transition(s0, s1, label(ActionKind::Collect, "Doctor", "Name"));
         lts.add_transition(s1, s2, label(ActionKind::Create, "Doctor", "Diagnosis"));
         lts
@@ -477,9 +472,7 @@ mod tests {
         assert!(path.is_empty());
 
         // Unreachable goal -> None.
-        assert!(lts
-            .path_to(|state| state.has(&space, &admin, &diagnosis))
-            .is_none());
+        assert!(lts.path_to(|state| state.has(&space, &admin, &diagnosis)).is_none());
     }
 
     #[test]
@@ -494,14 +487,12 @@ mod tests {
                 &FieldId::new("Diagnosis"),
             ))
         };
-        let tid = lts.add_risk_transition(s2, s_risk, label(ActionKind::Read, "Admin", "Diagnosis"));
+        let tid =
+            lts.add_risk_transition(s2, s_risk, label(ActionKind::Read, "Admin", "Diagnosis"));
         assert!(lts.transition(tid).is_risk_transition());
 
         lts.annotate(tid, RiskAnnotation::level(RiskLevel::Medium));
-        assert_eq!(
-            lts.transition(tid).label().risk().unwrap().risk_level(),
-            RiskLevel::Medium
-        );
+        assert_eq!(lts.transition(tid).label().risk().unwrap().risk_level(), RiskLevel::Medium);
         assert_eq!(lts.transitions_at_risk(RiskLevel::Medium).count(), 1);
         assert_eq!(lts.transitions_at_risk(RiskLevel::High).count(), 0);
 

@@ -72,22 +72,13 @@ impl<'a> LtsQuery<'a> {
     }
 
     /// The transitions performing a given action kind.
-    pub fn transitions_of_kind(
-        &self,
-        action: ActionKind,
-    ) -> Vec<(TransitionId, &'a Transition)> {
-        self.lts
-            .transitions()
-            .filter(|(_, t)| t.label().action() == action)
-            .collect()
+    pub fn transitions_of_kind(&self, action: ActionKind) -> Vec<(TransitionId, &'a Transition)> {
+        self.lts.transitions().filter(|(_, t)| t.label().action() == action).collect()
     }
 
     /// The transitions performed by a given actor.
     pub fn transitions_by_actor(&self, actor: &ActorId) -> Vec<(TransitionId, &'a Transition)> {
-        self.lts
-            .transitions()
-            .filter(|(_, t)| t.label().actor() == actor)
-            .collect()
+        self.lts.transitions().filter(|(_, t)| t.label().actor() == actor).collect()
     }
 
     /// The transitions that involve a given field.
@@ -95,10 +86,7 @@ impl<'a> LtsQuery<'a> {
         &self,
         field: &FieldId,
     ) -> Vec<(TransitionId, &'a Transition)> {
-        self.lts
-            .transitions()
-            .filter(|(_, t)| t.label().involves_field(field))
-            .collect()
+        self.lts.transitions().filter(|(_, t)| t.label().involves_field(field)).collect()
     }
 
     /// The `read` transitions performed by actors outside the allowed set —
@@ -117,21 +105,13 @@ impl<'a> LtsQuery<'a> {
 
     /// The shortest action trace (labels only) leading to a state where
     /// `actor` has identified `field`, if any.
-    pub fn trace_to_identification(
-        &self,
-        actor: &ActorId,
-        field: &FieldId,
-    ) -> Option<Vec<String>> {
+    pub fn trace_to_identification(&self, actor: &ActorId, field: &FieldId) -> Option<Vec<String>> {
         let space = self.lts.space();
         let actor = actor.clone();
         let field = field.clone();
-        self.lts
-            .path_to(move |state| state.has(space, &actor, &field))
-            .map(|path| {
-                path.into_iter()
-                    .map(|tid| self.lts.transition(tid).label().to_string())
-                    .collect()
-            })
+        self.lts.path_to(move |state| state.has(space, &actor, &field)).map(|path| {
+            path.into_iter().map(|tid| self.lts.transition(tid).label().to_string()).collect()
+        })
     }
 }
 

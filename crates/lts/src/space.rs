@@ -138,7 +138,7 @@ impl VarSpace {
         if bit >= self.variable_count() {
             return None;
         }
-        let kind = if bit % 2 == 0 { VarKind::Has } else { VarKind::Could };
+        let kind = if bit.is_multiple_of(2) { VarKind::Has } else { VarKind::Could };
         let pair = bit / 2;
         let actor = &self.actors[pair / self.fields.len()];
         let field = &self.fields[pair % self.fields.len()];
@@ -235,7 +235,8 @@ mod tests {
     fn bit_indices_are_unique_and_dense() {
         let space = space();
         let mut seen = vec![false; space.variable_count()];
-        for (actor, field) in space.pairs().map(|(a, f)| (a.clone(), f.clone())).collect::<Vec<_>>() {
+        for (actor, field) in space.pairs().map(|(a, f)| (a.clone(), f.clone())).collect::<Vec<_>>()
+        {
             for kind in [VarKind::Has, VarKind::Could] {
                 let bit = space.bit_index(&actor, &field, kind).unwrap();
                 assert!(!seen[bit], "bit {bit} assigned twice");
@@ -260,10 +261,7 @@ mod tests {
 
     #[test]
     fn display_mentions_the_variable_count() {
-        assert_eq!(
-            space().to_string(),
-            "variable space: 2 actors x 3 fields = 12 state variables"
-        );
+        assert_eq!(space().to_string(), "variable space: 2 actors x 3 fields = 12 state variables");
         assert_eq!(VarKind::Has.to_string(), "has");
         assert_eq!(VarKind::Could.to_string(), "could");
     }

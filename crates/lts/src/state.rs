@@ -61,18 +61,12 @@ impl PrivacyState {
 
     /// Whether `actor` **has identified** `field` in this state.
     pub fn has(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> bool {
-        space
-            .bit_index(actor, field, VarKind::Has)
-            .map(|bit| self.get_bit(bit))
-            .unwrap_or(false)
+        space.bit_index(actor, field, VarKind::Has).map(|bit| self.get_bit(bit)).unwrap_or(false)
     }
 
     /// Whether `actor` **could identify** `field` in this state.
     pub fn could(&self, space: &VarSpace, actor: &ActorId, field: &FieldId) -> bool {
-        space
-            .bit_index(actor, field, VarKind::Could)
-            .map(|bit| self.get_bit(bit))
-            .unwrap_or(false)
+        space.bit_index(actor, field, VarKind::Could).map(|bit| self.get_bit(bit)).unwrap_or(false)
     }
 
     /// Whether `actor` has identified **or** could identify `field`.
@@ -126,10 +120,7 @@ impl PrivacyState {
         space: &'a VarSpace,
         actor: &'a ActorId,
     ) -> impl Iterator<Item = &'a FieldId> + 'a {
-        space
-            .fields()
-            .iter()
-            .filter(move |field| self.has(space, actor, field))
+        space.fields().iter().filter(move |field| self.has(space, actor, field))
     }
 
     /// The fields that `actor` could identify (but has not necessarily
@@ -139,10 +130,7 @@ impl PrivacyState {
         space: &'a VarSpace,
         actor: &'a ActorId,
     ) -> impl Iterator<Item = &'a FieldId> + 'a {
-        space
-            .fields()
-            .iter()
-            .filter(move |field| self.could(space, actor, field))
+        space.fields().iter().filter(move |field| self.could(space, actor, field))
     }
 
     /// The (actor, field) pairs for which `has ∨ could` holds.
@@ -150,18 +138,13 @@ impl PrivacyState {
         &'a self,
         space: &'a VarSpace,
     ) -> impl Iterator<Item = (&'a ActorId, &'a FieldId)> + 'a {
-        space
-            .pairs()
-            .filter(move |(actor, field)| self.has_or_could(space, actor, field))
+        space.pairs().filter(move |(actor, field)| self.has_or_could(space, actor, field))
     }
 
     /// Returns `true` if every variable true in `self` is also true in
     /// `other` — i.e. `other` exposes at least as much as `self`.
     pub fn is_subset_of(&self, other: &PrivacyState) -> bool {
-        self.bits
-            .iter()
-            .zip(other.bits.iter())
-            .all(|(a, b)| a & !b == 0)
+        self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a & !b == 0)
     }
 
     /// The union of two states (variable-wise OR). Panics are avoided by
@@ -301,9 +284,11 @@ mod tests {
     #[test]
     fn field_iterators_list_the_right_fields() {
         let space = space();
-        let state = PrivacyState::absolute(&space)
-            .with_has(&space, &doctor(), &name())
-            .with_could(&space, &doctor(), &diagnosis());
+        let state = PrivacyState::absolute(&space).with_has(&space, &doctor(), &name()).with_could(
+            &space,
+            &doctor(),
+            &diagnosis(),
+        );
 
         let doctor = doctor();
         let identified: Vec<_> = state.fields_identified_by(&space, &doctor).collect();

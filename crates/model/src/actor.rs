@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn display_includes_id_and_kind() {
         assert_eq!(Actor::role("Doctor").to_string(), "Doctor (role)");
-        assert_eq!(
-            Actor::data_subject("Patient").to_string(),
-            "Patient (data subject)"
-        );
+        assert_eq!(Actor::data_subject("Patient").to_string(), "Patient (data subject)");
     }
 
     #[test]

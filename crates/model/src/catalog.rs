@@ -184,10 +184,7 @@ impl Catalog {
     /// # Errors
     ///
     /// Returns [`ModelError::Duplicate`] if either field already exists.
-    pub fn add_field_with_anonymised(
-        &mut self,
-        field: DataField,
-    ) -> Result<&mut Self, ModelError> {
+    pub fn add_field_with_anonymised(&mut self, field: DataField) -> Result<&mut Self, ModelError> {
         let anonymised = field.pseudonymised();
         self.add_field(field)?;
         self.add_field(anonymised)?;
@@ -411,20 +408,12 @@ mod tests {
         catalog.add_field(DataField::identifier("Name")).unwrap();
         catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
         catalog
-            .add_schema(DataSchema::new(
-                "EHR",
-                [FieldId::new("Name"), FieldId::new("Diagnosis")],
-            ))
+            .add_schema(DataSchema::new("EHR", [FieldId::new("Name"), FieldId::new("Diagnosis")]))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR-store", "EHR")).unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
         catalog
-            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
-            .unwrap();
-        catalog
-            .add_service(ServiceDecl::new(
-                "ResearchService",
-                [ActorId::new("Researcher")],
-            ))
+            .add_service(ServiceDecl::new("ResearchService", [ActorId::new("Researcher")]))
             .unwrap();
         catalog
     }
@@ -434,13 +423,9 @@ mod tests {
         let mut catalog = sample_catalog();
         assert!(catalog.add_actor(Actor::role("Doctor")).is_err());
         assert!(catalog.add_field(DataField::identifier("Name")).is_err());
-        assert!(catalog
-            .add_schema(DataSchema::empty("EHR"))
-            .is_err());
+        assert!(catalog.add_schema(DataSchema::empty("EHR")).is_err());
         assert!(catalog.add_datastore(DatastoreDecl::new("EHR-store", "EHR")).is_err());
-        assert!(catalog
-            .add_service(ServiceDecl::new("MedicalService", []))
-            .is_err());
+        assert!(catalog.add_service(ServiceDecl::new("MedicalService", [])).is_err());
     }
 
     #[test]
@@ -461,9 +446,7 @@ mod tests {
         let mut catalog = sample_catalog();
         assert!(catalog.validate().is_ok());
 
-        catalog
-            .add_schema(DataSchema::new("Broken", [FieldId::new("Missing")]))
-            .unwrap();
+        catalog.add_schema(DataSchema::new("Broken", [FieldId::new("Missing")])).unwrap();
         assert!(matches!(catalog.validate(), Err(ModelError::Unknown { .. })));
 
         let mut catalog = sample_catalog();
@@ -471,9 +454,7 @@ mod tests {
         assert!(catalog.validate().is_err());
 
         let mut catalog = sample_catalog();
-        catalog
-            .add_service(ServiceDecl::new("Ghost", [ActorId::new("Nobody")]))
-            .unwrap();
+        catalog.add_service(ServiceDecl::new("Ghost", [ActorId::new("Nobody")])).unwrap();
         assert!(catalog.validate().is_err());
     }
 
@@ -509,9 +490,7 @@ mod tests {
     #[test]
     fn add_field_with_anonymised_registers_both() {
         let mut catalog = Catalog::new();
-        catalog
-            .add_field_with_anonymised(DataField::sensitive("Weight"))
-            .unwrap();
+        catalog.add_field_with_anonymised(DataField::sensitive("Weight")).unwrap();
         assert!(catalog.field(&FieldId::new("Weight")).is_some());
         assert!(catalog.field(&FieldId::new("Weight_anon")).is_some());
         assert_eq!(catalog.field_count(), 2);

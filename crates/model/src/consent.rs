@@ -118,8 +118,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut consent: Consent =
-            [ServiceId::new("A"), ServiceId::new("B")].into_iter().collect();
+        let mut consent: Consent = [ServiceId::new("A"), ServiceId::new("B")].into_iter().collect();
         consent.extend([ServiceId::new("C")]);
         assert_eq!(consent.len(), 3);
         let names: Vec<_> = consent.services().map(ServiceId::as_str).collect();

@@ -71,10 +71,9 @@ impl fmt::Display for ModelError {
             ModelError::Unknown { kind, id } => {
                 write!(f, "unknown {kind} `{id}`")
             }
-            ModelError::OutOfRange { what, value, min, max } => write!(
-                f,
-                "{what} {value} is outside the permitted range [{min}, {max}]"
-            ),
+            ModelError::OutOfRange { what, value, min, max } => {
+                write!(f, "{what} {value} is outside the permitted range [{min}, {max}]")
+            }
             ModelError::Empty { what } => write!(f, "{what} must not be empty"),
             ModelError::Invalid { reason } => f.write_str(reason),
         }
@@ -95,16 +94,8 @@ mod tests {
         let err = ModelError::unknown("field", "Weight");
         assert_eq!(err.to_string(), "unknown field `Weight`");
 
-        let err = ModelError::OutOfRange {
-            what: "sensitivity",
-            value: 1.5,
-            min: 0.0,
-            max: 1.0,
-        };
-        assert_eq!(
-            err.to_string(),
-            "sensitivity 1.5 is outside the permitted range [0, 1]"
-        );
+        let err = ModelError::OutOfRange { what: "sensitivity", value: 1.5, min: 0.0, max: 1.0 };
+        assert_eq!(err.to_string(), "sensitivity 1.5 is outside the permitted range [0, 1]");
 
         let err = ModelError::Empty { what: "purpose" };
         assert_eq!(err.to_string(), "purpose must not be empty");

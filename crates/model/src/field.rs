@@ -237,10 +237,7 @@ impl DataSchema {
     /// Returns a new schema whose fields are the pseudonymised counterparts
     /// of this schema's fields.
     pub fn pseudonymised(&self, id: impl Into<SchemaId>) -> DataSchema {
-        DataSchema {
-            id: id.into(),
-            fields: self.fields.iter().map(FieldId::anonymised).collect(),
-        }
+        DataSchema { id: id.into(), fields: self.fields.iter().map(FieldId::anonymised).collect() }
     }
 
     /// Iterates over the fields of the schema.
@@ -269,10 +266,7 @@ mod tests {
     #[test]
     fn field_constructors_set_kind() {
         assert_eq!(DataField::identifier("Name").kind(), FieldKind::Identifier);
-        assert_eq!(
-            DataField::quasi_identifier("Age").kind(),
-            FieldKind::QuasiIdentifier
-        );
+        assert_eq!(DataField::quasi_identifier("Age").kind(), FieldKind::QuasiIdentifier);
         assert_eq!(DataField::sensitive("Diagnosis").kind(), FieldKind::Sensitive);
         assert_eq!(DataField::other("Notes").kind(), FieldKind::Other);
     }
@@ -300,12 +294,7 @@ mod tests {
     fn schema_deduplicates_fields_preserving_order() {
         let schema = DataSchema::new(
             "S",
-            [
-                FieldId::new("b"),
-                FieldId::new("a"),
-                FieldId::new("b"),
-                FieldId::new("c"),
-            ],
+            [FieldId::new("b"), FieldId::new("a"), FieldId::new("b"), FieldId::new("c")],
         );
         let order: Vec<_> = schema.fields().iter().map(FieldId::as_str).collect();
         assert_eq!(order, vec!["b", "a", "c"]);
@@ -340,9 +329,6 @@ mod tests {
 
     #[test]
     fn field_display_contains_kind() {
-        assert_eq!(
-            DataField::sensitive("Diagnosis").to_string(),
-            "Diagnosis [sensitive]"
-        );
+        assert_eq!(DataField::sensitive("Diagnosis").to_string(), "Diagnosis [sensitive]");
     }
 }

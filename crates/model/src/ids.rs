@@ -137,9 +137,7 @@ impl FieldId {
     /// assert_eq!(FieldId::new("Weight").original(), None);
     /// ```
     pub fn original(&self) -> Option<FieldId> {
-        self.0
-            .strip_suffix(Self::ANON_SUFFIX)
-            .map(|base| FieldId::new(base.to_owned()))
+        self.0.strip_suffix(Self::ANON_SUFFIX).map(|base| FieldId::new(base.to_owned()))
     }
 }
 

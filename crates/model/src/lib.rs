@@ -73,9 +73,7 @@ pub mod prelude {
     pub use crate::consent::Consent;
     pub use crate::error::ModelError;
     pub use crate::field::{DataField, DataSchema, FieldKind};
-    pub use crate::ids::{
-        ActorId, DatastoreId, FieldId, RoleId, SchemaId, ServiceId, UserId,
-    };
+    pub use crate::ids::{ActorId, DatastoreId, FieldId, RoleId, SchemaId, ServiceId, UserId};
     pub use crate::purpose::Purpose;
     pub use crate::risk_level::{Likelihood, RiskLevel, Severity};
     pub use crate::sensitivity::{Sensitivity, SensitivityCategory, SensitivityProfile};

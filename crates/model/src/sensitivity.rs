@@ -38,12 +38,7 @@ impl Sensitivity {
     /// `[0, 1]`.
     pub fn new(value: f64) -> Result<Self, ModelError> {
         if value.is_nan() || !(0.0..=1.0).contains(&value) {
-            return Err(ModelError::OutOfRange {
-                what: "sensitivity",
-                value,
-                min: 0.0,
-                max: 1.0,
-            });
+            return Err(ModelError::OutOfRange { what: "sensitivity", value, min: 0.0, max: 1.0 });
         }
         Ok(Sensitivity(value))
     }
@@ -243,19 +238,13 @@ impl SensitivityProfile {
     /// sensitive as the most sensitive data field"*; this helper implements
     /// that aggregation.
     pub fn max_over<'a>(&self, fields: impl IntoIterator<Item = &'a FieldId>) -> Sensitivity {
-        fields
-            .into_iter()
-            .map(|f| self.sensitivity(f))
-            .fold(Sensitivity::ZERO, Sensitivity::max)
+        fields.into_iter().map(|f| self.sensitivity(f)).fold(Sensitivity::ZERO, Sensitivity::max)
     }
 }
 
 impl FromIterator<(FieldId, Sensitivity)> for SensitivityProfile {
     fn from_iter<T: IntoIterator<Item = (FieldId, Sensitivity)>>(iter: T) -> Self {
-        SensitivityProfile {
-            default: Sensitivity::ZERO,
-            per_field: iter.into_iter().collect(),
-        }
+        SensitivityProfile { default: Sensitivity::ZERO, per_field: iter.into_iter().collect() }
     }
 }
 
@@ -299,11 +288,9 @@ mod tests {
 
     #[test]
     fn representative_values_round_trip_through_category() {
-        for category in [
-            SensitivityCategory::Low,
-            SensitivityCategory::Medium,
-            SensitivityCategory::High,
-        ] {
+        for category in
+            [SensitivityCategory::Low, SensitivityCategory::Medium, SensitivityCategory::High]
+        {
             assert_eq!(category.representative().category(), category);
         }
     }

@@ -163,9 +163,6 @@ mod tests {
     #[test]
     fn display_summarises_profile() {
         let user = UserProfile::new("u4").consents_to(ServiceId::new("S"));
-        assert_eq!(
-            user.to_string(),
-            "user u4 (1 consented services, 0 declared sensitivities)"
-        );
+        assert_eq!(user.to_string(), "user u4 (1 consented services, 0 declared sensitivities)");
     }
 }

@@ -280,10 +280,7 @@ impl Dataset {
         columns: impl IntoIterator<Item = FieldId>,
         records: impl IntoIterator<Item = Record>,
     ) -> Self {
-        Dataset {
-            columns: columns.into_iter().collect(),
-            records: records.into_iter().collect(),
-        }
+        Dataset { columns: columns.into_iter().collect(), records: records.into_iter().collect() }
     }
 
     /// The declared columns.
@@ -328,19 +325,13 @@ impl Dataset {
 
     /// All values of a column (missing cells are skipped).
     pub fn column(&self, field: &FieldId) -> Vec<Value> {
-        self.records
-            .iter()
-            .filter_map(|r| r.get(field).cloned())
-            .collect()
+        self.records.iter().filter_map(|r| r.get(field).cloned()).collect()
     }
 
     /// All numeric values of a column (non-numeric and missing cells are
     /// skipped; intervals contribute their midpoint).
     pub fn numeric_column(&self, field: &FieldId) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter_map(|r| r.get(field).and_then(Value::as_f64))
-            .collect()
+        self.records.iter().filter_map(|r| r.get(field).and_then(Value::as_f64)).collect()
     }
 
     /// Checks that every record only uses declared columns.
@@ -473,12 +464,10 @@ mod tests {
 
     #[test]
     fn dataset_from_iterator_infers_columns() {
-        let data: Dataset = [
-            Record::new().with("Age", 1),
-            Record::new().with("Weight", 2.0).with("Age", 3),
-        ]
-        .into_iter()
-        .collect();
+        let data: Dataset =
+            [Record::new().with("Age", 1), Record::new().with("Weight", 2.0).with("Age", 3)]
+                .into_iter()
+                .collect();
         assert_eq!(data.columns().len(), 2);
         assert_eq!(data.len(), 2);
     }

@@ -140,11 +140,7 @@ impl DisclosureReport {
 
     /// The highest risk level found (Low when there are no findings).
     pub fn max_level(&self) -> RiskLevel {
-        self.findings
-            .iter()
-            .map(DisclosureFinding::level)
-            .max()
-            .unwrap_or(RiskLevel::Low)
+        self.findings.iter().map(DisclosureFinding::level).max().unwrap_or(RiskLevel::Low)
     }
 
     /// The risk level for a specific actor and field (Low if no finding
@@ -394,8 +390,7 @@ mod tests {
         let (catalog, system, policy) = fixture();
         let mut lts =
             generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
-        let report =
-            DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
+        let report = DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
 
         // The non-allowed actors are exactly the Administrator and the
         // Researcher, as in the paper.
@@ -442,8 +437,7 @@ mod tests {
 
         let mut lts =
             generate_lts(&catalog, &system, &revised, &GeneratorConfig::default()).unwrap();
-        let report =
-            DisclosureAnalysis::new(&catalog, &revised).analyse(&mut lts, &case_a_user());
+        let report = DisclosureAnalysis::new(&catalog, &revised).analyse(&mut lts, &case_a_user());
 
         assert_eq!(
             report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
@@ -496,12 +490,11 @@ mod tests {
         let (catalog, system, policy) = fixture();
         let mut lts =
             generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
-        let report =
-            DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
+        let report = DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
         let text = report.to_string();
         assert!(text.contains("disclosure risk for patient-1"));
         assert!(text.contains("Administrator"));
         assert!(text.contains("Medium"));
-        assert!(report.len() >= 1);
+        assert!(!report.is_empty());
     }
 }

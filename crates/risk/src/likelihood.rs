@@ -132,8 +132,7 @@ impl LikelihoodModel {
         datastore: impl Into<DatastoreId>,
         scenarios: impl IntoIterator<Item = Scenario>,
     ) -> &mut Self {
-        self.overrides
-            .insert((actor.into(), datastore.into()), scenarios.into_iter().collect());
+        self.overrides.insert((actor.into(), datastore.into()), scenarios.into_iter().collect());
         self
     }
 
@@ -149,11 +148,7 @@ impl LikelihoodModel {
     /// outside of an agreed service: the sum of the scenario probabilities,
     /// capped at 1.
     pub fn probability(&self, actor: &ActorId, datastore: &DatastoreId) -> f64 {
-        self.scenarios_for(actor, datastore)
-            .iter()
-            .map(Scenario::probability)
-            .sum::<f64>()
-            .min(1.0)
+        self.scenarios_for(actor, datastore).iter().map(Scenario::probability).sum::<f64>().min(1.0)
     }
 
     /// The default scenarios.
@@ -225,9 +220,7 @@ mod tests {
         );
         assert!((model.probability(&admin(), &ehr()) - 0.6).abs() < 1e-12);
         // Other pairs keep the defaults.
-        assert!(
-            (model.probability(&ActorId::new("Researcher"), &ehr()) - 0.07).abs() < 1e-12
-        );
+        assert!((model.probability(&ActorId::new("Researcher"), &ehr()) - 0.07).abs() < 1e-12);
         assert_eq!(model.scenarios_for(&admin(), &ehr()).len(), 2);
     }
 
@@ -250,9 +243,6 @@ mod tests {
         model.add_default(scenario);
         assert!(model.to_string().contains("1 default scenarios"));
         assert_eq!(ScenarioKind::DeletePreview.to_string(), "delete preview");
-        assert_eq!(
-            ScenarioKind::NonAgreedService.to_string(),
-            "non-agreed service execution"
-        );
+        assert_eq!(ScenarioKind::NonAgreedService.to_string(), "non-agreed service execution");
     }
 }

@@ -38,11 +38,7 @@ impl RiskMatrix {
     pub fn standard() -> Self {
         use RiskLevel::{High, Low, Medium};
         RiskMatrix {
-            table: [
-                [Low, Low, Medium],
-                [Low, Medium, High],
-                [Medium, High, High],
-            ],
+            table: [[Low, Low, Medium], [Low, Medium, High], [Medium, High, High]],
             impact_medium: 1.0 / 3.0,
             impact_high: 2.0 / 3.0,
             likelihood_medium: 1.0 / 3.0,
@@ -133,9 +129,7 @@ fn validate_thresholds(medium: f64, high: f64) -> Result<(), ModelError> {
         || high.is_nan()
         || medium > high
     {
-        return Err(ModelError::invalid(
-            "thresholds must satisfy 0 <= medium <= high <= 1",
-        ));
+        return Err(ModelError::invalid("thresholds must satisfy 0 <= medium <= high <= 1"));
     }
     Ok(())
 }
@@ -209,9 +203,7 @@ mod tests {
         assert!(RiskMatrix::standard().with_impact_thresholds(0.8, 0.2).is_err());
         assert!(RiskMatrix::standard().with_impact_thresholds(-0.1, 0.5).is_err());
         assert!(RiskMatrix::standard().with_likelihood_thresholds(0.5, 1.5).is_err());
-        assert!(RiskMatrix::standard()
-            .with_likelihood_thresholds(f64::NAN, 0.5)
-            .is_err());
+        assert!(RiskMatrix::standard().with_likelihood_thresholds(f64::NAN, 0.5).is_err());
     }
 
     #[test]

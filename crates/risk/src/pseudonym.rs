@@ -51,11 +51,7 @@ impl PseudonymFinding {
         if self.visible.is_empty() {
             "(none)".to_owned()
         } else {
-            self.visible
-                .iter()
-                .map(FieldId::as_str)
-                .collect::<Vec<_>>()
-                .join("+")
+            self.visible.iter().map(FieldId::as_str).collect::<Vec<_>>().join("+")
         }
     }
 }
@@ -105,10 +101,7 @@ impl PseudonymReport {
 
     /// The worst violation rate across the findings.
     pub fn max_violation_rate(&self) -> f64 {
-        self.findings
-            .iter()
-            .map(PseudonymFinding::violation_rate)
-            .fold(0.0, f64::max)
+        self.findings.iter().map(PseudonymFinding::violation_rate).fold(0.0, f64::max)
     }
 
     /// Returns `true` if the configured violation threshold is exceeded — the
@@ -124,11 +117,7 @@ impl PseudonymReport {
 
 impl fmt::Display for PseudonymReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "pseudonymisation risk for adversary {}: {}",
-            self.adversary, self.policy
-        )?;
+        writeln!(f, "pseudonymisation risk for adversary {}: {}", self.adversary, self.policy)?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -151,7 +140,11 @@ pub struct PseudonymAnalysis<'a> {
 
 impl<'a> PseudonymAnalysis<'a> {
     /// Creates an analysis for the given value-risk policy.
-    pub fn new(catalog: &'a Catalog, policy: &'a AccessPolicy, value_policy: ValueRiskPolicy) -> Self {
+    pub fn new(
+        catalog: &'a Catalog,
+        policy: &'a AccessPolicy,
+        value_policy: ValueRiskPolicy,
+    ) -> Self {
         PseudonymAnalysis { catalog, policy, value_policy, violation_threshold: None }
     }
 
@@ -190,8 +183,7 @@ impl<'a> PseudonymAnalysis<'a> {
             findings.push(PseudonymFinding { visible: visible.clone(), report });
         }
 
-        let risk_transitions =
-            self.annotate_lts(lts, adversary, release)?;
+        let risk_transitions = self.annotate_lts(lts, adversary, release)?;
 
         Ok(PseudonymReport {
             adversary: adversary.clone(),
@@ -258,12 +250,8 @@ impl<'a> PseudonymAnalysis<'a> {
 
         // Candidate visible quasi-identifiers: release columns other than the
         // target field.
-        let qi_columns: Vec<FieldId> = release
-            .columns()
-            .iter()
-            .filter(|c| *c != &target)
-            .cloned()
-            .collect();
+        let qi_columns: Vec<FieldId> =
+            release.columns().iter().filter(|c| *c != &target).cloned().collect();
 
         let mut added = Vec::new();
         let at_risk: Vec<StateId> = lts
@@ -299,21 +287,17 @@ impl<'a> PseudonymAnalysis<'a> {
 
             let target_state = state.with_has(&space, adversary, &target);
             let target_id = lts.intern(target_state);
-            let label = TransitionLabel::new(
-                ActionKind::Read,
-                adversary.clone(),
-                [target.clone()],
-                None,
-            )
-            .with_risk(
-                RiskAnnotation::level(level)
-                    .with_score(report.max_risk())
-                    .with_note(format!(
+            let label =
+                TransitionLabel::new(ActionKind::Read, adversary.clone(), [target.clone()], None)
+                    .with_risk(
+                        RiskAnnotation::level(level).with_score(report.max_risk()).with_note(
+                            format!(
                         "{violations} value-risk violations with visible quasi-identifiers \
                          {:?}",
                         visible.iter().map(FieldId::as_str).collect::<Vec<_>>()
-                    )),
-            );
+                    ),
+                        ),
+                    );
             added.push(lts.add_risk_transition(state_id, target_id, label));
         }
         Ok(added)
@@ -367,16 +351,9 @@ mod tests {
         catalog.add_actor(Actor::role("Researcher")).unwrap();
         catalog.add_actor(Actor::role("Administrator")).unwrap();
         for field in ["Age", "Height", "Weight"] {
-            catalog
-                .add_field_with_anonymised(DataField::quasi_identifier(field))
-                .unwrap();
+            catalog.add_field_with_anonymised(DataField::quasi_identifier(field)).unwrap();
         }
-        catalog
-            .add_schema(DataSchema::new(
-                "EHRSchema",
-                [age(), height(), weight()],
-            ))
-            .unwrap();
+        catalog.add_schema(DataSchema::new("EHRSchema", [age(), height(), weight()])).unwrap();
         catalog
             .add_schema(DataSchema::new(
                 "AnonSchema",
@@ -388,9 +365,7 @@ mod tests {
             ))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
-        catalog
-            .add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema"))
-            .unwrap();
+        catalog.add_datastore(DatastoreDecl::anonymised("AnonEHR", "AnonSchema")).unwrap();
 
         let acl = AccessControlList::new()
             .with_grant(Grant::read_all("Researcher", "AnonEHR"))
@@ -415,11 +390,9 @@ mod tests {
         let s2 = lts.intern(s2_state.clone());
         let s3_state = s2_state.with_has(&space, &researcher, &FieldId::new("Age_anon"));
         let s3 = lts.intern(s3_state);
-        for (from, to, field) in [
-            (s0, s1, "Weight_anon"),
-            (s1, s2, "Height_anon"),
-            (s2, s3, "Age_anon"),
-        ] {
+        for (from, to, field) in
+            [(s0, s1, "Weight_anon"), (s1, s2, "Height_anon"), (s2, s3, "Age_anon")]
+        {
             lts.add_transition(
                 from,
                 to,

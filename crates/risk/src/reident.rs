@@ -215,10 +215,7 @@ pub fn reident_risk(
                     record_risks[member] = risk;
                 }
             }
-            let at_risk = record_risks
-                .iter()
-                .filter(|&&r| r + 1e-12 >= policy.threshold())
-                .count();
+            let at_risk = record_risks.iter().filter(|&&r| r + 1e-12 >= policy.threshold()).count();
             ReidentFinding {
                 visible: visible.clone(),
                 record_risks,
@@ -290,11 +287,8 @@ mod tests {
     #[test]
     fn table1_classes_give_expected_prosecutor_risks() {
         let release = table1_release();
-        let report = reident_risk(
-            &release,
-            &[vec![], vec![age(), height()]],
-            &ReidentPolicy::majority(),
-        );
+        let report =
+            reident_risk(&release, &[vec![], vec![age(), height()]], &ReidentPolicy::majority());
         // With nothing visible there is a single class of six records.
         assert!((report.findings()[0].max_risk() - 1.0 / 6.0).abs() < 1e-9);
         // With Age and Height visible the smallest class has two records.
@@ -305,8 +299,7 @@ mod tests {
     #[test]
     fn marketer_risk_equals_classes_over_records() {
         let release = table1_release();
-        let report =
-            reident_risk(&release, &[vec![age(), height()]], &ReidentPolicy::majority());
+        let report = reident_risk(&release, &[vec![age(), height()]], &ReidentPolicy::majority());
         // Three equivalence classes over six records → expected fraction 1/2.
         assert!((report.findings()[0].average_risk() - 0.5).abs() < 1e-9);
     }
@@ -334,8 +327,7 @@ mod tests {
     #[test]
     fn report_and_findings_render_readably() {
         let release = table1_release();
-        let report =
-            reident_risk(&release, &[vec![age()]], &ReidentPolicy::majority());
+        let report = reident_risk(&release, &[vec![age()]], &ReidentPolicy::majority());
         let text = report.to_string();
         assert!(text.contains("re-identification risk"));
         assert!(text.contains("visible Age"));

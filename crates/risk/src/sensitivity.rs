@@ -25,10 +25,7 @@ impl SensitivityModel {
     /// Builds the model for one user: the allowed actors are the union of
     /// the actors of every service the user consented to.
     pub fn new(catalog: &Catalog, user: &UserProfile) -> Self {
-        let allowed = catalog
-            .allowed_actors(user.consent().services())
-            .into_iter()
-            .collect();
+        let allowed = catalog.allowed_actors(user.consent().services()).into_iter().collect();
         SensitivityModel { user: user.clone(), allowed }
     }
 
@@ -48,15 +45,8 @@ impl SensitivityModel {
     }
 
     /// The non-allowed actors among the given candidates.
-    pub fn non_allowed<'a>(
-        &self,
-        actors: impl IntoIterator<Item = &'a ActorId>,
-    ) -> Vec<ActorId> {
-        actors
-            .into_iter()
-            .filter(|a| !self.is_allowed(a))
-            .cloned()
-            .collect()
+    pub fn non_allowed<'a>(&self, actors: impl IntoIterator<Item = &'a ActorId>) -> Vec<ActorId> {
+        actors.into_iter().filter(|a| !self.is_allowed(a)).cloned().collect()
     }
 
     /// The user's raw sensitivity `σ(d)` for a field.
@@ -125,14 +115,9 @@ mod tests {
         catalog.add_field(DataField::identifier("Name")).unwrap();
         catalog.add_field(DataField::sensitive("Diagnosis")).unwrap();
         catalog
-            .add_schema(DataSchema::new(
-                "S",
-                [FieldId::new("Name"), FieldId::new("Diagnosis")],
-            ))
+            .add_schema(DataSchema::new("S", [FieldId::new("Name"), FieldId::new("Diagnosis")]))
             .unwrap();
-        catalog
-            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
-            .unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
         catalog
             .add_service(ServiceDecl::new(
                 "ResearchService",
@@ -155,12 +140,8 @@ mod tests {
         assert!(!model.is_allowed(&ActorId::new("Administrator")));
         assert!(!model.is_allowed(&ActorId::new("Researcher")));
         let non_allowed = model.non_allowed(
-            [
-                ActorId::new("Doctor"),
-                ActorId::new("Administrator"),
-                ActorId::new("Researcher"),
-            ]
-            .iter(),
+            [ActorId::new("Doctor"), ActorId::new("Administrator"), ActorId::new("Researcher")]
+                .iter(),
         );
         assert_eq!(non_allowed.len(), 2);
     }

@@ -100,9 +100,8 @@ pub fn run_concurrent_workload(
         while let Ok(event) = event_rx.recv() {
             alerts.extend(monitor.observe(&event));
         }
-        let engine = Arc::try_unwrap(engine)
-            .map(Mutex::into_inner)
-            .unwrap_or_else(|arc| arc.lock().clone());
+        let engine =
+            Arc::try_unwrap(engine).map(Mutex::into_inner).unwrap_or_else(|arc| arc.lock().clone());
         let failed_requests = *failed.lock();
         ConcurrentOutcome { engine, monitor, alerts, failed_requests }
     })
@@ -131,9 +130,7 @@ mod tests {
             ))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
-        catalog
-            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
-            .unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
 
         let medical = DiagramBuilder::new("MedicalService")
             .collect("Doctor", ["Name", "Diagnosis"], "consultation", 1)
@@ -165,10 +162,8 @@ mod tests {
                     ),
             );
         }
-        let workload: Vec<ServiceRequest> = users
-            .iter()
-            .map(|u| ServiceRequest::new(u.as_str(), "MedicalService"))
-            .collect();
+        let workload: Vec<ServiceRequest> =
+            users.iter().map(|u| ServiceRequest::new(u.as_str(), "MedicalService")).collect();
 
         let outcome = run_concurrent_workload(
             engine,
@@ -187,10 +182,7 @@ mod tests {
         assert_eq!(outcome.monitor.alerts().len(), 8);
         // Every user's record landed in the EHR.
         assert_eq!(
-            outcome
-                .engine
-                .stores()
-                .record_count(&privacy_model::DatastoreId::new("EHR")),
+            outcome.engine.stores().record_count(&privacy_model::DatastoreId::new("EHR")),
             8
         );
     }
@@ -200,8 +192,10 @@ mod tests {
         let (catalog, system, policy) = fixture();
         let engine = ServiceEngine::new(catalog.clone(), system, policy.clone());
         let monitor = RuntimeMonitor::new(catalog, policy);
-        let workload =
-            vec![ServiceRequest::new("u0", "NoSuchService"), ServiceRequest::new("u1", "MedicalService")];
+        let workload = vec![
+            ServiceRequest::new("u0", "NoSuchService"),
+            ServiceRequest::new("u1", "MedicalService"),
+        ];
         let outcome = run_concurrent_workload(
             engine,
             monitor,

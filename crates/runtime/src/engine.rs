@@ -77,7 +77,13 @@ pub struct ServiceEngine {
 impl ServiceEngine {
     /// Creates an engine over a system model.
     pub fn new(catalog: Catalog, system: SystemDataFlows, policy: AccessPolicy) -> Self {
-        ServiceEngine { catalog, system, policy, stores: DatastoreState::new(), log: EventLog::new() }
+        ServiceEngine {
+            catalog,
+            system,
+            policy,
+            stores: DatastoreState::new(),
+            log: EventLog::new(),
+        }
     }
 
     /// The catalog the engine serves.
@@ -152,15 +158,13 @@ impl ServiceEngine {
                 }
                 FlowKind::Create | FlowKind::Anonymise => {
                     let store = flow.to().as_datastore().cloned().expect("create targets a store");
-                    let permitted = flow.fields().iter().all(|field| {
-                        self.policy.can(&actor, Permission::Create, &store, field)
-                    });
+                    let permitted = flow
+                        .fields()
+                        .iter()
+                        .all(|field| self.policy.can(&actor, Permission::Create, &store, field));
                     if permitted {
                         let values = flow.fields().iter().map(|field| {
-                            let value = user_data
-                                .get(field)
-                                .cloned()
-                                .unwrap_or(Value::Null);
+                            let value = user_data.get(field).cloned().unwrap_or(Value::Null);
                             (field.clone(), value)
                         });
                         self.stores.write(&store, user, values);
@@ -174,9 +178,10 @@ impl ServiceEngine {
                 }
                 FlowKind::Read => {
                     let store = flow.from().as_datastore().cloned().expect("read sources a store");
-                    let permitted = flow.fields().iter().all(|field| {
-                        self.policy.can(&actor, Permission::Read, &store, field)
-                    });
+                    let permitted = flow
+                        .fields()
+                        .iter()
+                        .all(|field| self.policy.can(&actor, Permission::Read, &store, field));
                     (ActionKind::Read, Some(store), permitted)
                 }
                 _ => (ActionKind::Disclose, None, false),
@@ -208,7 +213,9 @@ mod tests {
     use super::*;
     use privacy_access::{AccessControlList, Grant, PolicyDelta};
     use privacy_dataflow::DiagramBuilder;
-    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl};
+    use privacy_model::{
+        Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl,
+    };
 
     fn fixture() -> (Catalog, SystemDataFlows, AccessPolicy) {
         let mut catalog = Catalog::new();
@@ -223,14 +230,9 @@ mod tests {
             ))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
         catalog
-            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
-            .unwrap();
-        catalog
-            .add_service(ServiceDecl::new(
-                "AuditService",
-                [ActorId::new("Administrator")],
-            ))
+            .add_service(ServiceDecl::new("AuditService", [ActorId::new("Administrator")]))
             .unwrap();
 
         let medical = DiagramBuilder::new("MedicalService")
@@ -245,11 +247,8 @@ mod tests {
             .read("Administrator", "EHR", ["Diagnosis"], "audit", 1)
             .unwrap()
             .build();
-        let system = SystemDataFlows::new()
-            .with_diagram(medical)
-            .unwrap()
-            .with_diagram(audit)
-            .unwrap();
+        let system =
+            SystemDataFlows::new().with_diagram(medical).unwrap().with_diagram(audit).unwrap();
 
         let acl = AccessControlList::new()
             .with_grant(Grant::read_write_all("Doctor", "EHR"))
@@ -293,8 +292,11 @@ mod tests {
     fn denied_flows_are_logged_but_have_no_effect() {
         let (catalog, system, policy) = fixture();
         // Revoke the administrator's read access before running the audit.
-        let revised = policy
-            .with_applied(&PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"));
+        let revised = policy.with_applied(&PolicyDelta::new().revoke(
+            "Administrator",
+            Permission::Read,
+            "EHR",
+        ));
         let mut engine = ServiceEngine::new(catalog, system, revised);
 
         engine
@@ -334,8 +336,7 @@ mod tests {
     fn unknown_service_is_an_error() {
         let (catalog, system, policy) = fixture();
         let mut engine = ServiceEngine::new(catalog, system, policy);
-        let result =
-            engine.execute(&UserId::new("alice"), &ServiceId::new("Nope"), &Record::new());
+        let result = engine.execute(&UserId::new("alice"), &ServiceId::new("Nope"), &Record::new());
         assert!(matches!(result, Err(ModelError::Unknown { .. })));
     }
 
@@ -351,9 +352,11 @@ mod tests {
             .unwrap();
         assert!(ok.fully_permitted());
 
-        engine.set_policy(policy.with_applied(
-            &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-        ));
+        engine.set_policy(policy.with_applied(&PolicyDelta::new().revoke(
+            "Administrator",
+            Permission::Read,
+            "EHR",
+        )));
         let denied = engine
             .execute(&UserId::new("alice"), &ServiceId::new("AuditService"), &Record::new())
             .unwrap();

@@ -105,8 +105,7 @@ impl RuntimeMonitor {
     pub fn register_user(&mut self, profile: &UserProfile) {
         let sensitivity = SensitivityModel::new(&self.catalog, profile);
         let state = PrivacyState::absolute(&self.space);
-        self.users
-            .insert(profile.id().clone(), (sensitivity, state));
+        self.users.insert(profile.id().clone(), (sensitivity, state));
     }
 
     /// The current privacy state of a registered user.
@@ -233,8 +232,8 @@ mod tests {
     use privacy_access::{AccessControlList, Grant, PolicyDelta};
     use privacy_dataflow::{DiagramBuilder, SystemDataFlows};
     use privacy_model::{
-        Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, Record,
-        SensitivityCategory, ServiceDecl, ServiceId,
+        Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, Record, SensitivityCategory,
+        ServiceDecl, ServiceId,
     };
 
     fn fixture() -> (Catalog, SystemDataFlows, AccessPolicy) {
@@ -250,9 +249,7 @@ mod tests {
             ))
             .unwrap();
         catalog.add_datastore(DatastoreDecl::new("EHR", "EHRSchema")).unwrap();
-        catalog
-            .add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")]))
-            .unwrap();
+        catalog.add_service(ServiceDecl::new("MedicalService", [ActorId::new("Doctor")])).unwrap();
 
         let medical = DiagramBuilder::new("MedicalService")
             .collect("Doctor", ["Name", "Diagnosis"], "consultation", 1)
@@ -317,8 +314,11 @@ mod tests {
     #[test]
     fn revised_policy_raises_no_alert() {
         let (catalog, system, policy) = fixture();
-        let revised = policy
-            .with_applied(&PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"));
+        let revised = policy.with_applied(&PolicyDelta::new().revoke(
+            "Administrator",
+            Permission::Read,
+            "EHR",
+        ));
         let mut engine = ServiceEngine::new(catalog.clone(), system, revised.clone());
         let mut monitor = RuntimeMonitor::new(catalog, revised);
         monitor.register_user(&alice_profile());
@@ -380,11 +380,7 @@ mod tests {
         monitor.observe(&delete);
         let state = monitor.state_of(&UserId::new("alice")).unwrap();
         let space = VarSpace::from_catalog(&catalog);
-        assert!(!state.could(
-            &space,
-            &ActorId::new("Administrator"),
-            &FieldId::new("Diagnosis")
-        ));
+        assert!(!state.could(&space, &ActorId::new("Administrator"), &FieldId::new("Diagnosis")));
     }
 
     #[test]

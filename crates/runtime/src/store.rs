@@ -29,12 +29,8 @@ impl DatastoreState {
         user: &UserId,
         values: impl IntoIterator<Item = (FieldId, Value)>,
     ) {
-        let record = self
-            .contents
-            .entry(datastore.clone())
-            .or_default()
-            .entry(user.clone())
-            .or_default();
+        let record =
+            self.contents.entry(datastore.clone()).or_default().entry(user.clone()).or_default();
         for (field, value) in values {
             record.set(field, value);
         }
@@ -109,10 +105,7 @@ mod tests {
         state.write(&ehr(), &alice(), [(FieldId::new("Name"), Value::from("Alice"))]);
         state.write(&ehr(), &alice(), [(FieldId::new("Diagnosis"), Value::from("flu"))]);
 
-        assert_eq!(
-            state.read(&ehr(), &alice(), &FieldId::new("Name")),
-            Some(Value::from("Alice"))
-        );
+        assert_eq!(state.read(&ehr(), &alice(), &FieldId::new("Name")), Some(Value::from("Alice")));
         assert_eq!(
             state.read(&ehr(), &alice(), &FieldId::new("Diagnosis")),
             Some(Value::from("flu"))

@@ -27,7 +27,9 @@ pub mod records;
 pub mod workload;
 
 pub use profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
-pub use records::{random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig};
+pub use records::{
+    random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
+};
 pub use workload::{random_workload, ServiceRequest, WorkloadConfig};
 
 /// Convenience re-export of the most commonly used items.

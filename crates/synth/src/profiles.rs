@@ -84,8 +84,7 @@ pub fn random_profiles(config: &ProfileGeneratorConfig) -> Vec<UserProfile> {
             for field in &config.fields {
                 if rng.gen_bool(config.sensitivity_probability.clamp(0.0, 1.0)) {
                     let value: f64 = rng.gen_range(0.0..=1.0);
-                    user.sensitivities_mut()
-                        .set(field.clone(), Sensitivity::clamped(value));
+                    user.sensitivities_mut().set(field.clone(), Sensitivity::clamped(value));
                 }
             }
             user
@@ -103,15 +102,10 @@ mod tests {
         assert!(user.consent().includes(&ServiceId::new("MedicalService")));
         assert!(!user.consent().includes(&ServiceId::new("MedicalResearchService")));
         assert_eq!(
-            user.sensitivities()
-                .sensitivity(&FieldId::new("Diagnosis"))
-                .category(),
+            user.sensitivities().sensitivity(&FieldId::new("Diagnosis")).category(),
             SensitivityCategory::High
         );
-        assert!(user
-            .sensitivities()
-            .sensitivity(&FieldId::new("Name"))
-            .is_zero());
+        assert!(user.sensitivities().sensitivity(&FieldId::new("Name")).is_zero());
     }
 
     #[test]

@@ -49,10 +49,7 @@ pub fn table1_raw_records() -> Dataset {
     Dataset::from_records(
         [fields::age(), fields::height(), fields::weight()],
         rows.iter().map(|(age, height, weight)| {
-            Record::new()
-                .with("Age", *age)
-                .with("Height", *height)
-                .with("Weight", *weight)
+            Record::new().with("Age", *age).with("Height", *height).with("Weight", *weight)
         }),
     )
 }
@@ -154,14 +151,8 @@ pub fn random_health_records(config: &RecordGeneratorConfig) -> Dataset {
     for index in 0..config.count {
         let mut record = Record::new()
             .with("Age", rng.gen_range(config.age_range.0..=config.age_range.1))
-            .with(
-                "Height",
-                rng.gen_range(config.height_range.0..=config.height_range.1),
-            )
-            .with(
-                "Weight",
-                round1(rng.gen_range(config.weight_range.0..=config.weight_range.1)),
-            );
+            .with("Height", rng.gen_range(config.height_range.0..=config.height_range.1))
+            .with("Weight", round1(rng.gen_range(config.weight_range.0..=config.weight_range.1)));
         if config.include_names {
             record.set("Name", format!("patient-{index:05}"));
         }
@@ -253,10 +244,8 @@ mod tests {
             assert!(config.diagnosis_codes.contains(&diagnosis.to_owned()));
         }
         // Names are unique.
-        let names: std::collections::BTreeSet<String> = data
-            .iter()
-            .map(|r| r.get(&fields::name()).unwrap().to_string())
-            .collect();
+        let names: std::collections::BTreeSet<String> =
+            data.iter().map(|r| r.get(&fields::name()).unwrap().to_string()).collect();
         assert_eq!(names.len(), 10);
     }
 

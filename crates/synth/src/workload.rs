@@ -128,10 +128,7 @@ mod tests {
     fn weights_bias_the_service_mix() {
         let config = WorkloadConfig {
             length: 500,
-            services: vec![
-                (ServiceId::new("A"), 1.0),
-                (ServiceId::new("B"), 0.0),
-            ],
+            services: vec![(ServiceId::new("A"), 1.0), (ServiceId::new("B"), 0.0)],
             ..WorkloadConfig::default()
         };
         let workload = random_workload(&config);

@@ -30,7 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\n{:>3} {:>12} {:>12} {:>12} {:>8} {:>10} {:>12} {:>12}",
-        "k", "value-viol", "reident@50%", "prosecutor", "l-div", "t-close", "mean-shift", "suppressed"
+        "k",
+        "value-viol",
+        "reident@50%",
+        "prosecutor",
+        "l-div",
+        "t-close",
+        "mean-shift",
+        "suppressed"
     );
     for k in [2, 3, 5, 10, 20] {
         let anonymiser = KAnonymizer::new(k)

@@ -19,19 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let disclosure = outcome.report.disclosure().expect("disclosure analysis ran");
     println!(
         "non-allowed actors: {:?}",
-        disclosure
-            .non_allowed_actors()
-            .iter()
-            .map(|a| a.as_str())
-            .collect::<Vec<_>>()
+        disclosure.non_allowed_actors().iter().map(|a| a.as_str()).collect::<Vec<_>>()
     );
     for finding in disclosure.findings() {
         println!("  {finding}");
     }
-    let admin_risk = disclosure.risk_for(
-        &casestudy::actors::administrator(),
-        &casestudy::fields::diagnosis(),
-    );
+    let admin_risk =
+        disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis());
     println!("Administrator / Diagnosis risk: {admin_risk}");
     assert_eq!(admin_risk, RiskLevel::Medium);
 
@@ -43,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let revised = system.with_policy(system.policy().with_applied(&delta));
     let outcome = Pipeline::new(&revised).analyse_user(&user)?;
     let disclosure = outcome.report.disclosure().expect("disclosure analysis ran");
-    let admin_risk = disclosure.risk_for(
-        &casestudy::actors::administrator(),
-        &casestudy::fields::diagnosis(),
-    );
+    let admin_risk =
+        disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis());
     println!("Administrator / Diagnosis risk: {admin_risk}");
     assert_eq!(admin_risk, RiskLevel::Low);
     println!("risk reduced from Medium to Low — matching the paper's Case Study A");

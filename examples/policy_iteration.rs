@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Candidate remedies the designer is willing to consider, in order of
     // increasing disruption.
-    let candidate_deltas = vec![
+    let candidate_deltas = [
         PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
         PolicyDelta::new().revoke("Nurse", Permission::Read, "EHR"),
         PolicyDelta::new().revoke("Doctor", Permission::Read, "Appointments"),
@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 worst_user = user.id().as_str().to_owned();
             }
         }
-        println!("round {round}: worst risk across {} users = {worst} (user {worst_user})", users.len());
+        println!(
+            "round {round}: worst risk across {} users = {worst} (user {worst_user})",
+            users.len()
+        );
 
         if !worst.at_least(RiskLevel::Medium) {
             println!("design accepted after {round} policy change(s)");

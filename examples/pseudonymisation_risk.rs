@@ -29,9 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let release = table1_release();
     let policy = ValueRiskPolicy::weight_within_5kg_at_90_percent();
     println!("\nTable I — risk values for 2-anonymisation data records");
-    println!("{:<12} {:<12} {:<8} {:>12} {:>9} {:>17}", "Age", "Height", "Weight", "Height risk", "Age risk", "Age+Height risk");
-    let by_height = value_risk(&release, &[height.clone()], &policy)?;
-    let by_age = value_risk(&release, &[age.clone()], &policy)?;
+    println!(
+        "{:<12} {:<12} {:<8} {:>12} {:>9} {:>17}",
+        "Age", "Height", "Weight", "Height risk", "Age risk", "Age+Height risk"
+    );
+    let by_height = value_risk(&release, std::slice::from_ref(&height), &policy)?;
+    let by_age = value_risk(&release, std::slice::from_ref(&age), &policy)?;
     let by_both = value_risk(&release, &[age.clone(), height.clone()], &policy)?;
     for index in 0..release.len() {
         let record = release.get(index).unwrap();
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{:<34} Violations: {:>11} {:>9} {:>17}",
-        "", by_height.violation_count(), by_age.violation_count(), by_both.violation_count()
+        "",
+        by_height.violation_count(),
+        by_age.violation_count(),
+        by_both.violation_count()
     );
     assert_eq!(
         vec![by_height.violation_count(), by_age.violation_count(), by_both.violation_count()],

@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             [FieldId::new("Email"), FieldId::new("Salary")],
         ))?;
         catalog.add_datastore(DatastoreDecl::new("CustomerDB", "CustomerSchema"))?;
-        catalog.add_service(ServiceDecl::new(
-            "AdviceService",
-            [ActorId::new("Advisor")],
-        ))?;
+        catalog.add_service(ServiceDecl::new("AdviceService", [ActorId::new("Advisor")]))?;
     }
 
     // 2. Declare who may access what.

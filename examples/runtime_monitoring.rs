@@ -7,7 +7,9 @@
 
 use privacy_mde::core::casestudy;
 use privacy_mde::model::{Record, SensitivityCategory, UserId, UserProfile};
-use privacy_mde::runtime::{run_concurrent_workload, ConcurrentConfig, RuntimeMonitor, ServiceEngine};
+use privacy_mde::runtime::{
+    run_concurrent_workload, ConcurrentConfig, RuntimeMonitor, ServiceEngine,
+};
 use privacy_mde::synth::{random_workload, WorkloadConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         length: 60,
         seed: 2026,
         users: users.clone(),
-        services: vec![
-            (casestudy::medical_service(), 0.8),
-            (casestudy::research_service(), 0.2),
-        ],
+        services: vec![(casestudy::medical_service(), 0.8), (casestudy::research_service(), 0.2)],
     });
     println!("replaying {} service requests over 4 worker threads...", workload.len());
 
@@ -59,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    println!("event log: {} events ({} denied)", outcome.engine.log().len(), outcome.engine.log().denied().len());
+    println!(
+        "event log: {} events ({} denied)",
+        outcome.engine.log().len(),
+        outcome.engine.log().denied().len()
+    );
     println!("alerts raised: {}", outcome.alerts.len());
     for alert in outcome.alerts.iter().take(5) {
         println!("  {alert}");

@@ -6,8 +6,8 @@ use privacy_mde::access::{AbacRule, AttributePredicate, Grant, Permission};
 use privacy_mde::core::{casestudy, Pipeline, PrivacySystem};
 use privacy_mde::dataflow::DiagramBuilder;
 use privacy_mde::model::{
-    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, RiskLevel,
-    SensitivityCategory, ServiceDecl, ServiceId, UserProfile,
+    Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, RiskLevel, SensitivityCategory,
+    ServiceDecl, ServiceId, UserProfile,
 };
 
 /// A small system where the only way an analyst can reach the salary data is
@@ -26,12 +26,8 @@ fn abac_system(clearance: i64) -> PrivacySystem {
                 [FieldId::new("Email"), FieldId::new("Salary")],
             ))
             .unwrap();
-        catalog
-            .add_datastore(DatastoreDecl::new("CustomerDB", "CustomerSchema"))
-            .unwrap();
-        catalog
-            .add_service(ServiceDecl::new("AdviceService", [ActorId::new("Advisor")]))
-            .unwrap();
+        catalog.add_datastore(DatastoreDecl::new("CustomerDB", "CustomerSchema")).unwrap();
+        catalog.add_service(ServiceDecl::new("AdviceService", [ActorId::new("Advisor")])).unwrap();
     }
     {
         let policy = builder.policy_mut();
@@ -82,10 +78,11 @@ fn abac_granted_access_is_reported_as_unwanted_disclosure() {
 
     // The LTS exposure (could-variable) reflects the ABAC grant too.
     let space = outcome.lts.space().clone();
-    assert!(outcome
-        .lts
-        .states()
-        .any(|(_, s)| s.could(&space, &ActorId::new("Analyst"), &FieldId::new("Salary"))));
+    assert!(outcome.lts.states().any(|(_, s)| s.could(
+        &space,
+        &ActorId::new("Analyst"),
+        &FieldId::new("Salary")
+    )));
 }
 
 #[test]
@@ -99,10 +96,11 @@ fn insufficient_clearance_means_no_exposure_and_no_finding() {
     );
     assert!(disclosure.is_empty());
     let space = outcome.lts.space().clone();
-    assert!(!outcome
-        .lts
-        .states()
-        .any(|(_, s)| s.could(&space, &ActorId::new("Analyst"), &FieldId::new("Salary"))));
+    assert!(!outcome.lts.states().any(|(_, s)| s.could(
+        &space,
+        &ActorId::new("Analyst"),
+        &FieldId::new("Salary")
+    )));
 }
 
 #[test]
@@ -139,5 +137,7 @@ fn abac_policy_composes_with_the_healthcare_acl_policy() {
         with_abac.report.disclosure().unwrap().risk_for(&researcher, &diagnosis),
         RiskLevel::Medium
     );
-    assert!(with_abac.report.disclosure().unwrap().len() > baseline.report.disclosure().unwrap().len());
+    assert!(
+        with_abac.report.disclosure().unwrap().len() > baseline.report.disclosure().unwrap().len()
+    );
 }

@@ -31,12 +31,8 @@ fn the_case_a_unwanted_disclosure_is_also_a_compliance_violation() {
 
     // The statement mirrors Case Study A: the user consented to the Medical
     // Service only, so only its actors may touch the diagnosis.
-    let medical_actors = system
-        .catalog()
-        .service(&casestudy::medical_service())
-        .unwrap()
-        .actors()
-        .to_vec();
+    let medical_actors =
+        system.catalog().service(&casestudy::medical_service()).unwrap().actors().to_vec();
     let policy = PrivacyPolicy::new("consent boundary").with_statement(forbid_non_allowed(
         "CONSENT",
         medical_actors,
@@ -46,9 +42,7 @@ fn the_case_a_unwanted_disclosure_is_also_a_compliance_violation() {
     let report = check_lts(&lts, &policy);
     assert!(!report.is_compliant());
     // The administrator's release-preparation read is among the violations.
-    assert!(report
-        .violations()
-        .any(|v| v.detail().contains("Administrator")));
+    assert!(report.violations().any(|v| v.detail().contains("Administrator")));
 }
 
 #[test]

@@ -58,15 +58,15 @@ fn case_study_a_medium_risk_is_found_and_removed_by_the_policy_change() {
 
     // The query interface can explain how the exposure arises.
     let query = LtsQuery::new(&outcome.lts);
-    assert!(query.can_actor_identify(
-        &casestudy::actors::administrator(),
-        &casestudy::fields::diagnosis()
-    ));
+    assert!(query
+        .can_actor_identify(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()));
 
     // After the policy change the risk disappears.
-    let revised = system.with_policy(system.policy().with_applied(
-        &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-    ));
+    let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+        "Administrator",
+        Permission::Read,
+        "EHR",
+    )));
     let outcome = Pipeline::new(&revised).analyse_user(&user).unwrap();
     assert_eq!(
         outcome
@@ -124,12 +124,7 @@ fn anonymisation_utility_and_diversity_metrics_support_the_designer_decision() {
 
     // The release is not 2-diverse for weight (±5 kg), which is exactly why
     // the value risk flags it.
-    let l = l_diversity_of(
-        &release,
-        &[FieldId::new("Age"), FieldId::new("Height")],
-        &weight,
-        5.0,
-    );
+    let l = l_diversity_of(&release, &[FieldId::new("Age"), FieldId::new("Height")], &weight, 5.0);
     assert_eq!(l, 1);
 }
 

@@ -20,10 +20,7 @@ fn healthcare_system_round_trips_through_the_interchange_format() {
     assert_eq!(reparsed.field_count(), original.field_count());
     assert_eq!(reparsed.datastore_count(), original.datastore_count());
     assert_eq!(reparsed.service_count(), original.service_count());
-    assert_eq!(
-        document.system.dataflows().flow_count(),
-        system.dataflows().flow_count()
-    );
+    assert_eq!(document.system.dataflows().flow_count(), system.dataflows().flow_count());
     assert_eq!(reparsed.state_variable_count(), original.state_variable_count());
 }
 
@@ -42,10 +39,7 @@ fn round_tripped_healthcare_system_reports_the_same_case_a_risk() {
         round_tripped_outcome.report.overall_level()
     );
     assert_eq!(original_outcome.report.overall_level(), RiskLevel::Medium);
-    assert_eq!(
-        original_outcome.lts.state_count(),
-        round_tripped_outcome.lts.state_count()
-    );
+    assert_eq!(original_outcome.lts.state_count(), round_tripped_outcome.lts.state_count());
     assert_eq!(
         original_outcome.lts.transition_count(),
         round_tripped_outcome.lts.transition_count()

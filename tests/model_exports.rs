@@ -37,9 +37,7 @@ fn figure_one_dot_export_contains_both_services_and_all_stores() {
 #[test]
 fn figure_three_dot_export_can_show_or_suppress_state_variables() {
     let system = casestudy::healthcare().unwrap();
-    let lts = system
-        .generate_lts_with(&GeneratorConfig::for_service("MedicalService"))
-        .unwrap();
+    let lts = system.generate_lts_with(&GeneratorConfig::for_service("MedicalService")).unwrap();
 
     let compact = lts_to_dot_with(&lts, &DotOptions::default());
     // The paper suppresses state variables in Fig. 3 for readability.
@@ -57,9 +55,7 @@ fn figure_three_dot_export_can_show_or_suppress_state_variables() {
 #[test]
 fn exposure_summary_names_exactly_the_actors_that_can_identify_data() {
     let system = casestudy::healthcare().unwrap();
-    let lts = system
-        .generate_lts_with(&GeneratorConfig::for_service("MedicalService"))
-        .unwrap();
+    let lts = system.generate_lts_with(&GeneratorConfig::for_service("MedicalService")).unwrap();
     let query = LtsQuery::new(&lts);
     let summary = query.exposure_summary();
 
@@ -68,19 +64,14 @@ fn exposure_summary_names_exactly_the_actors_that_can_identify_data() {
     // stores. The researcher never appears for the medical service alone.
     assert!(summary.contains(&(casestudy::actors::receptionist(), casestudy::fields::name())));
     assert!(summary.contains(&(casestudy::actors::doctor(), casestudy::fields::diagnosis())));
-    assert!(summary
-        .contains(&(casestudy::actors::nurse(), casestudy::fields::treatment())));
-    assert!(summary
-        .contains(&(casestudy::actors::administrator(), casestudy::fields::diagnosis())));
+    assert!(summary.contains(&(casestudy::actors::nurse(), casestudy::fields::treatment())));
+    assert!(summary.contains(&(casestudy::actors::administrator(), casestudy::fields::diagnosis())));
     assert!(!summary.iter().any(|(actor, _)| actor == &casestudy::actors::researcher()));
 
     // The trace explains how the doctor comes to identify the medical issues
     // (collected directly from the patient during the consultation).
     let trace = query
-        .trace_to_identification(
-            &casestudy::actors::doctor(),
-            &casestudy::fields::medical_issues(),
-        )
+        .trace_to_identification(&casestudy::actors::doctor(), &casestudy::fields::medical_issues())
         .expect("a trace exists");
     assert!(trace.iter().any(|step| step.starts_with("collect")));
     // The diagnosis, by contrast, is authored by the doctor rather than

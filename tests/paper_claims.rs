@@ -1,0 +1,61 @@
+//! Smoke tests pinning the paper's headline numbers, so the claims made in
+//! `README.md` and `docs/PIPELINE.md` cannot silently drift away from what
+//! the code computes.
+//!
+//! Source: Grace et al., *Identifying Privacy Risks in Distributed Data
+//! Services: A Model-Driven Approach*, ICDCS 2018 — Section III (the
+//! healthcare state model) and Section IV, Case Study A.
+
+use privacy_mde::core::{casestudy, Pipeline};
+use privacy_mde::lts::VarSpace;
+use privacy_mde::model::RiskLevel;
+
+/// Section III: the doctors'-surgery model has five actors and the six
+/// personal-data fields of Section II-B, giving 5 × 6 × 2 = 60 boolean state
+/// variables (a `has` and a `could` variable per actor/field pair) and the
+/// `2^60` theoretical state space the paper quotes.
+///
+/// The reproduction's catalog additionally registers the Table I physical
+/// attributes and their pseudonymised counterparts, so the *full* catalog is
+/// larger; the paper's number is the variable space over the core fields.
+#[test]
+fn healthcare_state_space_has_sixty_variables() {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let catalog = system.catalog();
+    assert_eq!(catalog.actor_count(), 5, "paper models 5 actors");
+
+    let core_fields = [
+        casestudy::fields::name(),
+        casestudy::fields::date_of_birth(),
+        casestudy::fields::appointment(),
+        casestudy::fields::medical_issues(),
+        casestudy::fields::diagnosis(),
+        casestudy::fields::treatment(),
+    ];
+    let actors = catalog.actors().map(|actor| actor.id().clone()).collect::<Vec<_>>();
+    let space = VarSpace::new(actors, core_fields);
+    assert_eq!(space.variable_count(), 60, "the paper's state model has 60 boolean variables");
+    assert_eq!(space.theoretical_state_count(), 2f64.powi(60));
+
+    // The full reproduction catalog keeps the paper formula 2 × actors ×
+    // fields; it only registers more fields (Table I + pseudonyms).
+    assert_eq!(catalog.state_variable_count(), 2 * 5 * catalog.field_count());
+}
+
+/// Case Study A: analysing the unwanted-disclosure risk for a patient who
+/// consents to the Medical Service flags the Administrator's potential read
+/// of the diagnosis as a Medium overall risk.
+#[test]
+fn case_a_overall_disclosure_risk_is_medium() {
+    let system = casestudy::healthcare().expect("fixture builds");
+    let outcome =
+        Pipeline::new(&system).analyse_user(&casestudy::case_a_user()).expect("pipeline runs");
+    assert_eq!(outcome.report.overall_level(), RiskLevel::Medium);
+
+    let disclosure = outcome.report.disclosure().expect("disclosure analysis ran");
+    assert_eq!(
+        disclosure.risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
+        RiskLevel::Medium,
+        "the Administrator's potential read of the diagnosis is the Medium risk"
+    );
+}

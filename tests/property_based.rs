@@ -143,7 +143,7 @@ proptest! {
         );
         let anonymiser = KAnonymizer::new(k)
             .with_hierarchy(age.clone(), Hierarchy::numeric([5.0, 10.0, 20.0, 40.0]));
-        let result = anonymiser.anonymise(&data, &[age.clone()]).unwrap();
+        let result = anonymiser.anonymise(&data, std::slice::from_ref(&age)).unwrap();
         prop_assert!(result.is_k_anonymous());
         prop_assert!(result.data().len() + result.suppressed().len() == data.len());
         prop_assert!((0.0..=1.0).contains(&result.suppression_rate()));
@@ -172,7 +172,7 @@ proptest! {
         );
         let policy = ValueRiskPolicy::new("Weight", tolerance, 0.9).unwrap();
         let none = value_risk(&release, &[], &policy).unwrap();
-        let fewer = value_risk(&release, &[age.clone()], &policy).unwrap();
+        let fewer = value_risk(&release, std::slice::from_ref(&age), &policy).unwrap();
         let more = value_risk(&release, &[age.clone(), height.clone()], &policy).unwrap();
         for report in [&none, &fewer, &more] {
             prop_assert_eq!(report.records().len(), release.len());

@@ -69,20 +69,18 @@ fn runtime_alerts_match_the_design_time_finding() {
     ));
     let design_space = design.lts.space().clone();
     assert!(design.lts.states().any(|(_, s)| {
-        s.could(
-            &design_space,
-            &casestudy::actors::administrator(),
-            &casestudy::fields::diagnosis(),
-        )
+        s.could(&design_space, &casestudy::actors::administrator(), &casestudy::fields::diagnosis())
     }));
 }
 
 #[test]
 fn runtime_enforcement_reflects_the_policy_change() {
     let system = casestudy::healthcare().unwrap();
-    let revised = system.with_policy(system.policy().with_applied(
-        &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-    ));
+    let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+        "Administrator",
+        Permission::Read,
+        "EHR",
+    )));
     let user = casestudy::case_a_user();
 
     let mut engine = ServiceEngine::new(
@@ -116,9 +114,11 @@ fn runtime_enforcement_reflects_the_policy_change() {
 #[test]
 fn denied_events_never_change_the_monitored_privacy_state() {
     let system = casestudy::healthcare().unwrap();
-    let revised = system.with_policy(system.policy().with_applied(
-        &PolicyDelta::new().revoke("Administrator", Permission::Read, "EHR"),
-    ));
+    let revised = system.with_policy(system.policy().with_applied(&PolicyDelta::new().revoke(
+        "Administrator",
+        Permission::Read,
+        "EHR",
+    )));
     let user = casestudy::case_a_user();
     let mut engine = ServiceEngine::new(
         revised.catalog().clone(),
