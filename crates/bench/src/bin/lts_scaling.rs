@@ -1,0 +1,351 @@
+//! The LTS generation scaling benchmark: optimised compiled-flow engine vs
+//! the retained reference implementation, recorded as `BENCH_lts.json`.
+//!
+//! Rows sweep the actors × fields × services axes over three model sources:
+//! the structured `scaled_system` / `scaled_multi_service_system` fixtures,
+//! seeded random `privacy-synth` models, and the paper's healthcare case
+//! study with `explore_potential_reads` enabled. Every row first checks that
+//! both implementations generate the *identical* LTS (the benchmark doubles
+//! as a coarse differential test), then times each and reports states/sec
+//! and the speedup.
+//!
+//! ```text
+//! lts_scaling [--quick] [--min-speedup X] [--out PATH] [--threads N]
+//! ```
+//!
+//! `--quick` runs a reduced sweep with shorter measurement targets (the CI
+//! smoke configuration). `--min-speedup X` exits non-zero if any row's
+//! speedup falls below `X` — the CI regression guard. See
+//! `docs/PERFORMANCE.md` for how to read the output.
+
+use privacy_bench::{scaled_multi_service_system, scaled_system};
+use privacy_core::{casestudy, PrivacySystem};
+use privacy_lts::{generate_lts_reference, GeneratorConfig, Lts};
+use privacy_model::{Catalog, ModelError};
+use privacy_synth::{random_model, ModelGeneratorConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// One benchmark scenario.
+struct Scenario {
+    name: String,
+    actors: usize,
+    fields: usize,
+    services: usize,
+    potential_reads: bool,
+    system: PrivacySystem,
+}
+
+/// One measured row of the report.
+struct Row {
+    scenario: Scenario,
+    states: usize,
+    transitions: usize,
+    reference_secs: f64,
+    engine_secs: f64,
+}
+
+/// Rows below this state count time the fixed per-call setup (compilation,
+/// allocation), not generation throughput; the regression guard skips them.
+const GUARD_MIN_STATES: usize = 100;
+
+impl Row {
+    fn reference_states_per_sec(&self) -> f64 {
+        self.states as f64 / self.reference_secs
+    }
+
+    fn engine_states_per_sec(&self) -> f64 {
+        self.states as f64 / self.engine_secs
+    }
+
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.engine_secs
+    }
+
+    /// Whether the row is large enough to measure throughput rather than
+    /// per-call overhead.
+    fn guarded(&self) -> bool {
+        self.states >= GUARD_MIN_STATES
+    }
+}
+
+struct Options {
+    quick: bool,
+    min_speedup: f64,
+    out: String,
+    threads: Option<usize>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options =
+        Options { quick: false, min_speedup: 0.0, out: "BENCH_lts.json".to_owned(), threads: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--min-speedup" => {
+                let value = args.next().ok_or("--min-speedup needs a value")?;
+                options.min_speedup =
+                    value.parse().map_err(|_| format!("bad --min-speedup value `{value}`"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                options.threads =
+                    Some(value.parse().map_err(|_| format!("bad --threads value `{value}`"))?);
+            }
+            other => return Err(format!("unknown argument `{other}` (see docs/PERFORMANCE.md)")),
+        }
+    }
+    Ok(options)
+}
+
+/// The benchmark scenarios, from the structured fixtures, the random synth
+/// models and the healthcare case study.
+fn scenarios(quick: bool) -> Result<Vec<Scenario>, ModelError> {
+    let mut scenarios = Vec::new();
+
+    let single_service: &[(usize, usize)] =
+        if quick { &[(4, 8)] } else { &[(2, 4), (4, 8), (6, 12), (8, 16)] };
+    for &(actors, fields) in single_service {
+        scenarios.push(Scenario {
+            name: format!("scaled_{actors}a_{fields}f_1s"),
+            actors,
+            fields,
+            services: 1,
+            potential_reads: false,
+            system: scaled_system(actors, fields)?,
+        });
+    }
+
+    let multi_service: &[(usize, usize, usize)] =
+        if quick { &[(4, 6, 2)] } else { &[(4, 6, 2), (4, 6, 3), (6, 8, 3)] };
+    for &(actors, fields, services) in multi_service {
+        scenarios.push(Scenario {
+            name: format!("scaled_{actors}a_{fields}f_{services}s"),
+            actors,
+            fields,
+            services,
+            potential_reads: false,
+            system: scaled_multi_service_system(actors, fields, services)?,
+        });
+    }
+
+    // Potential reads on a mid-sized structured model. Every actor can read
+    // every field here, so this scales as a has-bit hypercube: (actors-1) ×
+    // fields free bits. (4, 5) gives 2^15 ≈ 33k states — healthcare scale;
+    // much beyond that the exploration degenerates into a memory-latency
+    // benchmark on every implementation (see docs/PERFORMANCE.md).
+    let (actors, fields) = if quick { (3, 4) } else { (4, 5) };
+    scenarios.push(Scenario {
+        name: format!("scaled_{actors}a_{fields}f_1s_potential_reads"),
+        actors,
+        fields,
+        services: 1,
+        potential_reads: true,
+        system: scaled_system(actors, fields)?,
+    });
+
+    // Seeded random models from privacy-synth.
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2] };
+    for &seed in seeds {
+        let config = ModelGeneratorConfig {
+            actors: 5,
+            fields: 6,
+            datastores: 2,
+            services: 3,
+            flows_per_service: 5,
+            grant_probability: 0.4,
+            seed,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, dataflows, policy) = random_model(&config)?;
+        scenarios.push(Scenario {
+            name: format!("synth_random_seed{seed}"),
+            actors: config.actors,
+            fields: config.fields,
+            services: config.services,
+            potential_reads: false,
+            system: PrivacySystem::new(catalog, dataflows, policy),
+        });
+    }
+
+    // The paper's healthcare case study. With potential reads (the
+    // acceptance scenario, 138k states) the reference path alone needs tens
+    // of seconds per generation, which no measurement target can shorten —
+    // the quick sweep therefore benches the declared flows only and leaves
+    // the full potential-read row to the recorded full-mode baseline.
+    let healthcare = casestudy::healthcare()?;
+    scenarios.push(Scenario {
+        name: if quick { "healthcare" } else { "healthcare_potential_reads" }.to_owned(),
+        actors: count_identifying_actors(healthcare.catalog()),
+        fields: healthcare.catalog().field_count(),
+        services: 2,
+        potential_reads: !quick,
+        system: healthcare,
+    });
+
+    Ok(scenarios)
+}
+
+fn count_identifying_actors(catalog: &Catalog) -> usize {
+    catalog.identifying_actors().count()
+}
+
+/// Times `generate` by running it repeatedly until `target` wall time has
+/// accumulated (at least once), returning the mean duration and the result.
+fn time_generation(
+    target: Duration,
+    generate: impl Fn() -> Result<Lts, ModelError>,
+) -> Result<(f64, Lts), ModelError> {
+    // Warm-up run, also the correctness artefact.
+    let lts = generate()?;
+    let mut runs = 0u32;
+    let started = Instant::now();
+    loop {
+        let _ = std::hint::black_box(generate()?);
+        runs += 1;
+        if started.elapsed() >= target {
+            break;
+        }
+    }
+    Ok((started.elapsed().as_secs_f64() / f64::from(runs), lts))
+}
+
+fn run(options: &Options) -> Result<Vec<Row>, String> {
+    let target =
+        if options.quick { Duration::from_millis(200) } else { Duration::from_millis(1000) };
+    let mut rows = Vec::new();
+    for scenario in scenarios(options.quick).map_err(|e| format!("building scenarios: {e}"))? {
+        let mut config = GeneratorConfig::default().with_max_states(5_000_000);
+        config.explore_potential_reads = scenario.potential_reads;
+        config.threads = options.threads;
+
+        let system = &scenario.system;
+        let (engine_secs, engine_lts) =
+            time_generation(target, || system.generate_lts_with(&config))
+                .map_err(|e| format!("{}: engine failed: {e}", scenario.name))?;
+        let (reference_secs, reference_lts) = time_generation(target, || {
+            generate_lts_reference(system.catalog(), system.dataflows(), system.policy(), &config)
+        })
+        .map_err(|e| format!("{}: reference failed: {e}", scenario.name))?;
+
+        // The benchmark is also a differential check: a speedup over a
+        // *different* LTS would be meaningless.
+        if engine_lts != reference_lts {
+            return Err(format!(
+                "{}: engine and reference disagree ({} vs {})",
+                scenario.name,
+                engine_lts.stats(),
+                reference_lts.stats()
+            ));
+        }
+
+        let row = Row {
+            states: engine_lts.state_count(),
+            transitions: engine_lts.transition_count(),
+            reference_secs,
+            engine_secs,
+            scenario,
+        };
+        eprintln!(
+            "{:<40} {:>8} states {:>8} transitions | reference {:>10.1}/s | engine {:>12.1}/s | speedup {:>6.2}x",
+            row.scenario.name,
+            row.states,
+            row.transitions,
+            row.reference_states_per_sec(),
+            row.engine_states_per_sec(),
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Minimum speedup over the guarded (throughput-scale) rows.
+fn min_guarded_speedup(rows: &[Row]) -> f64 {
+    rows.iter().filter(|row| row.guarded()).map(Row::speedup).fold(f64::INFINITY, f64::min)
+}
+
+fn json_report(options: &Options, rows: &[Row], min_speedup: f64) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let threads = options.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"lts_scaling\",");
+    let _ = writeln!(out, "  \"quick\": {},", options.quick);
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"generated_unix\": {unix_secs},");
+    let _ = writeln!(out, "  \"guard_min_states\": {GUARD_MIN_STATES},");
+    let _ = writeln!(out, "  \"min_speedup_observed\": {min_speedup:.3},");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"actors\": {}, \"fields\": {}, \"services\": {}, \
+             \"potential_reads\": {}, \"states\": {}, \"transitions\": {}, \
+             \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \
+             \"reference_states_per_sec\": {:.1}, \"engine_states_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"guarded\": {}",
+            row.scenario.name,
+            row.scenario.actors,
+            row.scenario.fields,
+            row.scenario.services,
+            row.scenario.potential_reads,
+            row.states,
+            row.transitions,
+            row.reference_secs * 1e3,
+            row.engine_secs * 1e3,
+            row.reference_states_per_sec(),
+            row.engine_states_per_sec(),
+            row.speedup(),
+            row.guarded()
+        );
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("lts_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = match run(&options) {
+        Ok(rows) => rows,
+        Err(message) => {
+            eprintln!("lts_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let min_observed = min_guarded_speedup(&rows);
+    let report = json_report(&options, &rows, min_observed);
+    if let Err(error) = std::fs::write(&options.out, &report) {
+        eprintln!("lts_scaling: writing {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("lts_scaling: wrote {}", options.out);
+
+    if min_observed < options.min_speedup {
+        eprintln!(
+            "lts_scaling: regression guard failed: minimum speedup {min_observed:.2}x over rows \
+             with >= {GUARD_MIN_STATES} states is below the required {:.2}x",
+            options.min_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

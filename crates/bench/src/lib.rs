@@ -63,9 +63,75 @@ pub fn scaled_system(actors: usize, fields: usize) -> Result<PrivacySystem, Mode
     system_builder.build()
 }
 
+/// Builds a synthetic system with `actors` actors, `fields` fields and
+/// `services` services. Fields are shared; each service is driven by its own
+/// collector actor (round-robin) and collects, stores and reads every field
+/// through a shared datastore, so interleaved exploration grows with the
+/// service count — used by the LTS scaling benchmark (`lts_scaling`) to
+/// measure generation throughput along the actors×fields×services axes.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] only if the synthetic construction itself is
+/// inconsistent (a bug in the generator).
+pub fn scaled_multi_service_system(
+    actors: usize,
+    fields: usize,
+    services: usize,
+) -> Result<PrivacySystem, ModelError> {
+    let actors = actors.max(1);
+    let services = services.max(1);
+    let actor_ids: Vec<ActorId> = (0..actors).map(|i| ActorId::new(format!("actor-{i}"))).collect();
+    let field_ids: Vec<FieldId> = (0..fields).map(|i| FieldId::new(format!("field-{i}"))).collect();
+
+    let mut catalog = Catalog::new();
+    for actor in &actor_ids {
+        catalog.add_actor(Actor::role(actor.clone()))?;
+    }
+    for field in &field_ids {
+        catalog.add_field(DataField::sensitive(field.clone()))?;
+    }
+    catalog.add_schema(DataSchema::new("Schema", field_ids.clone()))?;
+    catalog.add_datastore(DatastoreDecl::new("Store", "Schema"))?;
+
+    let mut acl = AccessControlList::new();
+    for actor in &actor_ids {
+        acl.grant(Grant::read_write_all(actor.clone(), "Store"));
+    }
+    let policy = AccessPolicy::from_parts(acl, Default::default());
+
+    let mut system_builder = PrivacySystem::builder();
+    for s in 0..services {
+        let service = format!("service-{s}");
+        let collector = actor_ids[s % actor_ids.len()].clone();
+        let reader = actor_ids[(s + 1) % actor_ids.len()].clone();
+        catalog.add_service(ServiceDecl::new(service.clone(), actor_ids.clone()))?;
+        let builder = DiagramBuilder::new(service)
+            .collect(collector.clone(), field_ids.clone(), "intake", 1)?
+            .create(collector, "Store", field_ids.clone(), "persist", 2)?
+            .read(reader, "Store", field_ids.clone(), "process", 3)?;
+        system_builder.add_diagram(builder.build())?;
+    }
+    *system_builder.catalog_mut() = catalog;
+    *system_builder.policy_mut() = policy;
+    system_builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multi_service_systems_scale_with_the_service_count() {
+        let one = scaled_multi_service_system(3, 4, 1).unwrap();
+        let three = scaled_multi_service_system(3, 4, 3).unwrap();
+        assert!(one.validate().unwrap().is_ok());
+        assert!(three.validate().unwrap().is_ok());
+        assert_eq!(three.dataflows().len(), 3);
+        let lts_one = one.generate_lts().unwrap();
+        let lts_three = three.generate_lts().unwrap();
+        assert!(lts_three.transition_count() > lts_one.transition_count());
+    }
 
     #[test]
     fn scaled_systems_are_valid_and_scale_in_the_expected_dimensions() {

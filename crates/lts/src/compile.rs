@@ -1,0 +1,331 @@
+//! Compilation of the design artefacts into a flow program over dense
+//! indices and bit masks.
+//!
+//! The extraction rules of Section II-B are entirely static: which privacy
+//! variables a flow sets depends only on the flow, the access policy and the
+//! variable space — never on the state the flow fires from. The compiler
+//! therefore resolves every `ActorId`/`FieldId`/`DatastoreId`/`SchemaId`
+//! string exactly once, turning each flow into ready-made `u64` bit masks
+//! over the [`PrivacyState`](crate::state::PrivacyState) words and a packed
+//! datastore-contents bitset, plus one pre-built, shared
+//! [`TransitionLabel`]. Applying a flow during exploration is then a handful
+//! of word-wise ORs — no map lookups, no string clones.
+//!
+//! Datastore contents (`BTreeSet<(DatastoreId, FieldId)>` in the reference
+//! implementation) become a bitset over *slots*: the (datastore, field)
+//! pairs that any create/anonymise flow can ever store, numbered in
+//! lexicographic order so that iterating slot bits reproduces the reference
+//! implementation's `BTreeSet` iteration order exactly. Each slot carries
+//! its pre-resolved potential readers for
+//! [`GeneratorConfig::explore_potential_reads`].
+
+use crate::generate::GeneratorConfig;
+use crate::label::{ActionKind, TransitionLabel};
+use crate::space::{VarKind, VarSpace};
+use privacy_access::{AccessPolicy, Permission};
+use privacy_dataflow::{FlowKind, SystemDataFlows};
+use privacy_model::{
+    ActorId, Catalog, DatastoreId, FieldId, Interner, ModelError, SchemaId, ServiceId,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One flow compiled to its constant effect.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledFlow {
+    /// Words OR-ed into the privacy-state bits.
+    pub(crate) privacy_mask: Box<[u64]>,
+    /// Words OR-ed into the datastore-contents bitset.
+    pub(crate) store_mask: Box<[u64]>,
+    /// Index into [`CompiledModel::labels`].
+    pub(crate) label: u32,
+}
+
+/// The ordered flows of one service.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledService {
+    pub(crate) flows: Vec<CompiledFlow>,
+}
+
+/// A potential reader of one stored (datastore, field) slot.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledReader {
+    /// The reader's `has` bit for the slot's field, or `None` when the
+    /// reader or field lies outside the variable space (the read then
+    /// produces a self-loop, as in the reference implementation).
+    pub(crate) has_bit: Option<u32>,
+    /// Index into [`CompiledModel::labels`].
+    pub(crate) label: u32,
+}
+
+/// One (datastore, field) slot of the contents bitset.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSlot {
+    /// Pre-resolved readers, in `ActorId` order (matching
+    /// `AccessPolicy::actors_with`'s `BTreeSet` iteration).
+    pub(crate) readers: Vec<CompiledReader>,
+}
+
+/// The compiled flow program the exploration engine runs.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledModel {
+    /// The variable space states are defined over.
+    pub(crate) space: VarSpace,
+    /// Number of Boolean privacy variables.
+    pub(crate) privacy_len: usize,
+    /// Number of `u64` words backing a privacy state.
+    pub(crate) privacy_words: usize,
+    /// Number of `u64` words backing the datastore-contents bitset.
+    pub(crate) store_words: usize,
+    /// The selected services' flows, in `ServiceId` order.
+    pub(crate) services: Vec<CompiledService>,
+    /// The (datastore, field) slots, in lexicographic order.
+    pub(crate) slots: Vec<CompiledSlot>,
+    /// Interned transition labels; every transition of the generated LTS
+    /// shares one of these allocations.
+    pub(crate) labels: Vec<Arc<TransitionLabel>>,
+}
+
+impl CompiledModel {
+    /// Compiles the artefacts for the services selected by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] if a selected service has no diagram,
+    /// and [`ModelError::Invalid`] if a diagram is too large to index (more
+    /// than `u16::MAX` flows in one service).
+    pub(crate) fn compile(
+        catalog: &Catalog,
+        system: &SystemDataFlows,
+        policy: &AccessPolicy,
+        config: &GeneratorConfig,
+    ) -> Result<CompiledModel, ModelError> {
+        let space = VarSpace::from_catalog(catalog);
+        let privacy_len = space.variable_count();
+        let privacy_words = privacy_len.div_ceil(64);
+
+        // Select and order the services to explore (ServiceId order, exactly
+        // as the reference implementation iterates `system.services()`).
+        let services: Vec<&ServiceId> = match &config.services {
+            Some(selected) => {
+                for service in selected {
+                    if system.diagram(service).is_none() {
+                        return Err(ModelError::unknown("service diagram", service.as_str()));
+                    }
+                }
+                system.services().filter(|s| selected.contains(*s)).collect()
+            }
+            None => system.services().collect(),
+        };
+        let diagrams: Vec<&privacy_dataflow::DataFlowDiagram> =
+            services.iter().map(|s| system.diagram(s).expect("checked above")).collect();
+        for diagram in &diagrams {
+            if diagram.len() > usize::from(u16::MAX) {
+                return Err(ModelError::invalid(format!(
+                    "service `{}` has {} flows; the compiled engine indexes at most {}",
+                    diagram.service(),
+                    diagram.len(),
+                    u16::MAX
+                )));
+            }
+        }
+
+        let anonymised_stores: BTreeSet<DatastoreId> =
+            catalog.datastores().filter(|d| d.is_anonymised()).map(|d| d.id().clone()).collect();
+
+        // Slot discovery: every (datastore, field) pair a create/anonymise
+        // flow can store, interned in lexicographic order so slot-index
+        // iteration matches the reference `BTreeSet` iteration.
+        let unknown_store = DatastoreId::new("<unknown>");
+        let mut storable: BTreeSet<(DatastoreId, FieldId)> = BTreeSet::new();
+        for diagram in &diagrams {
+            for flow in diagram.flows() {
+                if matches!(flow.kind(&anonymised_stores), FlowKind::Create | FlowKind::Anonymise) {
+                    let store =
+                        flow.to().as_datastore().cloned().unwrap_or_else(|| unknown_store.clone());
+                    for field in flow.fields() {
+                        storable.insert((store.clone(), field.clone()));
+                    }
+                }
+            }
+        }
+        let slot_index: Interner<(DatastoreId, FieldId)> = storable.into_iter().collect();
+        let store_words = slot_index.len().div_ceil(64);
+
+        let mut compiler = Compiler {
+            catalog,
+            policy,
+            space: &space,
+            privacy_words,
+            store_words,
+            slot_index: &slot_index,
+            labels: Vec::new(),
+        };
+
+        // Compile each selected service's flows.
+        let mut compiled_services = Vec::with_capacity(diagrams.len());
+        for diagram in &diagrams {
+            let flows = diagram
+                .flows()
+                .iter()
+                .map(|flow| compiler.compile_flow(flow, &anonymised_stores))
+                .collect();
+            compiled_services.push(CompiledService { flows });
+        }
+
+        // Compile each slot's potential readers.
+        let slots = slot_index
+            .items()
+            .iter()
+            .map(|(store, field)| compiler.compile_slot(store, field))
+            .collect();
+        let labels = compiler.labels;
+
+        Ok(CompiledModel {
+            space,
+            privacy_len,
+            privacy_words,
+            store_words,
+            services: compiled_services,
+            slots,
+            labels,
+        })
+    }
+
+    /// Number of packed-`u16` progress words needed for `services` counters.
+    pub(crate) fn progress_words(&self) -> usize {
+        self.services.len().div_ceil(4)
+    }
+
+    /// Total `u64` words of one composite-state key:
+    /// `[privacy | stored | progress]`.
+    pub(crate) fn key_words(&self) -> usize {
+        self.privacy_words + self.store_words + self.progress_words()
+    }
+}
+
+/// Working state of one compilation run.
+struct Compiler<'a> {
+    catalog: &'a Catalog,
+    policy: &'a AccessPolicy,
+    space: &'a VarSpace,
+    privacy_words: usize,
+    store_words: usize,
+    slot_index: &'a Interner<(DatastoreId, FieldId)>,
+    labels: Vec<Arc<TransitionLabel>>,
+}
+
+impl Compiler<'_> {
+    /// Interns a label, deduplicating by value.
+    fn intern_label(&mut self, label: TransitionLabel) -> u32 {
+        if let Some(at) = self.labels.iter().position(|existing| **existing == label) {
+            return at as u32;
+        }
+        self.labels.push(Arc::new(label));
+        (self.labels.len() - 1) as u32
+    }
+
+    fn schema_of(&self, store: &DatastoreId) -> Option<SchemaId> {
+        self.catalog.datastore(store).map(|d| d.schema().clone())
+    }
+
+    /// Compiles one flow to its constant masks and label, mirroring the
+    /// reference implementation's `apply_flow` case by case.
+    fn compile_flow(
+        &mut self,
+        flow: &privacy_dataflow::Flow,
+        anonymised_stores: &BTreeSet<DatastoreId>,
+    ) -> CompiledFlow {
+        let mut privacy_mask = vec![0u64; self.privacy_words];
+        let mut store_mask = vec![0u64; self.store_words];
+        let mut set_privacy = |bit: Option<usize>| {
+            if let Some(bit) = bit {
+                privacy_mask[bit / 64] |= 1u64 << (bit % 64);
+            }
+        };
+
+        let kind = flow.kind(anonymised_stores);
+        let actor = flow.acting_actor().cloned().unwrap_or_else(|| ActorId::new("<unknown>"));
+
+        let (action, schema): (ActionKind, Option<SchemaId>) = match kind {
+            FlowKind::Collect | FlowKind::Disclose => {
+                if let Some(receiver) = flow.receiving_actor() {
+                    for field in flow.fields() {
+                        set_privacy(self.space.bit_index(receiver, field, VarKind::Has));
+                    }
+                }
+                let action = if kind == FlowKind::Collect {
+                    ActionKind::Collect
+                } else {
+                    ActionKind::Disclose
+                };
+                (action, None)
+            }
+            FlowKind::Create | FlowKind::Anonymise => {
+                let store = flow
+                    .to()
+                    .as_datastore()
+                    .cloned()
+                    .unwrap_or_else(|| DatastoreId::new("<unknown>"));
+                for field in flow.fields() {
+                    let slot = self
+                        .slot_index
+                        .get(&(store.clone(), field.clone()))
+                        .expect("slot discovered in the first pass")
+                        as usize;
+                    store_mask[slot / 64] |= 1u64 << (slot % 64);
+                    // Every actor with read access to this field in this
+                    // store could now identify it.
+                    for reader in self.policy.actors_with(Permission::Read, &store, field) {
+                        set_privacy(self.space.bit_index(&reader, field, VarKind::Could));
+                    }
+                }
+                let action =
+                    if kind == FlowKind::Anonymise { ActionKind::Anon } else { ActionKind::Create };
+                (action, self.schema_of(&store))
+            }
+            FlowKind::Read => {
+                let store = flow
+                    .from()
+                    .as_datastore()
+                    .cloned()
+                    .unwrap_or_else(|| DatastoreId::new("<unknown>"));
+                if let Some(reader) = flow.receiving_actor() {
+                    for field in flow.fields() {
+                        if self.policy.can(reader, Permission::Read, &store, field) {
+                            set_privacy(self.space.bit_index(reader, field, VarKind::Has));
+                        }
+                    }
+                }
+                (ActionKind::Read, self.schema_of(&store))
+            }
+            _ => (ActionKind::Disclose, None),
+        };
+
+        let label = TransitionLabel::new(action, actor, flow.fields().iter().cloned(), schema)
+            .with_purpose(flow.purpose().clone());
+        CompiledFlow {
+            privacy_mask: privacy_mask.into_boxed_slice(),
+            store_mask: store_mask.into_boxed_slice(),
+            label: self.intern_label(label),
+        }
+    }
+
+    /// Compiles the potential readers of one stored (datastore, field) slot.
+    fn compile_slot(&mut self, store: &DatastoreId, field: &FieldId) -> CompiledSlot {
+        let schema = self.schema_of(store);
+        let readers = self
+            .policy
+            .actors_with(Permission::Read, store, field)
+            .into_iter()
+            .map(|actor| {
+                let has_bit =
+                    self.space.bit_index(&actor, field, VarKind::Has).map(|bit| bit as u32);
+                let label =
+                    TransitionLabel::new(ActionKind::Read, actor, [field.clone()], schema.clone());
+                CompiledReader { has_bit, label: self.intern_label(label) }
+            })
+            .collect();
+        CompiledSlot { readers }
+    }
+}

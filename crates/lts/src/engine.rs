@@ -1,0 +1,290 @@
+//! The parallel frontier exploration engine.
+//!
+//! Exploration runs over *composite-state keys*: each key is one flat
+//! `Box<[u64]>` laid out as `[privacy words | stored words | packed u16
+//! progress counters]`, so hashing, equality and successor computation are
+//! all straight word operations. A breadth-first search processed one
+//! frontier generation at a time:
+//!
+//! 1. **Expand (parallel).** The frontier is chunked over `crossbeam` scoped
+//!    threads; each worker applies the compiled flow masks
+//!    ([`CompiledModel`]) to its nodes and emits successor records. Workers
+//!    consult the sharded visited set ([`ShardedSet`]) read-only to tag
+//!    successors that are certainly old, which lets the merge skip their
+//!    membership insert.
+//! 2. **Merge (sequential, deterministic).** Successors are folded into the
+//!    [`Lts`] in frontier order — the exact order the single-threaded
+//!    reference implementation would produce — so state numbering,
+//!    transition order and the `max_states` failure point are identical
+//!    run-to-run and thread-count-to-thread-count, and differential tests
+//!    can require the optimised engine's LTS to equal the reference's.
+//!
+//! The `max_states` bound is enforced when a composite state is *inserted*
+//! into the visited set, so the frontier can never outgrow the bound.
+
+use crate::compile::CompiledModel;
+use crate::generate::GeneratorConfig;
+use crate::hash::{FxHashMap, FxHashSet, ShardedSet};
+use crate::lts::{Lts, StateId};
+use crate::state::PrivacyState;
+use privacy_model::ModelError;
+
+/// Frontiers below this size are expanded inline: spawning threads costs
+/// more than the expansion itself.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// One frontier node: its packed key and its interned privacy state.
+struct Node {
+    key: Box<[u64]>,
+    state: StateId,
+}
+
+/// One discovered successor, produced by the (possibly parallel) expansion.
+struct Succ {
+    key: Box<[u64]>,
+    /// Index into [`CompiledModel::labels`].
+    label: u32,
+    /// `false` when the expansion already saw the key in the visited set;
+    /// the merge then skips the membership insert entirely.
+    maybe_new: bool,
+}
+
+/// Runs the exploration, producing the LTS.
+pub(crate) fn explore(
+    compiled: &CompiledModel,
+    config: &GeneratorConfig,
+) -> Result<Lts, ModelError> {
+    let threads = config
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
+
+    let mut lts = Lts::new(compiled.space.clone());
+    let key_words = compiled.key_words();
+
+    let initial_key: Box<[u64]> = vec![0u64; key_words].into_boxed_slice();
+    // With the current two-phase loop (parallel read-only expand, sequential
+    // merge) a plain set behind `&`/`&mut` borrows would also be sound; the
+    // sharded set is kept so a future parallel merge can insert per shard
+    // without restructuring the engine.
+    let visited: ShardedSet<Box<[u64]>> = ShardedSet::new(threads * 4);
+    visited.insert(initial_key.clone());
+    let mut composite_states = 1usize;
+    bound_check(composite_states, config.max_states)?;
+
+    // Privacy-word prefix → interned state id, under the fast hasher; the
+    // `Lts` keeps its own (SipHash) index consistent via `intern`.
+    let mut state_ids: FxHashMap<Box<[u64]>, StateId> = FxHashMap::default();
+    state_ids.insert(initial_key[..compiled.privacy_words].into(), lts.initial());
+
+    // (from, to, label) triples already added. Compiled label indices are
+    // deduplicated by value, so this is exactly the duplicate-transition
+    // check `Lts::add_transition` would otherwise perform by scanning each
+    // hub state's outgoing list (quadratic in out-degree).
+    let mut seen_transitions: FxHashSet<(u64, u32)> = FxHashSet::default();
+
+    let mut frontier = vec![Node { key: initial_key, state: lts.initial() }];
+
+    while !frontier.is_empty() {
+        // Phase 1: expand the frontier, in parallel when it is big enough.
+        let expansions: Vec<Vec<Succ>> =
+            if threads > 1 && frontier.len() >= PARALLEL_THRESHOLD.max(threads) {
+                let chunk_size = frontier.len().div_ceil(threads);
+                let visited = &visited;
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move |_| {
+                                chunk
+                                    .iter()
+                                    .map(|node| expand(compiled, config, visited, node))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    // Joining in spawn order keeps the concatenation aligned
+                    // with the frontier regardless of thread scheduling.
+                    let mut all = Vec::with_capacity(frontier.len());
+                    for handle in handles {
+                        all.extend(handle.join().expect("expansion worker panicked"));
+                    }
+                    all
+                })
+                .expect("expansion scope panicked")
+            } else {
+                frontier.iter().map(|node| expand(compiled, config, &visited, node)).collect()
+            };
+
+        // Phase 2: deterministic merge in frontier order.
+        let mut next_frontier = Vec::new();
+        for (node, succs) in frontier.iter().zip(expansions) {
+            for succ in succs {
+                let privacy = &succ.key[..compiled.privacy_words];
+                let to_id = match state_ids.get(privacy) {
+                    Some(&id) => id,
+                    None => {
+                        let state =
+                            PrivacyState::from_raw_words(privacy.to_vec(), compiled.privacy_len);
+                        let id = lts.intern(state);
+                        state_ids.insert(privacy.into(), id);
+                        id
+                    }
+                };
+                let endpoints = ((node.state.0 as u64) << 32) | to_id.0 as u64;
+                if seen_transitions.insert((endpoints, succ.label)) {
+                    let label = compiled.labels[succ.label as usize].clone();
+                    lts.add_transition_shared_unchecked(node.state, to_id, label);
+                }
+
+                if succ.maybe_new && visited.insert(succ.key.clone()) {
+                    composite_states += 1;
+                    bound_check(composite_states, config.max_states)?;
+                    next_frontier.push(Node { key: succ.key, state: to_id });
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    Ok(lts)
+}
+
+/// Computes the successor records of one frontier node.
+fn expand(
+    compiled: &CompiledModel,
+    config: &GeneratorConfig,
+    visited: &ShardedSet<Box<[u64]>>,
+    node: &Node,
+) -> Vec<Succ> {
+    let pw = compiled.privacy_words;
+    let sw = compiled.store_words;
+    let mut succs = Vec::new();
+
+    // Service flows: fire the next flow of every enabled service.
+    let fire = |succs: &mut Vec<Succ>, service_index: usize, progress: usize| {
+        let flow = &compiled.services[service_index].flows[progress];
+        let mut key = node.key.clone();
+        for (dst, src) in key[..pw].iter_mut().zip(flow.privacy_mask.iter()) {
+            *dst |= *src;
+        }
+        for (dst, src) in key[pw..pw + sw].iter_mut().zip(flow.store_mask.iter()) {
+            *dst |= *src;
+        }
+        set_progress(&mut key[pw + sw..], service_index, (progress + 1) as u16);
+        let maybe_new = !visited.contains(&key);
+        succs.push(Succ { key, label: flow.label, maybe_new });
+    };
+
+    let progress_of =
+        |service_index: usize| get_progress(&node.key[pw + sw..], service_index) as usize;
+
+    if config.interleave_services {
+        for service_index in 0..compiled.services.len() {
+            let progress = progress_of(service_index);
+            if progress < compiled.services[service_index].flows.len() {
+                fire(&mut succs, service_index, progress);
+            }
+        }
+    } else {
+        // Sequential execution: only the first unfinished service fires.
+        if let Some(service_index) = (0..compiled.services.len())
+            .find(|&i| progress_of(i) < compiled.services[i].flows.len())
+        {
+            fire(&mut succs, service_index, progress_of(service_index));
+        }
+    }
+
+    // Potential reads: any actor the policy allows to read data present in a
+    // datastore may perform an (unscheduled) read. Slot-index order equals
+    // the reference implementation's lexicographic (store, field) order.
+    if config.explore_potential_reads {
+        for (word_index, mut word) in node.key[pw..pw + sw].iter().copied().enumerate() {
+            while word != 0 {
+                let slot = word_index * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                for reader in &compiled.slots[slot].readers {
+                    match reader.has_bit {
+                        Some(bit) => {
+                            let (w, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+                            if node.key[w] & mask != 0 {
+                                continue; // The reader already identified the field.
+                            }
+                            let mut key = node.key.clone();
+                            key[w] |= mask;
+                            let maybe_new = !visited.contains(&key);
+                            succs.push(Succ { key, label: reader.label, maybe_new });
+                        }
+                        None => {
+                            // Reader or field outside the variable space: the
+                            // reference implementation emits a self-loop.
+                            succs.push(Succ {
+                                key: node.key.clone(),
+                                label: reader.label,
+                                maybe_new: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    succs
+}
+
+/// Reads the packed `u16` progress counter of one service.
+#[inline]
+fn get_progress(progress_words: &[u64], service_index: usize) -> u16 {
+    let shift = (service_index % 4) * 16;
+    ((progress_words[service_index / 4] >> shift) & 0xffff) as u16
+}
+
+/// Writes the packed `u16` progress counter of one service.
+#[inline]
+fn set_progress(progress_words: &mut [u64], service_index: usize, value: u16) {
+    let shift = (service_index % 4) * 16;
+    let word = &mut progress_words[service_index / 4];
+    *word = (*word & !(0xffffu64 << shift)) | (u64::from(value) << shift);
+}
+
+/// Fails once the number of composite states passes the configured bound.
+fn bound_check(composite_states: usize, max_states: usize) -> Result<(), ModelError> {
+    if composite_states > max_states {
+        return Err(ModelError::invalid(format!(
+            "lts generation exceeded the configured bound of {max_states} composite states"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_counters_pack_four_per_word() {
+        let mut words = vec![0u64; 2];
+        for (i, value) in [(0usize, 7u16), (1, 65535), (3, 1), (4, 9), (7, 12345)] {
+            set_progress(&mut words, i, value);
+        }
+        assert_eq!(get_progress(&words, 0), 7);
+        assert_eq!(get_progress(&words, 1), 65535);
+        assert_eq!(get_progress(&words, 2), 0);
+        assert_eq!(get_progress(&words, 3), 1);
+        assert_eq!(get_progress(&words, 4), 9);
+        assert_eq!(get_progress(&words, 7), 12345);
+
+        // Overwriting clears the old value first.
+        set_progress(&mut words, 1, 2);
+        assert_eq!(get_progress(&words, 1), 2);
+        assert_eq!(get_progress(&words, 0), 7);
+    }
+
+    #[test]
+    fn bound_check_triggers_strictly_above_the_bound() {
+        assert!(bound_check(5, 5).is_ok());
+        let err = bound_check(6, 5).unwrap_err();
+        assert!(err.to_string().contains("bound of 5"));
+    }
+}

@@ -22,15 +22,22 @@
 //! and merges composite states that share the same privacy state, which is
 //! what keeps the generated LTS small compared to the `2^60` theoretical
 //! state space.
+//!
+//! [`generate_lts`] is a thin wrapper over the optimised engine: the
+//! artefacts are first compiled to a dense-index flow program (the private
+//! `compile` module) and then explored by a parallel frontier BFS (the
+//! private `engine` module). The original string-resolving single-threaded path
+//! is retained as [`crate::reference::generate_lts_reference`] and is held
+//! equal to the engine by differential tests; `docs/PERFORMANCE.md` in the
+//! repository root describes the design and the measured speedups.
 
-use crate::label::{ActionKind, TransitionLabel};
+use crate::compile::CompiledModel;
+use crate::engine;
 use crate::lts::Lts;
-use crate::space::VarSpace;
-use crate::state::PrivacyState;
-use privacy_access::{AccessPolicy, Permission};
-use privacy_dataflow::{Flow, FlowKind, SystemDataFlows};
-use privacy_model::{Catalog, DatastoreId, FieldId, ModelError, SchemaId, ServiceId};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use privacy_access::AccessPolicy;
+use privacy_dataflow::SystemDataFlows;
+use privacy_model::{Catalog, ModelError, ServiceId};
+use std::collections::BTreeSet;
 
 /// Configuration of the LTS generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +56,16 @@ pub struct GeneratorConfig {
     /// the LTS at the cost of a larger state space.
     pub explore_potential_reads: bool,
     /// Safety bound on the number of composite states explored.
+    ///
+    /// The bound is enforced when a composite state is *inserted* into the
+    /// visited set: generation fails deterministically while inserting
+    /// composite state number `max_states + 1` (the initial state counts),
+    /// so the exploration queue can never outgrow the bound.
     pub max_states: usize,
+    /// Number of worker threads for frontier expansion (`None` = one per
+    /// available CPU). The generated LTS is identical for every thread
+    /// count; `Some(1)` forces the fully inline single-threaded path.
+    pub threads: Option<usize>,
 }
 
 impl Default for GeneratorConfig {
@@ -59,6 +75,7 @@ impl Default for GeneratorConfig {
             interleave_services: true,
             explore_potential_reads: false,
             max_states: 250_000,
+            threads: None,
         }
     }
 }
@@ -89,19 +106,21 @@ impl GeneratorConfig {
         self.max_states = max_states;
         self
     }
-}
 
-/// The exploration key: per-service progress, datastore contents and the
-/// privacy state. Progress and contents are needed to know which flows are
-/// enabled; only the privacy state becomes an LTS state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CompositeState {
-    progress: Vec<usize>,
-    stored: BTreeSet<(DatastoreId, FieldId)>,
-    privacy: PrivacyState,
+    /// Builder-style: set the number of frontier-expansion worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
 }
 
 /// Generates the privacy LTS for a system model.
+///
+/// Identifier resolution happens once, at compile time; exploration then
+/// operates on packed `u64` words and is parallelised across frontier
+/// generations. The result is deterministic: independent of thread count,
+/// and equal — state numbering included — to what the retained reference
+/// implementation ([`crate::reference::generate_lts_reference`]) produces.
 ///
 /// # Errors
 ///
@@ -114,206 +133,20 @@ pub fn generate_lts(
     policy: &AccessPolicy,
     config: &GeneratorConfig,
 ) -> Result<Lts, ModelError> {
-    let space = VarSpace::from_catalog(catalog);
-    let mut lts = Lts::new(space.clone());
-
-    // Select and order the services to explore.
-    let services: Vec<&ServiceId> = match &config.services {
-        Some(selected) => {
-            for service in selected {
-                if system.diagram(service).is_none() {
-                    return Err(ModelError::unknown("service diagram", service.as_str()));
-                }
-            }
-            system.services().filter(|s| selected.contains(*s)).collect()
-        }
-        None => system.services().collect(),
-    };
-    let diagrams: Vec<&privacy_dataflow::DataFlowDiagram> =
-        services.iter().map(|s| system.diagram(s).expect("checked above")).collect();
-
-    let anonymised_stores: BTreeSet<DatastoreId> =
-        catalog.datastores().filter(|d| d.is_anonymised()).map(|d| d.id().clone()).collect();
-
-    let initial = CompositeState {
-        progress: vec![0; diagrams.len()],
-        stored: BTreeSet::new(),
-        privacy: PrivacyState::absolute(&space),
-    };
-
-    let mut visited: HashMap<CompositeState, ()> = HashMap::new();
-    let mut queue = VecDeque::new();
-    visited.insert(initial.clone(), ());
-    queue.push_back(initial);
-
-    while let Some(current) = queue.pop_front() {
-        if visited.len() > config.max_states {
-            return Err(ModelError::invalid(format!(
-                "lts generation exceeded the configured bound of {} composite states",
-                config.max_states
-            )));
-        }
-        let from_id = lts.intern(current.privacy.clone());
-
-        // Which services may fire their next flow from this composite state?
-        let enabled: Vec<usize> = if config.interleave_services {
-            (0..diagrams.len()).filter(|&i| current.progress[i] < diagrams[i].len()).collect()
-        } else {
-            // Sequential execution: only the first unfinished service fires.
-            (0..diagrams.len())
-                .find(|&i| current.progress[i] < diagrams[i].len())
-                .into_iter()
-                .collect()
-        };
-
-        for service_index in enabled {
-            let diagram = diagrams[service_index];
-            let flow = &diagram.flows()[current.progress[service_index]];
-            let (next_privacy, next_stored, label) = apply_flow(
-                catalog,
-                policy,
-                &space,
-                &anonymised_stores,
-                &current.privacy,
-                &current.stored,
-                flow,
-            );
-
-            let mut next = CompositeState {
-                progress: current.progress.clone(),
-                stored: next_stored,
-                privacy: next_privacy,
-            };
-            next.progress[service_index] += 1;
-
-            let to_id = lts.intern(next.privacy.clone());
-            lts.add_transition(from_id, to_id, label);
-
-            if !visited.contains_key(&next) {
-                visited.insert(next.clone(), ());
-                queue.push_back(next);
-            }
-        }
-
-        // Potential reads: any actor the policy allows to read data that is
-        // present in a datastore may perform an (unscheduled) read.
-        if config.explore_potential_reads {
-            for (store, field) in current.stored.iter() {
-                let schema = catalog.datastore(store).map(|d| d.schema().clone());
-                for actor in policy.actors_with(Permission::Read, store, field) {
-                    if current.privacy.has(&space, &actor, field) {
-                        continue;
-                    }
-                    let next_privacy = current.privacy.with_has(&space, &actor, field);
-                    let next = CompositeState {
-                        progress: current.progress.clone(),
-                        stored: current.stored.clone(),
-                        privacy: next_privacy.clone(),
-                    };
-                    let to_id = lts.intern(next_privacy);
-                    let label = TransitionLabel::new(
-                        ActionKind::Read,
-                        actor.clone(),
-                        [field.clone()],
-                        schema.clone(),
-                    );
-                    lts.add_transition(from_id, to_id, label);
-                    if !visited.contains_key(&next) {
-                        visited.insert(next.clone(), ());
-                        queue.push_back(next);
-                    }
-                }
-            }
-        }
-    }
-
-    Ok(lts)
-}
-
-/// Applies one flow to a privacy state, producing the successor privacy
-/// state, the successor datastore contents and the transition label.
-fn apply_flow(
-    catalog: &Catalog,
-    policy: &AccessPolicy,
-    space: &VarSpace,
-    anonymised_stores: &BTreeSet<DatastoreId>,
-    privacy: &PrivacyState,
-    stored: &BTreeSet<(DatastoreId, FieldId)>,
-    flow: &Flow,
-) -> (PrivacyState, BTreeSet<(DatastoreId, FieldId)>, TransitionLabel) {
-    let mut next_privacy = privacy.clone();
-    let mut next_stored = stored.clone();
-
-    let kind = flow.kind(anonymised_stores);
-    let actor =
-        flow.acting_actor().cloned().unwrap_or_else(|| privacy_model::ActorId::new("<unknown>"));
-    let purpose = flow.purpose().clone();
-
-    let schema_of = |store: &DatastoreId| -> Option<SchemaId> {
-        catalog.datastore(store).map(|d| d.schema().clone())
-    };
-
-    let (action, schema): (ActionKind, Option<SchemaId>) = match kind {
-        FlowKind::Collect => {
-            if let Some(receiver) = flow.receiving_actor() {
-                for field in flow.fields() {
-                    next_privacy.set_has(space, receiver, field, true);
-                }
-            }
-            (ActionKind::Collect, None)
-        }
-        FlowKind::Disclose => {
-            if let Some(receiver) = flow.receiving_actor() {
-                for field in flow.fields() {
-                    next_privacy.set_has(space, receiver, field, true);
-                }
-            }
-            (ActionKind::Disclose, None)
-        }
-        FlowKind::Create | FlowKind::Anonymise => {
-            let store =
-                flow.to().as_datastore().cloned().unwrap_or_else(|| DatastoreId::new("<unknown>"));
-            for field in flow.fields() {
-                next_stored.insert((store.clone(), field.clone()));
-                // Every actor with read access to this field in this store
-                // could now identify it.
-                for reader in policy.actors_with(Permission::Read, &store, field) {
-                    next_privacy.set_could(space, &reader, field, true);
-                }
-            }
-            let action =
-                if kind == FlowKind::Anonymise { ActionKind::Anon } else { ActionKind::Create };
-            (action, schema_of(&store))
-        }
-        FlowKind::Read => {
-            let store = flow
-                .from()
-                .as_datastore()
-                .cloned()
-                .unwrap_or_else(|| DatastoreId::new("<unknown>"));
-            if let Some(reader) = flow.receiving_actor() {
-                for field in flow.fields() {
-                    if policy.can(reader, Permission::Read, &store, field) {
-                        next_privacy.set_has(space, reader, field, true);
-                    }
-                }
-            }
-            (ActionKind::Read, schema_of(&store))
-        }
-        _ => (ActionKind::Disclose, None),
-    };
-
-    let label = TransitionLabel::new(action, actor, flow.fields().iter().cloned(), schema)
-        .with_purpose(purpose);
-    (next_privacy, next_stored, label)
+    let compiled = CompiledModel::compile(catalog, system, policy, config)?;
+    engine::explore(&compiled, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::label::ActionKind;
+    use crate::reference::generate_lts_reference;
     use privacy_access::{AccessControlList, Grant};
     use privacy_dataflow::DiagramBuilder;
-    use privacy_model::{Actor, ActorId, DataField, DataSchema, DatastoreDecl, ServiceDecl};
+    use privacy_model::{
+        Actor, ActorId, DataField, DataSchema, DatastoreDecl, FieldId, ServiceDecl,
+    };
 
     /// A small two-service model: a doctor collects and stores a diagnosis
     /// (medical service); an administrator has read access to the store but
@@ -509,6 +342,77 @@ mod tests {
         let config = GeneratorConfig::default().with_max_states(1);
         let err = generate_lts(&catalog, &system, &policy, &config).unwrap_err();
         assert!(matches!(err, ModelError::Invalid { .. }));
+    }
+
+    #[test]
+    fn state_bound_fails_at_insertion_time_with_the_documented_count() {
+        let (catalog, system, policy) = fixture();
+        // The full interleaved exploration needs well over 8 composite
+        // states; the bound must fail while *inserting* composite state
+        // number 9 (the initial state counts), naming the bound, and both
+        // engines must agree on the error.
+        for max_states in [1usize, 4, 8] {
+            let config = GeneratorConfig::default().with_max_states(max_states);
+            let err = generate_lts(&catalog, &system, &policy, &config).unwrap_err();
+            let message = err.to_string();
+            assert!(
+                message.contains(&format!("bound of {max_states} composite states")),
+                "unexpected message: {message}"
+            );
+            let ref_err = generate_lts_reference(&catalog, &system, &policy, &config).unwrap_err();
+            assert_eq!(message, ref_err.to_string());
+        }
+        // A bound exactly equal to the number of composite states explored
+        // succeeds: the bound is inclusive.
+        let exact = composite_state_count(&catalog, &system, &policy);
+        let config = GeneratorConfig::default().with_max_states(exact);
+        assert!(generate_lts(&catalog, &system, &policy, &config).is_ok());
+        let config = GeneratorConfig::default().with_max_states(exact - 1);
+        assert!(generate_lts(&catalog, &system, &policy, &config).is_err());
+    }
+
+    /// The number of composite states of the fixture's default exploration,
+    /// found by growing the bound until generation succeeds.
+    fn composite_state_count(
+        catalog: &Catalog,
+        system: &SystemDataFlows,
+        policy: &AccessPolicy,
+    ) -> usize {
+        (1..10_000)
+            .find(|&bound| {
+                let config = GeneratorConfig::default().with_max_states(bound);
+                generate_lts(catalog, system, policy, &config).is_ok()
+            })
+            .expect("fixture exploration fits in 10k composite states")
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_generated_lts() {
+        let (catalog, system, policy) = fixture();
+        let config = GeneratorConfig::default().with_potential_reads();
+        let single =
+            generate_lts(&catalog, &system, &policy, &config.clone().with_threads(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel =
+                generate_lts(&catalog, &system, &policy, &config.clone().with_threads(threads))
+                    .unwrap();
+            assert_eq!(single, parallel, "thread count {threads} changed the LTS");
+        }
+    }
+
+    #[test]
+    fn engine_equals_reference_on_the_fixture() {
+        let (catalog, system, policy) = fixture();
+        for config in [
+            GeneratorConfig::default(),
+            GeneratorConfig::default().with_potential_reads(),
+            GeneratorConfig { interleave_services: false, ..GeneratorConfig::default() },
+            GeneratorConfig::for_service("MedicalService").with_potential_reads(),
+        ] {
+            let engine = generate_lts(&catalog, &system, &policy, &config).unwrap();
+            let reference = generate_lts_reference(&catalog, &system, &policy, &config).unwrap();
+            assert_eq!(engine, reference, "config {config:?} diverged");
+        }
     }
 
     #[test]

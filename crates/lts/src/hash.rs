@@ -1,0 +1,207 @@
+//! Fast, non-cryptographic hashing for the LTS generation hot path.
+//!
+//! The exploration engine hashes millions of packed-`u64` composite-state
+//! keys; SipHash (std's default) costs more than the state expansion itself.
+//! [`FxHasher`] is the FireFox/rustc multiply-xor hash: word-at-a-time, a
+//! single multiplication per word, excellent distribution on dense bit-packed
+//! keys. [`ShardedSet`] spreads a visited set over independently lockable
+//! shards so frontier workers can membership-test and batch-insert with
+//! minimal contention.
+
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplier from the FNV-inspired rustc-hash scheme (64-bit golden ratio).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The rustc-hash ("FxHash") hasher: not cryptographic, not DoS-resistant,
+/// but several times faster than SipHash on short integer-dense keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`].
+pub fn fx_hash<T: Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A set sharded over independently lockable [`FxHashSet`]s.
+///
+/// Frontier workers take shared read locks for membership tests while the
+/// merge step takes per-shard write locks to insert a whole generation's
+/// discoveries; distinct shards never contend.
+#[derive(Debug)]
+pub struct ShardedSet<T> {
+    shards: Vec<RwLock<FxHashSet<T>>>,
+    mask: u64,
+}
+
+impl<T: Eq + Hash> ShardedSet<T> {
+    /// Creates a set with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        ShardedSet {
+            shards: (0..count).map(|_| RwLock::new(FxHashSet::default())).collect(),
+            mask: (count - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, value: &T) -> usize {
+        // The low bits feed the in-shard hash table; shard selection uses the
+        // high bits so the two partitions stay independent.
+        ((fx_hash(value) >> 48) & self.mask) as usize
+    }
+
+    /// Returns `true` if the set contains `value` (shared lock).
+    pub fn contains(&self, value: &T) -> bool {
+        self.shards[self.shard_of(value)].read().contains(value)
+    }
+
+    /// Inserts `value`, returning `true` if it was not present (exclusive
+    /// lock on one shard).
+    pub fn insert(&self, value: T) -> bool {
+        self.shards[self.shard_of(&value)].write().insert(value)
+    }
+
+    /// Total number of elements across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    /// Returns `true` if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|shard| shard.read().is_empty())
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal_and_unequal_values_spread() {
+        let a = fx_hash(&vec![1u64, 2, 3]);
+        let b = fx_hash(&vec![1u64, 2, 3]);
+        let c = fx_hash(&vec![1u64, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn byte_tails_do_not_collide_with_padded_prefixes() {
+        // "ab" vs "ab\0" must differ even though the tail pads with zeros.
+        assert_ne!(fx_hash(&[0x61u8, 0x62]), fx_hash(&[0x61u8, 0x62, 0x00]));
+    }
+
+    #[test]
+    fn fx_maps_and_sets_behave_like_std() {
+        let mut map: FxHashMap<&str, usize> = FxHashMap::default();
+        map.insert("a", 1);
+        map.insert("b", 2);
+        assert_eq!(map.get("a"), Some(&1));
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+
+    #[test]
+    fn sharded_set_inserts_once_across_shards() {
+        let set: ShardedSet<Vec<u64>> = ShardedSet::new(7);
+        assert_eq!(set.shard_count(), 8);
+        assert!(set.is_empty());
+        for i in 0..1000u64 {
+            assert!(set.insert(vec![i, i * 3]));
+        }
+        for i in 0..1000u64 {
+            assert!(!set.insert(vec![i, i * 3]));
+            assert!(set.contains(&vec![i, i * 3]));
+        }
+        assert!(!set.contains(&vec![9999, 1]));
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn sharded_set_is_safe_under_concurrent_insertion() {
+        let set: ShardedSet<u64> = ShardedSet::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let set = &set;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        // Overlapping ranges: every value inserted by two threads.
+                        set.insert(t / 2 * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(set.len(), 1000);
+    }
+}

@@ -20,7 +20,13 @@
 //!   reachability and path queries, statistics.
 //! * [`generate`] — automatic generation of the LTS from the data-flow
 //!   diagrams and the access-control policy using the extraction rules of
-//!   Section II-B (Fig. 3).
+//!   Section II-B (Fig. 3). Generation compiles the artefacts to a
+//!   dense-index flow program (the private `compile` module) and explores it
+//!   with a parallel frontier BFS (the private `engine` module) over a
+//!   sharded fast-hash visited set ([`hash`]); see `docs/PERFORMANCE.md` for
+//!   the design.
+//! * [`mod@reference`] — the retained pre-optimisation generator, used to
+//!   differential-test and benchmark the engine.
 //! * [`query`] — privacy-specific queries used by the risk analyses.
 //! * [`dot`] — Graphviz export (Fig. 3 / Fig. 4 style, with risk transitions
 //!   drawn dotted).
@@ -45,18 +51,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 pub mod dot;
+mod engine;
 pub mod generate;
+pub mod hash;
 pub mod label;
 pub mod lts;
 pub mod query;
+pub mod reference;
 pub mod space;
 pub mod state;
 
 pub use generate::{generate_lts, GeneratorConfig};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, ShardedSet};
 pub use label::{ActionKind, RiskAnnotation, TransitionLabel};
 pub use lts::{Lts, LtsStats, StateId, Transition, TransitionId};
 pub use query::LtsQuery;
+pub use reference::generate_lts_reference;
 pub use space::VarSpace;
 pub use state::PrivacyState;
 
@@ -67,6 +79,7 @@ pub mod prelude {
     pub use crate::label::{ActionKind, RiskAnnotation, TransitionLabel};
     pub use crate::lts::{Lts, LtsStats, StateId, Transition, TransitionId};
     pub use crate::query::LtsQuery;
+    pub use crate::reference::generate_lts_reference;
     pub use crate::space::VarSpace;
     pub use crate::state::PrivacyState;
 }

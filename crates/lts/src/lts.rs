@@ -7,6 +7,7 @@ use crate::state::PrivacyState;
 use privacy_model::RiskLevel;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a state within an [`Lts`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,11 +30,16 @@ impl fmt::Display for TransitionId {
 }
 
 /// One labelled transition between two states.
+///
+/// Labels are stored behind [`Arc`] so that the many transitions generated
+/// from the same compiled flow share one allocation; mutation (risk
+/// annotation) copies-on-write via [`Arc::make_mut`], so annotating one
+/// transition never affects another that happens to share its label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     from: StateId,
     to: StateId,
-    label: TransitionLabel,
+    label: Arc<TransitionLabel>,
     /// Risk-transitions are the dotted edges of Fig. 4: they do not belong to
     /// any declared service flow but represent an access that the policy
     /// makes possible.
@@ -56,9 +62,10 @@ impl Transition {
         &self.label
     }
 
-    /// Mutable access to the label (used by risk annotation).
+    /// Mutable access to the label (used by risk annotation). If the label is
+    /// shared with other transitions it is cloned first (copy-on-write).
     pub fn label_mut(&mut self) -> &mut TransitionLabel {
-        &mut self.label
+        Arc::make_mut(&mut self.label)
     }
 
     /// Returns `true` if this is a risk-transition (dotted edge in Fig. 4).
@@ -178,6 +185,20 @@ impl Lts {
         to: StateId,
         label: TransitionLabel,
     ) -> TransitionId {
+        self.add_transition_inner(from, to, Arc::new(label), false)
+    }
+
+    /// Adds a transition whose label is shared (interned), with the full
+    /// duplicate scan. The engine pre-dedups and uses
+    /// [`Lts::add_transition_shared_unchecked`]; this checked variant backs
+    /// the copy-on-write unit tests.
+    #[cfg(test)]
+    pub(crate) fn add_transition_shared(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        label: Arc<TransitionLabel>,
+    ) -> TransitionId {
         self.add_transition_inner(from, to, label, false)
     }
 
@@ -188,19 +209,49 @@ impl Lts {
         to: StateId,
         label: TransitionLabel,
     ) -> TransitionId {
+        self.add_transition_inner(from, to, Arc::new(label), true)
+    }
+
+    /// Adds a risk-transition with a shared (interned) label.
+    #[cfg(test)]
+    pub(crate) fn add_risk_transition_shared(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        label: Arc<TransitionLabel>,
+    ) -> TransitionId {
         self.add_transition_inner(from, to, label, true)
+    }
+
+    /// Adds a non-risk transition without scanning for duplicates. The
+    /// generation engine dedups `(from, to, label)` triples by interned label
+    /// index up front — exactly the check the scan would perform — so the
+    /// linear scan over hub states' outgoing lists (quadratic in out-degree)
+    /// is skipped.
+    pub(crate) fn add_transition_shared_unchecked(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        label: Arc<TransitionLabel>,
+    ) -> TransitionId {
+        let id = TransitionId(self.transitions.len());
+        self.transitions.push(Transition { from, to, label, risk_transition: false });
+        self.outgoing[from.0].push(id);
+        id
     }
 
     fn add_transition_inner(
         &mut self,
         from: StateId,
         to: StateId,
-        label: TransitionLabel,
+        label: Arc<TransitionLabel>,
         risk_transition: bool,
     ) -> TransitionId {
         if let Some(existing) = self.outgoing[from.0].iter().find(|tid| {
             let t = &self.transitions[tid.0];
-            t.to == to && t.label == label && t.risk_transition == risk_transition
+            t.to == to
+                && t.risk_transition == risk_transition
+                && (Arc::ptr_eq(&t.label, &label) || t.label == label)
         }) {
             return *existing;
         }
@@ -234,7 +285,7 @@ impl Lts {
     ///
     /// Panics if the id does not belong to this LTS.
     pub fn annotate(&mut self, id: TransitionId, risk: RiskAnnotation) {
-        self.transitions[id.0].label.set_risk(risk);
+        self.transitions[id.0].label_mut().set_risk(risk);
     }
 
     /// Iterates over the states with their ids.
@@ -503,6 +554,29 @@ mod tests {
         assert_eq!(stats.state_variables, 8);
         assert_eq!(stats.theoretical_states, 256.0);
         assert!(stats.to_string().contains("4 states"));
+    }
+
+    #[test]
+    fn shared_labels_copy_on_write_under_annotation() {
+        let mut lts = two_step_lts();
+        let s0 = lts.initial();
+        let s1 = lts.transition(TransitionId(0)).to();
+        let s2 = lts.transition(TransitionId(1)).to();
+        let shared = std::sync::Arc::new(label(ActionKind::Read, "Admin", "Name"));
+
+        let t_a = lts.add_transition_shared(s0, s2, std::sync::Arc::clone(&shared));
+        let t_b = lts.add_transition_shared(s1, s2, std::sync::Arc::clone(&shared));
+        // Re-adding the same shared label between the same states dedups.
+        assert_eq!(lts.add_transition_shared(s0, s2, std::sync::Arc::clone(&shared)), t_a);
+
+        // Annotating one transition must not leak into the other.
+        lts.annotate(t_a, RiskAnnotation::level(RiskLevel::High));
+        assert!(lts.transition(t_a).label().risk().is_some());
+        assert!(lts.transition(t_b).label().risk().is_none());
+        assert!(shared.risk().is_none());
+
+        let t_risk = lts.add_risk_transition_shared(s2, s2, shared);
+        assert!(lts.transition(t_risk).is_risk_transition());
     }
 
     #[test]

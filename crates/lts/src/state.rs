@@ -23,6 +23,13 @@ impl PrivacyState {
         PrivacyState { bits: vec![0; len.div_ceil(64)], len }
     }
 
+    /// Reconstructs a state from its raw backing words (used by the compiled
+    /// generation engine, which manipulates states as bare `u64` words).
+    pub(crate) fn from_raw_words(bits: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(bits.len(), len.div_ceil(64));
+        PrivacyState { bits, len }
+    }
+
     /// Number of variables tracked by this state.
     pub fn len(&self) -> usize {
         self.len

@@ -1,0 +1,162 @@
+//! Differential tests: the optimised compiled-flow engine against the
+//! retained reference implementation, over seeded random `privacy-synth`
+//! system models.
+//!
+//! The engine is required to agree with the reference on *everything* the
+//! issue cares about — state counts, the transition multiset, the
+//! deadlock/final states — and, because its merge phase is deterministic in
+//! frontier order, on the stronger property of full LTS equality (identical
+//! state numbering and transition order).
+
+use privacy_lts::{generate_lts, generate_lts_reference, GeneratorConfig, Lts};
+use privacy_synth::{random_model, ModelGeneratorConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The transition multiset of an LTS, as count-tagged rendered edges. Using
+/// the privacy-state labels (not state ids) makes the comparison meaningful
+/// even if the two implementations ever numbered states differently.
+fn transition_multiset(lts: &Lts) -> BTreeMap<(String, String, String, bool), usize> {
+    let space = lts.space();
+    let mut multiset = BTreeMap::new();
+    for (_, transition) in lts.transitions() {
+        let key = (
+            lts.state(transition.from()).short_label(space),
+            lts.state(transition.to()).short_label(space),
+            transition.label().to_string(),
+            transition.is_risk_transition(),
+        );
+        *multiset.entry(key).or_insert(0) += 1;
+    }
+    multiset
+}
+
+/// The deadlock (no outgoing transition) states of an LTS, rendered.
+fn deadlock_states(lts: &Lts) -> Vec<String> {
+    let space = lts.space();
+    let mut deadlocks: Vec<String> = lts
+        .states()
+        .filter(|(id, _)| lts.outgoing(*id).next().is_none())
+        .map(|(_, state)| state.short_label(space))
+        .collect();
+    deadlocks.sort();
+    deadlocks
+}
+
+fn assert_equivalent(engine: &Lts, reference: &Lts) {
+    assert_eq!(engine.state_count(), reference.state_count(), "state counts diverge");
+    assert_eq!(
+        engine.transition_count(),
+        reference.transition_count(),
+        "transition counts diverge"
+    );
+    assert_eq!(
+        transition_multiset(engine),
+        transition_multiset(reference),
+        "transition multisets diverge"
+    );
+    assert_eq!(deadlock_states(engine), deadlock_states(reference), "deadlock states diverge");
+    // The engine's deterministic merge makes the stronger guarantee hold too.
+    assert_eq!(engine, reference, "full LTS equality diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engine_matches_reference_on_random_models(
+        actors in 1usize..5,
+        fields in 1usize..5,
+        datastores in 1usize..4,
+        services in 1usize..4,
+        flows in 1usize..6,
+        seed in 0u64..1_000_000,
+        potential_reads in proptest::bool::ANY,
+        interleave in proptest::bool::ANY,
+        threads in 1usize..5,
+    ) {
+        let model_config = ModelGeneratorConfig {
+            actors,
+            fields,
+            datastores,
+            services,
+            flows_per_service: flows,
+            seed,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, system, policy) =
+            random_model(&model_config).expect("generated model is valid");
+
+        let mut config = GeneratorConfig::default().with_max_states(50_000);
+        config.explore_potential_reads = potential_reads;
+        config.interleave_services = interleave;
+        config.threads = Some(threads);
+
+        let engine = generate_lts(&catalog, &system, &policy, &config);
+        let reference = generate_lts_reference(&catalog, &system, &policy, &config);
+        match (engine, reference) {
+            (Ok(engine), Ok(reference)) => assert_equivalent(&engine, &reference),
+            (Err(engine_err), Err(reference_err)) => {
+                // Both may hit the state bound — then they must fail alike.
+                prop_assert_eq!(engine_err.to_string(), reference_err.to_string());
+            }
+            (engine, reference) => {
+                return Err(TestCaseError::fail(format!(
+                    "implementations disagree: engine {:?} vs reference {:?}",
+                    engine.map(|l| l.stats().to_string()),
+                    reference.map(|l| l.stats().to_string()),
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_under_tight_state_bounds(
+        seed in 0u64..1_000_000,
+        max_states in 1usize..40,
+    ) {
+        let (catalog, system, policy) =
+            random_model(&ModelGeneratorConfig::default().with_seed(seed))
+                .expect("generated model is valid");
+        let config = GeneratorConfig::default()
+            .with_potential_reads()
+            .with_max_states(max_states);
+        let engine = generate_lts(&catalog, &system, &policy, &config);
+        let reference = generate_lts_reference(&catalog, &system, &policy, &config);
+        match (engine, reference) {
+            (Ok(engine), Ok(reference)) => assert_equivalent(&engine, &reference),
+            (Err(engine_err), Err(reference_err)) => {
+                prop_assert_eq!(engine_err.to_string(), reference_err.to_string());
+            }
+            _ => return Err(TestCaseError::fail("one implementation hit the bound alone")),
+        }
+    }
+}
+
+/// Deliberately larger fixed-seed models, outside the proptest loop so their
+/// runtime stays visible in test output. Some seeds collapse onto a handful
+/// of privacy states, so the size assertion is on the batch, not per seed.
+#[test]
+fn engine_matches_reference_on_larger_models() {
+    let mut total_states = 0usize;
+    for seed in 0..6 {
+        let model_config = ModelGeneratorConfig {
+            actors: 5,
+            fields: 6,
+            datastores: 2,
+            services: 2,
+            flows_per_service: 6,
+            grant_probability: 0.3,
+            seed,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, system, policy) = random_model(&model_config).expect("model builds");
+        let config = GeneratorConfig::default().with_potential_reads().with_max_states(500_000);
+        let engine = generate_lts(&catalog, &system, &policy, &config).expect("engine generates");
+        let reference = generate_lts_reference(&catalog, &system, &policy, &config)
+            .expect("reference generates");
+        assert_equivalent(&engine, &reference);
+        total_states += engine.state_count();
+    }
+    assert!(total_states > 100, "explorations stayed trivial: {total_states} states in total");
+}

@@ -1,0 +1,157 @@
+//! Dense index interning for model identifiers.
+//!
+//! The LTS generation hot path cannot afford string-keyed map lookups for
+//! every bit it sets, so identifiers ([`crate::ActorId`], [`crate::FieldId`],
+//! [`crate::DatastoreId`], …) are resolved **once** up front to dense `u32`
+//! indices and all subsequent work happens on integers. [`Interner`] is the
+//! generic building block: insertion order assigns indices `0, 1, 2, …`,
+//! duplicates collapse onto their first index, and the original values stay
+//! addressable as a contiguous slice.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An order-preserving deduplicating map from values to dense `u32` indices.
+///
+/// # Example
+///
+/// ```
+/// use privacy_model::intern::Interner;
+/// use privacy_model::ActorId;
+///
+/// let mut actors = Interner::new();
+/// let doctor = actors.intern(ActorId::new("Doctor"));
+/// let admin = actors.intern(ActorId::new("Administrator"));
+/// assert_eq!((doctor, admin), (0, 1));
+/// // Re-interning returns the existing index.
+/// assert_eq!(actors.intern(ActorId::new("Doctor")), 0);
+/// assert_eq!(actors.get(&ActorId::new("Administrator")), Some(1));
+/// assert_eq!(actors.resolve(0), Some(&ActorId::new("Doctor")));
+/// assert_eq!(actors.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner<T> {
+    items: Vec<T>,
+    index: HashMap<T, u32>,
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner { items: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Creates an empty interner with capacity for `capacity` distinct values.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Interner { items: Vec::with_capacity(capacity), index: HashMap::with_capacity(capacity) }
+    }
+
+    /// Interns a value, returning its dense index. A value already present
+    /// keeps the index it was first assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct values are interned.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&existing) = self.index.get(&value) {
+            return existing;
+        }
+        let id = u32::try_from(self.items.len()).expect("interner overflowed u32 indices");
+        self.index.insert(value.clone(), id);
+        self.items.push(value);
+        id
+    }
+
+    /// The index of a value, if it has been interned.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// The value at a dense index, if in range.
+    pub fn resolve(&self, id: u32) -> Option<&T> {
+        self.items.get(id as usize)
+    }
+
+    /// All interned values, in index order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for Interner<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut interner = Interner::new();
+        for value in iter {
+            interner.intern(value);
+        }
+        interner
+    }
+}
+
+impl<T: Eq + Hash> PartialEq for Interner<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T: Eq + Hash> Eq for Interner<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_dense_indices_in_insertion_order() {
+        let mut interner = Interner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.intern("a"), 0);
+        assert_eq!(interner.intern("b"), 1);
+        assert_eq!(interner.intern("c"), 2);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.items(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicates_keep_their_first_index() {
+        let mut interner = Interner::new();
+        interner.intern("x");
+        interner.intern("y");
+        assert_eq!(interner.intern("x"), 0);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn get_and_resolve_round_trip() {
+        let interner: Interner<&str> = ["p", "q"].into_iter().collect();
+        assert_eq!(interner.get(&"q"), Some(1));
+        assert_eq!(interner.get(&"missing"), None);
+        assert_eq!(interner.resolve(0), Some(&"p"));
+        assert_eq!(interner.resolve(9), None);
+        let pairs: Vec<(u32, &&str)> = interner.iter().collect();
+        assert_eq!(pairs, vec![(0, &"p"), (1, &"q")]);
+    }
+
+    #[test]
+    fn equality_compares_contents_in_order() {
+        let a: Interner<u32> = [1, 2, 3].into_iter().collect();
+        let b: Interner<u32> = [1, 2, 3, 2].into_iter().collect();
+        let c: Interner<u32> = [2, 1, 3].into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -20,9 +20,10 @@
 //! * concrete data values, records and datasets used by the anonymisation and
 //!   synthetic-data crates ([`value`]);
 //! * the shared [`catalog::Catalog`] registering every element of a system
-//!   model; and
+//!   model;
 //! * the common risk vocabulary (low / medium / high) used to label impact,
-//!   likelihood and combined risk ([`risk_level`]).
+//!   likelihood and combined risk ([`risk_level`]); and
+//! * dense index interning of identifiers for hot paths ([`intern`]).
 //!
 //! # Example
 //!
@@ -48,6 +49,7 @@ pub mod consent;
 pub mod error;
 pub mod field;
 pub mod ids;
+pub mod intern;
 pub mod purpose;
 pub mod risk_level;
 pub mod sensitivity;
@@ -60,6 +62,7 @@ pub use consent::Consent;
 pub use error::ModelError;
 pub use field::{DataField, DataSchema, FieldKind};
 pub use ids::{ActorId, DatastoreId, FieldId, RoleId, SchemaId, ServiceId, UserId};
+pub use intern::Interner;
 pub use purpose::Purpose;
 pub use risk_level::{Likelihood, RiskLevel, Severity};
 pub use sensitivity::{Sensitivity, SensitivityCategory, SensitivityProfile};
@@ -74,6 +77,7 @@ pub mod prelude {
     pub use crate::error::ModelError;
     pub use crate::field::{DataField, DataSchema, FieldKind};
     pub use crate::ids::{ActorId, DatastoreId, FieldId, RoleId, SchemaId, ServiceId, UserId};
+    pub use crate::intern::Interner;
     pub use crate::purpose::Purpose;
     pub use crate::risk_level::{Likelihood, RiskLevel, Severity};
     pub use crate::sensitivity::{Sensitivity, SensitivityCategory, SensitivityProfile};

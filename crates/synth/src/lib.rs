@@ -14,7 +14,9 @@
 //! * [`profiles`] — user sensitivity profiles and consent assignments (the
 //!   Case Study A profile plus random populations of users);
 //! * [`workload`] — sequences of service executions used to drive the
-//!   runtime simulator.
+//!   runtime simulator;
+//! * [`models`] — random whole-system models (catalog, data flows, access
+//!   policy) for the LTS engine's differential tests and scaling benches.
 //!
 //! All generators are deterministic given a seed so experiments are
 //! reproducible.
@@ -22,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod models;
 pub mod profiles;
 pub mod records;
 pub mod workload;
 
+pub use models::{random_model, GeneratedModel, ModelGeneratorConfig};
 pub use profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
 pub use records::{
     random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
@@ -34,6 +38,7 @@ pub use workload::{random_workload, ServiceRequest, WorkloadConfig};
 
 /// Convenience re-export of the most commonly used items.
 pub mod prelude {
+    pub use crate::models::{random_model, GeneratedModel, ModelGeneratorConfig};
     pub use crate::profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
     pub use crate::records::{
         random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
