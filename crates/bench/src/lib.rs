@@ -17,6 +17,26 @@ use privacy_dataflow::DiagramBuilder;
 use privacy_model::{
     Actor, ActorId, Catalog, DataField, DataSchema, DatastoreDecl, FieldId, ModelError, ServiceDecl,
 };
+use std::time::{Duration, Instant};
+
+/// Times `f` by running it repeatedly until `target` wall time has
+/// accumulated (at least once after the warm-up), returning the mean
+/// duration per run and the warm-up result. Shared by the `lts_scaling` and
+/// `analysis_scaling` bench binaries so their measurement semantics cannot
+/// drift apart.
+pub fn time_runs<R>(target: Duration, mut f: impl FnMut() -> R) -> (f64, R) {
+    let result = f(); // Warm-up run, also the correctness artefact.
+    let started = Instant::now();
+    let mut runs = 0u32;
+    loop {
+        let _ = std::hint::black_box(f());
+        runs += 1;
+        if started.elapsed() >= target {
+            break;
+        }
+    }
+    (started.elapsed().as_secs_f64() / f64::from(runs), result)
+}
 
 /// Builds a synthetic system with `actors` actors, `fields` fields and one
 /// service whose diagram collects, stores and reads every field — used by the

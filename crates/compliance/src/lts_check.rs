@@ -1,19 +1,34 @@
 //! Checking a privacy policy against the generated LTS privacy model.
 //!
 //! Every transition in the LTS represents a possible action on personal
-//! data, so design-time compliance amounts to scanning the transition
-//! relation (and, for exposure bounds, the reachable states) for behaviour
-//! the policy rules out.
+//! data, so design-time compliance amounts to finding behaviour the policy
+//! rules out. Two interchangeable strategies exist:
+//!
+//! * **Index probes** ([`check_lts`], [`check_lts_indexed`],
+//!   [`check_lts_batch`]) — the default. A columnar
+//!   [`LtsIndex`] is built (or reused) and every statement resolves through
+//!   posting lists and packed bitsets: `O(statements × transitions)` label
+//!   scans become per-statement probes, and one index build is amortised
+//!   over all statements of a policy (or, with the batch API, over many
+//!   policies).
+//! * **Label scans** ([`check_lts_scan`]) — the original implementation,
+//!   retained verbatim for differential testing: for every statement it
+//!   walks the full transition relation (and, for exposure bounds, the
+//!   reachable states) comparing labels. Both strategies produce *identical*
+//!   [`ComplianceReport`]s — same outcomes, same violation order, same
+//!   messages — which the property tests in `tests/index_differential.rs`
+//!   pin over random models.
 
 use crate::policy::PrivacyPolicy;
 use crate::report::{ComplianceReport, StatementOutcome, Violation};
-use crate::statement::{Statement, StatementKind};
-use privacy_lts::{ActionKind, Lts, LtsQuery};
+use crate::statement::{FieldMatcher, Statement, StatementKind};
+use privacy_lts::{ActionKind, Lts, LtsIndex, LtsQuery};
 use privacy_model::FieldId;
 use std::collections::BTreeSet;
 
 /// Checks every statement of `policy` against the transitions and states of
-/// `lts`.
+/// `lts`, building a columnar analysis index once and probing it per
+/// statement.
 ///
 /// [`StatementKind::ServiceLimit`] statements are reported as *skipped*: LTS
 /// transitions carry an action, actor, field set and purpose, but not the
@@ -38,14 +53,258 @@ use std::collections::BTreeSet;
 /// # }
 /// ```
 pub fn check_lts(lts: &Lts, policy: &PrivacyPolicy) -> ComplianceReport {
-    let outcomes = policy.iter().map(|statement| check_statement(lts, statement)).collect();
-    ComplianceReport::new(
-        format!("LTS ({} states, {} transitions)", lts.state_count(), lts.transition_count()),
-        outcomes,
-    )
+    let index = LtsIndex::build(lts);
+    check_lts_indexed(lts, &index, policy)
 }
 
-fn check_statement(lts: &Lts, statement: &Statement) -> StatementOutcome {
+/// Checks a policy against a prebuilt analysis index. The index must have
+/// been built from `lts` (and the LTS must not have been mutated since);
+/// reusing one index across many [`check_lts_indexed`] calls is how the
+/// batch path amortises the single build.
+pub fn check_lts_indexed(lts: &Lts, index: &LtsIndex, policy: &PrivacyPolicy) -> ComplianceReport {
+    let outcomes =
+        policy.iter().map(|statement| check_statement_indexed(lts, index, statement)).collect();
+    ComplianceReport::new(report_target(lts), outcomes)
+}
+
+/// Checks many policies over **one** index build, evaluating policies in
+/// parallel over `threads` crossbeam scoped threads (`None` = one per CPU).
+///
+/// Reports come back in policy order and are identical to running
+/// [`check_lts`] per policy (and therefore to [`check_lts_scan`]) — the
+/// parallelism only partitions the policy list, never the evaluation of a
+/// single statement.
+pub fn check_lts_batch(
+    lts: &Lts,
+    policies: &[PrivacyPolicy],
+    threads: Option<usize>,
+) -> Vec<ComplianceReport> {
+    let index = LtsIndex::build(lts);
+    check_lts_batch_indexed(lts, &index, policies, threads)
+}
+
+/// Like [`check_lts_batch`] but over a prebuilt index (the benchmark uses
+/// this to time probe throughput separately from the build).
+pub fn check_lts_batch_indexed(
+    lts: &Lts,
+    index: &LtsIndex,
+    policies: &[PrivacyPolicy],
+    threads: Option<usize>,
+) -> Vec<ComplianceReport> {
+    privacy_lts::batch::parallel_map(policies, threads, |policy| {
+        check_lts_indexed(lts, index, policy)
+    })
+}
+
+/// The original full-scan checker, retained for differential testing and as
+/// the reference semantics of [`check_lts`].
+pub fn check_lts_scan(lts: &Lts, policy: &PrivacyPolicy) -> ComplianceReport {
+    let outcomes = policy.iter().map(|statement| check_statement_scan(lts, statement)).collect();
+    ComplianceReport::new(report_target(lts), outcomes)
+}
+
+fn report_target(lts: &Lts) -> String {
+    format!("LTS ({} states, {} transitions)", lts.state_count(), lts.transition_count())
+}
+
+/// Checks one statement through index probes. Candidate transitions are
+/// always visited in ascending id order — the order the scan path reports
+/// violations in — so the two strategies render identical reports.
+fn check_statement_indexed(lts: &Lts, index: &LtsIndex, statement: &Statement) -> StatementOutcome {
+    let violations = match statement.kind() {
+        StatementKind::Forbid { actors, action, fields } => {
+            let field_mask = only_mask(index, fields);
+            let actor_accept: Vec<bool> =
+                index.actors().iter().map(|actor| actors.matches(actor)).collect();
+            // Every transition's actor is interned, so a matcher accepting
+            // no interned actor can never fire: skip the candidate walk.
+            if !actor_accept.iter().any(|&accepted| accepted) {
+                return StatementOutcome::Checked {
+                    statement: statement.clone(),
+                    violations: Vec::new(),
+                };
+            }
+            let matches = |tx: u32| {
+                actor_accept[index.actor_index_of(tx) as usize]
+                    && matches_fields(index, tx, field_mask.as_deref())
+            };
+            let mut violations = Vec::new();
+            let mut push = |tx: u32| {
+                let label = lts.transition(privacy_lts::TransitionId(tx as usize)).label();
+                violations.push(Violation::new(
+                    statement.id(),
+                    format!("transition #{tx}"),
+                    format!(
+                        "{:?} on {{{}}} by `{}` is forbidden by the policy",
+                        label.action(),
+                        join_fields(label.fields()),
+                        label.actor()
+                    ),
+                ));
+            };
+            match action {
+                Some(action) => {
+                    for &tx in index.transitions_of_kind(*action) {
+                        if matches(tx) {
+                            push(tx);
+                        }
+                    }
+                }
+                None => {
+                    for tx in 0..index.transition_count() as u32 {
+                        if matches(tx) {
+                            push(tx);
+                        }
+                    }
+                }
+            }
+            violations
+        }
+        StatementKind::PurposeLimit { fields, allowed } => {
+            let allowed_ids: BTreeSet<u32> =
+                allowed.iter().filter_map(|purpose| index.purpose_index(purpose)).collect();
+            let mut violations = Vec::new();
+            for tx in candidate_transitions(index, fields) {
+                match index.purpose_index_of(tx) {
+                    Some(purpose) if allowed_ids.contains(&purpose) => {}
+                    Some(_) => {
+                        let label = lts.transition(privacy_lts::TransitionId(tx as usize)).label();
+                        let purpose = label.purpose().expect("purpose column said Some");
+                        violations.push(Violation::new(
+                            statement.id(),
+                            format!("transition #{tx}"),
+                            format!(
+                                "purpose `{purpose}` is not among the declared purposes for {{{}}}",
+                                join_fields(label.fields())
+                            ),
+                        ));
+                    }
+                    None => violations.push(Violation::new(
+                        statement.id(),
+                        format!("transition #{tx}"),
+                        "the transition states no purpose for purpose-limited fields".to_string(),
+                    )),
+                }
+            }
+            violations
+        }
+        StatementKind::ServiceLimit { .. } => return skip_service_limit(statement),
+        StatementKind::RequireErasure { fields } => {
+            // The fields processed anywhere in the model, in `FieldId` order
+            // (the scan path's `BTreeSet` iteration order).
+            let mut processed: Vec<&FieldId> = index
+                .fields()
+                .iter()
+                .filter(|field| {
+                    fields.matches(field) && !index.transitions_involving_field(field).is_empty()
+                })
+                .collect();
+            processed.sort();
+            processed
+                .into_iter()
+                .filter(|field| !index.kind_covers_field(ActionKind::Delete, field))
+                .map(|field| {
+                    Violation::new(
+                        statement.id(),
+                        format!("field `{field}`"),
+                        "the model contains no delete action covering this field",
+                    )
+                })
+                .collect()
+        }
+        StatementKind::MaxExposure { field, max_actors } => {
+            let exposed: Vec<&privacy_model::ActorId> = lts
+                .space()
+                .actors()
+                .iter()
+                .filter(|actor| index.can_actor_identify(actor, field))
+                .collect();
+            max_exposure_violations(statement, field, *max_actors, exposed)
+        }
+        // Future statement kinds default to skipped rather than silently passing.
+        #[allow(unreachable_patterns)]
+        _ => return skip_unsupported(statement),
+    };
+    StatementOutcome::Checked { statement: statement.clone(), violations }
+}
+
+/// The candidate transitions of a field matcher, ascending: for `Any`,
+/// every transition that carries at least one field (an empty field set
+/// never matches a matcher); for `Only`, the deduplicated union of the
+/// listed fields' posting lists.
+fn candidate_transitions(index: &LtsIndex, fields: &FieldMatcher) -> Vec<u32> {
+    match fields {
+        FieldMatcher::Any => {
+            (0..index.transition_count() as u32).filter(|&tx| index.has_fields(tx)).collect()
+        }
+        FieldMatcher::Only(set) => {
+            let mut union: Vec<u32> = set
+                .iter()
+                .flat_map(|field| index.transitions_involving_field(field).iter().copied())
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            union
+        }
+    }
+}
+
+/// `None` means the matcher is [`FieldMatcher::Any`].
+fn only_mask(index: &LtsIndex, fields: &FieldMatcher) -> Option<Vec<u64>> {
+    match fields {
+        FieldMatcher::Any => None,
+        FieldMatcher::Only(set) => Some(index.field_mask(set.iter())),
+    }
+}
+
+fn matches_fields(index: &LtsIndex, tx: u32, mask: Option<&[u64]>) -> bool {
+    match mask {
+        // `FieldMatcher::Any.matches_any` over an empty label field set is
+        // false, so Any still requires at least one field.
+        None => index.has_fields(tx),
+        Some(mask) => index.involves_any(tx, mask),
+    }
+}
+
+fn max_exposure_violations(
+    statement: &Statement,
+    field: &FieldId,
+    max_actors: usize,
+    exposed: Vec<&privacy_model::ActorId>,
+) -> Vec<Violation> {
+    if exposed.len() > max_actors {
+        vec![Violation::new(
+            statement.id(),
+            format!("field `{field}`"),
+            format!(
+                "{} actors can identify the field (limit {}): {}",
+                exposed.len(),
+                max_actors,
+                exposed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
+            ),
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+fn skip_service_limit(statement: &Statement) -> StatementOutcome {
+    StatementOutcome::Skipped {
+        statement: statement.clone(),
+        reason: "LTS transitions carry no service information; check the event log instead".into(),
+    }
+}
+
+fn skip_unsupported(statement: &Statement) -> StatementOutcome {
+    StatementOutcome::Skipped {
+        statement: statement.clone(),
+        reason: "statement kind is not supported by the LTS checker".into(),
+    }
+}
+
+/// Checks one statement by scanning the transition relation (the retained
+/// reference semantics).
+fn check_statement_scan(lts: &Lts, statement: &Statement) -> StatementOutcome {
     let violations = match statement.kind() {
         StatementKind::Forbid { actors, action, fields } => {
             let mut violations = Vec::new();
@@ -96,13 +355,7 @@ fn check_statement(lts: &Lts, statement: &Statement) -> StatementOutcome {
             }
             violations
         }
-        StatementKind::ServiceLimit { .. } => {
-            return StatementOutcome::Skipped {
-                statement: statement.clone(),
-                reason: "LTS transitions carry no service information; check the event log instead"
-                    .into(),
-            };
-        }
+        StatementKind::ServiceLimit { .. } => return skip_service_limit(statement),
         StatementKind::RequireErasure { fields } => {
             let processed: BTreeSet<&FieldId> = lts
                 .transitions()
@@ -132,29 +385,11 @@ fn check_statement(lts: &Lts, statement: &Statement) -> StatementOutcome {
                 .iter()
                 .filter(|actor| query.can_actor_identify(actor, field))
                 .collect();
-            if exposed.len() > *max_actors {
-                vec![Violation::new(
-                    statement.id(),
-                    format!("field `{field}`"),
-                    format!(
-                        "{} actors can identify the field (limit {}): {}",
-                        exposed.len(),
-                        max_actors,
-                        exposed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
-                    ),
-                )]
-            } else {
-                Vec::new()
-            }
+            max_exposure_violations(statement, field, *max_actors, exposed)
         }
         // Future statement kinds default to skipped rather than silently passing.
         #[allow(unreachable_patterns)]
-        _ => {
-            return StatementOutcome::Skipped {
-                statement: statement.clone(),
-                reason: "statement kind is not supported by the LTS checker".into(),
-            };
-        }
+        _ => return skip_unsupported(statement),
     };
     StatementOutcome::Checked { statement: statement.clone(), violations }
 }
@@ -209,6 +444,15 @@ mod tests {
         lts
     }
 
+    /// Every unit-test policy must produce identical reports through the
+    /// index and through the scan.
+    fn check_both(lts: &Lts, policy: &PrivacyPolicy) -> ComplianceReport {
+        let indexed = check_lts(lts, policy);
+        let scanned = check_lts_scan(lts, policy);
+        assert_eq!(indexed, scanned, "index and scan reports diverge");
+        indexed
+    }
+
     #[test]
     fn forbid_flags_matching_transitions() {
         let lts = tiny_lts();
@@ -219,7 +463,7 @@ mod tests {
             Some(ActionKind::Read),
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        let report = check_lts(&lts, &policy);
+        let report = check_both(&lts, &policy);
         assert_eq!(report.violation_count(), 1);
         let violation = report.violations().next().unwrap();
         assert!(violation.subject().contains("transition #1"));
@@ -236,7 +480,7 @@ mod tests {
             None,
             FieldMatcher::Any,
         ));
-        assert!(check_lts(&lts, &policy).is_compliant());
+        assert!(check_both(&lts, &policy).is_compliant());
     }
 
     #[test]
@@ -248,7 +492,7 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [Purpose::new("consultation").unwrap(), Purpose::new("maintenance").unwrap()],
         ));
-        assert!(check_lts(&lts, &ok).is_compliant());
+        assert!(check_both(&lts, &ok).is_compliant());
 
         let narrow = PrivacyPolicy::new("p").with_statement(Statement::purpose_limit(
             "P2",
@@ -256,7 +500,7 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [Purpose::new("consultation").unwrap()],
         ));
-        let report = check_lts(&lts, &narrow);
+        let report = check_both(&lts, &narrow);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().detail().contains("maintenance"));
     }
@@ -277,7 +521,7 @@ mod tests {
             FieldMatcher::Any,
             [Purpose::new("treatment").unwrap()],
         ));
-        let report = check_lts(&lts, &policy);
+        let report = check_both(&lts, &policy);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().detail().contains("no purpose"));
     }
@@ -290,7 +534,7 @@ mod tests {
             "diagnosis must be erasable",
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        let report = check_lts(&lts, &policy);
+        let report = check_both(&lts, &policy);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().subject().contains("Diagnosis"));
     }
@@ -309,7 +553,7 @@ mod tests {
             "diagnosis must be erasable",
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        assert!(check_lts(&lts, &policy).is_compliant());
+        assert!(check_both(&lts, &policy).is_compliant());
     }
 
     #[test]
@@ -321,7 +565,7 @@ mod tests {
             FieldMatcher::only([FieldId::new("Weight")]),
         ));
         // Weight never appears in the LTS, so there is nothing to erase.
-        assert!(check_lts(&lts, &policy).is_compliant());
+        assert!(check_both(&lts, &policy).is_compliant());
     }
 
     #[test]
@@ -333,7 +577,7 @@ mod tests {
             FieldId::new("Diagnosis"),
             1,
         ));
-        let report = check_lts(&lts, &strict);
+        let report = check_both(&lts, &strict);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().detail().contains("2 actors"));
 
@@ -343,7 +587,7 @@ mod tests {
             FieldId::new("Diagnosis"),
             2,
         ));
-        assert!(check_lts(&lts, &relaxed).is_compliant());
+        assert!(check_both(&lts, &relaxed).is_compliant());
     }
 
     #[test]
@@ -355,7 +599,7 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [privacy_model::ServiceId::new("MedicalService")],
         ));
-        let report = check_lts(&lts, &policy);
+        let report = check_both(&lts, &policy);
         assert!(report.is_compliant());
         assert_eq!(report.skipped().count(), 1);
     }
@@ -363,8 +607,50 @@ mod tests {
     #[test]
     fn report_target_mentions_the_lts_size() {
         let lts = tiny_lts();
-        let report = check_lts(&lts, &PrivacyPolicy::new("empty"));
+        let report = check_both(&lts, &PrivacyPolicy::new("empty"));
         assert!(report.target().contains("states"));
         assert!(report.is_compliant());
+    }
+
+    #[test]
+    fn batch_reports_match_per_policy_checks_in_order() {
+        let lts = tiny_lts();
+        let policies: Vec<PrivacyPolicy> = vec![
+            PrivacyPolicy::new("a").with_statement(Statement::forbid(
+                "F1",
+                "no admin reads",
+                ActorMatcher::only([ActorId::new("Administrator")]),
+                Some(ActionKind::Read),
+                FieldMatcher::Any,
+            )),
+            PrivacyPolicy::new("b").with_statement(Statement::require_erasure(
+                "E1",
+                "erasable",
+                FieldMatcher::Any,
+            )),
+            PrivacyPolicy::new("c"),
+        ];
+        let expected: Vec<ComplianceReport> =
+            policies.iter().map(|policy| check_lts_scan(&lts, policy)).collect();
+        for threads in [None, Some(1), Some(2), Some(4)] {
+            assert_eq!(check_lts_batch(&lts, &policies, threads), expected);
+        }
+        assert!(check_lts_batch(&lts, &[], Some(2)).is_empty());
+    }
+
+    #[test]
+    fn indexed_checker_reuses_a_prebuilt_index() {
+        let lts = tiny_lts();
+        let index = LtsIndex::build(&lts);
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::max_exposure(
+            "M1",
+            "bounded",
+            FieldId::new("Diagnosis"),
+            1,
+        ));
+        let a = check_lts_indexed(&lts, &index, &policy);
+        let b = check_lts_indexed(&lts, &index, &policy);
+        assert_eq!(a, b);
+        assert_eq!(a, check_lts_scan(&lts, &policy));
     }
 }

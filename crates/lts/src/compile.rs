@@ -173,12 +173,19 @@ impl CompiledModel {
             compiled_services.push(CompiledService { flows });
         }
 
-        // Compile each slot's potential readers.
-        let slots = slot_index
-            .items()
-            .iter()
-            .map(|(store, field)| compiler.compile_slot(store, field))
-            .collect();
+        // Compile each slot's potential readers — only consulted when the
+        // exploration fires potential reads, so skip the policy resolution
+        // and label interning entirely otherwise (a large share of the
+        // per-call fixed cost on trivial models).
+        let slots = if config.explore_potential_reads {
+            slot_index
+                .items()
+                .iter()
+                .map(|(store, field)| compiler.compile_slot(store, field))
+                .collect()
+        } else {
+            slot_index.items().iter().map(|_| CompiledSlot { readers: Vec::new() }).collect()
+        };
         let labels = compiler.labels;
 
         Ok(CompiledModel {

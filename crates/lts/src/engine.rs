@@ -19,6 +19,17 @@
 //!    run-to-run and thread-count-to-thread-count, and differential tests
 //!    can require the optimised engine's LTS to equal the reference's.
 //!
+//! **Small-model heuristic.** Thread spawns and the sharded set's per-shard
+//! locks only pay for themselves once a frontier generation is large enough
+//! to split. Exploration therefore starts in a *sequential phase* — plain
+//! [`FxHashSet`] visited set, no locks, no spawns — and is promoted to the
+//! sharded/parallel design the first time a frontier reaches
+//! [`PARALLEL_THRESHOLD`] (and more than one worker thread is configured).
+//! Models that never grow a large frontier (the trivial rows of
+//! `BENCH_lts.json`) never pay the parallel machinery's overhead. Both
+//! phases expand and merge in identical order, so the produced LTS is the
+//! same whichever phase handles a generation.
+//!
 //! The `max_states` bound is enforced when a composite state is *inserted*
 //! into the visited set, so the frontier can never outgrow the bound.
 
@@ -30,7 +41,9 @@ use crate::state::PrivacyState;
 use privacy_model::ModelError;
 
 /// Frontiers below this size are expanded inline: spawning threads costs
-/// more than the expansion itself.
+/// more than the expansion itself. It doubles as the promotion threshold of
+/// the sequential phase: until a frontier reaches it, the exploration also
+/// skips the sharded visited set entirely.
 const PARALLEL_THRESHOLD: usize = 64;
 
 /// One frontier node: its packed key and its interned privacy state.
@@ -49,112 +62,188 @@ struct Succ {
     maybe_new: bool,
 }
 
+/// Mutable exploration state shared by the sequential and parallel phases.
+struct Exploration {
+    lts: Lts,
+    /// Privacy-word prefix → interned state id, under the fast hasher; the
+    /// `Lts` keeps its own (SipHash) index consistent via `intern`.
+    state_ids: FxHashMap<Box<[u64]>, StateId>,
+    /// (from, to, label) triples already added. Compiled label indices are
+    /// deduplicated by value, so this is exactly the duplicate-transition
+    /// check `Lts::add_transition` would otherwise perform by scanning each
+    /// hub state's outgoing list (quadratic in out-degree).
+    seen_transitions: FxHashSet<(u64, u32)>,
+    composite_states: usize,
+}
+
 /// Runs the exploration, producing the LTS.
 pub(crate) fn explore(
     compiled: &CompiledModel,
     config: &GeneratorConfig,
 ) -> Result<Lts, ModelError> {
-    let threads = config
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-        .max(1);
+    let threads = crate::batch::resolve_threads(config.threads);
 
-    let mut lts = Lts::new(compiled.space.clone());
+    let lts = Lts::new(compiled.space.clone());
     let key_words = compiled.key_words();
 
     let initial_key: Box<[u64]> = vec![0u64; key_words].into_boxed_slice();
-    // With the current two-phase loop (parallel read-only expand, sequential
-    // merge) a plain set behind `&`/`&mut` borrows would also be sound; the
-    // sharded set is kept so a future parallel merge can insert per shard
-    // without restructuring the engine.
-    let visited: ShardedSet<Box<[u64]>> = ShardedSet::new(threads * 4);
+    let mut visited: FxHashSet<Box<[u64]>> = FxHashSet::default();
     visited.insert(initial_key.clone());
-    let mut composite_states = 1usize;
-    bound_check(composite_states, config.max_states)?;
 
-    // Privacy-word prefix → interned state id, under the fast hasher; the
-    // `Lts` keeps its own (SipHash) index consistent via `intern`.
     let mut state_ids: FxHashMap<Box<[u64]>, StateId> = FxHashMap::default();
     state_ids.insert(initial_key[..compiled.privacy_words].into(), lts.initial());
 
-    // (from, to, label) triples already added. Compiled label indices are
-    // deduplicated by value, so this is exactly the duplicate-transition
-    // check `Lts::add_transition` would otherwise perform by scanning each
-    // hub state's outgoing list (quadratic in out-degree).
-    let mut seen_transitions: FxHashSet<(u64, u32)> = FxHashSet::default();
+    let mut exploration =
+        Exploration { lts, state_ids, seen_transitions: FxHashSet::default(), composite_states: 1 };
+    bound_check(exploration.composite_states, config.max_states)?;
 
-    let mut frontier = vec![Node { key: initial_key, state: lts.initial() }];
+    let mut frontier = vec![Node { key: initial_key, state: exploration.lts.initial() }];
 
+    // Sequential phase: plain visited set, no locks, no thread spawns.
     while !frontier.is_empty() {
-        // Phase 1: expand the frontier, in parallel when it is big enough.
-        let expansions: Vec<Vec<Succ>> =
-            if threads > 1 && frontier.len() >= PARALLEL_THRESHOLD.max(threads) {
-                let chunk_size = frontier.len().div_ceil(threads);
-                let visited = &visited;
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_size)
-                        .map(|chunk| {
-                            scope.spawn(move |_| {
-                                chunk
-                                    .iter()
-                                    .map(|node| expand(compiled, config, visited, node))
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    // Joining in spawn order keeps the concatenation aligned
-                    // with the frontier regardless of thread scheduling.
-                    let mut all = Vec::with_capacity(frontier.len());
-                    for handle in handles {
-                        all.extend(handle.join().expect("expansion worker panicked"));
-                    }
-                    all
-                })
-                .expect("expansion scope panicked")
-            } else {
-                frontier.iter().map(|node| expand(compiled, config, &visited, node)).collect()
-            };
-
-        // Phase 2: deterministic merge in frontier order.
-        let mut next_frontier = Vec::new();
-        for (node, succs) in frontier.iter().zip(expansions) {
-            for succ in succs {
-                let privacy = &succ.key[..compiled.privacy_words];
-                let to_id = match state_ids.get(privacy) {
-                    Some(&id) => id,
-                    None => {
-                        let state =
-                            PrivacyState::from_raw_words(privacy.to_vec(), compiled.privacy_len);
-                        let id = lts.intern(state);
-                        state_ids.insert(privacy.into(), id);
-                        id
-                    }
-                };
-                let endpoints = ((node.state.0 as u64) << 32) | to_id.0 as u64;
-                if seen_transitions.insert((endpoints, succ.label)) {
-                    let label = compiled.labels[succ.label as usize].clone();
-                    lts.add_transition_shared_unchecked(node.state, to_id, label);
-                }
-
-                if succ.maybe_new && visited.insert(succ.key.clone()) {
-                    composite_states += 1;
-                    bound_check(composite_states, config.max_states)?;
-                    next_frontier.push(Node { key: succ.key, state: to_id });
-                }
+        if threads > 1 && frontier.len() >= PARALLEL_THRESHOLD.max(threads) {
+            // The frontier is now worth splitting: migrate the visited set
+            // into its sharded form and hand over to the parallel phase.
+            let shared: ShardedSet<Box<[u64]>> = ShardedSet::new(threads * 4);
+            for key in visited.drain() {
+                shared.insert(key);
             }
+            return explore_parallel(compiled, config, threads, exploration, frontier, shared);
+        }
+
+        let mut next_frontier = Vec::new();
+        for node in &frontier {
+            let succs = expand(compiled, config, |key| visited.contains(key), node);
+            merge(
+                compiled,
+                config,
+                &mut exploration,
+                node.state,
+                succs,
+                &mut |key| visited.insert(key),
+                &mut next_frontier,
+            )?;
         }
         frontier = next_frontier;
     }
 
-    Ok(lts)
+    Ok(exploration.lts)
 }
 
-/// Computes the successor records of one frontier node.
+/// The parallel phase: chunked expansion over scoped threads against the
+/// sharded visited set, followed by the same deterministic sequential merge.
+fn explore_parallel(
+    compiled: &CompiledModel,
+    config: &GeneratorConfig,
+    threads: usize,
+    mut exploration: Exploration,
+    mut frontier: Vec<Node>,
+    visited: ShardedSet<Box<[u64]>>,
+) -> Result<Lts, ModelError> {
+    while !frontier.is_empty() {
+        // Phase 1: expand the frontier, in parallel when it is big enough.
+        let expansions: Vec<Vec<Succ>> = if frontier.len() >= PARALLEL_THRESHOLD.max(threads) {
+            let chunk_size = frontier.len().div_ceil(threads);
+            let visited = &visited;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|node| {
+                                    expand(
+                                        compiled,
+                                        config,
+                                        |key| visited.contains_borrowed(key),
+                                        node,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order keeps the concatenation aligned
+                // with the frontier regardless of thread scheduling.
+                let mut all = Vec::with_capacity(frontier.len());
+                for handle in handles {
+                    all.extend(handle.join().expect("expansion worker panicked"));
+                }
+                all
+            })
+            .expect("expansion scope panicked")
+        } else {
+            frontier
+                .iter()
+                .map(|node| expand(compiled, config, |key| visited.contains_borrowed(key), node))
+                .collect()
+        };
+
+        // Phase 2: deterministic merge in frontier order.
+        let mut next_frontier = Vec::new();
+        for (node, succs) in frontier.iter().zip(expansions) {
+            merge(
+                compiled,
+                config,
+                &mut exploration,
+                node.state,
+                succs,
+                &mut |key| visited.insert(key),
+                &mut next_frontier,
+            )?;
+        }
+        frontier = next_frontier;
+    }
+
+    Ok(exploration.lts)
+}
+
+/// Folds one node's successor records into the LTS, in discovery order —
+/// shared verbatim by both phases so they stay behaviourally identical.
+fn merge(
+    compiled: &CompiledModel,
+    config: &GeneratorConfig,
+    exploration: &mut Exploration,
+    from: StateId,
+    succs: Vec<Succ>,
+    insert_visited: &mut impl FnMut(Box<[u64]>) -> bool,
+    next_frontier: &mut Vec<Node>,
+) -> Result<(), ModelError> {
+    for succ in succs {
+        let privacy = &succ.key[..compiled.privacy_words];
+        let to_id = match exploration.state_ids.get(privacy) {
+            Some(&id) => id,
+            None => {
+                let state = PrivacyState::from_raw_words(privacy.to_vec(), compiled.privacy_len);
+                let id = exploration.lts.intern(state);
+                exploration.state_ids.insert(privacy.into(), id);
+                id
+            }
+        };
+        let endpoints = ((from.0 as u64) << 32) | to_id.0 as u64;
+        if exploration.seen_transitions.insert((endpoints, succ.label)) {
+            let label = compiled.labels[succ.label as usize].clone();
+            exploration.lts.add_transition_shared_unchecked(from, to_id, label);
+        }
+
+        if succ.maybe_new && insert_visited(succ.key.clone()) {
+            exploration.composite_states += 1;
+            bound_check(exploration.composite_states, config.max_states)?;
+            next_frontier.push(Node { key: succ.key, state: to_id });
+        }
+    }
+    Ok(())
+}
+
+/// Computes the successor records of one frontier node. `visited` is the
+/// membership probe of whichever visited-set representation the current
+/// phase uses (plain set or sharded set) — a generic parameter so the probe
+/// inlines into this hot loop instead of going through dynamic dispatch.
 fn expand(
     compiled: &CompiledModel,
     config: &GeneratorConfig,
-    visited: &ShardedSet<Box<[u64]>>,
+    visited: impl Fn(&[u64]) -> bool,
     node: &Node,
 ) -> Vec<Succ> {
     let pw = compiled.privacy_words;
@@ -172,7 +261,7 @@ fn expand(
             *dst |= *src;
         }
         set_progress(&mut key[pw + sw..], service_index, (progress + 1) as u16);
-        let maybe_new = !visited.contains(&key);
+        let maybe_new = !visited(&key);
         succs.push(Succ { key, label: flow.label, maybe_new });
     };
 
@@ -212,7 +301,7 @@ fn expand(
                             }
                             let mut key = node.key.clone();
                             key[w] |= mask;
-                            let maybe_new = !visited.contains(&key);
+                            let maybe_new = !visited(&key);
                             succs.push(Succ { key, label: reader.label, maybe_new });
                         }
                         None => {

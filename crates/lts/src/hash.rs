@@ -108,15 +108,32 @@ impl<T: Eq + Hash> ShardedSet<T> {
     }
 
     #[inline]
-    fn shard_of(&self, value: &T) -> usize {
+    fn shard_of_hash(&self, hash: u64) -> usize {
         // The low bits feed the in-shard hash table; shard selection uses the
         // high bits so the two partitions stay independent.
-        ((fx_hash(value) >> 48) & self.mask) as usize
+        ((hash >> 48) & self.mask) as usize
+    }
+
+    #[inline]
+    fn shard_of(&self, value: &T) -> usize {
+        self.shard_of_hash(fx_hash(value))
     }
 
     /// Returns `true` if the set contains `value` (shared lock).
     pub fn contains(&self, value: &T) -> bool {
         self.shards[self.shard_of(value)].read().contains(value)
+    }
+
+    /// Like [`ShardedSet::contains`] but probes with a borrowed form of the
+    /// element type (e.g. `&[u64]` for a set of `Box<[u64]>`). Sound because
+    /// the `Borrow` contract requires borrowed and owned forms to hash
+    /// identically, so the probe lands in the same shard.
+    pub fn contains_borrowed<Q>(&self, value: &Q) -> bool
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_of_hash(fx_hash(&value))].read().contains(value)
     }
 
     /// Inserts `value`, returning `true` if it was not present (exclusive

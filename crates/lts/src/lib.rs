@@ -27,7 +27,13 @@
 //!   the design.
 //! * [`mod@reference`] — the retained pre-optimisation generator, used to
 //!   differential-test and benchmark the engine.
-//! * [`query`] — privacy-specific queries used by the risk analyses.
+//! * [`index`] — the columnar analysis index ([`LtsIndex`]): a one-pass
+//!   compilation of a generated LTS into dense columns, posting lists, a CSR
+//!   adjacency and per-state-variable reachability postings, so the risk and
+//!   compliance analyses probe instead of re-scanning the transition
+//!   relation per question.
+//! * [`query`] — privacy-specific queries used by the risk analyses; an
+//!   [`LtsQuery`] answers from the index when one is attached.
 //! * [`dot`] — Graphviz export (Fig. 3 / Fig. 4 style, with risk transitions
 //!   drawn dotted).
 //!
@@ -51,11 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod compile;
 pub mod dot;
 mod engine;
 pub mod generate;
 pub mod hash;
+pub mod index;
 pub mod label;
 pub mod lts;
 pub mod query;
@@ -65,6 +73,7 @@ pub mod state;
 
 pub use generate::{generate_lts, GeneratorConfig};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, ShardedSet};
+pub use index::LtsIndex;
 pub use label::{ActionKind, RiskAnnotation, TransitionLabel};
 pub use lts::{Lts, LtsStats, StateId, Transition, TransitionId};
 pub use query::LtsQuery;
@@ -76,6 +85,7 @@ pub use state::PrivacyState;
 pub mod prelude {
     pub use crate::dot::lts_to_dot;
     pub use crate::generate::{generate_lts, GeneratorConfig};
+    pub use crate::index::LtsIndex;
     pub use crate::label::{ActionKind, RiskAnnotation, TransitionLabel};
     pub use crate::lts::{Lts, LtsStats, StateId, Transition, TransitionId};
     pub use crate::query::LtsQuery;

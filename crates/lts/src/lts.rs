@@ -72,6 +72,13 @@ impl Transition {
     pub fn is_risk_transition(&self) -> bool {
         self.risk_transition
     }
+
+    /// The address of the shared label allocation. The analysis index keys a
+    /// per-label cache on it: the generation engine interns labels, so a
+    /// handful of distinct allocations cover millions of transitions.
+    pub(crate) fn label_ptr(&self) -> *const TransitionLabel {
+        Arc::as_ptr(&self.label)
+    }
 }
 
 impl fmt::Display for Transition {
@@ -301,6 +308,13 @@ impl Lts {
     /// The outgoing transitions of a state.
     pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = (TransitionId, &Transition)> {
         self.outgoing[state.0].iter().map(move |tid| (*tid, &self.transitions[tid.0]))
+    }
+
+    /// The outgoing transition ids of a state as a slice (used by the
+    /// analysis index to build its CSR adjacency without re-walking the
+    /// transition relation).
+    pub(crate) fn outgoing_ids(&self, state: StateId) -> &[TransitionId] {
+        &self.outgoing[state.0]
     }
 
     /// The incoming transitions of a state.

@@ -4,22 +4,40 @@
 //! identify which data during the course of a service (in conflict with user
 //! preferences)"*. [`LtsQuery`] wraps an [`Lts`] with the questions the risk
 //! analyses and the examples need to ask.
+//!
+//! Every query has two execution strategies: a direct scan over the
+//! transition relation / reachable states, and — when an [`LtsIndex`] is
+//! attached via [`LtsQuery::with_index`] — a probe of the columnar index's
+//! posting lists. Both return identical results in identical order (the
+//! index stores its postings in transition-id and breadth-first state order,
+//! exactly the orders the scans produce); the property tests in
+//! `privacy-compliance` and `privacy-risk` pin that equivalence.
 
+use crate::index::LtsIndex;
 use crate::label::ActionKind;
 use crate::lts::{Lts, StateId, Transition, TransitionId};
 use privacy_model::{ActorId, FieldId};
 use std::collections::BTreeSet;
 
-/// A read-only query interface over an [`Lts`].
+/// A read-only query interface over an [`Lts`], optionally accelerated by a
+/// columnar [`LtsIndex`].
 #[derive(Debug, Clone, Copy)]
 pub struct LtsQuery<'a> {
     lts: &'a Lts,
+    index: Option<&'a LtsIndex>,
 }
 
 impl<'a> LtsQuery<'a> {
-    /// Wraps an LTS.
+    /// Wraps an LTS (scan strategy).
     pub fn new(lts: &'a Lts) -> Self {
-        LtsQuery { lts }
+        LtsQuery { lts, index: None }
+    }
+
+    /// Wraps an LTS together with its analysis index (probe strategy). The
+    /// index must have been built from this LTS (and the LTS must not have
+    /// been mutated since), otherwise answers describe the stale snapshot.
+    pub fn with_index(lts: &'a Lts, index: &'a LtsIndex) -> Self {
+        LtsQuery { lts, index: Some(index) }
     }
 
     /// The underlying LTS.
@@ -27,8 +45,16 @@ impl<'a> LtsQuery<'a> {
         self.lts
     }
 
+    /// The attached analysis index, if any.
+    pub fn index(&self) -> Option<&'a LtsIndex> {
+        self.index
+    }
+
     /// The reachable states in which `actor` **has identified** `field`.
     pub fn states_where_identified(&self, actor: &ActorId, field: &FieldId) -> Vec<StateId> {
+        if let Some(index) = self.index {
+            return index.states_where_has(actor, field).to_vec();
+        }
         let space = self.lts.space();
         self.lts
             .reachable()
@@ -39,6 +65,9 @@ impl<'a> LtsQuery<'a> {
 
     /// The reachable states in which `actor` **could identify** `field`.
     pub fn states_where_accessible(&self, actor: &ActorId, field: &FieldId) -> Vec<StateId> {
+        if let Some(index) = self.index {
+            return index.states_where_could(actor, field).to_vec();
+        }
         let space = self.lts.space();
         self.lts
             .reachable()
@@ -50,6 +79,9 @@ impl<'a> LtsQuery<'a> {
     /// Returns `true` if some reachable state lets `actor` identify `field`
     /// (either `has` or `could`).
     pub fn can_actor_identify(&self, actor: &ActorId, field: &FieldId) -> bool {
+        if let Some(index) = self.index {
+            return index.can_actor_identify(actor, field);
+        }
         let space = self.lts.space();
         self.lts
             .reachable()
@@ -62,6 +94,17 @@ impl<'a> LtsQuery<'a> {
     /// course of a service".
     pub fn exposure_summary(&self) -> BTreeSet<(ActorId, FieldId)> {
         let space = self.lts.space();
+        if let Some(index) = self.index {
+            let mut summary = BTreeSet::new();
+            for actor in space.actors() {
+                for field in space.fields() {
+                    if index.can_actor_identify(actor, field) {
+                        summary.insert((actor.clone(), field.clone()));
+                    }
+                }
+            }
+            return summary;
+        }
         let mut summary = BTreeSet::new();
         for id in self.lts.reachable() {
             for (actor, field) in self.lts.state(id).exposed_pairs(space) {
@@ -73,11 +116,17 @@ impl<'a> LtsQuery<'a> {
 
     /// The transitions performing a given action kind.
     pub fn transitions_of_kind(&self, action: ActionKind) -> Vec<(TransitionId, &'a Transition)> {
+        if let Some(index) = self.index {
+            return self.resolve(index.transitions_of_kind(action));
+        }
         self.lts.transitions().filter(|(_, t)| t.label().action() == action).collect()
     }
 
     /// The transitions performed by a given actor.
     pub fn transitions_by_actor(&self, actor: &ActorId) -> Vec<(TransitionId, &'a Transition)> {
+        if let Some(index) = self.index {
+            return self.resolve(index.transitions_by_actor(actor));
+        }
         self.lts.transitions().filter(|(_, t)| t.label().actor() == actor).collect()
     }
 
@@ -86,6 +135,9 @@ impl<'a> LtsQuery<'a> {
         &self,
         field: &FieldId,
     ) -> Vec<(TransitionId, &'a Transition)> {
+        if let Some(index) = self.index {
+            return self.resolve(index.transitions_involving_field(field));
+        }
         self.lts.transitions().filter(|(_, t)| t.label().involves_field(field)).collect()
     }
 
@@ -95,6 +147,15 @@ impl<'a> LtsQuery<'a> {
         &self,
         allowed: &BTreeSet<ActorId>,
     ) -> Vec<(TransitionId, &'a Transition)> {
+        if let Some(index) = self.index {
+            let ids: Vec<u32> = index
+                .transitions_of_kind(ActionKind::Read)
+                .iter()
+                .filter(|&&tx| !allowed.contains(index.actor_of(tx)))
+                .copied()
+                .collect();
+            return self.resolve(&ids);
+        }
         self.lts
             .transitions()
             .filter(|(_, t)| {
@@ -112,6 +173,15 @@ impl<'a> LtsQuery<'a> {
         self.lts.path_to(move |state| state.has(space, &actor, &field)).map(|path| {
             path.into_iter().map(|tid| self.lts.transition(tid).label().to_string()).collect()
         })
+    }
+
+    fn resolve(&self, ids: &[u32]) -> Vec<(TransitionId, &'a Transition)> {
+        ids.iter()
+            .map(|&tx| {
+                let id = TransitionId(tx as usize);
+                (id, self.lts.transition(id))
+            })
+            .collect()
     }
 }
 
@@ -220,5 +290,44 @@ mod tests {
         assert!(trace[0].starts_with("collect"));
         assert!(trace[2].starts_with("read"));
         assert!(query.trace_to_identification(&admin(), &name()).is_none());
+    }
+
+    #[test]
+    fn indexed_queries_equal_scan_queries() {
+        let lts = sample_lts();
+        let index = LtsIndex::build(&lts);
+        let scan = LtsQuery::new(&lts);
+        let probed = LtsQuery::with_index(&lts, &index);
+        assert!(probed.index().is_some());
+
+        for actor in [doctor(), admin(), ActorId::new("Ghost")] {
+            for field in [name(), diagnosis(), FieldId::new("Ghost")] {
+                assert_eq!(
+                    scan.states_where_identified(&actor, &field),
+                    probed.states_where_identified(&actor, &field)
+                );
+                assert_eq!(
+                    scan.states_where_accessible(&actor, &field),
+                    probed.states_where_accessible(&actor, &field)
+                );
+                assert_eq!(
+                    scan.can_actor_identify(&actor, &field),
+                    probed.can_actor_identify(&actor, &field)
+                );
+            }
+            assert_eq!(scan.transitions_by_actor(&actor), probed.transitions_by_actor(&actor));
+        }
+        assert_eq!(scan.exposure_summary(), probed.exposure_summary());
+        for action in ActionKind::ALL {
+            assert_eq!(scan.transitions_of_kind(action), probed.transitions_of_kind(action));
+        }
+        for field in [name(), diagnosis()] {
+            assert_eq!(
+                scan.transitions_involving_field(&field),
+                probed.transitions_involving_field(&field)
+            );
+        }
+        let allowed: BTreeSet<ActorId> = [doctor()].into_iter().collect();
+        assert_eq!(scan.reads_by_non_allowed(&allowed), probed.reads_by_non_allowed(&allowed));
     }
 }

@@ -30,6 +30,12 @@ impl PrivacyState {
         PrivacyState { bits, len }
     }
 
+    /// The raw backing words (used by the analysis index, which iterates set
+    /// bits directly instead of probing variables one at a time).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Number of variables tracked by this state.
     pub fn len(&self) -> usize {
         self.len

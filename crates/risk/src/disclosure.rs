@@ -9,12 +9,29 @@
 //! the LTS: existing `read` transitions by non-allowed actors receive a risk
 //! label, and a *potential-read* risk transition is added from every state
 //! where the actor could (but has not yet) identified the field.
+//!
+//! Two interchangeable execution strategies exist for every entry point:
+//!
+//! * **Index probes** ([`DisclosureAnalysis::analyse`],
+//!   [`DisclosureAnalysis::assess`], [`DisclosureAnalysis::analyse_users_batch`])
+//!   — the default. The exposed-state set of each (actor, field) pair is a
+//!   posting-list lookup in a columnar [`LtsIndex`] and the existing-read
+//!   probe is a per-(actor, action) posting list filtered by a field bitset,
+//!   instead of one walk over all reachable states / all transitions per
+//!   pair. One index build is amortised over every (datastore, field, actor)
+//!   triple — and, with the batch API, over every user of a population.
+//! * **Label scans** ([`DisclosureAnalysis::analyse_scan`],
+//!   [`DisclosureAnalysis::assess_scan`]) — the original implementation,
+//!   retained verbatim for differential testing. Both strategies produce
+//!   identical reports (and, for the mutating entry points, identical
+//!   annotated LTSs); the property tests in `tests/index_differential.rs`
+//!   pin that equivalence over random models.
 
 use crate::likelihood::LikelihoodModel;
 use crate::matrix::RiskMatrix;
 use crate::sensitivity::SensitivityModel;
 use privacy_access::{AccessPolicy, Permission};
-use privacy_lts::{ActionKind, Lts, RiskAnnotation, TransitionId, TransitionLabel};
+use privacy_lts::{ActionKind, Lts, LtsIndex, RiskAnnotation, TransitionId, TransitionLabel};
 use privacy_model::{
     ActorId, Catalog, DatastoreId, FieldId, Likelihood, RiskLevel, Severity, UserProfile,
 };
@@ -73,7 +90,9 @@ impl DisclosureFinding {
     }
 
     /// The transitions (existing reads and added potential reads) that were
-    /// annotated with this finding's risk.
+    /// annotated with this finding's risk. The read-only entry points
+    /// ([`DisclosureAnalysis::assess`] and the batch API) list the matching
+    /// existing reads without annotating them and add no potential reads.
     pub fn annotated_transitions(&self) -> &[TransitionId] {
         &self.annotated_transitions
     }
@@ -190,6 +209,16 @@ pub struct DisclosureAnalysis<'a> {
     likelihood: LikelihoodModel,
 }
 
+/// The risk dimensions of one (datastore, field, actor) triple, computed
+/// identically by every strategy.
+struct TripleRisk {
+    severity: Severity,
+    likelihood: Likelihood,
+    probability: f64,
+    level: RiskLevel,
+    annotation: RiskAnnotation,
+}
+
 impl<'a> DisclosureAnalysis<'a> {
     /// Creates an analysis with the standard risk matrix and likelihood
     /// model.
@@ -214,9 +243,11 @@ impl<'a> DisclosureAnalysis<'a> {
         self
     }
 
-    /// Runs the analysis for one user, annotating the LTS in place.
-    pub fn analyse(&self, lts: &mut Lts, user: &UserProfile) -> DisclosureReport {
-        let sensitivity = SensitivityModel::new(self.catalog, user);
+    /// The allowed / non-allowed actor partition for one user.
+    fn actor_partition(
+        &self,
+        sensitivity: &SensitivityModel,
+    ) -> (BTreeSet<ActorId>, BTreeSet<ActorId>) {
         let allowed: BTreeSet<ActorId> = sensitivity.allowed_actors().clone();
         let non_allowed: BTreeSet<ActorId> = self
             .catalog
@@ -224,6 +255,270 @@ impl<'a> DisclosureAnalysis<'a> {
             .map(|a| a.id().clone())
             .filter(|a| !allowed.contains(a))
             .collect();
+        (allowed, non_allowed)
+    }
+
+    /// Computes the impact/likelihood dimensions and the annotation of one
+    /// (datastore, field, actor) triple.
+    fn triple_risk(
+        &self,
+        sensitivity: &SensitivityModel,
+        datastore: &DatastoreId,
+        field: &FieldId,
+        actor: &ActorId,
+    ) -> TripleRisk {
+        let impact = sensitivity.relative_sensitivity(field, actor);
+        let probability = self.likelihood.probability(actor, datastore);
+        let severity = self.matrix.categorise_impact(impact);
+        let likelihood_cat = self.matrix.categorise_likelihood(probability);
+        let level = self.matrix.level(severity, likelihood_cat);
+        let annotation = RiskAnnotation::dimensions(severity, likelihood_cat, level)
+            .with_score(impact.value().max(probability))
+            .with_note(format!("unwanted disclosure of {field} to non-allowed actor {actor}"));
+        TripleRisk { severity, likelihood: likelihood_cat, probability, level, annotation }
+    }
+
+    /// Runs the analysis for one user, annotating the LTS in place. Builds a
+    /// columnar analysis index of the LTS and probes it; behaviourally
+    /// identical to [`DisclosureAnalysis::analyse_scan`].
+    pub fn analyse(&self, lts: &mut Lts, user: &UserProfile) -> DisclosureReport {
+        let index = LtsIndex::build(lts);
+        self.analyse_with_index(lts, &index, user)
+    }
+
+    /// Like [`DisclosureAnalysis::analyse`] but over a prebuilt index. The
+    /// index must have been built from `lts` in its current state: both the
+    /// exposed-state sets and the existing-read probes describe that
+    /// snapshot (risk transitions this call adds are tracked separately so
+    /// later triples still observe them, exactly as the scan path's repeated
+    /// scans would).
+    pub fn analyse_with_index(
+        &self,
+        lts: &mut Lts,
+        index: &LtsIndex,
+        user: &UserProfile,
+    ) -> DisclosureReport {
+        let sensitivity = SensitivityModel::new(self.catalog, user);
+        let (allowed, non_allowed) = self.actor_partition(&sensitivity);
+
+        let mut findings = Vec::new();
+        let space = lts.space().clone();
+        // Risk transitions added by *this* analysis, with the (actor, field)
+        // pair their label carries: the scan path re-discovers them in its
+        // per-triple transition scans, so the index path must too.
+        let mut delta: Vec<(ActorId, FieldId, TransitionId)> = Vec::new();
+
+        for datastore in self.catalog.datastores() {
+            let schema = match self.catalog.schema(datastore.schema()) {
+                Some(schema) => schema,
+                None => continue,
+            };
+            for field in schema.fields() {
+                for actor in &non_allowed {
+                    if !self.policy.can(actor, Permission::Read, datastore.id(), field) {
+                        continue;
+                    }
+                    // Which reachable states expose the field to this actor?
+                    // (Index probe over the build-time snapshot — the scan
+                    // path equally snapshots `reachable()` up front.)
+                    let exposed = index.states_where_could(actor, field);
+                    if exposed.is_empty() {
+                        continue;
+                    }
+
+                    let risk = self.triple_risk(&sensitivity, datastore.id(), field, actor);
+                    let mut annotated = Vec::new();
+
+                    // Annotate existing read transitions by this actor on
+                    // this field: the snapshot's posting list, then any risk
+                    // transition this analysis already added for the pair.
+                    let existing: Vec<TransitionId> = existing_reads(index, actor, field)
+                        .into_iter()
+                        .chain(
+                            delta
+                                .iter()
+                                .filter_map(|(a, f, id)| (a == actor && f == field).then_some(*id)),
+                        )
+                        .collect();
+                    for id in existing {
+                        lts.annotate(id, risk.annotation.clone());
+                        annotated.push(id);
+                    }
+
+                    // Add potential-read risk transitions from every exposed
+                    // state where the actor has not yet identified the field.
+                    for state_id in exposed {
+                        let state = lts.state(*state_id).clone();
+                        if state.has(&space, actor, field) {
+                            continue;
+                        }
+                        let target = state.with_has(&space, actor, field);
+                        let target_id = lts.intern(target);
+                        let label = TransitionLabel::new(
+                            ActionKind::Read,
+                            actor.clone(),
+                            [field.clone()],
+                            Some(datastore.schema().clone()),
+                        )
+                        .with_risk(risk.annotation.clone());
+                        let before = lts.transition_count();
+                        let tid = lts.add_risk_transition(*state_id, target_id, label);
+                        if lts.transition_count() > before {
+                            delta.push((actor.clone(), field.clone(), tid));
+                        }
+                        annotated.push(tid);
+                    }
+
+                    findings.push(DisclosureFinding {
+                        actor: actor.clone(),
+                        field: field.clone(),
+                        datastore: datastore.id().clone(),
+                        severity: risk.severity,
+                        likelihood: risk.likelihood,
+                        probability: risk.probability,
+                        level: risk.level,
+                        annotated_transitions: annotated,
+                        exposed_states: exposed.len(),
+                    });
+                }
+            }
+        }
+
+        sort_findings(&mut findings);
+        DisclosureReport { user: user.clone(), allowed, non_allowed, findings }
+    }
+
+    /// Read-only disclosure assessment over a prebuilt index: identical
+    /// findings (actors, fields, datastores, risk dimensions, exposed-state
+    /// counts) to [`DisclosureAnalysis::analyse`], except that existing read
+    /// transitions are *listed* rather than annotated and no potential-read
+    /// risk transitions are added. This is the per-user unit of the batch
+    /// API, where many users share one immutable index — the snapshot
+    /// answers every probe, so no LTS reference is needed.
+    pub fn assess(&self, index: &LtsIndex, user: &UserProfile) -> DisclosureReport {
+        let sensitivity = SensitivityModel::new(self.catalog, user);
+        let (allowed, non_allowed) = self.actor_partition(&sensitivity);
+
+        let mut findings = Vec::new();
+        for datastore in self.catalog.datastores() {
+            let schema = match self.catalog.schema(datastore.schema()) {
+                Some(schema) => schema,
+                None => continue,
+            };
+            for field in schema.fields() {
+                for actor in &non_allowed {
+                    if !self.policy.can(actor, Permission::Read, datastore.id(), field) {
+                        continue;
+                    }
+                    // Only the exposed-state *count* is reported, so the O(1)
+                    // per-variable counter suffices — no list materialises.
+                    let exposed = index.count_states_of_variable(
+                        actor,
+                        field,
+                        privacy_lts::space::VarKind::Could,
+                    );
+                    if exposed == 0 {
+                        continue;
+                    }
+                    let risk = self.triple_risk(&sensitivity, datastore.id(), field, actor);
+                    let annotated = existing_reads(index, actor, field);
+                    findings.push(DisclosureFinding {
+                        actor: actor.clone(),
+                        field: field.clone(),
+                        datastore: datastore.id().clone(),
+                        severity: risk.severity,
+                        likelihood: risk.likelihood,
+                        probability: risk.probability,
+                        level: risk.level,
+                        annotated_transitions: annotated,
+                        exposed_states: exposed,
+                    });
+                }
+            }
+        }
+
+        sort_findings(&mut findings);
+        DisclosureReport { user: user.clone(), allowed, non_allowed, findings }
+    }
+
+    /// The scan-strategy counterpart of [`DisclosureAnalysis::assess`],
+    /// retained for differential testing: walks reachable states and the
+    /// transition relation per (datastore, field, actor) triple.
+    pub fn assess_scan(&self, lts: &Lts, user: &UserProfile) -> DisclosureReport {
+        let sensitivity = SensitivityModel::new(self.catalog, user);
+        let (allowed, non_allowed) = self.actor_partition(&sensitivity);
+
+        let mut findings = Vec::new();
+        let space = lts.space().clone();
+        let reachable = lts.reachable();
+
+        for datastore in self.catalog.datastores() {
+            let schema = match self.catalog.schema(datastore.schema()) {
+                Some(schema) => schema,
+                None => continue,
+            };
+            for field in schema.fields() {
+                for actor in &non_allowed {
+                    if !self.policy.can(actor, Permission::Read, datastore.id(), field) {
+                        continue;
+                    }
+                    let exposed: Vec<_> = reachable
+                        .iter()
+                        .copied()
+                        .filter(|id| lts.state(*id).could(&space, actor, field))
+                        .collect();
+                    if exposed.is_empty() {
+                        continue;
+                    }
+                    let risk = self.triple_risk(&sensitivity, datastore.id(), field, actor);
+                    let annotated: Vec<TransitionId> = lts
+                        .transitions()
+                        .filter(|(_, t)| {
+                            t.label().action() == ActionKind::Read
+                                && t.label().actor() == actor
+                                && t.label().involves_field(field)
+                        })
+                        .map(|(id, _)| id)
+                        .collect();
+                    findings.push(DisclosureFinding {
+                        actor: actor.clone(),
+                        field: field.clone(),
+                        datastore: datastore.id().clone(),
+                        severity: risk.severity,
+                        likelihood: risk.likelihood,
+                        probability: risk.probability,
+                        level: risk.level,
+                        annotated_transitions: annotated,
+                        exposed_states: exposed.len(),
+                    });
+                }
+            }
+        }
+
+        sort_findings(&mut findings);
+        DisclosureReport { user: user.clone(), allowed, non_allowed, findings }
+    }
+
+    /// Assesses many user profiles over **one** LTS + index, fanning the
+    /// population out over `threads` crossbeam scoped threads (`None` = one
+    /// per CPU). Reports come back in user order and are identical to
+    /// calling [`DisclosureAnalysis::assess`] per user — the parallelism
+    /// only partitions the user list.
+    pub fn analyse_users_batch(
+        &self,
+        index: &LtsIndex,
+        users: &[UserProfile],
+        threads: Option<usize>,
+    ) -> Vec<DisclosureReport> {
+        privacy_lts::batch::parallel_map(users, threads, |user| self.assess(index, user))
+    }
+
+    /// The original full-scan mutating analysis, retained for differential
+    /// testing and as the reference semantics of
+    /// [`DisclosureAnalysis::analyse`].
+    pub fn analyse_scan(&self, lts: &mut Lts, user: &UserProfile) -> DisclosureReport {
+        let sensitivity = SensitivityModel::new(self.catalog, user);
+        let (allowed, non_allowed) = self.actor_partition(&sensitivity);
 
         let mut findings = Vec::new();
         let space = lts.space().clone();
@@ -249,17 +544,7 @@ impl<'a> DisclosureAnalysis<'a> {
                         continue;
                     }
 
-                    let impact = sensitivity.relative_sensitivity(field, actor);
-                    let probability = self.likelihood.probability(actor, datastore.id());
-                    let severity = self.matrix.categorise_impact(impact);
-                    let likelihood_cat = self.matrix.categorise_likelihood(probability);
-                    let level = self.matrix.level(severity, likelihood_cat);
-                    let annotation = RiskAnnotation::dimensions(severity, likelihood_cat, level)
-                        .with_score(impact.value().max(probability))
-                        .with_note(format!(
-                            "unwanted disclosure of {field} to non-allowed actor {actor}"
-                        ));
-
+                    let risk = self.triple_risk(&sensitivity, datastore.id(), field, actor);
                     let mut annotated = Vec::new();
 
                     // Annotate existing read transitions by this actor on
@@ -274,7 +559,7 @@ impl<'a> DisclosureAnalysis<'a> {
                         .map(|(id, _)| id)
                         .collect();
                     for id in existing {
-                        lts.annotate(id, annotation.clone());
+                        lts.annotate(id, risk.annotation.clone());
                         annotated.push(id);
                     }
 
@@ -293,7 +578,7 @@ impl<'a> DisclosureAnalysis<'a> {
                             [field.clone()],
                             Some(datastore.schema().clone()),
                         )
-                        .with_risk(annotation.clone());
+                        .with_risk(risk.annotation.clone());
                         let tid = lts.add_risk_transition(*state_id, target_id, label);
                         annotated.push(tid);
                     }
@@ -302,10 +587,10 @@ impl<'a> DisclosureAnalysis<'a> {
                         actor: actor.clone(),
                         field: field.clone(),
                         datastore: datastore.id().clone(),
-                        severity,
-                        likelihood: likelihood_cat,
-                        probability,
-                        level,
+                        severity: risk.severity,
+                        likelihood: risk.likelihood,
+                        probability: risk.probability,
+                        level: risk.level,
                         annotated_transitions: annotated,
                         exposed_states: exposed.len(),
                     });
@@ -313,15 +598,36 @@ impl<'a> DisclosureAnalysis<'a> {
             }
         }
 
-        findings.sort_by(|a, b| {
-            b.level
-                .cmp(&a.level)
-                .then_with(|| a.actor.cmp(&b.actor))
-                .then_with(|| a.field.cmp(&b.field))
-        });
-
+        sort_findings(&mut findings);
         DisclosureReport { user: user.clone(), allowed, non_allowed, findings }
     }
+}
+
+/// The snapshot's existing `read` transitions by `actor` involving `field`,
+/// ascending — the per-(actor, action) posting list filtered by the field's
+/// bitset bit. The field resolves through the interner once per call, not
+/// once per posting entry; an unknown field short-circuits to empty.
+fn existing_reads(index: &LtsIndex, actor: &ActorId, field: &FieldId) -> Vec<TransitionId> {
+    index
+        .field_index(field)
+        .map(|field_idx| {
+            index
+                .transitions_by_actor_of_kind(actor, ActionKind::Read)
+                .iter()
+                .filter(|&&tx| index.involves_field(tx, field_idx))
+                .map(|&tx| TransitionId(tx as usize))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn sort_findings(findings: &mut [DisclosureFinding]) {
+    findings.sort_by(|a, b| {
+        b.level
+            .cmp(&a.level)
+            .then_with(|| a.actor.cmp(&b.actor))
+            .then_with(|| a.field.cmp(&b.field))
+    });
 }
 
 #[cfg(test)]
@@ -385,12 +691,31 @@ mod tests {
             .with_category_sensitivity(FieldId::new("Diagnosis"), SensitivityCategory::High)
     }
 
+    /// Runs the indexed and scan analyses on separate LTS copies and
+    /// asserts both the reports and the annotated LTSs agree.
+    fn analyse_both(
+        catalog: &Catalog,
+        policy: &AccessPolicy,
+        lts: &mut Lts,
+        analysis: &DisclosureAnalysis<'_>,
+        user: &UserProfile,
+    ) -> DisclosureReport {
+        let _ = (catalog, policy);
+        let mut scan_lts = lts.clone();
+        let report = analysis.analyse(lts, user);
+        let scan_report = analysis.analyse_scan(&mut scan_lts, user);
+        assert_eq!(report, scan_report, "indexed and scan reports diverge");
+        assert_eq!(*lts, scan_lts, "indexed and scan LTSs diverge");
+        report
+    }
+
     #[test]
     fn case_study_a_administrator_read_is_medium_risk() {
         let (catalog, system, policy) = fixture();
         let mut lts =
             generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
-        let report = DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &case_a_user());
+        let analysis = DisclosureAnalysis::new(&catalog, &policy);
+        let report = analyse_both(&catalog, &policy, &mut lts, &analysis, &case_a_user());
 
         // The non-allowed actors are exactly the Administrator and the
         // Researcher, as in the paper.
@@ -437,7 +762,8 @@ mod tests {
 
         let mut lts =
             generate_lts(&catalog, &system, &revised, &GeneratorConfig::default()).unwrap();
-        let report = DisclosureAnalysis::new(&catalog, &revised).analyse(&mut lts, &case_a_user());
+        let analysis = DisclosureAnalysis::new(&catalog, &revised);
+        let report = analyse_both(&catalog, &revised, &mut lts, &analysis, &case_a_user());
 
         assert_eq!(
             report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
@@ -454,7 +780,8 @@ mod tests {
         let mut lts =
             generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
         let user = case_a_user().consents_to(ServiceId::new("MedicalResearchService"));
-        let report = DisclosureAnalysis::new(&catalog, &policy).analyse(&mut lts, &user);
+        let analysis = DisclosureAnalysis::new(&catalog, &policy);
+        let report = analyse_both(&catalog, &policy, &mut lts, &analysis, &user);
         // The administrator is now an allowed actor, so σ(d, a) = 0 and no
         // finding is produced.
         assert!(report.is_empty());
@@ -476,9 +803,8 @@ mod tests {
             )
             .unwrap()],
         );
-        let report = DisclosureAnalysis::new(&catalog, &policy)
-            .with_likelihood(likelihood)
-            .analyse(&mut lts, &case_a_user());
+        let analysis = DisclosureAnalysis::new(&catalog, &policy).with_likelihood(likelihood);
+        let report = analyse_both(&catalog, &policy, &mut lts, &analysis, &case_a_user());
         assert_eq!(
             report.risk_for(&ActorId::new("Administrator"), &FieldId::new("Diagnosis")),
             RiskLevel::High
@@ -496,5 +822,54 @@ mod tests {
         assert!(text.contains("Administrator"));
         assert!(text.contains("Medium"));
         assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn assess_matches_assess_scan_and_does_not_mutate() {
+        let (catalog, system, policy) = fixture();
+        let lts = generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let index = LtsIndex::build(&lts);
+        let analysis = DisclosureAnalysis::new(&catalog, &policy);
+        let before = lts.clone();
+        let assessed = analysis.assess(&index, &case_a_user());
+        let scanned = analysis.assess_scan(&lts, &case_a_user());
+        assert_eq!(assessed, scanned);
+        assert_eq!(lts, before, "read-only assessment must not mutate the LTS");
+
+        // The read-only findings agree with the mutating analysis on every
+        // risk dimension (only the annotated-transition lists differ, since
+        // no potential reads are added).
+        let mut mutated = lts.clone();
+        let full = analysis.analyse(&mut mutated, &case_a_user());
+        assert_eq!(assessed.len(), full.len());
+        for (a, b) in assessed.findings().iter().zip(full.findings()) {
+            assert_eq!(
+                (a.actor(), a.field(), a.datastore()),
+                (b.actor(), b.field(), b.datastore())
+            );
+            assert_eq!(a.level(), b.level());
+            assert_eq!(a.severity(), b.severity());
+            assert_eq!(a.likelihood(), b.likelihood());
+            assert_eq!(a.exposed_states(), b.exposed_states());
+        }
+    }
+
+    #[test]
+    fn batch_reports_match_per_user_assessments_in_order() {
+        let (catalog, system, policy) = fixture();
+        let lts = generate_lts(&catalog, &system, &policy, &GeneratorConfig::default()).unwrap();
+        let index = LtsIndex::build(&lts);
+        let analysis = DisclosureAnalysis::new(&catalog, &policy);
+        let users = vec![
+            case_a_user(),
+            case_a_user().consents_to(ServiceId::new("MedicalResearchService")),
+            UserProfile::new("patient-2"),
+        ];
+        let expected: Vec<DisclosureReport> =
+            users.iter().map(|user| analysis.assess(&index, user)).collect();
+        for threads in [None, Some(1), Some(2), Some(4)] {
+            assert_eq!(analysis.analyse_users_batch(&index, &users, threads), expected);
+        }
+        assert!(analysis.analyse_users_batch(&index, &[], Some(2)).is_empty());
     }
 }

@@ -18,7 +18,11 @@
 //! * [`disclosure`] — the unwanted-disclosure analysis (Case Study A): finds
 //!   non-allowed actors that can identify fields the user is sensitive
 //!   about, attaches risk labels to the corresponding `read` transitions and
-//!   adds potential-read risk transitions to the LTS;
+//!   adds potential-read risk transitions to the LTS. Queries resolve
+//!   through the columnar [`privacy_lts::LtsIndex`] (with the original scan
+//!   strategy retained for differential testing), and
+//!   [`DisclosureAnalysis::analyse_users_batch`] assesses whole user
+//!   populations over one index build in parallel;
 //! * [`pseudonym`] — the pseudonymisation (value) risk analysis (Case Study
 //!   B, Table I, Fig. 4): computes per-record value risks for each set of
 //!   quasi-identifiers readable by an adversary actor, counts policy
