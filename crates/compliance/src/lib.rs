@@ -22,7 +22,11 @@
 //!   [`check_lts_scan`] retains the original full-scan semantics for
 //!   differential testing;
 //! * [`runtime_check`] — operation-time checking of the same policy against
-//!   the event logs produced by the [`privacy_runtime`] service simulator;
+//!   the event logs produced by the [`privacy_runtime`] service simulator:
+//!   [`check_log`] probes a columnar [`privacy_runtime::EventLogIndex`]
+//!   built once per call (or reused across calls via [`check_log_indexed`]),
+//!   while [`check_log_scan`] retains the original per-statement full scans
+//!   for differential testing;
 //! * [`report`] — the per-statement pass / fail / skipped outcome and a
 //!   renderable [`ComplianceReport`].
 //!
@@ -68,7 +72,7 @@ pub use lts_check::{
 };
 pub use policy::{baseline_policy, forbid_non_allowed, PrivacyPolicy};
 pub use report::{ComplianceReport, StatementOutcome, Violation};
-pub use runtime_check::check_log;
+pub use runtime_check::{check_log, check_log_indexed, check_log_scan};
 pub use statement::{ActorMatcher, FieldMatcher, Statement, StatementKind};
 
 /// Convenience re-export of the most commonly used items.
@@ -78,6 +82,6 @@ pub mod prelude {
     };
     pub use crate::policy::{baseline_policy, forbid_non_allowed, PrivacyPolicy};
     pub use crate::report::{ComplianceReport, StatementOutcome, Violation};
-    pub use crate::runtime_check::check_log;
+    pub use crate::runtime_check::{check_log, check_log_indexed, check_log_scan};
     pub use crate::statement::{ActorMatcher, FieldMatcher, Statement, StatementKind};
 }

@@ -4,16 +4,32 @@
 //! systems; the [`privacy_runtime`] simulator produces an [`EventLog`] of
 //! permitted and denied actions, and this module audits that log against the
 //! same [`PrivacyPolicy`] used at design time.
+//!
+//! Two interchangeable execution strategies exist, mirroring the LTS
+//! checker's split:
+//!
+//! * **Index probes** ([`check_log`], [`check_log_indexed`]) — the default.
+//!   One columnar [`EventLogIndex`] build turns every statement into posting
+//!   -list probes: matchers are evaluated once per *distinct* interned
+//!   actor/service instead of once per event, prohibitions walk only their
+//!   action's posting list, erasure reads a precomputed per-`(user, field)`
+//!   timeline and exposure bounds are a popcount. [`check_log_indexed`]
+//!   amortises one build over many policies (the batch-audit shape).
+//! * **Full scans** ([`check_log_scan`]) — the original implementation,
+//!   retained verbatim for differential testing: every statement re-walks
+//!   the whole log. Both strategies produce identical reports; the property
+//!   tests in `tests/runtime_log_differential.rs` pin the equivalence.
 
 use crate::policy::PrivacyPolicy;
 use crate::report::{ComplianceReport, StatementOutcome, Violation};
-use crate::statement::{Statement, StatementKind};
+use crate::statement::{FieldMatcher, Statement, StatementKind};
 use privacy_lts::ActionKind;
 use privacy_model::{ActorId, FieldId, UserId};
-use privacy_runtime::EventLog;
+use privacy_runtime::{Event, EventLog, EventLogIndex};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Checks every statement of `policy` against the observed events in `log`.
+/// Checks every statement of `policy` against the observed events in `log`,
+/// building a columnar [`EventLogIndex`] once and probing it per statement.
 ///
 /// Only *permitted* events count as behaviour: denied attempts were stopped
 /// by the access-control enforcement and therefore do not breach the policy.
@@ -30,11 +46,114 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert!(report.is_compliant());
 /// ```
 pub fn check_log(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceReport {
-    let outcomes = policy.iter().map(|statement| check_statement(log, statement)).collect();
+    let index = EventLogIndex::build(log);
+    check_log_indexed(log, &index, policy)
+}
+
+/// Like [`check_log`] but over a prebuilt index, so one build serves many
+/// policies. The index must have been built from `log` in its current state.
+pub fn check_log_indexed(
+    log: &EventLog,
+    index: &EventLogIndex,
+    policy: &PrivacyPolicy,
+) -> ComplianceReport {
+    let outcomes = policy.iter().map(|statement| probe_statement(log, index, statement)).collect();
     ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes)
 }
 
-fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
+/// The retained full-scan checker: every statement re-walks the whole log.
+/// Behaviourally identical to [`check_log`]; kept as the reference semantics
+/// for differential testing.
+pub fn check_log_scan(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceReport {
+    let outcomes = policy.iter().map(|statement| scan_statement(log, statement)).collect();
+    ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes)
+}
+
+/// Checks one statement by probing the index's posting lists and aggregates.
+fn probe_statement(
+    log: &EventLog,
+    index: &EventLogIndex,
+    statement: &Statement,
+) -> StatementOutcome {
+    let events = log.events();
+    let violations = match statement.kind() {
+        StatementKind::Forbid { actors, action, fields } => {
+            // Candidates: the action's permitted posting list (or every
+            // permitted event for an unrestricted prohibition). The actor
+            // matcher is evaluated once per distinct interned actor.
+            let candidates = match action {
+                Some(action) => index.of_action(*action),
+                None => index.permitted(),
+            };
+            let actor_ok: Vec<bool> =
+                index.actors().iter().map(|actor| actors.matches(actor)).collect();
+            let field_mask = match fields {
+                FieldMatcher::Any => None,
+                FieldMatcher::Only(set) => Some(index.field_mask(set.iter())),
+            };
+            candidates
+                .iter()
+                .filter(|&&id| actor_ok[index.actor_index_of(id) as usize])
+                .filter(|&&id| match &field_mask {
+                    // `matches_any` over an `Any` matcher still requires the
+                    // event to carry at least one field.
+                    None => index.has_fields(id),
+                    Some(mask) => index.involves_any(id, mask),
+                })
+                .map(|&id| forbid_violation(statement, &events[id as usize]))
+                .collect()
+        }
+        StatementKind::ServiceLimit { fields, allowed } => {
+            // The service matcher is evaluated once per distinct service;
+            // candidates come from the matched fields' posting lists.
+            let service_ok: Vec<bool> =
+                index.services().iter().map(|service| allowed.contains(service)).collect();
+            let candidates: Vec<u32> = match fields {
+                FieldMatcher::Any => {
+                    index.permitted().iter().copied().filter(|&id| index.has_fields(id)).collect()
+                }
+                FieldMatcher::Only(set) => index.involving_any_field(set.iter()),
+            };
+            candidates
+                .into_iter()
+                .filter(|&id| !service_ok[index.service_index_of(id) as usize])
+                .map(|id| service_violation(statement, &events[id as usize]))
+                .collect()
+        }
+        StatementKind::PurposeLimit { .. } => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "runtime events record the service but not a per-action purpose".into(),
+            };
+        }
+        StatementKind::RequireErasure { fields } => index
+            .erasure_timelines()
+            .filter(|((_, field), _)| fields.matches(field))
+            .filter(|(_, timeline)| timeline.violates_erasure())
+            .map(|((user, field), _)| erasure_violation(statement, user, field))
+            .collect(),
+        StatementKind::MaxExposure { field, max_actors } => {
+            let exposed = index.observing_actors(field);
+            if exposed.len() > *max_actors {
+                vec![exposure_violation(statement, field, *max_actors, exposed.into_iter())]
+            } else {
+                Vec::new()
+            }
+        }
+        // Future statement kinds default to skipped rather than silently passing.
+        #[allow(unreachable_patterns)]
+        _ => {
+            return StatementOutcome::Skipped {
+                statement: statement.clone(),
+                reason: "statement kind is not supported by the event-log checker".into(),
+            };
+        }
+    };
+    StatementOutcome::Checked { statement: statement.clone(), violations }
+}
+
+/// The original per-statement full scan, retained for differential testing.
+fn scan_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
     let violations = match statement.kind() {
         StatementKind::Forbid { actors, action, fields } => log
             .iter()
@@ -42,36 +161,14 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
             .filter(|event| action.is_none_or(|a| a == event.action()))
             .filter(|event| actors.matches(event.actor()))
             .filter(|event| fields.matches_any(event.fields()))
-            .map(|event| {
-                Violation::new(
-                    statement.id(),
-                    format!("event #{}", event.sequence()),
-                    format!(
-                        "{:?} on {{{}}} by `{}` during `{}` is forbidden by the policy",
-                        event.action(),
-                        join_fields(event.fields()),
-                        event.actor(),
-                        event.service()
-                    ),
-                )
-            })
+            .map(|event| forbid_violation(statement, event))
             .collect(),
         StatementKind::ServiceLimit { fields, allowed } => log
             .iter()
             .filter(|event| event.permitted())
             .filter(|event| fields.matches_any(event.fields()))
             .filter(|event| !allowed.contains(event.service()))
-            .map(|event| {
-                Violation::new(
-                    statement.id(),
-                    format!("event #{}", event.sequence()),
-                    format!(
-                        "fields {{{}}} were processed by service `{}`, outside the allowed set",
-                        join_fields(event.fields()),
-                        event.service()
-                    ),
-                )
-            })
+            .map(|event| service_violation(statement, event))
             .collect(),
         StatementKind::PurposeLimit { .. } => {
             return StatementOutcome::Skipped {
@@ -106,13 +203,7 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
                 .filter(|(key, stored_at)| {
                     deleted.get(key).is_none_or(|deleted_at| deleted_at < stored_at)
                 })
-                .map(|((user, field), _)| {
-                    Violation::new(
-                        statement.id(),
-                        format!("user `{user}`, field `{field}`"),
-                        "the field was stored but never deleted in the observed execution",
-                    )
-                })
+                .map(|((user, field), _)| erasure_violation(statement, user, field))
                 .collect()
         }
         StatementKind::MaxExposure { field, max_actors } => {
@@ -129,16 +220,7 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
                 .map(|event| event.actor())
                 .collect();
             if exposed.len() > *max_actors {
-                vec![Violation::new(
-                    statement.id(),
-                    format!("field `{field}`"),
-                    format!(
-                        "{} actors observed the field at runtime (limit {}): {}",
-                        exposed.len(),
-                        max_actors,
-                        exposed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
-                    ),
-                )]
+                vec![exposure_violation(statement, field, *max_actors, exposed.into_iter())]
             } else {
                 Vec::new()
             }
@@ -153,6 +235,64 @@ fn check_statement(log: &EventLog, statement: &Statement) -> StatementOutcome {
         }
     };
     StatementOutcome::Checked { statement: statement.clone(), violations }
+}
+
+/// One prohibition violation — shared by both strategies so the rendered
+/// messages cannot drift apart.
+fn forbid_violation(statement: &Statement, event: &Event) -> Violation {
+    Violation::new(
+        statement.id(),
+        format!("event #{}", event.sequence()),
+        format!(
+            "{:?} on {{{}}} by `{}` during `{}` is forbidden by the policy",
+            event.action(),
+            join_fields(event.fields()),
+            event.actor(),
+            event.service()
+        ),
+    )
+}
+
+/// One service-limit violation.
+fn service_violation(statement: &Statement, event: &Event) -> Violation {
+    Violation::new(
+        statement.id(),
+        format!("event #{}", event.sequence()),
+        format!(
+            "fields {{{}}} were processed by service `{}`, outside the allowed set",
+            join_fields(event.fields()),
+            event.service()
+        ),
+    )
+}
+
+/// One right-to-erasure violation.
+fn erasure_violation(statement: &Statement, user: &UserId, field: &FieldId) -> Violation {
+    Violation::new(
+        statement.id(),
+        format!("user `{user}`, field `{field}`"),
+        "the field was stored but never deleted in the observed execution",
+    )
+}
+
+/// One exposure-bound violation; `exposed` must arrive sorted by actor id.
+fn exposure_violation<'a>(
+    statement: &Statement,
+    field: &FieldId,
+    max_actors: usize,
+    exposed: impl ExactSizeIterator<Item = &'a ActorId>,
+) -> Violation {
+    let count = exposed.len();
+    Violation::new(
+        statement.id(),
+        format!("field `{field}`"),
+        format!(
+            "{} actors observed the field at runtime (limit {}): {}",
+            count,
+            max_actors,
+            exposed.map(|a| a.as_str()).collect::<Vec<_>>().join(", ")
+        ),
+    )
 }
 
 fn join_fields(fields: &BTreeSet<FieldId>) -> String {
@@ -210,6 +350,16 @@ mod tests {
         log
     }
 
+    /// Runs both strategies and asserts they agree before returning the
+    /// probed report — every test below therefore doubles as a differential
+    /// check.
+    fn check_both(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceReport {
+        let probed = check_log(log, policy);
+        let scanned = check_log_scan(log, policy);
+        assert_eq!(probed, scanned, "indexed and scan log reports diverge");
+        probed
+    }
+
     #[test]
     fn forbid_flags_only_permitted_matching_events() {
         let policy = PrivacyPolicy::new("p").with_statement(Statement::forbid(
@@ -219,13 +369,40 @@ mod tests {
             Some(ActionKind::Read),
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        let report = check_log(&sample_log(), &policy);
+        let report = check_both(&sample_log(), &policy);
         // The administrator's permitted read violates; the researcher's
         // denied attempt does not.
         assert_eq!(report.violation_count(), 1);
         let violation = report.violations().next().unwrap();
         assert!(violation.subject().contains("event #3"));
         assert!(violation.detail().contains("Administrator"));
+    }
+
+    #[test]
+    fn unrestricted_forbid_requires_at_least_one_field() {
+        let mut log = sample_log();
+        // A fieldless event never matches `FieldMatcher::Any` (there is no
+        // field for `matches_any` to select).
+        log.append(Event::new(
+            5,
+            "user-1",
+            "MedicalService",
+            "Administrator",
+            ActionKind::Read,
+            Vec::<FieldId>::new(),
+            Some(DatastoreId::new("EHR")),
+            true,
+        ));
+        let policy = PrivacyPolicy::new("p").with_statement(Statement::forbid(
+            "F1",
+            "the administrator may do nothing",
+            ActorMatcher::only([ActorId::new("Administrator")]),
+            None,
+            FieldMatcher::Any,
+        ));
+        let report = check_both(&log, &policy);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations().next().unwrap().subject().contains("event #3"));
     }
 
     #[test]
@@ -236,7 +413,7 @@ mod tests {
             FieldMatcher::only([FieldId::new("Diagnosis")]),
             [ServiceId::new("MedicalService")],
         ));
-        let report = check_log(&sample_log(), &policy);
+        let report = check_both(&sample_log(), &policy);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().detail().contains("MedicalResearchService"));
     }
@@ -249,7 +426,7 @@ mod tests {
             FieldMatcher::Any,
             [privacy_model::Purpose::new("treatment").unwrap()],
         ));
-        let report = check_log(&sample_log(), &policy);
+        let report = check_both(&sample_log(), &policy);
         assert!(report.is_compliant());
         assert_eq!(report.skipped().count(), 1);
     }
@@ -261,7 +438,7 @@ mod tests {
             "diagnosis must be deleted",
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        let report = check_log(&sample_log(), &policy);
+        let report = check_both(&sample_log(), &policy);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().subject().contains("user-1"));
     }
@@ -282,7 +459,7 @@ mod tests {
             "diagnosis must be deleted",
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        assert!(check_log(&log, &policy).is_compliant());
+        assert!(check_both(&log, &policy).is_compliant());
     }
 
     #[test]
@@ -302,7 +479,7 @@ mod tests {
             "diagnosis must be deleted",
             FieldMatcher::only([FieldId::new("Diagnosis")]),
         ));
-        assert_eq!(check_log(&log, &policy).violation_count(), 1);
+        assert_eq!(check_both(&log, &policy).violation_count(), 1);
     }
 
     #[test]
@@ -313,7 +490,7 @@ mod tests {
             FieldId::new("Diagnosis"),
             1,
         ));
-        let report = check_log(&sample_log(), &strict);
+        let report = check_both(&sample_log(), &strict);
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations().next().unwrap().detail().contains("2 actors"));
 
@@ -323,7 +500,7 @@ mod tests {
             FieldId::new("Diagnosis"),
             2,
         ));
-        assert!(check_log(&sample_log(), &relaxed).is_compliant());
+        assert!(check_both(&sample_log(), &relaxed).is_compliant());
     }
 
     #[test]
@@ -337,8 +514,29 @@ mod tests {
                 FieldMatcher::Any,
             ))
             .with_statement(Statement::require_erasure("E1", "erasable", FieldMatcher::Any));
-        let report = check_log(&EventLog::new(), &policy);
+        let report = check_both(&EventLog::new(), &policy);
         assert!(report.is_compliant());
         assert!(report.target().contains("0 events"));
+    }
+
+    #[test]
+    fn one_index_serves_many_policies() {
+        let log = sample_log();
+        let index = EventLogIndex::build(&log);
+        let forbid = PrivacyPolicy::new("p1").with_statement(Statement::forbid(
+            "F1",
+            "nobody reads",
+            ActorMatcher::Any,
+            Some(ActionKind::Read),
+            FieldMatcher::Any,
+        ));
+        let erasure = PrivacyPolicy::new("p2").with_statement(Statement::require_erasure(
+            "E1",
+            "erasable",
+            FieldMatcher::Any,
+        ));
+        for policy in [&forbid, &erasure] {
+            assert_eq!(check_log_indexed(&log, &index, policy), check_log_scan(&log, policy));
+        }
     }
 }

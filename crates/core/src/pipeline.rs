@@ -2,10 +2,11 @@
 
 use crate::system::PrivacySystem;
 use privacy_anonymity::ValueRiskPolicy;
-use privacy_lts::{GeneratorConfig, Lts};
+use privacy_lts::{GeneratorConfig, Lts, LtsIndex, LtsQuery};
 use privacy_model::{ActorId, Dataset, FieldId, ModelError, UserProfile};
 use privacy_risk::{
-    DisclosureAnalysis, LikelihoodModel, PseudonymAnalysis, RiskMatrix, RiskReport,
+    DisclosureAnalysis, DisclosureReport, LikelihoodModel, PseudonymAnalysis, RiskMatrix,
+    RiskReport,
 };
 use std::fmt;
 
@@ -23,6 +24,36 @@ impl fmt::Display for PipelineOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.lts.stats())?;
         write!(f, "{}", self.report)
+    }
+}
+
+/// The result of assessing a whole user population over **one** generated
+/// LTS and **one** shared analysis index: the read-only batch counterpart of
+/// [`Pipeline::analyse_user`]. The LTS is not mutated, so the index remains
+/// a faithful snapshot — downstream consumers (compliance checks, queries,
+/// the runtime monitor) can keep probing it via
+/// [`PopulationOutcome::query`].
+#[derive(Debug, Clone)]
+pub struct PopulationOutcome {
+    /// The generated (unannotated) LTS.
+    pub lts: Lts,
+    /// The columnar analysis index built once over [`PopulationOutcome::lts`].
+    pub index: LtsIndex,
+    /// One read-only disclosure report per user, in input order.
+    pub reports: Vec<DisclosureReport>,
+}
+
+impl PopulationOutcome {
+    /// An index-backed query over the generated LTS.
+    pub fn query(&self) -> LtsQuery<'_> {
+        LtsQuery::with_index(&self.lts, &self.index)
+    }
+}
+
+impl fmt::Display for PopulationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.lts.stats())?;
+        write!(f, "population risk: {} users assessed over one shared index", self.reports.len())
     }
 }
 
@@ -103,6 +134,37 @@ impl<'a> Pipeline<'a> {
         Ok(PipelineOutcome { lts, report: RiskReport::new().with_disclosure(disclosure) })
     }
 
+    /// Assesses a whole user population over one generated LTS and one
+    /// shared analysis index, fanning the users out over `threads` worker
+    /// threads (`None` = one per CPU). Reports are read-only (no risk
+    /// transitions are added) and identical — per user, in order — to the
+    /// findings of [`Pipeline::analyse_user`] minus the annotations; the
+    /// returned [`PopulationOutcome`] keeps the LTS and index together so
+    /// downstream checks reuse the same snapshot instead of rebuilding it.
+    ///
+    /// Unless the generator configuration already restricts the services,
+    /// the LTS covers every modelled service: a population-wide model must
+    /// serve users with differing consent, so per-user service restriction
+    /// happens through each user's allowed-actor set rather than the state
+    /// space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LTS generation errors.
+    pub fn analyse_population(
+        &self,
+        users: &[UserProfile],
+        threads: Option<usize>,
+    ) -> Result<PopulationOutcome, ModelError> {
+        let lts = self.system.generate_lts_with(&self.generator)?;
+        let index = LtsIndex::build(&lts);
+        let reports = DisclosureAnalysis::new(self.system.catalog(), self.system.policy())
+            .with_matrix(self.matrix.clone())
+            .with_likelihood(self.likelihood.clone())
+            .analyse_users_batch(&index, users, threads);
+        Ok(PopulationOutcome { lts, index, reports })
+    }
+
     /// Generates the LTS and runs both analyses: unwanted disclosure for the
     /// user and pseudonymisation value risk for the given adversary over the
     /// released dataset (Case Study B / Table I).
@@ -131,6 +193,10 @@ impl<'a> Pipeline<'a> {
         if let Some(threshold) = violation_threshold {
             pseudonym_analysis = pseudonym_analysis.with_violation_threshold(threshold);
         }
+        // The disclosure stage's index describes the pre-annotation LTS, so
+        // it cannot be handed on: the pseudonymisation analysis must scan
+        // the by-then-mutated reachable set (its indexed entry point is for
+        // snapshots that are still current).
         let pseudonym = pseudonym_analysis.analyse(&mut lts, adversary, release, visible_sets)?;
 
         Ok(PipelineOutcome {
@@ -146,7 +212,7 @@ mod tests {
     use crate::casestudy;
     use privacy_access::{Permission, PolicyDelta};
     use privacy_lts::GeneratorConfig;
-    use privacy_model::RiskLevel;
+    use privacy_model::{RiskLevel, ServiceId};
     use privacy_synth::table1_release;
 
     #[test]
@@ -177,6 +243,37 @@ mod tests {
             RiskLevel::Low
         );
         assert!(!outcome.report.requires_action());
+    }
+
+    #[test]
+    fn population_assessment_shares_one_index_and_matches_per_user_findings() {
+        let system = casestudy::healthcare().unwrap();
+        let pipeline = Pipeline::new(&system);
+        let users = vec![
+            casestudy::case_a_user(),
+            casestudy::case_a_user().consents_to(ServiceId::new("MedicalResearchService")),
+        ];
+        let outcome = pipeline.analyse_population(&users, Some(2)).unwrap();
+        assert_eq!(outcome.reports.len(), 2);
+        // The index-backed query answers from the same shared snapshot.
+        assert!(outcome.query().index().is_some());
+        assert!(outcome.query().can_actor_identify(
+            &casestudy::actors::administrator(),
+            &casestudy::fields::diagnosis()
+        ));
+        // Case A: the administrator/diagnosis finding is Medium; a user who
+        // consented to everything has no findings at all.
+        assert_eq!(
+            outcome.reports[0]
+                .risk_for(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()),
+            RiskLevel::Medium
+        );
+        assert!(outcome.reports[1].is_empty());
+        // Identical for every thread count, and the LTS is unannotated.
+        assert_eq!(outcome.lts.stats().risk_transitions, 0);
+        let sequential = pipeline.analyse_population(&users, Some(1)).unwrap();
+        assert_eq!(outcome.reports, sequential.reports);
+        assert!(outcome.to_string().contains("2 users assessed"));
     }
 
     #[test]

@@ -51,20 +51,49 @@ const NO_PURPOSE: u32 = u32::MAX;
 const EMPTY_STATES: &[StateId] = &[];
 const EMPTY_TRANSITIONS: &[u32] = &[];
 
-/// The dense table index of an action kind. Must assign every kind its
-/// position in [`ActionKind::ALL`] — [`LtsIndex::action_of`] resolves the
-/// column back through that array; the
-/// `action_index_matches_action_kind_all_order` test pins the alignment.
+/// The dense table index of an action kind: its position in
+/// [`ActionKind::ALL`] — [`LtsIndex::action_of`] resolves the column back
+/// through that array; the `action_index_matches_action_kind_all_order` test
+/// pins the alignment.
 #[inline]
 fn action_index(action: ActionKind) -> usize {
-    match action {
-        ActionKind::Collect => 0,
-        ActionKind::Create => 1,
-        ActionKind::Read => 2,
-        ActionKind::Disclose => 3,
-        ActionKind::Anon => 4,
-        ActionKind::Delete => 5,
-    }
+    action.table_index()
+}
+
+/// Transition count below which the sharded column/posting pass runs on the
+/// calling thread: with fewer transitions per shard the spawn/merge overhead
+/// outweighs the scan itself.
+const PARALLEL_BUILD_MIN_TRANSITIONS_PER_SHARD: usize = 65_536;
+
+/// The resolved columns of one distinct (`Arc`-interned) label allocation.
+struct LabelCols {
+    action: u8,
+    actor: u32,
+    purpose: u32,
+    fields: Vec<u32>,
+}
+
+/// The result of one shard's first pass over its transition range: the
+/// distinct label allocations in first-occurrence order (with a transition
+/// that carries each) and the per-transition label-pointer column.
+struct RangeScan {
+    distinct: Vec<(usize, TransitionId)>,
+    ptr_col: Vec<usize>,
+}
+
+/// The columns and posting lists one shard produced for its transition
+/// range. Shards cover contiguous ascending ranges, so concatenating in
+/// shard order reproduces the sequential single-pass output exactly.
+struct RangeColumns {
+    action_col: Vec<u8>,
+    actor_col: Vec<u32>,
+    purpose_col: Vec<u32>,
+    field_words: Vec<u64>,
+    by_action: Vec<Vec<u32>>,
+    by_actor: Vec<Vec<u32>>,
+    by_field: Vec<Vec<u32>>,
+    by_actor_action: Vec<Vec<u32>>,
+    action_field_cover: Vec<Vec<u64>>,
 }
 
 /// The columnar analysis index over one [`Lts`] snapshot.
@@ -148,101 +177,184 @@ pub struct LtsIndex {
 
 impl LtsIndex {
     /// Builds the index from one pass over the LTS (plus one breadth-first
-    /// traversal for reachability).
+    /// traversal for reachability). The column/posting pass is sharded over
+    /// worker threads when the LTS is large enough to amortise the fan-out —
+    /// the result is identical for every thread count (see
+    /// [`LtsIndex::build_with_threads`]).
     pub fn build(lts: &Lts) -> LtsIndex {
+        LtsIndex::build_with_threads(lts, None)
+    }
+
+    /// Builds the index with the column/posting pass sharded over `threads`
+    /// worker threads (`None` = one per CPU).
+    ///
+    /// The transition range is split into contiguous chunks, each shard
+    /// scans its chunk independently, and the per-shard columns and posting
+    /// lists are concatenated in shard order — so every column, posting
+    /// list, interner and bitset is byte-for-byte identical to the
+    /// single-threaded build regardless of thread count (pinned by the
+    /// `sharded_index_build_matches_sequential_build_on_random_models`
+    /// property test). Small LTSs are built on the calling thread.
+    pub fn build_with_threads(lts: &Lts, threads: Option<usize>) -> LtsIndex {
         let space = lts.space();
         let transition_count = lts.transition_count();
+        // An explicit thread count is honoured as-is (the differential tests
+        // force sharding on small LTSs); `None` shards only when every shard
+        // gets enough transitions to amortise the spawn/merge overhead.
+        let shards = match threads {
+            Some(threads) => threads.clamp(1, transition_count.max(1)),
+            None => crate::batch::resolve_threads(None)
+                .min(transition_count / PARALLEL_BUILD_MIN_TRANSITIONS_PER_SHARD)
+                .max(1),
+        };
 
-        // Identifier interning: the variable space first (so space queries
-        // resolve even for actors/fields no transition mentions), then every
-        // label's vocabulary.
+        // Contiguous transition ranges, one per shard.
+        let chunk = transition_count.div_ceil(shards).max(1);
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|s| ((s * chunk).min(transition_count), ((s + 1) * chunk).min(transition_count)))
+            .collect();
+
+        // Phase 1 (sharded): labels are `Arc`-interned by the generation
+        // engine, so a handful of distinct allocations cover millions of
+        // transitions. Each shard records its distinct label pointers in
+        // first-occurrence order plus the per-transition pointer column.
+        let scans: Vec<RangeScan> = crate::batch::parallel_map(&ranges, Some(shards), |&range| {
+            let (start, end) = range;
+            let mut seen: crate::hash::FxHashSet<usize> = crate::hash::FxHashSet::default();
+            let mut distinct = Vec::new();
+            let mut ptr_col = Vec::with_capacity(end - start);
+            for tx in start..end {
+                let id = TransitionId(tx);
+                let ptr = lts.transition(id).label_ptr() as usize;
+                if seen.insert(ptr) {
+                    distinct.push((ptr, id));
+                }
+                ptr_col.push(ptr);
+            }
+            RangeScan { distinct, ptr_col }
+        });
+
+        // Interning merge (sequential): the variable space first (so space
+        // queries resolve even for actors/fields no transition mentions),
+        // then the distinct labels in shard order. A label's first shard is
+        // the shard of its globally first transition, and within a shard the
+        // distinct list is in transition order — so this is exactly the
+        // global first-occurrence order the single-pass build assigns.
         let mut actors: Interner<ActorId> = space.actors().iter().cloned().collect();
         let mut fields: Interner<FieldId> = space.fields().iter().cloned().collect();
         let mut purposes: Interner<Purpose> = Interner::new();
+        let mut label_cols: crate::hash::FxHashMap<usize, LabelCols> =
+            crate::hash::FxHashMap::default();
+        for scan in &scans {
+            for &(ptr, id) in &scan.distinct {
+                label_cols.entry(ptr).or_insert_with(|| {
+                    let label = lts.transition(id).label();
+                    let actor = match actors.get(label.actor()) {
+                        Some(actor) => actor,
+                        None => actors.intern(label.actor().clone()),
+                    };
+                    let purpose = match label.purpose() {
+                        Some(purpose) => match purposes.get(purpose) {
+                            Some(purpose) => purpose,
+                            None => purposes.intern(purpose.clone()),
+                        },
+                        None => NO_PURPOSE,
+                    };
+                    let field_ids = label
+                        .fields()
+                        .iter()
+                        .map(|field| match fields.get(field) {
+                            Some(field) => field,
+                            None => fields.intern(field.clone()),
+                        })
+                        .collect();
+                    LabelCols {
+                        action: action_index(label.action()) as u8,
+                        actor,
+                        purpose,
+                        fields: field_ids,
+                    }
+                });
+            }
+        }
 
+        // Phase 2 (sharded): with the interners complete, every shard emits
+        // its columns, packed field bitsets and posting lists from its
+        // pointer column alone.
+        let words_per_transition = fields.len().div_ceil(64).max(1);
+        let (actor_slots, field_slots) = (actors.len(), fields.len());
+        let inputs: Vec<(usize, &[usize])> = ranges
+            .iter()
+            .zip(&scans)
+            .map(|(&(start, _), scan)| (start, scan.ptr_col.as_slice()))
+            .collect();
+        let columns: Vec<RangeColumns> =
+            crate::batch::parallel_map(&inputs, Some(shards), |&(start, ptr_col)| {
+                let mut out = RangeColumns {
+                    action_col: Vec::with_capacity(ptr_col.len()),
+                    actor_col: Vec::with_capacity(ptr_col.len()),
+                    purpose_col: Vec::with_capacity(ptr_col.len()),
+                    field_words: vec![0u64; ptr_col.len() * words_per_transition],
+                    by_action: vec![Vec::new(); ACTIONS],
+                    by_actor: vec![Vec::new(); actor_slots],
+                    by_field: vec![Vec::new(); field_slots],
+                    by_actor_action: vec![Vec::new(); actor_slots * ACTIONS],
+                    action_field_cover: vec![vec![0u64; words_per_transition]; ACTIONS],
+                };
+                for (offset, ptr) in ptr_col.iter().enumerate() {
+                    let tx = (start + offset) as u32;
+                    let cols = &label_cols[ptr];
+                    out.action_col.push(cols.action);
+                    out.actor_col.push(cols.actor);
+                    out.purpose_col.push(cols.purpose);
+                    out.by_action[cols.action as usize].push(tx);
+                    out.by_actor[cols.actor as usize].push(tx);
+                    out.by_actor_action[cols.actor as usize * ACTIONS + cols.action as usize]
+                        .push(tx);
+                    for &field in &cols.fields {
+                        let (word, mask) = (field as usize / 64, 1u64 << (field % 64));
+                        out.by_field[field as usize].push(tx);
+                        out.field_words[offset * words_per_transition + word] |= mask;
+                        out.action_field_cover[cols.action as usize][word] |= mask;
+                    }
+                }
+                out
+            });
+
+        // Deterministic concat-merge: ranges are contiguous and ascending,
+        // so appending per-shard columns and postings in shard order yields
+        // the ascending transition-id order the probes rely on.
         let mut action_col = Vec::with_capacity(transition_count);
         let mut actor_col = Vec::with_capacity(transition_count);
         let mut purpose_col = Vec::with_capacity(transition_count);
+        let mut field_words = Vec::with_capacity(transition_count * words_per_transition);
         let mut by_action: Vec<Vec<u32>> = vec![Vec::new(); ACTIONS];
-        let mut by_actor: Vec<Vec<u32>> = (0..actors.len()).map(|_| Vec::new()).collect();
-        let mut by_field: Vec<Vec<u32>> = (0..fields.len()).map(|_| Vec::new()).collect();
-        let mut by_actor_action: Vec<Vec<u32>> =
-            (0..actors.len() * ACTIONS).map(|_| Vec::new()).collect();
-
-        // First column pass: field bitset width depends on how many distinct
-        // fields the labels mention, so record (transition, field index)
-        // pairs and pack them once the interner is complete.
-        let mut field_refs: Vec<(u32, u32)> = Vec::new();
-
-        // Labels are `Arc`-interned by the generation engine, so a handful
-        // of distinct allocations cover millions of transitions: resolve
-        // each allocation's columns once and key them by address.
-        struct LabelCols {
-            action: u8,
-            actor: u32,
-            purpose: u32,
-            fields: Vec<u32>,
-        }
-        let mut label_cache: crate::hash::FxHashMap<usize, LabelCols> =
-            crate::hash::FxHashMap::default();
-
-        for (id, transition) in lts.transitions() {
-            let tx = id.0 as u32;
-            let cols = label_cache.entry(transition.label_ptr() as usize).or_insert_with(|| {
-                let label = transition.label();
-                let actor = match actors.get(label.actor()) {
-                    Some(actor) => actor,
-                    None => actors.intern(label.actor().clone()),
-                };
-                let purpose = match label.purpose() {
-                    Some(purpose) => match purposes.get(purpose) {
-                        Some(purpose) => purpose,
-                        None => purposes.intern(purpose.clone()),
-                    },
-                    None => NO_PURPOSE,
-                };
-                let field_ids = label
-                    .fields()
-                    .iter()
-                    .map(|field| match fields.get(field) {
-                        Some(field) => field,
-                        None => fields.intern(field.clone()),
-                    })
-                    .collect();
-                LabelCols {
-                    action: action_index(label.action()) as u8,
-                    actor,
-                    purpose,
-                    fields: field_ids,
-                }
-            });
-            if by_actor.len() < actors.len() {
-                by_actor.resize_with(actors.len(), Vec::new);
-                by_actor_action.resize_with(actors.len() * ACTIONS, Vec::new);
-            }
-            if by_field.len() < fields.len() {
-                by_field.resize_with(fields.len(), Vec::new);
-            }
-            action_col.push(cols.action);
-            actor_col.push(cols.actor);
-            purpose_col.push(cols.purpose);
-            by_action[cols.action as usize].push(tx);
-            by_actor[cols.actor as usize].push(tx);
-            by_actor_action[cols.actor as usize * ACTIONS + cols.action as usize].push(tx);
-            for &field in &cols.fields {
-                by_field[field as usize].push(tx);
-                field_refs.push((tx, field));
-            }
-        }
-
-        // Pack the field bitsets and the per-action field cover.
-        let words_per_transition = fields.len().div_ceil(64).max(1);
-        let mut field_words = vec![0u64; transition_count * words_per_transition];
+        let mut by_actor: Vec<Vec<u32>> = vec![Vec::new(); actor_slots];
+        let mut by_field: Vec<Vec<u32>> = vec![Vec::new(); field_slots];
+        let mut by_actor_action: Vec<Vec<u32>> = vec![Vec::new(); actor_slots * ACTIONS];
         let mut action_field_cover = vec![vec![0u64; words_per_transition]; ACTIONS];
-        for (tx, field) in field_refs {
-            let (word, mask) = (field as usize / 64, 1u64 << (field % 64));
-            field_words[tx as usize * words_per_transition + word] |= mask;
-            action_field_cover[action_col[tx as usize] as usize][word] |= mask;
+        for shard in columns {
+            action_col.extend(shard.action_col);
+            actor_col.extend(shard.actor_col);
+            purpose_col.extend(shard.purpose_col);
+            field_words.extend(shard.field_words);
+            for (merged, local) in by_action.iter_mut().zip(shard.by_action) {
+                merged.extend(local);
+            }
+            for (merged, local) in by_actor.iter_mut().zip(shard.by_actor) {
+                merged.extend(local);
+            }
+            for (merged, local) in by_field.iter_mut().zip(shard.by_field) {
+                merged.extend(local);
+            }
+            for (merged, local) in by_actor_action.iter_mut().zip(shard.by_actor_action) {
+                merged.extend(local);
+            }
+            for (merged, local) in action_field_cover.iter_mut().zip(shard.action_field_cover) {
+                for (dst, src) in merged.iter_mut().zip(local) {
+                    *dst |= src;
+                }
+            }
         }
 
         // CSR adjacency: state -> outgoing transition ids, flattened.
@@ -546,6 +658,25 @@ impl LtsIndex {
             || self.count_states_of_variable(actor, field, VarKind::Could) > 0
     }
 
+    /// The packed state-variable bit of the `(actor, field, kind)` triple,
+    /// addressed by **interned** indices — the point lookup the runtime
+    /// monitor resolves events with. Interning seeds the variable space
+    /// first, so an interned index below the space's actor/field count *is*
+    /// the space index (`interned_ids_align_with_space_indices` pins this);
+    /// indices outside the space (label-only vocabulary) resolve to `None`.
+    #[inline]
+    pub fn bit_index_of(&self, actor: u32, field: u32, kind: VarKind) -> Option<usize> {
+        self.space.bit_at(actor as usize, field as usize, kind)
+    }
+
+    /// [`LtsIndex::can_actor_identify`] by interned indices: `true` if some
+    /// reachable state lets the actor identify the field (`has ∨ could`).
+    /// O(1) from the per-variable counts; `false` outside the space.
+    pub fn can_actor_identify_indices(&self, actor: u32, field: u32) -> bool {
+        self.bit_index_of(actor, field, VarKind::Has)
+            .is_some_and(|bit| self.bit_counts[bit] > 0 || self.bit_counts[bit + 1] > 0)
+    }
+
     #[inline]
     fn state_bit(&self, state: StateId, bit: usize) -> bool {
         (self.state_words[state.0 * self.words_per_state + bit / 64] >> (bit % 64)) & 1 == 1
@@ -727,4 +858,47 @@ mod tests {
         assert!(index.states_where_has(&ActorId::new("Ghost"), &name()).is_empty());
         assert!(!index.can_actor_identify(&ActorId::new("Ghost"), &name()));
     }
+
+    #[test]
+    fn interned_ids_align_with_space_indices() {
+        let lts = sample_lts();
+        let index = LtsIndex::build(&lts);
+        let space = lts.space();
+        for actor in space.actors() {
+            assert_eq!(index.actor_index(actor).map(|i| i as usize), space.actor_index(actor));
+        }
+        for field in space.fields() {
+            assert_eq!(index.field_index(field).map(|i| i as usize), space.field_index(field));
+        }
+    }
+
+    #[test]
+    fn point_probes_match_name_based_probes() {
+        let lts = sample_lts();
+        let index = LtsIndex::build(&lts);
+        let space = lts.space();
+        for actor in space.actors() {
+            for field in space.fields() {
+                let a = index.actor_index(actor).unwrap();
+                let f = index.field_index(field).unwrap();
+                for kind in [VarKind::Has, VarKind::Could] {
+                    assert_eq!(index.bit_index_of(a, f, kind), space.bit_index(actor, field, kind));
+                }
+                assert_eq!(
+                    index.can_actor_identify_indices(a, f),
+                    index.can_actor_identify(actor, field)
+                );
+            }
+        }
+        // Indices outside the space never resolve to a bit.
+        let out = space.actor_count() as u32;
+        assert_eq!(index.bit_index_of(out, 0, VarKind::Has), None);
+        assert!(!index.can_actor_identify_indices(out, 0));
+    }
+
+    // The sharded-build == sequential-build equivalence is pinned over
+    // random models (and forced shard counts) by
+    // `sharded_index_build_matches_sequential_build_on_random_models` in
+    // `tests/differential.rs`, which owns the full-surface index-equality
+    // checker.
 }

@@ -38,6 +38,21 @@ impl ActionKind {
         ActionKind::Anon,
         ActionKind::Delete,
     ];
+
+    /// The position of this kind in [`ActionKind::ALL`] — the dense table
+    /// index the columnar indexes (the LTS analysis index and the runtime
+    /// event-log index) key their per-action arrays with.
+    #[inline]
+    pub fn table_index(self) -> usize {
+        match self {
+            ActionKind::Collect => 0,
+            ActionKind::Create => 1,
+            ActionKind::Read => 2,
+            ActionKind::Disclose => 3,
+            ActionKind::Anon => 4,
+            ActionKind::Delete => 5,
+        }
+    }
 }
 
 impl fmt::Display for ActionKind {
@@ -250,6 +265,13 @@ mod tests {
         assert_eq!(ActionKind::Collect.to_string(), "collect");
         assert_eq!(ActionKind::Anon.to_string(), "anon");
         assert_eq!(ActionKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn table_index_matches_the_all_order() {
+        for (position, action) in ActionKind::ALL.iter().enumerate() {
+            assert_eq!(action.table_index(), position, "{action} misaligned with ALL");
+        }
     }
 
     #[test]

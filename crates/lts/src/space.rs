@@ -122,9 +122,21 @@ impl VarSpace {
     /// Layout: variables are grouped by actor, then field, with the `has`
     /// bit immediately followed by the `could` bit.
     pub fn bit_index(&self, actor: &ActorId, field: &FieldId, kind: VarKind) -> Option<usize> {
-        let a = self.actor_index(actor)?;
-        let f = self.field_index(field)?;
-        let base = 2 * (a * self.fields.len() + f);
+        self.bit_at(self.actor_index(actor)?, self.field_index(field)?, kind)
+    }
+
+    /// The bit index of the (actor, field, kind) variable addressed by
+    /// **positional** actor/field indices (the dense indices
+    /// [`VarSpace::actor_index`] / [`VarSpace::field_index`] hand out), or
+    /// `None` if either position is out of range. This is the allocation-free
+    /// point lookup used by the analysis index and the runtime monitor once
+    /// identifiers have been resolved.
+    #[inline]
+    pub fn bit_at(&self, actor: usize, field: usize, kind: VarKind) -> Option<usize> {
+        if actor >= self.actors.len() || field >= self.fields.len() {
+            return None;
+        }
+        let base = 2 * (actor * self.fields.len() + field);
         Some(match kind {
             VarKind::Has => base,
             VarKind::Could => base + 1,

@@ -30,9 +30,26 @@ impl PrivacyState {
         PrivacyState { bits, len }
     }
 
-    /// The raw backing words (used by the analysis index, which iterates set
-    /// bits directly instead of probing variables one at a time).
-    pub(crate) fn words(&self) -> &[u64] {
+    /// Reconstructs a state of `len` variables from its packed backing words
+    /// (bit `i` of the concatenated words is variable `i` of the
+    /// [`VarSpace`]). The low-level counterpart of [`PrivacyState::words`]
+    /// for components — like the indexed runtime monitor — that manipulate
+    /// states as bare `u64` words and only materialise a `PrivacyState` at
+    /// their API boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not exactly `len.div_ceil(64)` words long.
+    pub fn from_words(bits: Vec<u64>, len: usize) -> Self {
+        assert_eq!(bits.len(), len.div_ceil(64), "word count must match the variable count");
+        PrivacyState { bits, len }
+    }
+
+    /// The raw backing words (bit `i` is variable `i` of the [`VarSpace`];
+    /// trailing bits of the last word are zero). Used by the analysis index
+    /// and the indexed runtime monitor, which iterate and mutate set bits
+    /// directly instead of probing variables one at a time.
+    pub fn words(&self) -> &[u64] {
         &self.bits
     }
 

@@ -8,7 +8,10 @@
 //! frontier order, on the stronger property of full LTS equality (identical
 //! state numbering and transition order).
 
-use privacy_lts::{generate_lts, generate_lts_reference, GeneratorConfig, Lts};
+use privacy_lts::space::VarKind;
+use privacy_lts::{
+    generate_lts, generate_lts_reference, ActionKind, GeneratorConfig, Lts, LtsIndex,
+};
 use privacy_synth::{random_model, ModelGeneratorConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -159,4 +162,88 @@ fn engine_matches_reference_on_larger_models() {
         total_states += engine.state_count();
     }
     assert!(total_states > 100, "explorations stayed trivial: {total_states} states in total");
+}
+
+/// Structural equality over every observable surface of two analysis
+/// indexes — columns, posting lists, covers, CSR adjacency, reachability
+/// and per-variable state postings.
+fn assert_index_equivalent(a: &LtsIndex, b: &LtsIndex) {
+    assert_eq!(a.transition_count(), b.transition_count());
+    assert_eq!(a.actors(), b.actors(), "actor interner order diverges");
+    assert_eq!(a.fields(), b.fields(), "field interner order diverges");
+    assert_eq!(a.reachable(), b.reachable());
+    for tx in 0..a.transition_count() as u32 {
+        assert_eq!(a.action_of(tx), b.action_of(tx));
+        assert_eq!(a.actor_of(tx), b.actor_of(tx));
+        assert_eq!(a.purpose_of(tx), b.purpose_of(tx));
+        assert_eq!(a.has_fields(tx), b.has_fields(tx));
+    }
+    for action in ActionKind::ALL {
+        assert_eq!(a.transitions_of_kind(action), b.transitions_of_kind(action));
+    }
+    for actor in a.actors().to_vec() {
+        assert_eq!(a.transitions_by_actor(&actor), b.transitions_by_actor(&actor));
+        for action in ActionKind::ALL {
+            assert_eq!(
+                a.transitions_by_actor_of_kind(&actor, action),
+                b.transitions_by_actor_of_kind(&actor, action)
+            );
+        }
+    }
+    for field in a.fields().to_vec() {
+        assert_eq!(a.transitions_involving_field(&field), b.transitions_involving_field(&field));
+        for action in ActionKind::ALL {
+            assert_eq!(a.kind_covers_field(action, &field), b.kind_covers_field(action, &field));
+        }
+    }
+    for state in a.reachable().to_vec() {
+        assert_eq!(a.outgoing_transitions(state), b.outgoing_transitions(state));
+    }
+    let space = a.space().clone();
+    assert_eq!(&space, b.space());
+    for actor in space.actors() {
+        for field in space.fields() {
+            for kind in [VarKind::Has, VarKind::Could] {
+                assert_eq!(
+                    a.states_of_variable(actor, field, kind),
+                    b.states_of_variable(actor, field, kind)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded column/posting pass of the index build must reproduce the
+    /// single-threaded build exactly, for every shard count — including shard
+    /// counts that leave some shards empty.
+    #[test]
+    fn sharded_index_build_matches_sequential_build_on_random_models(
+        actors in 1usize..5,
+        fields in 1usize..5,
+        seed in 0u64..1_000_000,
+        potential_reads in proptest::bool::ANY,
+        threads in 2usize..9,
+    ) {
+        let model_config = ModelGeneratorConfig {
+            actors,
+            fields,
+            seed,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, system, policy) =
+            random_model(&model_config).expect("generated model is valid");
+        let mut config = GeneratorConfig::default().with_max_states(20_000);
+        config.explore_potential_reads = potential_reads;
+        let lts = generate_lts(&catalog, &system, &policy, &config)
+            .expect("generation in bounds");
+
+        let sequential = LtsIndex::build_with_threads(&lts, Some(1));
+        let sharded = LtsIndex::build_with_threads(&lts, Some(threads));
+        assert_index_equivalent(&sequential, &sharded);
+        // The default (auto-threaded) build resolves to the same index too.
+        assert_index_equivalent(&sequential, &LtsIndex::build(&lts));
+    }
 }

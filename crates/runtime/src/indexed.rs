@@ -1,0 +1,542 @@
+//! The index-backed streaming runtime monitor.
+//!
+//! [`IndexedMonitor`] is the high-throughput counterpart of the scan-path
+//! [`RuntimeMonitor`](crate::monitor::RuntimeMonitor): instead of walking
+//! every (actor, field) pair of the variable space per event with
+//! string-keyed lookups, it is a thin probe over the shared
+//! [`LtsIndex`] the design-time checkers already use —
+//!
+//! * every event is **resolved once** through the index's interners to dense
+//!   actor/field indices, after which all per-user state updates are single
+//!   bit operations at [`VarSpace::bit_at`](privacy_lts::VarSpace::bit_at)
+//!   offsets (the same packed layout the LTS states use);
+//! * the `(datastore, field) → readers` question the `create`/`anon`/
+//!   `delete` rules ask of the access policy is resolved **once per model**
+//!   into a dense table instead of once per event;
+//! * per-user state is **sharded by `UserId` hash** over a fixed shard
+//!   table, so [`IndexedMonitor::ingest_batch`] fans a batch out over
+//!   `crossbeam` scoped worker threads — every user's events stay on one
+//!   shard in stream order, and alerts are re-merged by batch position, so
+//!   the alert stream is identical for every thread count (and to the scan
+//!   monitor; both equalities are pinned by differential property tests).
+//!
+//! Alerts only fire for pairs that become **newly exposed** by an event;
+//! since an event can only change the bits it resolves to, the monitor
+//! inspects exactly those candidate pairs instead of sweeping the whole
+//! space — that, plus the absence of a per-event state clone, is where the
+//! throughput over the scan monitor comes from (see the `runtime_scaling`
+//! bench and `docs/PERFORMANCE.md`).
+
+use crate::event::{Event, EventLog};
+use crate::monitor::Alert;
+use privacy_access::{AccessPolicy, Permission};
+use privacy_lts::space::VarKind;
+use privacy_lts::{ActionKind, FxHashMap, FxHasher, LtsIndex, PrivacyState};
+use privacy_model::{Catalog, DatastoreId, Interner, RiskLevel, Sensitivity, UserId, UserProfile};
+use privacy_risk::{LikelihoodModel, RiskMatrix, SensitivityModel};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Number of user-state shards. Fixed (rather than derived from the thread
+/// count) so users never migrate between shards when the ingestion
+/// parallelism changes between batches; worker threads each own a contiguous
+/// chunk of shards.
+const SHARDS: usize = 32;
+
+/// The shard a user's state lives on.
+fn shard_of(user: &UserId) -> usize {
+    let mut hasher = FxHasher::default();
+    user.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARDS
+}
+
+/// One registered user's monitor state: the packed privacy-state words plus
+/// the per-user alert inputs, all resolved to dense indices at registration.
+#[derive(Debug, Clone)]
+struct UserSlot {
+    /// Packed privacy-state bits in [`VarSpace`](privacy_lts::VarSpace)
+    /// layout.
+    words: Vec<u64>,
+    /// Bitset over space actor indices: the user's allowed actors.
+    allowed: Vec<u64>,
+    /// Per space field index: the user's raw sensitivity `σ(d)`.
+    sensitivities: Vec<Sensitivity>,
+}
+
+impl UserSlot {
+    #[inline]
+    fn get_bit(&self, bit: usize) -> bool {
+        (self.words[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, bit: usize) {
+        self.words[bit / 64] &= !(1u64 << (bit % 64));
+    }
+
+    #[inline]
+    fn actor_allowed(&self, actor: usize) -> bool {
+        (self.allowed[actor / 64] >> (actor % 64)) & 1 == 1
+    }
+}
+
+/// One hash shard of the per-user state table.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    users: FxHashMap<UserId, UserSlot>,
+}
+
+/// The read-only context a batch's worker threads share.
+struct Ctx<'a> {
+    index: &'a LtsIndex,
+    policy: &'a AccessPolicy,
+    stores: &'a Interner<DatastoreId>,
+    readers: &'a [Vec<u32>],
+    matrix: &'a RiskMatrix,
+    likelihood: &'a LikelihoodModel,
+    threshold: RiskLevel,
+    actor_count: usize,
+    field_count: usize,
+}
+
+/// The index-backed streaming runtime monitor. See the module docs; the
+/// observable behaviour (which alerts, in which order, with which messages)
+/// is identical to [`RuntimeMonitor`](crate::monitor::RuntimeMonitor).
+///
+/// # Examples
+///
+/// ```
+/// use privacy_core::casestudy;
+/// use privacy_lts::LtsIndex;
+/// use privacy_runtime::IndexedMonitor;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = casestudy::healthcare()?;
+/// let index = Arc::new(LtsIndex::build(&system.generate_lts()?));
+/// let mut monitor =
+///     IndexedMonitor::new(system.catalog().clone(), system.policy().clone(), index);
+/// monitor.register_user(&casestudy::case_a_user());
+/// assert_eq!(monitor.user_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedMonitor {
+    index: Arc<LtsIndex>,
+    catalog: Catalog,
+    policy: AccessPolicy,
+    matrix: RiskMatrix,
+    likelihood: LikelihoodModel,
+    alert_threshold: RiskLevel,
+    threads: Option<usize>,
+    /// Interned datastore ids of the catalog's stores.
+    stores: Interner<DatastoreId>,
+    /// `(store_idx * field_count + field_idx) → space actor indices` with
+    /// read access — the policy question the `create`/`anon`/`delete` rules
+    /// ask, resolved once instead of once per event.
+    readers: Vec<Vec<u32>>,
+    shards: Vec<Shard>,
+    alerts: Vec<Alert>,
+}
+
+impl IndexedMonitor {
+    /// Creates a monitor probing the given shared analysis index, with the
+    /// standard risk matrix and likelihood model. The index should be built
+    /// from the LTS generated for `catalog`'s model, so its variable space
+    /// and interners describe the same actors and fields the events carry.
+    pub fn new(catalog: Catalog, policy: AccessPolicy, index: Arc<LtsIndex>) -> Self {
+        let space = index.space();
+        let mut stores = Interner::new();
+        let mut readers = Vec::new();
+        for datastore in catalog.datastores() {
+            stores.intern(datastore.id().clone());
+            for field in space.fields() {
+                readers.push(
+                    policy
+                        .actors_with(Permission::Read, datastore.id(), field)
+                        .iter()
+                        .filter_map(|actor| index.actor_index(actor))
+                        .filter(|&a| (a as usize) < space.actor_count())
+                        .collect(),
+                );
+            }
+        }
+        IndexedMonitor {
+            index,
+            catalog,
+            policy,
+            matrix: RiskMatrix::standard(),
+            likelihood: LikelihoodModel::standard(),
+            alert_threshold: RiskLevel::Medium,
+            threads: None,
+            stores,
+            readers,
+            shards: vec![Shard::default(); SHARDS],
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Builder-style: only raise alerts at or above this level (default
+    /// Medium).
+    pub fn with_alert_threshold(mut self, threshold: RiskLevel) -> Self {
+        self.alert_threshold = threshold;
+        self
+    }
+
+    /// Builder-style: overrides the risk matrix.
+    pub fn with_matrix(mut self, matrix: RiskMatrix) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// Builder-style: overrides the likelihood model.
+    pub fn with_likelihood(mut self, likelihood: LikelihoodModel) -> Self {
+        self.likelihood = likelihood;
+        self
+    }
+
+    /// Builder-style: worker threads per [`IndexedMonitor::ingest_batch`]
+    /// call (`None` = one per CPU). The alert stream is identical for every
+    /// count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The shared analysis index the monitor probes.
+    pub fn index(&self) -> &LtsIndex {
+        &self.index
+    }
+
+    /// Registers a user so their privacy state is tracked: the profile's
+    /// consent and sensitivities are resolved to dense per-space tables once,
+    /// here, never per event.
+    pub fn register_user(&mut self, profile: &UserProfile) {
+        let sensitivity = SensitivityModel::new(&self.catalog, profile);
+        let space = self.index.space();
+        let mut allowed = vec![0u64; space.actor_count().div_ceil(64)];
+        for (a, actor) in space.actors().iter().enumerate() {
+            if sensitivity.is_allowed(actor) {
+                allowed[a / 64] |= 1u64 << (a % 64);
+            }
+        }
+        let slot = UserSlot {
+            words: vec![0u64; space.variable_count().div_ceil(64)],
+            allowed,
+            sensitivities: space
+                .fields()
+                .iter()
+                .map(|field| sensitivity.field_sensitivity(field))
+                .collect(),
+        };
+        self.shards[shard_of(profile.id())].users.insert(profile.id().clone(), slot);
+    }
+
+    /// The current privacy state of a registered user.
+    pub fn state_of(&self, user: &UserId) -> Option<PrivacyState> {
+        self.shards[shard_of(user)].users.get(user).map(|slot| {
+            PrivacyState::from_words(slot.words.clone(), self.index.space().variable_count())
+        })
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(|shard| shard.users.len()).sum()
+    }
+
+    /// The alerts raised so far (and not yet drained), in stream order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The undrained alerts concerning one user.
+    pub fn alerts_for(&self, user: &UserId) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.user() == user).collect()
+    }
+
+    /// Takes every accumulated alert out of the monitor, leaving it empty —
+    /// the hand-off point for a downstream consumer between batches.
+    pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// Consumes one event. Behaviourally equivalent to a one-event
+    /// [`IndexedMonitor::ingest_batch`], but skips the batch machinery
+    /// (bucket table, fan-out, merge sort) entirely: the streaming path
+    /// resolves the user's shard and processes in place.
+    pub fn observe(&mut self, event: &Event) -> Vec<Alert> {
+        if !event.permitted() {
+            return Vec::new();
+        }
+        let (ctx, shards) = self.split_context();
+        let mut tagged = Vec::new();
+        process_event(&ctx, &mut shards[shard_of(event.user())], 0, event, &mut tagged);
+        let raised: Vec<Alert> = tagged.into_iter().map(|(_, alert)| alert).collect();
+        self.alerts.extend(raised.iter().cloned());
+        raised
+    }
+
+    /// Convenience: ingests a whole event log as one batch.
+    pub fn ingest_log(&mut self, log: &EventLog) -> Vec<Alert> {
+        self.ingest_batch(log.events())
+    }
+
+    /// Splits the monitor into the read-only worker context and the mutable
+    /// shard table — disjoint fields, so the streaming and batch paths
+    /// share one construction site.
+    fn split_context(&mut self) -> (Ctx<'_>, &mut [Shard]) {
+        let space = self.index.space();
+        (
+            Ctx {
+                index: &self.index,
+                policy: &self.policy,
+                stores: &self.stores,
+                readers: &self.readers,
+                matrix: &self.matrix,
+                likelihood: &self.likelihood,
+                threshold: self.alert_threshold,
+                actor_count: space.actor_count(),
+                field_count: space.field_count(),
+            },
+            &mut self.shards,
+        )
+    }
+
+    /// Consumes a batch of events, updating the affected users' privacy
+    /// states and returning the alerts the batch raised, in event order
+    /// (mirroring `analyse_users_batch`'s shape: one immutable index, a
+    /// deterministic parallel fan-out).
+    ///
+    /// Events are partitioned by their user's shard; each worker thread owns
+    /// a contiguous chunk of shards and replays its events in stream order,
+    /// so per-user causality is preserved, and the per-shard alert lists are
+    /// re-merged by batch position. Events for unregistered users and denied
+    /// events are ignored (denied events never changed any data exposure).
+    pub fn ingest_batch(&mut self, events: &[Event]) -> Vec<Alert> {
+        let threads = privacy_lts::batch::resolve_threads(self.threads).min(SHARDS);
+        let mut buckets: Vec<Vec<(u32, &Event)>> = vec![Vec::new(); SHARDS];
+        let mut busy_shards = 0usize;
+        for (pos, event) in events.iter().enumerate() {
+            if event.permitted() {
+                let bucket = &mut buckets[shard_of(event.user())];
+                busy_shards += usize::from(bucket.is_empty());
+                bucket.push((pos as u32, event));
+            }
+        }
+        // Never spawn more workers than there are shards with work: a tiny
+        // batch with one busy shard must stay on the calling thread, not
+        // pay a scope + spawn.
+        let threads = threads.min(busy_shards.max(1));
+
+        let (ctx, shards) = self.split_context();
+        let chunk = SHARDS.div_ceil(threads);
+
+        let mut tagged: Vec<(u32, Alert)> = if threads == 1 {
+            let mut out = Vec::new();
+            for (shard, bucket) in shards.iter_mut().zip(&buckets) {
+                for &(pos, event) in bucket {
+                    process_event(&ctx, shard, pos, event, &mut out);
+                }
+            }
+            out
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let ctx = &ctx;
+                let handles: Vec<_> = shards
+                    .chunks_mut(chunk)
+                    .zip(buckets.chunks(chunk))
+                    .map(|(shard_chunk, bucket_chunk)| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for (shard, bucket) in shard_chunk.iter_mut().zip(bucket_chunk) {
+                                for &(pos, event) in bucket {
+                                    process_event(ctx, shard, pos, event, &mut out);
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("monitor shard worker panicked"))
+                    .collect()
+            })
+            .expect("monitor ingestion scope panicked")
+        };
+
+        // Stable sort by batch position: alerts of one event keep their
+        // within-event (actor, field) order, and the stream equals the
+        // sequential replay regardless of thread count.
+        tagged.sort_by_key(|&(pos, _)| pos);
+        let raised: Vec<Alert> = tagged.into_iter().map(|(_, alert)| alert).collect();
+        self.alerts.extend(raised.iter().cloned());
+        raised
+    }
+}
+
+impl fmt::Display for IndexedMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "indexed runtime monitor: {} users tracked over {} shards, {} alerts pending",
+            self.user_count(),
+            SHARDS,
+            self.alerts.len()
+        )
+    }
+}
+
+/// Applies one permitted event to its user's slot, pushing any raised alerts
+/// tagged with the event's batch position.
+fn process_event(
+    ctx: &Ctx<'_>,
+    shard: &mut Shard,
+    pos: u32,
+    event: &Event,
+    out: &mut Vec<(u32, Alert)>,
+) {
+    let Some(slot) = shard.users.get_mut(event.user()) else {
+        return;
+    };
+    match event.action() {
+        ActionKind::Collect | ActionKind::Disclose | ActionKind::Read => {
+            let Some(actor) =
+                ctx.index.actor_index(event.actor()).filter(|&a| (a as usize) < ctx.actor_count)
+            else {
+                return;
+            };
+            let mut pairs: Vec<(u32, u32)> = event
+                .fields()
+                .iter()
+                .filter_map(|field| ctx.index.field_index(field))
+                .filter(|&f| (f as usize) < ctx.field_count)
+                .map(|f| (actor, f))
+                .collect();
+            pairs.sort_unstable();
+            expose(ctx, slot, pos, event, &pairs, VarKind::Has, out);
+        }
+        ActionKind::Create | ActionKind::Anon => {
+            let Some(store) = event.datastore() else {
+                return;
+            };
+            let mut pairs = reader_pairs(ctx, store, event);
+            pairs.sort_unstable();
+            pairs.dedup();
+            expose(ctx, slot, pos, event, &pairs, VarKind::Could, out);
+        }
+        ActionKind::Delete => {
+            let Some(store) = event.datastore() else {
+                return;
+            };
+            for (a, f) in reader_pairs(ctx, store, event) {
+                if let Some(has_bit) = ctx.index.bit_index_of(a, f, VarKind::Has) {
+                    slot.clear_bit(has_bit + 1); // the paired `could` bit
+                }
+            }
+        }
+        // Future action kinds added to the (non-exhaustive) enum do not
+        // change the tracked privacy state until modelled explicitly.
+        _ => {}
+    }
+}
+
+/// The `(reader, field)` pairs a `create`/`anon`/`delete` event resolves to:
+/// every space actor with read access to the event's fields in its store.
+/// Catalog stores answer from the precomputed table; a store outside the
+/// catalog falls back to a direct policy probe (the cost the scan monitor
+/// pays for every event).
+fn reader_pairs(ctx: &Ctx<'_>, store: &DatastoreId, event: &Event) -> Vec<(u32, u32)> {
+    let store_idx = ctx.stores.get(store);
+    let mut pairs = Vec::new();
+    for field in event.fields() {
+        let Some(f) = ctx.index.field_index(field).filter(|&f| (f as usize) < ctx.field_count)
+        else {
+            continue;
+        };
+        match store_idx {
+            Some(s) => {
+                for &a in &ctx.readers[s as usize * ctx.field_count + f as usize] {
+                    pairs.push((a, f));
+                }
+            }
+            None => {
+                for actor in ctx.policy.actors_with(Permission::Read, store, field) {
+                    if let Some(a) =
+                        ctx.index.actor_index(&actor).filter(|&a| (a as usize) < ctx.actor_count)
+                    {
+                        pairs.push((a, f));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Sets the `kind` bit of every pair (ascending, deduplicated — i.e. in the
+/// variable space's pair order) and raises an alert for each pair that
+/// becomes newly exposed to a non-allowed actor, exactly the scan monitor's
+/// "newly exposed pairs" sweep restricted to the bits this event can touch.
+fn expose(
+    ctx: &Ctx<'_>,
+    slot: &mut UserSlot,
+    pos: u32,
+    event: &Event,
+    pairs: &[(u32, u32)],
+    kind: VarKind,
+    out: &mut Vec<(u32, Alert)>,
+) {
+    for &(a, f) in pairs {
+        let Some(has_bit) = ctx.index.bit_index_of(a, f, VarKind::Has) else {
+            continue;
+        };
+        let could_bit = has_bit + 1;
+        let was_exposed = slot.get_bit(has_bit) || slot.get_bit(could_bit);
+        match kind {
+            VarKind::Has => slot.set_bit(has_bit),
+            VarKind::Could => slot.set_bit(could_bit),
+        }
+        if was_exposed || slot.actor_allowed(a as usize) {
+            continue;
+        }
+        let impact = slot.sensitivities[f as usize];
+        let actor = &ctx.index.actors()[a as usize];
+        let probability = if slot.get_bit(has_bit) {
+            // Direct identification has certainty rather than scenario-based
+            // likelihood.
+            1.0
+        } else {
+            match event.datastore() {
+                Some(store) => ctx.likelihood.probability(actor, store),
+                None => 1.0,
+            }
+        };
+        let level = ctx.matrix.combine(impact, probability);
+        if level.at_least(ctx.threshold) {
+            let field = &ctx.index.fields()[f as usize];
+            out.push((
+                pos,
+                Alert::raise(
+                    event.sequence(),
+                    event.user().clone(),
+                    level,
+                    format!(
+                        "non-allowed actor {actor} can now identify `{field}` \
+                         (action {}, impact {:.2}, likelihood {:.2})",
+                        event.action(),
+                        impact.value(),
+                        probability
+                    ),
+                ),
+            ));
+        }
+    }
+}

@@ -15,7 +15,13 @@
 //! * [`event`] — privacy events and the event log;
 //! * [`store`] — in-memory, access-controlled datastores;
 //! * [`engine`] — the service engine executing data-flow diagrams;
-//! * [`monitor`] — the runtime privacy monitor raising alerts;
+//! * [`monitor`] — the scan-path runtime privacy monitor raising alerts;
+//! * [`indexed`] — the index-backed streaming monitor: events resolve once
+//!   through the shared [`privacy_lts::LtsIndex`] interners and per-user
+//!   state is sharded by `UserId` hash over worker threads, with an alert
+//!   stream pinned identical to the scan monitor;
+//! * [`log_index`] — the columnar [`EventLogIndex`] the operation-time
+//!   compliance checker probes instead of re-scanning the log per statement;
 //! * [`concurrent`] — a crossbeam-based concurrent workload driver.
 
 #![forbid(unsafe_code)]
@@ -24,12 +30,16 @@
 pub mod concurrent;
 pub mod engine;
 pub mod event;
+pub mod indexed;
+pub mod log_index;
 pub mod monitor;
 pub mod store;
 
 pub use concurrent::{run_concurrent_workload, ConcurrentConfig};
 pub use engine::{ExecutionOutcome, ServiceEngine};
 pub use event::{Event, EventLog};
+pub use indexed::IndexedMonitor;
+pub use log_index::{ErasureTimeline, EventLogIndex};
 pub use monitor::{Alert, RuntimeMonitor};
 pub use store::DatastoreState;
 
@@ -38,6 +48,8 @@ pub mod prelude {
     pub use crate::concurrent::{run_concurrent_workload, ConcurrentConfig};
     pub use crate::engine::{ExecutionOutcome, ServiceEngine};
     pub use crate::event::{Event, EventLog};
+    pub use crate::indexed::IndexedMonitor;
+    pub use crate::log_index::{ErasureTimeline, EventLogIndex};
     pub use crate::monitor::{Alert, RuntimeMonitor};
     pub use crate::store::DatastoreState;
 }

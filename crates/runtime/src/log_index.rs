@@ -1,0 +1,478 @@
+//! The columnar event-log index.
+//!
+//! The operation-time compliance checker originally re-walked the whole
+//! [`EventLog`] once **per policy statement**, re-evaluating string-keyed
+//! matchers against every event each time. [`EventLogIndex::build`] is the
+//! runtime sibling of the LTS analysis index
+//! ([`privacy_lts::LtsIndex`]): one pass over the log materialises
+//!
+//! * **Columns** — per event: the action's dense table index
+//!   ([`ActionKind::table_index`]), the interned actor and service, and a
+//!   packed `u64` bitset of the interned fields the event carries;
+//! * **Posting lists** — ascending event ids of the *permitted* events, per
+//!   action kind and per field (denied events never constitute behaviour,
+//!   so no statement ever consults them);
+//! * **Erasure timelines** — per `(user, field)`: when the field was first
+//!   stored (`collect`/`create`/`anon`) and last deleted, the aggregation
+//!   every right-to-erasure statement needs, built once instead of once per
+//!   statement;
+//! * **Observer sets** — per field: the bitset of actors that observed it
+//!   (`read`/`collect`/`disclose`), answering exposure bounds by popcount.
+//!
+//! Matchers are then evaluated once per **distinct** interned actor/service
+//! instead of once per event, and each statement touches only its posting
+//! lists. `privacy_compliance::check_log` probes this index;
+//! `check_log_scan` retains the original full-scan semantics and the
+//! differential property tests pin the two identical.
+
+use crate::event::EventLog;
+use privacy_lts::ActionKind;
+use privacy_model::{ActorId, FieldId, Interner, ServiceId, UserId};
+use std::collections::BTreeMap;
+
+/// Number of distinct [`ActionKind`]s (the width of the per-action tables).
+const ACTIONS: usize = ActionKind::ALL.len();
+
+/// An empty posting list, returned for identifiers the index never saw.
+const EMPTY_EVENTS: &[u32] = &[];
+
+/// When a `(user, field)` pair was first stored and last deleted in the
+/// observed execution — the inputs of the right-to-erasure check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErasureTimeline {
+    first_stored: u64,
+    last_deleted: Option<u64>,
+}
+
+impl ErasureTimeline {
+    /// The sequence number of the first storing event.
+    pub fn first_stored(&self) -> u64 {
+        self.first_stored
+    }
+
+    /// The sequence number of the last delete covering the pair, if any.
+    pub fn last_deleted(&self) -> Option<u64> {
+        self.last_deleted
+    }
+
+    /// Returns `true` if the pair was stored but never deleted afterwards —
+    /// a right-to-erasure violation. Pairs that were only ever deleted
+    /// (`first_stored == u64::MAX`) never violate.
+    pub fn violates_erasure(&self) -> bool {
+        self.first_stored != u64::MAX
+            && self.last_deleted.is_none_or(|deleted| deleted < self.first_stored)
+    }
+}
+
+/// The columnar index over one [`EventLog`] snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_lts::ActionKind;
+/// use privacy_model::{DatastoreId, FieldId};
+/// use privacy_runtime::{Event, EventLog, EventLogIndex};
+///
+/// let mut log = EventLog::new();
+/// log.append(Event::new(
+///     0, "alice", "MedicalService", "Doctor", ActionKind::Read,
+///     [FieldId::new("Diagnosis")], Some(DatastoreId::new("EHR")), true,
+/// ));
+/// let index = EventLogIndex::build(&log);
+/// assert_eq!(index.of_action(ActionKind::Read), &[0]);
+/// assert_eq!(index.observing_actors(&FieldId::new("Diagnosis")).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventLogIndex {
+    event_count: usize,
+    actors: Interner<ActorId>,
+    services: Interner<ServiceId>,
+    fields: Interner<FieldId>,
+    /// Per event: [`ActionKind::table_index`] of its action.
+    action_col: Vec<u8>,
+    /// Per event: interned actor index.
+    actor_col: Vec<u32>,
+    /// Per event: interned service index.
+    service_col: Vec<u32>,
+    /// `u64` words per event in [`EventLogIndex::field_words`].
+    words_per_event: usize,
+    /// Packed field bitsets, `words_per_event` words per event.
+    field_words: Vec<u64>,
+    /// Ascending ids of the permitted events.
+    permitted: Vec<u32>,
+    /// Ascending permitted event ids per action kind.
+    by_action: Vec<Vec<u32>>,
+    /// Ascending permitted event ids per interned field.
+    by_field: Vec<Vec<u32>>,
+    /// Per interned field: bitset over interned actors that observed it.
+    observers: Vec<u64>,
+    words_per_observer_set: usize,
+    /// Erasure aggregation over every `(user, field)` pair a permitted
+    /// storing or deleting event touched, in `(user, field)` order.
+    erasure: BTreeMap<(UserId, FieldId), ErasureTimeline>,
+}
+
+impl EventLogIndex {
+    /// Builds the index from one pass over the log (plus one packing pass
+    /// once the field vocabulary is complete).
+    pub fn build(log: &EventLog) -> EventLogIndex {
+        let event_count = log.len();
+        let mut actors = Interner::new();
+        let mut services = Interner::new();
+        let mut fields = Interner::new();
+
+        let mut action_col = Vec::with_capacity(event_count);
+        let mut actor_col = Vec::with_capacity(event_count);
+        let mut service_col = Vec::with_capacity(event_count);
+        let mut permitted = Vec::new();
+        let mut by_action: Vec<Vec<u32>> = vec![Vec::new(); ACTIONS];
+        let mut by_field: Vec<Vec<u32>> = Vec::new();
+        // (event, field) pairs, packed once the field interner is complete;
+        // observer (field, actor) pairs likewise.
+        let mut field_refs: Vec<(u32, u32)> = Vec::new();
+        let mut observer_refs: Vec<(u32, u32)> = Vec::new();
+        let mut erasure: BTreeMap<(UserId, FieldId), ErasureTimeline> = BTreeMap::new();
+
+        for (id, event) in log.iter().enumerate() {
+            let id = id as u32;
+            let action = event.action().table_index() as u8;
+            let actor = actors.intern(event.actor().clone());
+            action_col.push(action);
+            actor_col.push(actor);
+            service_col.push(services.intern(event.service().clone()));
+            let field_ids: Vec<u32> =
+                event.fields().iter().map(|field| fields.intern(field.clone())).collect();
+            by_field.resize_with(fields.len(), Vec::new);
+            for &field in &field_ids {
+                field_refs.push((id, field));
+            }
+            if !event.permitted() {
+                continue;
+            }
+            permitted.push(id);
+            by_action[action as usize].push(id);
+            for &field in &field_ids {
+                by_field[field as usize].push(id);
+            }
+            match event.action() {
+                ActionKind::Read | ActionKind::Collect | ActionKind::Disclose => {
+                    for &field in &field_ids {
+                        observer_refs.push((field, actor));
+                    }
+                }
+                _ => {}
+            }
+            match event.action() {
+                ActionKind::Collect | ActionKind::Create | ActionKind::Anon => {
+                    for field in event.fields() {
+                        // The first storing event *in log order* wins, the
+                        // exact semantics of the scan checker's
+                        // `stored.entry(key).or_insert(sequence)`.
+                        erasure
+                            .entry((event.user().clone(), field.clone()))
+                            .and_modify(|timeline| {
+                                if timeline.first_stored == u64::MAX {
+                                    timeline.first_stored = event.sequence();
+                                }
+                            })
+                            .or_insert(ErasureTimeline {
+                                first_stored: event.sequence(),
+                                last_deleted: None,
+                            });
+                    }
+                }
+                ActionKind::Delete => {
+                    for field in event.fields() {
+                        erasure
+                            .entry((event.user().clone(), field.clone()))
+                            .and_modify(|timeline| {
+                                timeline.last_deleted = Some(
+                                    timeline.last_deleted.map_or(event.sequence(), |latest| {
+                                        latest.max(event.sequence())
+                                    }),
+                                );
+                            })
+                            .or_insert(ErasureTimeline {
+                                first_stored: u64::MAX,
+                                last_deleted: Some(event.sequence()),
+                            });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Pack the per-event field bitsets and the per-field observer sets.
+        let words_per_event = fields.len().div_ceil(64).max(1);
+        let mut field_words = vec![0u64; event_count * words_per_event];
+        for (id, field) in field_refs {
+            field_words[id as usize * words_per_event + field as usize / 64] |=
+                1u64 << (field % 64);
+        }
+        let words_per_observer_set = actors.len().div_ceil(64).max(1);
+        let mut observers = vec![0u64; fields.len() * words_per_observer_set];
+        for (field, actor) in observer_refs {
+            observers[field as usize * words_per_observer_set + actor as usize / 64] |=
+                1u64 << (actor % 64);
+        }
+
+        EventLogIndex {
+            event_count,
+            actors,
+            services,
+            fields,
+            action_col,
+            actor_col,
+            service_col,
+            words_per_event,
+            field_words,
+            permitted,
+            by_action,
+            by_field,
+            observers,
+            words_per_observer_set,
+            erasure,
+        }
+    }
+
+    /// Number of events the index covers (the log's length at build time).
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// The interned actors, in index order.
+    pub fn actors(&self) -> &[ActorId] {
+        self.actors.items()
+    }
+
+    /// The interned services, in index order.
+    pub fn services(&self) -> &[ServiceId] {
+        self.services.items()
+    }
+
+    /// The interned fields, in index order.
+    pub fn fields(&self) -> &[FieldId] {
+        self.fields.items()
+    }
+
+    /// The action kind of an event.
+    pub fn action_of(&self, event: u32) -> ActionKind {
+        ActionKind::ALL[self.action_col[event as usize] as usize]
+    }
+
+    /// The interned actor index of an event.
+    pub fn actor_index_of(&self, event: u32) -> u32 {
+        self.actor_col[event as usize]
+    }
+
+    /// The interned service index of an event.
+    pub fn service_index_of(&self, event: u32) -> u32 {
+        self.service_col[event as usize]
+    }
+
+    /// Ascending ids of all permitted events.
+    pub fn permitted(&self) -> &[u32] {
+        &self.permitted
+    }
+
+    /// Ascending permitted event ids of the given action kind.
+    pub fn of_action(&self, action: ActionKind) -> &[u32] {
+        &self.by_action[action.table_index()]
+    }
+
+    /// Ascending permitted event ids whose field set involves `field`.
+    pub fn involving_field(&self, field: &FieldId) -> &[u32] {
+        match self.fields.get(field) {
+            Some(field) => &self.by_field[field as usize],
+            None => EMPTY_EVENTS,
+        }
+    }
+
+    /// Ascending permitted event ids involving **any** of the given fields
+    /// (the union of their posting lists).
+    pub fn involving_any_field<'a>(
+        &self,
+        fields: impl IntoIterator<Item = &'a FieldId>,
+    ) -> Vec<u32> {
+        let mut union: Vec<u32> =
+            fields.into_iter().flat_map(|field| self.involving_field(field)).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+
+    /// Returns `true` if the event's field set is non-empty.
+    pub fn has_fields(&self, event: u32) -> bool {
+        let start = event as usize * self.words_per_event;
+        self.field_words[start..start + self.words_per_event].iter().any(|w| *w != 0)
+    }
+
+    /// Packs a set of fields into a bitset aligned with the per-event field
+    /// columns. Fields the log never mentions are ignored.
+    pub fn field_mask<'a>(&self, fields: impl IntoIterator<Item = &'a FieldId>) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words_per_event];
+        for field in fields {
+            if let Some(field) = self.fields.get(field) {
+                mask[field as usize / 64] |= 1u64 << (field % 64);
+            }
+        }
+        mask
+    }
+
+    /// Returns `true` if the event involves at least one field of the mask.
+    pub fn involves_any(&self, event: u32, mask: &[u64]) -> bool {
+        let start = event as usize * self.words_per_event;
+        self.field_words[start..start + self.words_per_event]
+            .iter()
+            .zip(mask)
+            .any(|(w, m)| w & m != 0)
+    }
+
+    /// The distinct actors that observed the field at runtime (a permitted
+    /// `read`, `collect` or `disclose` involving it), sorted by actor id —
+    /// the order the scan checker's `BTreeSet` produces.
+    pub fn observing_actors(&self, field: &FieldId) -> Vec<&ActorId> {
+        let Some(field) = self.fields.get(field) else {
+            return Vec::new();
+        };
+        let start = field as usize * self.words_per_observer_set;
+        let mut observed = Vec::new();
+        for (word_index, &word) in
+            self.observers[start..start + self.words_per_observer_set].iter().enumerate()
+        {
+            let mut word = word;
+            while word != 0 {
+                let actor = word_index * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                observed.push(self.actors.resolve(actor as u32).expect("observer bits resolve"));
+            }
+        }
+        observed.sort_unstable();
+        observed
+    }
+
+    /// The erasure timeline of every `(user, field)` pair a permitted
+    /// storing or deleting event touched, in `(user, field)` order. Pairs
+    /// that were only ever deleted report `u64::MAX` as their store time and
+    /// never violate erasure.
+    pub fn erasure_timelines(
+        &self,
+    ) -> impl Iterator<Item = (&(UserId, FieldId), &ErasureTimeline)> {
+        self.erasure.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use privacy_model::DatastoreId;
+
+    fn event(
+        sequence: u64,
+        user: &str,
+        actor: &str,
+        action: ActionKind,
+        fields: &[&str],
+        permitted: bool,
+    ) -> Event {
+        Event::new(
+            sequence,
+            user,
+            "MedicalService",
+            actor,
+            action,
+            fields.iter().map(|f| FieldId::new(*f)),
+            Some(DatastoreId::new("EHR")),
+            permitted,
+        )
+    }
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.append(event(0, "alice", "Doctor", ActionKind::Collect, &["Name", "Diagnosis"], true));
+        log.append(event(1, "alice", "Doctor", ActionKind::Create, &["Diagnosis"], true));
+        log.append(event(2, "alice", "Admin", ActionKind::Read, &["Diagnosis"], true));
+        log.append(event(3, "alice", "Researcher", ActionKind::Read, &["Diagnosis"], false));
+        log.append(event(4, "bob", "Doctor", ActionKind::Collect, &["Diagnosis"], true));
+        log.append(event(5, "alice", "Admin", ActionKind::Delete, &["Diagnosis"], true));
+        log
+    }
+
+    #[test]
+    fn postings_cover_permitted_events_only() {
+        let index = EventLogIndex::build(&sample_log());
+        assert_eq!(index.event_count(), 6);
+        assert_eq!(index.permitted(), &[0, 1, 2, 4, 5]);
+        // The researcher's denied read is absent from every posting list.
+        assert_eq!(index.of_action(ActionKind::Read), &[2]);
+        assert_eq!(index.involving_field(&FieldId::new("Diagnosis")), &[0, 1, 2, 4, 5]);
+        assert_eq!(index.involving_field(&FieldId::new("Name")), &[0]);
+        assert_eq!(index.involving_field(&FieldId::new("Ghost")), EMPTY_EVENTS);
+        assert_eq!(
+            index.involving_any_field([&FieldId::new("Name"), &FieldId::new("Diagnosis")]),
+            vec![0, 1, 2, 4, 5]
+        );
+    }
+
+    #[test]
+    fn columns_resolve_action_actor_and_service() {
+        let index = EventLogIndex::build(&sample_log());
+        assert_eq!(index.action_of(2), ActionKind::Read);
+        assert_eq!(index.actors()[index.actor_index_of(2) as usize], ActorId::new("Admin"));
+        assert_eq!(
+            index.services()[index.service_index_of(0) as usize],
+            ServiceId::new("MedicalService")
+        );
+        assert!(index.has_fields(0));
+        let mask = index.field_mask([&FieldId::new("Name")]);
+        assert!(index.involves_any(0, &mask));
+        assert!(!index.involves_any(1, &mask));
+    }
+
+    #[test]
+    fn observers_exclude_denied_and_non_observing_actions() {
+        let index = EventLogIndex::build(&sample_log());
+        // Collect (Doctor) and Read (Admin) observe; the denied Researcher
+        // read and the Create/Delete do not.
+        let observers = index.observing_actors(&FieldId::new("Diagnosis"));
+        assert_eq!(observers, vec![&ActorId::new("Admin"), &ActorId::new("Doctor")]);
+        assert!(index.observing_actors(&FieldId::new("Ghost")).is_empty());
+    }
+
+    #[test]
+    fn erasure_timelines_aggregate_first_store_and_last_delete() {
+        let index = EventLogIndex::build(&sample_log());
+        let timelines: Vec<_> = index.erasure_timelines().collect();
+        // (alice, Diagnosis), (alice, Name), (bob, Diagnosis) in order.
+        assert_eq!(timelines.len(), 3);
+        let alice_diagnosis = timelines[0];
+        assert_eq!(alice_diagnosis.0, &(UserId::new("alice"), FieldId::new("Diagnosis")));
+        assert_eq!(alice_diagnosis.1.first_stored(), 0);
+        assert_eq!(alice_diagnosis.1.last_deleted(), Some(5));
+        assert!(!alice_diagnosis.1.violates_erasure());
+        // Alice's Name and Bob's Diagnosis were stored but never deleted.
+        assert!(timelines[1].1.violates_erasure());
+        assert!(timelines[2].1.violates_erasure());
+    }
+
+    #[test]
+    fn delete_before_store_still_violates() {
+        let mut log = EventLog::new();
+        log.append(event(0, "alice", "Admin", ActionKind::Delete, &["Diagnosis"], true));
+        log.append(event(1, "alice", "Doctor", ActionKind::Create, &["Diagnosis"], true));
+        let index = EventLogIndex::build(&log);
+        let (_, timeline) = index.erasure_timelines().next().unwrap();
+        assert_eq!(timeline.first_stored(), 1);
+        assert_eq!(timeline.last_deleted(), Some(0));
+        assert!(timeline.violates_erasure());
+    }
+
+    #[test]
+    fn empty_log_builds_an_empty_index() {
+        let index = EventLogIndex::build(&EventLog::new());
+        assert_eq!(index.event_count(), 0);
+        assert!(index.permitted().is_empty());
+        assert!(index.erasure_timelines().next().is_none());
+    }
+}

@@ -26,6 +26,13 @@ pub struct Alert {
 }
 
 impl Alert {
+    /// Raises an alert (shared by the scan-path [`RuntimeMonitor`] and the
+    /// index-backed [`crate::indexed::IndexedMonitor`], whose alert streams
+    /// are pinned identical by the differential property tests).
+    pub(crate) fn raise(sequence: u64, user: UserId, level: RiskLevel, message: String) -> Alert {
+        Alert { sequence, user, level, message }
+    }
+
     /// The sequence number of the event that triggered the alert.
     pub fn sequence(&self) -> u64 {
         self.sequence

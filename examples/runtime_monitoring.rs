@@ -3,14 +3,22 @@
 //! stream in — the paper's "monitor the privacy risks during the lifetime of
 //! the service" scenario.
 //!
+//! Two monitors consume the same stream: the scan-path [`RuntimeMonitor`]
+//! streaming event-by-event off the concurrent driver, and the
+//! [`IndexedMonitor`] replaying the log as one sharded batch over the same
+//! columnar [`LtsIndex`] the design-time analyses probe. Their alert streams
+//! are identical — the index only changes how fast the answer arrives.
+//!
 //! Run with `cargo run --example runtime_monitoring`.
 
 use privacy_mde::core::casestudy;
+use privacy_mde::lts::LtsIndex;
 use privacy_mde::model::{Record, SensitivityCategory, UserId, UserProfile};
 use privacy_mde::runtime::{
-    run_concurrent_workload, ConcurrentConfig, RuntimeMonitor, ServiceEngine,
+    run_concurrent_workload, ConcurrentConfig, IndexedMonitor, RuntimeMonitor, ServiceEngine,
 };
 use privacy_mde::synth::{random_workload, WorkloadConfig};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = casestudy::healthcare()?;
@@ -19,20 +27,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         system.dataflows().clone(),
         system.policy().clone(),
     );
+    // The design-time model and its analysis index, shared with the
+    // operation-time monitor.
+    let index = Arc::new(LtsIndex::build(&system.generate_lts()?));
+    let mut indexed =
+        IndexedMonitor::new(system.catalog().clone(), system.policy().clone(), Arc::clone(&index))
+            .with_threads(Some(4));
     let mut monitor = RuntimeMonitor::new(system.catalog().clone(), system.policy().clone());
 
     // Register twenty users who all consent to the Medical Service only and
     // are sensitive about their diagnosis (the Case Study A profile).
     let users: Vec<UserId> = (0..20).map(|i| UserId::new(format!("patient-{i:03}"))).collect();
     for user in &users {
-        monitor.register_user(
-            &UserProfile::new(user.as_str())
-                .consents_to(casestudy::medical_service())
-                .with_category_sensitivity(
-                    casestudy::fields::diagnosis(),
-                    SensitivityCategory::High,
-                ),
-        );
+        let profile = UserProfile::new(user.as_str())
+            .consents_to(casestudy::medical_service())
+            .with_category_sensitivity(casestudy::fields::diagnosis(), SensitivityCategory::High);
+        monitor.register_user(&profile);
+        indexed.register_user(&profile);
     }
 
     // A synthetic workload biased towards the medical service.
@@ -75,5 +86,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.engine.stores().record_count(&privacy_mde::model::DatastoreId::new("EHR"))
     );
     println!("{}", outcome.monitor);
+
+    // Replay the same log through the index-backed monitor: events resolve
+    // once through the shared index's interners, per-user state shards over
+    // four worker threads, and the alert stream comes out identical.
+    let batch_alerts = indexed.ingest_batch(outcome.engine.log().events());
+    println!("{indexed}");
+    assert_eq!(batch_alerts.len(), outcome.monitor.alerts().len());
+    for (streamed, batched) in outcome.monitor.alerts().iter().zip(&batch_alerts) {
+        assert_eq!(streamed.level(), batched.level());
+        assert_eq!(streamed.message(), batched.message());
+    }
+    println!(
+        "indexed batch ingestion raised the same {} alerts in the same order",
+        batch_alerts.len()
+    );
+
+    // The design-time model predicted this exposure: the same index answers
+    // the operation-time question and the design-time one.
+    if let Some(alert) = indexed.drain_alerts().first() {
+        let admin = casestudy::actors::administrator();
+        let diagnosis = casestudy::fields::diagnosis();
+        println!(
+            "design-time cross-check for `{alert}`: model says administrator can identify \
+             diagnosis = {}",
+            index.can_actor_identify(&admin, &diagnosis)
+        );
+    }
     Ok(())
 }

@@ -7,7 +7,7 @@ use privacy_mde::anonymity::{l_diversity_of, utility_report, ValueRiskPolicy};
 use privacy_mde::baselines::{prosecutor_risk, threat_catalogue_pass};
 use privacy_mde::core::{casestudy, Pipeline};
 use privacy_mde::lts::dot::lts_to_dot;
-use privacy_mde::lts::{ActionKind, GeneratorConfig, LtsQuery};
+use privacy_mde::lts::{ActionKind, GeneratorConfig, LtsIndex, LtsQuery};
 use privacy_mde::model::{FieldId, RiskLevel};
 use privacy_mde::synth::{table1_raw_records, table1_release};
 
@@ -56,8 +56,11 @@ fn case_study_a_medium_risk_is_found_and_removed_by_the_policy_change() {
     assert!(dot.contains("style=dashed"));
     assert!(dot.contains("Administrator"));
 
-    // The query interface can explain how the exposure arises.
-    let query = LtsQuery::new(&outcome.lts);
+    // The query interface can explain how the exposure arises — probing a
+    // fresh index of the annotated LTS (the pipeline's own index describes
+    // the pre-annotation snapshot).
+    let index = LtsIndex::build(&outcome.lts);
+    let query = LtsQuery::with_index(&outcome.lts, &index);
     assert!(query
         .can_actor_identify(&casestudy::actors::administrator(), &casestudy::fields::diagnosis()));
 

@@ -5,7 +5,7 @@
 use privacy_mde::core::{casestudy, Pipeline};
 use privacy_mde::dataflow::dot::{diagram_to_dot, system_to_dot};
 use privacy_mde::lts::dot::{lts_to_dot_with, DotOptions};
-use privacy_mde::lts::{GeneratorConfig, LtsQuery};
+use privacy_mde::lts::{GeneratorConfig, LtsIndex, LtsQuery};
 use privacy_mde::model::FieldId;
 
 #[test]
@@ -56,7 +56,10 @@ fn figure_three_dot_export_can_show_or_suppress_state_variables() {
 fn exposure_summary_names_exactly_the_actors_that_can_identify_data() {
     let system = casestudy::healthcare().unwrap();
     let lts = system.generate_lts_with(&GeneratorConfig::for_service("MedicalService")).unwrap();
-    let query = LtsQuery::new(&lts);
+    // One columnar index backs every query below (the scan strategy is
+    // exercised — and pinned identical — by the crates' differential tests).
+    let index = LtsIndex::build(&lts);
+    let query = LtsQuery::with_index(&lts, &index);
     let summary = query.exposure_summary();
 
     // The receptionist collects the name, the doctor the diagnosis, the
