@@ -34,7 +34,7 @@
 //! row's `check_speedup` falls below `X`. `--threads N` pins the batch
 //! sweeps to one count. See `docs/PERFORMANCE.md`.
 
-use privacy_bench::{scaled_system, time_runs};
+use privacy_bench::{scaled_system, time_runs, write_report};
 use privacy_compliance::{
     check_lts_batch_indexed, check_lts_indexed, check_lts_scan, ActorMatcher, FieldMatcher,
     PrivacyPolicy, Statement,
@@ -112,6 +112,7 @@ struct Options {
     min_speedup: f64,
     out: String,
     threads: Option<usize>,
+    force_baseline: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -120,6 +121,7 @@ fn parse_options() -> Result<Options, String> {
         min_speedup: 0.0,
         out: "BENCH_analysis.json".to_owned(),
         threads: None,
+        force_baseline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,6 +133,7 @@ fn parse_options() -> Result<Options, String> {
                     value.parse().map_err(|_| format!("bad --min-speedup value `{value}`"))?;
             }
             "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--force-baseline" => options.force_baseline = true,
             "--threads" => {
                 let value = args.next().ok_or("--threads needs a value")?;
                 options.threads =
@@ -478,8 +481,8 @@ fn main() -> ExitCode {
 
     let min_observed = min_guarded_speedup(&rows);
     let report = json_report(&options, &rows, min_observed);
-    if let Err(error) = std::fs::write(&options.out, &report) {
-        eprintln!("analysis_scaling: writing {}: {error}", options.out);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("analysis_scaling: {message}");
         return ExitCode::FAILURE;
     }
     eprintln!("analysis_scaling: wrote {}", options.out);

@@ -24,7 +24,7 @@
 //! once), recording one row per count so the baseline captures multi-core
 //! scaling. See `docs/PERFORMANCE.md` for how to read the output.
 
-use privacy_bench::{scaled_multi_service_system, scaled_system};
+use privacy_bench::{scaled_multi_service_system, scaled_system, write_report};
 use privacy_core::{casestudy, PrivacySystem};
 use privacy_lts::{generate_lts_reference, GeneratorConfig, Lts};
 use privacy_model::{Catalog, ModelError};
@@ -92,6 +92,7 @@ struct Options {
     threads: Option<usize>,
     /// Worker-thread counts to re-time the engine at, one row per count.
     thread_sweep: Option<Vec<usize>>,
+    force_baseline: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -102,6 +103,7 @@ fn parse_options() -> Result<Options, String> {
         out: "BENCH_lts.json".to_owned(),
         threads: None,
         thread_sweep: None,
+        force_baseline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -118,6 +120,7 @@ fn parse_options() -> Result<Options, String> {
                     value.parse().map_err(|_| format!("bad --min-row-speedup value `{value}`"))?;
             }
             "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--force-baseline" => options.force_baseline = true,
             "--threads" => {
                 let value = args.next().ok_or("--threads needs a value")?;
                 options.threads =
@@ -402,8 +405,8 @@ fn main() -> ExitCode {
 
     let min_observed = min_guarded_speedup(&rows);
     let report = json_report(&options, &rows, min_observed);
-    if let Err(error) = std::fs::write(&options.out, &report) {
-        eprintln!("lts_scaling: writing {}: {error}", options.out);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("lts_scaling: {message}");
         return ExitCode::FAILURE;
     }
     eprintln!("lts_scaling: wrote {}", options.out);

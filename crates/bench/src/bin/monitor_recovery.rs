@@ -1,0 +1,544 @@
+//! The crash-recovery benchmark: snapshot/restore cost for the indexed
+//! monitor and the checkpointed-audit speedup over the append-only log,
+//! recorded as `BENCH_recovery.json`.
+//!
+//! PR 4 made the operation-time monitor probe the shared design-time index;
+//! this benchmark tracks the *restartability* of that layer. Per scenario it
+//! runs `Pipeline::analyse_population` once (the design-time build whose
+//! shared index serves both fresh and resumed monitors), replays a
+//! `privacy-synth` workload into an event stream, then measures:
+//!
+//! * **Snapshot / restore** — at the mid-stream cut point: encoding the
+//!   monitor's state through the `privacy-interchange` binary codec
+//!   (`snapshot().to_bytes()`), and the restart path
+//!   (`MonitorSnapshot::from_bytes` + `IndexedMonitor::resume_from`) against
+//!   re-ingesting the whole prefix from the log — the `restore_speedup`
+//!   column is "resume instead of replay".
+//! * **Checkpointed audit** — the log grows in `audits` increments; each
+//!   period either re-audits from scratch (`check_log`: index rebuild +
+//!   probes over the whole prefix) or appends the increment to one
+//!   maintained `EventLogIndex` and runs `check_log_checkpointed` with the
+//!   carried `AuditCheckpoint`, paying only for the suffix. The
+//!   `suffix_speedup` column is the total-cost ratio across all periods and
+//!   is what `--min-suffix-speedup` gates in CI.
+//!
+//! Before anything is timed, the benchmark proves the recovery is lossless:
+//! drained-prefix + post-resume alerts must equal the uninterrupted run's
+//! alert stream (with per-user states bit-identical, across snapshot and
+//! resume thread counts), and the final checkpointed report must equal the
+//! from-scratch `check_log_scan` over the full log.
+//!
+//! ```text
+//! monitor_recovery [--quick] [--min-suffix-speedup X] [--out PATH]
+//!                  [--threads N] [--force-baseline]
+//! ```
+//!
+//! See `docs/PERFORMANCE.md` for the recorded baseline.
+
+use privacy_bench::{time_runs, write_report};
+use privacy_compliance::{
+    check_log, check_log_checkpointed, check_log_scan, ActorMatcher, AuditCheckpoint, FieldMatcher,
+    PrivacyPolicy, Statement,
+};
+use privacy_core::{casestudy, Pipeline, PrivacySystem};
+use privacy_lts::ActionKind;
+use privacy_model::{ActorId, Catalog, FieldId, ModelError, Record, ServiceId, UserProfile};
+use privacy_runtime::{
+    Event, EventLog, EventLogIndex, IndexedMonitor, MonitorSnapshot, ServiceEngine,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// One benchmark scenario.
+struct Scenario {
+    name: String,
+    users: usize,
+    requests: usize,
+    system: PrivacySystem,
+}
+
+/// One measured row of the report.
+struct Row {
+    scenario: Scenario,
+    events: usize,
+    cut: usize,
+    alerts: usize,
+    snapshot_bytes: usize,
+    snapshot_encode_secs: f64,
+    resume_secs: f64,
+    prefix_replay_secs: f64,
+    audits: usize,
+    audit_statements: usize,
+    audit_scratch_secs: f64,
+    audit_checkpoint_secs: f64,
+}
+
+/// Streams below this length time per-audit setup, not suffix cost; the
+/// regression guard skips them.
+const GUARD_MIN_EVENTS: usize = 1_000;
+
+/// How many audit periods the log is split into.
+const AUDIT_PERIODS: usize = 16;
+
+impl Row {
+    /// "Resume instead of replaying the prefix" speedup.
+    fn restore_speedup(&self) -> f64 {
+        self.prefix_replay_secs / self.resume_secs
+    }
+
+    /// Total checkpointed-audit speedup over from-scratch periodic audits.
+    fn suffix_speedup(&self) -> f64 {
+        self.audit_scratch_secs / self.audit_checkpoint_secs
+    }
+
+    fn guarded(&self) -> bool {
+        self.events >= GUARD_MIN_EVENTS
+    }
+}
+
+struct Options {
+    quick: bool,
+    min_suffix_speedup: f64,
+    out: String,
+    threads: Option<usize>,
+    force_baseline: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        min_suffix_speedup: 0.0,
+        out: "BENCH_recovery.json".to_owned(),
+        threads: None,
+        force_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--min-suffix-speedup" => {
+                let value = args.next().ok_or("--min-suffix-speedup needs a value")?;
+                options.min_suffix_speedup = value
+                    .parse()
+                    .map_err(|_| format!("bad --min-suffix-speedup value `{value}`"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                options.threads =
+                    Some(value.parse().map_err(|_| format!("bad --threads value `{value}`"))?);
+            }
+            "--force-baseline" => options.force_baseline = true,
+            other => return Err(format!("unknown argument `{other}` (see docs/PERFORMANCE.md)")),
+        }
+    }
+    Ok(options)
+}
+
+/// The benchmark scenarios: the paper's healthcare model plus a wider
+/// synthetic model (the same pair the runtime scaling bench uses, so the
+/// recovery numbers are comparable with the ingestion numbers).
+fn scenarios(quick: bool) -> Result<Vec<Scenario>, ModelError> {
+    use privacy_synth::{random_model, ModelGeneratorConfig};
+    let mut scenarios = Vec::new();
+    scenarios.push(Scenario {
+        name: "healthcare".to_owned(),
+        users: if quick { 128 } else { 256 },
+        requests: if quick { 1_500 } else { 6_000 },
+        system: casestudy::healthcare()?,
+    });
+
+    let config = ModelGeneratorConfig {
+        actors: 8,
+        fields: 10,
+        datastores: 3,
+        services: 3,
+        flows_per_service: 6,
+        grant_probability: 0.5,
+        seed: 11,
+        ..ModelGeneratorConfig::default()
+    };
+    let (catalog, dataflows, policy) = random_model(&config)?;
+    scenarios.push(Scenario {
+        name: "synth_8a_10f_3s".to_owned(),
+        users: if quick { 64 } else { 128 },
+        requests: if quick { 1_000 } else { 4_000 },
+        system: PrivacySystem::new(catalog, dataflows, policy),
+    });
+    Ok(scenarios)
+}
+
+/// A seeded user population over the catalog's services and fields.
+fn population(catalog: &Catalog, count: usize) -> Vec<UserProfile> {
+    use privacy_synth::{random_profiles, ProfileGeneratorConfig};
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    random_profiles(&ProfileGeneratorConfig {
+        count,
+        seed: 13,
+        services,
+        consent_probability: 0.5,
+        fields,
+        sensitivity_probability: 0.6,
+    })
+}
+
+/// Replays a seeded workload through the service engine and returns the
+/// resulting event stream.
+fn event_stream(scenario: &Scenario, users: &[UserProfile]) -> Vec<Event> {
+    use privacy_synth::{random_workload, WorkloadConfig};
+    let catalog = scenario.system.catalog();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let services: Vec<(ServiceId, f64)> =
+        catalog.services().map(|s| (s.id().clone(), 1.0)).collect();
+    let mut engine = ServiceEngine::new(
+        catalog.clone(),
+        scenario.system.dataflows().clone(),
+        scenario.system.policy().clone(),
+    );
+    let workload = random_workload(&WorkloadConfig {
+        length: scenario.requests,
+        seed: 17,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services,
+    });
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    engine.log().events().to_vec()
+}
+
+/// The multi-statement runtime hygiene policy the audits check (the
+/// `runtime_scaling` policy shape).
+fn audit_policy(catalog: &Catalog) -> PrivacyPolicy {
+    let actors: Vec<ActorId> = catalog.identifying_actors().map(|a| a.id().clone()).collect();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+    let mut policy = PrivacyPolicy::new("monitor-recovery hygiene policy");
+    for (i, actor) in actors.iter().enumerate() {
+        policy.add_statement(Statement::forbid(
+            format!("NO-DELETE-{i}"),
+            format!("{actor} never deletes records"),
+            ActorMatcher::only([actor.clone()]),
+            Some(ActionKind::Delete),
+            FieldMatcher::Any,
+        ));
+    }
+    for (i, field) in fields.iter().enumerate() {
+        policy.add_statement(Statement::require_erasure(
+            format!("ERASE-{i}"),
+            format!("{field} must be erasable on request"),
+            FieldMatcher::only([field.clone()]),
+        ));
+        policy.add_statement(Statement::max_exposure(
+            format!("EXPOSE-{i}"),
+            format!("at most two actors may observe {field}"),
+            field.clone(),
+            2,
+        ));
+        policy.add_statement(Statement::service_limit(
+            format!("SERVICE-{i}"),
+            format!("{field} stays in the declared services"),
+            FieldMatcher::only([field.clone()]),
+            services.iter().cloned(),
+        ));
+    }
+    policy
+}
+
+/// The audit period boundaries: `AUDIT_PERIODS` roughly equal increments
+/// ending exactly at the stream length.
+fn audit_bounds(events: usize) -> Vec<usize> {
+    let step = events.div_ceil(AUDIT_PERIODS).max(1);
+    let mut bounds: Vec<usize> = (1..=AUDIT_PERIODS).map(|i| (i * step).min(events)).collect();
+    bounds.dedup();
+    bounds
+}
+
+fn run(options: &Options) -> Result<Vec<Row>, String> {
+    let target =
+        if options.quick { Duration::from_millis(200) } else { Duration::from_millis(700) };
+    let snapshot_threads = options.threads.unwrap_or(4).max(1);
+    let mut rows = Vec::new();
+
+    for scenario in scenarios(options.quick).map_err(|e| format!("building scenarios: {e}"))? {
+        let catalog = scenario.system.catalog().clone();
+        let policy = scenario.system.policy().clone();
+        let users = population(&catalog, scenario.users);
+
+        // One design-time build serves the population analysis, every fresh
+        // monitor and every resumed monitor.
+        let outcome = Pipeline::new(&scenario.system)
+            .analyse_population(&users, options.threads)
+            .map_err(|e| format!("{}: population analysis failed: {e}", scenario.name))?;
+        let index = outcome.shared_index();
+
+        let events = event_stream(&scenario, &users);
+        let cut = events.len() / 2;
+        let audit = audit_policy(&catalog);
+
+        let mut proto = IndexedMonitor::new(catalog.clone(), policy.clone(), index.clone());
+        for user in &users {
+            proto.register_user(user);
+        }
+
+        // ── Correctness gates (nothing is timed until recovery is lossless).
+        let mut uninterrupted = proto.clone();
+        let full_alerts = uninterrupted.ingest_batch(&events);
+
+        let mut at_cut = proto.clone().with_threads(Some(snapshot_threads));
+        let prefix_alerts = at_cut.ingest_batch(&events[..cut]);
+        let drained = at_cut.drain_alerts();
+        if drained != prefix_alerts {
+            return Err(format!("{}: drained prefix alerts diverge", scenario.name));
+        }
+        let snapshot_bytes_vec = at_cut.snapshot().to_bytes();
+        for resume_threads in [1usize, 2] {
+            let snapshot = MonitorSnapshot::from_bytes(&snapshot_bytes_vec)
+                .map_err(|e| format!("{}: snapshot round-trip failed: {e}", scenario.name))?;
+            let mut resumed = IndexedMonitor::resume_from(
+                catalog.clone(),
+                policy.clone(),
+                index.clone(),
+                &snapshot,
+            )
+            .map_err(|e| format!("{}: resume failed: {e}", scenario.name))?
+            .with_threads(Some(resume_threads));
+            let tail_alerts = resumed.ingest_batch(&events[cut..]);
+            let mut recovered = prefix_alerts.clone();
+            recovered.extend(tail_alerts);
+            if recovered != full_alerts {
+                return Err(format!(
+                    "{}: snapshot(t={snapshot_threads}) → resume(t={resume_threads}) alert \
+                     stream diverges from the uninterrupted run",
+                    scenario.name
+                ));
+            }
+            for user in &users {
+                if resumed.state_of(user.id()) != uninterrupted.state_of(user.id()) {
+                    return Err(format!(
+                        "{}: post-recovery state of `{}` diverges",
+                        scenario.name,
+                        user.id()
+                    ));
+                }
+            }
+        }
+
+        // Checkpointed audits must equal the from-scratch scan at every
+        // period boundary.
+        let bounds = audit_bounds(events.len());
+        let prefix_logs: Vec<EventLog> = bounds
+            .iter()
+            .map(|&bound| {
+                let mut log = EventLog::new();
+                log.extend(events[..bound].iter().cloned());
+                log
+            })
+            .collect();
+        {
+            let mut maintained = EventLogIndex::build(&EventLog::new());
+            let mut checkpoint: Option<AuditCheckpoint> = None;
+            let mut covered = 0usize;
+            for (log, &bound) in prefix_logs.iter().zip(&bounds) {
+                maintained.append(&events[covered..bound]);
+                covered = bound;
+                let (report, next) =
+                    check_log_checkpointed(log, &maintained, &audit, checkpoint.take()).map_err(
+                        |e| format!("{}: checkpointed audit failed: {e}", scenario.name),
+                    )?;
+                if report != check_log_scan(log, &audit) {
+                    return Err(format!(
+                        "{}: checkpointed audit at {bound} events diverges from the scan",
+                        scenario.name
+                    ));
+                }
+                checkpoint = Some(next);
+            }
+        }
+
+        // ── Timings.
+        let (snapshot_encode_secs, snapshot_bytes) =
+            time_runs(target, || at_cut.snapshot().to_bytes().len());
+        let (resume_secs, _) = time_runs(target, || {
+            let snapshot =
+                MonitorSnapshot::from_bytes(&snapshot_bytes_vec).expect("validated above");
+            IndexedMonitor::resume_from(catalog.clone(), policy.clone(), index.clone(), &snapshot)
+                .expect("validated above")
+                .user_count()
+        });
+        let (prefix_replay_secs, _) = time_runs(target, || {
+            let mut monitor = proto.clone();
+            monitor.ingest_batch(&events[..cut]).len()
+        });
+
+        let (audit_scratch_secs, _) = time_runs(target, || {
+            let mut violations = 0usize;
+            for log in &prefix_logs {
+                violations += check_log(log, &audit).violation_count();
+            }
+            violations
+        });
+        let (audit_checkpoint_secs, _) = time_runs(target, || {
+            let mut maintained = EventLogIndex::build(&EventLog::new());
+            let mut checkpoint: Option<AuditCheckpoint> = None;
+            let mut covered = 0usize;
+            let mut violations = 0usize;
+            for (log, &bound) in prefix_logs.iter().zip(&bounds) {
+                maintained.append(&events[covered..bound]);
+                covered = bound;
+                let (report, next) =
+                    check_log_checkpointed(log, &maintained, &audit, checkpoint.take())
+                        .expect("validated above");
+                violations += report.violation_count();
+                checkpoint = Some(next);
+            }
+            violations
+        });
+
+        let row = Row {
+            events: events.len(),
+            cut,
+            alerts: full_alerts.len(),
+            snapshot_bytes,
+            snapshot_encode_secs,
+            resume_secs,
+            prefix_replay_secs,
+            audits: bounds.len(),
+            audit_statements: audit.len(),
+            audit_scratch_secs,
+            audit_checkpoint_secs,
+            scenario,
+        };
+        eprintln!(
+            "{:<20} {:>6} events cut@{:<6} | snapshot {:>7} B, encode {:>7.3} ms, resume \
+             {:>7.3} ms (replay {:>8.3} ms, {:>6.1}x) | {} audits {:>8.3} ms scratch vs \
+             {:>8.3} ms checkpointed ({:>5.2}x)",
+            row.scenario.name,
+            row.events,
+            row.cut,
+            row.snapshot_bytes,
+            row.snapshot_encode_secs * 1e3,
+            row.resume_secs * 1e3,
+            row.prefix_replay_secs * 1e3,
+            row.restore_speedup(),
+            row.audits,
+            row.audit_scratch_secs * 1e3,
+            row.audit_checkpoint_secs * 1e3,
+            row.suffix_speedup(),
+        );
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn json_report(options: &Options, rows: &[Row]) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let threads_available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let min_suffix = rows
+        .iter()
+        .filter(|row| row.guarded())
+        .map(Row::suffix_speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"monitor_recovery\",");
+    let _ = writeln!(out, "  \"quick\": {},", options.quick);
+    let _ = writeln!(out, "  \"threads_available\": {threads_available},");
+    let _ = writeln!(out, "  \"generated_unix\": {unix_secs},");
+    let _ = writeln!(out, "  \"guard_min_events\": {GUARD_MIN_EVENTS},");
+    let _ = writeln!(out, "  \"audit_periods\": {AUDIT_PERIODS},");
+    let _ = writeln!(
+        out,
+        "  \"min_suffix_speedup_observed\": {:.3},",
+        if min_suffix.is_finite() { min_suffix } else { 0.0 }
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"users\": {}, \"events\": {}, \"cut\": {}, \"alerts\": {}, \
+             \"snapshot_bytes\": {}, \"snapshot_encode_ms\": {:.3}, \"resume_ms\": {:.3}, \
+             \"prefix_replay_ms\": {:.3}, \"restore_speedup\": {:.3}, \"audits\": {}, \
+             \"audit_statements\": {}, \"audit_scratch_ms\": {:.3}, \
+             \"audit_checkpoint_ms\": {:.3}, \"suffix_speedup\": {:.3}, \"guarded\": {}",
+            row.scenario.name,
+            row.scenario.users,
+            row.events,
+            row.cut,
+            row.alerts,
+            row.snapshot_bytes,
+            row.snapshot_encode_secs * 1e3,
+            row.resume_secs * 1e3,
+            row.prefix_replay_secs * 1e3,
+            row.restore_speedup(),
+            row.audits,
+            row.audit_statements,
+            row.audit_scratch_secs * 1e3,
+            row.audit_checkpoint_secs * 1e3,
+            row.suffix_speedup(),
+            row.guarded()
+        );
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("monitor_recovery: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = match run(&options) {
+        Ok(rows) => rows,
+        Err(message) => {
+            eprintln!("monitor_recovery: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = json_report(&options, &rows);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("monitor_recovery: {message}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("monitor_recovery: wrote {}", options.out);
+
+    if options.min_suffix_speedup > 0.0 {
+        let guarded: Vec<&Row> = rows.iter().filter(|row| row.guarded()).collect();
+        if guarded.is_empty() {
+            eprintln!(
+                "monitor_recovery: regression guard failed: no stream reaches \
+                 {GUARD_MIN_EVENTS} events, so the suffix-speedup floor cannot be enforced"
+            );
+            return ExitCode::FAILURE;
+        }
+        for row in &guarded {
+            if row.suffix_speedup() < options.min_suffix_speedup {
+                eprintln!(
+                    "monitor_recovery: regression guard failed: `{}` checkpointed-audit speedup \
+                     {:.2}x is below the required {:.2}x",
+                    row.scenario.name,
+                    row.suffix_speedup(),
+                    options.min_suffix_speedup
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

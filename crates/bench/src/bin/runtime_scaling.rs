@@ -38,7 +38,7 @@
 //! `--min-t1-speedup Y` (default 1.0) guards the single-thread indexed
 //! speedup the same way. See `docs/PERFORMANCE.md`.
 
-use privacy_bench::time_runs;
+use privacy_bench::{time_runs, write_report};
 use privacy_compliance::{
     check_log, check_log_scan, ActorMatcher, FieldMatcher, PrivacyPolicy, Statement,
 };
@@ -122,6 +122,7 @@ struct Options {
     min_t1_speedup: f64,
     out: String,
     threads: Option<usize>,
+    force_baseline: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -131,6 +132,7 @@ fn parse_options() -> Result<Options, String> {
         min_t1_speedup: 1.0,
         out: "BENCH_runtime.json".to_owned(),
         threads: None,
+        force_baseline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,6 +149,7 @@ fn parse_options() -> Result<Options, String> {
                     value.parse().map_err(|_| format!("bad --min-t1-speedup value `{value}`"))?;
             }
             "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--force-baseline" => options.force_baseline = true,
             "--threads" => {
                 let value = args.next().ok_or("--threads needs a value")?;
                 options.threads =
@@ -504,8 +507,8 @@ fn main() -> ExitCode {
     };
 
     let report = json_report(&options, &rows);
-    if let Err(error) = std::fs::write(&options.out, &report) {
-        eprintln!("runtime_scaling: writing {}: {error}", options.out);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("runtime_scaling: {message}");
         return ExitCode::FAILURE;
     }
     eprintln!("runtime_scaling: wrote {}", options.out);

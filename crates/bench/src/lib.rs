@@ -17,7 +17,48 @@ use privacy_dataflow::DiagramBuilder;
 use privacy_model::{
     Actor, ActorId, Catalog, DataField, DataSchema, DatastoreDecl, FieldId, ModelError, ServiceDecl,
 };
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// The benchmark baselines checked into the repository root. The scaling
+/// bench binaries default their `--out` to one of these names; re-recording
+/// a baseline is a deliberate act, so [`write_report`] refuses to overwrite
+/// an existing file with one of these names unless the caller passed
+/// `--force-baseline`.
+pub const CHECKED_IN_BASELINES: &[&str] =
+    &["BENCH_lts.json", "BENCH_analysis.json", "BENCH_runtime.json", "BENCH_recovery.json"];
+
+/// Writes one bench JSON report to `out`: the single output path every bench
+/// binary routes through. Creates missing parent directories (so CI can
+/// collect reports under a scratch directory) and refuses to silently
+/// overwrite a checked-in baseline — a bench invoked with a default `--out`
+/// in a dirty working tree must not clobber the recorded numbers.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the destination is an existing
+/// checked-in baseline and `force_baseline` is false, or when the
+/// filesystem refuses the directory creation or write.
+pub fn write_report(out: &str, contents: &str, force_baseline: bool) -> Result<(), String> {
+    let path = Path::new(out);
+    let is_baseline = path
+        .file_name()
+        .and_then(|name| name.to_str())
+        .is_some_and(|name| CHECKED_IN_BASELINES.contains(&name));
+    if is_baseline && path.exists() && !force_baseline {
+        return Err(format!(
+            "`{out}` is a checked-in baseline; pass --force-baseline to re-record it (or use an \
+             --out name like BENCH_*_ci.json)"
+        ));
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|error| format!("creating {}: {error}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|error| format!("writing {out}: {error}"))
+}
 
 /// Times `f` by running it repeatedly until `target` wall time has
 /// accumulated (at least once after the warm-up), returning the mean
@@ -140,6 +181,31 @@ pub fn scaled_multi_service_system(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_report_creates_parents_and_protects_baselines() {
+        let dir = std::env::temp_dir().join(format!("privacy-bench-out-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Parent directories are created on demand.
+        let nested = dir.join("reports").join("BENCH_demo_ci.json");
+        write_report(nested.to_str().unwrap(), "{}\n", false).unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}\n");
+
+        // A checked-in baseline name may be written fresh, but an existing
+        // one is protected from a silent overwrite…
+        let baseline = dir.join("BENCH_lts.json");
+        let baseline_str = baseline.to_str().unwrap().to_owned();
+        write_report(&baseline_str, "first\n", false).unwrap();
+        assert!(write_report(&baseline_str, "second\n", false).is_err());
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), "first\n");
+
+        // …unless the caller explicitly re-records it.
+        write_report(&baseline_str, "second\n", true).unwrap();
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), "second\n");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn multi_service_systems_scale_with_the_service_count() {

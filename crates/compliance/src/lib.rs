@@ -26,7 +26,9 @@
 //!   [`check_log`] probes a columnar [`privacy_runtime::EventLogIndex`]
 //!   built once per call (or reused across calls via [`check_log_indexed`]),
 //!   while [`check_log_scan`] retains the original per-statement full scans
-//!   for differential testing;
+//!   for differential testing; periodic audits over the append-only log go
+//!   through [`check_log_checkpointed`] with an [`AuditCheckpoint`], paying
+//!   only for the suffix appended since the previous audit;
 //! * [`report`] — the per-statement pass / fail / skipped outcome and a
 //!   renderable [`ComplianceReport`].
 //!
@@ -72,7 +74,10 @@ pub use lts_check::{
 };
 pub use policy::{baseline_policy, forbid_non_allowed, PrivacyPolicy};
 pub use report::{ComplianceReport, StatementOutcome, Violation};
-pub use runtime_check::{check_log, check_log_indexed, check_log_scan};
+pub use runtime_check::{
+    check_log, check_log_checkpointed, check_log_indexed, check_log_scan, AuditCheckpoint,
+    AuditError,
+};
 pub use statement::{ActorMatcher, FieldMatcher, Statement, StatementKind};
 
 /// Convenience re-export of the most commonly used items.
@@ -82,6 +87,9 @@ pub mod prelude {
     };
     pub use crate::policy::{baseline_policy, forbid_non_allowed, PrivacyPolicy};
     pub use crate::report::{ComplianceReport, StatementOutcome, Violation};
-    pub use crate::runtime_check::{check_log, check_log_indexed, check_log_scan};
+    pub use crate::runtime_check::{
+        check_log, check_log_checkpointed, check_log_indexed, check_log_scan, AuditCheckpoint,
+        AuditError,
+    };
     pub use crate::statement::{ActorMatcher, FieldMatcher, Statement, StatementKind};
 }

@@ -19,6 +19,17 @@
 //!   retained verbatim for differential testing: every statement re-walks
 //!   the whole log. Both strategies produce identical reports; the property
 //!   tests in `tests/runtime_log_differential.rs` pin the equivalence.
+//!
+//! For **periodic audits over the append-only log** there is a third entry
+//! point, [`check_log_checkpointed`]: the caller maintains one
+//! [`EventLogIndex`] via [`EventLogIndex::append`] and carries an
+//! [`AuditCheckpoint`] between audits. Per-event statements (prohibitions,
+//! service limits) then probe only the posting-list *suffix* past the
+//! checkpoint and splice the previously reported violations in front, while
+//! the aggregate statements (erasure, exposure) re-read the incrementally
+//! maintained timelines and observer bitsets — so each audit pays O(new
+//! events + statements), yet the produced report is identical to a
+//! from-scratch [`check_log`] (and [`check_log_scan`]) over the whole log.
 
 use crate::policy::PrivacyPolicy;
 use crate::report::{ComplianceReport, StatementOutcome, Violation};
@@ -27,6 +38,8 @@ use privacy_lts::ActionKind;
 use privacy_model::{ActorId, FieldId, UserId};
 use privacy_runtime::{Event, EventLog, EventLogIndex};
 use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
 
 /// Checks every statement of `policy` against the observed events in `log`,
 /// building a columnar [`EventLogIndex`] once and probing it per statement.
@@ -57,8 +70,262 @@ pub fn check_log_indexed(
     index: &EventLogIndex,
     policy: &PrivacyPolicy,
 ) -> ComplianceReport {
-    let outcomes = policy.iter().map(|statement| probe_statement(log, index, statement)).collect();
+    let outcomes =
+        policy.iter().map(|statement| probe_statement(log, index, statement, 0)).collect();
     ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes)
+}
+
+/// The carried-over state of a periodic audit: how much of the append-only
+/// log previous audits already covered, and — per per-event statement — the
+/// violations already reported for that prefix. Produced and consumed by
+/// [`check_log_checkpointed`]; an audit that starts from `None` covers the
+/// whole log and is identical to [`check_log`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditCheckpoint {
+    /// Events `0..events_checked` of the log are covered by
+    /// [`AuditCheckpoint::statements`].
+    events_checked: usize,
+    /// One entry per policy statement, in policy order.
+    statements: Vec<StatementCheckpoint>,
+}
+
+/// One statement's accumulated per-event violations (empty for aggregate
+/// statement kinds, which re-read the index's incrementally maintained
+/// aggregates instead of accumulating).
+#[derive(Debug, Clone, PartialEq)]
+struct StatementCheckpoint {
+    id: String,
+    violations: Vec<Violation>,
+}
+
+impl AuditCheckpoint {
+    /// How many log events the checkpointed audits have covered.
+    pub fn events_checked(&self) -> usize {
+        self.events_checked
+    }
+
+    /// Number of policy statements the checkpoint tracks.
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+}
+
+impl fmt::Display for AuditCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit checkpoint: {} events covered across {} statements",
+            self.events_checked,
+            self.statements.len()
+        )
+    }
+}
+
+/// A typed failure of a checkpointed audit — every variant means the
+/// caller's invariants broke (the index was not appended up to the log, the
+/// log shrank, the policy changed) and continuing would produce an unsound
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditError {
+    /// The index covers fewer events than the log holds; call
+    /// [`EventLogIndex::append`] with the new suffix first.
+    IndexLagsLog {
+        /// Events the index covers.
+        indexed: usize,
+        /// Events the log holds.
+        log_len: usize,
+    },
+    /// The index covers *more* events than the log holds — a suffix was
+    /// appended twice, or the index belongs to a different (longer) log.
+    /// Rebuild the index from this log; appending more would compound the
+    /// divergence.
+    IndexAheadOfLog {
+        /// Events the index covers.
+        indexed: usize,
+        /// Events the log holds.
+        log_len: usize,
+    },
+    /// The checkpoint covers more events than the log holds — the log is
+    /// supposed to be append-only, so a shrinking log invalidates every
+    /// carried violation.
+    CheckpointAheadOfLog {
+        /// Events the checkpoint claims were covered.
+        checked: usize,
+        /// Events the log holds.
+        log_len: usize,
+    },
+    /// The checkpoint was taken against a different policy (statement
+    /// added, removed or reordered); start a fresh audit instead of splicing
+    /// violations of one policy into another's report.
+    PolicyMismatch {
+        /// Human-readable description of the first disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::IndexLagsLog { indexed, log_len } => write!(
+                f,
+                "the index covers only {indexed} events but the log holds {log_len}; append the \
+                 new suffix to the index before auditing"
+            ),
+            AuditError::IndexAheadOfLog { indexed, log_len } => write!(
+                f,
+                "the index covers {indexed} events but the log holds only {log_len} (a suffix \
+                 appended twice, or an index of a different log); rebuild the index from this log"
+            ),
+            AuditError::CheckpointAheadOfLog { checked, log_len } => write!(
+                f,
+                "the checkpoint covers {checked} events but the log holds only {log_len}; the \
+                 append-only invariant is broken"
+            ),
+            AuditError::PolicyMismatch { detail } => {
+                write!(f, "the checkpoint belongs to a different policy: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for AuditError {}
+
+/// Audits the log against the policy, paying only for the suffix past
+/// `checkpoint` on the per-event statements: the incremental entry point for
+/// periodic audits over the append-only log. `index` must have been kept
+/// current via [`EventLogIndex::append`]. Returns the full-log report —
+/// identical to [`check_log`] / [`check_log_scan`] over the whole log, as
+/// pinned by the checkpointed-audit property tests — together with the next
+/// checkpoint.
+///
+/// The checkpoint is consumed: once the log has grown past it, the old
+/// checkpoint describes a prefix no future audit should restart from (and
+/// moving it lets the accumulated violations transfer into the new
+/// checkpoint without re-copying them every period).
+///
+/// # Errors
+///
+/// Returns a typed [`AuditError`] when the caller's invariants do not hold
+/// (index behind the log, log shorter than the checkpoint, policy changed
+/// since the checkpoint was taken).
+///
+/// # Examples
+///
+/// ```
+/// use privacy_compliance::{check_log, check_log_checkpointed, PrivacyPolicy};
+/// use privacy_runtime::{EventLog, EventLogIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let log = EventLog::new();
+/// let index = EventLogIndex::build(&log);
+/// let policy = PrivacyPolicy::new("empty");
+/// let (report, checkpoint) = check_log_checkpointed(&log, &index, &policy, None)?;
+/// assert_eq!(report, check_log(&log, &policy));
+/// assert_eq!(checkpoint.events_checked(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_log_checkpointed(
+    log: &EventLog,
+    index: &EventLogIndex,
+    policy: &PrivacyPolicy,
+    checkpoint: Option<AuditCheckpoint>,
+) -> Result<(ComplianceReport, AuditCheckpoint), AuditError> {
+    if index.event_count() < log.len() {
+        return Err(AuditError::IndexLagsLog { indexed: index.event_count(), log_len: log.len() });
+    }
+    if index.event_count() > log.len() {
+        return Err(AuditError::IndexAheadOfLog {
+            indexed: index.event_count(),
+            log_len: log.len(),
+        });
+    }
+    let from = match &checkpoint {
+        None => 0usize,
+        Some(checkpoint) => {
+            if checkpoint.events_checked > log.len() {
+                return Err(AuditError::CheckpointAheadOfLog {
+                    checked: checkpoint.events_checked,
+                    log_len: log.len(),
+                });
+            }
+            if checkpoint.statements.len() != policy.len() {
+                return Err(AuditError::PolicyMismatch {
+                    detail: format!(
+                        "checkpoint tracks {} statements, policy has {}",
+                        checkpoint.statements.len(),
+                        policy.len()
+                    ),
+                });
+            }
+            for (position, (tracked, statement)) in
+                checkpoint.statements.iter().zip(policy.iter()).enumerate()
+            {
+                if tracked.id != statement.id() {
+                    return Err(AuditError::PolicyMismatch {
+                        detail: format!(
+                            "statement {position} is `{}` in the checkpoint but `{}` in the \
+                             policy",
+                            tracked.id,
+                            statement.id()
+                        ),
+                    });
+                }
+            }
+            checkpoint.events_checked
+        }
+    };
+
+    let mut prior_statements = checkpoint.map(|checkpoint| checkpoint.statements);
+    let mut outcomes = Vec::with_capacity(policy.len());
+    let mut statements = Vec::with_capacity(policy.len());
+    for (position, statement) in policy.iter().enumerate() {
+        // Move the carried violations out of the consumed checkpoint — the
+        // accumulated list transfers between periods without re-copying.
+        let prior = prior_statements
+            .as_mut()
+            .map(|tracked| std::mem::take(&mut tracked[position].violations))
+            .unwrap_or_default();
+        let outcome = match probe_statement(log, index, statement, from as u32) {
+            StatementOutcome::Checked { statement, violations } => {
+                // Per-event kinds probed only the suffix: splice the carried
+                // prefix violations in front (both are in ascending event
+                // order, so the concatenation is the full-log order).
+                // Aggregate kinds recompute over the whole index and carry
+                // nothing. One copy is unavoidable — the report and the next
+                // checkpoint each own the list.
+                let mut all = prior;
+                all.extend(violations);
+                statements.push(StatementCheckpoint {
+                    id: statement.id().to_owned(),
+                    violations: if accumulates_per_event(&statement) {
+                        all.clone()
+                    } else {
+                        Vec::new()
+                    },
+                });
+                StatementOutcome::Checked { statement, violations: all }
+            }
+            skipped => {
+                statements.push(StatementCheckpoint {
+                    id: statement.id().to_owned(),
+                    violations: Vec::new(),
+                });
+                skipped
+            }
+        };
+        outcomes.push(outcome);
+    }
+    let report = ComplianceReport::new(format!("event log ({} events)", log.len()), outcomes);
+    Ok((report, AuditCheckpoint { events_checked: log.len(), statements }))
+}
+
+/// Whether the statement kind reports one violation per offending event —
+/// the kinds whose checkpointed audits accumulate prefix violations instead
+/// of recomputing from an aggregate.
+fn accumulates_per_event(statement: &Statement) -> bool {
+    matches!(statement.kind(), StatementKind::Forbid { .. } | StatementKind::ServiceLimit { .. })
 }
 
 /// The retained full-scan checker: every statement re-walks the whole log.
@@ -70,12 +337,18 @@ pub fn check_log_scan(log: &EventLog, policy: &PrivacyPolicy) -> ComplianceRepor
 }
 
 /// Checks one statement by probing the index's posting lists and aggregates.
+/// Per-event statement kinds consider only events with id ≥ `from` (the
+/// checkpointed-audit suffix; `0` probes everything); aggregate kinds always
+/// answer from the whole — incrementally maintained — index.
 fn probe_statement(
     log: &EventLog,
     index: &EventLogIndex,
     statement: &Statement,
+    from: u32,
 ) -> StatementOutcome {
     let events = log.events();
+    // Posting lists are ascending, so each suffix past `from` is one
+    // partition-point probe.
     let violations = match statement.kind() {
         StatementKind::Forbid { actors, action, fields } => {
             // Candidates: the action's permitted posting list (or every
@@ -85,6 +358,7 @@ fn probe_statement(
                 Some(action) => index.of_action(*action),
                 None => index.permitted(),
             };
+            let candidates = &candidates[candidates.partition_point(|&id| id < from)..];
             let actor_ok: Vec<bool> =
                 index.actors().iter().map(|actor| actors.matches(actor)).collect();
             let field_mask = match fields {
@@ -110,9 +384,14 @@ fn probe_statement(
                 index.services().iter().map(|service| allowed.contains(service)).collect();
             let candidates: Vec<u32> = match fields {
                 FieldMatcher::Any => {
-                    index.permitted().iter().copied().filter(|&id| index.has_fields(id)).collect()
+                    let permitted = index.permitted();
+                    permitted[permitted.partition_point(|&id| id < from)..]
+                        .iter()
+                        .copied()
+                        .filter(|&id| index.has_fields(id))
+                        .collect()
                 }
-                FieldMatcher::Only(set) => index.involving_any_field(set.iter()),
+                FieldMatcher::Only(set) => index.involving_any_field_from(set.iter(), from),
             };
             candidates
                 .into_iter()

@@ -13,8 +13,8 @@
 //! miss on purpose.
 
 use privacy_compliance::{
-    check_log, check_log_indexed, check_log_scan, ActorMatcher, FieldMatcher, PrivacyPolicy,
-    Statement,
+    check_log, check_log_checkpointed, check_log_indexed, check_log_scan, ActorMatcher,
+    AuditCheckpoint, AuditError, FieldMatcher, PrivacyPolicy, Statement,
 };
 use privacy_lts::ActionKind;
 use privacy_model::{ActorId, Catalog, DatastoreId, FieldId, Record, ServiceId, UserId};
@@ -220,4 +220,147 @@ proptest! {
             );
         }
     }
+
+    /// The log split at two arbitrary cut points and fed to
+    /// [`EventLogIndex::append`] segment by segment equals one from-scratch
+    /// build over the whole log — every column, posting list, timeline and
+    /// bitset (`EventLogIndex` equality is structural).
+    #[test]
+    fn appended_index_equals_from_scratch_build(
+        seed in 0u64..1_000_000,
+        raw_events in 0usize..60,
+        cut_a in 0.0f64..=1.0,
+        cut_b in 0.0f64..=1.0,
+    ) {
+        let (log, _) = random_log(seed, raw_events);
+        let events = log.events();
+        let mut cuts = [
+            ((events.len() as f64) * cut_a) as usize,
+            ((events.len() as f64) * cut_b) as usize,
+        ];
+        cuts.sort_unstable();
+        let (first, second) = (cuts[0].min(events.len()), cuts[1].min(events.len()));
+
+        let mut index = {
+            let mut prefix = EventLog::new();
+            prefix.extend(events[..first].iter().cloned());
+            EventLogIndex::build(&prefix)
+        };
+        index.append(&events[first..second]);
+        index.append(&events[second..]);
+        prop_assert_eq!(index, EventLogIndex::build(&log));
+    }
+
+    /// A chain of checkpointed audits over the growing log — one
+    /// `EventLogIndex::append` plus one `check_log_checkpointed` per period
+    /// — reports exactly what a from-scratch `check_log_scan` over each
+    /// prefix reports, at every period boundary.
+    #[test]
+    fn checkpointed_audit_chain_equals_scan_at_every_period(
+        seed in 0u64..1_000_000,
+        raw_events in 0usize..60,
+        periods in 1usize..6,
+    ) {
+        let (log, catalog) = random_log(seed, raw_events);
+        let policy = exercise_policy(&catalog);
+        let events = log.events();
+        let step = events.len().div_ceil(periods).max(1);
+
+        let mut index = EventLogIndex::build(&EventLog::new());
+        let mut checkpoint: Option<AuditCheckpoint> = None;
+        let mut covered = 0usize;
+        loop {
+            let bound = (covered + step).min(events.len());
+            index.append(&events[covered..bound]);
+            covered = bound;
+            let mut prefix = EventLog::new();
+            prefix.extend(events[..bound].iter().cloned());
+            let (report, next) =
+                check_log_checkpointed(&prefix, &index, &policy, checkpoint.take())
+                    .expect("audit invariants hold");
+            prop_assert_eq!(&report, &check_log_scan(&prefix, &policy));
+            prop_assert_eq!(next.events_checked(), bound);
+            prop_assert_eq!(next.statement_count(), policy.len());
+            checkpoint = Some(next);
+            if covered == events.len() {
+                break;
+            }
+        }
+    }
+}
+
+/// Broken audit invariants surface as typed [`AuditError`]s, never as a
+/// silently wrong report.
+#[test]
+fn checkpointed_audit_rejects_broken_invariants() {
+    let (log, catalog) = random_log(9, 25);
+    let policy = exercise_policy(&catalog);
+    let index = EventLogIndex::build(&log);
+
+    // An index lagging the log (caller forgot to append).
+    let stale = {
+        let mut prefix = EventLog::new();
+        prefix.extend(log.events()[..log.len() / 2].iter().cloned());
+        EventLogIndex::build(&prefix)
+    };
+    assert!(matches!(
+        check_log_checkpointed(&log, &stale, &policy, None),
+        Err(AuditError::IndexLagsLog { .. })
+    ));
+
+    // An index ahead of the log (a suffix appended twice, or the wrong log)
+    // is the opposite direction and gets the opposite diagnosis.
+    let half = {
+        let mut prefix = EventLog::new();
+        prefix.extend(log.events()[..log.len() / 2].iter().cloned());
+        prefix
+    };
+    assert!(matches!(
+        check_log_checkpointed(&half, &index, &policy, None),
+        Err(AuditError::IndexAheadOfLog { .. })
+    ));
+
+    // A checkpoint ahead of the log (the append-only invariant broke).
+    let (_, checkpoint) =
+        check_log_checkpointed(&log, &index, &policy, None).expect("fresh audit runs");
+    let shorter = {
+        let mut prefix = EventLog::new();
+        prefix.extend(log.events()[..log.len() / 2].iter().cloned());
+        prefix
+    };
+    let shorter_index = EventLogIndex::build(&shorter);
+    assert!(matches!(
+        check_log_checkpointed(&shorter, &shorter_index, &policy, Some(checkpoint.clone())),
+        Err(AuditError::CheckpointAheadOfLog { .. })
+    ));
+
+    // A checkpoint taken against a different policy.
+    let other_policy = PrivacyPolicy::new("other").with_statement(Statement::forbid(
+        "UNRELATED",
+        "nobody does anything",
+        ActorMatcher::Any,
+        None,
+        FieldMatcher::Any,
+    ));
+    assert!(matches!(
+        check_log_checkpointed(&log, &index, &other_policy, Some(checkpoint.clone())),
+        Err(AuditError::PolicyMismatch { .. })
+    ));
+    // Same statement count but a different id also mismatches.
+    let mut renamed: Vec<Statement> = policy.iter().cloned().collect();
+    if let Some(first) = renamed.first_mut() {
+        *first = Statement::forbid(
+            "RENAMED",
+            "renamed statement",
+            ActorMatcher::Any,
+            None,
+            FieldMatcher::Any,
+        );
+    }
+    let renamed_policy =
+        renamed.into_iter().fold(PrivacyPolicy::new("renamed"), |p, s| p.with_statement(s));
+    assert!(matches!(
+        check_log_checkpointed(&log, &index, &renamed_policy, Some(checkpoint)),
+        Err(AuditError::PolicyMismatch { .. })
+    ));
 }

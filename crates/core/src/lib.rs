@@ -44,12 +44,12 @@ pub mod casestudy;
 pub mod pipeline;
 pub mod system;
 
-pub use pipeline::{Pipeline, PipelineOutcome};
+pub use pipeline::{Pipeline, PipelineOutcome, PopulationOutcome};
 pub use system::{PrivacySystem, PrivacySystemBuilder};
 
 /// Convenience re-export of the most commonly used items.
 pub mod prelude {
     pub use crate::casestudy;
-    pub use crate::pipeline::{Pipeline, PipelineOutcome};
+    pub use crate::pipeline::{Pipeline, PipelineOutcome, PopulationOutcome};
     pub use crate::system::{PrivacySystem, PrivacySystemBuilder};
 }

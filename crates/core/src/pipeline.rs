@@ -9,6 +9,7 @@ use privacy_risk::{
     RiskReport,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// The result of running the pipeline for one user: the annotated LTS and the
 /// combined risk report.
@@ -32,13 +33,19 @@ impl fmt::Display for PipelineOutcome {
 /// [`Pipeline::analyse_user`]. The LTS is not mutated, so the index remains
 /// a faithful snapshot — downstream consumers (compliance checks, queries,
 /// the runtime monitor) can keep probing it via
-/// [`PopulationOutcome::query`].
+/// [`PopulationOutcome::query`]. The index is reference-counted so the
+/// operation-time layer can hold on to it beyond the outcome's lifetime:
+/// [`PopulationOutcome::shared_index`] is what a fresh *or resumed*
+/// `privacy_runtime::IndexedMonitor` is constructed over, and
+/// [`PopulationOutcome::index_fingerprint`] is the value a persisted monitor
+/// snapshot is validated against on restart.
 #[derive(Debug, Clone)]
 pub struct PopulationOutcome {
     /// The generated (unannotated) LTS.
     pub lts: Lts,
-    /// The columnar analysis index built once over [`PopulationOutcome::lts`].
-    pub index: LtsIndex,
+    /// The columnar analysis index built once over [`PopulationOutcome::lts`],
+    /// shared with any monitors constructed (or resumed) over it.
+    pub index: Arc<LtsIndex>,
     /// One read-only disclosure report per user, in input order.
     pub reports: Vec<DisclosureReport>,
 }
@@ -47,6 +54,21 @@ impl PopulationOutcome {
     /// An index-backed query over the generated LTS.
     pub fn query(&self) -> LtsQuery<'_> {
         LtsQuery::with_index(&self.lts, &self.index)
+    }
+
+    /// A shared handle on the analysis index — the design-time build a
+    /// streaming monitor probes, and the one a monitor snapshot taken
+    /// against it can be resumed over after a restart.
+    pub fn shared_index(&self) -> Arc<LtsIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// The fingerprint of the shared index (see
+    /// [`LtsIndex::fingerprint`]): persisted monitor snapshots record it,
+    /// and resuming validates it, so state accumulated against one model
+    /// generation can never be silently reinterpreted under another.
+    pub fn index_fingerprint(&self) -> u64 {
+        self.index.fingerprint()
     }
 }
 
@@ -157,7 +179,7 @@ impl<'a> Pipeline<'a> {
         threads: Option<usize>,
     ) -> Result<PopulationOutcome, ModelError> {
         let lts = self.system.generate_lts_with(&self.generator)?;
-        let index = LtsIndex::build(&lts);
+        let index = Arc::new(LtsIndex::build(&lts));
         let reports = DisclosureAnalysis::new(self.system.catalog(), self.system.policy())
             .with_matrix(self.matrix.clone())
             .with_likelihood(self.likelihood.clone())

@@ -1,0 +1,492 @@
+//! A small framed **binary codec** for persistable pipeline artefacts.
+//!
+//! The textual `.psm` format in this crate carries *models*; restartable
+//! runtime components (the monitor snapshots of `privacy-runtime`) need a
+//! compact, integrity-checked byte format for *state*. This module provides
+//! the shared framing both directions agree on:
+//!
+//! ```text
+//! ┌───────────┬──────────┬─────────────┬──────────────┬─────────┬─────────────┐
+//! │ magic (4) │ kind (4) │ version u32 │ pay_len  u64 │ payload │ checksum u64│
+//! └───────────┴──────────┴─────────────┴──────────────┴─────────┴─────────────┘
+//! ```
+//!
+//! * the **magic** pins the codec family, the caller-chosen **kind** tag pins
+//!   the artefact type (a monitor snapshot is never confused with some future
+//!   artefact sharing the framing);
+//! * the explicit **version** lets readers reject formats they do not speak
+//!   with a typed error instead of misparsing them;
+//! * the **payload length** makes truncation detectable before any payload
+//!   read, and the trailing **FNV-1a checksum** (computed over everything
+//!   before it) makes corruption — bit flips anywhere in the frame —
+//!   detectable;
+//! * every read returns a typed [`CodecError`]; no input, however mangled,
+//!   panics a decoder.
+//!
+//! All integers are little-endian. The primitive vocabulary (bytes, bools,
+//! `u32`/`u64`/`f64`, strings, `u64` slices) is exactly what the snapshot
+//! formats need; higher-level structure lives with the artefact owner.
+
+use std::error::Error;
+use std::fmt;
+
+/// The codec-family magic: "privacy-mde binary frame".
+const MAGIC: [u8; 4] = *b"PMBF";
+
+/// Frame bytes before the payload: magic, kind, version, payload length.
+const HEADER_LEN: usize = 4 + 4 + 4 + 8;
+
+/// Trailing checksum width.
+const CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a 64-bit over a byte slice — the frame checksum. Not cryptographic;
+/// it detects truncation remnants, bit flips and transposition, which is the
+/// threat model for state files on trusted storage.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A typed decoding failure. Every variant names what was being read, so the
+/// error message alone places the corruption.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input does not start with the codec magic, or carries a different
+    /// artefact kind than the reader expects.
+    BadMagic {
+        /// The four kind bytes the reader expected (or the codec magic).
+        expected: [u8; 4],
+        /// What the input carried instead (zero-padded when shorter).
+        found: [u8; 4],
+    },
+    /// The frame declares a format version this reader does not speak.
+    UnsupportedVersion {
+        /// The version the frame declares.
+        found: u32,
+        /// The version the reader supports.
+        supported: u32,
+    },
+    /// The input ends before the declared content does.
+    Truncated {
+        /// How many bytes the current read needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// The trailing checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// The checksum recorded in the frame.
+        recorded: u64,
+        /// The checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// The frame decoded cleanly but bytes remain after the declared payload
+    /// was consumed.
+    TrailingBytes {
+        /// How many undeclared bytes follow the payload.
+        extra: usize,
+    },
+    /// A field decoded to a value its type cannot carry (bad UTF-8, an
+    /// out-of-range discriminant, an impossible count).
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Why the value is impossible.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected `{}`, found `{}`",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            CodecError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this reader speaks {supported})")
+            }
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} more bytes, {available} available")
+            }
+            CodecError::ChecksumMismatch { recorded, computed } => write!(
+                f,
+                "checksum mismatch: frame records {recorded:#018x}, contents hash to \
+                 {computed:#018x}"
+            ),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the declared payload")
+            }
+            CodecError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Writes one framed artefact. Primitive writes append to the payload;
+/// [`Encoder::finish`] seals the frame with the length and checksum.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_interchange::binary::{Decoder, Encoder};
+///
+/// let mut encoder = Encoder::new(*b"DEMO", 1);
+/// encoder.u64(42);
+/// encoder.str("hello");
+/// let bytes = encoder.finish();
+///
+/// let mut decoder = Decoder::new(&bytes, *b"DEMO", 1).unwrap();
+/// assert_eq!(decoder.u64().unwrap(), 42);
+/// assert_eq!(decoder.string().unwrap(), "hello");
+/// decoder.finish().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Encoder {
+    kind: [u8; 4],
+    version: u32,
+    payload: Vec<u8>,
+}
+
+impl Encoder {
+    /// Starts a frame of the given artefact kind and format version.
+    pub fn new(kind: [u8; 4], version: u32) -> Encoder {
+        Encoder { kind, version, payload: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, value: u8) {
+        self.payload.push(value);
+    }
+
+    /// Appends a bool as one byte (`0` / `1`).
+    pub fn bool(&mut self, value: bool) {
+        self.payload.push(u8::from(value));
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, value: u32) {
+        self.payload.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, value: u64) {
+        self.payload.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, value: &str) {
+        self.u32(value.len() as u32);
+        self.payload.extend_from_slice(value.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u64` slice (bitset words, timelines).
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.u32(values.len() as u32);
+        for &value in values {
+            self.u64(value);
+        }
+    }
+
+    /// Seals the frame: header, payload, trailing checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.kind);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+}
+
+/// Reads one framed artefact. [`Decoder::new`] validates magic, kind,
+/// version, declared length and checksum before any payload read;
+/// [`Decoder::finish`] asserts the payload was consumed exactly.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    payload: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Opens a frame, validating the envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CodecError`] describing the first envelope
+    /// problem: wrong magic or kind, unsupported version, truncation
+    /// (anywhere from the header to the checksum) or a checksum mismatch.
+    pub fn new(bytes: &'a [u8], kind: [u8; 4], version: u32) -> Result<Decoder<'a>, CodecError> {
+        let take4 = |at: usize| -> [u8; 4] {
+            let mut out = [0u8; 4];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = bytes.get(at + i).copied().unwrap_or(0);
+            }
+            out
+        };
+        if bytes.len() < HEADER_LEN {
+            // Distinguish "not even our magic" from "our magic, cut short".
+            if bytes.len() >= 4 && bytes[..4] != MAGIC {
+                return Err(CodecError::BadMagic { expected: MAGIC, found: take4(0) });
+            }
+            return Err(CodecError::Truncated { needed: HEADER_LEN, available: bytes.len() });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(CodecError::BadMagic { expected: MAGIC, found: take4(0) });
+        }
+        if bytes[4..8] != kind {
+            return Err(CodecError::BadMagic { expected: kind, found: take4(4) });
+        }
+        let found_version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if found_version != version {
+            return Err(CodecError::UnsupportedVersion {
+                found: found_version,
+                supported: version,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| CodecError::Truncated { needed: usize::MAX, available: bytes.len() })?;
+        let framed_len = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(CHECKSUM_LEN))
+            .ok_or(CodecError::Truncated { needed: usize::MAX, available: bytes.len() })?;
+        if bytes.len() < framed_len {
+            return Err(CodecError::Truncated { needed: framed_len, available: bytes.len() });
+        }
+        if bytes.len() > framed_len {
+            return Err(CodecError::TrailingBytes { extra: bytes.len() - framed_len });
+        }
+        let recorded = u64::from_le_bytes(
+            bytes[framed_len - CHECKSUM_LEN..framed_len].try_into().expect("8 bytes"),
+        );
+        let computed = fnv1a(&bytes[..framed_len - CHECKSUM_LEN]);
+        if recorded != computed {
+            return Err(CodecError::ChecksumMismatch { recorded, computed });
+        }
+        Ok(Decoder { payload: &bytes[HEADER_LEN..framed_len - CHECKSUM_LEN], offset: 0 })
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let available = self.payload.len() - self.offset;
+        if available < len {
+            return Err(CodecError::Truncated { needed: len, available });
+        }
+        let slice = &self.payload[self.offset..self.offset + len];
+        self.offset += len;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than `0`/`1` is malformed.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Malformed {
+                what: "bool",
+                detail: format!("byte {other} is neither 0 nor 1"),
+            }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|error| CodecError::Malformed { what: "string", detail: error.to_string() })
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.u32()? as usize;
+        // Bound the allocation by what the remaining payload can carry, so a
+        // corrupted count cannot trigger a huge allocation before the
+        // per-element reads fail.
+        let available = (self.payload.len() - self.offset) / 8;
+        if len > available {
+            return Err(CodecError::Truncated { needed: len * 8, available: available * 8 });
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(self.u64()?);
+        }
+        Ok(values)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::TrailingBytes`] if undeclared payload remains —
+    /// a decoder that stops early has misread the format.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.offset < self.payload.len() {
+            return Err(CodecError::TrailingBytes { extra: self.payload.len() - self.offset });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIND: [u8; 4] = *b"TEST";
+
+    fn sample_frame() -> Vec<u8> {
+        let mut encoder = Encoder::new(KIND, 3);
+        encoder.u8(7);
+        encoder.bool(true);
+        encoder.u32(123_456);
+        encoder.u64(u64::MAX - 1);
+        encoder.f64(0.75);
+        encoder.str("snapshot");
+        encoder.u64_slice(&[1, 2, 3]);
+        encoder.finish()
+    }
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let bytes = sample_frame();
+        let mut decoder = Decoder::new(&bytes, KIND, 3).unwrap();
+        assert_eq!(decoder.u8().unwrap(), 7);
+        assert!(decoder.bool().unwrap());
+        assert_eq!(decoder.u32().unwrap(), 123_456);
+        assert_eq!(decoder.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(decoder.f64().unwrap(), 0.75);
+        assert_eq!(decoder.string().unwrap(), "snapshot");
+        assert_eq!(decoder.u64_slice().unwrap(), vec![1, 2, 3]);
+        decoder.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_kind_and_version() {
+        let bytes = sample_frame();
+        assert!(matches!(
+            Decoder::new(b"not a frame at all", KIND, 3),
+            Err(CodecError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Decoder::new(&bytes, *b"ELSE", 3),
+            Err(CodecError::BadMagic { expected: [b'E', b'L', b'S', b'E'], .. })
+        ));
+        assert!(matches!(
+            Decoder::new(&bytes, KIND, 4),
+            Err(CodecError::UnsupportedVersion { found: 3, supported: 4 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample_frame();
+        for len in 0..bytes.len() {
+            let error = Decoder::new(&bytes[..len], KIND, 3)
+                .map(|_| ())
+                .expect_err("truncated frame must not open");
+            assert!(
+                matches!(error, CodecError::Truncated { .. } | CodecError::BadMagic { .. }),
+                "prefix of {len} bytes produced {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_any_single_bit_flip() {
+        let bytes = sample_frame();
+        for position in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[position] ^= 1 << bit;
+                assert!(
+                    Decoder::new(&flipped, KIND, 3).is_err(),
+                    "flipping bit {bit} of byte {position} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample_frame();
+        bytes.push(0);
+        assert!(matches!(
+            Decoder::new(&bytes, KIND, 3),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn finish_rejects_unread_payload() {
+        let bytes = sample_frame();
+        let decoder = Decoder::new(&bytes, KIND, 3).unwrap();
+        assert!(matches!(decoder.finish(), Err(CodecError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn malformed_values_are_typed_not_panics() {
+        let mut encoder = Encoder::new(KIND, 1);
+        encoder.u8(9); // neither 0 nor 1
+        let bytes = encoder.finish();
+        let mut decoder = Decoder::new(&bytes, KIND, 1).unwrap();
+        assert!(matches!(decoder.bool(), Err(CodecError::Malformed { what: "bool", .. })));
+
+        let mut encoder = Encoder::new(KIND, 1);
+        encoder.u32(3);
+        encoder.u8(0xFF); // invalid UTF-8 start, declared length 3 but 1 byte
+        let bytes = encoder.finish();
+        let mut decoder = Decoder::new(&bytes, KIND, 1).unwrap();
+        assert!(matches!(decoder.string(), Err(CodecError::Truncated { .. })));
+
+        // A corrupted element count larger than the remaining payload is
+        // rejected before allocating.
+        let mut encoder = Encoder::new(KIND, 1);
+        encoder.u32(u32::MAX);
+        let bytes = encoder.finish();
+        let mut decoder = Decoder::new(&bytes, KIND, 1).unwrap();
+        assert!(matches!(decoder.u64_slice(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_payload_frames_round_trip() {
+        let bytes = Encoder::new(KIND, 1).finish();
+        let decoder = Decoder::new(&bytes, KIND, 1).unwrap();
+        decoder.finish().unwrap();
+    }
+}

@@ -47,7 +47,9 @@
 //! * [`printer`] — the inverse direction: rendering an existing system (and
 //!   users) back into canonical `.psm` text, which round-trips through the
 //!   parser;
-//! * [`error`] — parse/resolve diagnostics with source excerpts.
+//! * [`error`] — parse/resolve diagnostics with source excerpts;
+//! * [`binary`] — the framed, checksummed binary codec persistable runtime
+//!   artefacts (monitor snapshots) are serialized through.
 //!
 //! # Example
 //!
@@ -81,6 +83,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod binary;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -90,6 +93,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::ModelAst;
+pub use binary::{CodecError, Decoder, Encoder};
 pub use error::{InterchangeError, InterchangeErrorKind};
 pub use parser::parse_ast;
 pub use printer::{render_document, render_system};

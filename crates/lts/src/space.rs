@@ -74,6 +74,27 @@ impl VarSpace {
         )
     }
 
+    /// A stable fingerprint of the space layout: the ordered actor and field
+    /// vocabularies (and therefore the bit assignment of every state
+    /// variable). Two spaces with equal fingerprints lay out
+    /// [`crate::state::PrivacyState`] words identically, which is what a
+    /// persisted monitor snapshot must re-validate before its word rows can
+    /// be rehydrated. FxHash is deterministic (no per-process seed), so the
+    /// fingerprint is comparable across process restarts.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = crate::hash::FxHasher::default();
+        self.actors.len().hash(&mut hasher);
+        for actor in &self.actors {
+            actor.hash(&mut hasher);
+        }
+        self.fields.len().hash(&mut hasher);
+        for field in &self.fields {
+            field.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
     /// The actors, in index order.
     pub fn actors(&self) -> &[ActorId] {
         &self.actors

@@ -29,6 +29,7 @@
 
 use crate::event::{Event, EventLog};
 use crate::monitor::Alert;
+use crate::snapshot::{MonitorSnapshot, ShardSnapshot, SnapshotError, UserRow};
 use privacy_access::{AccessPolicy, Permission};
 use privacy_lts::space::VarKind;
 use privacy_lts::{ActionKind, FxHashMap, FxHasher, LtsIndex, PrivacyState};
@@ -265,6 +266,131 @@ impl IndexedMonitor {
     /// the hand-off point for a downstream consumer between batches.
     pub fn drain_alerts(&mut self) -> Vec<Alert> {
         std::mem::take(&mut self.alerts)
+    }
+
+    /// Captures the monitor's accumulated state — per-user privacy-state
+    /// word rows (with the registration-time resolved allowed-actor bitsets
+    /// and sensitivities) and the not-yet-drained alerts — as a versioned
+    /// [`MonitorSnapshot`] keyed on the index's fingerprint. Users are
+    /// grouped by shard and sorted by id within each shard, so the snapshot
+    /// is identical whatever thread count produced the state.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let space = self.index.space();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, shard)| !shard.users.is_empty())
+            .map(|(i, shard)| {
+                let mut users: Vec<UserRow> = shard
+                    .users
+                    .iter()
+                    .map(|(user, slot)| UserRow {
+                        user: user.clone(),
+                        words: slot.words.clone(),
+                        allowed: slot.allowed.clone(),
+                        sensitivities: slot.sensitivities.iter().map(|s| s.value()).collect(),
+                    })
+                    .collect();
+                users.sort_by(|a, b| a.user.cmp(&b.user));
+                ShardSnapshot { shard: i as u32, users }
+            })
+            .collect();
+        MonitorSnapshot {
+            fingerprint: self.index.fingerprint(),
+            state_words: space.variable_count().div_ceil(64) as u32,
+            allowed_words: space.actor_count().div_ceil(64) as u32,
+            field_count: space.field_count() as u32,
+            shards,
+            pending_alerts: self.alerts.clone(),
+        }
+    }
+
+    /// Reconstructs a monitor from the model artefacts plus a snapshot: the
+    /// restart path. The catalog, policy and index are the same design-time
+    /// inputs [`IndexedMonitor::new`] takes (they are *not* persisted — the
+    /// snapshot carries only runtime-accumulated state); every user's shard
+    /// is re-derived from their id, so a snapshot exported at one thread
+    /// count rehydrates at any other. Ingesting the stream suffix after a
+    /// resume yields exactly the alerts and states an uninterrupted run
+    /// would have produced (pinned by the recovery property tests).
+    ///
+    /// **Monitor configuration is not persisted either**: like the catalog
+    /// and policy, the alert threshold, risk matrix, likelihood model and
+    /// thread count are construction-time inputs, and the resumed monitor
+    /// starts from their defaults. A monitor that ran with non-default
+    /// configuration must have the same builders re-applied after the
+    /// resume (they only affect how *future* events alert, never the
+    /// restored state, so applying them post-resume is exact — pinned by
+    /// `resuming_with_reapplied_configuration_matches_uninterrupted_run`):
+    ///
+    /// ```ignore
+    /// let monitor = IndexedMonitor::resume_from(catalog, policy, index, &snapshot)?
+    ///     .with_alert_threshold(RiskLevel::Low) // same config as the first life
+    ///     .with_threads(Some(2));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::IndexMismatch`] when the snapshot was taken
+    /// against an index with a different fingerprint (different variable
+    /// layout or vocabulary — the word rows would be reinterpreted), and
+    /// [`SnapshotError::Malformed`] when the snapshot's dimensions cannot
+    /// describe this index's space.
+    pub fn resume_from(
+        catalog: Catalog,
+        policy: AccessPolicy,
+        index: Arc<LtsIndex>,
+        snapshot: &MonitorSnapshot,
+    ) -> Result<IndexedMonitor, SnapshotError> {
+        let expected = index.fingerprint();
+        if snapshot.fingerprint != expected {
+            return Err(SnapshotError::IndexMismatch {
+                snapshot: snapshot.fingerprint,
+                index: expected,
+            });
+        }
+        let space = index.space();
+        let dims = (
+            space.variable_count().div_ceil(64) as u32,
+            space.actor_count().div_ceil(64) as u32,
+            space.field_count() as u32,
+        );
+        if (snapshot.state_words, snapshot.allowed_words, snapshot.field_count) != dims {
+            return Err(SnapshotError::Malformed {
+                detail: format!(
+                    "snapshot dimensions ({}, {}, {}) do not describe the index's space \
+                     ({}, {}, {})",
+                    snapshot.state_words,
+                    snapshot.allowed_words,
+                    snapshot.field_count,
+                    dims.0,
+                    dims.1,
+                    dims.2
+                ),
+            });
+        }
+        let mut monitor = IndexedMonitor::new(catalog, policy, index);
+        for shard in &snapshot.shards {
+            for row in &shard.users {
+                let sensitivities = row
+                    .sensitivities
+                    .iter()
+                    .map(|&value| Sensitivity::new(value))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|error| SnapshotError::Malformed {
+                        detail: format!("user `{}`: {error}", row.user),
+                    })?;
+                let slot = UserSlot {
+                    words: row.words.clone(),
+                    allowed: row.allowed.clone(),
+                    sensitivities,
+                };
+                monitor.shards[shard_of(&row.user)].users.insert(row.user.clone(), slot);
+            }
+        }
+        monitor.alerts = snapshot.pending_alerts.clone();
+        Ok(monitor)
     }
 
     /// Consumes one event. Behaviourally equivalent to a one-event

@@ -21,7 +21,11 @@
 //!   state is sharded by `UserId` hash over worker threads, with an alert
 //!   stream pinned identical to the scan monitor;
 //! * [`log_index`] — the columnar [`EventLogIndex`] the operation-time
-//!   compliance checker probes instead of re-scanning the log per statement;
+//!   compliance checker probes instead of re-scanning the log per statement,
+//!   append-aware so periodic audits over the (append-only) log pay only for
+//!   the new suffix;
+//! * [`snapshot`] — versioned, checksummed [`MonitorSnapshot`]s so a monitor
+//!   can restart mid-stream and resume exactly where it left off;
 //! * [`concurrent`] — a crossbeam-based concurrent workload driver.
 
 #![forbid(unsafe_code)]
@@ -33,6 +37,7 @@ pub mod event;
 pub mod indexed;
 pub mod log_index;
 pub mod monitor;
+pub mod snapshot;
 pub mod store;
 
 pub use concurrent::{run_concurrent_workload, ConcurrentConfig};
@@ -41,6 +46,7 @@ pub use event::{Event, EventLog};
 pub use indexed::IndexedMonitor;
 pub use log_index::{ErasureTimeline, EventLogIndex};
 pub use monitor::{Alert, RuntimeMonitor};
+pub use snapshot::{MonitorSnapshot, ShardSnapshot, SnapshotError};
 pub use store::DatastoreState;
 
 /// Convenience re-export of the most commonly used items.
@@ -51,5 +57,6 @@ pub mod prelude {
     pub use crate::indexed::IndexedMonitor;
     pub use crate::log_index::{ErasureTimeline, EventLogIndex};
     pub use crate::monitor::{Alert, RuntimeMonitor};
+    pub use crate::snapshot::{MonitorSnapshot, ShardSnapshot, SnapshotError};
     pub use crate::store::DatastoreState;
 }

@@ -24,8 +24,20 @@
 //! lists. `privacy_compliance::check_log` probes this index;
 //! `check_log_scan` retains the original full-scan semantics and the
 //! differential property tests pin the two identical.
+//!
+//! The index is **append-aware**: the event log is append-only, so
+//! [`EventLogIndex::append`] extends the columns, posting lists, erasure
+//! timelines and observer bitsets in place — re-laying out the packed
+//! bitsets only when the interned vocabulary outgrows its word stride — and
+//! is pinned identical to a from-scratch [`EventLogIndex::build`] over the
+//! whole log, for every split of the log into appended segments
+//! (`PartialEq` covers every column and posting, and the
+//! `appended_index_equals_from_scratch_build` property tests exercise random
+//! cut points). Periodic audits exploit this through
+//! `privacy_compliance::check_log_checkpointed`, which pays only for the
+//! appended suffix.
 
-use crate::event::EventLog;
+use crate::event::{Event, EventLog};
 use privacy_lts::ActionKind;
 use privacy_model::{ActorId, FieldId, Interner, ServiceId, UserId};
 use std::collections::BTreeMap;
@@ -82,7 +94,7 @@ impl ErasureTimeline {
 /// assert_eq!(index.of_action(ActionKind::Read), &[0]);
 /// assert_eq!(index.observing_actors(&FieldId::new("Diagnosis")).len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventLogIndex {
     event_count: usize,
     actors: Interner<ActorId>,
@@ -235,6 +247,145 @@ impl EventLogIndex {
         }
     }
 
+    /// Extends the index in place with events appended to the log since it
+    /// was built (or last appended to) — the log is append-only, so this is
+    /// the maintenance operation a periodic audit needs: O(suffix) instead
+    /// of an O(log) rebuild. The events must be exactly
+    /// `log[self.event_count()..]` of the log the index describes; after the
+    /// call the index equals a from-scratch [`EventLogIndex::build`] over
+    /// the whole log (pinned by `PartialEq` in the
+    /// `appended_index_equals_from_scratch_build` property tests).
+    ///
+    /// Interners only ever grow, and in the same first-occurrence order the
+    /// from-scratch build assigns; when new fields or actors widen a packed
+    /// bitset's word stride, the existing rows are re-laid out once.
+    pub fn append(&mut self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        // Pass 1: extend the interners in build()'s order — per event, the
+        // actor, the service, then the label fields — so dense indices keep
+        // matching the from-scratch assignment. The resolved ids are kept so
+        // pass 2 never re-hashes an identifier string.
+        let resolved: Vec<(u32, u32, Vec<u32>)> = events
+            .iter()
+            .map(|event| {
+                let actor = self.actors.intern(event.actor().clone());
+                let service = self.services.intern(event.service().clone());
+                let fields =
+                    event.fields().iter().map(|field| self.fields.intern(field.clone())).collect();
+                (actor, service, fields)
+            })
+            .collect();
+
+        // Re-layout the per-event field bitsets if the field vocabulary
+        // outgrew the word stride.
+        let words_per_event = self.fields.len().div_ceil(64).max(1);
+        if words_per_event > self.words_per_event {
+            let mut grown = vec![0u64; self.event_count * words_per_event];
+            for event in 0..self.event_count {
+                grown[event * words_per_event..event * words_per_event + self.words_per_event]
+                    .copy_from_slice(
+                        &self.field_words
+                            [event * self.words_per_event..(event + 1) * self.words_per_event],
+                    );
+            }
+            self.field_words = grown;
+            self.words_per_event = words_per_event;
+        }
+
+        // Re-layout the per-field observer bitsets if the actor vocabulary
+        // outgrew the stride, and extend them for newly interned fields.
+        let words_per_observer_set = self.actors.len().div_ceil(64).max(1);
+        if words_per_observer_set > self.words_per_observer_set {
+            let old_fields = self.observers.len() / self.words_per_observer_set;
+            let mut grown = vec![0u64; self.fields.len() * words_per_observer_set];
+            for field in 0..old_fields {
+                grown[field * words_per_observer_set
+                    ..field * words_per_observer_set + self.words_per_observer_set]
+                    .copy_from_slice(
+                        &self.observers[field * self.words_per_observer_set
+                            ..(field + 1) * self.words_per_observer_set],
+                    );
+            }
+            self.observers = grown;
+            self.words_per_observer_set = words_per_observer_set;
+        } else {
+            self.observers.resize(self.fields.len() * self.words_per_observer_set, 0);
+        }
+        self.by_field.resize_with(self.fields.len(), Vec::new);
+
+        // Pass 2: columns, postings, observer bits and erasure timelines,
+        // exactly the from-scratch build's per-event logic.
+        for (event, (actor, service, field_ids)) in events.iter().zip(&resolved) {
+            let id = self.event_count as u32;
+            self.event_count += 1;
+            let action = event.action().table_index() as u8;
+            let actor = *actor;
+            self.action_col.push(action);
+            self.actor_col.push(actor);
+            self.service_col.push(*service);
+            let row = self.field_words.len();
+            self.field_words.resize(row + self.words_per_event, 0);
+            for &field in field_ids {
+                self.field_words[row + field as usize / 64] |= 1u64 << (field % 64);
+            }
+            if !event.permitted() {
+                continue;
+            }
+            self.permitted.push(id);
+            self.by_action[action as usize].push(id);
+            for &field in field_ids {
+                self.by_field[field as usize].push(id);
+            }
+            match event.action() {
+                ActionKind::Read | ActionKind::Collect | ActionKind::Disclose => {
+                    for &field in field_ids {
+                        self.observers
+                            [field as usize * self.words_per_observer_set + actor as usize / 64] |=
+                            1u64 << (actor % 64);
+                    }
+                }
+                _ => {}
+            }
+            match event.action() {
+                ActionKind::Collect | ActionKind::Create | ActionKind::Anon => {
+                    for field in event.fields() {
+                        self.erasure
+                            .entry((event.user().clone(), field.clone()))
+                            .and_modify(|timeline| {
+                                if timeline.first_stored == u64::MAX {
+                                    timeline.first_stored = event.sequence();
+                                }
+                            })
+                            .or_insert(ErasureTimeline {
+                                first_stored: event.sequence(),
+                                last_deleted: None,
+                            });
+                    }
+                }
+                ActionKind::Delete => {
+                    for field in event.fields() {
+                        self.erasure
+                            .entry((event.user().clone(), field.clone()))
+                            .and_modify(|timeline| {
+                                timeline.last_deleted = Some(
+                                    timeline.last_deleted.map_or(event.sequence(), |latest| {
+                                        latest.max(event.sequence())
+                                    }),
+                                );
+                            })
+                            .or_insert(ErasureTimeline {
+                                first_stored: u64::MAX,
+                                last_deleted: Some(event.sequence()),
+                            });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Number of events the index covers (the log's length at build time).
     pub fn event_count(&self) -> usize {
         self.event_count
@@ -294,8 +445,25 @@ impl EventLogIndex {
         &self,
         fields: impl IntoIterator<Item = &'a FieldId>,
     ) -> Vec<u32> {
-        let mut union: Vec<u32> =
-            fields.into_iter().flat_map(|field| self.involving_field(field)).copied().collect();
+        self.involving_any_field_from(fields, 0)
+    }
+
+    /// [`EventLogIndex::involving_any_field`] restricted to event ids
+    /// ≥ `from`: each posting list contributes only its suffix (one
+    /// partition-point probe — the lists are ascending), so a checkpointed
+    /// audit never re-walks the already-covered prefix of a busy field.
+    pub fn involving_any_field_from<'a>(
+        &self,
+        fields: impl IntoIterator<Item = &'a FieldId>,
+        from: u32,
+    ) -> Vec<u32> {
+        let mut union: Vec<u32> = fields
+            .into_iter()
+            .flat_map(|field| {
+                let list = self.involving_field(field);
+                list[list.partition_point(|&id| id < from)..].iter().copied()
+            })
+            .collect();
         union.sort_unstable();
         union.dedup();
         union
@@ -474,5 +642,63 @@ mod tests {
         assert_eq!(index.event_count(), 0);
         assert!(index.permitted().is_empty());
         assert!(index.erasure_timelines().next().is_none());
+    }
+
+    #[test]
+    fn append_at_every_cut_equals_the_from_scratch_build() {
+        let log = sample_log();
+        let full = EventLogIndex::build(&log);
+        for cut in 0..=log.len() {
+            let mut prefix_log = EventLog::new();
+            prefix_log.extend(log.events()[..cut].iter().cloned());
+            let mut index = EventLogIndex::build(&prefix_log);
+            index.append(&log.events()[cut..]);
+            assert_eq!(index, full, "append after cut {cut} diverges from build");
+        }
+    }
+
+    #[test]
+    fn append_grows_the_vocabulary_and_relayouts_bitsets() {
+        // A tail whose 70 fresh fields and 70 fresh actors force both packed
+        // bitset strides to widen mid-append.
+        let mut log = sample_log();
+        let cut = log.len();
+        for i in 0..70u64 {
+            log.append(Event::new(
+                cut as u64 + i,
+                "alice",
+                "MedicalService",
+                format!("LateActor{i}"),
+                ActionKind::Read,
+                [FieldId::new(format!("LateField{i}"))],
+                Some(DatastoreId::new("EHR")),
+                true,
+            ));
+        }
+        let mut index = {
+            let mut prefix = EventLog::new();
+            prefix.extend(log.events()[..cut].iter().cloned());
+            EventLogIndex::build(&prefix)
+        };
+        index.append(&log.events()[cut..]);
+        let full = EventLogIndex::build(&log);
+        assert_eq!(index, full);
+        assert!(index.fields().len() > 64 && index.actors().len() > 64);
+        assert_eq!(
+            index.observing_actors(&FieldId::new("LateField69")),
+            vec![&ActorId::new("LateActor69")]
+        );
+    }
+
+    #[test]
+    fn multi_segment_appends_equal_one_build() {
+        let log = sample_log();
+        let mut index = EventLogIndex::build(&EventLog::new());
+        for event in log.iter() {
+            index.append(std::slice::from_ref(event));
+        }
+        assert_eq!(index, EventLogIndex::build(&log));
+        index.append(&[]);
+        assert_eq!(index, EventLogIndex::build(&log));
     }
 }

@@ -1,0 +1,419 @@
+//! Versioned, integrity-checked snapshots of the indexed monitor's state.
+//!
+//! A production monitor restarts: processes crash, hosts drain, deployments
+//! roll. [`MonitorSnapshot`] captures everything an
+//! [`IndexedMonitor`](crate::indexed::IndexedMonitor) accumulates at runtime
+//! — the per-user packed [`PrivacyState`](privacy_lts::PrivacyState) word
+//! rows (with the per-user allowed-actor bitsets and field sensitivities
+//! resolved at registration) and the not-yet-drained alerts — while leaving
+//! out everything the operator supplies at construction time: the catalog,
+//! the access policy and the shared [`LtsIndex`](privacy_lts::LtsIndex) are
+//! passed back in at resume time, and monitor *configuration* (alert
+//! threshold, risk matrix, likelihood model, thread count) must be
+//! re-applied with the builder methods after the resume, exactly as after
+//! [`IndexedMonitor::new`](crate::IndexedMonitor::new).
+//!
+//! Soundness across the restart hinges on two checks:
+//!
+//! * the snapshot records the **index fingerprint**
+//!   ([`LtsIndex::fingerprint`](privacy_lts::LtsIndex::fingerprint)) it was
+//!   taken against, and `resume_from` refuses a mismatched index with a
+//!   typed [`SnapshotError::IndexMismatch`] — word rows are dense bit
+//!   vectors whose meaning *is* the index's variable layout, so resuming
+//!   against a regenerated model silently reinterpreting every bit would be
+//!   exactly the "state carried across analysis rounds" soundness break the
+//!   static-assessment literature warns about;
+//! * the byte form goes through the `privacy-interchange` framed
+//!   [`binary`](privacy_interchange::binary) codec: explicit kind tag and
+//!   format version, declared length and trailing checksum, so truncated,
+//!   bit-flipped or wrong-version inputs all surface as typed
+//!   [`CodecError`]s — never a panic, never a silent partial resume.
+//!
+//! Snapshots are grouped **per shard** (the same stable `UserId`-hash shards
+//! ingestion uses), so a large monitor can export shards from parallel
+//! workers via [`MonitorSnapshot::split`] and a restarted monitor can
+//! [`MonitorSnapshot::merge`] them regardless of the thread count on either
+//! side — shard assignment depends only on the user id, never on the
+//! ingestion parallelism.
+
+use crate::monitor::Alert;
+use privacy_interchange::binary::{CodecError, Decoder, Encoder};
+use privacy_model::{RiskLevel, UserId};
+use std::error::Error;
+use std::fmt;
+
+/// The artefact kind tag of a monitor snapshot frame ("Privacy Monitor
+/// SNapshot").
+pub const SNAPSHOT_KIND: [u8; 4] = *b"PMSN";
+
+/// The snapshot format version this build writes and reads. Bumped whenever
+/// the payload layout changes; older/newer frames are rejected with
+/// [`CodecError::UnsupportedVersion`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One registered user's persisted monitor state: the packed privacy-state
+/// words plus the registration-time resolved alert inputs, so resuming does
+/// not need the original [`UserProfile`](privacy_model::UserProfile)s.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UserRow {
+    pub(crate) user: UserId,
+    /// Packed privacy-state bits in the index's
+    /// [`VarSpace`](privacy_lts::VarSpace) layout.
+    pub(crate) words: Vec<u64>,
+    /// Bitset over space actor indices: the user's allowed actors.
+    pub(crate) allowed: Vec<u64>,
+    /// Per space field index: the user's raw sensitivity `σ(d)`.
+    pub(crate) sensitivities: Vec<f64>,
+}
+
+/// The persisted users of one monitor shard, sorted by user id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    pub(crate) shard: u32,
+    pub(crate) users: Vec<UserRow>,
+}
+
+impl ShardSnapshot {
+    /// The shard index this group was exported from (stable `UserId` hash;
+    /// advisory — resuming re-derives every user's shard from their id).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Number of users persisted in this shard.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+/// A versioned snapshot of an [`IndexedMonitor`](crate::IndexedMonitor)'s
+/// accumulated state. See the module docs for the format and validation
+/// story.
+///
+/// # Examples
+///
+/// ```
+/// use privacy_core::casestudy;
+/// use privacy_lts::LtsIndex;
+/// use privacy_runtime::IndexedMonitor;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = casestudy::healthcare()?;
+/// let index = Arc::new(LtsIndex::build(&system.generate_lts()?));
+/// let mut monitor =
+///     IndexedMonitor::new(system.catalog().clone(), system.policy().clone(), Arc::clone(&index));
+/// monitor.register_user(&casestudy::case_a_user());
+///
+/// let bytes = monitor.snapshot().to_bytes();
+/// let resumed = IndexedMonitor::resume_from(
+///     system.catalog().clone(),
+///     system.policy().clone(),
+///     index,
+///     &privacy_runtime::MonitorSnapshot::from_bytes(&bytes)?,
+/// )?;
+/// assert_eq!(resumed.user_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Fingerprint of the [`LtsIndex`](privacy_lts::LtsIndex) the state was
+    /// accumulated against.
+    pub(crate) fingerprint: u64,
+    /// Expected `u64` words per privacy-state row.
+    pub(crate) state_words: u32,
+    /// Expected `u64` words per allowed-actor bitset.
+    pub(crate) allowed_words: u32,
+    /// Expected sensitivities per user (the space's field count).
+    pub(crate) field_count: u32,
+    /// Occupied shards, ascending by shard index.
+    pub(crate) shards: Vec<ShardSnapshot>,
+    /// Alerts raised but not yet drained at snapshot time, in stream order.
+    pub(crate) pending_alerts: Vec<Alert>,
+}
+
+impl MonitorSnapshot {
+    /// The fingerprint of the index the snapshot was taken against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The per-shard user groups (occupied shards only).
+    pub fn shards(&self) -> &[ShardSnapshot] {
+        &self.shards
+    }
+
+    /// Total number of persisted users.
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(ShardSnapshot::user_count).sum()
+    }
+
+    /// The alerts that were raised but not yet drained at snapshot time.
+    pub fn pending_alerts(&self) -> &[Alert] {
+        &self.pending_alerts
+    }
+
+    /// Splits the snapshot into up to `parts` sub-snapshots along shard
+    /// boundaries (round-robin), e.g. to persist a large monitor from
+    /// parallel writers. Pending alerts travel with the first part. The
+    /// parts [`MonitorSnapshot::merge`] back into the original regardless of
+    /// the thread count on either side of the restart.
+    pub fn split(&self, parts: usize) -> Vec<MonitorSnapshot> {
+        let parts = parts.max(1).min(self.shards.len().max(1));
+        let mut out: Vec<MonitorSnapshot> = (0..parts)
+            .map(|i| MonitorSnapshot {
+                fingerprint: self.fingerprint,
+                state_words: self.state_words,
+                allowed_words: self.allowed_words,
+                field_count: self.field_count,
+                shards: Vec::new(),
+                pending_alerts: if i == 0 { self.pending_alerts.clone() } else { Vec::new() },
+            })
+            .collect();
+        for (i, shard) in self.shards.iter().enumerate() {
+            out[i % parts].shards.push(shard.clone());
+        }
+        out
+    }
+
+    /// Merges sub-snapshots produced by [`MonitorSnapshot::split`] (in any
+    /// order) back into one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::IndexMismatch`] if the parts were taken
+    /// against different indices, and [`SnapshotError::Malformed`] for an
+    /// empty part list, disagreeing dimensions or a shard exported twice.
+    pub fn merge(parts: &[MonitorSnapshot]) -> Result<MonitorSnapshot, SnapshotError> {
+        let first = parts.first().ok_or_else(|| SnapshotError::Malformed {
+            detail: "cannot merge an empty list of snapshot parts".into(),
+        })?;
+        let mut merged = MonitorSnapshot {
+            fingerprint: first.fingerprint,
+            state_words: first.state_words,
+            allowed_words: first.allowed_words,
+            field_count: first.field_count,
+            shards: Vec::new(),
+            pending_alerts: Vec::new(),
+        };
+        for part in parts {
+            if part.fingerprint != merged.fingerprint {
+                return Err(SnapshotError::IndexMismatch {
+                    snapshot: part.fingerprint,
+                    index: merged.fingerprint,
+                });
+            }
+            if (part.state_words, part.allowed_words, part.field_count)
+                != (merged.state_words, merged.allowed_words, merged.field_count)
+            {
+                return Err(SnapshotError::Malformed {
+                    detail: "snapshot parts disagree on the state dimensions".into(),
+                });
+            }
+            merged.shards.extend(part.shards.iter().cloned());
+            merged.pending_alerts.extend(part.pending_alerts.iter().cloned());
+        }
+        merged.shards.sort_by_key(|shard| shard.shard);
+        if merged.shards.windows(2).any(|pair| pair[0].shard == pair[1].shard) {
+            return Err(SnapshotError::Malformed {
+                detail: "a shard appears in more than one snapshot part".into(),
+            });
+        }
+        Ok(merged)
+    }
+
+    /// Serializes the snapshot through the framed
+    /// [`binary`](privacy_interchange::binary) codec (kind
+    /// [`SNAPSHOT_KIND`], version [`SNAPSHOT_VERSION`], trailing checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut encoder = Encoder::new(SNAPSHOT_KIND, SNAPSHOT_VERSION);
+        encoder.u64(self.fingerprint);
+        encoder.u32(self.state_words);
+        encoder.u32(self.allowed_words);
+        encoder.u32(self.field_count);
+        encoder.u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            encoder.u32(shard.shard);
+            encoder.u32(shard.users.len() as u32);
+            for row in &shard.users {
+                encoder.str(row.user.as_str());
+                encoder.u64_slice(&row.words);
+                encoder.u64_slice(&row.allowed);
+                encoder.u32(row.sensitivities.len() as u32);
+                for &sensitivity in &row.sensitivities {
+                    encoder.f64(sensitivity);
+                }
+            }
+        }
+        encoder.u32(self.pending_alerts.len() as u32);
+        for alert in &self.pending_alerts {
+            encoder.u64(alert.sequence());
+            encoder.str(alert.user().as_str());
+            encoder.u8(alert.level().index() as u8);
+            encoder.str(alert.message());
+        }
+        encoder.finish()
+    }
+
+    /// Deserializes a snapshot, validating the frame (magic, kind, version,
+    /// length, checksum) and every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Codec`] for any envelope or primitive-level
+    /// problem — truncation, corruption, a wrong or future format version —
+    /// and [`SnapshotError::Malformed`] for values that decode but cannot be
+    /// valid monitor state (a sensitivity outside `[0, 1]`, an unknown risk
+    /// level, a user persisted twice). Never panics on arbitrary input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MonitorSnapshot, SnapshotError> {
+        let mut decoder = Decoder::new(bytes, SNAPSHOT_KIND, SNAPSHOT_VERSION)?;
+        let fingerprint = decoder.u64()?;
+        let state_words = decoder.u32()?;
+        let allowed_words = decoder.u32()?;
+        let field_count = decoder.u32()?;
+        let shard_count = decoder.u32()? as usize;
+        let mut shards = Vec::new();
+        for _ in 0..shard_count {
+            let shard = decoder.u32()?;
+            let user_count = decoder.u32()? as usize;
+            let mut users = Vec::new();
+            for _ in 0..user_count {
+                let user = UserId::new(decoder.string()?);
+                let words = decoder.u64_slice()?;
+                let allowed = decoder.u64_slice()?;
+                let sensitivity_count = decoder.u32()? as usize;
+                let mut sensitivities = Vec::with_capacity(sensitivity_count.min(1 << 16));
+                for _ in 0..sensitivity_count {
+                    let value = decoder.f64()?;
+                    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+                        return Err(SnapshotError::Malformed {
+                            detail: format!(
+                                "sensitivity {value} of user `{user}` is outside [0, 1]"
+                            ),
+                        });
+                    }
+                    sensitivities.push(value);
+                }
+                if words.len() != state_words as usize
+                    || allowed.len() != allowed_words as usize
+                    || sensitivities.len() != field_count as usize
+                {
+                    return Err(SnapshotError::Malformed {
+                        detail: format!(
+                            "user `{user}` rows ({} state words, {} allowed words, {} \
+                             sensitivities) disagree with the declared dimensions \
+                             ({state_words}, {allowed_words}, {field_count})",
+                            words.len(),
+                            allowed.len(),
+                            sensitivities.len()
+                        ),
+                    });
+                }
+                users.push(UserRow { user, words, allowed, sensitivities });
+            }
+            shards.push(ShardSnapshot { shard, users });
+        }
+        let alert_count = decoder.u32()? as usize;
+        let mut pending_alerts = Vec::new();
+        for _ in 0..alert_count {
+            let sequence = decoder.u64()?;
+            let user = UserId::new(decoder.string()?);
+            let level_index = decoder.u8()?;
+            let level =
+                RiskLevel::from_index(level_index as usize).ok_or(SnapshotError::Malformed {
+                    detail: format!("{level_index} is not a risk-level index"),
+                })?;
+            let message = decoder.string()?;
+            pending_alerts.push(Alert::raise(sequence, user, level, message));
+        }
+        decoder.finish()?;
+
+        let mut seen: Vec<&UserId> =
+            shards.iter().flat_map(|shard| shard.users.iter().map(|row| &row.user)).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|pair| pair[0] == pair[1]) {
+            return Err(SnapshotError::Malformed {
+                detail: "a user is persisted more than once".into(),
+            });
+        }
+        Ok(MonitorSnapshot {
+            fingerprint,
+            state_words,
+            allowed_words,
+            field_count,
+            shards,
+            pending_alerts,
+        })
+    }
+}
+
+impl fmt::Display for MonitorSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monitor snapshot: {} users over {} shards, {} pending alerts, index fingerprint \
+             {:#018x}",
+            self.user_count(),
+            self.shards.len(),
+            self.pending_alerts.len(),
+            self.fingerprint
+        )
+    }
+}
+
+/// A typed failure while decoding or resuming a [`MonitorSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The byte frame itself is unreadable: wrong magic/kind, an unsupported
+    /// format version, truncation, a checksum mismatch or a malformed
+    /// primitive.
+    Codec(CodecError),
+    /// The snapshot was taken against a different [`LtsIndex`]
+    /// (different variable layout or interned vocabulary) — resuming would
+    /// silently reinterpret every state bit.
+    ///
+    /// [`LtsIndex`]: privacy_lts::LtsIndex
+    IndexMismatch {
+        /// The fingerprint recorded in the snapshot.
+        snapshot: u64,
+        /// The fingerprint of the index offered at resume time.
+        index: u64,
+    },
+    /// The frame decoded but carries values that cannot be valid monitor
+    /// state.
+    Malformed {
+        /// What is impossible about the decoded state.
+        detail: String,
+    },
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(error: CodecError) -> Self {
+        SnapshotError::Codec(error)
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Codec(error) => write!(f, "unreadable snapshot frame: {error}"),
+            SnapshotError::IndexMismatch { snapshot, index } => write!(
+                f,
+                "snapshot was taken against index {snapshot:#018x} but is being resumed against \
+                 {index:#018x}; regenerate the snapshot or supply the original index"
+            ),
+            SnapshotError::Malformed { detail } => write!(f, "malformed snapshot: {detail}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Codec(error) => Some(error),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Crash-recovery property tests for the indexed monitor: a snapshot taken
+//! at an *arbitrary* cut point of the stream, serialized, deserialized and
+//! resumed — possibly on a different thread count — must continue exactly
+//! where the uninterrupted run would be: the same alerts (pending alerts
+//! included), the same per-user privacy states, bit for bit.
+//!
+//! The robustness half pins the failure behaviour: truncated, bit-flipped,
+//! wrong-version, wrong-kind and wrong-fingerprint snapshot bytes must all
+//! surface as *typed* errors — never a panic, never a silent resume over
+//! misread state.
+
+use privacy_interchange::binary::{CodecError, Encoder};
+use privacy_lts::{generate_lts, ActionKind, GeneratorConfig, LtsIndex};
+use privacy_model::{DatastoreId, FieldId, Record, UserId};
+use privacy_runtime::snapshot::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
+use privacy_runtime::{Event, IndexedMonitor, MonitorSnapshot, ServiceEngine, SnapshotError};
+use privacy_synth::{
+    random_model, random_profiles, random_workload, ModelGeneratorConfig, ProfileGeneratorConfig,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Uniform pick from a non-empty slice.
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+struct Fixture {
+    catalog: privacy_model::Catalog,
+    policy: privacy_access::AccessPolicy,
+    index: Arc<LtsIndex>,
+    users: Vec<privacy_model::UserProfile>,
+    events: Vec<Event>,
+}
+
+/// Builds a random model, an engine-produced event stream plus a raw
+/// synthetic tail (the `indexed_monitor_differential` fixture shape), and a
+/// user population of which all but the last member is registered.
+fn fixture(seed: u64, actors: usize, fields: usize, raw_events: usize) -> Fixture {
+    let config = ModelGeneratorConfig { actors, fields, seed, ..ModelGeneratorConfig::default() };
+    let (catalog, dataflows, policy) = random_model(&config).expect("generated model is valid");
+    let lts = generate_lts(
+        &catalog,
+        &dataflows,
+        &policy,
+        &GeneratorConfig::default().with_max_states(20_000),
+    )
+    .expect("generation in bounds");
+    let index = Arc::new(LtsIndex::build(&lts));
+
+    let services: Vec<_> = catalog.services().map(|s| s.id().clone()).collect();
+    let field_ids: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let users = random_profiles(&ProfileGeneratorConfig {
+        count: 6,
+        seed,
+        services: services.clone(),
+        consent_probability: 0.5,
+        fields: field_ids.clone(),
+        sensitivity_probability: 0.7,
+    });
+
+    let mut engine = ServiceEngine::new(catalog.clone(), dataflows, policy.clone());
+    let workload = random_workload(&WorkloadConfig {
+        length: 40,
+        seed,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+    });
+    for request in &workload {
+        let record = field_ids
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    let mut events: Vec<Event> = engine.log().events().to_vec();
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+    let mut actor_pool: Vec<String> =
+        catalog.identifying_actors().map(|a| a.id().as_str().to_owned()).collect();
+    actor_pool.push("GhostActor".to_owned());
+    let mut field_pool = field_ids.clone();
+    field_pool.push(FieldId::new("GhostField"));
+    let mut store_pool: Vec<DatastoreId> = catalog.datastores().map(|d| d.id().clone()).collect();
+    store_pool.push(DatastoreId::new("GhostStore"));
+    let mut user_pool: Vec<UserId> = users.iter().map(|u| u.id().clone()).collect();
+    user_pool.push(UserId::new("unregistered-user"));
+    let actions = [
+        ActionKind::Collect,
+        ActionKind::Create,
+        ActionKind::Read,
+        ActionKind::Disclose,
+        ActionKind::Anon,
+        ActionKind::Delete,
+    ];
+    let next_sequence = events.len() as u64;
+    for offset in 0..raw_events {
+        let action = *pick(&mut rng, &actions);
+        let field_count = rng.gen_range(0..3usize);
+        let fields: Vec<FieldId> =
+            (0..field_count).map(|_| pick(&mut rng, &field_pool).clone()).collect();
+        let datastore =
+            if rng.gen_bool(0.8) { Some(pick(&mut rng, &store_pool).clone()) } else { None };
+        events.push(Event::new(
+            next_sequence + offset as u64,
+            pick(&mut rng, &user_pool).clone(),
+            "SyntheticService",
+            pick(&mut rng, &actor_pool).as_str(),
+            action,
+            fields,
+            datastore,
+            rng.gen_bool(0.85),
+        ));
+    }
+
+    Fixture { catalog, policy, index, users, events }
+}
+
+/// A registered monitor over the fixture's model.
+fn monitor_over(fixture: &Fixture) -> IndexedMonitor {
+    let mut monitor = IndexedMonitor::new(
+        fixture.catalog.clone(),
+        fixture.policy.clone(),
+        Arc::clone(&fixture.index),
+    );
+    for user in &fixture.users[..fixture.users.len() - 1] {
+        monitor.register_user(user);
+    }
+    monitor
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline recovery property: snapshot → serialize → resume →
+    /// ingest tail ≡ one uninterrupted run, for arbitrary cut points and
+    /// independent snapshot/resume thread counts. Pending (undrained)
+    /// alerts survive the restart.
+    #[test]
+    fn snapshot_resume_ingest_tail_equals_uninterrupted_run(
+        seed in 0u64..1_000_000,
+        actors in 1usize..5,
+        fields in 1usize..5,
+        raw_events in 0usize..40,
+        cut_fraction in 0.0f64..=1.0,
+        snapshot_threads in 1usize..=4,
+        resume_threads in 1usize..=4,
+    ) {
+        let fixture = fixture(seed, actors, fields, raw_events);
+        let cut = ((fixture.events.len() as f64) * cut_fraction) as usize;
+        let cut = cut.min(fixture.events.len());
+
+        let mut uninterrupted = monitor_over(&fixture);
+        let full_alerts = uninterrupted.ingest_batch(&fixture.events);
+
+        // Run to the cut (deliberately without draining: pending alerts are
+        // part of the persisted state) and snapshot.
+        let mut first_life = monitor_over(&fixture).with_threads(Some(snapshot_threads));
+        let prefix_alerts = first_life.ingest_batch(&fixture.events[..cut]);
+        let snapshot = first_life.snapshot();
+        let bytes = snapshot.to_bytes();
+
+        // The byte round-trip is exact.
+        let decoded = MonitorSnapshot::from_bytes(&bytes).expect("own bytes decode");
+        prop_assert_eq!(&decoded, &snapshot);
+
+        // Shard-split export merges back into the same snapshot.
+        let merged = MonitorSnapshot::merge(&snapshot.split(3)).expect("own parts merge");
+        prop_assert_eq!(&merged, &snapshot);
+
+        // Second life: resume on an unrelated thread count, ingest the tail.
+        let mut second_life = IndexedMonitor::resume_from(
+            fixture.catalog.clone(),
+            fixture.policy.clone(),
+            Arc::clone(&fixture.index),
+            &decoded,
+        )
+        .expect("matching index resumes")
+        .with_threads(Some(resume_threads));
+        prop_assert_eq!(second_life.alerts(), &prefix_alerts[..]);
+        let tail_alerts = second_life.ingest_batch(&fixture.events[cut..]);
+
+        let mut recovered = prefix_alerts;
+        recovered.extend(tail_alerts);
+        prop_assert_eq!(&recovered, &full_alerts);
+        prop_assert_eq!(second_life.alerts(), &full_alerts[..]);
+        prop_assert_eq!(second_life.user_count(), uninterrupted.user_count());
+        for user in &fixture.users {
+            prop_assert_eq!(second_life.state_of(user.id()), uninterrupted.state_of(user.id()));
+        }
+    }
+}
+
+/// Snapshot at t=4 must rehydrate at t=1 and t=2 (the shard assignment is a
+/// stable user-id hash, never a function of the ingestion parallelism).
+#[test]
+fn snapshot_at_four_threads_rehydrates_at_one_and_two() {
+    let fixture = fixture(42, 3, 3, 24);
+    let cut = fixture.events.len() / 2;
+
+    let mut uninterrupted = monitor_over(&fixture);
+    let full_alerts = uninterrupted.ingest_batch(&fixture.events);
+
+    let mut at_four = monitor_over(&fixture).with_threads(Some(4));
+    let prefix_alerts = at_four.ingest_batch(&fixture.events[..cut]);
+    let bytes = at_four.snapshot().to_bytes();
+
+    for resume_threads in [1usize, 2] {
+        let snapshot = MonitorSnapshot::from_bytes(&bytes).expect("own bytes decode");
+        let mut resumed = IndexedMonitor::resume_from(
+            fixture.catalog.clone(),
+            fixture.policy.clone(),
+            Arc::clone(&fixture.index),
+            &snapshot,
+        )
+        .expect("matching index resumes")
+        .with_threads(Some(resume_threads));
+        let tail = resumed.ingest_batch(&fixture.events[cut..]);
+        let mut recovered = prefix_alerts.clone();
+        recovered.extend(tail);
+        assert_eq!(recovered, full_alerts, "t=4 → t={resume_threads} recovery diverges");
+        for user in &fixture.users {
+            assert_eq!(resumed.state_of(user.id()), uninterrupted.state_of(user.id()));
+        }
+    }
+}
+
+/// Monitor configuration is a construction-time input, not persisted state:
+/// re-applying the first life's non-default configuration after a resume
+/// reproduces the uninterrupted run exactly (the builders only affect how
+/// future events alert, never the restored state).
+#[test]
+fn resuming_with_reapplied_configuration_matches_uninterrupted_run() {
+    use privacy_model::RiskLevel;
+    let fixture = fixture(77, 3, 3, 24);
+    let cut = fixture.events.len() / 2;
+
+    // A Low threshold surfaces strictly more alerts than the default
+    // Medium, so a resume that silently fell back to defaults would lose
+    // alerts on the tail.
+    let mut uninterrupted = monitor_over(&fixture).with_alert_threshold(RiskLevel::Low);
+    let full_alerts = uninterrupted.ingest_batch(&fixture.events);
+
+    let mut first_life = monitor_over(&fixture).with_alert_threshold(RiskLevel::Low);
+    let prefix_alerts = first_life.ingest_batch(&fixture.events[..cut]);
+    let bytes = first_life.snapshot().to_bytes();
+
+    let snapshot = MonitorSnapshot::from_bytes(&bytes).expect("own bytes decode");
+    let mut second_life = IndexedMonitor::resume_from(
+        fixture.catalog.clone(),
+        fixture.policy.clone(),
+        Arc::clone(&fixture.index),
+        &snapshot,
+    )
+    .expect("matching index resumes")
+    .with_alert_threshold(RiskLevel::Low); // same configuration as the first life
+    let tail_alerts = second_life.ingest_batch(&fixture.events[cut..]);
+
+    let mut recovered = prefix_alerts;
+    recovered.extend(tail_alerts);
+    assert_eq!(recovered, full_alerts);
+    for user in &fixture.users {
+        assert_eq!(second_life.state_of(user.id()), uninterrupted.state_of(user.id()));
+    }
+}
+
+/// A small fixture whose snapshot is a few hundred bytes, so exhaustive
+/// corruption sweeps stay fast.
+fn small_snapshot() -> (Fixture, Vec<u8>) {
+    let fixture = fixture(7, 2, 2, 12);
+    let mut monitor = monitor_over(&fixture);
+    let _ = monitor.ingest_batch(&fixture.events);
+    let bytes = monitor.snapshot().to_bytes();
+    (fixture, bytes)
+}
+
+#[test]
+fn truncated_snapshot_bytes_return_typed_errors_at_every_length() {
+    let (_, bytes) = small_snapshot();
+    for len in 0..bytes.len() {
+        match MonitorSnapshot::from_bytes(&bytes[..len]) {
+            Err(SnapshotError::Codec(_)) => {}
+            Err(other) => panic!("prefix of {len} bytes produced a non-codec error: {other}"),
+            Ok(_) => panic!("prefix of {len} bytes decoded successfully"),
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_snapshot_bytes_never_resume_silently() {
+    let (_, bytes) = small_snapshot();
+    for position in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[position] ^= 1 << bit;
+            assert!(
+                MonitorSnapshot::from_bytes(&flipped).is_err(),
+                "flipping bit {bit} of byte {position} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_kind_frames_are_rejected() {
+    // A well-formed frame of a future snapshot version…
+    let future = Encoder::new(SNAPSHOT_KIND, SNAPSHOT_VERSION + 1).finish();
+    match MonitorSnapshot::from_bytes(&future) {
+        Err(SnapshotError::Codec(CodecError::UnsupportedVersion { found, supported })) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("future version produced {other:?}"),
+    }
+    // …and a well-formed frame of some other artefact kind.
+    let alien = Encoder::new(*b"OTHR", SNAPSHOT_VERSION).finish();
+    assert!(matches!(
+        MonitorSnapshot::from_bytes(&alien),
+        Err(SnapshotError::Codec(CodecError::BadMagic { .. }))
+    ));
+    // Garbage that is not even a frame.
+    assert!(MonitorSnapshot::from_bytes(b"not a snapshot").is_err());
+    assert!(MonitorSnapshot::from_bytes(&[]).is_err());
+}
+
+#[test]
+fn snapshot_of_one_model_is_rejected_against_another_index() {
+    let (fixture_a, bytes) = small_snapshot();
+    let fixture_b = fixture(1234, 3, 4, 0);
+    assert_ne!(fixture_a.index.fingerprint(), fixture_b.index.fingerprint());
+
+    let snapshot = MonitorSnapshot::from_bytes(&bytes).expect("own bytes decode");
+    match IndexedMonitor::resume_from(
+        fixture_b.catalog.clone(),
+        fixture_b.policy.clone(),
+        Arc::clone(&fixture_b.index),
+        &snapshot,
+    ) {
+        Err(SnapshotError::IndexMismatch { snapshot: recorded, index }) => {
+            assert_eq!(recorded, fixture_a.index.fingerprint());
+            assert_eq!(index, fixture_b.index.fingerprint());
+        }
+        Ok(_) => panic!("mismatched index resumed silently"),
+        Err(other) => panic!("mismatched index produced {other}"),
+    }
+}
+
+#[test]
+fn merge_rejects_mixed_fingerprints_and_duplicate_shards() {
+    let (fixture_a, bytes_a) = small_snapshot();
+    let snapshot_a = MonitorSnapshot::from_bytes(&bytes_a).expect("decodes");
+
+    // Mixed fingerprints are refused.
+    let fixture_b = fixture(1234, 3, 4, 0);
+    let mut monitor_b = monitor_over(&fixture_b);
+    let _ = monitor_b.ingest_batch(&fixture_b.events);
+    let snapshot_b = monitor_b.snapshot();
+    assert!(matches!(
+        MonitorSnapshot::merge(&[snapshot_a.clone(), snapshot_b]),
+        Err(SnapshotError::IndexMismatch { .. })
+    ));
+
+    // A shard exported twice is refused.
+    assert!(matches!(
+        MonitorSnapshot::merge(&[snapshot_a.clone(), snapshot_a.clone()]),
+        Err(SnapshotError::Malformed { .. })
+    ));
+
+    // An empty part list is refused.
+    assert!(matches!(MonitorSnapshot::merge(&[]), Err(SnapshotError::Malformed { .. })));
+
+    let _ = fixture_a;
+}
