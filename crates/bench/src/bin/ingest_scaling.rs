@@ -1,0 +1,335 @@
+//! The ingestion benchmark: wire-format parsing throughput into the
+//! indexed monitor, recorded as `BENCH_ingest.json`.
+//!
+//! The `privacy-ingest` crate is the front door between real logs and the
+//! runtime monitors; this bench tracks what it costs. Per scenario it
+//! replays a seeded `privacy-synth` workload through the service engine to
+//! obtain the reference event stream, renders that stream in each wire
+//! format (JSON lines, logfmt, CSV, and gzip-wrapped JSON), then measures
+//! `ingest_bytes` throughput — bytes → lines → records → resolved events —
+//! in events/sec and MB/sec.
+//!
+//! Correctness gates run before any timing:
+//!
+//! * **round-trip** — the parsed event list must equal the rendered one,
+//!   byte-for-byte in every column, for every format;
+//! * **alert equivalence** — an [`IndexedMonitor`] fed the parsed events
+//!   must produce exactly the alert stream of one fed the originals.
+//!
+//! A throughput number over a lossy parse would be meaningless, so a gate
+//! failure aborts the bench with a non-zero exit.
+//!
+//! ```text
+//! ingest_scaling [--quick] [--min-json-events-per-sec X] [--out PATH]
+//!                [--force-baseline]
+//! ```
+//!
+//! `--quick` is the CI smoke configuration. `--min-json-events-per-sec X`
+//! exits non-zero if the healthcare JSON row falls below `X` events/sec
+//! (CI pins 50000). See `docs/PERFORMANCE.md`.
+
+use privacy_bench::{time_runs, write_report};
+use privacy_core::{casestudy, PrivacySystem};
+use privacy_ingest::{gzip_compress_stored, ingest_bytes, FieldMapping, IngestOptions};
+use privacy_lts::LtsIndex;
+use privacy_model::{Catalog, FieldId, ModelError, Record, ServiceId, UserProfile};
+use privacy_runtime::{Event, IndexedMonitor, ServiceEngine};
+use privacy_synth::{
+    random_model, random_profiles, random_workload, render_events, LogFormat, ModelGeneratorConfig,
+    ProfileGeneratorConfig, WorkloadConfig,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One benchmark scenario.
+struct Scenario {
+    name: String,
+    users: usize,
+    requests: usize,
+    system: PrivacySystem,
+}
+
+/// One measured (scenario, wire format) row.
+struct Row {
+    scenario: String,
+    format: &'static str,
+    events: usize,
+    bytes: usize,
+    events_per_sec: f64,
+    mbytes_per_sec: f64,
+    alerts: usize,
+}
+
+struct Options {
+    quick: bool,
+    min_json_events_per_sec: f64,
+    out: String,
+    force_baseline: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        min_json_events_per_sec: 0.0,
+        out: "BENCH_ingest.json".to_owned(),
+        force_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--min-json-events-per-sec" => {
+                let value = args.next().ok_or("--min-json-events-per-sec needs a value")?;
+                options.min_json_events_per_sec = value
+                    .parse()
+                    .map_err(|_| format!("bad --min-json-events-per-sec value `{value}`"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--force-baseline" => options.force_baseline = true,
+            other => return Err(format!("unknown argument `{other}` (see docs/PERFORMANCE.md)")),
+        }
+    }
+    Ok(options)
+}
+
+/// The benchmark scenarios: the paper's healthcare model (the acceptance
+/// row) and a wider synthetic model with a larger vocabulary per line.
+fn scenarios(quick: bool) -> Result<Vec<Scenario>, ModelError> {
+    let mut scenarios = Vec::new();
+    scenarios.push(Scenario {
+        name: "healthcare".to_owned(),
+        users: if quick { 128 } else { 256 },
+        requests: if quick { 1_500 } else { 6_000 },
+        system: casestudy::healthcare()?,
+    });
+
+    let config = ModelGeneratorConfig {
+        actors: 8,
+        fields: 10,
+        datastores: 3,
+        services: 3,
+        flows_per_service: 6,
+        grant_probability: 0.5,
+        seed: 11,
+        ..ModelGeneratorConfig::default()
+    };
+    let (catalog, dataflows, policy) = random_model(&config)?;
+    scenarios.push(Scenario {
+        name: "synth_8a_10f_3s".to_owned(),
+        users: if quick { 64 } else { 128 },
+        requests: if quick { 1_000 } else { 4_000 },
+        system: PrivacySystem::new(catalog, dataflows, policy),
+    });
+    Ok(scenarios)
+}
+
+/// A seeded user population over the catalog's services and fields.
+fn population(catalog: &Catalog, count: usize) -> Vec<UserProfile> {
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    random_profiles(&ProfileGeneratorConfig {
+        count,
+        seed: 13,
+        services,
+        consent_probability: 0.5,
+        fields,
+        sensitivity_probability: 0.6,
+    })
+}
+
+/// Replays a seeded workload through the service engine and returns the
+/// resulting event stream (the same construction as `runtime_scaling`).
+fn event_stream(scenario: &Scenario, users: &[UserProfile]) -> Vec<Event> {
+    let catalog = scenario.system.catalog();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let services: Vec<(ServiceId, f64)> =
+        catalog.services().map(|s| (s.id().clone(), 1.0)).collect();
+    let mut engine = ServiceEngine::new(
+        catalog.clone(),
+        scenario.system.dataflows().clone(),
+        scenario.system.policy().clone(),
+    );
+    let workload = random_workload(&WorkloadConfig {
+        length: scenario.requests,
+        seed: 17,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services,
+    });
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    engine.log().events().to_vec()
+}
+
+/// The wire encodings measured per scenario.
+fn encodings(events: &[Event]) -> Vec<(&'static str, Vec<u8>)> {
+    let json = render_events(events, LogFormat::Json);
+    vec![
+        ("json", json.clone().into_bytes()),
+        ("logfmt", render_events(events, LogFormat::Logfmt).into_bytes()),
+        ("csv", render_events(events, LogFormat::Csv).into_bytes()),
+        ("json.gz", gzip_compress_stored(json.as_bytes())),
+    ]
+}
+
+fn run(options: &Options) -> Result<Vec<Row>, String> {
+    let target =
+        if options.quick { Duration::from_millis(200) } else { Duration::from_millis(700) };
+    let mapping = FieldMapping::canonical();
+    let ingest_options = IngestOptions::default();
+    let mut rows = Vec::new();
+
+    for scenario in scenarios(options.quick).map_err(|e| format!("building scenarios: {e}"))? {
+        let users = population(scenario.system.catalog(), scenario.users);
+        let events = event_stream(&scenario, &users);
+
+        // Alert-equivalence gate: one monitor per side, identical streams
+        // in, identical alerts out. The LTS/index build is shared.
+        let lts = scenario
+            .system
+            .generate_lts()
+            .map_err(|e| format!("{}: generation failed: {e}", scenario.name))?;
+        let index = Arc::new(LtsIndex::build(&lts));
+        let mut proto = IndexedMonitor::new(
+            scenario.system.catalog().clone(),
+            scenario.system.policy().clone(),
+            Arc::clone(&index),
+        );
+        for user in &users {
+            proto.register_user(user);
+        }
+        let direct_alerts = proto.clone().ingest_batch(&events);
+
+        for (format, bytes) in encodings(&events) {
+            // Round-trip gate before timing.
+            let report = ingest_bytes(&bytes, &mapping, &ingest_options)
+                .map_err(|e| format!("{}/{format}: ingest failed: {e}", scenario.name))?;
+            if report.events != events {
+                return Err(format!(
+                    "{}/{format}: parsed events differ from the rendered stream",
+                    scenario.name
+                ));
+            }
+            let parsed_alerts = proto.clone().ingest_batch(&report.events);
+            if parsed_alerts != direct_alerts {
+                return Err(format!(
+                    "{}/{format}: alert stream from parsed events differs from direct ingestion",
+                    scenario.name
+                ));
+            }
+
+            let (secs, timed_report) = time_runs(target, || {
+                ingest_bytes(&bytes, &mapping, &ingest_options).expect("gated ingest succeeds")
+            });
+            let row = Row {
+                scenario: scenario.name.clone(),
+                format,
+                events: timed_report.events.len(),
+                bytes: bytes.len(),
+                events_per_sec: events.len() as f64 / secs,
+                mbytes_per_sec: bytes.len() as f64 / secs / 1e6,
+                alerts: direct_alerts.len(),
+            };
+            eprintln!(
+                "{:<20} {:>8} {:>6} events {:>9} bytes | {:>10.0} ev/s {:>7.1} MB/s",
+                row.scenario,
+                row.format,
+                row.events,
+                row.bytes,
+                row.events_per_sec,
+                row.mbytes_per_sec,
+            );
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+fn json_report(options: &Options, rows: &[Row]) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"ingest_scaling\",");
+    let _ = writeln!(out, "  \"quick\": {},", options.quick);
+    let _ = writeln!(out, "  \"generated_unix\": {unix_secs},");
+    let _ = writeln!(
+        out,
+        "  \"guarded_row\": \"healthcare/json\", \"min_json_events_per_sec\": {:.0},",
+        options.min_json_events_per_sec
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"scenario\": \"{}\", \"format\": \"{}\", \"events\": {}, \"bytes\": {}, \
+             \"events_per_sec\": {:.0}, \"mbytes_per_sec\": {:.2}, \"alerts\": {}",
+            row.scenario,
+            row.format,
+            row.events,
+            row.bytes,
+            row.events_per_sec,
+            row.mbytes_per_sec,
+            row.alerts,
+        );
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("ingest_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = match run(&options) {
+        Ok(rows) => rows,
+        Err(message) => {
+            eprintln!("ingest_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = json_report(&options, &rows);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("ingest_scaling: {message}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("ingest_scaling: wrote {}", options.out);
+
+    if options.min_json_events_per_sec > 0.0 {
+        let guarded = rows.iter().find(|row| row.scenario == "healthcare" && row.format == "json");
+        match guarded {
+            Some(row) if row.events_per_sec >= options.min_json_events_per_sec => {
+                eprintln!(
+                    "ingest_scaling: guard ok: healthcare/json {:.0} ev/s >= {:.0}",
+                    row.events_per_sec, options.min_json_events_per_sec
+                );
+            }
+            Some(row) => {
+                eprintln!(
+                    "ingest_scaling: regression guard failed: healthcare/json {:.0} ev/s < {:.0}",
+                    row.events_per_sec, options.min_json_events_per_sec
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("ingest_scaling: regression guard failed: no healthcare/json row");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

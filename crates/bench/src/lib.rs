@@ -25,8 +25,13 @@ use std::time::{Duration, Instant};
 /// a baseline is a deliberate act, so [`write_report`] refuses to overwrite
 /// an existing file with one of these names unless the caller passed
 /// `--force-baseline`.
-pub const CHECKED_IN_BASELINES: &[&str] =
-    &["BENCH_lts.json", "BENCH_analysis.json", "BENCH_runtime.json", "BENCH_recovery.json"];
+pub const CHECKED_IN_BASELINES: &[&str] = &[
+    "BENCH_lts.json",
+    "BENCH_analysis.json",
+    "BENCH_runtime.json",
+    "BENCH_recovery.json",
+    "BENCH_ingest.json",
+];
 
 /// Writes one bench JSON report to `out`: the single output path every bench
 /// binary routes through. Creates missing parent directories (so CI can

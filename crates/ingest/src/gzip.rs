@@ -1,0 +1,818 @@
+//! A dependency-free gzip codec.
+//!
+//! The build environment has no `flate2`, and production logs routinely
+//! arrive as `.gz` archives, so this module implements the two RFCs
+//! directly, in safe Rust:
+//!
+//! * [`gunzip`] — a full RFC 1952 reader (header flags, optional header
+//!   CRC, concatenated members, CRC32 + ISIZE trailer verification) over a
+//!   full RFC 1951 *inflate* (stored, fixed-Huffman and dynamic-Huffman
+//!   blocks), so archives produced by real `gzip`/zlib decompress;
+//! * [`gzip_compress_stored`] — a writer that emits only *stored* deflate
+//!   blocks. It compresses nothing, but it produces byte-streams any
+//!   standards-compliant gzip reader (including [`gunzip`]) accepts, which
+//!   is all the round-trip tests and the synthetic-log tooling need.
+//!
+//! Every failure mode is a typed [`GzipError`]; malformed archives can
+//! never panic the decoder (the hardening suite pins this).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The two gzip magic bytes.
+pub const MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// Returns `true` when `bytes` starts with the gzip magic.
+pub fn is_gzip(bytes: &[u8]) -> bool {
+    bytes.len() >= 2 && bytes[0] == MAGIC[0] && bytes[1] == MAGIC[1]
+}
+
+/// Why a gzip archive failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GzipError {
+    /// The stream does not start with the gzip magic bytes.
+    BadMagic {
+        /// What was found instead (fewer than two bytes ⇒ padded with 0).
+        found: [u8; 2],
+    },
+    /// The compression method is not deflate.
+    UnsupportedMethod {
+        /// The method byte found.
+        method: u8,
+    },
+    /// The header sets reserved flag bits.
+    ReservedFlags {
+        /// The flag byte found.
+        flags: u8,
+    },
+    /// The stream ends in the middle of the named structure.
+    Truncated {
+        /// Which structure was being read.
+        context: &'static str,
+    },
+    /// The optional header CRC16 does not match.
+    HeaderCrcMismatch {
+        /// The CRC the header declared.
+        expected: u16,
+        /// The CRC of the header bytes actually read.
+        found: u16,
+    },
+    /// A deflate block declares the reserved block type 3.
+    BadBlockType {
+        /// Byte offset (within the member's deflate stream) of the block.
+        offset: usize,
+    },
+    /// A stored block's length and one's-complement check disagree.
+    StoredLengthMismatch {
+        /// Byte offset of the stored block header.
+        offset: usize,
+    },
+    /// A Huffman table or symbol is invalid (over-subscribed lengths,
+    /// unknown code, bad repeat, out-of-range length/distance symbol).
+    InvalidCode {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// What was invalid.
+        detail: &'static str,
+    },
+    /// A match distance reaches before the start of the output.
+    DistanceTooFar {
+        /// Byte offset where the match was decoded.
+        offset: usize,
+    },
+    /// The trailer CRC32 does not match the decompressed bytes.
+    ChecksumMismatch {
+        /// The CRC the trailer declared.
+        expected: u32,
+        /// The CRC of the decompressed bytes.
+        found: u32,
+    },
+    /// The trailer ISIZE does not match the decompressed length (mod 2³²).
+    SizeMismatch {
+        /// The size the trailer declared.
+        expected: u32,
+        /// The decompressed length mod 2³².
+        found: u32,
+    },
+    /// Bytes remain after the last member that are not another member.
+    TrailingBytes {
+        /// Offset of the first trailing byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for GzipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GzipError::BadMagic { found } => {
+                write!(f, "not a gzip stream (magic {:02x} {:02x})", found[0], found[1])
+            }
+            GzipError::UnsupportedMethod { method } => {
+                write!(f, "unsupported compression method {method} (only deflate)")
+            }
+            GzipError::ReservedFlags { flags } => {
+                write!(f, "reserved header flag bits set ({flags:#04x})")
+            }
+            GzipError::Truncated { context } => write!(f, "truncated while reading {context}"),
+            GzipError::HeaderCrcMismatch { expected, found } => {
+                write!(f, "header CRC mismatch (declared {expected:#06x}, found {found:#06x})")
+            }
+            GzipError::BadBlockType { offset } => {
+                write!(f, "reserved deflate block type at offset {offset}")
+            }
+            GzipError::StoredLengthMismatch { offset } => {
+                write!(f, "stored block length check failed at offset {offset}")
+            }
+            GzipError::InvalidCode { offset, detail } => {
+                write!(f, "invalid deflate data at offset {offset}: {detail}")
+            }
+            GzipError::DistanceTooFar { offset } => {
+                write!(f, "match distance before start of output at offset {offset}")
+            }
+            GzipError::ChecksumMismatch { expected, found } => {
+                write!(f, "CRC32 mismatch (trailer {expected:#010x}, data {found:#010x})")
+            }
+            GzipError::SizeMismatch { expected, found } => {
+                write!(f, "ISIZE mismatch (trailer {expected}, data {found})")
+            }
+            GzipError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after the last gzip member (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+// ---------------------------------------------------------------------------
+// CRC32 (the gzip polynomial, reflected).
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, entry) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// The CRC32 (as gzip computes it) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xffff_ffffu32;
+    for &byte in bytes {
+        crc = table[((crc ^ u32::from(byte)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------------
+// Inflate (RFC 1951).
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next unread byte.
+    pos: usize,
+    /// Bit accumulator and the number of valid bits in it.
+    acc: u32,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0, acc: 0, bits: 0 }
+    }
+
+    /// Byte offset used in error provenance (next unread byte).
+    fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, count: u32, context: &'static str) -> Result<u32, GzipError> {
+        debug_assert!(count <= 16);
+        while self.bits < count {
+            let byte = *self.bytes.get(self.pos).ok_or(GzipError::Truncated { context })?;
+            self.acc |= u32::from(byte) << self.bits;
+            self.bits += 8;
+            self.pos += 1;
+        }
+        let value = self.acc & ((1u32 << count) - 1);
+        self.acc >>= count;
+        self.bits -= count;
+        Ok(value)
+    }
+
+    fn take_bit(&mut self, context: &'static str) -> Result<u32, GzipError> {
+        self.take(1, context)
+    }
+
+    /// Discards buffered bits to the next byte boundary.
+    fn align(&mut self) {
+        self.acc = 0;
+        self.bits = 0;
+    }
+
+    /// Reads `len` whole bytes (only valid when aligned).
+    fn bytes(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], GzipError> {
+        debug_assert_eq!(self.bits, 0);
+        let end = self.pos.checked_add(len).ok_or(GzipError::Truncated { context })?;
+        if end > self.bytes.len() {
+            return Err(GzipError::Truncated { context });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// A canonical Huffman decoding table: `counts[n]` codes of length `n`,
+/// symbols in canonical order.
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds the table from per-symbol code lengths (0 = unused). Rejects
+    /// over-subscribed length sets; incomplete sets are accepted (decoding
+    /// just fails if a missing code appears), matching zlib's permissive
+    /// handling of the single-code corner cases.
+    fn new(lengths: &[u8], offset: usize) -> Result<Huffman, GzipError> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            counts[len as usize] += 1;
+        }
+        // Over-subscription check: walking the Kraft sum.
+        let mut left = 1i32;
+        for &count in &counts[1..16] {
+            left <<= 1;
+            left -= i32::from(count);
+            if left < 0 {
+                return Err(GzipError::InvalidCode { offset, detail: "over-subscribed code" });
+            }
+        }
+        // Symbol table: offsets per length, then symbols in canonical order.
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = symbol as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// Decodes one symbol, reading bits MSB-of-code-first as deflate packs
+    /// them.
+    fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, GzipError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= reader.take_bit("compressed data")? as i32;
+            let count = i32::from(self.counts[len]);
+            if code - count < first {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(GzipError::InvalidCode { offset: reader.offset(), detail: "unknown code" })
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] =
+    [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which the code-length code's lengths are transmitted.
+const CODE_LENGTH_ORDER: [usize; 19] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lit_lengths = [0u8; 288];
+    for (symbol, len) in lit_lengths.iter_mut().enumerate() {
+        *len = match symbol {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist_lengths = [5u8; 30];
+    // Infallible: the fixed tables are exactly complete by construction.
+    let lit = Huffman::new(&lit_lengths, 0).expect("fixed literal table");
+    let dist = Huffman::new(&dist_lengths, 0).expect("fixed distance table");
+    (lit, dist)
+}
+
+fn dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), GzipError> {
+    let offset = reader.offset();
+    let hlit = reader.take(5, "dynamic header")? as usize + 257;
+    let hdist = reader.take(5, "dynamic header")? as usize + 1;
+    let hclen = reader.take(4, "dynamic header")? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(GzipError::InvalidCode { offset, detail: "too many symbols" });
+    }
+
+    let mut code_lengths = [0u8; 19];
+    for &index in CODE_LENGTH_ORDER.iter().take(hclen) {
+        code_lengths[index] = reader.take(3, "code-length code")? as u8;
+    }
+    let code_table = Huffman::new(&code_lengths, reader.offset())?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut filled = 0usize;
+    while filled < lengths.len() {
+        let at = reader.offset();
+        let symbol = code_table.decode(reader)?;
+        match symbol {
+            0..=15 => {
+                lengths[filled] = symbol as u8;
+                filled += 1;
+            }
+            16 => {
+                if filled == 0 {
+                    return Err(GzipError::InvalidCode {
+                        offset: at,
+                        detail: "repeat before any length",
+                    });
+                }
+                let previous = lengths[filled - 1];
+                let count = reader.take(2, "length repeat")? as usize + 3;
+                if filled + count > lengths.len() {
+                    return Err(GzipError::InvalidCode { offset: at, detail: "repeat past end" });
+                }
+                lengths[filled..filled + count].fill(previous);
+                filled += count;
+            }
+            17 | 18 => {
+                let count = if symbol == 17 {
+                    reader.take(3, "zero run")? as usize + 3
+                } else {
+                    reader.take(7, "zero run")? as usize + 11
+                };
+                if filled + count > lengths.len() {
+                    return Err(GzipError::InvalidCode { offset: at, detail: "zero run past end" });
+                }
+                filled += count;
+            }
+            _ => {
+                return Err(GzipError::InvalidCode { offset: at, detail: "bad code-length symbol" })
+            }
+        }
+    }
+    if lengths[256] == 0 {
+        return Err(GzipError::InvalidCode { offset, detail: "no end-of-block code" });
+    }
+    let lit = Huffman::new(&lengths[..hlit], offset)?;
+    let dist = Huffman::new(&lengths[hlit..], offset)?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), GzipError> {
+    loop {
+        let at = reader.offset();
+        let symbol = lit.decode(reader)?;
+        match symbol {
+            0..=255 => out.push(symbol as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let entry = symbol as usize - 257;
+                let length = usize::from(LENGTH_BASE[entry])
+                    + reader.take(LENGTH_EXTRA[entry], "match length")? as usize;
+                let dist_symbol = dist.decode(reader)? as usize;
+                if dist_symbol >= 30 {
+                    return Err(GzipError::InvalidCode {
+                        offset: at,
+                        detail: "bad distance symbol",
+                    });
+                }
+                let distance = usize::from(DIST_BASE[dist_symbol])
+                    + reader.take(DIST_EXTRA[dist_symbol], "match distance")? as usize;
+                if distance > out.len() {
+                    return Err(GzipError::DistanceTooFar { offset: at });
+                }
+                let start = out.len() - distance;
+                // Overlapping copies are the point of LZ77: copy byte-wise.
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(GzipError::InvalidCode { offset: at, detail: "bad literal symbol" }),
+        }
+    }
+}
+
+/// Inflates one raw deflate stream, returning the decompressed bytes and
+/// the number of input bytes consumed.
+fn inflate(bytes: &[u8]) -> Result<(Vec<u8>, usize), GzipError> {
+    let mut reader = BitReader::new(bytes);
+    let mut out = Vec::new();
+    loop {
+        let final_block = reader.take_bit("block header")? == 1;
+        let block_type = reader.take(2, "block header")?;
+        match block_type {
+            0 => {
+                let offset = reader.offset();
+                reader.align();
+                let header = reader.bytes(4, "stored block header")?;
+                let len = u16::from_le_bytes([header[0], header[1]]);
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if len != !nlen {
+                    return Err(GzipError::StoredLengthMismatch { offset });
+                }
+                let data = reader.bytes(usize::from(len), "stored block data")?;
+                out.extend_from_slice(data);
+            }
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut reader, &mut out, &lit, &dist)?;
+            }
+            2 => {
+                let (lit, dist) = dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(GzipError::BadBlockType { offset: reader.offset() }),
+        }
+        if final_block {
+            reader.align();
+            return Ok((out, reader.offset()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gzip member framing (RFC 1952).
+
+const FTEXT: u8 = 1;
+const FHCRC: u8 = 2;
+const FEXTRA: u8 = 4;
+const FNAME: u8 = 8;
+const FCOMMENT: u8 = 16;
+
+/// Parses one member starting at `bytes[start..]`, appending its payload to
+/// `out` and returning the offset just past the member.
+fn gunzip_member(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> Result<usize, GzipError> {
+    let member = &bytes[start..];
+    if member.len() < 2 || member[0] != MAGIC[0] || member[1] != MAGIC[1] {
+        let mut found = [0u8; 2];
+        for (slot, &byte) in found.iter_mut().zip(member.iter()) {
+            *slot = byte;
+        }
+        return Err(GzipError::BadMagic { found });
+    }
+    if member.len() < 10 {
+        return Err(GzipError::Truncated { context: "member header" });
+    }
+    let method = member[2];
+    if method != 8 {
+        return Err(GzipError::UnsupportedMethod { method });
+    }
+    let flags = member[3];
+    if flags & 0xe0 != 0 {
+        return Err(GzipError::ReservedFlags { flags });
+    }
+    // MTIME (4), XFL (1), OS (1) are informational.
+    let mut pos = 10usize;
+    if flags & FEXTRA != 0 {
+        if member.len() < pos + 2 {
+            return Err(GzipError::Truncated { context: "extra-field length" });
+        }
+        let xlen = usize::from(u16::from_le_bytes([member[pos], member[pos + 1]]));
+        pos += 2;
+        if member.len() < pos + xlen {
+            return Err(GzipError::Truncated { context: "extra field" });
+        }
+        pos += xlen;
+    }
+    for (flag, context) in [(FNAME, "file name"), (FCOMMENT, "comment")] {
+        if flags & flag != 0 {
+            let terminator = member[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(GzipError::Truncated { context })?;
+            pos += terminator + 1;
+        }
+    }
+    let _ = flags & FTEXT; // Advisory only.
+    if flags & FHCRC != 0 {
+        if member.len() < pos + 2 {
+            return Err(GzipError::Truncated { context: "header CRC" });
+        }
+        let expected = u16::from_le_bytes([member[pos], member[pos + 1]]);
+        let found = (crc32(&member[..pos]) & 0xffff) as u16;
+        if expected != found {
+            return Err(GzipError::HeaderCrcMismatch { expected, found });
+        }
+        pos += 2;
+    }
+
+    let (payload, consumed) = inflate(&member[pos..])?;
+    pos += consumed;
+    if member.len() < pos + 8 {
+        return Err(GzipError::Truncated { context: "member trailer" });
+    }
+    let expected_crc =
+        u32::from_le_bytes([member[pos], member[pos + 1], member[pos + 2], member[pos + 3]]);
+    let expected_size =
+        u32::from_le_bytes([member[pos + 4], member[pos + 5], member[pos + 6], member[pos + 7]]);
+    let found_crc = crc32(&payload);
+    if expected_crc != found_crc {
+        return Err(GzipError::ChecksumMismatch { expected: expected_crc, found: found_crc });
+    }
+    let found_size = (payload.len() as u64 & 0xffff_ffff) as u32;
+    if expected_size != found_size {
+        return Err(GzipError::SizeMismatch { expected: expected_size, found: found_size });
+    }
+    out.extend_from_slice(&payload);
+    Ok(start + pos + 8)
+}
+
+/// Decompresses a gzip stream (one member, or several concatenated — the
+/// framing `gzip` itself produces for appended archives).
+///
+/// # Errors
+///
+/// Every malformation is a typed [`GzipError`]: wrong magic, truncations at
+/// any byte, corrupt deflate data, and trailer CRC32/ISIZE mismatches.
+pub fn gunzip(bytes: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let mut out = Vec::new();
+    let mut pos = gunzip_member(bytes, 0, &mut out)?;
+    while pos < bytes.len() {
+        if bytes.len() - pos >= 2 && is_gzip(&bytes[pos..]) {
+            pos = gunzip_member(bytes, pos, &mut out)?;
+        } else {
+            return Err(GzipError::TrailingBytes { offset: pos });
+        }
+    }
+    Ok(out)
+}
+
+/// Wraps `payload` as a single-member gzip stream of *stored* (uncompressed)
+/// deflate blocks: valid input for any gzip reader, no compression.
+pub fn gzip_compress_stored(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + payload.len() / 0xffff * 5 + 24);
+    out.extend_from_slice(&MAGIC);
+    out.push(8); // CM: deflate
+    out.push(0); // FLG: nothing optional
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: unknown
+    out.push(0); // XFL
+    out.push(255); // OS: unknown
+
+    let mut chunks = payload.chunks(0xffff).peekable();
+    if chunks.peek().is_none() {
+        // Empty payload still needs one (final, empty) stored block.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        // Stored block: 3 header bits (BFINAL, BTYPE=00) then byte-aligned
+        // LEN/NLEN — the header byte is 0x01 or 0x00 exactly.
+        out.push(u8::from(last));
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&((payload.len() as u64 & 0xffff_ffff) as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A literal-only fixed-Huffman compressor: enough of a real deflate
+    /// writer to prove the Huffman decode path against an independent
+    /// encoding (stored blocks never touch it).
+    fn fixed_huffman_literals(payload: &[u8]) -> Vec<u8> {
+        struct BitWriter {
+            out: Vec<u8>,
+            acc: u32,
+            bits: u32,
+        }
+        impl BitWriter {
+            // Deflate packs Huffman codes MSB-first into an LSB-first stream.
+            fn put_code(&mut self, code: u32, len: u32) {
+                for i in (0..len).rev() {
+                    self.put_bit((code >> i) & 1);
+                }
+            }
+            fn put_bit(&mut self, bit: u32) {
+                self.acc |= bit << self.bits;
+                self.bits += 1;
+                if self.bits == 8 {
+                    self.out.push(self.acc as u8);
+                    self.acc = 0;
+                    self.bits = 0;
+                }
+            }
+            fn finish(mut self) -> Vec<u8> {
+                if self.bits > 0 {
+                    self.out.push(self.acc as u8);
+                }
+                self.out
+            }
+        }
+        let mut writer = BitWriter { out: Vec::new(), acc: 0, bits: 0 };
+        writer.put_bit(1); // BFINAL
+        writer.put_bit(1); // BTYPE = 01 (fixed), LSB first
+        writer.put_bit(0);
+        for &byte in payload {
+            if byte <= 143 {
+                writer.put_code(0x30 + u32::from(byte), 8);
+            } else {
+                writer.put_code(0x190 + u32::from(byte) - 144, 9);
+            }
+        }
+        writer.put_code(0, 7); // End of block (symbol 256).
+        let deflate = writer.finish();
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&[8, 0, 0, 0, 0, 0, 0, 255]);
+        out.extend_from_slice(&deflate);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn stored_round_trips_arbitrary_bytes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 2, 100, 0xffff, 0x10000, 0x2345] {
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+            let archive = gzip_compress_stored(&payload);
+            assert!(is_gzip(&archive));
+            assert_eq!(gunzip(&archive).unwrap(), payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_streams_decode() {
+        for payload in
+            [&b""[..], b"hello, deflate", b"aaaaaaaaaaaaaaaaaaaaaaaa", &[0u8, 200, 255, 144, 143]]
+        {
+            let archive = fixed_huffman_literals(payload);
+            assert_eq!(gunzip(&archive).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn concatenated_members_decode_in_order() {
+        let mut archive = gzip_compress_stored(b"first ");
+        archive.extend_from_slice(&gzip_compress_stored(b"second"));
+        assert_eq!(gunzip(&archive).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn bad_magic_and_method_are_typed() {
+        assert_eq!(gunzip(b"plain text"), Err(GzipError::BadMagic { found: [b'p', b'l'] }));
+        assert_eq!(gunzip(&[0x1f]), Err(GzipError::BadMagic { found: [0x1f, 0] }));
+        let mut archive = gzip_compress_stored(b"x");
+        archive[2] = 7;
+        assert_eq!(gunzip(&archive), Err(GzipError::UnsupportedMethod { method: 7 }));
+        let mut archive = gzip_compress_stored(b"x");
+        archive[3] = 0xe0;
+        assert_eq!(gunzip(&archive), Err(GzipError::ReservedFlags { flags: 0xe0 }));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let archive = gzip_compress_stored(b"the quick brown fox");
+        for cut in 0..archive.len() {
+            let error = gunzip(&archive[..cut]).unwrap_err();
+            assert!(
+                matches!(error, GzipError::Truncated { .. } | GzipError::BadMagic { .. }),
+                "cut {cut}: {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_trailers_are_rejected() {
+        let good = gzip_compress_stored(b"payload bytes");
+        // Flip one bit in the CRC32.
+        let mut bad_crc = good.clone();
+        let crc_at = good.len() - 8;
+        bad_crc[crc_at] ^= 1;
+        assert!(matches!(gunzip(&bad_crc), Err(GzipError::ChecksumMismatch { .. })));
+        // Flip one bit in the ISIZE.
+        let mut bad_size = good.clone();
+        let size_at = good.len() - 4;
+        bad_size[size_at] ^= 1;
+        assert!(matches!(gunzip(&bad_size), Err(GzipError::SizeMismatch { .. })));
+        // Corrupt the payload itself: the CRC catches it.
+        let mut bad_payload = good.clone();
+        bad_payload[15] ^= 0xff;
+        assert!(matches!(
+            gunzip(&bad_payload),
+            Err(GzipError::ChecksumMismatch { .. } | GzipError::StoredLengthMismatch { .. })
+        ));
+        // Trailing garbage after the member.
+        let mut trailing = good;
+        trailing.extend_from_slice(b"JUNK");
+        assert!(matches!(gunzip(&trailing), Err(GzipError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn stored_length_check_is_enforced() {
+        let mut archive = gzip_compress_stored(b"abc");
+        // Corrupt NLEN (bytes 13–14 after the 10-byte header + block byte +
+        // LEN).
+        archive[13] ^= 0xff;
+        assert!(matches!(gunzip(&archive), Err(GzipError::StoredLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn reserved_block_type_is_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&[8, 0, 0, 0, 0, 0, 0, 255]);
+        out.push(0x07); // BFINAL=1, BTYPE=11 (reserved)
+        out.extend_from_slice(&[0; 8]);
+        assert!(matches!(gunzip(&out), Err(GzipError::BadBlockType { .. })));
+    }
+
+    #[test]
+    fn header_options_are_parsed_and_checked() {
+        // Hand-build a header with FNAME + FHCRC.
+        let payload = b"named";
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.push(8);
+        header.push(FNAME | FHCRC);
+        header.extend_from_slice(&[0, 0, 0, 0, 0, 255]);
+        header.extend_from_slice(b"file.log\0");
+        let hcrc = (crc32(&header) & 0xffff) as u16;
+        header.extend_from_slice(&hcrc.to_le_bytes());
+        // Stored block + trailer.
+        let mut archive = header.clone();
+        archive.push(0x01);
+        archive.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        archive.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        archive.extend_from_slice(payload);
+        archive.extend_from_slice(&crc32(payload).to_le_bytes());
+        archive.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gunzip(&archive).unwrap(), payload);
+
+        // A wrong header CRC is caught.
+        let mut bad = archive;
+        let hcrc_at = header.len() - 2;
+        bad[hcrc_at] ^= 1;
+        assert!(matches!(gunzip(&bad), Err(GzipError::HeaderCrcMismatch { .. })));
+    }
+
+    #[test]
+    fn random_corruption_never_panics() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let payload: Vec<u8> = (0..2000).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        let archive = gzip_compress_stored(&payload);
+        for _ in 0..500 {
+            let mut mutated = archive.clone();
+            let flips = rng.gen_range(1..4usize);
+            for _ in 0..flips {
+                let at = rng.gen_range(0..mutated.len());
+                let bit = rng.gen_range(0..8u32);
+                mutated[at] ^= 1 << bit;
+            }
+            // Either it still decodes to something or it fails typed; what
+            // it must never do is panic.
+            let _ = gunzip(&mutated);
+        }
+    }
+}

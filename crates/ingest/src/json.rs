@@ -1,0 +1,351 @@
+//! A hand-written NDJSON (one JSON object per line) parser.
+//!
+//! The build environment has no `serde_json`, and a log-ingestion front end
+//! needs byte-accurate error provenance anyway, so this is a small
+//! recursive-descent parser specialised to the shapes log lines take: a
+//! top-level object whose values are strings, numbers, booleans, nulls, or
+//! arrays of strings. Anything deeper parses (it must, to find the end of
+//! the value) but surfaces as [`RawValue::Complex`] so the mapping layer can
+//! report a typed error instead of silently stringifying structure.
+
+use crate::error::{snippet, IngestError};
+use crate::reader::Format;
+use crate::record::{RawRecord, RawValue};
+
+/// Parses one NDJSON object line into a record.
+pub(crate) fn parse_line(line_no: u64, line: &str) -> Result<RawRecord, IngestError> {
+    let mut parser = Parser { line_no, bytes: line.as_bytes(), text: line, pos: 0 };
+    parser.skip_ws();
+    let record = parser.object()?;
+    parser.skip_ws();
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("trailing content after the object"));
+    }
+    Ok(record)
+}
+
+struct Parser<'a> {
+    line_no: u64,
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> IngestError {
+        IngestError::Syntax {
+            line: self.line_no,
+            column: self.pos as u32 + 1,
+            format: Format::Json,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, what: &str) -> Result<(), IngestError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<RawRecord, IngestError> {
+        self.expect(b'{', "`{` opening the record object")?;
+        let mut record = RawRecord::new(self.line_no);
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(record);
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = self.string()?;
+            if record.contains(&key) {
+                return Err(IngestError::DuplicateKey {
+                    line: self.line_no,
+                    column: key_at as u32 + 1,
+                    key,
+                });
+            }
+            self.skip_ws();
+            self.expect(b':', "`:` after the key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            record.push(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(record);
+                }
+                _ => return Err(self.error("expected `,` or `}` after a value")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<RawValue, IngestError> {
+        match self.peek() {
+            Some(b'"') => Ok(RawValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => {
+                // Parse (to find the end) but surface as structure.
+                self.object()?;
+                Ok(RawValue::Complex)
+            }
+            Some(b't') => self.literal("true", RawValue::Bool(true)),
+            Some(b'f') => self.literal("false", RawValue::Bool(false)),
+            Some(b'n') => self.literal("null", RawValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, value: RawValue) -> Result<RawValue, IngestError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<RawValue, IngestError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_at = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_at {
+            return Err(self.error("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_at = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_at {
+                return Err(self.error("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_at = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_at {
+                return Err(self.error("expected digits in the exponent"));
+            }
+        }
+        Ok(RawValue::Number(self.text[start..self.pos].to_owned()))
+    }
+
+    fn array(&mut self) -> Result<RawValue, IngestError> {
+        self.expect(b'[', "`[`")?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(RawValue::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        let mut all_strings = true;
+        loop {
+            self.skip_ws();
+            match self.value()? {
+                RawValue::Str(item) if all_strings => items.push(item),
+                _ => all_strings = false,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(if all_strings { RawValue::List(items) } else { RawValue::Complex });
+                }
+                _ => return Err(self.error("expected `,` or `]` in the array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, IngestError> {
+        self.expect(b'"', "`\"` opening a string")?;
+        let mut out = String::new();
+        loop {
+            let at = self.pos;
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: require the paired escape.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                } else {
+                                    self.pos = at;
+                                    return Err(self.error("unpaired surrogate escape"));
+                                }
+                                if self.peek() == Some(b'u') {
+                                    self.pos += 1;
+                                } else {
+                                    self.pos = at;
+                                    return Err(self.error("unpaired surrogate escape"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    self.pos = at;
+                                    return Err(self.error("unpaired surrogate escape"));
+                                }
+                                let scalar = 0x10000
+                                    + ((u32::from(unit) - 0xd800) << 10)
+                                    + (u32::from(low) - 0xdc00);
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else if (0xdc00..0xe000).contains(&unit) {
+                                self.pos = at;
+                                return Err(self.error("unpaired surrogate escape"));
+                            } else {
+                                char::from_u32(u32::from(unit))
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 character (input is validated
+                    // UTF-8 before parsing, so char boundaries are sound).
+                    let ch = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, IngestError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = &self.text[self.pos..end];
+        let unit = u16::from_str_radix(hex, 16)
+            .map_err(|_| self.error(format!("invalid \\u escape `{}`", snippet(hex))))?;
+        self.pos = end;
+        Ok(unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<RawRecord, IngestError> {
+        parse_line(1, line)
+    }
+
+    #[test]
+    fn a_typical_event_line_parses() {
+        let record = parse(
+            r#"{"seq": 3, "user": "u-1", "fields": ["name", "dob"], "permitted": true, "store": null}"#,
+        )
+        .unwrap();
+        assert_eq!(record.get("seq"), Some(&RawValue::Number("3".into())));
+        assert_eq!(record.get("user"), Some(&RawValue::Str("u-1".into())));
+        assert_eq!(record.get("fields"), Some(&RawValue::List(vec!["name".into(), "dob".into()])));
+        assert_eq!(record.get("permitted"), Some(&RawValue::Bool(true)));
+        assert_eq!(record.get("store"), Some(&RawValue::Null));
+    }
+
+    #[test]
+    fn escapes_decode_including_surrogate_pairs() {
+        let record = parse(r#"{"k": "a\"b\\c\ndé😀"}"#).unwrap();
+        assert_eq!(record.get("k"), Some(&RawValue::Str("a\"b\\c\ndé😀".into())));
+    }
+
+    #[test]
+    fn nested_structure_is_complex_not_lossy() {
+        let record = parse(r#"{"meta": {"a": 1}, "mixed": ["s", 2]}"#).unwrap();
+        assert_eq!(record.get("meta"), Some(&RawValue::Complex));
+        assert_eq!(record.get("mixed"), Some(&RawValue::Complex));
+    }
+
+    #[test]
+    fn duplicate_keys_are_typed_errors() {
+        let error = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        match error {
+            IngestError::DuplicateKey { line, column, key } => {
+                assert_eq!((line, key.as_str()), (1, "a"));
+                assert_eq!(column, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_columns() {
+        for (line, bad_col) in [
+            (r#"{"a": }"#, 7),
+            (r#"{"a" 1}"#, 6),
+            (r#"{"a": 1"#, 8),
+            (r#"{"a": 1} extra"#, 10),
+            (r#"{"a": "unterminated"#, 20),
+            (r#"{"a": truth}"#, 7),
+            (r#"{"a": 1.}"#, 9),
+            (r#"{"a": "\q"}"#, 9),
+            (r#"{"a": "\ud800x"}"#, 8),
+        ] {
+            let error = parse(line).unwrap_err();
+            match error {
+                IngestError::Syntax { column, .. } => {
+                    assert_eq!(column, bad_col, "line {line:?}: {error}")
+                }
+                other => panic!("line {line:?}: unexpected {other:?}"),
+            }
+        }
+    }
+}

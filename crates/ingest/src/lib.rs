@@ -1,0 +1,54 @@
+//! Real-world log ingestion for the privacy runtime monitors.
+//!
+//! The paper's runtime verification story assumes events arrive in the
+//! monitor's native shape; production systems instead emit JSON lines,
+//! logfmt, or CSV — often gzip-compressed, often slightly broken. This
+//! crate is the hardened front door between those logs and
+//! [`privacy_runtime`]:
+//!
+//! * **format parsers** ([`json`], [`logfmt`], [`csv`] modules) turn lines
+//!   into uniform [`RawRecord`]s with byte-accurate error provenance;
+//! * **a declarative [`FieldMapping`]** names which log field supplies each
+//!   event column (user, actor, service, action, fields, datastore,
+//!   permitted), with per-field defaults and a verb-alias table;
+//! * **a [`Resolver`]** turns mapped records into monitor-ready
+//!   [`privacy_runtime::Event`]s with monotone sequence numbers;
+//! * **[`ingest_bytes`] / [`ingest_reader`]** run the whole pipeline —
+//!   gzip auto-detection ([`gzip`] is a dependency-free RFC 1952/1951
+//!   codec), line splitting, format auto-detection — under a
+//!   skip-with-diagnostics or fail-fast [`ErrorPolicy`].
+//!
+//! The contract throughout: malformed input yields a typed
+//! [`IngestError`], never a panic. The crate's corpus and property tests
+//! (see `tests/`) fuzz that contract directly.
+
+pub mod csv;
+pub mod error;
+pub mod gzip;
+pub mod json;
+pub mod logfmt;
+pub mod mapping;
+pub mod reader;
+pub mod record;
+pub mod resolve;
+
+pub use error::{ErrorPolicy, IngestError, Role};
+pub use gzip::{gunzip, gzip_compress_stored, is_gzip, GzipError};
+pub use mapping::FieldMapping;
+pub use reader::{
+    ingest_bytes, ingest_reader, Diagnostic, Format, IngestOptions, IngestReport, IngestStats,
+};
+pub use record::{RawRecord, RawValue};
+pub use resolve::Resolver;
+
+/// Everything a log-ingesting binary typically needs.
+pub mod prelude {
+    pub use crate::error::{ErrorPolicy, IngestError, Role};
+    pub use crate::gzip::{gunzip, gzip_compress_stored, is_gzip, GzipError};
+    pub use crate::mapping::FieldMapping;
+    pub use crate::reader::{
+        ingest_bytes, ingest_reader, Diagnostic, Format, IngestOptions, IngestReport, IngestStats,
+    };
+    pub use crate::record::{RawRecord, RawValue};
+    pub use crate::resolve::Resolver;
+}

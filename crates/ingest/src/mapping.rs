@@ -1,0 +1,230 @@
+//! The declarative schema mapping log fields onto event columns.
+//!
+//! Real logs do not arrive in the monitor's native shape: the user id might
+//! be under `subject`, the verb under `op` with values like `write`, the
+//! permitted flag absent entirely. A [`FieldMapping`] names, for each
+//! logical [`crate::Role`], which record key supplies it, what default (if
+//! any) stands in when the key is absent, and how verb spellings map onto
+//! [`ActionKind`]s.
+
+use privacy_lts::ActionKind;
+use std::collections::BTreeMap;
+
+/// Which log field supplies each event column, with per-field defaults and
+/// an action-verb translation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMapping {
+    pub(crate) sequence_key: Option<String>,
+    pub(crate) user_key: String,
+    pub(crate) service_key: String,
+    pub(crate) service_default: Option<String>,
+    pub(crate) actor_key: String,
+    pub(crate) actor_default: Option<String>,
+    pub(crate) action_key: String,
+    pub(crate) fields_key: Option<String>,
+    pub(crate) datastore_key: Option<String>,
+    pub(crate) permitted_key: Option<String>,
+    pub(crate) permitted_default: bool,
+    /// Lowercased verb → action table.
+    pub(crate) actions: BTreeMap<String, ActionKind>,
+    pub(crate) list_separator: char,
+}
+
+impl FieldMapping {
+    /// The mapping for the canonical wire schema the synthetic-log emitter
+    /// renders (`seq,user,service,actor,action,fields,store,permitted` with
+    /// the six canonical verb spellings).
+    pub fn canonical() -> Self {
+        let mut actions = BTreeMap::new();
+        for kind in ActionKind::ALL {
+            actions.insert(kind.to_string(), kind);
+        }
+        FieldMapping {
+            sequence_key: Some("seq".to_owned()),
+            user_key: "user".to_owned(),
+            service_key: "service".to_owned(),
+            service_default: None,
+            actor_key: "actor".to_owned(),
+            actor_default: None,
+            action_key: "action".to_owned(),
+            fields_key: Some("fields".to_owned()),
+            datastore_key: Some("store".to_owned()),
+            permitted_key: Some("permitted".to_owned()),
+            permitted_default: true,
+            actions,
+            list_separator: ';',
+        }
+    }
+
+    /// A permissive mapping for third-party logs: canonical keys plus the
+    /// common verb aliases (`write`/`insert` → create, `get`/`select` →
+    /// read, `share` → disclose, `remove`/`erase` → delete,
+    /// `anonymise`/`anonymize`/`pseudonymise` → anon).
+    pub fn with_common_aliases() -> Self {
+        let mut mapping = FieldMapping::canonical();
+        for (verb, kind) in [
+            ("write", ActionKind::Create),
+            ("insert", ActionKind::Create),
+            ("get", ActionKind::Read),
+            ("select", ActionKind::Read),
+            ("share", ActionKind::Disclose),
+            ("remove", ActionKind::Delete),
+            ("erase", ActionKind::Delete),
+            ("anonymise", ActionKind::Anon),
+            ("anonymize", ActionKind::Anon),
+            ("pseudonymise", ActionKind::Anon),
+        ] {
+            mapping.actions.insert(verb.to_owned(), kind);
+        }
+        mapping
+    }
+
+    /// Uses `key` for the sequence number; `None` auto-assigns sequences.
+    pub fn with_sequence_key(mut self, key: Option<impl Into<String>>) -> Self {
+        self.sequence_key = key.map(Into::into);
+        self
+    }
+
+    /// Uses `key` for the data-subject id.
+    pub fn with_user_key(mut self, key: impl Into<String>) -> Self {
+        self.user_key = key.into();
+        self
+    }
+
+    /// Uses `key` for the service id.
+    pub fn with_service_key(mut self, key: impl Into<String>) -> Self {
+        self.service_key = key.into();
+        self
+    }
+
+    /// Falls back to `default` when the service key is absent.
+    pub fn with_service_default(mut self, default: impl Into<String>) -> Self {
+        self.service_default = Some(default.into());
+        self
+    }
+
+    /// Uses `key` for the actor id.
+    pub fn with_actor_key(mut self, key: impl Into<String>) -> Self {
+        self.actor_key = key.into();
+        self
+    }
+
+    /// Falls back to `default` when the actor key is absent.
+    pub fn with_actor_default(mut self, default: impl Into<String>) -> Self {
+        self.actor_default = Some(default.into());
+        self
+    }
+
+    /// Uses `key` for the action verb.
+    pub fn with_action_key(mut self, key: impl Into<String>) -> Self {
+        self.action_key = key.into();
+        self
+    }
+
+    /// Uses `key` for the field list; `None` means events carry no fields.
+    pub fn with_fields_key(mut self, key: Option<impl Into<String>>) -> Self {
+        self.fields_key = key.map(Into::into);
+        self
+    }
+
+    /// Uses `key` for the datastore; `None` means events carry none.
+    pub fn with_datastore_key(mut self, key: Option<impl Into<String>>) -> Self {
+        self.datastore_key = key.map(Into::into);
+        self
+    }
+
+    /// Uses `key` for the permitted flag; `None` always applies the default.
+    pub fn with_permitted_key(mut self, key: Option<impl Into<String>>) -> Self {
+        self.permitted_key = key.map(Into::into);
+        self
+    }
+
+    /// The permitted value assumed when the flag is absent (default `true`:
+    /// most service logs record only what actually ran).
+    pub fn with_permitted_default(mut self, default: bool) -> Self {
+        self.permitted_default = default;
+        self
+    }
+
+    /// Maps one more verb spelling onto an action (matched
+    /// case-insensitively).
+    pub fn with_action_alias(mut self, verb: impl Into<String>, kind: ActionKind) -> Self {
+        self.actions.insert(verb.into().to_lowercase(), kind);
+        self
+    }
+
+    /// The separator splitting multi-valued string fields (default `;`).
+    pub fn with_list_separator(mut self, separator: char) -> Self {
+        self.list_separator = separator;
+        self
+    }
+
+    /// Looks a verb up, case-insensitively.
+    pub fn action_for(&self, verb: &str) -> Option<ActionKind> {
+        self.actions.get(verb).or_else(|| self.actions.get(&verb.to_lowercase())).copied()
+    }
+
+    /// The verbs the mapping understands, in sorted order (for error
+    /// messages and docs).
+    pub fn known_verbs(&self) -> impl Iterator<Item = &str> {
+        self.actions.keys().map(String::as_str)
+    }
+}
+
+impl Default for FieldMapping {
+    fn default() -> Self {
+        FieldMapping::canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_mapping_matches_the_emitter_schema() {
+        let mapping = FieldMapping::canonical();
+        assert_eq!(mapping.sequence_key.as_deref(), Some("seq"));
+        assert_eq!(mapping.user_key, "user");
+        assert_eq!(mapping.fields_key.as_deref(), Some("fields"));
+        assert_eq!(mapping.datastore_key.as_deref(), Some("store"));
+        assert!(mapping.permitted_default);
+        for kind in ActionKind::ALL {
+            assert_eq!(mapping.action_for(&kind.to_string()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_folding_resolve() {
+        let mapping =
+            FieldMapping::with_common_aliases().with_action_alias("PUT", ActionKind::Create);
+        assert_eq!(mapping.action_for("write"), Some(ActionKind::Create));
+        assert_eq!(mapping.action_for("SELECT"), Some(ActionKind::Read));
+        assert_eq!(mapping.action_for("put"), Some(ActionKind::Create));
+        assert_eq!(mapping.action_for("transmogrify"), None);
+    }
+
+    #[test]
+    fn builders_rewire_every_role() {
+        let mapping = FieldMapping::canonical()
+            .with_sequence_key(None::<String>)
+            .with_user_key("subject")
+            .with_service_key("svc")
+            .with_service_default("portal")
+            .with_actor_key("who")
+            .with_actor_default("system")
+            .with_action_key("op")
+            .with_fields_key(Some("cols"))
+            .with_datastore_key(None::<String>)
+            .with_permitted_key(Some("ok"))
+            .with_permitted_default(false)
+            .with_list_separator('|');
+        assert_eq!(mapping.sequence_key, None);
+        assert_eq!(mapping.user_key, "subject");
+        assert_eq!(mapping.service_default.as_deref(), Some("portal"));
+        assert_eq!(mapping.actor_default.as_deref(), Some("system"));
+        assert_eq!(mapping.datastore_key, None);
+        assert_eq!(mapping.list_separator, '|');
+        assert!(!mapping.permitted_default);
+    }
+}

@@ -1,0 +1,477 @@
+//! The streaming front door: bytes → lines → records → events.
+//!
+//! [`ingest_bytes`] (and [`ingest_reader`] over any [`std::io::Read`]) runs
+//! the whole pipeline: gzip auto-detection and decompression, line
+//! splitting with CRLF tolerance and a line-length limit, format
+//! auto-detection from the first non-blank line, per-format parsing, and
+//! mapping-driven resolution — under either error policy.
+
+use crate::csv::{quote_count, CsvParser};
+use crate::error::{ErrorPolicy, IngestError};
+use crate::gzip::{gunzip, is_gzip};
+use crate::mapping::FieldMapping;
+use crate::resolve::Resolver;
+use crate::{json, logfmt};
+use privacy_runtime::Event;
+use std::fmt;
+use std::io::Read;
+
+/// A supported log line format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One JSON object per line (NDJSON).
+    Json,
+    /// `key=value` pairs (logfmt).
+    Logfmt,
+    /// RFC 4180 CSV with a header row.
+    Csv,
+}
+
+impl Format {
+    /// All formats.
+    pub const ALL: [Format; 3] = [Format::Json, Format::Logfmt, Format::Csv];
+
+    /// The format's lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Format::Json => "json",
+            Format::Logfmt => "logfmt",
+            Format::Csv => "csv",
+        }
+    }
+
+    /// Parses a format name (as the CLI's `--format` flag spells them).
+    pub fn parse(name: &str) -> Option<Format> {
+        match name.to_ascii_lowercase().as_str() {
+            "json" | "ndjson" | "jsonl" => Some(Format::Json),
+            "logfmt" => Some(Format::Logfmt),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Tuning knobs for one ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// The format to parse; `None` auto-detects from the first record line.
+    pub format: Option<Format>,
+    /// What to do with malformed lines.
+    pub policy: ErrorPolicy,
+    /// The per-line size limit in bytes (a guard against unbounded memory
+    /// on garbage input, not a parsing feature).
+    pub max_line_bytes: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { format: None, policy: ErrorPolicy::default(), max_line_bytes: 1 << 20 }
+    }
+}
+
+/// One skipped line under [`ErrorPolicy::Skip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    error: IngestError,
+}
+
+impl Diagnostic {
+    /// The error that caused the skip.
+    pub fn error(&self) -> &IngestError {
+        &self.error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "skipped: {}", self.error)
+    }
+}
+
+/// Counters for one ingest run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Physical lines seen (including blanks and the CSV header).
+    pub lines: u64,
+    /// Events successfully resolved.
+    pub events: u64,
+    /// Lines skipped under [`ErrorPolicy::Skip`].
+    pub skipped: u64,
+    /// Decompressed input size in bytes.
+    pub bytes: u64,
+}
+
+/// The result of one ingest run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The resolved events, in input order.
+    pub events: Vec<Event>,
+    /// One diagnostic per skipped line (empty under
+    /// [`ErrorPolicy::FailFast`]).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Run counters.
+    pub stats: IngestStats,
+    /// The format that was parsed (declared or detected).
+    pub format: Format,
+}
+
+/// Ingests a byte buffer (a log file already read into memory).
+///
+/// # Errors
+///
+/// Stream-level failures (corrupt gzip, undetectable format) always fail;
+/// line-level failures fail or skip per [`IngestOptions::policy`].
+pub fn ingest_bytes(
+    bytes: &[u8],
+    mapping: &FieldMapping,
+    options: &IngestOptions,
+) -> Result<IngestReport, IngestError> {
+    let decompressed;
+    let payload = if is_gzip(bytes) {
+        decompressed = gunzip(bytes)?;
+        &decompressed[..]
+    } else {
+        bytes
+    };
+    ingest_payload(payload, mapping, options)
+}
+
+/// Ingests from any reader (a file, stdin, a socket). The stream is read to
+/// the end first — gzip members cannot be validated incrementally anyway.
+///
+/// # Errors
+///
+/// As [`ingest_bytes`], plus [`IngestError::Io`] when the reader fails.
+pub fn ingest_reader(
+    mut reader: impl Read,
+    mapping: &FieldMapping,
+    options: &IngestOptions,
+) -> Result<IngestReport, IngestError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|error| IngestError::Io { message: error.to_string() })?;
+    ingest_bytes(&bytes, mapping, options)
+}
+
+/// Detects the format from the first non-blank line.
+fn detect_format(line: &str, line_no: u64) -> Result<Format, IngestError> {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with('{') {
+        return Ok(Format::Json);
+    }
+    // Logfmt before CSV: a logfmt line's first token carries `=`; a CSV
+    // header's first cell never does under the canonical schema, and a
+    // comma inside the first whitespace-delimited token is CSV's signature.
+    let first_token = trimmed.split([' ', '\t']).next().unwrap_or("");
+    if first_token.contains('=') {
+        return Ok(Format::Logfmt);
+    }
+    if trimmed.contains(',') {
+        return Ok(Format::Csv);
+    }
+    Err(IngestError::UnknownFormat { line: line_no })
+}
+
+fn ingest_payload(
+    payload: &[u8],
+    mapping: &FieldMapping,
+    options: &IngestOptions,
+) -> Result<IngestReport, IngestError> {
+    let mut resolver = Resolver::new(mapping.clone());
+    let mut events = Vec::new();
+    let mut diagnostics = Vec::new();
+    let mut stats = IngestStats { bytes: payload.len() as u64, ..IngestStats::default() };
+    let mut format = options.format;
+    let mut csv = CsvParser::new();
+    // A CSV record whose quoted cell spans physical lines, still
+    // accumulating: (starting line number, text so far, open-quote parity).
+    let mut csv_pending: Option<(u64, String)> = None;
+
+    let mut line_no = 0u64;
+    for raw_line in split_lines(payload) {
+        line_no += 1;
+        stats.lines += 1;
+
+        let fail_or_skip = |error: IngestError,
+                            diagnostics: &mut Vec<Diagnostic>,
+                            stats: &mut IngestStats|
+         -> Result<(), IngestError> {
+            if error.is_line_scoped() && options.policy == ErrorPolicy::Skip {
+                stats.skipped += 1;
+                diagnostics.push(Diagnostic { error });
+                Ok(())
+            } else {
+                Err(error)
+            }
+        };
+
+        if raw_line.len() > options.max_line_bytes {
+            let error = IngestError::LineTooLong {
+                line: line_no,
+                length: raw_line.len(),
+                limit: options.max_line_bytes,
+            };
+            // A too-long line inside a pending CSV record poisons the whole
+            // pending record.
+            csv_pending = None;
+            fail_or_skip(error, &mut diagnostics, &mut stats)?;
+            continue;
+        }
+        let line = match std::str::from_utf8(raw_line) {
+            Ok(line) => line.strip_suffix('\r').unwrap_or(line),
+            Err(error) => {
+                csv_pending = None;
+                let error = IngestError::InvalidUtf8 {
+                    line: line_no,
+                    column: error.valid_up_to() as u32 + 1,
+                };
+                fail_or_skip(error, &mut diagnostics, &mut stats)?;
+                continue;
+            }
+        };
+
+        // Blank lines separate nothing; skip them silently (but not inside
+        // a pending multi-line CSV cell, where they are content).
+        if line.trim().is_empty() && csv_pending.is_none() {
+            continue;
+        }
+
+        let format = match format {
+            Some(format) => format,
+            None => {
+                let detected = detect_format(line, line_no)?;
+                format = Some(detected);
+                detected
+            }
+        };
+
+        let record = match format {
+            Format::Json => json::parse_line(line_no, line),
+            Format::Logfmt => logfmt::parse_line(line_no, line),
+            Format::Csv => {
+                // Join physical lines while a quoted cell is open.
+                let (start_line, text) = match csv_pending.take() {
+                    Some((start_line, mut text)) => {
+                        text.push('\n');
+                        text.push_str(line);
+                        (start_line, text)
+                    }
+                    None => (line_no, line.to_owned()),
+                };
+                if quote_count(&text) % 2 == 1 {
+                    if text.len() > options.max_line_bytes {
+                        // An unbalanced quote must not buffer unboundedly.
+                        let error = IngestError::LineTooLong {
+                            line: start_line,
+                            length: text.len(),
+                            limit: options.max_line_bytes,
+                        };
+                        fail_or_skip(error, &mut diagnostics, &mut stats)?;
+                        continue;
+                    }
+                    csv_pending = Some((start_line, text));
+                    continue;
+                }
+                match csv.parse_record(start_line, &text) {
+                    Ok(None) => continue, // header row
+                    Ok(Some(record)) => Ok(record),
+                    Err(error) => Err(error),
+                }
+            }
+        };
+
+        let outcome = record.and_then(|record| resolver.resolve(&record));
+        match outcome {
+            Ok(event) => {
+                stats.events += 1;
+                events.push(event);
+            }
+            Err(error) => fail_or_skip(error, &mut diagnostics, &mut stats)?,
+        }
+    }
+
+    // An unterminated quoted cell at end of input.
+    if let Some((start_line, text)) = csv_pending {
+        let error = match csv.parse_record(start_line, &text) {
+            Err(error) => error,
+            // Unreachable (odd quote parity cannot parse), but stay total.
+            Ok(_) => IngestError::Syntax {
+                line: start_line,
+                column: 1,
+                format: Format::Csv,
+                message: "unterminated quoted cell at end of input".to_owned(),
+            },
+        };
+        if !(error.is_line_scoped() && options.policy == ErrorPolicy::Skip) {
+            return Err(error);
+        }
+        stats.skipped += 1;
+        diagnostics.push(Diagnostic { error });
+    }
+
+    let format = match format {
+        Some(format) => format,
+        // Nothing but blank lines: report the declared format or default to
+        // JSON; there are no events either way.
+        None => options.format.unwrap_or(Format::Json),
+    };
+    Ok(IngestReport { events, diagnostics, stats, format })
+}
+
+/// Splits on `\n`, not yielding a trailing empty slice for a final newline.
+fn split_lines(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let trimmed = payload.strip_suffix(b"\n").unwrap_or(payload);
+    let empty = trimmed.is_empty() && payload.is_empty();
+    trimmed.split(|&byte| byte == b'\n').filter(move |_| !empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gzip::gzip_compress_stored;
+    use privacy_lts::ActionKind;
+
+    fn canonical(bytes: &[u8], options: &IngestOptions) -> Result<IngestReport, IngestError> {
+        ingest_bytes(bytes, &FieldMapping::canonical(), options)
+    }
+
+    #[test]
+    fn each_format_is_auto_detected_and_parsed() {
+        let json = b"{\"seq\": 1, \"user\": \"u\", \"service\": \"s\", \"actor\": \"a\", \
+                     \"action\": \"read\", \"fields\": [\"f\"], \"permitted\": true}\n";
+        let logfmt = b"seq=1 user=u service=s actor=a action=read fields=f permitted=true\n";
+        let csv = b"seq,user,service,actor,action,fields,store,permitted\n1,u,s,a,read,f,,true\n";
+        for (bytes, expected) in
+            [(&json[..], Format::Json), (&logfmt[..], Format::Logfmt), (&csv[..], Format::Csv)]
+        {
+            let report = canonical(bytes, &IngestOptions::default()).unwrap();
+            assert_eq!(report.format, expected);
+            assert_eq!(report.events.len(), 1, "{expected}");
+            let event = &report.events[0];
+            assert_eq!(event.sequence(), 1);
+            assert_eq!(event.action(), ActionKind::Read);
+            assert_eq!(event.fields().len(), 1);
+            assert!(event.permitted());
+        }
+    }
+
+    #[test]
+    fn gzip_wrapped_input_is_transparent() {
+        let plain = b"seq=1 user=u service=s actor=a action=collect\n";
+        let archive = gzip_compress_stored(plain);
+        let report = canonical(&archive, &IngestOptions::default()).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.stats.bytes, plain.len() as u64);
+        assert!(matches!(
+            canonical(&archive[..archive.len() - 3], &IngestOptions::default()),
+            Err(IngestError::Gzip(_))
+        ));
+    }
+
+    #[test]
+    fn skip_policy_collects_diagnostics_and_keeps_going() {
+        let bytes = b"user=u service=s actor=a action=read\n\
+                      user=u action=badverb service=s actor=a\n\
+                      user=u service=s actor=a action=delete\n";
+        let options = IngestOptions { policy: ErrorPolicy::Skip, ..IngestOptions::default() };
+        let report = canonical(bytes, &options).unwrap();
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.stats.skipped, 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].error().line(), Some(2));
+        // Auto-sequencing does not leave a hole for the skipped line.
+        assert_eq!(report.events[1].sequence(), 2);
+
+        // Fail-fast stops at the bad line instead.
+        assert!(matches!(
+            canonical(bytes, &IngestOptions::default()),
+            Err(IngestError::BadValue { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn multi_line_csv_cells_join_on_quote_parity() {
+        let bytes = b"user,service,actor,action,fields\n\"u\nser\",s,a,read,f\n";
+        let report = canonical(bytes, &IngestOptions::default()).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].user().as_str(), "u\nser");
+    }
+
+    #[test]
+    fn line_limits_utf8_and_unknown_formats_are_typed() {
+        let options = IngestOptions { max_line_bytes: 16, ..IngestOptions::default() };
+        assert!(matches!(
+            canonical(b"user=u service=s actor=a action=read\n", &options),
+            Err(IngestError::LineTooLong { line: 1, .. })
+        ));
+        assert!(matches!(
+            canonical(b"user=\xff\xfe service=s\n", &IngestOptions::default()),
+            Err(IngestError::InvalidUtf8 { line: 1, column: 6 })
+        ));
+        assert!(matches!(
+            canonical(b"no format markers here\n", &IngestOptions::default()),
+            Err(IngestError::UnknownFormat { line: 1 })
+        ));
+        // Stream-level errors fail even under Skip.
+        let skip = IngestOptions { policy: ErrorPolicy::Skip, ..IngestOptions::default() };
+        assert!(matches!(
+            canonical(b"no format markers here\n", &skip),
+            Err(IngestError::UnknownFormat { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_crlf_and_empty_inputs_are_tolerated() {
+        let bytes = b"\r\n\nuser=u service=s actor=a action=read\r\n\n";
+        let report = canonical(bytes, &IngestOptions::default()).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.stats.lines, 4);
+
+        let empty = canonical(b"", &IngestOptions::default()).unwrap();
+        assert!(empty.events.is_empty());
+        let blank = canonical(b"\n\n", &IngestOptions::default()).unwrap();
+        assert!(blank.events.is_empty());
+    }
+
+    #[test]
+    fn declared_format_overrides_detection() {
+        // A logfmt-looking line parsed as CSV: header with one `=` column.
+        let bytes = b"a=1\nb=2\n";
+        let options = IngestOptions { format: Some(Format::Csv), ..IngestOptions::default() };
+        // Header `a=1`, then record `b=2` — one cell each; mapping fails on
+        // a missing user column.
+        assert!(matches!(canonical(bytes, &options), Err(IngestError::MissingColumn { .. })));
+    }
+
+    #[test]
+    fn unterminated_csv_quote_at_eof_is_an_error_fail_fast_and_a_skip_otherwise() {
+        let bytes = b"user,service,actor,action\n\"open,s,a,read\n";
+        assert!(matches!(
+            canonical(bytes, &IngestOptions::default()),
+            Err(IngestError::Syntax { .. })
+        ));
+        let skip = IngestOptions { policy: ErrorPolicy::Skip, ..IngestOptions::default() };
+        let report = canonical(bytes, &skip).unwrap();
+        assert!(report.events.is_empty());
+        assert_eq!(report.stats.skipped, 1);
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("NDJSON"), Some(Format::Json));
+        assert_eq!(Format::parse("logfmt"), Some(Format::Logfmt));
+        assert_eq!(Format::parse("csv"), Some(Format::Csv));
+        assert_eq!(Format::parse("xml"), None);
+        for format in Format::ALL {
+            assert_eq!(Format::parse(format.as_str()), Some(format));
+        }
+    }
+}

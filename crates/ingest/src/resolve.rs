@@ -1,0 +1,438 @@
+//! Records → [`Event`] resolution.
+//!
+//! A [`Resolver`] applies a [`FieldMapping`] to the [`RawRecord`]s the
+//! format parsers produce, yielding monitor-ready [`Event`]s with monotone
+//! sequence numbers. Sequence handling is strict: when the mapping names a
+//! sequence key, mapped values must strictly increase (a regression is a
+//! typed [`IngestError::NonMonotoneSequence`]); without one, the resolver
+//! assigns its own counter.
+
+use crate::error::{snippet, IngestError, Role};
+use crate::mapping::FieldMapping;
+use crate::record::{RawRecord, RawValue};
+use privacy_model::FieldId;
+use privacy_runtime::Event;
+
+/// Applies a [`FieldMapping`] to a stream of records.
+#[derive(Debug, Clone)]
+pub struct Resolver {
+    mapping: FieldMapping,
+    /// Next auto-assigned sequence.
+    next_sequence: u64,
+    /// The last accepted mapped sequence, for monotonicity enforcement.
+    last_sequence: Option<u64>,
+}
+
+impl Resolver {
+    /// Creates a resolver over `mapping`; auto-assigned sequences start at 1.
+    pub fn new(mapping: FieldMapping) -> Self {
+        Resolver { mapping, next_sequence: 1, last_sequence: None }
+    }
+
+    /// The mapping the resolver applies.
+    pub fn mapping(&self) -> &FieldMapping {
+        &self.mapping
+    }
+
+    /// Resolves one record into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed, line-anchored [`IngestError`] when a mapped column
+    /// is missing without a default, a value cannot be converted, or a
+    /// mapped sequence fails to increase. A failed record does not advance
+    /// the sequence state, so skipping it is sound.
+    pub fn resolve(&mut self, record: &RawRecord) -> Result<Event, IngestError> {
+        let line = record.line();
+        let mapping = &self.mapping;
+
+        let sequence = match &mapping.sequence_key {
+            Some(key) => match record.get(key) {
+                None | Some(RawValue::Null) => None,
+                Some(value) => {
+                    let text = text_of(value, line, Role::Sequence, key)?;
+                    let parsed: u64 = text.trim().parse().map_err(|_| IngestError::BadValue {
+                        line,
+                        role: Role::Sequence,
+                        key: key.clone(),
+                        value: snippet(text),
+                        message: "not a non-negative integer".to_owned(),
+                    })?;
+                    Some(parsed)
+                }
+            },
+            None => None,
+        };
+
+        let user = required_id(record, line, Role::User, &mapping.user_key, None)?;
+        let service = required_id(
+            record,
+            line,
+            Role::Service,
+            &mapping.service_key,
+            mapping.service_default.as_deref(),
+        )?;
+        let actor = required_id(
+            record,
+            line,
+            Role::Actor,
+            &mapping.actor_key,
+            mapping.actor_default.as_deref(),
+        )?;
+
+        let action_key = &mapping.action_key;
+        let verb_value = record.get(action_key).ok_or_else(|| IngestError::MissingColumn {
+            line,
+            role: Role::Action,
+            key: action_key.clone(),
+        })?;
+        let verb = text_of(verb_value, line, Role::Action, action_key)?;
+        let action = mapping.action_for(verb).ok_or_else(|| IngestError::BadValue {
+            line,
+            role: Role::Action,
+            key: action_key.clone(),
+            value: snippet(verb),
+            message: format!(
+                "unknown action verb (known: {})",
+                mapping.known_verbs().collect::<Vec<_>>().join(", ")
+            ),
+        })?;
+
+        let fields: Vec<FieldId> = match &mapping.fields_key {
+            None => Vec::new(),
+            Some(key) => match record.get(key) {
+                None | Some(RawValue::Null) => Vec::new(),
+                Some(RawValue::List(items)) => {
+                    items.iter().map(|item| FieldId::from(item.as_str())).collect()
+                }
+                Some(value) => {
+                    let text = text_of(value, line, Role::Fields, key)?;
+                    split_list(text, mapping.list_separator)
+                        .map_err(|message| IngestError::BadValue {
+                            line,
+                            role: Role::Fields,
+                            key: key.clone(),
+                            value: snippet(text),
+                            message,
+                        })?
+                        .into_iter()
+                        .map(FieldId::from)
+                        .collect()
+                }
+            },
+        };
+
+        let datastore = match &mapping.datastore_key {
+            None => None,
+            Some(key) => match record.get(key) {
+                None | Some(RawValue::Null) => None,
+                Some(value) => {
+                    let text = text_of(value, line, Role::Datastore, key)?;
+                    if text.is_empty() {
+                        None
+                    } else {
+                        Some(text.into())
+                    }
+                }
+            },
+        };
+
+        let permitted = match &mapping.permitted_key {
+            None => mapping.permitted_default,
+            Some(key) => match record.get(key) {
+                None | Some(RawValue::Null) => mapping.permitted_default,
+                Some(RawValue::Bool(flag)) => *flag,
+                Some(value) => {
+                    let text = text_of(value, line, Role::Permitted, key)?;
+                    parse_bool(text).ok_or_else(|| IngestError::BadValue {
+                        line,
+                        role: Role::Permitted,
+                        key: key.clone(),
+                        value: snippet(text),
+                        message: "expected true/false, yes/no or 1/0".to_owned(),
+                    })?
+                }
+            },
+        };
+
+        // All fallible work is done: commit the sequence state.
+        let sequence = match sequence {
+            Some(mapped) => {
+                if let Some(previous) = self.last_sequence {
+                    if mapped <= previous {
+                        return Err(IngestError::NonMonotoneSequence {
+                            line,
+                            sequence: mapped,
+                            previous,
+                        });
+                    }
+                }
+                self.last_sequence = Some(mapped);
+                self.next_sequence = mapped + 1;
+                mapped
+            }
+            None => {
+                let assigned = self.next_sequence;
+                self.next_sequence += 1;
+                self.last_sequence = Some(assigned);
+                assigned
+            }
+        };
+
+        Ok(Event::new(sequence, user, service, actor, action, fields, datastore, permitted))
+    }
+}
+
+/// A required textual id: mapped key, else default, else `MissingColumn`.
+fn required_id(
+    record: &RawRecord,
+    line: u64,
+    role: Role,
+    key: &str,
+    default: Option<&str>,
+) -> Result<String, IngestError> {
+    match record.get(key) {
+        None | Some(RawValue::Null) => match default {
+            Some(default) => Ok(default.to_owned()),
+            None => Err(IngestError::MissingColumn { line, role, key: key.to_owned() }),
+        },
+        Some(value) => {
+            let text = text_of(value, line, role, key)?;
+            if text.is_empty() {
+                match default {
+                    Some(default) => Ok(default.to_owned()),
+                    None => Err(IngestError::BadValue {
+                        line,
+                        role,
+                        key: key.to_owned(),
+                        value: String::new(),
+                        message: "empty id".to_owned(),
+                    }),
+                }
+            } else {
+                Ok(text.to_owned())
+            }
+        }
+    }
+}
+
+fn text_of<'v>(
+    value: &'v RawValue,
+    line: u64,
+    role: Role,
+    key: &str,
+) -> Result<&'v str, IngestError> {
+    value.as_text().ok_or_else(|| IngestError::BadValue {
+        line,
+        role,
+        key: key.to_owned(),
+        value: snippet(&value.to_string()),
+        message: format!("expected text, found a {}", value.type_name()),
+    })
+}
+
+/// Splits a separator-joined list, honouring `\<sep>` and `\\` escapes (the
+/// emitter's inverse). An empty string is the empty list.
+fn split_list(text: &str, separator: char) -> Result<Vec<String>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some(escaped) if escaped == separator || escaped == '\\' => current.push(escaped),
+                Some(other) => return Err(format!("invalid escape `\\{other}` in list")),
+                None => return Err("dangling `\\` at end of list".to_owned()),
+            }
+        } else if ch == separator {
+            items.push(std::mem::take(&mut current));
+        } else {
+            current.push(ch);
+        }
+    }
+    items.push(current);
+    Ok(items)
+}
+
+fn parse_bool(text: &str) -> Option<bool> {
+    match text.trim().to_ascii_lowercase().as_str() {
+        "true" | "1" | "yes" => Some(true),
+        "false" | "0" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_lts::ActionKind;
+
+    fn record(pairs: &[(&str, RawValue)]) -> RawRecord {
+        let mut record = RawRecord::new(7);
+        for (key, value) in pairs {
+            record.push((*key).to_owned(), value.clone());
+        }
+        record
+    }
+
+    fn canonical(pairs: &[(&str, RawValue)]) -> Result<Event, IngestError> {
+        Resolver::new(FieldMapping::canonical()).resolve(&record(pairs))
+    }
+
+    #[test]
+    fn a_full_record_resolves_to_an_event() {
+        let event = canonical(&[
+            ("seq", RawValue::Number("42".into())),
+            ("user", RawValue::Str("u-1".into())),
+            ("service", RawValue::Str("portal".into())),
+            ("actor", RawValue::Str("nurse".into())),
+            ("action", RawValue::Str("read".into())),
+            ("fields", RawValue::List(vec!["name".into(), "dob".into()])),
+            ("store", RawValue::Str("records".into())),
+            ("permitted", RawValue::Bool(false)),
+        ])
+        .unwrap();
+        assert_eq!(event.sequence(), 42);
+        assert_eq!(event.user().as_str(), "u-1");
+        assert_eq!(event.action(), ActionKind::Read);
+        assert_eq!(event.fields().len(), 2);
+        assert_eq!(event.datastore().map(|d| d.as_str()), Some("records"));
+        assert!(!event.permitted());
+    }
+
+    #[test]
+    fn separator_joined_fields_unescape() {
+        let event = canonical(&[
+            ("user", RawValue::Str("u".into())),
+            ("service", RawValue::Str("s".into())),
+            ("actor", RawValue::Str("a".into())),
+            ("action", RawValue::Str("collect".into())),
+            ("fields", RawValue::Str(r"plain;with\;semi;back\\slash".into())),
+        ])
+        .unwrap();
+        let fields: Vec<&str> = event.fields().iter().map(|f| f.as_str()).collect();
+        assert_eq!(fields, ["back\\slash", "plain", "with;semi"]);
+    }
+
+    #[test]
+    fn auto_sequences_count_up_and_mapped_sequences_must_increase() {
+        let mut resolver = Resolver::new(FieldMapping::canonical());
+        let base = |seq: Option<&str>| {
+            let mut pairs = vec![
+                ("user", RawValue::Str("u".into())),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("read".into())),
+            ];
+            if let Some(seq) = seq {
+                pairs.push(("seq", RawValue::Number(seq.into())));
+            }
+            record(&pairs)
+        };
+        assert_eq!(resolver.resolve(&base(None)).unwrap().sequence(), 1);
+        assert_eq!(resolver.resolve(&base(None)).unwrap().sequence(), 2);
+        assert_eq!(resolver.resolve(&base(Some("10"))).unwrap().sequence(), 10);
+        // Auto-assignment continues past the mapped value.
+        assert_eq!(resolver.resolve(&base(None)).unwrap().sequence(), 11);
+        let error = resolver.resolve(&base(Some("5"))).unwrap_err();
+        assert_eq!(error, IngestError::NonMonotoneSequence { line: 7, sequence: 5, previous: 11 });
+        // The failed record did not corrupt state.
+        assert_eq!(resolver.resolve(&base(Some("12"))).unwrap().sequence(), 12);
+    }
+
+    #[test]
+    fn defaults_fill_missing_service_actor_and_permitted() {
+        let mapping = FieldMapping::canonical()
+            .with_service_default("portal")
+            .with_actor_default("system")
+            .with_permitted_default(false);
+        let event = Resolver::new(mapping)
+            .resolve(&record(&[
+                ("user", RawValue::Str("u".into())),
+                ("action", RawValue::Str("delete".into())),
+            ]))
+            .unwrap();
+        assert_eq!(event.service().as_str(), "portal");
+        assert_eq!(event.actor().as_str(), "system");
+        assert!(!event.permitted());
+    }
+
+    #[test]
+    fn each_bad_shape_is_a_distinct_typed_error() {
+        // Missing user.
+        assert!(matches!(
+            canonical(&[("action", RawValue::Str("read".into()))]),
+            Err(IngestError::MissingColumn { role: Role::User, .. })
+        ));
+        // Unknown verb.
+        assert!(matches!(
+            canonical(&[
+                ("user", RawValue::Str("u".into())),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("frobnicate".into())),
+            ]),
+            Err(IngestError::BadValue { role: Role::Action, .. })
+        ));
+        // Non-numeric sequence.
+        assert!(matches!(
+            canonical(&[
+                ("seq", RawValue::Str("soon".into())),
+                ("user", RawValue::Str("u".into())),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("read".into())),
+            ]),
+            Err(IngestError::BadValue { role: Role::Sequence, .. })
+        ));
+        // Structured value where text is needed.
+        assert!(matches!(
+            canonical(&[
+                ("user", RawValue::Complex),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("read".into())),
+            ]),
+            Err(IngestError::BadValue { role: Role::User, .. })
+        ));
+        // Unparseable permitted flag.
+        assert!(matches!(
+            canonical(&[
+                ("user", RawValue::Str("u".into())),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("read".into())),
+                ("permitted", RawValue::Str("maybe".into())),
+            ]),
+            Err(IngestError::BadValue { role: Role::Permitted, .. })
+        ));
+        // Bad list escape.
+        assert!(matches!(
+            canonical(&[
+                ("user", RawValue::Str("u".into())),
+                ("service", RawValue::Str("s".into())),
+                ("actor", RawValue::Str("a".into())),
+                ("action", RawValue::Str("read".into())),
+                ("fields", RawValue::Str(r"a\q".into())),
+            ]),
+            Err(IngestError::BadValue { role: Role::Fields, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_datastore_and_absent_fields_resolve_to_none() {
+        let event = canonical(&[
+            ("user", RawValue::Str("u".into())),
+            ("service", RawValue::Str("s".into())),
+            ("actor", RawValue::Str("a".into())),
+            ("action", RawValue::Str("anon".into())),
+            ("store", RawValue::Str(String::new())),
+        ])
+        .unwrap();
+        assert_eq!(event.datastore(), None);
+        assert!(event.fields().is_empty());
+    }
+}

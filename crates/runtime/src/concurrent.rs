@@ -8,13 +8,12 @@
 //! result is independent of interleaving (every request is logged exactly
 //! once).
 
-use crate::engine::ServiceEngine;
+use crate::engine::{ServiceEngine, ServiceRequest};
 use crate::event::Event;
 use crate::monitor::{Alert, RuntimeMonitor};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use privacy_model::{Record, UserId};
-use privacy_synth::ServiceRequest;
 use std::sync::Arc;
 use std::thread;
 

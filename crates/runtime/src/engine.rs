@@ -15,6 +15,41 @@ use privacy_model::{Catalog, DatastoreId, ModelError, Record, ServiceId, UserId,
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// One request: a user asks for one execution of a service.
+///
+/// Requests are what workload drivers (the synthetic generator in
+/// `privacy-synth`, the [`crate::concurrent`] driver) hand to the engine;
+/// the type lives here so producers and consumers of workloads agree on it
+/// without the generator crate having to sit below the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    user: UserId,
+    service: ServiceId,
+}
+
+impl ServiceRequest {
+    /// Creates a request.
+    pub fn new(user: impl Into<UserId>, service: impl Into<ServiceId>) -> Self {
+        ServiceRequest { user: user.into(), service: service.into() }
+    }
+
+    /// The requesting user.
+    pub fn user(&self) -> &UserId {
+        &self.user
+    }
+
+    /// The requested service.
+    pub fn service(&self) -> &ServiceId {
+        &self.service
+    }
+}
+
+impl fmt::Display for ServiceRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.user, self.service)
+    }
+}
+
 /// The outcome of one service execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionOutcome {

@@ -41,7 +41,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use concurrent::{run_concurrent_workload, ConcurrentConfig};
-pub use engine::{ExecutionOutcome, ServiceEngine};
+pub use engine::{ExecutionOutcome, ServiceEngine, ServiceRequest};
 pub use event::{Event, EventLog};
 pub use indexed::IndexedMonitor;
 pub use log_index::{ErasureTimeline, EventLogIndex};
@@ -52,7 +52,7 @@ pub use store::DatastoreState;
 /// Convenience re-export of the most commonly used items.
 pub mod prelude {
     pub use crate::concurrent::{run_concurrent_workload, ConcurrentConfig};
-    pub use crate::engine::{ExecutionOutcome, ServiceEngine};
+    pub use crate::engine::{ExecutionOutcome, ServiceEngine, ServiceRequest};
     pub use crate::event::{Event, EventLog};
     pub use crate::indexed::IndexedMonitor;
     pub use crate::log_index::{ErasureTimeline, EventLogIndex};

@@ -16,7 +16,10 @@
 //! * [`workload`] — sequences of service executions used to drive the
 //!   runtime simulator;
 //! * [`models`] — random whole-system models (catalog, data flows, access
-//!   policy) for the LTS engine's differential tests and scaling benches.
+//!   policy) for the LTS engine's differential tests and scaling benches;
+//! * [`logs`] — renders an event log back out in real wire formats (JSON
+//!   lines, logfmt, CSV): the synthetic-log emitter behind the
+//!   `privacy-ingest` round-trip differential tests.
 //!
 //! All generators are deterministic given a seed so experiments are
 //! reproducible.
@@ -24,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod logs;
 pub mod models;
 pub mod profiles;
 pub mod records;
 pub mod workload;
 
+pub use logs::{render_event, render_events, render_log, LogFormat, CSV_HEADER};
 pub use models::{random_model, GeneratedModel, ModelGeneratorConfig};
 pub use profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
 pub use records::{
@@ -38,6 +43,7 @@ pub use workload::{random_workload, ServiceRequest, WorkloadConfig};
 
 /// Convenience re-export of the most commonly used items.
 pub mod prelude {
+    pub use crate::logs::{render_event, render_events, render_log, LogFormat, CSV_HEADER};
     pub use crate::models::{random_model, GeneratedModel, ModelGeneratorConfig};
     pub use crate::profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
     pub use crate::records::{

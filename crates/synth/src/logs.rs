@@ -1,0 +1,307 @@
+//! Synthetic log emission: render an [`EventLog`] in real wire formats.
+//!
+//! A production privacy monitor ingests logs that already exist — JSON
+//! lines, logfmt, CSV — rather than in-process [`Event`] values. This module
+//! renders an event log back out in each of those formats, which gives the
+//! ingestion layer (`privacy-ingest`) its round-trip oracle: for any
+//! synthetic stream, *render → parse* must reproduce the original events
+//! bit-identically.
+//!
+//! ## Canonical record schema
+//!
+//! Every rendered record carries the same eight logical columns:
+//!
+//! | key         | value                                                      |
+//! |-------------|------------------------------------------------------------|
+//! | `seq`       | the event's sequence number, decimal                       |
+//! | `user`      | the data subject's id                                      |
+//! | `service`   | the executing service's id                                 |
+//! | `actor`     | the acting actor's id                                      |
+//! | `action`    | `collect`/`create`/`read`/`disclose`/`anon`/`delete`       |
+//! | `fields`    | the involved field ids (JSON: array; logfmt/CSV: `;` list) |
+//! | `store`     | the datastore id (omitted / empty when none)               |
+//! | `permitted` | `true` or `false`                                          |
+//!
+//! In logfmt and CSV the multi-valued `fields` column is a single cell whose
+//! elements are joined with `;`; a literal `;` or `\` inside an element is
+//! escaped as `\;` / `\\`, so arbitrary field ids survive the round trip. An
+//! empty cell means "no fields".
+
+use privacy_runtime::{Event, EventLog};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The wire formats the emitter can render (and the ingestion layer parses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogFormat {
+    /// One JSON object per line (NDJSON).
+    Json,
+    /// One logfmt `key=value ...` record per line.
+    Logfmt,
+    /// RFC 4180 CSV with a leading header row.
+    Csv,
+}
+
+impl LogFormat {
+    /// All wire formats.
+    pub const ALL: [LogFormat; 3] = [LogFormat::Json, LogFormat::Logfmt, LogFormat::Csv];
+
+    /// The lowercase format name (`json`, `logfmt`, `csv`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogFormat::Json => "json",
+            LogFormat::Logfmt => "logfmt",
+            LogFormat::Csv => "csv",
+        }
+    }
+}
+
+impl fmt::Display for LogFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The CSV header row the emitter writes (no trailing newline).
+pub const CSV_HEADER: &str = "seq,user,service,actor,action,fields,store,permitted";
+
+/// Renders one event as one line of `format` (no trailing newline).
+///
+/// Note a CSV line is only meaningful under the [`CSV_HEADER`] column order;
+/// [`render_log`] emits the header for you.
+pub fn render_event(event: &Event, format: LogFormat) -> String {
+    match format {
+        LogFormat::Json => render_json(event),
+        LogFormat::Logfmt => render_logfmt(event),
+        LogFormat::Csv => render_csv(event),
+    }
+}
+
+/// Renders a slice of events as `format` text, one record per line, each
+/// line newline-terminated. CSV output starts with the header row.
+pub fn render_events(events: &[Event], format: LogFormat) -> String {
+    let mut out = String::new();
+    if format == LogFormat::Csv {
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+    }
+    for event in events {
+        out.push_str(&render_event(event, format));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a whole event log as `format` text (see [`render_events`]).
+pub fn render_log(log: &EventLog, format: LogFormat) -> String {
+    render_events(log.events(), format)
+}
+
+fn render_json(event: &Event) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"seq\":{}", event.sequence());
+    let _ = write!(out, ",\"user\":{}", json_string(event.user().as_str()));
+    let _ = write!(out, ",\"service\":{}", json_string(event.service().as_str()));
+    let _ = write!(out, ",\"actor\":{}", json_string(event.actor().as_str()));
+    let _ = write!(out, ",\"action\":{}", json_string(&event.action().to_string()));
+    out.push_str(",\"fields\":[");
+    for (i, field) in event.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(field.as_str()));
+    }
+    out.push(']');
+    if let Some(store) = event.datastore() {
+        let _ = write!(out, ",\"store\":{}", json_string(store.as_str()));
+    }
+    let _ = write!(out, ",\"permitted\":{}}}", event.permitted());
+    out
+}
+
+fn render_logfmt(event: &Event) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "seq={}", event.sequence());
+    let _ = write!(out, " user={}", logfmt_value(event.user().as_str()));
+    let _ = write!(out, " service={}", logfmt_value(event.service().as_str()));
+    let _ = write!(out, " actor={}", logfmt_value(event.actor().as_str()));
+    let _ = write!(out, " action={}", event.action());
+    let fields = join_list(event.fields().iter().map(|f| f.as_str()));
+    let _ = write!(out, " fields={}", logfmt_value(&fields));
+    if let Some(store) = event.datastore() {
+        let _ = write!(out, " store={}", logfmt_value(store.as_str()));
+    }
+    let _ = write!(out, " permitted={}", event.permitted());
+    out
+}
+
+fn render_csv(event: &Event) -> String {
+    let fields = join_list(event.fields().iter().map(|f| f.as_str()));
+    let store = event.datastore().map(|s| s.as_str()).unwrap_or("");
+    [
+        event.sequence().to_string(),
+        csv_cell(event.user().as_str()),
+        csv_cell(event.service().as_str()),
+        csv_cell(event.actor().as_str()),
+        event.action().to_string(),
+        csv_cell(&fields),
+        csv_cell(store),
+        event.permitted().to_string(),
+    ]
+    .join(",")
+}
+
+/// Joins list elements with `;`, escaping literal `\` and `;` inside an
+/// element as `\\` and `\;`.
+fn join_list<'a>(elements: impl Iterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for (i, element) in elements.enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        for ch in element.chars() {
+            if ch == '\\' || ch == ';' {
+                out.push('\\');
+            }
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// A JSON string literal, quotes included.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A logfmt value, quoted only when it has to be (empty, or contains a
+/// space, quote, backslash, `=` or control character).
+fn logfmt_value(value: &str) -> String {
+    let needs_quoting = value.is_empty()
+        || value.chars().any(|c| c == ' ' || c == '"' || c == '\\' || c == '=' || c.is_control());
+    if !needs_quoting {
+        return value.to_owned();
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An RFC 4180 CSV cell: quoted when it contains a comma, quote or line
+/// break, with embedded quotes doubled.
+fn csv_cell(value: &str) -> String {
+    if !value.contains(',')
+        && !value.contains('"')
+        && !value.contains('\n')
+        && !value.contains('\r')
+    {
+        return value.to_owned();
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        if ch == '"' {
+            out.push('"');
+        }
+        out.push(ch);
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_model::{DatastoreId, FieldId};
+    use privacy_runtime::Event;
+
+    fn sample() -> Event {
+        Event::new(
+            7,
+            "alice",
+            "MedicalService",
+            "Doctor",
+            privacy_lts::ActionKind::Read,
+            [FieldId::new("Diagnosis"), FieldId::new("Name")],
+            Some(DatastoreId::new("EHR")),
+            true,
+        )
+    }
+
+    #[test]
+    fn json_lines_carry_every_column() {
+        let line = render_event(&sample(), LogFormat::Json);
+        assert!(line.starts_with("{\"seq\":7,"));
+        assert!(line.contains("\"user\":\"alice\""));
+        assert!(line.contains("\"action\":\"read\""));
+        assert!(line.contains("\"fields\":[\"Diagnosis\",\"Name\"]"));
+        assert!(line.contains("\"store\":\"EHR\""));
+        assert!(line.ends_with("\"permitted\":true}"));
+    }
+
+    #[test]
+    fn logfmt_quotes_only_when_needed() {
+        let line = render_event(&sample(), LogFormat::Logfmt);
+        assert_eq!(
+            line,
+            "seq=7 user=alice service=MedicalService actor=Doctor action=read \
+             fields=Diagnosis;Name store=EHR permitted=true"
+        );
+        assert_eq!(logfmt_value("has space"), "\"has space\"");
+        assert_eq!(logfmt_value("a=b"), "\"a=b\"");
+        assert_eq!(logfmt_value(""), "\"\"");
+        assert_eq!(logfmt_value("plain"), "plain");
+    }
+
+    #[test]
+    fn csv_rows_follow_the_header_and_quote_specials() {
+        let text = render_events(&[sample()], LogFormat::Csv);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert_eq!(
+            lines.next(),
+            Some("7,alice,MedicalService,Doctor,read,Diagnosis;Name,EHR,true")
+        );
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn list_elements_escape_the_separator() {
+        assert_eq!(join_list(["a;b", "c\\d"].into_iter()), "a\\;b;c\\\\d");
+        assert_eq!(join_list(std::iter::empty()), "");
+    }
+
+    #[test]
+    fn json_strings_escape_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -7,37 +7,10 @@
 use privacy_model::{ServiceId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt;
 
-/// One request: a user asks for one execution of a service.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServiceRequest {
-    user: UserId,
-    service: ServiceId,
-}
-
-impl ServiceRequest {
-    /// Creates a request.
-    pub fn new(user: impl Into<UserId>, service: impl Into<ServiceId>) -> Self {
-        ServiceRequest { user: user.into(), service: service.into() }
-    }
-
-    /// The requesting user.
-    pub fn user(&self) -> &UserId {
-        &self.user
-    }
-
-    /// The requested service.
-    pub fn service(&self) -> &ServiceId {
-        &self.service
-    }
-}
-
-impl fmt::Display for ServiceRequest {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {}", self.user, self.service)
-    }
-}
+// The request type itself lives with the engine that executes it; it is
+// re-exported here so workload producers keep importing it from this crate.
+pub use privacy_runtime::ServiceRequest;
 
 /// Configuration of the workload generator.
 #[derive(Debug, Clone, PartialEq)]

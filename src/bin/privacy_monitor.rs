@@ -1,0 +1,236 @@
+//! `privacy-monitor`: run real logs through the indexed runtime monitor.
+//!
+//! The end-to-end wiring of the ingestion front end: a log file (or stdin),
+//! in JSON lines / logfmt / CSV — gzip-compressed or plain — is parsed
+//! through a [`FieldMapping`], resolved into events, and batch-ingested
+//! into an [`IndexedMonitor`] over the paper's healthcare case-study model.
+//! Alerts print live as batches complete; `--checkpoint` persists a
+//! [`MonitorSnapshot`] after every batch so a crashed run resumes where it
+//! stopped (`--resume`).
+//!
+//! ```text
+//! privacy-monitor [FILE|-] [--format auto|json|logfmt|csv]
+//!                 [--error-policy fail-fast|skip] [--batch N] [--threads N]
+//!                 [--checkpoint PATH] [--resume PATH] [--aliases]
+//!                 [--no-consent] [--quiet]
+//! ```
+//!
+//! Unknown users are registered on first sight — consenting to every
+//! catalog service by default (so alerts reflect risky *actions*, not a
+//! blanket absence of consent), or with empty consent under `--no-consent`.
+
+use privacy_core::{casestudy, PrivacySystem};
+use privacy_ingest::{ingest_bytes, ErrorPolicy, FieldMapping, Format, IngestOptions};
+use privacy_lts::LtsIndex;
+use privacy_model::{ServiceId, UserId, UserProfile};
+use privacy_runtime::{Event, IndexedMonitor, MonitorSnapshot};
+use std::collections::BTreeSet;
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    input: String,
+    format: Option<Format>,
+    policy: ErrorPolicy,
+    batch: usize,
+    threads: Option<usize>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    aliases: bool,
+    no_consent: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: privacy-monitor [FILE|-] [--format auto|json|logfmt|csv] \
+                     [--error-policy fail-fast|skip] [--batch N] [--threads N] \
+                     [--checkpoint PATH] [--resume PATH] [--aliases] [--no-consent] [--quiet]";
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        input: "-".to_owned(),
+        format: None,
+        policy: ErrorPolicy::FailFast,
+        batch: 1024,
+        threads: None,
+        checkpoint: None,
+        resume: None,
+        aliases: false,
+        no_consent: false,
+        quiet: false,
+    };
+    let mut positional = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format needs a value")?;
+                options.format = match value.as_str() {
+                    "auto" => None,
+                    other => Some(
+                        Format::parse(other).ok_or_else(|| format!("unknown format `{other}`"))?,
+                    ),
+                };
+            }
+            "--error-policy" => {
+                let value = args.next().ok_or("--error-policy needs a value")?;
+                options.policy = match value.as_str() {
+                    "fail-fast" => ErrorPolicy::FailFast,
+                    "skip" => ErrorPolicy::Skip,
+                    other => return Err(format!("unknown error policy `{other}`")),
+                };
+            }
+            "--batch" => {
+                let value = args.next().ok_or("--batch needs a value")?;
+                options.batch =
+                    value.parse().map_err(|_| format!("bad --batch value `{value}`"))?;
+                if options.batch == 0 {
+                    return Err("--batch must be at least 1".to_owned());
+                }
+            }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                options.threads =
+                    Some(value.parse().map_err(|_| format!("bad --threads value `{value}`"))?);
+            }
+            "--checkpoint" => {
+                options.checkpoint = Some(args.next().ok_or("--checkpoint needs a path")?);
+            }
+            "--resume" => options.resume = Some(args.next().ok_or("--resume needs a path")?),
+            "--aliases" => options.aliases = true,
+            "--no-consent" => options.no_consent = true,
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') || other == "-" => {
+                if positional {
+                    return Err(format!("unexpected extra input `{other}`"));
+                }
+                options.input = other.to_owned();
+                positional = true;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn read_input(input: &str) -> Result<Vec<u8>, String> {
+    let mut bytes = Vec::new();
+    if input == "-" {
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut bytes)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+    } else {
+        bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    }
+    Ok(bytes)
+}
+
+/// A profile for a user seen in the log but not registered yet.
+fn profile_for(user: &UserId, services: &[ServiceId], no_consent: bool) -> UserProfile {
+    let mut profile = UserProfile::new(user.clone());
+    if !no_consent {
+        for service in services {
+            profile = profile.consents_to(service.clone());
+        }
+    }
+    profile
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    // The paper's healthcare case study is the monitored system.
+    let system: PrivacySystem =
+        casestudy::healthcare().map_err(|e| format!("building the healthcare model: {e}"))?;
+    let lts = system.generate_lts().map_err(|e| format!("generating the LTS: {e}"))?;
+    let index = Arc::new(LtsIndex::build(&lts));
+    let catalog = system.catalog().clone();
+    let policy = system.policy().clone();
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+
+    let mut monitor = match &options.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let snapshot = MonitorSnapshot::from_bytes(&bytes)
+                .map_err(|e| format!("decoding snapshot {path}: {e}"))?;
+            let monitor =
+                IndexedMonitor::resume_from(catalog, policy, Arc::clone(&index), &snapshot)
+                    .map_err(|e| format!("resuming from {path}: {e}"))?;
+            eprintln!("resumed {} users from {path}", monitor.user_count());
+            monitor
+        }
+        None => IndexedMonitor::new(catalog, policy, Arc::clone(&index)),
+    }
+    .with_threads(options.threads);
+
+    let mapping = if options.aliases {
+        FieldMapping::with_common_aliases()
+    } else {
+        FieldMapping::canonical()
+    };
+    let ingest_options = IngestOptions {
+        format: options.format,
+        policy: options.policy,
+        ..IngestOptions::default()
+    };
+
+    let bytes = read_input(&options.input)?;
+    let report = ingest_bytes(&bytes, &mapping, &ingest_options)
+        .map_err(|e| format!("ingesting {}: {e}", options.input))?;
+    for diagnostic in &report.diagnostics {
+        eprintln!("{diagnostic}");
+    }
+
+    let mut known: BTreeSet<UserId> = BTreeSet::new();
+    let mut alert_count = 0usize;
+    for batch in report.events.chunks(options.batch) {
+        for event in batch {
+            if known.insert(event.user().clone()) {
+                monitor.register_user(&profile_for(event.user(), &services, options.no_consent));
+            }
+        }
+        let alerts = monitor.ingest_batch(batch);
+        alert_count += alerts.len();
+        if !options.quiet {
+            for alert in &alerts {
+                println!("{alert}");
+            }
+        }
+        if let Some(path) = &options.checkpoint {
+            let snapshot = monitor.snapshot();
+            std::fs::write(path, snapshot.to_bytes())
+                .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
+        }
+    }
+    let last = report.events.last().map(Event::sequence).unwrap_or(0);
+    eprintln!(
+        "{} format, {} lines, {} events (last sequence {last}), {} skipped, {} users, {} alerts",
+        report.format,
+        report.stats.lines,
+        report.stats.events,
+        report.stats.skipped,
+        known.len(),
+        alert_count,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("privacy-monitor: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("privacy-monitor: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub use privacy_baselines as baselines;
 pub use privacy_compliance as compliance;
 pub use privacy_core as core;
 pub use privacy_dataflow as dataflow;
+pub use privacy_ingest as ingest;
 pub use privacy_interchange as interchange;
 pub use privacy_lts as lts;
 pub use privacy_model as model;
