@@ -1,0 +1,398 @@
+//! The distributed-monitoring benchmark: merged-stream throughput versus
+//! worker count, and supervised recovery latency, recorded as
+//! `BENCH_distributed.json`.
+//!
+//! The fleet under test is the real thing: `privacy-shardd` worker
+//! *processes* (found next to this executable unless `--worker` overrides
+//! it) spawned by a [`DistributedMonitor`], speaking framed messages over
+//! pipes, checkpointing to disk. Per worker count the benchmark launches a
+//! fresh fleet, routes the scenario's event stream through it in batches,
+//! and reports events/sec for the fully merged (deterministically ordered)
+//! alert stream. A separate run arms a kill-mid-stream fault and reports
+//! the supervised recovery latency — death detection to caught-up
+//! replacement — exercising checkpoint resume and suffix replay.
+//!
+//! Before anything is timed, the merged alert stream of a 2-worker fleet is
+//! proven **identical** to the single-process [`IndexedMonitor`] run over
+//! the same batches — the distributed layer may only ever change *where*
+//! monitoring happens, never what it says.
+//!
+//! ```text
+//! distributed_scaling [--quick] [--workers LIST] [--min-workers N]
+//!                     [--min-events-per-sec X] [--worker PATH] [--out PATH]
+//!                     [--force-baseline]
+//! ```
+//!
+//! See `docs/PERFORMANCE.md` for the recorded baseline.
+
+use privacy_bench::write_report;
+use privacy_core::{casestudy, PrivacySystem};
+use privacy_distrib::{DistribStats, DistributedMonitor, FaultPlan, SupervisorConfig};
+use privacy_lts::LtsIndex;
+use privacy_model::{FieldId, ModelError, Record, ServiceId, UserProfile};
+use privacy_runtime::{Alert, Event, IndexedMonitor, ServiceEngine};
+use privacy_synth::{random_profiles, random_workload, ProfileGeneratorConfig, WorkloadConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCH: usize = 256;
+
+struct Options {
+    quick: bool,
+    workers: Vec<usize>,
+    min_workers: usize,
+    min_events_per_sec: f64,
+    worker: Option<PathBuf>,
+    out: String,
+    force_baseline: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        workers: Vec::new(),
+        min_workers: 0,
+        min_events_per_sec: 0.0,
+        worker: None,
+        out: "BENCH_distributed.json".to_owned(),
+        force_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a comma-separated list")?;
+                options.workers = value
+                    .split(',')
+                    .map(|part| part.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad --workers list `{value}`"))?;
+            }
+            "--min-workers" => {
+                let value = args.next().ok_or("--min-workers needs a value")?;
+                options.min_workers =
+                    value.parse().map_err(|_| format!("bad --min-workers value `{value}`"))?;
+            }
+            "--min-events-per-sec" => {
+                let value = args.next().ok_or("--min-events-per-sec needs a value")?;
+                options.min_events_per_sec = value
+                    .parse()
+                    .map_err(|_| format!("bad --min-events-per-sec value `{value}`"))?;
+            }
+            "--worker" => {
+                options.worker = Some(PathBuf::from(args.next().ok_or("--worker needs a path")?));
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a path")?,
+            "--force-baseline" => options.force_baseline = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.workers.is_empty() {
+        options.workers = if options.quick { vec![1, 2] } else { vec![1, 2, 4] };
+    }
+    Ok(options)
+}
+
+/// The `privacy-shardd` binary: explicit path, or the one built next to us.
+fn worker_program(options: &Options) -> Result<PathBuf, String> {
+    if let Some(path) = &options.worker {
+        return Ok(path.clone());
+    }
+    let me = std::env::current_exe().map_err(|e| format!("locating this executable: {e}"))?;
+    let sibling = me.with_file_name("privacy-shardd");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!("no worker binary at {} — pass --worker PATH", sibling.display()))
+    }
+}
+
+struct Scenario {
+    system: PrivacySystem,
+    fingerprint: u64,
+    index: Arc<LtsIndex>,
+    users: Vec<UserProfile>,
+    batches: Vec<Vec<Event>>,
+}
+
+/// The paper's healthcare model with a seeded population and an
+/// engine-produced event stream (the `monitor_recovery` fixture shape).
+fn scenario(quick: bool) -> Result<Scenario, ModelError> {
+    let system = casestudy::healthcare()?;
+    let lts = system.generate_lts()?;
+    let index = Arc::new(LtsIndex::build(&lts));
+    let fingerprint = index.fingerprint();
+
+    let services: Vec<ServiceId> = system.catalog().services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = system.catalog().fields().map(|f| f.id().clone()).collect();
+    let users = random_profiles(&ProfileGeneratorConfig {
+        count: if quick { 96 } else { 192 },
+        seed: 13,
+        services: services.clone(),
+        consent_probability: 0.5,
+        fields: fields.clone(),
+        sensitivity_probability: 0.6,
+    });
+    let mut engine = ServiceEngine::new(
+        system.catalog().clone(),
+        system.dataflows().clone(),
+        system.policy().clone(),
+    );
+    let workload = random_workload(&WorkloadConfig {
+        length: if quick { 3_000 } else { 12_000 },
+        seed: 17,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+    });
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    let events = engine.log().events().to_vec();
+    let batches = events.chunks(BATCH).map(<[Event]>::to_vec).collect();
+    Ok(Scenario { system, fingerprint, index, users, batches })
+}
+
+fn fleet_config(
+    program: &std::path::Path,
+    dir_tag: &str,
+    workers: usize,
+    plan: FaultPlan,
+) -> SupervisorConfig {
+    let dir = std::env::temp_dir()
+        .join(format!("privacy-distributed-bench-{dir_tag}-{}", std::process::id()));
+    let mut config = SupervisorConfig::new(program, dir);
+    config.workers = workers;
+    config.window = 4;
+    config.checkpoint_every = 8;
+    config.fault_plan = plan;
+    config
+}
+
+/// Launches a fleet, registers the population, streams every batch through
+/// it, and returns the merged alerts, the run stats, and the ingest-phase
+/// wall time (fleet launch and registration are deliberately not timed:
+/// they amortise over a monitor's lifetime).
+fn run_fleet(
+    scenario: &Scenario,
+    config: SupervisorConfig,
+) -> Result<(Vec<Alert>, DistribStats, f64), String> {
+    let dir = config.checkpoint_dir.clone();
+    let mut monitor =
+        DistributedMonitor::launch("Healthcare", &scenario.system, scenario.fingerprint, config)
+            .map_err(|e| format!("launch failed: {e}"))?;
+    for user in &scenario.users {
+        monitor.register_user(user).map_err(|e| format!("registration failed: {e}"))?;
+    }
+    let started = Instant::now();
+    let mut alerts = Vec::new();
+    for batch in &scenario.batches {
+        alerts.extend(monitor.submit_batch(batch).map_err(|e| format!("ingest failed: {e}"))?);
+    }
+    let (rest, stats) = monitor.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    alerts.extend(rest);
+    let _ = std::fs::remove_dir_all(dir);
+    Ok((alerts, stats, secs))
+}
+
+struct Row {
+    workers: usize,
+    events: usize,
+    alerts: usize,
+    secs: f64,
+    recoveries: usize,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+}
+
+struct RecoveryRow {
+    workers: usize,
+    recoveries: usize,
+    latency_ms_mean: f64,
+    resumed_from_batch: u64,
+}
+
+fn run(options: &Options) -> Result<(Vec<Row>, RecoveryRow), String> {
+    let program = worker_program(options)?;
+    let scenario = scenario(options.quick).map_err(|e| format!("building the scenario: {e}"))?;
+    let events: usize = scenario.batches.iter().map(Vec::len).sum();
+
+    // ── Correctness gate: the merged stream must equal the in-process run.
+    let mut reference = IndexedMonitor::new(
+        scenario.system.catalog().clone(),
+        scenario.system.policy().clone(),
+        scenario.index.clone(),
+    );
+    for user in &scenario.users {
+        reference.register_user(user);
+    }
+    let mut expected = Vec::new();
+    for batch in &scenario.batches {
+        expected.extend(reference.ingest_batch(batch));
+    }
+    let (merged, _, _) =
+        run_fleet(&scenario, fleet_config(&program, "gate", 2, FaultPlan::none()))?;
+    if merged != expected {
+        return Err(format!(
+            "correctness gate failed: 2-worker merged stream has {} alerts, in-process run has \
+             {} — distributed monitoring may not change what is reported",
+            merged.len(),
+            expected.len()
+        ));
+    }
+
+    // ── Throughput vs worker count.
+    let mut rows = Vec::new();
+    for &workers in &options.workers {
+        let reps = if options.quick { 1 } else { 2 };
+        let mut best_secs = f64::INFINITY;
+        let mut last = None;
+        for rep in 0..reps {
+            let tag = format!("w{workers}r{rep}");
+            let (alerts, stats, secs) =
+                run_fleet(&scenario, fleet_config(&program, &tag, workers, FaultPlan::none()))?;
+            best_secs = best_secs.min(secs);
+            last = Some((alerts.len(), stats.recoveries.len()));
+        }
+        let (alerts, recoveries) = last.expect("at least one rep");
+        let row = Row { workers, events, alerts, secs: best_secs, recoveries };
+        eprintln!(
+            "{:>2} workers: {:>7} events in {:>7.3} s ({:>9.0} events/s), {} alerts, {} \
+             recoveries",
+            row.workers,
+            row.events,
+            row.secs,
+            row.events_per_sec(),
+            row.alerts,
+            row.recoveries,
+        );
+        rows.push(row);
+    }
+
+    // ── Recovery latency: kill a worker mid-stream, measure detection →
+    // caught-up replacement.
+    let kill_at = (events / 3) as u64;
+    let plan = FaultPlan::none().kill_after(0, 0, kill_at.max(1));
+    let (alerts, stats, _) = run_fleet(&scenario, fleet_config(&program, "recovery", 2, plan))?;
+    if alerts != expected {
+        return Err(
+            "recovery gate failed: the killed-and-recovered run diverged from the in-process \
+             stream"
+                .to_owned(),
+        );
+    }
+    if stats.recoveries.is_empty() {
+        return Err("recovery gate failed: the armed kill never triggered a recovery".to_owned());
+    }
+    let latency_ms_mean =
+        stats.recoveries.iter().map(|recovery| recovery.latency.as_secs_f64() * 1e3).sum::<f64>()
+            / stats.recoveries.len() as f64;
+    let recovery = RecoveryRow {
+        workers: 2,
+        recoveries: stats.recoveries.len(),
+        latency_ms_mean,
+        resumed_from_batch: stats.recoveries[0].resumed_from_batch,
+    };
+    eprintln!(
+        "recovery: {} restart(s), mean latency {:.1} ms, resumed from batch {}",
+        recovery.recoveries, recovery.latency_ms_mean, recovery.resumed_from_batch,
+    );
+    Ok((rows, recovery))
+}
+
+fn json_report(options: &Options, rows: &[Row], recovery: &RecoveryRow) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let threads_available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"distributed_scaling\",");
+    let _ = writeln!(out, "  \"quick\": {},", options.quick);
+    let _ = writeln!(out, "  \"threads_available\": {threads_available},");
+    let _ = writeln!(out, "  \"generated_unix\": {unix_secs},");
+    let _ = writeln!(out, "  \"batch\": {BATCH},");
+    let _ = writeln!(
+        out,
+        "  \"recovery\": {{\"workers\": {}, \"recoveries\": {}, \"latency_ms_mean\": {:.1}, \
+         \"resumed_from_batch\": {}}},",
+        recovery.workers,
+        recovery.recoveries,
+        recovery.latency_ms_mean,
+        recovery.resumed_from_batch,
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"workers\": {}, \"events\": {}, \"alerts\": {}, \"secs\": {:.3}, \
+             \"events_per_sec\": {:.0}",
+            row.workers,
+            row.events,
+            row.alerts,
+            row.secs,
+            row.events_per_sec(),
+        );
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("distributed_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (rows, recovery) = match run(&options) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("distributed_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // CI floors: the fleet must actually scale to the demanded width, and
+    // throughput must not regress below the recorded floor.
+    if let Some(widest) = rows.iter().map(|row| row.workers).max() {
+        if widest < options.min_workers {
+            eprintln!(
+                "distributed_scaling: widest fleet ran {widest} workers, below the --min-workers \
+                 {} floor",
+                options.min_workers
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let best = rows.iter().map(Row::events_per_sec).fold(0.0f64, f64::max);
+    if best < options.min_events_per_sec {
+        eprintln!(
+            "distributed_scaling: best throughput {best:.0} events/s is below the \
+             --min-events-per-sec {} floor",
+            options.min_events_per_sec
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = json_report(&options, &rows, &recovery);
+    if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
+        eprintln!("distributed_scaling: {message}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("distributed_scaling: wrote {}", options.out);
+    ExitCode::SUCCESS
+}

@@ -31,6 +31,7 @@ pub const CHECKED_IN_BASELINES: &[&str] = &[
     "BENCH_runtime.json",
     "BENCH_recovery.json",
     "BENCH_ingest.json",
+    "BENCH_distributed.json",
 ];
 
 /// Writes one bench JSON report to `out`: the single output path every bench

@@ -1,0 +1,10 @@
+//! `privacy-shardd`: one shard-owning monitor worker, spawned and driven by
+//! [`privacy_distrib::DistributedMonitor`] over framed stdin/stdout pipes.
+//!
+//! Not meant to be run by hand; see `privacy-shardd --help` for the exit
+//! code taxonomy and the fault-injection switches the differential harness
+//! uses.
+
+fn main() {
+    std::process::exit(privacy_distrib::worker::shardd_main(std::env::args().skip(1)));
+}

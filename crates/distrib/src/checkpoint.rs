@@ -1,0 +1,227 @@
+//! Atomic, generationed checkpoint files: [`CheckpointStore`].
+//!
+//! A checkpoint that can be *torn* by the crash it exists to survive is
+//! worse than none — the classic failure is a process dying mid-`write(2)`
+//! and leaving a half-file that poisons the restart. This store makes the
+//! standard guarantees explicit:
+//!
+//! * **Atomic replace.** A checkpoint is written to a temporary file in the
+//!   same directory, fsynced, and `rename(2)`d over the live path. Readers
+//!   see the old complete file or the new complete file, never a mixture.
+//! * **A `.prev` generation.** Before the rename, the previous live file is
+//!   renamed to `<path>.prev`. If the *content* of the newest checkpoint is
+//!   bad (corrupted on disk, or torn by a filesystem without atomic-rename
+//!   durability), the loader falls back one generation instead of failing.
+//! * **Typed fallback.** [`CheckpointStore::load_latest`] validates each
+//!   generation with a caller-supplied check (normally
+//!   [`decode_checkpoint`](crate::wire::decode_checkpoint), whose trailing
+//!   checksum covers the whole file) and reports every skipped generation as
+//!   a [`CheckpointWarning`] — the caller can log it, count it, or surface
+//!   it to an operator, but is never silently resumed from stale state.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Which generation of a checkpoint file a load came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generation {
+    /// The live checkpoint file.
+    Current,
+    /// The `.prev` fallback generation (the live file was missing or bad).
+    Previous,
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Generation::Current => write!(f, "current"),
+            Generation::Previous => write!(f, "previous"),
+        }
+    }
+}
+
+/// A generation that had to be skipped during [`CheckpointStore::load_latest`].
+#[derive(Debug, Clone)]
+pub struct CheckpointWarning {
+    /// The file that was skipped.
+    pub path: PathBuf,
+    /// Why it was skipped (unreadable, or failed the caller's validation).
+    pub detail: String,
+}
+
+impl fmt::Display for CheckpointWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "skipped checkpoint `{}`: {}", self.path.display(), self.detail)
+    }
+}
+
+/// An atomically replaced, two-generation checkpoint file.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    base: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store writing to `base` (and `base.prev` / `base.tmp` beside it).
+    #[must_use]
+    pub fn new(base: impl Into<PathBuf>) -> Self {
+        Self { base: base.into() }
+    }
+
+    /// The live checkpoint path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.base
+    }
+
+    /// The previous-generation path.
+    #[must_use]
+    pub fn prev_path(&self) -> PathBuf {
+        let mut name = self.base.as_os_str().to_owned();
+        name.push(".prev");
+        PathBuf::from(name)
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        let mut name = self.base.as_os_str().to_owned();
+        name.push(".tmp");
+        PathBuf::from(name)
+    }
+
+    /// Atomically replaces the checkpoint with `bytes`, demoting the old
+    /// live file to the `.prev` generation first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created,
+    /// the temporary file cannot be written and fsynced, or a rename fails.
+    /// On error the live file is either the old generation or the new one —
+    /// never a partial write, because all writing happens in the `.tmp` file.
+    pub fn write(&self, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(parent) = self.base.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = self.tmp_path();
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        if self.base.exists() {
+            fs::rename(&self.base, self.prev_path())?;
+        }
+        fs::rename(&tmp, &self.base)?;
+        Ok(())
+    }
+
+    /// Loads the newest generation whose bytes pass `validate`, falling back
+    /// from the live file to `.prev`. Returns the accepted bytes and which
+    /// generation they came from (or `None` when no generation is usable),
+    /// plus a warning for every generation that was skipped and why.
+    pub fn load_latest(
+        &self,
+        mut validate: impl FnMut(&[u8]) -> Result<(), String>,
+    ) -> (Option<(Vec<u8>, Generation)>, Vec<CheckpointWarning>) {
+        let mut warnings = Vec::new();
+        let candidates =
+            [(self.base.clone(), Generation::Current), (self.prev_path(), Generation::Previous)];
+        for (path, generation) in candidates {
+            if !path.exists() {
+                continue;
+            }
+            match fs::read(&path) {
+                Ok(bytes) => match validate(&bytes) {
+                    Ok(()) => return (Some((bytes, generation)), warnings),
+                    Err(detail) => warnings.push(CheckpointWarning { path, detail }),
+                },
+                Err(error) => warnings
+                    .push(CheckpointWarning { path, detail: format!("unreadable: {error}") }),
+            }
+        }
+        (None, warnings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("privacy-distrib-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::new(dir.join("w.ckpt"));
+        store.write(b"generation-1").unwrap();
+        let (loaded, warnings) = store.load_latest(|_| Ok(()));
+        let (bytes, generation) = loaded.expect("checkpoint loads");
+        assert_eq!(bytes, b"generation-1");
+        assert_eq!(generation, Generation::Current);
+        assert!(warnings.is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn second_write_demotes_first_to_prev() {
+        let dir = temp_dir("demote");
+        let store = CheckpointStore::new(dir.join("w.ckpt"));
+        store.write(b"one").unwrap();
+        store.write(b"two").unwrap();
+        assert_eq!(fs::read(store.path()).unwrap(), b"two");
+        assert_eq!(fs::read(store.prev_path()).unwrap(), b"one");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_current_generation_falls_back_with_warning() {
+        let dir = temp_dir("fallback");
+        let store = CheckpointStore::new(dir.join("w.ckpt"));
+        store.write(b"good-old").unwrap();
+        store.write(b"bad-new").unwrap();
+        let (loaded, warnings) = store.load_latest(|bytes| {
+            if bytes.starts_with(b"bad") {
+                Err("checksum mismatch".to_owned())
+            } else {
+                Ok(())
+            }
+        });
+        let (bytes, generation) = loaded.expect("previous generation loads");
+        assert_eq!(bytes, b"good-old");
+        assert_eq!(generation, Generation::Previous);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].to_string().contains("checksum mismatch"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn both_generations_bad_reports_both() {
+        let dir = temp_dir("allbad");
+        let store = CheckpointStore::new(dir.join("w.ckpt"));
+        store.write(b"one").unwrap();
+        store.write(b"two").unwrap();
+        let (loaded, warnings) = store.load_latest(|_| Err("nope".to_owned()));
+        assert!(loaded.is_none());
+        assert_eq!(warnings.len(), 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_files_load_as_none_without_warnings() {
+        let dir = temp_dir("missing");
+        let store = CheckpointStore::new(dir.join("never-written.ckpt"));
+        let (loaded, warnings) = store.load_latest(|_| Ok(()));
+        assert!(loaded.is_none());
+        assert!(warnings.is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,1061 @@
+//! The supervisor: [`DistributedMonitor`], a fault-tolerant router over
+//! shard-owning worker processes.
+//!
+//! # Topology and determinism
+//!
+//! Every event is routed by `shard_of_user` to the worker that owns that
+//! shard (shards are assigned as contiguous ranges at launch and can be
+//! moved live with [`DistributedMonitor::rebalance_shard`]). Each submitted
+//! super-batch is split into per-worker sub-batches whose events keep their
+//! **position** in the super-batch; workers ack each sub-batch with
+//! position-tagged alerts, and the supervisor reassembles super-batches in
+//! order, sorting each one's merged alerts by position. Because a user's
+//! events always flow through one owner in stream order, the merged stream
+//! is identical to the in-process
+//! [`IndexedMonitor::ingest_batch`](privacy_runtime::IndexedMonitor)
+//! ordering — and stays identical under every fault the harness can inject,
+//! which is what `tests/fault_differential.rs` asserts.
+//!
+//! # Backpressure
+//!
+//! At most `window` sub-batches may be in flight per worker; submitting
+//! more blocks on that worker's acks. The queue to a worker is therefore
+//! bounded end to end — the pipe holds at most `window` sub-batches — and a
+//! stalled worker stalls its *own* lane, then (via the ack timeout) gets
+//! killed and restarted rather than wedging the fleet forever.
+//!
+//! # Failure model
+//!
+//! Worker death is detected as pipe EOF, an undecodable frame, a
+//! [`Fatal`](Message::Fatal) report, or an ack/checkpoint timeout. Terminal
+//! exit codes (see [`crate::exit`]) abort the run with a typed error;
+//! anything else triggers supervised restart with exponential backoff and a
+//! deterministic jitter, capped by [`RestartPolicy`]. A replacement resumes
+//! from the newest *valid* checkpoint generation (falling back past a
+//! corrupt one with a recorded warning), gets its owned profiles
+//! re-registered and any missing shard-handoff imports redelivered, and
+//! replays exactly the retained suffix of sub-batches newer than the
+//! checkpoint. Re-acked batches that were already emitted are recognised by
+//! id and dropped, so replay never duplicates an alert downstream.
+
+use crate::checkpoint::{CheckpointStore, Generation};
+use crate::exit;
+use crate::fault::FaultPlan;
+use crate::wire::{decode_checkpoint, Message};
+use privacy_core::PrivacySystem;
+use privacy_interchange::{read_frame, render_system, write_frame};
+use privacy_model::UserProfile;
+use privacy_runtime::{shard_of_user, Alert, Event, SHARD_COUNT};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, TryRecvError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// When and how often a dead worker is restarted.
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    /// Delay before the first restart attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff delay (the jitter cap).
+    pub max_delay: Duration,
+    /// Restarts allowed without intervening progress (an acked batch resets
+    /// the count) before the supervisor gives up with a typed error.
+    pub max_restarts: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            max_restarts: 5,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Exponential backoff with a deterministic per-(worker, spawn) jitter,
+    /// capped at `max_delay`. Deterministic jitter keeps runs reproducible
+    /// while still de-synchronising workers that died together.
+    fn delay_for(&self, attempt: u32, worker: usize, spawn_count: u32) -> Duration {
+        let doubled = self.base_delay.saturating_mul(1u32 << attempt.min(10));
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for word in [worker as u64, u64::from(spawn_count)] {
+            hash ^= word;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let jitter = self.base_delay.saturating_mul((hash % 1000) as u32) / 2000;
+        doubled.saturating_add(jitter).min(self.max_delay)
+    }
+}
+
+/// Configuration for a [`DistributedMonitor`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The worker executable (the `privacy-shardd` binary).
+    pub worker_program: PathBuf,
+    /// Extra arguments passed to every worker before any fault switches.
+    pub worker_args: Vec<String>,
+    /// Number of worker processes (1 ..= [`SHARD_COUNT`]).
+    pub workers: usize,
+    /// Maximum sub-batches in flight per worker before submits block.
+    pub window: usize,
+    /// Checkpoint all workers every N super-batches (0 = only on demand).
+    pub checkpoint_every: u64,
+    /// Directory for the per-worker checkpoint files.
+    pub checkpoint_dir: PathBuf,
+    /// How long to wait for an ack before declaring a worker stalled.
+    pub ack_timeout: Duration,
+    /// How long to wait for a checkpoint/export/import reply.
+    pub control_timeout: Duration,
+    /// How long a fresh worker may take to parse the model, rebuild the
+    /// index and report [`Ready`](Message::Ready).
+    pub startup_timeout: Duration,
+    /// Restart backoff policy.
+    pub restart: RestartPolicy,
+    /// Failure-injection schedule (empty in production).
+    pub fault_plan: FaultPlan,
+}
+
+impl SupervisorConfig {
+    /// A config with sensible defaults for the given worker executable and
+    /// checkpoint directory.
+    #[must_use]
+    pub fn new(worker_program: impl Into<PathBuf>, checkpoint_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            worker_program: worker_program.into(),
+            worker_args: Vec::new(),
+            workers: 2,
+            window: 4,
+            checkpoint_every: 0,
+            checkpoint_dir: checkpoint_dir.into(),
+            ack_timeout: Duration::from_secs(10),
+            control_timeout: Duration::from_secs(60),
+            startup_timeout: Duration::from_secs(120),
+            restart: RestartPolicy::default(),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// One supervised restart, as recorded in [`DistribStats`].
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The worker slot that was restarted.
+    pub worker: usize,
+    /// The incarnation that replaced the dead one.
+    pub incarnation: u32,
+    /// Why the old incarnation was declared dead.
+    pub cause: String,
+    /// Wall-clock time from death detection to the replacement being caught
+    /// up (resumed, re-registered, suffix replayed).
+    pub latency: Duration,
+    /// The super-batch the resumed checkpoint covered through.
+    pub resumed_from_batch: u64,
+    /// Whether the resume had to fall back to the `.prev` generation.
+    pub fell_back: bool,
+}
+
+/// Counters and records describing a supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct DistribStats {
+    /// Super-batches submitted.
+    pub batches: u64,
+    /// Events submitted.
+    pub events: u64,
+    /// Alerts emitted in the merged stream.
+    pub alerts: u64,
+    /// Checkpoints completed across all workers.
+    pub checkpoints: u64,
+    /// Live shard handoffs completed.
+    pub handoffs: u64,
+    /// Checkpoint generations the loader had to skip (with causes).
+    pub checkpoint_warnings: Vec<String>,
+    /// Checkpoint files corrupted on purpose by the fault plan.
+    pub corruptions_injected: u64,
+    /// Every supervised restart, in order.
+    pub recoveries: Vec<Recovery>,
+}
+
+/// A typed supervisor failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DistribError {
+    /// The configuration cannot describe a runnable fleet.
+    Config {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A worker died with an exit code restarting cannot fix.
+    WorkerTerminal {
+        /// The worker slot.
+        worker: usize,
+        /// Its exit code (see [`crate::exit`]).
+        code: i32,
+        /// The death cause as detected.
+        detail: String,
+    },
+    /// A worker kept dying without making progress.
+    RestartsExhausted {
+        /// The worker slot.
+        worker: usize,
+        /// How many restarts were attempted.
+        attempts: u32,
+        /// The last failure.
+        last: String,
+    },
+    /// A worker (or its pipe) broke the protocol in a way that is not a
+    /// death: an ack for the wrong batch, an unexpected message kind.
+    Protocol {
+        /// The worker slot.
+        worker: usize,
+        /// What it did.
+        detail: String,
+    },
+    /// No checkpoint generation covers the replay window: the retained
+    /// suffix starts after the best available checkpoint ends, so state
+    /// would be silently lost. (Reachable only when both generations are
+    /// corrupt or deleted.)
+    CheckpointUnrecoverable {
+        /// The worker slot.
+        worker: usize,
+        /// What is missing.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Config { detail } => write!(f, "bad supervisor config: {detail}"),
+            DistribError::WorkerTerminal { worker, code, detail } => write!(
+                f,
+                "worker {worker} died with terminal exit code {code} ({}): {detail}",
+                exit::describe(*code)
+            ),
+            DistribError::RestartsExhausted { worker, attempts, last } => write!(
+                f,
+                "worker {worker} kept dying: gave up after {attempts} restarts (last: {last})"
+            ),
+            DistribError::Protocol { worker, detail } => {
+                write!(f, "worker {worker} broke the protocol: {detail}")
+            }
+            DistribError::CheckpointUnrecoverable { worker, detail } => {
+                write!(f, "worker {worker} cannot be recovered: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+/// A live worker process: the child, its buffered stdin, and the channel
+/// its reader thread feeds with stdout frames. The thread exits (dropping
+/// its sender) on EOF or any read error, so death always surfaces as a
+/// disconnected channel.
+struct WorkerProc {
+    child: Child,
+    stdin: BufWriter<ChildStdin>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Everything the supervisor tracks per worker slot, surviving restarts.
+struct WorkerSlot {
+    proc: Option<WorkerProc>,
+    /// How many processes have ever been spawned into this slot; the
+    /// current incarnation is `spawn_count - 1`.
+    spawn_count: u32,
+    /// Restarts since the last acked batch (progress resets it).
+    consecutive_restarts: u32,
+    /// Sub-batch ids sent but not yet acked, in send order.
+    inflight: VecDeque<u64>,
+    /// Sub-batches newer than the previous checkpoint generation, kept for
+    /// suffix replay. Two generations are retained so a fallback to the
+    /// `.prev` checkpoint still has its whole suffix.
+    retained: VecDeque<(u64, Vec<(u32, Event)>)>,
+    /// Super-batch coverage of the live / previous checkpoint generation.
+    coverage: u64,
+    prev_coverage: u64,
+    /// Import count recorded by the live / previous checkpoint generation.
+    imports_cov: u64,
+    prev_imports: u64,
+    /// Total imports delivered to this slot (the ordinal source).
+    import_ordinal: u64,
+    /// Handoff imports not yet covered by two checkpoint generations, as
+    /// `(ordinal, snapshot frame)`.
+    pending_imports: Vec<(u64, Vec<u8>)>,
+    /// Successful checkpoints, for the corrupt-checkpoint fault schedule.
+    ckpt_ordinal: u64,
+    store: CheckpointStore,
+}
+
+/// A super-batch being reassembled from per-worker acks.
+struct PendingBatch {
+    expected: usize,
+    got: BTreeMap<usize, Vec<(u32, Alert)>>,
+}
+
+enum Received {
+    Msg(Message),
+    Dead(String),
+    TimedOut,
+}
+
+enum BringUp {
+    Retry(String),
+    Terminal(DistribError),
+}
+
+/// The supervisor over a fleet of `privacy-shardd` workers. See the module
+/// docs for the topology, backpressure and failure model.
+pub struct DistributedMonitor {
+    config: SupervisorConfig,
+    model_psm: String,
+    fingerprint: u64,
+    /// shard → owning worker slot.
+    routing: Vec<usize>,
+    /// shard → profiles registered there, in registration order (replayed
+    /// to every new incarnation; registration is idempotent worker-side).
+    registry: Vec<Vec<UserProfile>>,
+    workers: Vec<WorkerSlot>,
+    next_batch: u64,
+    next_emit: u64,
+    assembly: BTreeMap<u64, PendingBatch>,
+    emitted: Vec<Alert>,
+    stats: DistribStats,
+}
+
+impl fmt::Debug for DistributedMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedMonitor")
+            .field("workers", &self.workers.len())
+            .field("next_batch", &self.next_batch)
+            .field("next_emit", &self.next_emit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistributedMonitor {
+    /// Renders the system to `.psm`, spawns the fleet, and waits for every
+    /// worker to report ready with a matching index fingerprint.
+    ///
+    /// `fingerprint` is the design-time [`LtsIndex`](privacy_lts::LtsIndex)
+    /// fingerprint the supervisor's own pipeline computed; every worker
+    /// must reproduce it from the shipped model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Config`] for an unrunnable configuration and
+    /// the relevant typed error when a worker cannot be brought up.
+    pub fn launch(
+        name: &str,
+        system: &PrivacySystem,
+        fingerprint: u64,
+        config: SupervisorConfig,
+    ) -> Result<Self, DistribError> {
+        if config.workers == 0 || config.workers > SHARD_COUNT {
+            return Err(DistribError::Config {
+                detail: format!(
+                    "worker count must be in 1..={SHARD_COUNT}, got {}",
+                    config.workers
+                ),
+            });
+        }
+        if config.window == 0 {
+            return Err(DistribError::Config { detail: "window must be at least 1".to_owned() });
+        }
+        let model_psm = render_system(name, system);
+        let workers = config.workers;
+        let routing: Vec<usize> = (0..SHARD_COUNT).map(|s| s * workers / SHARD_COUNT).collect();
+        let slots = (0..workers)
+            .map(|w| WorkerSlot {
+                proc: None,
+                spawn_count: 0,
+                consecutive_restarts: 0,
+                inflight: VecDeque::new(),
+                retained: VecDeque::new(),
+                coverage: 0,
+                prev_coverage: 0,
+                imports_cov: 0,
+                prev_imports: 0,
+                import_ordinal: 0,
+                pending_imports: Vec::new(),
+                ckpt_ordinal: 0,
+                store: CheckpointStore::new(config.checkpoint_dir.join(format!("worker-{w}.ckpt"))),
+            })
+            .collect();
+        let mut monitor = DistributedMonitor {
+            config,
+            model_psm,
+            fingerprint,
+            routing,
+            registry: vec![Vec::new(); SHARD_COUNT],
+            workers: slots,
+            next_batch: 1,
+            next_emit: 1,
+            assembly: BTreeMap::new(),
+            emitted: Vec::new(),
+            stats: DistribStats::default(),
+        };
+        for w in 0..workers {
+            monitor.restart_loop(w, None)?;
+        }
+        Ok(monitor)
+    }
+
+    /// The number of worker slots.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker slot currently owning a shard.
+    #[must_use]
+    pub fn owner_of_shard(&self, shard: u32) -> usize {
+        self.routing[shard as usize]
+    }
+
+    /// The run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &DistribStats {
+        &self.stats
+    }
+
+    /// Registers a user with the owner of their shard. Idempotent: a
+    /// profile with an already-registered id is ignored, mirroring the
+    /// worker-side re-registration semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restart failures if the owner is dead and cannot be
+    /// revived.
+    pub fn register_user(&mut self, profile: &UserProfile) -> Result<(), DistribError> {
+        let shard = shard_of_user(profile.id()) as usize;
+        if self.registry[shard].iter().any(|p| p.id() == profile.id()) {
+            return Ok(());
+        }
+        self.registry[shard].push(profile.clone());
+        let w = self.routing[shard];
+        let message = Message::Register { profile: profile.clone() };
+        if let Err(cause) = self.send_raw(w, &message) {
+            // The revived worker re-registers from the registry, which
+            // already holds this profile.
+            self.handle_death(w, cause)?;
+        }
+        Ok(())
+    }
+
+    /// Submits one super-batch: splits it across shard owners, applies
+    /// backpressure, and returns every alert of super-batches completed so
+    /// far, merged in deterministic batch/position order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed supervisor failures; transient worker deaths are
+    /// handled internally by restart and replay.
+    pub fn submit_batch(&mut self, events: &[Event]) -> Result<Vec<Alert>, DistribError> {
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.stats.batches += 1;
+        self.stats.events += events.len() as u64;
+        let mut parts: BTreeMap<usize, Vec<(u32, Event)>> = BTreeMap::new();
+        for (position, event) in events.iter().enumerate() {
+            let w = self.routing[shard_of_user(event.user()) as usize];
+            parts.entry(w).or_default().push((position as u32, event.clone()));
+        }
+        self.assembly.insert(id, PendingBatch { expected: parts.len(), got: BTreeMap::new() });
+        for (w, part) in parts {
+            while self.workers[w].inflight.len() >= self.config.window {
+                self.await_one_ack(w)?;
+            }
+            // Retain before sending: if the send fails, the restart path
+            // replays the batch from the retained suffix.
+            self.workers[w].retained.push_back((id, part.clone()));
+            match self.send_raw(w, &Message::Ingest { batch: id, events: part }) {
+                Ok(()) => self.workers[w].inflight.push_back(id),
+                Err(cause) => self.handle_death(w, cause)?,
+            }
+        }
+        for w in 0..self.workers.len() {
+            self.pump(w)?;
+        }
+        self.drain_ready();
+        if self.config.checkpoint_every > 0 && id.is_multiple_of(self.config.checkpoint_every) {
+            self.checkpoint_now()?;
+        }
+        Ok(std::mem::take(&mut self.emitted))
+    }
+
+    /// Blocks until every in-flight sub-batch is acked and returns the
+    /// remaining merged alerts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed supervisor failures.
+    pub fn flush(&mut self) -> Result<Vec<Alert>, DistribError> {
+        for w in 0..self.workers.len() {
+            self.flush_worker(w)?;
+        }
+        Ok(std::mem::take(&mut self.emitted))
+    }
+
+    /// Checkpoints every worker now (flushing their lanes first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed supervisor failures.
+    pub fn checkpoint_now(&mut self) -> Result<(), DistribError> {
+        for w in 0..self.workers.len() {
+            self.checkpoint_worker(w)?;
+        }
+        Ok(())
+    }
+
+    /// Moves a shard to a new owner live: flushes the fleet, exports the
+    /// shard's state from the old owner, redirects routing, delivers the
+    /// export to the new owner, and checkpoints both so the handoff is
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Config`] for an unknown shard or worker and
+    /// propagates typed supervisor failures; worker deaths during the
+    /// handoff are recovered and the handoff retried internally.
+    pub fn rebalance_shard(&mut self, shard: u32, to: usize) -> Result<(), DistribError> {
+        if shard as usize >= SHARD_COUNT {
+            return Err(DistribError::Config { detail: format!("shard {shard} does not exist") });
+        }
+        if to >= self.workers.len() {
+            return Err(DistribError::Config { detail: format!("worker {to} does not exist") });
+        }
+        let from = self.routing[shard as usize];
+        if from == to {
+            return Ok(());
+        }
+        // A quiescent fleet: every batch before the handoff is acked and
+        // emitted, so post-handoff replays of pre-handoff batches can only
+        // produce already-emitted (and therefore dropped) acks.
+        self.flush()?;
+        let blob = loop {
+            self.flush_worker(from)?;
+            if let Err(cause) = self.send_raw(from, &Message::ExportShards { shards: vec![shard] })
+            {
+                self.handle_death(from, cause)?;
+                continue;
+            }
+            match self.recv(from, self.config.control_timeout) {
+                Received::Msg(Message::ShardExport { snapshot }) => break snapshot,
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: from,
+                        detail: format!("expected ShardExport, got {other:?}"),
+                    })
+                }
+                Received::Dead(cause) => self.handle_death(from, cause)?,
+                Received::TimedOut => self.handle_death(from, "shard export timed out".into())?,
+            }
+        };
+        self.routing[shard as usize] = to;
+        self.workers[to].import_ordinal += 1;
+        let ordinal = self.workers[to].import_ordinal;
+        self.workers[to].pending_imports.push((ordinal, blob.clone()));
+        match self.send_raw(to, &Message::ImportShards { snapshot: blob }) {
+            Ok(()) => match self.recv(to, self.config.control_timeout) {
+                Received::Msg(Message::Imported { .. }) => {}
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: to,
+                        detail: format!("expected Imported, got {other:?}"),
+                    })
+                }
+                // The restart path redelivers the pending import itself.
+                Received::Dead(cause) => self.handle_death(to, cause)?,
+                Received::TimedOut => self.handle_death(to, "shard import timed out".into())?,
+            },
+            Err(cause) => self.handle_death(to, cause)?,
+        }
+        // Make the handoff durable on both sides before declaring it done.
+        self.checkpoint_worker(from)?;
+        self.checkpoint_worker(to)?;
+        self.stats.handoffs += 1;
+        Ok(())
+    }
+
+    /// Flushes the fleet, asks every worker to exit, reaps the processes,
+    /// and returns the remaining merged alerts plus the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed supervisor failures from the final flush.
+    pub fn shutdown(&mut self) -> Result<(Vec<Alert>, DistribStats), DistribError> {
+        let alerts = self.flush()?;
+        for w in 0..self.workers.len() {
+            let _ = self.send_raw(w, &Message::Shutdown);
+        }
+        for slot in &mut self.workers {
+            if let Some(mut proc) = slot.proc.take() {
+                drop(proc.stdin); // EOF: the belt to Shutdown's suspenders
+                let _ = proc.child.wait();
+            }
+        }
+        Ok((alerts, std::mem::take(&mut self.stats)))
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing: send, receive, death handling.
+
+    fn send_raw(&mut self, w: usize, message: &Message) -> Result<(), String> {
+        let Some(proc) = self.workers[w].proc.as_mut() else {
+            return Err("no live process".to_owned());
+        };
+        write_frame(&mut proc.stdin, &message.encode())
+            .map_err(|error| format!("pipe write failed: {error}"))
+    }
+
+    fn recv(&mut self, w: usize, timeout: Duration) -> Received {
+        let Some(proc) = self.workers[w].proc.as_ref() else {
+            return Received::Dead("no live process".to_owned());
+        };
+        match proc.rx.recv_timeout(timeout) {
+            Ok(frame) => Self::frame_to_received(frame),
+            Err(RecvTimeoutError::Disconnected) => Received::Dead("pipe closed".to_owned()),
+            Err(RecvTimeoutError::Timeout) => Received::TimedOut,
+        }
+    }
+
+    fn frame_to_received(frame: Vec<u8>) -> Received {
+        match Message::decode(&frame) {
+            Ok(Message::Fatal { code, message }) => {
+                Received::Dead(format!("worker reported fatal error (code {code}): {message}"))
+            }
+            Ok(message) => Received::Msg(message),
+            Err(error) => Received::Dead(format!("undecodable frame from worker: {error}")),
+        }
+    }
+
+    /// Kills (idempotently) and reaps the slot's process, returning its
+    /// exit code if it had one.
+    fn reap(&mut self, w: usize) -> Option<i32> {
+        let mut proc = self.workers[w].proc.take()?;
+        drop(proc.stdin);
+        let _ = proc.child.kill();
+        match proc.child.wait() {
+            Ok(status) => status.code(),
+            Err(_) => None,
+        }
+    }
+
+    /// Classifies a death by exit code, then restarts (or gives up).
+    fn handle_death(&mut self, w: usize, cause: String) -> Result<(), DistribError> {
+        if let Some(code) = self.reap(w) {
+            if exit::is_terminal(code) {
+                return Err(DistribError::WorkerTerminal { worker: w, code, detail: cause });
+            }
+        }
+        self.restart_loop(w, Some(cause))
+    }
+
+    /// Brings a slot up (initially or after a death), with backoff between
+    /// attempts. `cause: None` means initial launch — no backoff before the
+    /// first attempt and no recovery record on success.
+    fn restart_loop(&mut self, w: usize, cause: Option<String>) -> Result<(), DistribError> {
+        let detected = Instant::now();
+        let is_recovery = cause.is_some();
+        let mut last = cause.clone().unwrap_or_else(|| "launch".to_owned());
+        loop {
+            let attempt = self.workers[w].consecutive_restarts;
+            if attempt >= self.config.restart.max_restarts {
+                return Err(DistribError::RestartsExhausted { worker: w, attempts: attempt, last });
+            }
+            if is_recovery || attempt > 0 {
+                let delay = self.config.restart.delay_for(attempt, w, self.workers[w].spawn_count);
+                thread::sleep(delay);
+            }
+            self.workers[w].consecutive_restarts = attempt + 1;
+            match self.bring_up(w) {
+                Ok((resumed_from, fell_back)) => {
+                    if is_recovery {
+                        self.stats.recoveries.push(Recovery {
+                            worker: w,
+                            incarnation: self.workers[w].spawn_count - 1,
+                            cause: cause.clone().unwrap_or_default(),
+                            latency: detected.elapsed(),
+                            resumed_from_batch: resumed_from,
+                            fell_back,
+                        });
+                    }
+                    return Ok(());
+                }
+                Err(BringUp::Terminal(error)) => return Err(error),
+                Err(BringUp::Retry(detail)) => {
+                    self.reap(w);
+                    last = detail;
+                }
+            }
+        }
+    }
+
+    /// One attempt to (re)spawn a slot: load the newest valid checkpoint,
+    /// spawn, init with the resume snapshot, wait for ready, re-register
+    /// owned profiles, redeliver missing imports, replay the unacked
+    /// suffix. Returns the coverage resumed from and whether the load fell
+    /// back a generation.
+    fn bring_up(&mut self, w: usize) -> Result<(u64, bool), BringUp> {
+        self.reap(w);
+        let (loaded, warnings) = self.workers[w]
+            .store
+            .load_latest(|bytes| decode_checkpoint(bytes).map(|_| ()).map_err(|e| e.to_string()));
+        self.stats.checkpoint_warnings.extend(warnings.iter().map(ToString::to_string));
+        let (resume, coverage, imports, fell_back) = match loaded {
+            Some((bytes, generation)) => {
+                let file = decode_checkpoint(&bytes).expect("validated by load_latest");
+                if file.worker_index != w as u32 {
+                    return Err(BringUp::Terminal(DistribError::CheckpointUnrecoverable {
+                        worker: w,
+                        detail: format!(
+                            "checkpoint at `{}` belongs to worker {}",
+                            self.workers[w].store.path().display(),
+                            file.worker_index
+                        ),
+                    }));
+                }
+                (
+                    Some(file.snapshot),
+                    file.through_batch,
+                    file.imports,
+                    generation == Generation::Previous,
+                )
+            }
+            None => (None, 0, 0, false),
+        };
+        // The retained suffix only reaches back past the previous
+        // checkpoint generation; an older (or missing) resume point would
+        // silently lose the gap.
+        if coverage < self.workers[w].prev_coverage || imports < self.workers[w].prev_imports {
+            return Err(BringUp::Terminal(DistribError::CheckpointUnrecoverable {
+                worker: w,
+                detail: format!(
+                    "best checkpoint covers through batch {coverage} ({imports} imports) but \
+                     replay data only reaches back to batch {} ({} imports) — both checkpoint \
+                     generations lost",
+                    self.workers[w].prev_coverage, self.workers[w].prev_imports
+                ),
+            }));
+        }
+
+        let incarnation = self.workers[w].spawn_count;
+        let mut command = Command::new(&self.config.worker_program);
+        command
+            .args(&self.config.worker_args)
+            .args(self.config.fault_plan.worker_args(w, incarnation))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child =
+            command.spawn().map_err(|error| BringUp::Retry(format!("spawn failed: {error}")))?;
+        self.workers[w].spawn_count += 1;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = channel();
+        thread::spawn(move || {
+            let mut reader = std::io::BufReader::new(stdout);
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                if tx.send(frame).is_err() {
+                    return;
+                }
+            }
+            // EOF or read error: dropping the sender surfaces it as a
+            // disconnected channel on the supervisor side.
+        });
+        self.workers[w].proc = Some(WorkerProc { child, stdin: BufWriter::new(stdin), rx });
+        self.workers[w].coverage = coverage;
+        self.workers[w].imports_cov = imports;
+        self.workers[w].inflight.clear();
+
+        let owned = self.owned_shards(w);
+        let init = Message::Init {
+            worker_index: w as u32,
+            owned_shards: owned.clone(),
+            model_psm: self.model_psm.clone(),
+            fingerprint: self.fingerprint,
+            checkpoint_path: Some(self.workers[w].store.path().display().to_string()),
+            resume,
+            resume_through_batch: coverage,
+            resume_imports: imports,
+        };
+        self.send_raw(w, &init).map_err(BringUp::Retry)?;
+        match self.recv(w, self.config.startup_timeout) {
+            Received::Msg(Message::Ready { fingerprint, .. }) => {
+                if fingerprint != self.fingerprint {
+                    return Err(BringUp::Terminal(DistribError::Protocol {
+                        worker: w,
+                        detail: format!(
+                            "worker reported fingerprint {fingerprint:#018x}, supervisor has \
+                             {:#018x}",
+                            self.fingerprint
+                        ),
+                    }));
+                }
+            }
+            Received::Msg(other) => {
+                return Err(BringUp::Terminal(DistribError::Protocol {
+                    worker: w,
+                    detail: format!("expected Ready, got {other:?}"),
+                }))
+            }
+            Received::Dead(cause) => {
+                if let Some(code) = self.reap(w) {
+                    if exit::is_terminal(code) {
+                        return Err(BringUp::Terminal(DistribError::WorkerTerminal {
+                            worker: w,
+                            code,
+                            detail: cause,
+                        }));
+                    }
+                }
+                return Err(BringUp::Retry(format!("died before ready: {cause}")));
+            }
+            Received::TimedOut => return Err(BringUp::Retry("startup timed out".to_owned())),
+        }
+
+        // Re-register every profile of the owned shards (idempotent
+        // worker-side; users already in the snapshot are skipped). A user's
+        // registration always precedes their first event in the original
+        // stream, so registering before replay preserves causal order.
+        for &shard in &owned {
+            for profile in self.registry[shard as usize].clone() {
+                self.send_raw(w, &Message::Register { profile }).map_err(BringUp::Retry)?;
+            }
+        }
+        // Redeliver exactly the handoff imports the snapshot is missing.
+        let missing: Vec<Vec<u8>> = self.workers[w]
+            .pending_imports
+            .iter()
+            .filter(|(ordinal, _)| *ordinal > imports)
+            .map(|(_, blob)| blob.clone())
+            .collect();
+        for blob in missing {
+            self.send_raw(w, &Message::ImportShards { snapshot: blob }).map_err(BringUp::Retry)?;
+            match self.recv(w, self.config.control_timeout) {
+                Received::Msg(Message::Imported { .. }) => {}
+                Received::Msg(other) => {
+                    return Err(BringUp::Terminal(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("expected Imported during resume, got {other:?}"),
+                    }))
+                }
+                Received::Dead(cause) => {
+                    return Err(BringUp::Retry(format!("died during import redelivery: {cause}")))
+                }
+                Received::TimedOut => {
+                    return Err(BringUp::Retry("import redelivery timed out".to_owned()))
+                }
+            }
+        }
+        // Replay the unacked suffix: every retained sub-batch newer than
+        // the resumed coverage, in order. Acks stream back asynchronously
+        // and are matched through the rebuilt inflight queue.
+        let replay: Vec<(u64, Vec<(u32, Event)>)> =
+            self.workers[w].retained.iter().filter(|(id, _)| *id > coverage).cloned().collect();
+        for (id, part) in replay {
+            self.send_raw(w, &Message::Ingest { batch: id, events: part })
+                .map_err(BringUp::Retry)?;
+            self.workers[w].inflight.push_back(id);
+        }
+        Ok((coverage, fell_back))
+    }
+
+    fn owned_shards(&self, w: usize) -> Vec<u32> {
+        (0..SHARD_COUNT as u32).filter(|&s| self.routing[s as usize] == w).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Acks, assembly, emission.
+
+    fn on_ack(
+        &mut self,
+        w: usize,
+        batch: u64,
+        alerts: Vec<(u32, Alert)>,
+    ) -> Result<(), DistribError> {
+        match self.workers[w].inflight.front().copied() {
+            Some(expected) if expected == batch => {
+                self.workers[w].inflight.pop_front();
+            }
+            other => {
+                // An ack that skips the oldest unacked batch means an ack
+                // was lost in the worker (the drop-ack fault, or a real
+                // application bug). Its whole lane is in doubt: kill it and
+                // resume from the checkpoint — the replayed suffix re-acks
+                // deterministically and already-emitted batches are dropped
+                // by id below.
+                return self.handle_death(
+                    w,
+                    format!("acked batch {batch} but the oldest unacked is {other:?} (lost ack)"),
+                );
+            }
+        }
+        self.workers[w].consecutive_restarts = 0; // progress
+        if batch >= self.next_emit {
+            let Some(pending) = self.assembly.get_mut(&batch) else {
+                return Err(DistribError::Protocol {
+                    worker: w,
+                    detail: format!("acked unknown batch {batch}"),
+                });
+            };
+            pending.got.insert(w, alerts);
+        }
+        // else: a replayed ack for an already-emitted batch — dropped, the
+        // alerts were delivered before the worker died.
+        self.drain_ready();
+        Ok(())
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(pending) = self.assembly.get(&self.next_emit) {
+            if pending.got.len() < pending.expected {
+                break;
+            }
+            let pending = self.assembly.remove(&self.next_emit).expect("present");
+            let mut merged: Vec<(u32, Alert)> = pending.got.into_values().flatten().collect();
+            // Positions are unique per event and all alerts of one event
+            // come from one worker in raise order; the stable sort restores
+            // exactly the in-process emission order.
+            merged.sort_by_key(|&(position, _)| position);
+            self.stats.alerts += merged.len() as u64;
+            self.emitted.extend(merged.into_iter().map(|(_, alert)| alert));
+            self.next_emit += 1;
+        }
+    }
+
+    /// Drains without blocking: everything a worker has already acked.
+    fn pump(&mut self, w: usize) -> Result<(), DistribError> {
+        loop {
+            let Some(proc) = self.workers[w].proc.as_ref() else { return Ok(()) };
+            match proc.rx.try_recv() {
+                Ok(frame) => match Self::frame_to_received(frame) {
+                    Received::Msg(Message::Ack { batch, alerts }) => {
+                        self.on_ack(w, batch, alerts)?;
+                    }
+                    Received::Msg(other) => {
+                        return Err(DistribError::Protocol {
+                            worker: w,
+                            detail: format!("unsolicited message: {other:?}"),
+                        })
+                    }
+                    Received::Dead(cause) => self.handle_death(w, cause)?,
+                    Received::TimedOut => unreachable!("try_recv cannot time out"),
+                },
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => {
+                    self.handle_death(w, "pipe closed".to_owned())?;
+                }
+            }
+        }
+    }
+
+    /// Blocks until one more ack from `w` arrives (reviving it as needed).
+    fn await_one_ack(&mut self, w: usize) -> Result<(), DistribError> {
+        loop {
+            if self.workers[w].inflight.is_empty() {
+                return Ok(());
+            }
+            match self.recv(w, self.config.ack_timeout) {
+                Received::Msg(Message::Ack { batch, alerts }) => {
+                    return self.on_ack(w, batch, alerts);
+                }
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("expected Ack, got {other:?}"),
+                    })
+                }
+                Received::Dead(cause) => self.handle_death(w, cause)?,
+                Received::TimedOut => {
+                    let cause =
+                        format!("no ack within {:?} (stalled or wedged)", self.config.ack_timeout);
+                    self.handle_death(w, cause)?;
+                }
+            }
+        }
+    }
+
+    fn flush_worker(&mut self, w: usize) -> Result<(), DistribError> {
+        while !self.workers[w].inflight.is_empty() {
+            self.await_one_ack(w)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing.
+
+    fn checkpoint_worker(&mut self, w: usize) -> Result<(), DistribError> {
+        loop {
+            self.flush_worker(w)?;
+            if let Err(cause) = self.send_raw(w, &Message::Checkpoint) {
+                self.handle_death(w, cause)?;
+                continue;
+            }
+            match self.recv(w, self.config.control_timeout) {
+                Received::Msg(Message::CheckpointDone { through_batch, imports }) => {
+                    self.stats.checkpoints += 1;
+                    self.workers[w].ckpt_ordinal += 1;
+                    let ordinal = self.workers[w].ckpt_ordinal;
+                    if self.config.fault_plan.corrupts_checkpoint(w, ordinal) {
+                        self.corrupt_checkpoint_file(w);
+                    }
+                    let slot = &mut self.workers[w];
+                    slot.prev_coverage = slot.coverage;
+                    slot.prev_imports = slot.imports_cov;
+                    slot.coverage = through_batch;
+                    slot.imports_cov = imports;
+                    let keep_batches_after = slot.prev_coverage;
+                    slot.retained.retain(|(id, _)| *id > keep_batches_after);
+                    let keep_imports_after = slot.prev_imports;
+                    slot.pending_imports.retain(|(ordinal, _)| *ordinal > keep_imports_after);
+                    return Ok(());
+                }
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("expected CheckpointDone, got {other:?}"),
+                    })
+                }
+                Received::Dead(cause) => self.handle_death(w, cause)?,
+                Received::TimedOut => self.handle_death(w, "checkpoint timed out".to_owned())?,
+            }
+        }
+    }
+
+    /// The supervisor half of [`Fault::CorruptCheckpoint`](crate::fault::Fault):
+    /// flip a byte in the middle of the freshly written checkpoint file.
+    fn corrupt_checkpoint_file(&mut self, w: usize) {
+        let path = self.workers[w].store.path().to_path_buf();
+        if let Ok(mut bytes) = std::fs::read(&path) {
+            if !bytes.is_empty() {
+                let middle = bytes.len() / 2;
+                bytes[middle] ^= 0xFF;
+                if std::fs::write(&path, bytes).is_ok() {
+                    self.stats.corruptions_injected += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DistributedMonitor {
+    fn drop(&mut self) {
+        for slot in &mut self.workers {
+            if let Some(mut proc) = slot.proc.take() {
+                drop(proc.stdin);
+                let _ = proc.child.kill();
+                let _ = proc.child.wait();
+            }
+        }
+    }
+}

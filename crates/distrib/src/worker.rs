@@ -1,0 +1,502 @@
+//! The `privacy-shardd` worker: a shard-owning monitor process.
+//!
+//! One worker owns a subset of the monitor's `UserId`-hash shards. Its whole
+//! life is a loop over framed [`Message`]s on stdin:
+//!
+//! 1. [`Init`](Message::Init) — parse the shipped `.psm` model, regenerate
+//!    the LTS and its index, verify the **index fingerprint** against the
+//!    supervisor's (a mismatch is a terminal, typed death: restarting cannot
+//!    help), and resume from the carried snapshot if there is one, keeping
+//!    only the owned shards.
+//! 2. [`Ingest`](Message::Ingest) — feed each event through the monitor in
+//!    stream order, tagging every raised alert with the event's position in
+//!    the super-batch, and ack the batch with those alerts. Events for users
+//!    the worker does not track are ignored, exactly as the in-process
+//!    `IndexedMonitor` ignores
+//!    unregistered users — this also makes replayed pre-handoff batches
+//!    harmless after a shard has moved away.
+//! 3. [`Checkpoint`](Message::Checkpoint) — write the monitor snapshot plus
+//!    bookkeeping (covered super-batch, absorbed-import count) atomically
+//!    through the [`CheckpointStore`].
+//! 4. [`ExportShards`](Message::ExportShards) /
+//!    [`ImportShards`](Message::ImportShards) — the two halves of a live
+//!    shard handoff.
+//!
+//! The injected faults ([`WorkerFaults`], armed via `--fault` arguments) are
+//! deliberately crude: `process::exit` mid-batch, a sleep before an ack, a
+//! swallowed ack. Crude is the point — they model the failure, not a polite
+//! simulation of it.
+
+use crate::checkpoint::CheckpointStore;
+use crate::exit;
+use crate::fault::WorkerFaults;
+use crate::wire::{encode_checkpoint, Message};
+use privacy_interchange::{parse_document, read_frame, write_frame, FrameIoError};
+use privacy_lts::LtsIndex;
+use privacy_runtime::{Alert, IndexedMonitor, MonitorSnapshot};
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// A typed worker failure, mapped onto the [`crate::exit`] taxonomy.
+#[derive(Debug)]
+pub enum WorkerFailure {
+    /// A pipe or checkpoint-file I/O operation failed.
+    Io(String),
+    /// The supervisor broke the wire protocol (or the pipe carried garbage).
+    Protocol(String),
+    /// The model or snapshot could not establish monitor state: parse
+    /// failure, LTS generation failure, fingerprint mismatch, rejected
+    /// snapshot.
+    State(String),
+}
+
+impl WorkerFailure {
+    /// The process exit code this failure maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            WorkerFailure::Io(_) => exit::IO_FATAL,
+            WorkerFailure::Protocol(_) => exit::PROTOCOL_FATAL,
+            WorkerFailure::State(_) => exit::SNAPSHOT_FATAL,
+        }
+    }
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFailure::Io(detail) => write!(f, "i/o failure: {detail}"),
+            WorkerFailure::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            WorkerFailure::State(detail) => write!(f, "cannot establish monitor state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerFailure {}
+
+struct WorkerState {
+    monitor: IndexedMonitor,
+    store: Option<CheckpointStore>,
+    worker_index: u32,
+    through_batch: u64,
+    imports_absorbed: u64,
+    events_seen: u64,
+    ingests_seen: u64,
+    faults: WorkerFaults,
+}
+
+fn next_message(input: &mut impl Read) -> Result<Option<Message>, WorkerFailure> {
+    match read_frame(input) {
+        Ok(None) => Ok(None),
+        Ok(Some(frame)) => Message::decode(&frame)
+            .map(Some)
+            .map_err(|error| WorkerFailure::Protocol(format!("undecodable message: {error}"))),
+        Err(FrameIoError::Io(error)) => {
+            Err(WorkerFailure::Io(format!("reading command pipe: {error}")))
+        }
+        Err(FrameIoError::Codec(error)) => {
+            Err(WorkerFailure::Protocol(format!("unreadable frame: {error}")))
+        }
+        // `FrameIoError` is non-exhaustive; treat future variants as I/O.
+        Err(other) => Err(WorkerFailure::Io(format!("reading command pipe: {other}"))),
+    }
+}
+
+fn send(output: &mut impl Write, message: &Message) -> Result<(), WorkerFailure> {
+    // `write_frame` flushes, so a reply never sits in a stdout buffer while
+    // the worker blocks on its next command (which would deadlock the
+    // supervisor waiting for exactly that reply).
+    write_frame(output, &message.encode())
+        .map_err(|error| WorkerFailure::Io(format!("writing reply pipe: {error}")))
+}
+
+/// Runs the worker protocol over the given pipes until the supervisor sends
+/// [`Shutdown`](Message::Shutdown) or closes its end.
+///
+/// On a typed failure a last [`Fatal`](Message::Fatal) message is written
+/// best-effort before the error is returned, so the supervisor can log the
+/// cause instead of just seeing the pipe close.
+///
+/// # Errors
+///
+/// Returns the [`WorkerFailure`] the caller should map to a process exit
+/// code via [`WorkerFailure::exit_code`].
+pub fn run_worker(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    faults: WorkerFaults,
+) -> Result<(), WorkerFailure> {
+    match serve(input, output, faults) {
+        Ok(()) => Ok(()),
+        Err(failure) => {
+            let fatal =
+                Message::Fatal { code: failure.exit_code() as u32, message: failure.to_string() };
+            let _ = write_frame(output, &fatal.encode());
+            Err(failure)
+        }
+    }
+}
+
+fn serve(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    faults: WorkerFaults,
+) -> Result<(), WorkerFailure> {
+    let Some(first) = next_message(input)? else {
+        return Ok(()); // supervisor went away before init: nothing to do
+    };
+    let Message::Init {
+        worker_index,
+        owned_shards,
+        model_psm,
+        fingerprint,
+        checkpoint_path,
+        resume,
+        resume_through_batch,
+        resume_imports,
+    } = first
+    else {
+        return Err(WorkerFailure::Protocol("first message must be Init".to_owned()));
+    };
+
+    let document = parse_document(&model_psm)
+        .map_err(|error| WorkerFailure::State(format!("model does not parse: {error}")))?;
+    let lts = document
+        .system
+        .generate_lts()
+        .map_err(|error| WorkerFailure::State(format!("LTS generation failed: {error}")))?;
+    let index = LtsIndex::build(&lts);
+    if index.fingerprint() != fingerprint {
+        return Err(WorkerFailure::State(format!(
+            "index fingerprint mismatch: supervisor has {:#018x}, this model yields {:#018x}",
+            fingerprint,
+            index.fingerprint()
+        )));
+    }
+    let index = Arc::new(index);
+    let catalog = document.system.catalog().clone();
+    let policy = document.system.policy().clone();
+
+    let (mut monitor, resumed_users) = match resume {
+        Some(bytes) => {
+            let mut snapshot = MonitorSnapshot::from_bytes(&bytes)
+                .map_err(|error| WorkerFailure::State(format!("resume snapshot: {error}")))?;
+            snapshot.retain_shards(&owned_shards);
+            let users = snapshot.user_count() as u64;
+            let monitor = IndexedMonitor::resume_from(catalog, policy, index, &snapshot)
+                .map_err(|error| WorkerFailure::State(format!("resume rejected: {error}")))?;
+            (monitor, users)
+        }
+        None => (IndexedMonitor::new(catalog, policy, index), 0),
+    };
+    // Any pending alerts in the snapshot were acked before the checkpoint
+    // was taken; draining them keeps future snapshots and acks disjoint.
+    let _ = monitor.drain_alerts();
+
+    let mut state = WorkerState {
+        monitor,
+        store: checkpoint_path.map(CheckpointStore::new),
+        worker_index,
+        through_batch: resume_through_batch,
+        imports_absorbed: resume_imports,
+        events_seen: 0,
+        ingests_seen: 0,
+        faults,
+    };
+    send(output, &Message::Ready { fingerprint, resumed_users })?;
+
+    while let Some(message) = next_message(input)? {
+        match message {
+            Message::Register { profile } => {
+                // Idempotent: a re-registration (restart replay, or a user
+                // already restored from the snapshot) must not reset state.
+                if !state.monitor.is_registered(profile.id()) {
+                    state.monitor.register_user(&profile);
+                }
+            }
+            Message::Ingest { batch, events } => handle_ingest(&mut state, output, batch, events)?,
+            Message::Checkpoint => handle_checkpoint(&mut state, output)?,
+            Message::ExportShards { shards } => {
+                let exported = state.monitor.snapshot().extract_shards(&shards);
+                for &shard in &shards {
+                    state.monitor.remove_shard_users(shard);
+                }
+                send(output, &Message::ShardExport { snapshot: exported.to_bytes() })?;
+            }
+            Message::ImportShards { snapshot } => {
+                let snapshot = MonitorSnapshot::from_bytes(&snapshot)
+                    .map_err(|error| WorkerFailure::State(format!("import snapshot: {error}")))?;
+                let users = state
+                    .monitor
+                    .absorb(&snapshot)
+                    .map_err(|error| WorkerFailure::State(format!("import rejected: {error}")))?;
+                let _ = state.monitor.drain_alerts();
+                state.imports_absorbed += 1;
+                send(output, &Message::Imported { users: users as u64 })?;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(WorkerFailure::Protocol(format!(
+                    "unexpected message after init: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_ingest(
+    state: &mut WorkerState,
+    output: &mut impl Write,
+    batch: u64,
+    events: Vec<(u32, privacy_runtime::Event)>,
+) -> Result<(), WorkerFailure> {
+    let mut alerts: Vec<(u32, Alert)> = Vec::new();
+    for (position, event) in &events {
+        for alert in state.monitor.observe(event) {
+            alerts.push((*position, alert));
+        }
+        state.events_seen += 1;
+        if let Some(threshold) = state.faults.kill_after_events {
+            if state.events_seen >= threshold {
+                // An injected crash: no ack, no cleanup, mid-batch.
+                std::process::exit(exit::INJECTED_FAULT);
+            }
+        }
+    }
+    // observe() also accumulates the alerts internally; drain them so the
+    // ack stream and future snapshots never carry an alert twice.
+    let _ = state.monitor.drain_alerts();
+    state.through_batch = batch;
+    state.ingests_seen += 1;
+    if let Some((threshold, millis)) = state.faults.stall_before_ack {
+        if state.events_seen >= threshold {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            state.faults.stall_before_ack = None;
+        }
+    }
+    if state.faults.drop_ack == Some(state.ingests_seen) {
+        return Ok(()); // injected lost ack: the batch was processed silently
+    }
+    send(output, &Message::Ack { batch, alerts })
+}
+
+fn handle_checkpoint(
+    state: &mut WorkerState,
+    output: &mut impl Write,
+) -> Result<(), WorkerFailure> {
+    if let Some(store) = &state.store {
+        let snapshot = state.monitor.snapshot().to_bytes();
+        let file = encode_checkpoint(
+            state.worker_index,
+            state.through_batch,
+            state.imports_absorbed,
+            &snapshot,
+        );
+        store.write(&file).map_err(|error| {
+            WorkerFailure::Io(format!(
+                "checkpoint write to `{}` failed: {error}",
+                store.path().display()
+            ))
+        })?;
+    }
+    send(
+        output,
+        &Message::CheckpointDone {
+            through_batch: state.through_batch,
+            imports: state.imports_absorbed,
+        },
+    )
+}
+
+/// The `privacy-shardd` entry point: parses `--fault` switches, runs the
+/// worker over stdin/stdout, and returns the process exit code.
+#[must_use]
+pub fn shardd_main(args: impl Iterator<Item = String>) -> i32 {
+    let mut faults = WorkerFaults::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fault" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("privacy-shardd: --fault needs a SPEC argument");
+                    return exit::USAGE;
+                };
+                if let Err(error) = faults.parse_arg(&spec) {
+                    eprintln!("privacy-shardd: {error}");
+                    return exit::USAGE;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "privacy-shardd: shard-owning monitor worker; speaks framed messages on \
+                     stdin/stdout.\nSpawned by the privacy-distrib supervisor — not meant to be \
+                     run by hand.\n\nOptions:\n  --fault SPEC   arm an injected fault \
+                     (kill-after-events=N, stall-before-ack=N:MS,\n                 drop-ack=B); \
+                     test harness only\n  --help         this message\n\nExit codes: 0 ok, \
+                     2 usage, 11 snapshot/model mismatch, 12 i/o failure,\n13 protocol \
+                     violation, 101 injected fault."
+                );
+                return exit::OK;
+            }
+            other => {
+                eprintln!("privacy-shardd: unknown argument `{other}` (try --help)");
+                return exit::USAGE;
+            }
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = std::io::BufReader::new(stdin.lock());
+    let mut output = stdout.lock();
+    match run_worker(&mut input, &mut output, faults) {
+        Ok(()) => exit::OK,
+        Err(failure) => {
+            eprintln!("privacy-shardd: {failure}");
+            failure.exit_code()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privacy_lts::ActionKind;
+    use privacy_model::{Sensitivity, UserProfile};
+
+    // A tiny synthetic model shared by the in-process worker tests (worker
+    // processes in integration tests run under the dev profile, so model
+    // size matters).
+    fn tiny_system() -> (String, privacy_core::PrivacySystem) {
+        use privacy_synth::{random_model, ModelGeneratorConfig};
+        let config = ModelGeneratorConfig {
+            actors: 3,
+            fields: 4,
+            datastores: 1,
+            services: 2,
+            flows_per_service: 3,
+            grant_probability: 0.7,
+            seed: 5,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, dataflows, policy) = random_model(&config).expect("synth model");
+        ("Tiny".to_owned(), privacy_core::PrivacySystem::new(catalog, dataflows, policy))
+    }
+
+    fn run_script(messages: Vec<Message>) -> Result<Vec<Message>, WorkerFailure> {
+        let mut input = Vec::new();
+        for message in &messages {
+            privacy_interchange::write_frame(&mut input, &message.encode()).unwrap();
+        }
+        let mut output = Vec::new();
+        run_worker(&mut &input[..], &mut output, WorkerFaults::default())?;
+        let mut replies = Vec::new();
+        let mut reader = &output[..];
+        while let Some(frame) = read_frame(&mut reader).unwrap() {
+            replies.push(Message::decode(&frame).unwrap());
+        }
+        Ok(replies)
+    }
+
+    fn init_message(name: &str, system: &privacy_core::PrivacySystem) -> Message {
+        let lts = system.generate_lts().unwrap();
+        let fingerprint = LtsIndex::build(&lts).fingerprint();
+        Message::Init {
+            worker_index: 0,
+            owned_shards: (0..privacy_runtime::SHARD_COUNT as u32).collect(),
+            model_psm: privacy_interchange::render_system(name, system),
+            fingerprint,
+            checkpoint_path: None,
+            resume: None,
+            resume_through_batch: 0,
+            resume_imports: 0,
+        }
+    }
+
+    // The Init path re-parses the rendered model and recomputes the index
+    // fingerprint, so a passing run also proves the `.psm` round trip
+    // preserves the fingerprint — the assumption model shipping rests on.
+    #[test]
+    fn worker_initialises_ingests_and_acks() {
+        let (name, system) = tiny_system();
+        let service = system.catalog().services().next().unwrap().id().clone();
+        let actor = system.catalog().identifying_actors().next().unwrap().id().clone();
+        let field = system.catalog().fields().next().unwrap().id().clone();
+        let profile = UserProfile::new("ada")
+            .consents_to(service.clone())
+            .with_sensitivity(field.clone(), Sensitivity::new(0.9).unwrap());
+        let event = privacy_runtime::Event::new(
+            0,
+            "ada",
+            service,
+            actor,
+            ActionKind::Read,
+            [field],
+            None,
+            true,
+        );
+        let replies = run_script(vec![
+            init_message(&name, &system),
+            Message::Register { profile },
+            Message::Ingest { batch: 1, events: vec![(0, event)] },
+            Message::Shutdown,
+        ])
+        .expect("worker runs cleanly");
+        assert!(matches!(replies[0], Message::Ready { resumed_users: 0, .. }));
+        let Message::Ack { batch: 1, .. } = &replies[1] else {
+            panic!("expected an ack, got {:?}", replies[1]);
+        };
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_typed_state_failure() {
+        let (name, system) = tiny_system();
+        let Message::Init { model_psm, .. } = init_message(&name, &system) else { unreachable!() };
+        let bad_init = Message::Init {
+            worker_index: 0,
+            owned_shards: vec![0],
+            model_psm,
+            fingerprint: 0xBAAD_F00D,
+            checkpoint_path: None,
+            resume: None,
+            resume_through_batch: 0,
+            resume_imports: 0,
+        };
+        let failure = run_script(vec![bad_init]).expect_err("mismatch must fail");
+        assert!(matches!(failure, WorkerFailure::State(_)));
+        assert_eq!(failure.exit_code(), exit::SNAPSHOT_FATAL);
+        assert!(failure.to_string().contains("fingerprint mismatch"));
+    }
+
+    #[test]
+    fn non_init_first_message_is_a_protocol_failure() {
+        let failure = run_script(vec![Message::Checkpoint]).expect_err("must fail");
+        assert!(matches!(failure, WorkerFailure::Protocol(_)));
+        assert_eq!(failure.exit_code(), exit::PROTOCOL_FATAL);
+    }
+
+    #[test]
+    fn eof_before_init_and_after_messages_is_clean() {
+        assert!(run_script(vec![]).is_ok());
+        let (name, system) = tiny_system();
+        // No Shutdown: the input just ends. Clean exit.
+        assert!(run_script(vec![init_message(&name, &system)]).is_ok());
+    }
+
+    #[test]
+    fn fatal_message_precedes_error_exit() {
+        let mut input = Vec::new();
+        privacy_interchange::write_frame(&mut input, &Message::Checkpoint.encode()).unwrap();
+        let mut output = Vec::new();
+        let failure =
+            run_worker(&mut &input[..], &mut output, WorkerFaults::default()).unwrap_err();
+        let mut reader = &output[..];
+        let frame = read_frame(&mut reader).unwrap().expect("a fatal frame");
+        let Message::Fatal { code, message } = Message::decode(&frame).unwrap() else {
+            panic!("expected Fatal");
+        };
+        assert_eq!(code, failure.exit_code() as u32);
+        assert!(message.contains("protocol"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The failure-injection differential harness: a supervised multi-process
+//! run must produce **exactly** the alert stream of a single in-process
+//! [`IndexedMonitor`] over the same batches — under no faults, under every
+//! named fault the plan language can express, and under proptest-generated
+//! fault schedules.
+//!
+//! The reference is `IndexedMonitor::ingest_batch` per super-batch; the
+//! candidate is a [`DistributedMonitor`] driving real `privacy-shardd`
+//! worker processes (via `CARGO_BIN_EXE_privacy-shardd`) with the same
+//! batches. Equality of the merged streams proves the whole robustness
+//! story at once: sharded routing preserves order, restarts lose nothing,
+//! replay duplicates nothing, checkpoint fallback resumes from consistent
+//! state, and live shard handoff is invisible downstream.
+
+use privacy_core::PrivacySystem;
+use privacy_distrib::{DistribStats, DistributedMonitor, FaultPlan, SupervisorConfig};
+use privacy_lts::LtsIndex;
+use privacy_model::{FieldId, Record, ServiceId, UserProfile};
+use privacy_runtime::{shard_of_user, Alert, Event, IndexedMonitor, ServiceEngine};
+use privacy_synth::{
+    random_model, random_profiles, random_workload, ModelGeneratorConfig, ProfileGeneratorConfig,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// The shared scenario: a small synthetic model (worker processes rebuild
+/// its LTS per spawn under the dev profile, so size is kept modest), a
+/// registered population, and an engine-produced event stream.
+struct Fixture {
+    system: PrivacySystem,
+    fingerprint: u64,
+    index: Arc<LtsIndex>,
+    users: Vec<UserProfile>,
+    batches: Vec<Vec<Event>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let config = ModelGeneratorConfig {
+            actors: 3,
+            fields: 4,
+            datastores: 1,
+            services: 2,
+            flows_per_service: 3,
+            grant_probability: 0.7,
+            seed: 5,
+            ..ModelGeneratorConfig::default()
+        };
+        let (catalog, dataflows, policy) = random_model(&config).expect("synth model");
+        let system = PrivacySystem::new(catalog, dataflows, policy);
+        let lts = system.generate_lts().expect("tiny model generates");
+        let index = Arc::new(LtsIndex::build(&lts));
+        let fingerprint = index.fingerprint();
+
+        let services: Vec<ServiceId> =
+            system.catalog().services().map(|s| s.id().clone()).collect();
+        let fields: Vec<FieldId> = system.catalog().fields().map(|f| f.id().clone()).collect();
+        let users = random_profiles(&ProfileGeneratorConfig {
+            count: 24,
+            seed: 13,
+            services: services.clone(),
+            consent_probability: 0.5,
+            fields: fields.clone(),
+            sensitivity_probability: 0.6,
+        });
+
+        let mut engine = ServiceEngine::new(
+            system.catalog().clone(),
+            system.dataflows().clone(),
+            system.policy().clone(),
+        );
+        let workload = random_workload(&WorkloadConfig {
+            length: 480,
+            seed: 17,
+            users: users.iter().map(|u| u.id().clone()).collect(),
+            services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+        });
+        for request in &workload {
+            let record = fields.iter().fold(Record::new(), |record, field| {
+                record.with(field.clone(), format!("v-{field}"))
+            });
+            let _ = engine.execute(request.user(), request.service(), &record);
+        }
+        let events = engine.log().events().to_vec();
+        assert!(events.len() >= 200, "fixture stream too small to be interesting");
+        let batches: Vec<Vec<Event>> = events.chunks(16).map(<[Event]>::to_vec).collect();
+
+        Fixture { system, fingerprint, index, users, batches }
+    })
+}
+
+/// The in-process reference: one monitor, every user, every batch.
+fn reference_alerts(fixture: &Fixture, batches: &[Vec<Event>]) -> Vec<Alert> {
+    let mut monitor = IndexedMonitor::new(
+        fixture.system.catalog().clone(),
+        fixture.system.policy().clone(),
+        fixture.index.clone(),
+    );
+    for user in &fixture.users {
+        monitor.register_user(user);
+    }
+    let mut alerts = Vec::new();
+    for batch in batches {
+        alerts.extend(monitor.ingest_batch(batch));
+    }
+    alerts
+}
+
+fn checkpoint_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let run = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("privacy-distrib-diff-{tag}-{}-{run}", std::process::id()))
+}
+
+fn config(tag: &str, workers: usize, plan: FaultPlan) -> SupervisorConfig {
+    let mut config =
+        SupervisorConfig::new(env!("CARGO_BIN_EXE_privacy-shardd"), checkpoint_dir(tag));
+    config.workers = workers;
+    config.window = 2;
+    config.checkpoint_every = 3;
+    // Short enough that a stalled or ack-dropping worker is reaped quickly,
+    // long enough that a healthy dev-profile worker never trips it.
+    config.ack_timeout = Duration::from_secs(5);
+    config.fault_plan = plan;
+    config
+}
+
+/// The candidate: a supervised fleet fed the same batches, drained fully.
+fn distributed_alerts(
+    fixture: &Fixture,
+    batches: &[Vec<Event>],
+    config: SupervisorConfig,
+) -> (Vec<Alert>, DistribStats) {
+    let dir = config.checkpoint_dir.clone();
+    let mut monitor =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, config)
+            .expect("fleet launches");
+    for user in &fixture.users {
+        monitor.register_user(user).expect("registration routes");
+    }
+    let mut alerts = Vec::new();
+    for batch in batches {
+        alerts.extend(monitor.submit_batch(batch).expect("batch is processed"));
+    }
+    let (rest, stats) = monitor.shutdown().expect("clean shutdown");
+    alerts.extend(rest);
+    let _ = std::fs::remove_dir_all(dir);
+    (alerts, stats)
+}
+
+#[test]
+fn no_faults_matches_in_process_run_across_worker_counts() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    assert!(!expected.is_empty(), "fixture must raise alerts for the diff to mean anything");
+    for workers in [1, 2, 3] {
+        let (alerts, stats) = distributed_alerts(
+            fixture,
+            &fixture.batches,
+            config("clean", workers, FaultPlan::none()),
+        );
+        assert_eq!(alerts, expected, "{workers}-worker fleet diverged");
+        assert!(stats.recoveries.is_empty(), "no faults, no restarts");
+        assert_eq!(stats.batches, fixture.batches.len() as u64);
+    }
+}
+
+#[test]
+fn kill_mid_stream_recovers_from_checkpoint_and_matches() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // Kill worker 0's first incarnation mid-batch, twice more in later
+    // incarnations: the replacement must resume, replay the unacked suffix
+    // and change nothing downstream.
+    let plan = FaultPlan::none().kill_after(0, 0, 30).kill_after(0, 1, 45).kill_after(1, 0, 70);
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config("kill", 2, plan));
+    assert_eq!(alerts, expected);
+    assert!(stats.recoveries.len() >= 3, "every scheduled kill must be recovered");
+    for recovery in &stats.recoveries {
+        assert!(!recovery.cause.is_empty());
+    }
+}
+
+#[test]
+fn stalled_worker_is_reaped_restarted_and_matches() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    let mut config = config("stall", 2, FaultPlan::none().stall(0, 0, 25, 120_000));
+    config.ack_timeout = Duration::from_millis(400);
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert!(
+        stats.recoveries.iter().any(|r| r.worker == 0 && r.cause.contains("no ack")),
+        "the stall must surface as an ack timeout: {:?}",
+        stats.recoveries
+    );
+}
+
+#[test]
+fn dropped_ack_forces_replay_without_duplicate_alerts() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // The worker processes its 2nd sub-batch fully but never acks it; after
+    // the timeout it is restarted and the batch is replayed. The merged
+    // stream must contain that batch's alerts exactly once.
+    let mut config = config("dropack", 2, FaultPlan::none().drop_ack(1, 0, 2));
+    config.ack_timeout = Duration::from_millis(400);
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert!(stats.recoveries.iter().any(|r| r.worker == 1));
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_a_generation_and_matches() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // Corrupt worker 0's second checkpoint file on disk, then kill the
+    // worker afterwards: the restart must detect the corruption via the
+    // frame checksum, fall back to the `.prev` generation and replay the
+    // longer suffix.
+    let plan = FaultPlan::none().corrupt_checkpoint(0, 2).kill_after(0, 0, 120);
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config("corrupt", 2, plan));
+    assert_eq!(alerts, expected);
+    assert_eq!(stats.corruptions_injected, 1);
+    let recovered = stats.recoveries.iter().find(|r| r.worker == 0).expect("worker 0 restarted");
+    if recovered.fell_back {
+        assert!(
+            !stats.checkpoint_warnings.is_empty(),
+            "a generation fallback must be reported as a warning"
+        );
+    }
+}
+
+#[test]
+fn live_shard_handoff_is_invisible_downstream() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    let config = config("handoff", 2, FaultPlan::none());
+    let dir = config.checkpoint_dir.clone();
+    let mut monitor =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, config)
+            .expect("fleet launches");
+    for user in &fixture.users {
+        monitor.register_user(user).expect("registration routes");
+    }
+    // Pick a shard with real traffic and move it to the other worker midway.
+    let busy_shard = shard_of_user(fixture.batches[0][0].user());
+    let old_owner = monitor.owner_of_shard(busy_shard);
+    let new_owner = (old_owner + 1) % monitor.worker_count();
+    let mut alerts = Vec::new();
+    let midpoint = fixture.batches.len() / 2;
+    for (i, batch) in fixture.batches.iter().enumerate() {
+        if i == midpoint {
+            monitor.rebalance_shard(busy_shard, new_owner).expect("handoff completes");
+            assert_eq!(monitor.owner_of_shard(busy_shard), new_owner);
+        }
+        alerts.extend(monitor.submit_batch(batch).expect("batch is processed"));
+    }
+    let (rest, stats) = monitor.shutdown().expect("clean shutdown");
+    alerts.extend(rest);
+    let _ = std::fs::remove_dir_all(dir);
+    assert_eq!(alerts, expected);
+    assert_eq!(stats.handoffs, 1);
+}
+
+#[test]
+fn handoff_survives_killing_the_new_owner() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    let busy_shard = shard_of_user(fixture.batches[0][0].user());
+    // Kill the new owner's post-handoff incarnation: the import was
+    // checkpointed, or — if the kill lands before the checkpoint covers it —
+    // the supervisor must redeliver the pending import on restart.
+    let config_probe = config("handoffkill-probe", 2, FaultPlan::none());
+    let old_owner = {
+        let dir = config_probe.checkpoint_dir.clone();
+        let monitor =
+            DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, config_probe)
+                .expect("fleet launches");
+        let owner = monitor.owner_of_shard(busy_shard);
+        let _ = std::fs::remove_dir_all(dir);
+        owner
+    };
+    let new_owner = (old_owner + 1) % 2;
+    let plan = FaultPlan::none().kill_after(new_owner, 0, 160);
+    let config = config("handoffkill", 2, plan);
+    let dir = config.checkpoint_dir.clone();
+    let mut monitor =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, config)
+            .expect("fleet launches");
+    for user in &fixture.users {
+        monitor.register_user(user).expect("registration routes");
+    }
+    let mut alerts = Vec::new();
+    let midpoint = fixture.batches.len() / 2;
+    for (i, batch) in fixture.batches.iter().enumerate() {
+        if i == midpoint {
+            monitor.rebalance_shard(busy_shard, new_owner).expect("handoff completes");
+        }
+        alerts.extend(monitor.submit_batch(batch).expect("batch is processed"));
+    }
+    let (rest, stats) = monitor.shutdown().expect("clean shutdown");
+    alerts.extend(rest);
+    let _ = std::fs::remove_dir_all(dir);
+    assert_eq!(alerts, expected);
+    assert_eq!(stats.handoffs, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: for an **arbitrary** fault schedule — kills,
+    /// stalls, dropped acks and checkpoint corruptions at generated points,
+    /// over a generated worker count and checkpoint period — the merged
+    /// distributed stream equals the in-process run.
+    #[test]
+    fn arbitrary_fault_schedules_preserve_the_alert_stream(
+        workers in 1usize..=3,
+        checkpoint_every in 1u64..=4,
+        kill_worker in 0usize..3,
+        kill_events in 1u64..200,
+        second_fault in 0usize..4,
+        drop_ordinal in 1u64..6,
+        corrupt_ordinal in 1u64..4,
+    ) {
+        let fixture = fixture();
+        let expected = reference_alerts(fixture, &fixture.batches);
+        let mut plan = FaultPlan::none().kill_after(kill_worker % workers, 0, kill_events);
+        plan = match second_fault {
+            0 => plan,
+            1 => plan.kill_after((kill_worker + 1) % workers, 0, kill_events / 2 + 1),
+            2 => plan.drop_ack((kill_worker + 1) % workers, 0, drop_ordinal),
+            _ => plan.corrupt_checkpoint(kill_worker % workers, corrupt_ordinal),
+        };
+        let mut config = config("prop", workers, plan);
+        config.checkpoint_every = checkpoint_every;
+        config.ack_timeout = Duration::from_millis(600);
+        let (alerts, _stats) = distributed_alerts(fixture, &fixture.batches, config);
+        prop_assert_eq!(alerts, expected);
+    }
+}
+
+/// Supervisor misconfiguration surfaces as typed errors, not panics.
+#[test]
+fn bad_configs_are_typed_errors() {
+    let fixture = fixture();
+    let mut zero_workers = config("cfg0", 2, FaultPlan::none());
+    zero_workers.workers = 0;
+    let error =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, zero_workers)
+            .expect_err("zero workers is unrunnable");
+    assert!(error.to_string().contains("worker count"));
+
+    let mut zero_window = config("cfgw", 2, FaultPlan::none());
+    zero_window.window = 0;
+    let error =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, zero_window)
+            .expect_err("zero window is unrunnable");
+    assert!(error.to_string().contains("window"));
+}
+
+/// A fingerprint the workers cannot reproduce is refused at launch: the
+/// fleet must never run against a model that disagrees with the supervisor.
+#[test]
+fn fingerprint_mismatch_refuses_to_launch() {
+    let fixture = fixture();
+    let config = config("fpr", 1, FaultPlan::none());
+    let dir = config.checkpoint_dir.clone();
+    let error = DistributedMonitor::launch("Tiny", &fixture.system, 0xDEAD_BEEF, config)
+        .expect_err("mismatched fingerprint must refuse");
+    let _ = std::fs::remove_dir_all(dir);
+    let message = error.to_string();
+    assert!(
+        message.contains("terminal") || message.contains("fingerprint"),
+        "unexpected error: {message}"
+    );
+}

@@ -201,6 +201,14 @@ impl Encoder {
         }
     }
 
+    /// Appends a length-prefixed raw byte blob — the nesting primitive: a
+    /// whole inner frame (e.g. a monitor snapshot) carried opaquely inside an
+    /// outer frame (e.g. a checkpoint file or a supervisor message).
+    pub fn bytes(&mut self, value: &[u8]) {
+        self.u32(value.len() as u32);
+        self.payload.extend_from_slice(value);
+    }
+
     /// Seals the frame: header, payload, trailing checksum.
     pub fn finish(self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + CHECKSUM_LEN);
@@ -333,6 +341,12 @@ impl<'a> Decoder<'a> {
             .map_err(|error| CodecError::Malformed { what: "string", detail: error.to_string() })
     }
 
+    /// Reads a length-prefixed raw byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// Reads a length-prefixed `u64` slice.
     pub fn u64_slice(&mut self) -> Result<Vec<u64>, CodecError> {
         let len = self.u32()? as usize;
@@ -362,6 +376,124 @@ impl<'a> Decoder<'a> {
         }
         Ok(())
     }
+}
+
+/// The largest frame [`read_frame`] will accept from a byte stream. Frames
+/// on pipes are control messages and event batches, never bulk data; a
+/// declared length past this is a corrupted or hostile header, and rejecting
+/// it up front keeps a bad peer from driving a gigabyte allocation.
+pub const MAX_STREAM_FRAME: u64 = 256 * 1024 * 1024;
+
+/// A typed failure while reading a frame from a byte *stream* (a pipe or
+/// socket, where the reader cannot see the whole input at once).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameIoError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The stream carried bytes that cannot open as a frame: wrong magic, a
+    /// truncated header/body, or a declared length past [`MAX_STREAM_FRAME`].
+    Codec(CodecError),
+}
+
+impl fmt::Display for FrameIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameIoError::Io(error) => write!(f, "frame stream i/o failure: {error}"),
+            FrameIoError::Codec(error) => write!(f, "unreadable stream frame: {error}"),
+        }
+    }
+}
+
+impl Error for FrameIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameIoError::Io(error) => Some(error),
+            FrameIoError::Codec(error) => Some(error),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameIoError {
+    fn from(error: std::io::Error) -> Self {
+        FrameIoError::Io(error)
+    }
+}
+
+impl From<CodecError> for FrameIoError {
+    fn from(error: CodecError) -> Self {
+        FrameIoError::Codec(error)
+    }
+}
+
+/// Writes one sealed frame (the output of [`Encoder::finish`]) to a byte
+/// stream and flushes it, so a peer blocked on [`read_frame`] sees the
+/// message immediately.
+///
+/// # Errors
+///
+/// Returns [`FrameIoError::Io`] if the write or flush fails (e.g. the peer
+/// closed its end of the pipe).
+pub fn write_frame(writer: &mut impl std::io::Write, frame: &[u8]) -> Result<(), FrameIoError> {
+    writer.write_all(frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one frame from a byte stream, using the declared payload
+/// length in the header to find the frame boundary. Returns `Ok(None)` on a
+/// clean end-of-stream **at** a frame boundary (the peer closed after its
+/// last complete message); EOF *inside* a frame is a typed truncation error.
+///
+/// The returned bytes are the whole frame, ready for [`Decoder::new`] —
+/// which still performs the full validation (kind, version, checksum); this
+/// function only checks what it must to delimit the stream (magic and a sane
+/// declared length).
+///
+/// # Errors
+///
+/// Returns [`FrameIoError::Io`] for read failures and [`FrameIoError::Codec`]
+/// for a stream that is not speaking this codec (bad magic, truncation
+/// mid-frame, a declared length past [`MAX_STREAM_FRAME`]).
+pub fn read_frame(reader: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, FrameIoError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(CodecError::Truncated { needed: HEADER_LEN, available: filled }.into());
+        }
+        filled += n;
+    }
+    if header[..4] != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[..4]);
+        return Err(CodecError::BadMagic { expected: MAGIC, found }.into());
+    }
+    let payload_len = u64::from_le_bytes(header[12..HEADER_LEN].try_into().expect("8 bytes"));
+    if payload_len > MAX_STREAM_FRAME {
+        return Err(CodecError::Malformed {
+            what: "stream frame length",
+            detail: format!("declared payload of {payload_len} bytes exceeds {MAX_STREAM_FRAME}"),
+        }
+        .into());
+    }
+    let rest = payload_len as usize + CHECKSUM_LEN;
+    let mut frame = Vec::with_capacity(HEADER_LEN + rest);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + rest, 0);
+    let mut filled = HEADER_LEN;
+    while filled < frame.len() {
+        let n = reader.read(&mut frame[filled..])?;
+        if n == 0 {
+            return Err(CodecError::Truncated { needed: frame.len(), available: filled }.into());
+        }
+        filled += n;
+    }
+    Ok(Some(frame))
 }
 
 #[cfg(test)]
@@ -488,5 +620,80 @@ mod tests {
         let bytes = Encoder::new(KIND, 1).finish();
         let decoder = Decoder::new(&bytes, KIND, 1).unwrap();
         decoder.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_nest_whole_frames() {
+        let inner = sample_frame();
+        let mut encoder = Encoder::new(KIND, 2);
+        encoder.bytes(&inner);
+        encoder.bytes(&[]);
+        let bytes = encoder.finish();
+
+        let mut decoder = Decoder::new(&bytes, KIND, 2).unwrap();
+        let carried = decoder.bytes().unwrap();
+        assert_eq!(carried, inner);
+        assert_eq!(decoder.bytes().unwrap(), Vec::<u8>::new());
+        decoder.finish().unwrap();
+
+        // The carried blob opens as the original frame.
+        let mut nested = Decoder::new(&carried, KIND, 3).unwrap();
+        assert_eq!(nested.u8().unwrap(), 7);
+    }
+
+    #[test]
+    fn truncated_byte_blob_is_typed() {
+        let mut encoder = Encoder::new(KIND, 1);
+        encoder.u32(50); // declares 50 blob bytes, provides none
+        let bytes = encoder.finish();
+        let mut decoder = Decoder::new(&bytes, KIND, 1).unwrap();
+        assert!(matches!(decoder.bytes(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn stream_frames_round_trip_back_to_back() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &sample_frame()).unwrap();
+        write_frame(&mut stream, &Encoder::new(KIND, 9).finish()).unwrap();
+
+        let mut reader = &stream[..];
+        let first = read_frame(&mut reader).unwrap().expect("first frame");
+        assert_eq!(first, sample_frame());
+        let second = read_frame(&mut reader).unwrap().expect("second frame");
+        Decoder::new(&second, KIND, 9).unwrap().finish().unwrap();
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF at a boundary");
+    }
+
+    #[test]
+    fn stream_eof_mid_frame_is_truncation_not_none() {
+        let frame = sample_frame();
+        for len in 1..frame.len() {
+            let mut reader = &frame[..len];
+            let error = read_frame(&mut reader).map(|_| ()).expect_err("partial frame");
+            assert!(
+                matches!(error, FrameIoError::Codec(CodecError::Truncated { .. })),
+                "prefix of {len} bytes produced {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_rejects_foreign_bytes_and_absurd_lengths() {
+        let mut reader = &b"this is not a frame and never will be"[..];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameIoError::Codec(CodecError::BadMagic { .. }))
+        ));
+
+        let mut header = Vec::new();
+        header.extend_from_slice(b"PMBF");
+        header.extend_from_slice(KIND.as_slice());
+        header.extend_from_slice(&1u32.to_le_bytes());
+        header.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut reader = &header[..];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameIoError::Codec(CodecError::Malformed { what: "stream frame length", .. }))
+        ));
     }
 }

@@ -93,7 +93,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::ModelAst;
-pub use binary::{CodecError, Decoder, Encoder};
+pub use binary::{read_frame, write_frame, CodecError, Decoder, Encoder, FrameIoError};
 pub use error::{InterchangeError, InterchangeErrorKind};
 pub use parser::parse_ast;
 pub use printer::{render_document, render_system};

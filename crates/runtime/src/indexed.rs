@@ -42,10 +42,20 @@ use std::sync::Arc;
 /// Number of user-state shards. Fixed (rather than derived from the thread
 /// count) so users never migrate between shards when the ingestion
 /// parallelism changes between batches; worker threads each own a contiguous
-/// chunk of shards.
-const SHARDS: usize = 32;
+/// chunk of shards, and the distributed supervisor assigns contiguous shard
+/// ranges to worker *processes*.
+pub const SHARD_COUNT: usize = 32;
 
-/// The shard a user's state lives on.
+const SHARDS: usize = SHARD_COUNT;
+
+/// The shard a user's state lives on: a stable hash of the user id alone,
+/// independent of thread counts, process boundaries and registration order.
+/// This is the unit of distribution — an event is routed wherever
+/// `shard_of_user(event.user())` lives.
+pub fn shard_of_user(user: &UserId) -> u32 {
+    shard_of(user) as u32
+}
+
 fn shard_of(user: &UserId) -> usize {
     let mut hasher = FxHasher::default();
     user.hash(&mut hasher);
@@ -343,34 +353,36 @@ impl IndexedMonitor {
         index: Arc<LtsIndex>,
         snapshot: &MonitorSnapshot,
     ) -> Result<IndexedMonitor, SnapshotError> {
-        let expected = index.fingerprint();
-        if snapshot.fingerprint != expected {
-            return Err(SnapshotError::IndexMismatch {
-                snapshot: snapshot.fingerprint,
-                index: expected,
-            });
-        }
-        let space = index.space();
-        let dims = (
-            space.variable_count().div_ceil(64) as u32,
-            space.actor_count().div_ceil(64) as u32,
-            space.field_count() as u32,
-        );
-        if (snapshot.state_words, snapshot.allowed_words, snapshot.field_count) != dims {
-            return Err(SnapshotError::Malformed {
-                detail: format!(
-                    "snapshot dimensions ({}, {}, {}) do not describe the index's space \
-                     ({}, {}, {})",
-                    snapshot.state_words,
-                    snapshot.allowed_words,
-                    snapshot.field_count,
-                    dims.0,
-                    dims.1,
-                    dims.2
-                ),
-            });
-        }
+        check_snapshot_compat(&index, snapshot)?;
         let mut monitor = IndexedMonitor::new(catalog, policy, index);
+        monitor.restore_rows(snapshot)?;
+        monitor.alerts = snapshot.pending_alerts.clone();
+        Ok(monitor)
+    }
+
+    /// Merges a snapshot's users into a **live** monitor — the shard-handoff
+    /// import path: a worker that takes over a shard absorbs the previous
+    /// owner's exported [`MonitorSnapshot`] (typically a
+    /// [`MonitorSnapshot::extract_shards`] part) without disturbing the
+    /// users it already tracks. A user present in both keeps the snapshot's
+    /// state (the exporter owned them last); the snapshot's pending alerts
+    /// are appended to this monitor's. Returns the number of users absorbed.
+    ///
+    /// # Errors
+    ///
+    /// The same compatibility checks as [`IndexedMonitor::resume_from`]:
+    /// [`SnapshotError::IndexMismatch`] for a foreign index,
+    /// [`SnapshotError::Malformed`] for impossible dimensions or rows.
+    pub fn absorb(&mut self, snapshot: &MonitorSnapshot) -> Result<usize, SnapshotError> {
+        check_snapshot_compat(&self.index, snapshot)?;
+        let absorbed = self.restore_rows(snapshot)?;
+        self.alerts.extend(snapshot.pending_alerts.iter().cloned());
+        Ok(absorbed)
+    }
+
+    /// Inserts every user row of the snapshot, re-deriving shards from ids.
+    fn restore_rows(&mut self, snapshot: &MonitorSnapshot) -> Result<usize, SnapshotError> {
+        let mut restored = 0usize;
         for shard in &snapshot.shards {
             for row in &shard.users {
                 let sensitivities = row
@@ -386,11 +398,32 @@ impl IndexedMonitor {
                     allowed: row.allowed.clone(),
                     sensitivities,
                 };
-                monitor.shards[shard_of(&row.user)].users.insert(row.user.clone(), slot);
+                self.shards[shard_of(&row.user)].users.insert(row.user.clone(), slot);
+                restored += 1;
             }
         }
-        monitor.alerts = snapshot.pending_alerts.clone();
-        Ok(monitor)
+        Ok(restored)
+    }
+
+    /// Whether a user is currently registered (tracked) by this monitor.
+    pub fn is_registered(&self, user: &UserId) -> bool {
+        self.shards[shard_of(user)].users.contains_key(user)
+    }
+
+    /// Drops every user whose id hashes to the given shard, returning how
+    /// many were removed — the shard-handoff *export* side: after the shard's
+    /// state is captured (via [`IndexedMonitor::snapshot`] +
+    /// [`MonitorSnapshot::extract_shards`]), the old owner stops tracking it.
+    /// Shards at or past [`SHARD_COUNT`] hold no users.
+    pub fn remove_shard_users(&mut self, shard: u32) -> usize {
+        match self.shards.get_mut(shard as usize) {
+            Some(slot) => {
+                let removed = slot.users.len();
+                slot.users.clear();
+                removed
+            }
+            None => 0,
+        }
     }
 
     /// Consumes one event. Behaviourally equivalent to a one-event
@@ -518,6 +551,43 @@ impl fmt::Display for IndexedMonitor {
             self.alerts.len()
         )
     }
+}
+
+/// Rejects a snapshot that cannot describe this index: a different
+/// fingerprint (the word rows would be silently reinterpreted) or
+/// dimensions that disagree with the index's variable space.
+fn check_snapshot_compat(
+    index: &LtsIndex,
+    snapshot: &MonitorSnapshot,
+) -> Result<(), SnapshotError> {
+    let expected = index.fingerprint();
+    if snapshot.fingerprint != expected {
+        return Err(SnapshotError::IndexMismatch {
+            snapshot: snapshot.fingerprint,
+            index: expected,
+        });
+    }
+    let space = index.space();
+    let dims = (
+        space.variable_count().div_ceil(64) as u32,
+        space.actor_count().div_ceil(64) as u32,
+        space.field_count() as u32,
+    );
+    if (snapshot.state_words, snapshot.allowed_words, snapshot.field_count) != dims {
+        return Err(SnapshotError::Malformed {
+            detail: format!(
+                "snapshot dimensions ({}, {}, {}) do not describe the index's space \
+                 ({}, {}, {})",
+                snapshot.state_words,
+                snapshot.allowed_words,
+                snapshot.field_count,
+                dims.0,
+                dims.1,
+                dims.2
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Applies one permitted event to its user's slot, pushing any raised alerts

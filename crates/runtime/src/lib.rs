@@ -43,7 +43,7 @@ pub mod store;
 pub use concurrent::{run_concurrent_workload, ConcurrentConfig};
 pub use engine::{ExecutionOutcome, ServiceEngine, ServiceRequest};
 pub use event::{Event, EventLog};
-pub use indexed::IndexedMonitor;
+pub use indexed::{shard_of_user, IndexedMonitor, SHARD_COUNT};
 pub use log_index::{ErasureTimeline, EventLogIndex};
 pub use monitor::{Alert, RuntimeMonitor};
 pub use snapshot::{MonitorSnapshot, ShardSnapshot, SnapshotError};
@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::concurrent::{run_concurrent_workload, ConcurrentConfig};
     pub use crate::engine::{ExecutionOutcome, ServiceEngine, ServiceRequest};
     pub use crate::event::{Event, EventLog};
-    pub use crate::indexed::IndexedMonitor;
+    pub use crate::indexed::{shard_of_user, IndexedMonitor, SHARD_COUNT};
     pub use crate::log_index::{ErasureTimeline, EventLogIndex};
     pub use crate::monitor::{Alert, RuntimeMonitor};
     pub use crate::snapshot::{MonitorSnapshot, ShardSnapshot, SnapshotError};

@@ -33,6 +33,14 @@ impl Alert {
         Alert { sequence, user, level, message }
     }
 
+    /// Reconstructs an alert from its parts — the persistence/transport
+    /// path: snapshot decoding and the distributed supervisor's ack frames
+    /// rebuild alerts a monitor raised in another life (or another
+    /// process). Monitors themselves only raise alerts internally.
+    pub fn from_parts(sequence: u64, user: UserId, level: RiskLevel, message: String) -> Alert {
+        Alert { sequence, user, level, message }
+    }
+
     /// The sequence number of the event that triggered the alert.
     pub fn sequence(&self) -> u64 {
         self.sequence

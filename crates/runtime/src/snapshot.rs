@@ -177,6 +177,37 @@ impl MonitorSnapshot {
         out
     }
 
+    /// The sub-snapshot holding exactly the listed shards — the shard-handoff
+    /// export: the outgoing owner captures one (or a few) shards to ship to
+    /// the incoming owner. Shards the snapshot does not contain are simply
+    /// absent from the result. Pending alerts do **not** travel with an
+    /// extract (they belong to whoever is draining the full monitor's alert
+    /// stream, not to any one shard).
+    pub fn extract_shards(&self, shards: &[u32]) -> MonitorSnapshot {
+        MonitorSnapshot {
+            fingerprint: self.fingerprint,
+            state_words: self.state_words,
+            allowed_words: self.allowed_words,
+            field_count: self.field_count,
+            shards: self
+                .shards
+                .iter()
+                .filter(|shard| shards.contains(&shard.shard))
+                .cloned()
+                .collect(),
+            pending_alerts: Vec::new(),
+        }
+    }
+
+    /// Drops every shard **not** in the given set, in place — the restart
+    /// filter: a worker resuming from a checkpoint written before a shard
+    /// was handed away keeps only the shards it currently owns, so the
+    /// stale copy of a migrated shard can never shadow the new owner's.
+    /// Pending alerts are kept (they were raised by this monitor's stream).
+    pub fn retain_shards(&mut self, shards: &[u32]) {
+        self.shards.retain(|shard| shards.contains(&shard.shard));
+    }
+
     /// Merges sub-snapshots produced by [`MonitorSnapshot::split`] (in any
     /// order) back into one snapshot.
     ///
@@ -184,7 +215,10 @@ impl MonitorSnapshot {
     ///
     /// Returns [`SnapshotError::IndexMismatch`] if the parts were taken
     /// against different indices, and [`SnapshotError::Malformed`] for an
-    /// empty part list, disagreeing dimensions or a shard exported twice.
+    /// empty part list, disagreeing dimensions, a shard exported twice, or a
+    /// user appearing in more than one part (two parts claiming the same
+    /// user must be surfaced as the torn export it is — never resolved by
+    /// last-writer-wins).
     pub fn merge(parts: &[MonitorSnapshot]) -> Result<MonitorSnapshot, SnapshotError> {
         let first = parts.first().ok_or_else(|| SnapshotError::Malformed {
             detail: "cannot merge an empty list of snapshot parts".into(),
@@ -218,6 +252,17 @@ impl MonitorSnapshot {
         if merged.shards.windows(2).any(|pair| pair[0].shard == pair[1].shard) {
             return Err(SnapshotError::Malformed {
                 detail: "a shard appears in more than one snapshot part".into(),
+            });
+        }
+        let mut users: Vec<&UserId> = merged
+            .shards
+            .iter()
+            .flat_map(|shard| shard.users.iter().map(|row| &row.user))
+            .collect();
+        users.sort_unstable();
+        if let Some(pair) = users.windows(2).find(|pair| pair[0] == pair[1]) {
+            return Err(SnapshotError::Malformed {
+                detail: format!("user `{}` appears in more than one snapshot part", pair[0]),
             });
         }
         Ok(merged)

@@ -1,0 +1,227 @@
+//! Edge cases of [`MonitorSnapshot::split`] / [`MonitorSnapshot::merge`] —
+//! the primitives distributed checkpointing and shard handoff are built on.
+//!
+//! The happy path (split → merge round-trips a populated monitor) is pinned
+//! at *mismatched* part counts: a snapshot written by a 3-way split must
+//! merge identically whether it is later reassembled from 1, 2 or 64-way
+//! splits of the same state. The failure paths are all **typed**: an empty
+//! part list, a shard exported twice, the same user claimed by two parts
+//! (the torn-export case merge must never resolve by last-writer-wins), and
+//! fingerprint disagreement between parts.
+
+use privacy_interchange::binary::Encoder;
+use privacy_lts::LtsIndex;
+use privacy_model::{FieldId, Record, ServiceId};
+use privacy_runtime::snapshot::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
+use privacy_runtime::{IndexedMonitor, MonitorSnapshot, ServiceEngine, SnapshotError};
+use privacy_synth::{
+    random_model, random_profiles, random_workload, ModelGeneratorConfig, ProfileGeneratorConfig,
+    WorkloadConfig,
+};
+use std::sync::Arc;
+
+/// A populated monitor over a small synthetic model: registered users and
+/// an engine-produced stream, so the snapshot has real multi-shard state.
+fn populated_monitor() -> IndexedMonitor {
+    let config = ModelGeneratorConfig {
+        actors: 3,
+        fields: 4,
+        datastores: 1,
+        services: 2,
+        flows_per_service: 3,
+        grant_probability: 0.7,
+        seed: 5,
+        ..ModelGeneratorConfig::default()
+    };
+    let (catalog, dataflows, policy) = random_model(&config).expect("synth model");
+    let lts = privacy_core::PrivacySystem::new(catalog.clone(), dataflows.clone(), policy.clone())
+        .generate_lts()
+        .expect("tiny model generates");
+    let index = Arc::new(LtsIndex::build(&lts));
+
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let users = random_profiles(&ProfileGeneratorConfig {
+        count: 20,
+        seed: 23,
+        services: services.clone(),
+        consent_probability: 0.5,
+        fields: fields.clone(),
+        sensitivity_probability: 0.6,
+    });
+    let mut monitor = IndexedMonitor::new(catalog.clone(), policy.clone(), index);
+    for user in &users {
+        monitor.register_user(user);
+    }
+    let mut engine = ServiceEngine::new(catalog, dataflows, policy);
+    let workload = random_workload(&WorkloadConfig {
+        length: 300,
+        seed: 29,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+    });
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    let _ = monitor.ingest_log(engine.log());
+    monitor
+}
+
+/// Hand-encodes a snapshot frame with the given `(shard, users)` layout and
+/// fingerprint — the only way to reach the duplicate-user paths from
+/// outside the crate, since the public API never produces one.
+fn crafted_snapshot_bytes(fingerprint: u64, shards: &[(u32, &[&str])]) -> Vec<u8> {
+    let mut encoder = Encoder::new(SNAPSHOT_KIND, SNAPSHOT_VERSION);
+    encoder.u64(fingerprint);
+    encoder.u32(1); // state words
+    encoder.u32(1); // allowed words
+    encoder.u32(0); // field count
+    encoder.u32(shards.len() as u32);
+    for (shard, users) in shards {
+        encoder.u32(*shard);
+        encoder.u32(users.len() as u32);
+        for user in *users {
+            encoder.str(user);
+            encoder.u64_slice(&[0]);
+            encoder.u64_slice(&[0]);
+            encoder.u32(0);
+        }
+    }
+    encoder.u32(0); // pending alerts
+    encoder.finish()
+}
+
+#[test]
+fn empty_monitor_snapshot_splits_and_merges() {
+    let monitor = {
+        let config = ModelGeneratorConfig { seed: 5, ..ModelGeneratorConfig::default() };
+        let (catalog, dataflows, policy) = random_model(&config).expect("synth model");
+        let lts = privacy_core::PrivacySystem::new(catalog.clone(), dataflows, policy.clone())
+            .generate_lts()
+            .expect("model generates");
+        IndexedMonitor::new(catalog, policy, Arc::new(LtsIndex::build(&lts)))
+    };
+    let snapshot = monitor.snapshot();
+    assert_eq!(snapshot.user_count(), 0);
+    let parts = snapshot.split(4);
+    assert!(!parts.is_empty(), "split always yields at least one part");
+    let merged = MonitorSnapshot::merge(&parts).expect("empty state merges");
+    assert_eq!(merged, snapshot);
+}
+
+#[test]
+fn split_merge_round_trips_at_mismatched_part_counts() {
+    let monitor = populated_monitor();
+    let snapshot = monitor.snapshot();
+    assert!(snapshot.user_count() >= 10, "fixture must populate multiple shards");
+    assert!(snapshot.shards().len() >= 2, "fixture must span shards");
+    for parts in [1usize, 2, 3, 5, 8, 64] {
+        let split = snapshot.split(parts);
+        assert!(split.len() <= parts.max(1));
+        assert_eq!(
+            split.iter().map(MonitorSnapshot::user_count).sum::<usize>(),
+            snapshot.user_count()
+        );
+        let merged = MonitorSnapshot::merge(&split)
+            .unwrap_or_else(|error| panic!("merging a {parts}-way split must succeed: {error}"));
+        // Byte-level equality: merge must reconstruct the exact snapshot,
+        // regardless of how it was split.
+        assert_eq!(merged.to_bytes(), snapshot.to_bytes(), "{parts}-way split diverged");
+    }
+    // Mismatched counts compose: re-split a merge of a 3-way split 7 ways.
+    let resplit = MonitorSnapshot::merge(&snapshot.split(3)).expect("3-way merges").split(7);
+    let merged = MonitorSnapshot::merge(&resplit).expect("7-way merges");
+    assert_eq!(merged.to_bytes(), snapshot.to_bytes());
+}
+
+#[test]
+fn merging_an_empty_part_list_is_a_typed_error() {
+    let error = MonitorSnapshot::merge(&[]).expect_err("empty list cannot merge");
+    assert!(matches!(&error, SnapshotError::Malformed { detail } if detail.contains("empty")));
+}
+
+#[test]
+fn merging_the_same_shard_twice_is_a_typed_error() {
+    let snapshot = populated_monitor().snapshot();
+    let busy = snapshot.shards().first().expect("populated").shard();
+    let part = snapshot.extract_shards(&[busy]);
+    let error =
+        MonitorSnapshot::merge(&[part.clone(), part]).expect_err("duplicate shard must fail");
+    assert!(
+        matches!(&error, SnapshotError::Malformed { detail }
+            if detail.contains("shard") && detail.contains("more than one")),
+        "unexpected error: {error}"
+    );
+}
+
+#[test]
+fn merging_parts_that_share_a_user_is_a_typed_error() {
+    // Two parts with disjoint shard ids but the same user: the torn-export
+    // case. Only reachable via crafted frames — the public API never
+    // produces it — and merge must refuse rather than pick a winner.
+    let part_a = MonitorSnapshot::from_bytes(&crafted_snapshot_bytes(42, &[(0, &["ada"])]))
+        .expect("crafted part decodes");
+    let part_b = MonitorSnapshot::from_bytes(&crafted_snapshot_bytes(42, &[(1, &["ada"])]))
+        .expect("crafted part decodes");
+    let error = MonitorSnapshot::merge(&[part_a, part_b]).expect_err("shared user must fail");
+    assert!(
+        matches!(&error, SnapshotError::Malformed { detail }
+            if detail.contains("ada") && detail.contains("more than one")),
+        "unexpected error: {error}"
+    );
+}
+
+#[test]
+fn merging_parts_from_different_indices_is_a_typed_error() {
+    let part_a = MonitorSnapshot::from_bytes(&crafted_snapshot_bytes(42, &[(0, &["ada"])]))
+        .expect("crafted part decodes");
+    let part_b = MonitorSnapshot::from_bytes(&crafted_snapshot_bytes(43, &[(1, &["bob"])]))
+        .expect("crafted part decodes");
+    let error = MonitorSnapshot::merge(&[part_a, part_b]).expect_err("fingerprints disagree");
+    assert!(matches!(error, SnapshotError::IndexMismatch { snapshot: 43, index: 42 }));
+}
+
+#[test]
+fn decoding_a_snapshot_that_persists_a_user_twice_is_a_typed_error() {
+    // The same duplicate-user guard, one layer down: a single frame whose
+    // shards disagree about who owns a user is rejected at decode time.
+    let bytes = crafted_snapshot_bytes(42, &[(0, &["ada"]), (1, &["ada"])]);
+    let error = MonitorSnapshot::from_bytes(&bytes).expect_err("duplicate user must not decode");
+    assert!(
+        matches!(&error, SnapshotError::Malformed { detail } if detail.contains("more than once")),
+        "unexpected error: {error}"
+    );
+}
+
+#[test]
+fn extract_and_retain_shard_edge_cases() {
+    let snapshot = populated_monitor().snapshot();
+    // Extracting shards the snapshot does not contain yields empty state.
+    let absent = snapshot.extract_shards(&[9999]);
+    assert_eq!(absent.user_count(), 0);
+    assert!(absent.shards().is_empty());
+    // Extract never carries pending alerts; fingerprint is preserved so the
+    // extract still resumes against the same index.
+    assert!(absent.pending_alerts().is_empty());
+    assert_eq!(absent.fingerprint(), snapshot.fingerprint());
+    // Retaining the empty set empties the snapshot in place.
+    let mut emptied = snapshot.clone();
+    emptied.retain_shards(&[]);
+    assert_eq!(emptied.user_count(), 0);
+    // Retain + extract of complementary sets partition the users.
+    let owned: Vec<u32> = snapshot.shards().iter().map(|s| s.shard()).step_by(2).collect();
+    let kept = snapshot.extract_shards(&owned);
+    let mut rest = snapshot.clone();
+    rest.retain_shards(
+        &snapshot
+            .shards()
+            .iter()
+            .map(|s| s.shard())
+            .filter(|shard| !owned.contains(shard))
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(kept.user_count() + rest.user_count(), snapshot.user_count());
+}

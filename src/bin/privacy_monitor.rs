@@ -5,8 +5,12 @@
 //! through a [`FieldMapping`], resolved into events, and batch-ingested
 //! into an [`IndexedMonitor`] over the paper's healthcare case-study model.
 //! Alerts print live as batches complete; `--checkpoint` persists a
-//! [`MonitorSnapshot`] after every batch so a crashed run resumes where it
-//! stopped (`--resume`).
+//! [`MonitorSnapshot`] after every batch — written atomically through
+//! [`CheckpointStore`] (temp file + fsync + rename, with the previous
+//! generation kept as `<path>.prev`) so a crash mid-write can never leave a
+//! torn checkpoint. `--resume` loads the newest generation that decodes,
+//! falling back to `.prev` with a typed warning when the live file is
+//! corrupt.
 //!
 //! ```text
 //! privacy-monitor [FILE|-] [--format auto|json|logfmt|csv]
@@ -18,8 +22,13 @@
 //! Unknown users are registered on first sight — consenting to every
 //! catalog service by default (so alerts reflect risky *actions*, not a
 //! blanket absence of consent), or with empty consent under `--no-consent`.
+//!
+//! Exit codes follow the [`privacy_distrib::exit`] taxonomy: 0 ok, 2 usage,
+//! 10 ingestion failed, 11 snapshot/model state failed, 12 I/O failed — see
+//! `--help`.
 
 use privacy_core::{casestudy, PrivacySystem};
+use privacy_distrib::{exit, CheckpointStore};
 use privacy_ingest::{ingest_bytes, ErrorPolicy, FieldMapping, Format, IngestOptions};
 use privacy_lts::LtsIndex;
 use privacy_model::{ServiceId, UserId, UserProfile};
@@ -45,6 +54,49 @@ struct Options {
 const USAGE: &str = "usage: privacy-monitor [FILE|-] [--format auto|json|logfmt|csv] \
                      [--error-policy fail-fast|skip] [--batch N] [--threads N] \
                      [--checkpoint PATH] [--resume PATH] [--aliases] [--no-consent] [--quiet]";
+
+const HELP_EXIT_CODES: &str = "\
+Checkpointing:
+  --checkpoint PATH   after every batch, atomically replace PATH (temp file +
+                      fsync + rename); the prior generation is kept at
+                      PATH.prev
+  --resume PATH       resume from the newest generation of PATH that decodes,
+                      falling back to PATH.prev with a warning if the live
+                      file is corrupt
+
+Exit codes:
+  0    ok
+  2    usage error (bad flag or value)
+  10   ingestion failed (unreadable input or a fatal parse under fail-fast)
+  11   state failed (model build, snapshot decode, or resume rejected)
+  12   I/O failed (checkpoint could not be written)";
+
+/// A run failure carrying the exit code it must map to.
+enum CliError {
+    /// Unreadable input or a fatal ingestion error ([`exit::INGEST_FATAL`]).
+    Ingest(String),
+    /// Model or snapshot state could not be established
+    /// ([`exit::SNAPSHOT_FATAL`]).
+    State(String),
+    /// A checkpoint could not be persisted ([`exit::IO_FATAL`]).
+    Io(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Ingest(_) => exit::INGEST_FATAL as u8,
+            CliError::State(_) => exit::SNAPSHOT_FATAL as u8,
+            CliError::Io(_) => exit::IO_FATAL as u8,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Ingest(message) | CliError::State(message) | CliError::Io(message) => message,
+        }
+    }
+}
 
 fn parse_options() -> Result<Options, String> {
     let mut options = Options {
@@ -101,8 +153,8 @@ fn parse_options() -> Result<Options, String> {
             "--no-consent" => options.no_consent = true,
             "--quiet" => options.quiet = true,
             "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
+                println!("{USAGE}\n\n{HELP_EXIT_CODES}");
+                std::process::exit(exit::OK);
             }
             other if !other.starts_with('-') || other == "-" => {
                 if positional {
@@ -117,15 +169,16 @@ fn parse_options() -> Result<Options, String> {
     Ok(options)
 }
 
-fn read_input(input: &str) -> Result<Vec<u8>, String> {
+fn read_input(input: &str) -> Result<Vec<u8>, CliError> {
     let mut bytes = Vec::new();
     if input == "-" {
         std::io::stdin()
             .lock()
             .read_to_end(&mut bytes)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+            .map_err(|e| CliError::Ingest(format!("reading stdin: {e}")))?;
     } else {
-        bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+        bytes =
+            std::fs::read(input).map_err(|e| CliError::Ingest(format!("reading {input}: {e}")))?;
     }
     Ok(bytes)
 }
@@ -141,11 +194,12 @@ fn profile_for(user: &UserId, services: &[ServiceId], no_consent: bool) -> UserP
     profile
 }
 
-fn run(options: &Options) -> Result<(), String> {
+fn run(options: &Options) -> Result<(), CliError> {
     // The paper's healthcare case study is the monitored system.
-    let system: PrivacySystem =
-        casestudy::healthcare().map_err(|e| format!("building the healthcare model: {e}"))?;
-    let lts = system.generate_lts().map_err(|e| format!("generating the LTS: {e}"))?;
+    let system: PrivacySystem = casestudy::healthcare()
+        .map_err(|e| CliError::State(format!("building the healthcare model: {e}")))?;
+    let lts =
+        system.generate_lts().map_err(|e| CliError::State(format!("generating the LTS: {e}")))?;
     let index = Arc::new(LtsIndex::build(&lts));
     let catalog = system.catalog().clone();
     let policy = system.policy().clone();
@@ -153,13 +207,27 @@ fn run(options: &Options) -> Result<(), String> {
 
     let mut monitor = match &options.resume {
         Some(path) => {
-            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            // Load the newest generation that decodes; a corrupt live file
+            // falls back to `.prev` with a warning instead of failing.
+            let store = CheckpointStore::new(path);
+            let (loaded, warnings) = store.load_latest(|bytes| {
+                MonitorSnapshot::from_bytes(bytes).map(|_| ()).map_err(|e| e.to_string())
+            });
+            for warning in &warnings {
+                eprintln!("privacy-monitor: warning: {warning}");
+            }
+            let (bytes, generation) = loaded.ok_or_else(|| {
+                CliError::State(format!("no usable checkpoint generation at {path}"))
+            })?;
             let snapshot = MonitorSnapshot::from_bytes(&bytes)
-                .map_err(|e| format!("decoding snapshot {path}: {e}"))?;
+                .map_err(|e| CliError::State(format!("decoding snapshot {path}: {e}")))?;
             let monitor =
                 IndexedMonitor::resume_from(catalog, policy, Arc::clone(&index), &snapshot)
-                    .map_err(|e| format!("resuming from {path}: {e}"))?;
-            eprintln!("resumed {} users from {path}", monitor.user_count());
+                    .map_err(|e| CliError::State(format!("resuming from {path}: {e}")))?;
+            eprintln!(
+                "resumed {} users from {path} ({generation} generation)",
+                monitor.user_count()
+            );
             monitor
         }
         None => IndexedMonitor::new(catalog, policy, Arc::clone(&index)),
@@ -179,7 +247,7 @@ fn run(options: &Options) -> Result<(), String> {
 
     let bytes = read_input(&options.input)?;
     let report = ingest_bytes(&bytes, &mapping, &ingest_options)
-        .map_err(|e| format!("ingesting {}: {e}", options.input))?;
+        .map_err(|e| CliError::Ingest(format!("ingesting {}: {e}", options.input)))?;
     for diagnostic in &report.diagnostics {
         eprintln!("{diagnostic}");
     }
@@ -200,9 +268,12 @@ fn run(options: &Options) -> Result<(), String> {
             }
         }
         if let Some(path) = &options.checkpoint {
+            // Atomic replace with a retained `.prev` generation: a crash
+            // here leaves either the old checkpoint or the new one intact.
             let snapshot = monitor.snapshot();
-            std::fs::write(path, snapshot.to_bytes())
-                .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
+            CheckpointStore::new(path)
+                .write(&snapshot.to_bytes())
+                .map_err(|e| CliError::Io(format!("writing checkpoint {path}: {e}")))?;
         }
     }
     let last = report.events.last().map(Event::sequence).unwrap_or(0);
@@ -223,14 +294,14 @@ fn main() -> ExitCode {
         Ok(options) => options,
         Err(message) => {
             eprintln!("privacy-monitor: {message}");
-            return ExitCode::from(2);
+            return ExitCode::from(exit::USAGE as u8);
         }
     };
     match run(&options) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("privacy-monitor: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("privacy-monitor: {}", error.message());
+            ExitCode::from(error.code())
         }
     }
 }

@@ -1,0 +1,231 @@
+//! `privacy-supervisor`: run the paper's healthcare monitor as a
+//! fault-tolerant multi-process fleet.
+//!
+//! The distributed counterpart of `privacy-monitor`: the supervisor renders
+//! the healthcare case-study model, spawns `--workers` shard-owning
+//! `privacy-shardd` processes (found next to this executable unless
+//! `--worker` overrides it), routes a seeded synthetic workload to them in
+//! batches, and prints the merged alert stream — which is identical, alert
+//! for alert, to what the in-process monitor would emit. Workers checkpoint
+//! every `--checkpoint-every` batches and are restarted from their last
+//! good checkpoint if they die; `--kill-after N` injects such a death to
+//! demonstrate the recovery path.
+//!
+//! ```text
+//! privacy-supervisor [--workers N] [--users N] [--requests N] [--batch N]
+//!                    [--checkpoint-dir PATH] [--checkpoint-every N]
+//!                    [--worker PATH] [--kill-after N] [--quiet]
+//! ```
+//!
+//! Exit codes follow the [`privacy_distrib::exit`] taxonomy (see
+//! `privacy-shardd --help`).
+
+use privacy_core::{casestudy, PrivacySystem};
+use privacy_distrib::{exit, DistributedMonitor, FaultPlan, SupervisorConfig};
+use privacy_lts::LtsIndex;
+use privacy_model::{FieldId, Record, ServiceId};
+use privacy_runtime::ServiceEngine;
+use privacy_synth::{random_profiles, random_workload, ProfileGeneratorConfig, WorkloadConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    workers: usize,
+    users: usize,
+    requests: usize,
+    batch: usize,
+    checkpoint_dir: PathBuf,
+    checkpoint_every: u64,
+    worker: Option<PathBuf>,
+    kill_after: Option<u64>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: privacy-supervisor [--workers N] [--users N] [--requests N] \
+                     [--batch N] [--checkpoint-dir PATH] [--checkpoint-every N] [--worker PATH] \
+                     [--kill-after N] [--quiet]";
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        workers: 2,
+        users: 64,
+        requests: 2_000,
+        batch: 64,
+        checkpoint_dir: std::env::temp_dir().join("privacy-supervisor-ckpt"),
+        checkpoint_every: 4,
+        worker: None,
+        kill_after: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                options.workers = next_value(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_owned())?;
+            }
+            "--users" => {
+                options.users = next_value(&mut args, "--users")?
+                    .parse()
+                    .map_err(|_| "bad --users value".to_owned())?;
+            }
+            "--requests" => {
+                options.requests = next_value(&mut args, "--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests value".to_owned())?;
+            }
+            "--batch" => {
+                options.batch = next_value(&mut args, "--batch")?
+                    .parse()
+                    .map_err(|_| "bad --batch value".to_owned())?;
+                if options.batch == 0 {
+                    return Err("--batch must be at least 1".to_owned());
+                }
+            }
+            "--checkpoint-dir" => {
+                options.checkpoint_dir = PathBuf::from(next_value(&mut args, "--checkpoint-dir")?);
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every = next_value(&mut args, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every value".to_owned())?;
+            }
+            "--worker" => options.worker = Some(PathBuf::from(next_value(&mut args, "--worker")?)),
+            "--kill-after" => {
+                options.kill_after = Some(
+                    next_value(&mut args, "--kill-after")?
+                        .parse()
+                        .map_err(|_| "bad --kill-after value".to_owned())?,
+                );
+            }
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(exit::OK);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// The `privacy-shardd` binary: explicit path, or the one built next to us.
+fn worker_program(options: &Options) -> Result<PathBuf, String> {
+    if let Some(path) = &options.worker {
+        return Ok(path.clone());
+    }
+    let me = std::env::current_exe().map_err(|e| format!("locating this executable: {e}"))?;
+    let sibling = me.with_file_name("privacy-shardd");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!("no worker at {} — pass --worker PATH", sibling.display()))
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let system: PrivacySystem =
+        casestudy::healthcare().map_err(|e| format!("building the healthcare model: {e}"))?;
+    let lts = system.generate_lts().map_err(|e| format!("generating the LTS: {e}"))?;
+    let fingerprint = LtsIndex::build(&lts).fingerprint();
+
+    let services: Vec<ServiceId> = system.catalog().services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = system.catalog().fields().map(|f| f.id().clone()).collect();
+    let users = random_profiles(&ProfileGeneratorConfig {
+        count: options.users,
+        seed: 13,
+        services: services.clone(),
+        consent_probability: 0.5,
+        fields: fields.clone(),
+        sensitivity_probability: 0.6,
+    });
+    let mut engine = ServiceEngine::new(
+        system.catalog().clone(),
+        system.dataflows().clone(),
+        system.policy().clone(),
+    );
+    let workload = random_workload(&WorkloadConfig {
+        length: options.requests,
+        seed: 17,
+        users: users.iter().map(|u| u.id().clone()).collect(),
+        services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+    });
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    let events = engine.log().events().to_vec();
+
+    let mut config = SupervisorConfig::new(worker_program(options)?, &options.checkpoint_dir);
+    config.workers = options.workers;
+    config.checkpoint_every = options.checkpoint_every;
+    if let Some(kill_after) = options.kill_after {
+        config.fault_plan = FaultPlan::none().kill_after(0, 0, kill_after);
+    }
+    let mut monitor = DistributedMonitor::launch("Healthcare", &system, fingerprint, config)
+        .map_err(|e| e.to_string())?;
+    for user in &users {
+        monitor.register_user(user).map_err(|e| e.to_string())?;
+    }
+    let mut alert_count = 0usize;
+    for batch in events.chunks(options.batch) {
+        let alerts = monitor.submit_batch(batch).map_err(|e| e.to_string())?;
+        alert_count += alerts.len();
+        if !options.quiet {
+            for alert in &alerts {
+                println!("{alert}");
+            }
+        }
+    }
+    let (rest, stats) = monitor.shutdown().map_err(|e| e.to_string())?;
+    alert_count += rest.len();
+    if !options.quiet {
+        for alert in &rest {
+            println!("{alert}");
+        }
+    }
+    eprintln!(
+        "{} workers, {} batches, {} events, {} alerts, {} checkpoints, {} recoveries",
+        options.workers,
+        stats.batches,
+        stats.events,
+        alert_count,
+        stats.checkpoints,
+        stats.recoveries.len(),
+    );
+    for recovery in &stats.recoveries {
+        eprintln!(
+            "  recovered worker {} (incarnation {}) in {:?}: resumed from batch {}{} — {}",
+            recovery.worker,
+            recovery.incarnation,
+            recovery.latency,
+            recovery.resumed_from_batch,
+            if recovery.fell_back { " (fell back a generation)" } else { "" },
+            recovery.cause,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("privacy-supervisor: {message}");
+            return ExitCode::from(exit::USAGE as u8);
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("privacy-supervisor: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

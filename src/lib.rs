@@ -20,7 +20,9 @@
 //! * [`baselines`] — ARX-, CAT- and LINDDUN-style comparator analysers;
 //! * [`core`] — the model-driven pipeline and the healthcare case study;
 //! * [`interchange`] — the textual `.psm` model interchange format (parser,
-//!   resolver and printer);
+//!   resolver and printer) and the framed binary codec;
+//! * [`distrib`] — fault-tolerant distributed monitoring: a supervisor
+//!   routing shard-owned events to restartable worker processes;
 //! * [`compliance`] — privacy-policy compliance checking over the LTS and
 //!   over runtime event logs.
 //!
@@ -47,6 +49,7 @@ pub use privacy_baselines as baselines;
 pub use privacy_compliance as compliance;
 pub use privacy_core as core;
 pub use privacy_dataflow as dataflow;
+pub use privacy_distrib as distrib;
 pub use privacy_ingest as ingest;
 pub use privacy_interchange as interchange;
 pub use privacy_lts as lts;
