@@ -62,9 +62,15 @@ pub struct RestartPolicy {
     pub base_delay: Duration,
     /// Upper bound on any single backoff delay (the jitter cap).
     pub max_delay: Duration,
-    /// Restarts allowed without intervening progress (an acked batch resets
-    /// the count) before the supervisor gives up with a typed error.
+    /// Restarts allowed without intervening progress before the supervisor
+    /// gives up with a typed error.
     pub max_restarts: u32,
+    /// Acked batches a fresh incarnation must deliver before the restart
+    /// budget resets. One ack is not progress: a worker that limps through
+    /// a single batch per incarnation and then dies would otherwise crash-
+    /// loop forever inside a perpetually-renewed budget. Only *sustained*
+    /// health — this many acks from one incarnation — forgives its past.
+    pub reset_after_acks: u32,
 }
 
 impl Default for RestartPolicy {
@@ -73,6 +79,7 @@ impl Default for RestartPolicy {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
             max_restarts: 5,
+            reset_after_acks: 3,
         }
     }
 }
@@ -269,8 +276,12 @@ struct WorkerSlot {
     /// How many processes have ever been spawned into this slot; the
     /// current incarnation is `spawn_count - 1`.
     spawn_count: u32,
-    /// Restarts since the last acked batch (progress resets it).
+    /// Restarts since the last *sustained* progress (see
+    /// [`RestartPolicy::reset_after_acks`]).
     consecutive_restarts: u32,
+    /// Batches acked by the current incarnation, for the sustained-progress
+    /// test. Zeroed on every spawn.
+    acks_since_spawn: u32,
     /// Sub-batch ids sent but not yet acked, in send order.
     inflight: VecDeque<u64>,
     /// Sub-batches newer than the previous checkpoint generation, kept for
@@ -376,6 +387,7 @@ impl DistributedMonitor {
                 proc: None,
                 spawn_count: 0,
                 consecutive_restarts: 0,
+                acks_since_spawn: 0,
                 inflight: VecDeque::new(),
                 retained: VecDeque::new(),
                 coverage: 0,
@@ -758,6 +770,7 @@ impl DistributedMonitor {
         let mut child =
             command.spawn().map_err(|error| BringUp::Retry(format!("spawn failed: {error}")))?;
         self.workers[w].spawn_count += 1;
+        self.workers[w].acks_since_spawn = 0;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let (tx, rx) = channel();
@@ -899,7 +912,13 @@ impl DistributedMonitor {
                 );
             }
         }
-        self.workers[w].consecutive_restarts = 0; // progress
+        // Progress, but only *sustained* progress forgives past restarts:
+        // resetting the budget on the first ack would let a worker that
+        // delivers one batch per incarnation crash-loop forever.
+        self.workers[w].acks_since_spawn = self.workers[w].acks_since_spawn.saturating_add(1);
+        if self.workers[w].acks_since_spawn >= self.config.restart.reset_after_acks {
+            self.workers[w].consecutive_restarts = 0;
+        }
         if batch >= self.next_emit {
             let Some(pending) = self.assembly.get_mut(&batch) else {
                 return Err(DistribError::Protocol {
@@ -1008,6 +1027,22 @@ impl DistributedMonitor {
                     let ordinal = self.workers[w].ckpt_ordinal;
                     if self.config.fault_plan.corrupts_checkpoint(w, ordinal) {
                         self.corrupt_checkpoint_file(w);
+                    }
+                    // Read back what actually landed on disk before trusting
+                    // it. A checkpoint that cannot be decoded must not
+                    // advance coverage or prune the retained suffix: pruning
+                    // against an unreadable file is how *both* generations
+                    // end up undecodable with the replay data already gone.
+                    let readable = std::fs::read(self.workers[w].store.path())
+                        .ok()
+                        .is_some_and(|bytes| decode_checkpoint(&bytes).is_ok());
+                    if !readable {
+                        self.stats.checkpoint_warnings.push(format!(
+                            "worker {w}: checkpoint {ordinal} failed read-back validation at \
+                             `{}`; keeping previous coverage and full replay suffix",
+                            self.workers[w].store.path().display()
+                        ));
+                        return Ok(());
                     }
                     let slot = &mut self.workers[w];
                     slot.prev_coverage = slot.coverage;

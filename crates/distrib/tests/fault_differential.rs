@@ -13,7 +13,9 @@
 //! state, and live shard handoff is invisible downstream.
 
 use privacy_core::PrivacySystem;
-use privacy_distrib::{DistribStats, DistributedMonitor, FaultPlan, SupervisorConfig};
+use privacy_distrib::{
+    DistribError, DistribStats, DistributedMonitor, FaultPlan, SupervisorConfig,
+};
 use privacy_lts::LtsIndex;
 use privacy_model::{FieldId, Record, ServiceId, UserProfile};
 use privacy_runtime::{shard_of_user, Alert, Event, IndexedMonitor, ServiceEngine};
@@ -309,6 +311,75 @@ fn handoff_survives_killing_the_new_owner() {
     let _ = std::fs::remove_dir_all(dir);
     assert_eq!(alerts, expected);
     assert_eq!(stats.handoffs, 1);
+}
+
+#[test]
+fn restart_budget_is_not_renewed_by_a_single_ack_per_incarnation() {
+    let fixture = fixture();
+    // A worker that limps through exactly one batch per incarnation and
+    // then dies is not making progress: the supervisor must run out of
+    // restart budget (a typed RestartsExhausted error), not crash-loop
+    // behind a budget renewed by every lone ack. With one worker each
+    // super-batch is one 16-event sub-batch, so a kill at 20 events lands
+    // after the first ack of every incarnation — including replays.
+    let mut plan = FaultPlan::none();
+    for incarnation in 0..10 {
+        plan = plan.kill_after(0, incarnation, 20);
+    }
+    let config = config("budget", 1, plan);
+    let dir = config.checkpoint_dir.clone();
+    let mut monitor =
+        DistributedMonitor::launch("Tiny", &fixture.system, fixture.fingerprint, config)
+            .expect("fleet launches");
+    for user in &fixture.users {
+        monitor.register_user(user).expect("registration routes");
+    }
+    let mut outcome = Ok(());
+    for batch in &fixture.batches {
+        if let Err(error) = monitor.submit_batch(batch) {
+            outcome = Err(error);
+            break;
+        }
+    }
+    drop(monitor);
+    let _ = std::fs::remove_dir_all(dir);
+    let error = outcome.expect_err("one ack per incarnation must exhaust the restart budget");
+    assert!(
+        matches!(error, DistribError::RestartsExhausted { worker: 0, .. }),
+        "expected RestartsExhausted, got: {error}"
+    );
+}
+
+#[test]
+fn double_generation_corruption_recovers_by_full_replay() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // Corrupt the worker's first two checkpoints — every generation that
+    // ever reaches disk is undecodable. Read-back validation must refuse
+    // to advance coverage past either of them (pruning the replay suffix
+    // against an unreadable checkpoint is exactly how the data gets
+    // lost), so when the kill lands before the third checkpoint, the
+    // replacement restarts clean and replays the entire retained suffix.
+    let plan =
+        FaultPlan::none().corrupt_checkpoint(0, 1).corrupt_checkpoint(0, 2).kill_after(0, 0, 100);
+    let mut config = config("doublecorrupt", 1, plan);
+    // One worker, 16-event sub-batches, checkpoints at batches 3 and 6
+    // (events 48 and 96): the kill at event 100 lands after the second
+    // corruption and before a third (valid) checkpoint could exist.
+    config.checkpoint_every = 3;
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert_eq!(stats.corruptions_injected, 2);
+    assert!(
+        stats.checkpoint_warnings.iter().any(|w| w.contains("read-back")),
+        "read-back validation must record the unusable checkpoints: {:?}",
+        stats.checkpoint_warnings
+    );
+    let recovery = stats.recoveries.iter().find(|r| r.worker == 0).expect("worker 0 restarted");
+    assert_eq!(
+        recovery.resumed_from_batch, 0,
+        "with both generations unreadable the resume point is a clean start"
+    );
 }
 
 proptest! {

@@ -1,0 +1,294 @@
+//! The dead-letter file: quarantined records as NDJSON, one per line.
+//!
+//! A live pipeline must not die on a poison record, but it must not
+//! silently drop one either. Every line the ingest refuses is appended
+//! here with full provenance — the typed error's stable kind and rendered
+//! message, the byte span the record occupied in the logical stream, the
+//! 1-based line number where known, and a bounded copy of the raw text —
+//! so an operator (or the chaos harness) can account for every record
+//! that failed to become an event.
+//!
+//! The format is self-describing NDJSON readable by this crate's own JSON
+//! parser, so `privacy-monitor --input dead-letter.ndjson` style tooling
+//! and the differential tests can round-trip it without another codec.
+
+use crate::error::IngestError;
+use crate::json;
+use crate::record::RawValue;
+use crate::stream::QuarantinedLine;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One quarantined record, as serialised to the dead-letter file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetterRecord {
+    /// Byte offset of the record's first byte in the logical stream.
+    pub offset: u64,
+    /// One past the record's last byte (terminator included when seen).
+    pub end_offset: u64,
+    /// 1-based line number, where the error concerns one line.
+    pub line: Option<u64>,
+    /// Stable machine-readable error kind (`"bad_value"`, `"syntax"`, …).
+    pub kind: String,
+    /// The error rendered for humans.
+    pub message: String,
+    /// The raw line, lossily decoded and bounded.
+    pub raw: String,
+}
+
+/// The stable kind tag for an ingest error.
+#[must_use]
+pub fn error_kind(error: &IngestError) -> &'static str {
+    match error {
+        IngestError::Io { .. } => "io",
+        IngestError::Gzip(_) => "gzip",
+        IngestError::UnknownFormat { .. } => "unknown_format",
+        IngestError::InvalidUtf8 { .. } => "invalid_utf8",
+        IngestError::LineTooLong { .. } => "line_too_long",
+        IngestError::Syntax { .. } => "syntax",
+        IngestError::DuplicateKey { .. } => "duplicate_key",
+        IngestError::MissingColumn { .. } => "missing_column",
+        IngestError::BadValue { .. } => "bad_value",
+        IngestError::NonMonotoneSequence { .. } => "non_monotone_sequence",
+    }
+}
+
+impl DeadLetterRecord {
+    /// Builds the record for one quarantined line.
+    #[must_use]
+    pub fn from_quarantined(line: &QuarantinedLine) -> Self {
+        DeadLetterRecord {
+            offset: line.offset,
+            end_offset: line.end_offset,
+            line: line.error.line(),
+            kind: error_kind(&line.error).to_owned(),
+            message: line.error.to_string(),
+            raw: line.raw.clone(),
+        }
+    }
+
+    /// Builds a stream-level record (no single line to blame), e.g. a
+    /// corrupt gzip payload poisoning the whole stream.
+    #[must_use]
+    pub fn stream_level(error: &IngestError, offset: u64, end_offset: u64) -> Self {
+        DeadLetterRecord {
+            offset,
+            end_offset,
+            line: error.line(),
+            kind: error_kind(error).to_owned(),
+            message: error.to_string(),
+            raw: String::new(),
+        }
+    }
+
+    /// Renders the record as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.raw.len() + self.message.len());
+        out.push_str("{\"offset\":");
+        out.push_str(&self.offset.to_string());
+        out.push_str(",\"end_offset\":");
+        out.push_str(&self.end_offset.to_string());
+        if let Some(line) = self.line {
+            out.push_str(",\"line\":");
+            out.push_str(&line.to_string());
+        }
+        out.push_str(",\"kind\":");
+        escape_into(&self.kind, &mut out);
+        out.push_str(",\"message\":");
+        escape_into(&self.message, &mut out);
+        out.push_str(",\"raw\":");
+        escape_into(&self.raw, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parses one dead-letter NDJSON line (as written by [`to_json`]).
+    ///
+    /// [`to_json`]: DeadLetterRecord::to_json
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError`] when the line is not a well-formed record.
+    pub fn parse(line_no: u64, text: &str) -> Result<Self, IngestError> {
+        let record = json::parse_line(line_no, text)?;
+        let number = |key: &str| -> Result<Option<u64>, IngestError> {
+            match record.get(key) {
+                None => Ok(None),
+                Some(value) => value
+                    .as_text()
+                    .and_then(|text| text.parse().ok())
+                    .map(Some)
+                    .ok_or_else(|| bad_field(line_no, key)),
+            }
+        };
+        let text_field = |key: &str| -> Result<String, IngestError> {
+            record
+                .get(key)
+                .and_then(RawValue::as_text)
+                .map(str::to_owned)
+                .ok_or_else(|| bad_field(line_no, key))
+        };
+        Ok(DeadLetterRecord {
+            offset: number("offset")?.ok_or_else(|| bad_field(line_no, "offset"))?,
+            end_offset: number("end_offset")?.ok_or_else(|| bad_field(line_no, "end_offset"))?,
+            line: number("line")?,
+            kind: text_field("kind")?,
+            message: text_field("message")?,
+            raw: text_field("raw")?,
+        })
+    }
+}
+
+fn bad_field(line: u64, key: &str) -> IngestError {
+    IngestError::Syntax {
+        line,
+        column: 1,
+        format: crate::reader::Format::Json,
+        message: format!("dead-letter record: missing or malformed `{key}`"),
+    }
+}
+
+/// Escapes `text` as a JSON string (with quotes) appended to `out`.
+fn escape_into(text: &str, out: &mut String) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", ch as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends dead-letter records to an NDJSON file, flushing each one (a
+/// crash must not lose quarantine evidence for records already refused).
+#[derive(Debug)]
+pub struct DeadLetterWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl DeadLetterWriter {
+    /// Opens (appending) or creates the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Io`] when the file cannot be opened.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, IngestError> {
+        let path = path.into();
+        let file =
+            OpenOptions::new().create(true).append(true).open(&path).map_err(|error| {
+                IngestError::Io { message: format!("{}: {error}", path.display()) }
+            })?;
+        Ok(DeadLetterWriter { path, out: BufWriter::new(file), written: 0 })
+    }
+
+    /// The file being appended to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended by this writer.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Io`] when the append fails.
+    pub fn append(&mut self, record: &DeadLetterRecord) -> Result<(), IngestError> {
+        let io = |error: std::io::Error| IngestError::Io {
+            message: format!("{}: {error}", self.path.display()),
+        };
+        self.out.write_all(record.to_json().as_bytes()).map_err(io)?;
+        self.out.write_all(b"\n").map_err(io)?;
+        self.out.flush().map_err(io)?;
+        self.written += 1;
+        Ok(())
+    }
+}
+
+/// Reads every record back from a dead-letter file.
+///
+/// # Errors
+///
+/// [`IngestError`] on unreadable or malformed content.
+pub fn read_dead_letters(path: &Path) -> Result<Vec<DeadLetterRecord>, IngestError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| IngestError::Io { message: format!("{}: {error}", path.display()) })?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(index, line)| DeadLetterRecord::parse(index as u64 + 1, line))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeadLetterRecord {
+        DeadLetterRecord {
+            offset: 37,
+            end_offset: 80,
+            line: Some(2),
+            kind: "bad_value".to_owned(),
+            message: "line 2: bad action value `frobnicate` in `action`: unknown verb".to_owned(),
+            raw: "user=u action=frobnicate \"quoted\"\ttab".to_owned(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_ndjson() {
+        let record = sample();
+        let parsed = DeadLetterRecord::parse(1, &record.to_json()).expect("parse");
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn stream_level_records_omit_the_line() {
+        let error = IngestError::Io { message: "pipe closed".to_owned() };
+        let record = DeadLetterRecord::stream_level(&error, 0, 512);
+        assert_eq!(record.line, None);
+        assert_eq!(record.kind, "io");
+        let parsed = DeadLetterRecord::parse(1, &record.to_json()).expect("parse");
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn writer_appends_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("privacy-deadletter-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dead.ndjson");
+        let mut writer = DeadLetterWriter::open(&path).expect("open");
+        writer.append(&sample()).expect("append");
+        writer.append(&sample()).expect("append");
+        assert_eq!(writer.written(), 2);
+        let read = read_dead_letters(&path).expect("read");
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0], sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn control_characters_escape_cleanly() {
+        let mut out = String::new();
+        escape_into("a\u{1}b", &mut out);
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+}

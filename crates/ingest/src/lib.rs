@@ -23,32 +23,41 @@
 //! (see `tests/`) fuzz that contract directly.
 
 pub mod csv;
+pub mod deadletter;
 pub mod error;
 pub mod gzip;
 pub mod json;
+pub mod live;
 pub mod logfmt;
 pub mod mapping;
 pub mod reader;
 pub mod record;
 pub mod resolve;
+pub mod stream;
 
+pub use deadletter::{DeadLetterRecord, DeadLetterWriter};
 pub use error::{ErrorPolicy, IngestError, Role};
 pub use gzip::{gunzip, gzip_compress_stored, is_gzip, GzipError};
+pub use live::{FollowConfig, LiveSource, SourceEvent};
 pub use mapping::FieldMapping;
 pub use reader::{
     ingest_bytes, ingest_reader, Diagnostic, Format, IngestOptions, IngestReport, IngestStats,
 };
 pub use record::{RawRecord, RawValue};
 pub use resolve::Resolver;
+pub use stream::{LineIngestor, LinePush, QuarantinedLine};
 
 /// Everything a log-ingesting binary typically needs.
 pub mod prelude {
+    pub use crate::deadletter::{DeadLetterRecord, DeadLetterWriter};
     pub use crate::error::{ErrorPolicy, IngestError, Role};
     pub use crate::gzip::{gunzip, gzip_compress_stored, is_gzip, GzipError};
+    pub use crate::live::{FollowConfig, LiveSource, SourceEvent};
     pub use crate::mapping::FieldMapping;
     pub use crate::reader::{
         ingest_bytes, ingest_reader, Diagnostic, Format, IngestOptions, IngestReport, IngestStats,
     };
     pub use crate::record::{RawRecord, RawValue};
     pub use crate::resolve::Resolver;
+    pub use crate::stream::{LineIngestor, LinePush, QuarantinedLine};
 }

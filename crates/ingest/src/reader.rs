@@ -6,12 +6,10 @@
 //! auto-detection from the first non-blank line, per-format parsing, and
 //! mapping-driven resolution — under either error policy.
 
-use crate::csv::{quote_count, CsvParser};
 use crate::error::{ErrorPolicy, IngestError};
 use crate::gzip::{gunzip, is_gzip};
 use crate::mapping::FieldMapping;
-use crate::resolve::Resolver;
-use crate::{json, logfmt};
+use crate::stream::{LineIngestor, LinePush};
 use privacy_runtime::Event;
 use std::fmt;
 use std::io::Read;
@@ -79,12 +77,19 @@ impl Default for IngestOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
     error: IngestError,
+    offset: u64,
 }
 
 impl Diagnostic {
     /// The error that caused the skip.
     pub fn error(&self) -> &IngestError {
         &self.error
+    }
+
+    /// Byte offset of the skipped record's first byte in the
+    /// (decompressed) stream.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 }
 
@@ -160,176 +165,53 @@ pub fn ingest_reader(
     ingest_bytes(&bytes, mapping, options)
 }
 
-/// Detects the format from the first non-blank line.
-fn detect_format(line: &str, line_no: u64) -> Result<Format, IngestError> {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with('{') {
-        return Ok(Format::Json);
-    }
-    // Logfmt before CSV: a logfmt line's first token carries `=`; a CSV
-    // header's first cell never does under the canonical schema, and a
-    // comma inside the first whitespace-delimited token is CSV's signature.
-    let first_token = trimmed.split([' ', '\t']).next().unwrap_or("");
-    if first_token.contains('=') {
-        return Ok(Format::Logfmt);
-    }
-    if trimmed.contains(',') {
-        return Ok(Format::Csv);
-    }
-    Err(IngestError::UnknownFormat { line: line_no })
-}
-
 fn ingest_payload(
     payload: &[u8],
     mapping: &FieldMapping,
     options: &IngestOptions,
 ) -> Result<IngestReport, IngestError> {
-    let mut resolver = Resolver::new(mapping.clone());
+    // The whole-buffer path drives the same [`LineIngestor`] state machine
+    // as the live tail, so an offline replay of live-observed bytes is
+    // guaranteed to agree with the live run line for line.
+    let mut ingestor =
+        LineIngestor::new(mapping.clone(), options.format, options.policy, options.max_line_bytes);
     let mut events = Vec::new();
     let mut diagnostics = Vec::new();
-    let mut stats = IngestStats { bytes: payload.len() as u64, ..IngestStats::default() };
-    let mut format = options.format;
-    let mut csv = CsvParser::new();
-    // A CSV record whose quoted cell spans physical lines, still
-    // accumulating: (starting line number, text so far, open-quote parity).
-    let mut csv_pending: Option<(u64, String)> = None;
 
-    let mut line_no = 0u64;
-    for raw_line in split_lines(payload) {
-        line_no += 1;
-        stats.lines += 1;
-
-        let fail_or_skip = |error: IngestError,
-                            diagnostics: &mut Vec<Diagnostic>,
-                            stats: &mut IngestStats|
-         -> Result<(), IngestError> {
-            if error.is_line_scoped() && options.policy == ErrorPolicy::Skip {
-                stats.skipped += 1;
-                diagnostics.push(Diagnostic { error });
-                Ok(())
-            } else {
-                Err(error)
-            }
+    let mut start = 0usize;
+    while start < payload.len() {
+        let (line_end, next) = match payload[start..].iter().position(|&byte| byte == b'\n') {
+            Some(at) => (start + at, start + at + 1),
+            None => (payload.len(), payload.len()),
         };
-
-        if raw_line.len() > options.max_line_bytes {
-            let error = IngestError::LineTooLong {
-                line: line_no,
-                length: raw_line.len(),
-                limit: options.max_line_bytes,
-            };
-            // A too-long line inside a pending CSV record poisons the whole
-            // pending record.
-            csv_pending = None;
-            fail_or_skip(error, &mut diagnostics, &mut stats)?;
-            continue;
+        match ingestor.push_line(&payload[start..line_end], start as u64, next as u64)? {
+            LinePush::Event(event) => events.push(event),
+            LinePush::Quarantined(line) => {
+                diagnostics.push(Diagnostic { error: line.error, offset: line.offset });
+            }
+            LinePush::Pending => {}
         }
-        let line = match std::str::from_utf8(raw_line) {
-            Ok(line) => line.strip_suffix('\r').unwrap_or(line),
-            Err(error) => {
-                csv_pending = None;
-                let error = IngestError::InvalidUtf8 {
-                    line: line_no,
-                    column: error.valid_up_to() as u32 + 1,
-                };
-                fail_or_skip(error, &mut diagnostics, &mut stats)?;
-                continue;
-            }
-        };
-
-        // Blank lines separate nothing; skip them silently (but not inside
-        // a pending multi-line CSV cell, where they are content).
-        if line.trim().is_empty() && csv_pending.is_none() {
-            continue;
-        }
-
-        let format = match format {
-            Some(format) => format,
-            None => {
-                let detected = detect_format(line, line_no)?;
-                format = Some(detected);
-                detected
-            }
-        };
-
-        let record = match format {
-            Format::Json => json::parse_line(line_no, line),
-            Format::Logfmt => logfmt::parse_line(line_no, line),
-            Format::Csv => {
-                // Join physical lines while a quoted cell is open.
-                let (start_line, text) = match csv_pending.take() {
-                    Some((start_line, mut text)) => {
-                        text.push('\n');
-                        text.push_str(line);
-                        (start_line, text)
-                    }
-                    None => (line_no, line.to_owned()),
-                };
-                if quote_count(&text) % 2 == 1 {
-                    if text.len() > options.max_line_bytes {
-                        // An unbalanced quote must not buffer unboundedly.
-                        let error = IngestError::LineTooLong {
-                            line: start_line,
-                            length: text.len(),
-                            limit: options.max_line_bytes,
-                        };
-                        fail_or_skip(error, &mut diagnostics, &mut stats)?;
-                        continue;
-                    }
-                    csv_pending = Some((start_line, text));
-                    continue;
-                }
-                match csv.parse_record(start_line, &text) {
-                    Ok(None) => continue, // header row
-                    Ok(Some(record)) => Ok(record),
-                    Err(error) => Err(error),
-                }
-            }
-        };
-
-        let outcome = record.and_then(|record| resolver.resolve(&record));
-        match outcome {
-            Ok(event) => {
-                stats.events += 1;
-                events.push(event);
-            }
-            Err(error) => fail_or_skip(error, &mut diagnostics, &mut stats)?,
-        }
+        start = next;
     }
-
     // An unterminated quoted cell at end of input.
-    if let Some((start_line, text)) = csv_pending {
-        let error = match csv.parse_record(start_line, &text) {
-            Err(error) => error,
-            // Unreachable (odd quote parity cannot parse), but stay total.
-            Ok(_) => IngestError::Syntax {
-                line: start_line,
-                column: 1,
-                format: Format::Csv,
-                message: "unterminated quoted cell at end of input".to_owned(),
-            },
-        };
-        if !(error.is_line_scoped() && options.policy == ErrorPolicy::Skip) {
-            return Err(error);
+    match ingestor.finish(payload.len() as u64)? {
+        Some(LinePush::Event(event)) => events.push(event),
+        Some(LinePush::Quarantined(line)) => {
+            diagnostics.push(Diagnostic { error: line.error, offset: line.offset });
         }
-        stats.skipped += 1;
-        diagnostics.push(Diagnostic { error });
+        Some(LinePush::Pending) | None => {}
     }
 
-    let format = match format {
-        Some(format) => format,
-        // Nothing but blank lines: report the declared format or default to
-        // JSON; there are no events either way.
-        None => options.format.unwrap_or(Format::Json),
+    let stats = IngestStats {
+        lines: ingestor.lines(),
+        events: ingestor.events(),
+        skipped: ingestor.skipped(),
+        bytes: payload.len() as u64,
     };
+    // Nothing but blank lines reports the declared format or defaults to
+    // JSON; there are no events either way.
+    let format = ingestor.fallback_format();
     Ok(IngestReport { events, diagnostics, stats, format })
-}
-
-/// Splits on `\n`, not yielding a trailing empty slice for a final newline.
-fn split_lines(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
-    let trimmed = payload.strip_suffix(b"\n").unwrap_or(payload);
-    let empty = trimmed.is_empty() && payload.is_empty();
-    trimmed.split(|&byte| byte == b'\n').filter(move |_| !empty)
 }
 
 #[cfg(test)]

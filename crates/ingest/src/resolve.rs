@@ -34,6 +34,19 @@ impl Resolver {
         &self.mapping
     }
 
+    /// The next sequence number the resolver would auto-assign.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Restores the sequence counters from a checkpoint: auto-assignment
+    /// continues at `next_sequence`, and mapped sequences must exceed
+    /// `next_sequence - 1` (the last accepted one).
+    pub fn restore_sequences(&mut self, next_sequence: u64) {
+        self.next_sequence = next_sequence.max(1);
+        self.last_sequence = next_sequence.checked_sub(2).map(|previous| previous + 1);
+    }
+
     /// Resolves one record into an event.
     ///
     /// # Errors

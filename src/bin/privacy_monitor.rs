@@ -17,7 +17,18 @@
 //!                 [--error-policy fail-fast|skip] [--batch N] [--threads N]
 //!                 [--checkpoint PATH] [--resume PATH] [--aliases]
 //!                 [--no-consent] [--quiet]
+//!                 [--follow] [--poll-ms N] [--dead-letter PATH]
+//!                 [--stop-file PATH]
 //! ```
+//!
+//! `--follow` switches from the one-shot offline run to the live pipeline
+//! ([`privacy_mde::pipeline::PipelineRunner`]): the input file is tailed as
+//! it grows (rotation and truncation are handled; stdin becomes a
+//! long-lived pipe), poison records are quarantined to the `--dead-letter`
+//! NDJSON file with their byte offsets, and creating `--stop-file` requests
+//! a graceful drain — alerts flushed, one final resumable checkpoint
+//! written. A later `--follow --resume PATH` run continues the identical
+//! stream from that checkpoint.
 //!
 //! Unknown users are registered on first sight — consenting to every
 //! catalog service by default (so alerts reflect risky *actions*, not a
@@ -29,14 +40,19 @@
 
 use privacy_core::{casestudy, PrivacySystem};
 use privacy_distrib::{exit, CheckpointStore};
-use privacy_ingest::{ingest_bytes, ErrorPolicy, FieldMapping, Format, IngestOptions};
+use privacy_ingest::{ingest_bytes, ErrorPolicy, FieldMapping, Format, IngestOptions, LiveSource};
 use privacy_lts::LtsIndex;
+use privacy_mde::pipeline::{
+    IndexedSink, PipelineCheckpoint, PipelineConfig, PipelineError, PipelineRunner,
+};
 use privacy_model::{ServiceId, UserId, UserProfile};
 use privacy_runtime::{Event, IndexedMonitor, MonitorSnapshot};
 use std::collections::BTreeSet;
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     input: String,
@@ -49,11 +65,16 @@ struct Options {
     aliases: bool,
     no_consent: bool,
     quiet: bool,
+    follow: bool,
+    poll_ms: u64,
+    dead_letter: Option<PathBuf>,
+    stop_file: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: privacy-monitor [FILE|-] [--format auto|json|logfmt|csv] \
                      [--error-policy fail-fast|skip] [--batch N] [--threads N] \
-                     [--checkpoint PATH] [--resume PATH] [--aliases] [--no-consent] [--quiet]";
+                     [--checkpoint PATH] [--resume PATH] [--aliases] [--no-consent] [--quiet] \
+                     [--follow] [--poll-ms N] [--dead-letter PATH] [--stop-file PATH]";
 
 const HELP_EXIT_CODES: &str = "\
 Checkpointing:
@@ -63,6 +84,18 @@ Checkpointing:
   --resume PATH       resume from the newest generation of PATH that decodes,
                       falling back to PATH.prev with a warning if the live
                       file is corrupt
+
+Live operation:
+  --follow            tail FILE as it grows (rotation and truncation are
+                      handled) or treat stdin as a long-lived pipe, instead
+                      of the one-shot offline run; checkpoints become
+                      resumable pipeline checkpoints (offset + monitor state)
+  --poll-ms N         tail poll interval in milliseconds (default 25)
+  --dead-letter PATH  append quarantined records to PATH as NDJSON, each with
+                      its byte offset and error kind
+  --stop-file PATH    request a graceful drain when PATH appears: pending
+                      alerts are flushed and a final resumable checkpoint is
+                      written
 
 Exit codes:
   0    ok
@@ -110,6 +143,10 @@ fn parse_options() -> Result<Options, String> {
         aliases: false,
         no_consent: false,
         quiet: false,
+        follow: false,
+        poll_ms: 25,
+        dead_letter: None,
+        stop_file: None,
     };
     let mut positional = false;
     let mut args = std::env::args().skip(1);
@@ -152,6 +189,23 @@ fn parse_options() -> Result<Options, String> {
             "--aliases" => options.aliases = true,
             "--no-consent" => options.no_consent = true,
             "--quiet" => options.quiet = true,
+            "--follow" => options.follow = true,
+            "--poll-ms" => {
+                let value = args.next().ok_or("--poll-ms needs a value")?;
+                options.poll_ms =
+                    value.parse().map_err(|_| format!("bad --poll-ms value `{value}`"))?;
+                if options.poll_ms == 0 {
+                    return Err("--poll-ms must be at least 1".to_owned());
+                }
+            }
+            "--dead-letter" => {
+                options.dead_letter =
+                    Some(PathBuf::from(args.next().ok_or("--dead-letter needs a path")?));
+            }
+            "--stop-file" => {
+                options.stop_file =
+                    Some(PathBuf::from(args.next().ok_or("--stop-file needs a path")?));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}\n\n{HELP_EXIT_CODES}");
                 std::process::exit(exit::OK);
@@ -192,6 +246,111 @@ fn profile_for(user: &UserId, services: &[ServiceId], no_consent: bool) -> UserP
         }
     }
     profile
+}
+
+/// The live pipeline behind `--follow`: tail (or pipe) → parse → monitor,
+/// with quarantine, periodic checkpoints and graceful drain.
+fn run_follow(options: &Options) -> Result<(), CliError> {
+    let system: PrivacySystem = casestudy::healthcare()
+        .map_err(|e| CliError::State(format!("building the healthcare model: {e}")))?;
+    let lts =
+        system.generate_lts().map_err(|e| CliError::State(format!("generating the LTS: {e}")))?;
+    let index = Arc::new(LtsIndex::build(&lts));
+    let catalog = system.catalog().clone();
+    let policy = system.policy().clone();
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+
+    // In follow mode a checkpoint is a pipeline checkpoint: the stream
+    // offset and counters plus the embedded monitor snapshot.
+    let resume: Option<PipelineCheckpoint> = match &options.resume {
+        Some(path) => {
+            let store = CheckpointStore::new(path);
+            let (loaded, warnings) = store.load_latest(|bytes| {
+                PipelineCheckpoint::from_bytes(bytes).map(|_| ()).map_err(|e| e.to_string())
+            });
+            for warning in &warnings {
+                eprintln!("privacy-monitor: warning: {warning}");
+            }
+            let (bytes, generation) = loaded.ok_or_else(|| {
+                CliError::State(format!("no usable checkpoint generation at {path}"))
+            })?;
+            let checkpoint = PipelineCheckpoint::from_bytes(&bytes)
+                .map_err(|e| CliError::State(format!("decoding checkpoint {path}: {e}")))?;
+            eprintln!(
+                "resuming from offset {} ({} events so far, {generation} generation)",
+                checkpoint.offset, checkpoint.events
+            );
+            Some(checkpoint)
+        }
+        None => None,
+    };
+    let monitor = match &resume {
+        Some(checkpoint) if !checkpoint.snapshot.is_empty() => {
+            let snapshot = MonitorSnapshot::from_bytes(&checkpoint.snapshot)
+                .map_err(|e| CliError::State(format!("decoding embedded snapshot: {e}")))?;
+            IndexedMonitor::resume_from(catalog, policy, Arc::clone(&index), &snapshot)
+                .map_err(|e| CliError::State(format!("resuming monitor state: {e}")))?
+        }
+        _ => IndexedMonitor::new(catalog, policy, Arc::clone(&index)),
+    }
+    .with_threads(options.threads);
+    let mut sink = IndexedSink::new(monitor, services, options.no_consent);
+
+    let mapping = if options.aliases {
+        FieldMapping::with_common_aliases()
+    } else {
+        FieldMapping::canonical()
+    };
+    let mut config = PipelineConfig::new(mapping);
+    config.format = options.format;
+    config.policy = options.policy;
+    config.batch = options.batch;
+    config.checkpoint = options.checkpoint.as_ref().map(PathBuf::from);
+    config.dead_letter = options.dead_letter.clone();
+    config.stop_file = options.stop_file.clone();
+    config.follow.poll_interval = Duration::from_millis(options.poll_ms);
+    if let Some(checkpoint) = &resume {
+        config.follow.start_offset = checkpoint.offset;
+    }
+    config.resume = resume;
+
+    let source = if options.input == "-" {
+        LiveSource::pipe(Box::new(std::io::stdin()), config.follow.clone())
+    } else {
+        LiveSource::tail(&options.input, config.follow.clone())
+    };
+
+    let runner = PipelineRunner::new(config);
+    let quiet = options.quiet;
+    let report = runner
+        .run(source, &mut sink, |alert| {
+            if !quiet {
+                println!("{alert}");
+            }
+        })
+        .map_err(|error| match error {
+            PipelineError::Ingest(e) => {
+                CliError::Ingest(format!("following {}: {e}", options.input))
+            }
+            PipelineError::Monitor(e) => CliError::State(e),
+            PipelineError::Io(e) => CliError::Io(e),
+        })?;
+    eprintln!(
+        "{} format, {} bytes, {} lines, {} events, {} quarantined ({} dead-lettered), \
+         {} rotations, {} truncations, {} checkpoints, {} alerts — drained through offset {}",
+        report.format.map_or_else(|| "undetected".to_owned(), |f| f.to_string()),
+        report.bytes,
+        report.lines,
+        report.events,
+        report.skipped,
+        report.dead_letters,
+        report.rotations,
+        report.truncations,
+        report.checkpoints,
+        report.alerts.len(),
+        report.offset,
+    );
+    Ok(())
 }
 
 fn run(options: &Options) -> Result<(), CliError> {
@@ -297,7 +456,8 @@ fn main() -> ExitCode {
             return ExitCode::from(exit::USAGE as u8);
         }
     };
-    match run(&options) {
+    let outcome = if options.follow { run_follow(&options) } else { run(&options) };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
             eprintln!("privacy-monitor: {}", error.message());

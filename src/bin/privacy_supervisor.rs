@@ -15,10 +15,21 @@
 //! privacy-supervisor [--workers N] [--users N] [--requests N] [--batch N]
 //!                    [--checkpoint-dir PATH] [--checkpoint-every N]
 //!                    [--worker PATH] [--kill-after N] [--quiet]
+//!                    [--ack-timeout-ms N] [--control-timeout-ms N]
+//!                    [--max-restarts N] [--restart-base-ms N]
+//!                    [--restart-cap-ms N] [--reset-after-acks N]
 //! ```
+//!
+//! The timeout and restart flags expose the supervisor's failure-detection
+//! tuning ([`SupervisorConfig`] and [`RestartPolicy`]): how long to wait
+//! for an ack or a control reply before declaring a worker dead, how many
+//! restarts a worker gets without sustained progress, and the backoff
+//! curve between attempts. See `--help` for each flag's meaning.
 //!
 //! Exit codes follow the [`privacy_distrib::exit`] taxonomy (see
 //! `privacy-shardd --help`).
+//!
+//! [`RestartPolicy`]: privacy_distrib::RestartPolicy
 
 use privacy_core::{casestudy, PrivacySystem};
 use privacy_distrib::{exit, DistributedMonitor, FaultPlan, SupervisorConfig};
@@ -28,6 +39,7 @@ use privacy_runtime::ServiceEngine;
 use privacy_synth::{random_profiles, random_workload, ProfileGeneratorConfig, WorkloadConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     workers: usize,
@@ -39,11 +51,47 @@ struct Options {
     worker: Option<PathBuf>,
     kill_after: Option<u64>,
     quiet: bool,
+    ack_timeout: Option<Duration>,
+    control_timeout: Option<Duration>,
+    max_restarts: Option<u32>,
+    restart_base: Option<Duration>,
+    restart_cap: Option<Duration>,
+    reset_after_acks: Option<u32>,
 }
 
-const USAGE: &str = "usage: privacy-supervisor [--workers N] [--users N] [--requests N] \
-                     [--batch N] [--checkpoint-dir PATH] [--checkpoint-every N] [--worker PATH] \
-                     [--kill-after N] [--quiet]";
+const USAGE: &str = "usage: privacy-supervisor [OPTIONS]
+
+Run the healthcare monitor as a supervised multi-process fleet.
+
+Workload:
+  --workers N            worker processes to spawn (default 2)
+  --users N              synthetic user population (default 64)
+  --requests N           synthetic workload length (default 2000)
+  --batch N              events per super-batch (default 64)
+  --quiet                suppress the alert stream (stats still printed)
+
+Checkpointing:
+  --checkpoint-dir PATH  per-worker checkpoint directory
+  --checkpoint-every N   checkpoint all workers every N batches (default 4)
+
+Failure detection and restart tuning:
+  --ack-timeout-ms N     kill a worker that has not acked within N ms
+                         (default 10000)
+  --control-timeout-ms N give up on a checkpoint/export/import reply after
+                         N ms (default 60000)
+  --max-restarts N       restarts allowed without sustained progress before
+                         the run fails with a typed error (default 5)
+  --restart-base-ms N    backoff before the first restart attempt; doubles
+                         per attempt (default 50)
+  --restart-cap-ms N     upper bound on any single backoff delay
+                         (default 2000)
+  --reset-after-acks N   acked batches a fresh incarnation must deliver
+                         before its restart budget resets (default 3)
+
+Fault injection:
+  --worker PATH          worker binary (default: privacy-shardd next to
+                         this executable)
+  --kill-after N         kill worker 0's first incarnation after N events";
 
 fn parse_options() -> Result<Options, String> {
     let mut options = Options {
@@ -56,6 +104,12 @@ fn parse_options() -> Result<Options, String> {
         worker: None,
         kill_after: None,
         quiet: false,
+        ack_timeout: None,
+        control_timeout: None,
+        max_restarts: None,
+        restart_base: None,
+        restart_cap: None,
+        reset_after_acks: None,
     };
     let mut args = std::env::args().skip(1);
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -103,6 +157,44 @@ fn parse_options() -> Result<Options, String> {
                 );
             }
             "--quiet" => options.quiet = true,
+            "--ack-timeout-ms" => {
+                let millis: u64 = next_value(&mut args, "--ack-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --ack-timeout-ms value".to_owned())?;
+                options.ack_timeout = Some(Duration::from_millis(millis));
+            }
+            "--control-timeout-ms" => {
+                let millis: u64 = next_value(&mut args, "--control-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --control-timeout-ms value".to_owned())?;
+                options.control_timeout = Some(Duration::from_millis(millis));
+            }
+            "--max-restarts" => {
+                options.max_restarts = Some(
+                    next_value(&mut args, "--max-restarts")?
+                        .parse()
+                        .map_err(|_| "bad --max-restarts value".to_owned())?,
+                );
+            }
+            "--restart-base-ms" => {
+                let millis: u64 = next_value(&mut args, "--restart-base-ms")?
+                    .parse()
+                    .map_err(|_| "bad --restart-base-ms value".to_owned())?;
+                options.restart_base = Some(Duration::from_millis(millis));
+            }
+            "--restart-cap-ms" => {
+                let millis: u64 = next_value(&mut args, "--restart-cap-ms")?
+                    .parse()
+                    .map_err(|_| "bad --restart-cap-ms value".to_owned())?;
+                options.restart_cap = Some(Duration::from_millis(millis));
+            }
+            "--reset-after-acks" => {
+                options.reset_after_acks = Some(
+                    next_value(&mut args, "--reset-after-acks")?
+                        .parse()
+                        .map_err(|_| "bad --reset-after-acks value".to_owned())?,
+                );
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(exit::OK);
@@ -165,6 +257,24 @@ fn run(options: &Options) -> Result<(), String> {
     let mut config = SupervisorConfig::new(worker_program(options)?, &options.checkpoint_dir);
     config.workers = options.workers;
     config.checkpoint_every = options.checkpoint_every;
+    if let Some(ack_timeout) = options.ack_timeout {
+        config.ack_timeout = ack_timeout;
+    }
+    if let Some(control_timeout) = options.control_timeout {
+        config.control_timeout = control_timeout;
+    }
+    if let Some(max_restarts) = options.max_restarts {
+        config.restart.max_restarts = max_restarts;
+    }
+    if let Some(base) = options.restart_base {
+        config.restart.base_delay = base;
+    }
+    if let Some(cap) = options.restart_cap {
+        config.restart.max_delay = cap;
+    }
+    if let Some(acks) = options.reset_after_acks {
+        config.restart.reset_after_acks = acks;
+    }
     if let Some(kill_after) = options.kill_after {
         config.fault_plan = FaultPlan::none().kill_after(0, 0, kill_after);
     }

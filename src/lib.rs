@@ -43,6 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod pipeline;
+
 pub use privacy_access as access;
 pub use privacy_anonymity as anonymity;
 pub use privacy_baselines as baselines;
