@@ -40,6 +40,12 @@ pub const CHECKED_IN_BASELINES: &[&str] = &[
 /// overwrite a checked-in baseline — a bench invoked with a default `--out`
 /// in a dirty working tree must not clobber the recorded numbers.
 ///
+/// A baseline written with `--force-baseline` is stamped with a
+/// `"forced_baseline": true` field as its first key — the provenance marker
+/// `scripts/repo_lint.sh` checks in CI, so a checked-in baseline that was
+/// hand-edited or clobbered by some other write path is caught at review
+/// time, not discovered as an inexplicable regression floor later.
+///
 /// # Errors
 ///
 /// Returns a human-readable message when the destination is an existing
@@ -57,6 +63,19 @@ pub fn write_report(out: &str, contents: &str, force_baseline: bool) -> Result<(
              --out name like BENCH_*_ci.json)"
         ));
     }
+    let contents = if is_baseline && force_baseline {
+        match contents.strip_prefix("{\n") {
+            Some(rest) => format!("{{\n  \"forced_baseline\": true,\n{rest}"),
+            None => {
+                return Err(format!(
+                    "`{out}` is a checked-in baseline but the report does not open with a `{{` \
+                     line to stamp the provenance marker into"
+                ));
+            }
+        }
+    } else {
+        contents.to_owned()
+    };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
@@ -206,9 +225,20 @@ mod tests {
         assert!(write_report(&baseline_str, "second\n", false).is_err());
         assert_eq!(std::fs::read_to_string(&baseline).unwrap(), "first\n");
 
-        // …unless the caller explicitly re-records it.
-        write_report(&baseline_str, "second\n", true).unwrap();
-        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), "second\n");
+        // …unless the caller explicitly re-records it, in which case the
+        // provenance marker is stamped in as the first key. Non-JSON
+        // contents cannot carry the marker and are rejected outright.
+        write_report(&baseline_str, "{\n  \"quick\": false\n}\n", true).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&baseline).unwrap(),
+            "{\n  \"forced_baseline\": true,\n  \"quick\": false\n}\n"
+        );
+        assert!(write_report(&baseline_str, "not json\n", true).is_err());
+
+        // Non-baseline names are never stamped, forced or not.
+        let scratch = dir.join("BENCH_demo_ci.json");
+        write_report(scratch.to_str().unwrap(), "{\n}\n", true).unwrap();
+        assert_eq!(std::fs::read_to_string(&scratch).unwrap(), "{\n}\n");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -9,9 +9,11 @@
 //!   same directory, fsynced, and `rename(2)`d over the live path. Readers
 //!   see the old complete file or the new complete file, never a mixture.
 //! * **A `.prev` generation.** Before the rename, the previous live file is
-//!   renamed to `<path>.prev`. If the *content* of the newest checkpoint is
-//!   bad (corrupted on disk, or torn by a filesystem without atomic-rename
-//!   durability), the loader falls back one generation instead of failing.
+//!   demoted to `<path>.prev` (via hard link + rename, so the live path
+//!   never has a not-found gap a concurrent reader could fall into). If the
+//!   *content* of the newest checkpoint is bad (corrupted on disk, or torn
+//!   by a filesystem without atomic-rename durability), the loader falls
+//!   back one generation instead of failing.
 //! * **Typed fallback.** [`CheckpointStore::load_latest`] validates each
 //!   generation with a caller-supplied check (normally
 //!   [`decode_checkpoint`](crate::wire::decode_checkpoint), whose trailing
@@ -90,15 +92,31 @@ impl CheckpointStore {
         PathBuf::from(name)
     }
 
+    fn prev_tmp_path(&self) -> PathBuf {
+        let mut name = self.base.as_os_str().to_owned();
+        name.push(".prev.tmp");
+        PathBuf::from(name)
+    }
+
     /// Atomically replaces the checkpoint with `bytes`, demoting the old
     /// live file to the `.prev` generation first.
+    ///
+    /// The live path never *vanishes* during the rotation: the old
+    /// generation is demoted via a hard link (so `base` and `base.prev`
+    /// briefly name the same inode) and the new file then renamed over
+    /// `base`. A concurrent reader — the supervisor validates every
+    /// checkpoint by reading it back when its `CheckpointDone` arrives,
+    /// which can race the worker's *next* asynchronous checkpoint write —
+    /// always finds a complete generation at `base`, old or new, never a
+    /// `NotFound` gap.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directory cannot be created,
-    /// the temporary file cannot be written and fsynced, or a rename fails.
-    /// On error the live file is either the old generation or the new one —
-    /// never a partial write, because all writing happens in the `.tmp` file.
+    /// the temporary file cannot be written and fsynced, or a link/rename
+    /// fails. On error the live file is either the old generation or the
+    /// new one — never a partial write, because all writing happens in the
+    /// `.tmp` file.
     pub fn write(&self, bytes: &[u8]) -> std::io::Result<()> {
         if let Some(parent) = self.base.parent() {
             if !parent.as_os_str().is_empty() {
@@ -112,7 +130,12 @@ impl CheckpointStore {
             file.sync_all()?;
         }
         if self.base.exists() {
-            fs::rename(&self.base, self.prev_path())?;
+            // Demote without unlinking `base`: link the live inode to a
+            // scratch name, then atomically rename it over `.prev`.
+            let prev_tmp = self.prev_tmp_path();
+            let _ = fs::remove_file(&prev_tmp);
+            fs::hard_link(&self.base, &prev_tmp)?;
+            fs::rename(&prev_tmp, self.prev_path())?;
         }
         fs::rename(&tmp, &self.base)?;
         Ok(())

@@ -56,6 +56,18 @@ pub enum Fault {
         /// 1-based ingest ordinal whose ack is swallowed.
         ordinal: u64,
     },
+    /// Sleep `millis` after ingesting *every* event — a legitimately slow
+    /// evaluator, not a hang. Unlike [`Fault::StallBeforeAck`] the delay
+    /// scales with batch size, which is exactly what the supervisor's
+    /// per-event ack-timeout grace must absorb without restarting.
+    SleepPerEvent {
+        /// Worker slot the fault targets.
+        worker: usize,
+        /// Incarnation of that slot the fault arms in.
+        incarnation: u32,
+        /// Sleep per ingested event, in milliseconds.
+        millis: u64,
+    },
     /// Flip one byte of worker `worker`'s checkpoint file immediately after
     /// its `ordinal`-th successful checkpoint (1-based, counted across
     /// incarnations). The next restart must detect the corruption via the
@@ -79,6 +91,9 @@ impl fmt::Display for Fault {
             }
             Fault::DropAck { worker, incarnation, ordinal } => {
                 write!(f, "drop ack {ordinal} of worker {worker}.{incarnation}")
+            }
+            Fault::SleepPerEvent { worker, incarnation, millis } => {
+                write!(f, "slow worker {worker}.{incarnation}: {millis}ms per event")
             }
             Fault::CorruptCheckpoint { worker, ordinal } => {
                 write!(f, "corrupt checkpoint {ordinal} of worker {worker}")
@@ -127,6 +142,13 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a [`Fault::SleepPerEvent`] to the plan.
+    #[must_use]
+    pub fn sleep_per_event(mut self, worker: usize, incarnation: u32, millis: u64) -> Self {
+        self.faults.push(Fault::SleepPerEvent { worker, incarnation, millis });
+        self
+    }
+
     /// Adds a [`Fault::CorruptCheckpoint`] to the plan.
     #[must_use]
     pub fn corrupt_checkpoint(mut self, worker: usize, ordinal: u64) -> Self {
@@ -171,6 +193,12 @@ impl FaultPlan {
                     args.push("--fault".to_owned());
                     args.push(format!("drop-ack={ordinal}"));
                 }
+                Fault::SleepPerEvent { worker: w, incarnation: i, millis }
+                    if w == worker && i == incarnation =>
+                {
+                    args.push("--fault".to_owned());
+                    args.push(format!("sleep-per-event={millis}"));
+                }
                 _ => {}
             }
         }
@@ -200,11 +228,14 @@ pub struct WorkerFaults {
     pub stall_before_ack: Option<(u64, u64)>,
     /// Swallow the ack of this 1-based ingest ordinal.
     pub drop_ack: Option<u64>,
+    /// Sleep this many milliseconds after every ingested event.
+    pub sleep_per_event: Option<u64>,
 }
 
 impl WorkerFaults {
     /// Parses one `--fault` SPEC (`kill-after-events=N`,
-    /// `stall-before-ack=N:MS`, `drop-ack=B`) into the switch set.
+    /// `stall-before-ack=N:MS`, `drop-ack=B`, `sleep-per-event=MS`) into the
+    /// switch set.
     ///
     /// # Errors
     ///
@@ -226,6 +257,7 @@ impl WorkerFaults {
                 self.stall_before_ack = Some((parse(events)?, parse(millis)?));
             }
             "drop-ack" => self.drop_ack = Some(parse(value)?),
+            "sleep-per-event" => self.sleep_per_event = Some(parse(value)?),
             other => return Err(format!("unknown fault `{other}`")),
         }
         Ok(())
@@ -258,7 +290,11 @@ mod tests {
 
     #[test]
     fn worker_faults_round_trip_through_arg_parsing() {
-        let plan = FaultPlan::none().kill_after(2, 3, 7).stall(2, 3, 5, 111).drop_ack(2, 3, 2);
+        let plan = FaultPlan::none()
+            .kill_after(2, 3, 7)
+            .stall(2, 3, 5, 111)
+            .drop_ack(2, 3, 2)
+            .sleep_per_event(2, 3, 9);
         let args = plan.worker_args(2, 3);
         let mut faults = WorkerFaults::default();
         for pair in args.chunks(2) {
@@ -268,6 +304,7 @@ mod tests {
         assert_eq!(faults.kill_after_events, Some(7));
         assert_eq!(faults.stall_before_ack, Some((5, 111)));
         assert_eq!(faults.drop_ack, Some(2));
+        assert_eq!(faults.sleep_per_event, Some(9));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   version, length, checksum) carried over the worker's stdin/stdout
 //!   pipes, so a torn or corrupted pipe read is a typed error, never a
 //!   misparse. Models travel as `.psm` text; events, profiles and alerts as
-//!   binary payloads.
+//!   binary payloads. Protocol version 2 adds the coalesced data plane —
+//!   many sub-batches per [`Message::IngestBatch`] frame, answered by
+//!   cumulative [`Message::AckThrough`] replies — while still decoding
+//!   every v1 frame; a v2-only tag inside a v1 frame is a typed rejection.
 //! * [`worker`] — the `privacy-shardd` process: owns a contiguous range of
 //!   the monitor's [`SHARD_COUNT`](privacy_runtime::SHARD_COUNT) stable
 //!   `UserId`-hash shards, rebuilds the design-time index from the shipped
@@ -33,11 +36,11 @@
 //!   checkpoint files with a `.prev` generation, and a loader that falls
 //!   back past a torn or corrupted generation with typed warnings.
 //! * [`fault`] — [`FaultPlan`]: the failure-injection harness. Kill-at-event,
-//!   stall, drop-ack (armed in the worker via `--fault` arguments) and
-//!   corrupt-checkpoint (applied by the supervisor to the on-disk file)
-//!   drive the differential property tests asserting the merged alert
-//!   stream is byte-identical to the uninterrupted single-process run under
-//!   every injected fault schedule.
+//!   stall, drop-ack, sleep-per-event (armed in the worker via `--fault`
+//!   arguments) and corrupt-checkpoint (applied by the supervisor to the
+//!   on-disk file) drive the differential property tests asserting the
+//!   merged alert stream is byte-identical to the uninterrupted
+//!   single-process run under every injected fault schedule.
 //! * [`exit`] — the process exit-code taxonomy shared by `privacy-shardd`,
 //!   `privacy-monitor` and `privacy-supervisor`, so the restart policy can
 //!   distinguish retryable exits (crash, I/O, injected fault) from terminal

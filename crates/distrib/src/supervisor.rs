@@ -7,22 +7,43 @@
 //! shard (shards are assigned as contiguous ranges at launch and can be
 //! moved live with [`DistributedMonitor::rebalance_shard`]). Each submitted
 //! super-batch is split into per-worker sub-batches whose events keep their
-//! **position** in the super-batch; workers ack each sub-batch with
-//! position-tagged alerts, and the supervisor reassembles super-batches in
-//! order, sorting each one's merged alerts by position. Because a user's
-//! events always flow through one owner in stream order, the merged stream
-//! is identical to the in-process
+//! **position** in the super-batch; workers ack with position-tagged alerts,
+//! and the supervisor reassembles super-batches in order, sorting each
+//! one's merged alerts by position. Because a user's events always flow
+//! through one owner in stream order, the merged stream is identical to the
+//! in-process
 //! [`IndexedMonitor::ingest_batch`](privacy_runtime::IndexedMonitor)
 //! ordering — and stays identical under every fault the harness can inject,
 //! which is what `tests/fault_differential.rs` asserts.
+//!
+//! # Data plane: coalesced frames over per-worker writer threads
+//!
+//! Sub-batches are not framed one by one on the supervisor thread. Each
+//! worker lane owns a dedicated **writer thread** behind a bounded queue:
+//! the supervisor enqueues sub-batch parts (cheap: no encoding) and the
+//! writer coalesces adjacent parts into one
+//! [`IngestBatch`](Message::IngestBatch) frame — flushed when
+//! `max_frame_events` accumulate or the `linger` deadline passes, so
+//! trickle input still sees bounded latency. Sends to different workers
+//! overlap instead of serializing, and one frame pays one length/checksum
+//! for many events. Workers answer with cumulative
+//! [`AckThrough`](Message::AckThrough) frames carrying every alert the
+//! supervisor has not yet confirmed; the next outbound frame piggybacks the
+//! confirmed high-water (`acked_through`) back, which both prunes the
+//! worker's retained alert buffer and lets a swallowed ack self-heal on the
+//! next frame instead of forcing a restart. Control frames (register,
+//! checkpoint, handoff, shutdown) flush any coalescing parts first, so the
+//! per-lane FIFO order the protocol relies on is preserved.
 //!
 //! # Backpressure
 //!
 //! At most `window` sub-batches may be in flight per worker; submitting
 //! more blocks on that worker's acks. The queue to a worker is therefore
-//! bounded end to end — the pipe holds at most `window` sub-batches — and a
-//! stalled worker stalls its *own* lane, then (via the ack timeout) gets
-//! killed and restarted rather than wedging the fleet forever.
+//! bounded end to end — writer queue plus pipe hold at most `window`
+//! sub-batches — and a stalled worker stalls its *own* lane, then (via the
+//! ack timeout, scaled by `ack_grace_per_event` for the events legitimately
+//! in flight) gets killed and restarted rather than wedging the fleet
+//! forever.
 //!
 //! # Failure model
 //!
@@ -51,7 +72,9 @@ use std::fmt;
 use std::io::BufWriter;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError,
+};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -115,8 +138,23 @@ pub struct SupervisorConfig {
     pub checkpoint_every: u64,
     /// Directory for the per-worker checkpoint files.
     pub checkpoint_dir: PathBuf,
-    /// How long to wait for an ack before declaring a worker stalled.
+    /// How long to wait for an ack before declaring a worker stalled. The
+    /// effective deadline additionally grows by
+    /// [`ack_grace_per_event`](Self::ack_grace_per_event) for every event
+    /// currently in flight, so
+    /// a large legitimate batch on a slow model is not mistaken for a hang.
     pub ack_timeout: Duration,
+    /// Extra ack-deadline grace granted per in-flight event.
+    pub ack_grace_per_event: Duration,
+    /// Most events one coalesced [`IngestBatch`](Message::IngestBatch)
+    /// frame may carry before the writer flushes it.
+    pub max_frame_events: usize,
+    /// How long the writer holds a partially filled frame open for more
+    /// parts before flushing it anyway — the latency bound under trickle
+    /// input.
+    pub linger: Duration,
+    /// Bound of the supervisor→writer command queue, in commands.
+    pub writer_queue: usize,
     /// How long to wait for a checkpoint/export/import reply.
     pub control_timeout: Duration,
     /// How long a fresh worker may take to parse the model, rebuild the
@@ -141,6 +179,10 @@ impl SupervisorConfig {
             checkpoint_every: 0,
             checkpoint_dir: checkpoint_dir.into(),
             ack_timeout: Duration::from_secs(10),
+            ack_grace_per_event: Duration::from_millis(5),
+            max_frame_events: 1024,
+            linger: Duration::from_millis(2),
+            writer_queue: 16,
             control_timeout: Duration::from_secs(60),
             startup_timeout: Duration::from_secs(120),
             restart: RestartPolicy::default(),
@@ -260,14 +302,112 @@ impl fmt::Display for DistribError {
 
 impl std::error::Error for DistribError {}
 
-/// A live worker process: the child, its buffered stdin, and the channel
-/// its reader thread feeds with stdout frames. The thread exits (dropping
-/// its sender) on EOF or any read error, so death always surfaces as a
-/// disconnected channel.
+/// One command to a worker lane's writer thread.
+enum WriteCmd {
+    /// A pre-encoded control frame. Pending coalesced parts are flushed
+    /// first so the lane stays FIFO.
+    Frame(Vec<u8>),
+    /// One sub-batch part for the coalescing buffer. Encoding happens on
+    /// the writer thread, off the supervisor's critical path.
+    Part {
+        batch: u64,
+        events: Vec<(u32, Event)>,
+        /// The supervisor's confirmed high-water at enqueue time, piggybacked
+        /// on the frame so the worker prunes its retained alert buffer.
+        acked_through: u64,
+    },
+    /// Flush the coalescing buffer now (a lane flush is about to wait on
+    /// acks that only arrive once the parts are on the wire).
+    Flush,
+}
+
+/// A live worker process: the child, the bounded queue feeding its writer
+/// thread, and the channel its reader thread feeds with stdout frames. The
+/// reader exits (dropping its sender) on EOF or any read error, so death
+/// always surfaces as a disconnected channel; the writer exits when its
+/// queue disconnects or the pipe breaks.
 struct WorkerProc {
     child: Child,
-    stdin: BufWriter<ChildStdin>,
+    writer_tx: Option<SyncSender<WriteCmd>>,
+    writer: Option<thread::JoinHandle<()>>,
     rx: Receiver<Vec<u8>>,
+}
+
+/// The writer thread: coalesces adjacent `Part` commands into one
+/// [`Message::IngestBatch`] frame, flushed on `max_frame_events`, on the
+/// `linger` deadline, on a control frame, or on an explicit `Flush`. Exits
+/// (after a best-effort drain) when the command queue disconnects or a pipe
+/// write fails — the reader thread surfaces the actual death.
+fn writer_loop(
+    commands: &Receiver<WriteCmd>,
+    stdin: ChildStdin,
+    max_frame_events: usize,
+    linger: Duration,
+) {
+    let mut out = BufWriter::new(stdin);
+    let mut parts: Vec<(u64, Vec<(u32, Event)>)> = Vec::new();
+    let mut buffered = 0usize;
+    let mut acked_through = 0u64;
+    let mut deadline = Instant::now();
+    let flush_parts = |parts: &mut Vec<(u64, Vec<(u32, Event)>)>,
+                       buffered: &mut usize,
+                       acked_through: u64,
+                       out: &mut BufWriter<ChildStdin>| {
+        if parts.is_empty() {
+            return true;
+        }
+        *buffered = 0;
+        let message = Message::IngestBatch { acked_through, parts: std::mem::take(parts) };
+        write_frame(out, &message.encode()).is_ok()
+    };
+    loop {
+        let command = if parts.is_empty() {
+            commands.recv().ok()
+        } else {
+            match commands.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(command) => Some(command),
+                Err(RecvTimeoutError::Timeout) => {
+                    if !flush_parts(&mut parts, &mut buffered, acked_through, &mut out) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        };
+        match command {
+            Some(WriteCmd::Part { batch, events, acked_through: confirmed }) => {
+                acked_through = acked_through.max(confirmed);
+                if parts.is_empty() {
+                    deadline = Instant::now() + linger;
+                }
+                buffered += events.len();
+                parts.push((batch, events));
+                if buffered >= max_frame_events
+                    && !flush_parts(&mut parts, &mut buffered, acked_through, &mut out)
+                {
+                    return;
+                }
+            }
+            Some(WriteCmd::Frame(frame)) => {
+                if !flush_parts(&mut parts, &mut buffered, acked_through, &mut out) {
+                    return;
+                }
+                if write_frame(&mut out, &frame).is_err() {
+                    return;
+                }
+            }
+            Some(WriteCmd::Flush) => {
+                if !flush_parts(&mut parts, &mut buffered, acked_through, &mut out) {
+                    return;
+                }
+            }
+            None => {
+                let _ = flush_parts(&mut parts, &mut buffered, acked_through, &mut out);
+                return;
+            }
+        }
+    }
 }
 
 /// Everything the supervisor tracks per worker slot, surviving restarts.
@@ -282,8 +422,13 @@ struct WorkerSlot {
     /// Batches acked by the current incarnation, for the sustained-progress
     /// test. Zeroed on every spawn.
     acks_since_spawn: u32,
-    /// Sub-batch ids sent but not yet acked, in send order.
-    inflight: VecDeque<u64>,
+    /// Sub-batches sent but not yet acked, in send order, as
+    /// `(batch id, event count)` — the count feeds the per-event ack grace.
+    inflight: VecDeque<(u64, u32)>,
+    /// Highest batch id confirmed (popped from `inflight`) over the slot's
+    /// whole life; piggybacked on outbound frames as `acked_through`.
+    /// Monotonic across restarts.
+    merged_through: u64,
     /// Sub-batches newer than the previous checkpoint generation, kept for
     /// suffix replay. Two generations are retained so a fallback to the
     /// `.prev` checkpoint still has its whole suffix.
@@ -301,6 +446,12 @@ struct WorkerSlot {
     pending_imports: Vec<(u64, Vec<u8>)>,
     /// Successful checkpoints, for the corrupt-checkpoint fault schedule.
     ckpt_ordinal: u64,
+    /// [`Message::Checkpoint`] requests sent on the periodic (asynchronous)
+    /// path whose [`Message::CheckpointDone`] has not arrived yet. The
+    /// supervisor keeps streaming while the worker encodes and fsyncs; the
+    /// reply is collected by [`DistributedMonitor::pump`] or the next ack
+    /// wait. Zeroed on every spawn (a dead worker's replies never come).
+    ckpts_pending: u32,
     store: CheckpointStore,
 }
 
@@ -379,6 +530,16 @@ impl DistributedMonitor {
         if config.window == 0 {
             return Err(DistribError::Config { detail: "window must be at least 1".to_owned() });
         }
+        if config.max_frame_events == 0 {
+            return Err(DistribError::Config {
+                detail: "max_frame_events must be at least 1".to_owned(),
+            });
+        }
+        if config.writer_queue == 0 {
+            return Err(DistribError::Config {
+                detail: "writer_queue must be at least 1".to_owned(),
+            });
+        }
         let model_psm = render_system(name, system);
         let workers = config.workers;
         let routing: Vec<usize> = (0..SHARD_COUNT).map(|s| s * workers / SHARD_COUNT).collect();
@@ -389,6 +550,7 @@ impl DistributedMonitor {
                 consecutive_restarts: 0,
                 acks_since_spawn: 0,
                 inflight: VecDeque::new(),
+                merged_through: 0,
                 retained: VecDeque::new(),
                 coverage: 0,
                 prev_coverage: 0,
@@ -397,6 +559,7 @@ impl DistributedMonitor {
                 import_ordinal: 0,
                 pending_imports: Vec::new(),
                 ckpt_ordinal: 0,
+                ckpts_pending: 0,
                 store: CheckpointStore::new(config.checkpoint_dir.join(format!("worker-{w}.ckpt"))),
             })
             .collect();
@@ -487,8 +650,9 @@ impl DistributedMonitor {
             // Retain before sending: if the send fails, the restart path
             // replays the batch from the retained suffix.
             self.workers[w].retained.push_back((id, part.clone()));
-            match self.send_raw(w, &Message::Ingest { batch: id, events: part }) {
-                Ok(()) => self.workers[w].inflight.push_back(id),
+            let count = part.len() as u32;
+            match self.send_part(w, id, part) {
+                Ok(()) => self.workers[w].inflight.push_back((id, count)),
                 Err(cause) => self.handle_death(w, cause)?,
             }
         }
@@ -496,8 +660,8 @@ impl DistributedMonitor {
             self.pump(w)?;
         }
         self.drain_ready();
-        if self.config.checkpoint_every > 0 && id.is_multiple_of(self.config.checkpoint_every) {
-            self.checkpoint_now()?;
+        if self.config.checkpoint_every > 0 {
+            self.checkpoint_async(id)?;
         }
         Ok(std::mem::take(&mut self.emitted))
     }
@@ -515,14 +679,55 @@ impl DistributedMonitor {
         Ok(std::mem::take(&mut self.emitted))
     }
 
-    /// Checkpoints every worker now (flushing their lanes first).
+    /// Checkpoints every worker now, **synchronously** (flushing their
+    /// lanes first): on return every worker has a completed checkpoint.
+    /// Used where durability must be certain before proceeding — shard
+    /// handoffs and explicit caller requests; the periodic cadence goes
+    /// through the private `checkpoint_async` instead.
+    ///
+    /// The checkpoint is still **broadcast**: every worker gets the request
+    /// before any reply is awaited, so the workers' snapshot encodes and
+    /// fsyncs overlap instead of serializing. A worker that dies
+    /// mid-checkpoint falls back to the sequential per-worker path, which
+    /// restarts it and retries.
     ///
     /// # Errors
     ///
     /// Propagates typed supervisor failures.
     pub fn checkpoint_now(&mut self) -> Result<(), DistribError> {
         for w in 0..self.workers.len() {
-            self.checkpoint_worker(w)?;
+            self.flush_worker(w)?;
+        }
+        let mut awaiting = Vec::new();
+        for w in 0..self.workers.len() {
+            match self.send_raw(w, &Message::Checkpoint) {
+                Ok(()) => awaiting.push(w),
+                Err(cause) => {
+                    self.handle_death(w, cause)?;
+                    self.checkpoint_worker(w)?;
+                }
+            }
+        }
+        for w in awaiting {
+            match self.recv(w, self.config.control_timeout) {
+                Received::Msg(Message::CheckpointDone { through_batch, imports }) => {
+                    self.complete_checkpoint(w, through_batch, imports)?;
+                }
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("expected CheckpointDone, got {other:?}"),
+                    })
+                }
+                Received::Dead(cause) => {
+                    self.handle_death(w, cause)?;
+                    self.checkpoint_worker(w)?;
+                }
+                Received::TimedOut => {
+                    self.handle_death(w, "checkpoint timed out".to_owned())?;
+                    self.checkpoint_worker(w)?;
+                }
+            }
         }
         Ok(())
     }
@@ -610,7 +815,13 @@ impl DistributedMonitor {
         }
         for slot in &mut self.workers {
             if let Some(mut proc) = slot.proc.take() {
-                drop(proc.stdin); // EOF: the belt to Shutdown's suspenders
+                // Disconnecting the queue makes the writer drain (delivering
+                // the Shutdown frame) and exit, closing stdin — EOF is the
+                // belt to Shutdown's suspenders.
+                drop(proc.writer_tx.take());
+                if let Some(writer) = proc.writer.take() {
+                    let _ = writer.join();
+                }
                 let _ = proc.child.wait();
             }
         }
@@ -620,12 +831,29 @@ impl DistributedMonitor {
     // ------------------------------------------------------------------
     // Plumbing: send, receive, death handling.
 
+    /// Enqueues a pre-encoded control frame on the lane's writer thread.
+    /// Blocks while the bounded queue is full; fails when the writer has
+    /// exited (which means the pipe broke — the reader thread surfaces the
+    /// actual death).
     fn send_raw(&mut self, w: usize, message: &Message) -> Result<(), String> {
+        self.send_cmd(w, WriteCmd::Frame(message.encode()))
+    }
+
+    /// Enqueues one sub-batch part for coalescing into the lane's next
+    /// [`Message::IngestBatch`] frame.
+    fn send_part(&mut self, w: usize, batch: u64, events: Vec<(u32, Event)>) -> Result<(), String> {
+        let acked_through = self.workers[w].merged_through;
+        self.send_cmd(w, WriteCmd::Part { batch, events, acked_through })
+    }
+
+    fn send_cmd(&mut self, w: usize, command: WriteCmd) -> Result<(), String> {
         let Some(proc) = self.workers[w].proc.as_mut() else {
             return Err("no live process".to_owned());
         };
-        write_frame(&mut proc.stdin, &message.encode())
-            .map_err(|error| format!("pipe write failed: {error}"))
+        let Some(tx) = proc.writer_tx.as_ref() else {
+            return Err("no live writer thread".to_owned());
+        };
+        tx.send(command).map_err(|_| "pipe write failed: writer thread exited".to_owned())
     }
 
     fn recv(&mut self, w: usize, timeout: Duration) -> Received {
@@ -650,11 +878,15 @@ impl DistributedMonitor {
     }
 
     /// Kills (idempotently) and reaps the slot's process, returning its
-    /// exit code if it had one.
+    /// exit code if it had one. The kill also breaks the pipe under a
+    /// writer blocked mid-write, so the join cannot hang.
     fn reap(&mut self, w: usize) -> Option<i32> {
         let mut proc = self.workers[w].proc.take()?;
-        drop(proc.stdin);
+        drop(proc.writer_tx.take());
         let _ = proc.child.kill();
+        if let Some(writer) = proc.writer.take() {
+            let _ = writer.join();
+        }
         match proc.child.wait() {
             Ok(status) => status.code(),
             Err(_) => None,
@@ -784,10 +1016,17 @@ impl DistributedMonitor {
             // EOF or read error: dropping the sender surfaces it as a
             // disconnected channel on the supervisor side.
         });
-        self.workers[w].proc = Some(WorkerProc { child, stdin: BufWriter::new(stdin), rx });
+        let (writer_tx, writer_rx) = sync_channel(self.config.writer_queue);
+        let (max_frame_events, linger) = (self.config.max_frame_events, self.config.linger);
+        let writer = thread::spawn(move || {
+            writer_loop(&writer_rx, stdin, max_frame_events, linger);
+        });
+        self.workers[w].proc =
+            Some(WorkerProc { child, writer_tx: Some(writer_tx), writer: Some(writer), rx });
         self.workers[w].coverage = coverage;
         self.workers[w].imports_cov = imports;
         self.workers[w].inflight.clear();
+        self.workers[w].ckpts_pending = 0;
 
         let owned = self.owned_shards(w);
         let init = Message::Init {
@@ -875,9 +1114,9 @@ impl DistributedMonitor {
         let replay: Vec<(u64, Vec<(u32, Event)>)> =
             self.workers[w].retained.iter().filter(|(id, _)| *id > coverage).cloned().collect();
         for (id, part) in replay {
-            self.send_raw(w, &Message::Ingest { batch: id, events: part })
-                .map_err(BringUp::Retry)?;
-            self.workers[w].inflight.push_back(id);
+            let count = part.len() as u32;
+            self.send_part(w, id, part).map_err(BringUp::Retry)?;
+            self.workers[w].inflight.push_back((id, count));
         }
         Ok((coverage, fell_back))
     }
@@ -889,47 +1128,70 @@ impl DistributedMonitor {
     // ------------------------------------------------------------------
     // Acks, assembly, emission.
 
-    fn on_ack(
+    /// Applies one cumulative [`Message::AckThrough`]: pops the inflight
+    /// prefix up to `through`, recording each popped batch's alerts from the
+    /// repeated buffer the worker sent.
+    ///
+    /// A *swallowed* ack needs no recovery here: the batches it covered
+    /// simply stay in flight, and the worker's next reply — which repeats
+    /// every unconfirmed alert — confirms them. Only silence past the
+    /// (grace-scaled) ack deadline kills the lane.
+    fn on_ack_through(
         &mut self,
         w: usize,
-        batch: u64,
-        alerts: Vec<(u32, Alert)>,
+        through: u64,
+        alerts: Vec<(u64, u32, Alert)>,
     ) -> Result<(), DistribError> {
-        match self.workers[w].inflight.front().copied() {
-            Some(expected) if expected == batch => {
-                self.workers[w].inflight.pop_front();
+        match self.workers[w].inflight.back().copied() {
+            Some((newest, _)) if through > newest => {
+                return Err(DistribError::Protocol {
+                    worker: w,
+                    detail: format!(
+                        "acked through batch {through} but the newest in flight is {newest}"
+                    ),
+                });
             }
-            other => {
-                // An ack that skips the oldest unacked batch means an ack
-                // was lost in the worker (the drop-ack fault, or a real
-                // application bug). Its whole lane is in doubt: kill it and
-                // resume from the checkpoint — the replayed suffix re-acks
-                // deterministically and already-emitted batches are dropped
-                // by id below.
-                return self.handle_death(
-                    w,
-                    format!("acked batch {batch} but the oldest unacked is {other:?} (lost ack)"),
-                );
+            None if through > self.workers[w].merged_through => {
+                return Err(DistribError::Protocol {
+                    worker: w,
+                    detail: format!("acked through batch {through} with nothing in flight"),
+                });
             }
+            _ => {}
         }
-        // Progress, but only *sustained* progress forgives past restarts:
-        // resetting the budget on the first ack would let a worker that
-        // delivers one batch per incarnation crash-loop forever.
-        self.workers[w].acks_since_spawn = self.workers[w].acks_since_spawn.saturating_add(1);
+        let mut by_batch: BTreeMap<u64, Vec<(u32, Alert)>> = BTreeMap::new();
+        for (batch, position, alert) in alerts {
+            by_batch.entry(batch).or_default().push((position, alert));
+        }
+        while let Some(&(oldest, _)) = self.workers[w].inflight.front() {
+            if oldest > through {
+                break;
+            }
+            self.workers[w].inflight.pop_front();
+            // Progress, but only *sustained* progress forgives past
+            // restarts: resetting the budget on the first ack would let a
+            // worker that delivers one batch per incarnation crash-loop
+            // forever.
+            self.workers[w].acks_since_spawn = self.workers[w].acks_since_spawn.saturating_add(1);
+            if oldest >= self.next_emit {
+                let Some(pending) = self.assembly.get_mut(&oldest) else {
+                    return Err(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("acked unknown batch {oldest}"),
+                    });
+                };
+                pending.got.insert(w, by_batch.remove(&oldest).unwrap_or_default());
+            }
+            // else: a replayed ack for an already-emitted batch — dropped,
+            // the alerts were delivered before the worker died. Alerts left
+            // in `by_batch` belong to batches confirmed on an earlier reply
+            // (the worker repeats them until it sees our acked_through) and
+            // are equally ignorable.
+        }
         if self.workers[w].acks_since_spawn >= self.config.restart.reset_after_acks {
             self.workers[w].consecutive_restarts = 0;
         }
-        if batch >= self.next_emit {
-            let Some(pending) = self.assembly.get_mut(&batch) else {
-                return Err(DistribError::Protocol {
-                    worker: w,
-                    detail: format!("acked unknown batch {batch}"),
-                });
-            };
-            pending.got.insert(w, alerts);
-        }
-        // else: a replayed ack for an already-emitted batch — dropped, the
-        // alerts were delivered before the worker died.
+        self.workers[w].merged_through = self.workers[w].merged_through.max(through);
         self.drain_ready();
         Ok(())
     }
@@ -957,8 +1219,14 @@ impl DistributedMonitor {
             let Some(proc) = self.workers[w].proc.as_ref() else { return Ok(()) };
             match proc.rx.try_recv() {
                 Ok(frame) => match Self::frame_to_received(frame) {
-                    Received::Msg(Message::Ack { batch, alerts }) => {
-                        self.on_ack(w, batch, alerts)?;
+                    Received::Msg(Message::AckThrough { through, alerts }) => {
+                        self.on_ack_through(w, through, alerts)?;
+                    }
+                    Received::Msg(Message::CheckpointDone { through_batch, imports })
+                        if self.workers[w].ckpts_pending > 0 =>
+                    {
+                        self.workers[w].ckpts_pending -= 1;
+                        self.complete_checkpoint(w, through_batch, imports)?;
                     }
                     Received::Msg(other) => {
                         return Err(DistribError::Protocol {
@@ -977,41 +1245,137 @@ impl DistributedMonitor {
         }
     }
 
-    /// Blocks until one more ack from `w` arrives (reviving it as needed).
+    /// The ack deadline for worker `w` right now: the base timeout plus the
+    /// per-event grace for everything legitimately in flight, so a heavy
+    /// model chewing through a large batch is not mistaken for a stall.
+    fn effective_ack_timeout(&self, w: usize) -> Duration {
+        let events: u64 = self.workers[w].inflight.iter().map(|&(_, count)| u64::from(count)).sum();
+        let grace = self
+            .config
+            .ack_grace_per_event
+            .saturating_mul(u32::try_from(events).unwrap_or(u32::MAX));
+        self.config.ack_timeout.saturating_add(grace)
+    }
+
+    /// Blocks until the in-flight queue of `w` shrinks (reviving the worker
+    /// as needed). One cumulative ack may confirm several batches.
     fn await_one_ack(&mut self, w: usize) -> Result<(), DistribError> {
+        // Anything still coalescing must reach the wire, or the acks this
+        // wait needs might never be produced within a long linger.
+        if let Err(cause) = self.send_cmd(w, WriteCmd::Flush) {
+            self.handle_death(w, cause)?;
+        }
         loop {
-            if self.workers[w].inflight.is_empty() {
+            let depth = self.workers[w].inflight.len();
+            if depth == 0 {
                 return Ok(());
             }
-            match self.recv(w, self.config.ack_timeout) {
-                Received::Msg(Message::Ack { batch, alerts }) => {
-                    return self.on_ack(w, batch, alerts);
+            let deadline = self.effective_ack_timeout(w);
+            match self.recv(w, deadline) {
+                Received::Msg(Message::AckThrough { through, alerts }) => {
+                    self.on_ack_through(w, through, alerts)?;
+                    if self.workers[w].inflight.len() < depth {
+                        return Ok(());
+                    }
+                }
+                Received::Msg(Message::CheckpointDone { through_batch, imports })
+                    if self.workers[w].ckpts_pending > 0 =>
+                {
+                    self.workers[w].ckpts_pending -= 1;
+                    self.complete_checkpoint(w, through_batch, imports)?;
                 }
                 Received::Msg(other) => {
                     return Err(DistribError::Protocol {
                         worker: w,
-                        detail: format!("expected Ack, got {other:?}"),
+                        detail: format!("expected AckThrough, got {other:?}"),
                     })
                 }
                 Received::Dead(cause) => self.handle_death(w, cause)?,
                 Received::TimedOut => {
-                    let cause =
-                        format!("no ack within {:?} (stalled or wedged)", self.config.ack_timeout);
+                    let cause = format!("no ack within {deadline:?} (stalled or wedged)");
                     self.handle_death(w, cause)?;
                 }
             }
         }
     }
 
+    /// Drains the lane completely: every in-flight sub-batch acked *and*
+    /// every outstanding asynchronous checkpoint completed, so a control
+    /// exchange (export, import, synchronous checkpoint, shutdown) sees
+    /// only its own reply next on the pipe.
     fn flush_worker(&mut self, w: usize) -> Result<(), DistribError> {
-        while !self.workers[w].inflight.is_empty() {
-            self.await_one_ack(w)?;
+        loop {
+            while !self.workers[w].inflight.is_empty() {
+                self.await_one_ack(w)?;
+            }
+            if self.workers[w].ckpts_pending == 0 {
+                return Ok(());
+            }
+            match self.recv(w, self.config.control_timeout) {
+                Received::Msg(Message::CheckpointDone { through_batch, imports }) => {
+                    self.workers[w].ckpts_pending -= 1;
+                    self.complete_checkpoint(w, through_batch, imports)?;
+                }
+                Received::Msg(Message::AckThrough { through, alerts }) => {
+                    self.on_ack_through(w, through, alerts)?;
+                }
+                Received::Msg(other) => {
+                    return Err(DistribError::Protocol {
+                        worker: w,
+                        detail: format!("expected CheckpointDone, got {other:?}"),
+                    })
+                }
+                // A death resets `ckpts_pending` (via bring_up) and replays
+                // the retained suffix, refilling `inflight` — the outer loop
+                // re-drains both.
+                Received::Dead(cause) => self.handle_death(w, cause)?,
+                Received::TimedOut => self.handle_death(w, "checkpoint timed out".to_owned())?,
+            }
         }
-        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Checkpointing.
+
+    /// The periodic checkpoint path: send [`Message::Checkpoint`] and **do
+    /// not wait** — neither for the lane's in-flight acks nor for the
+    /// reply, which is collected opportunistically by [`pump`](Self::pump)
+    /// or the next ack wait. No pre-drain is needed for the coverage
+    /// invariant: the Checkpoint frame is FIFO-ordered behind every part
+    /// already on the lane, and the worker's `AckThrough` for those parts
+    /// is written before its `CheckpointDone`, so the supervisor — which
+    /// processes the reply pipe in order — has always merged what the file
+    /// covers by the time it sees the `Done`. (The one way that breaks is a
+    /// *swallowed* ack; [`complete_checkpoint`](Self::complete_checkpoint)
+    /// detects exactly that case and demotes the outrun checkpoint.) While
+    /// one worker encodes and fsyncs its snapshot, the supervisor keeps
+    /// routing and the other workers keep evaluating: on a durable duty
+    /// cycle this overlap is where the fleet beats an in-process monitor
+    /// that must pay every fsync inline.
+    fn checkpoint_async(&mut self, batch: u64) -> Result<(), DistribError> {
+        let every = self.config.checkpoint_every;
+        let fleet = self.workers.len() as u64;
+        for w in 0..self.workers.len() {
+            // Stagger each worker's cadence by `w/W` of the interval: every
+            // worker still checkpoints once per `checkpoint_every` batches
+            // (the same recovery-point objective a broadcast gives), but the
+            // fsyncs spread across the interval instead of all contending
+            // for the disk at the same instant.
+            let phase = (w as u64 * every) / fleet % every;
+            if batch % every != phase {
+                continue;
+            }
+            if let Err(cause) = self.send_raw(w, &Message::Checkpoint) {
+                self.handle_death(w, cause)?;
+                // The replacement resumed from its last good checkpoint;
+                // take a fresh one synchronously so the cadence holds.
+                self.checkpoint_worker(w)?;
+                continue;
+            }
+            self.workers[w].ckpts_pending += 1;
+        }
+        Ok(())
+    }
 
     fn checkpoint_worker(&mut self, w: usize) -> Result<(), DistribError> {
         loop {
@@ -1022,37 +1386,7 @@ impl DistributedMonitor {
             }
             match self.recv(w, self.config.control_timeout) {
                 Received::Msg(Message::CheckpointDone { through_batch, imports }) => {
-                    self.stats.checkpoints += 1;
-                    self.workers[w].ckpt_ordinal += 1;
-                    let ordinal = self.workers[w].ckpt_ordinal;
-                    if self.config.fault_plan.corrupts_checkpoint(w, ordinal) {
-                        self.corrupt_checkpoint_file(w);
-                    }
-                    // Read back what actually landed on disk before trusting
-                    // it. A checkpoint that cannot be decoded must not
-                    // advance coverage or prune the retained suffix: pruning
-                    // against an unreadable file is how *both* generations
-                    // end up undecodable with the replay data already gone.
-                    let readable = std::fs::read(self.workers[w].store.path())
-                        .ok()
-                        .is_some_and(|bytes| decode_checkpoint(&bytes).is_ok());
-                    if !readable {
-                        self.stats.checkpoint_warnings.push(format!(
-                            "worker {w}: checkpoint {ordinal} failed read-back validation at \
-                             `{}`; keeping previous coverage and full replay suffix",
-                            self.workers[w].store.path().display()
-                        ));
-                        return Ok(());
-                    }
-                    let slot = &mut self.workers[w];
-                    slot.prev_coverage = slot.coverage;
-                    slot.prev_imports = slot.imports_cov;
-                    slot.coverage = through_batch;
-                    slot.imports_cov = imports;
-                    let keep_batches_after = slot.prev_coverage;
-                    slot.retained.retain(|(id, _)| *id > keep_batches_after);
-                    let keep_imports_after = slot.prev_imports;
-                    slot.pending_imports.retain(|(ordinal, _)| *ordinal > keep_imports_after);
+                    self.complete_checkpoint(w, through_batch, imports)?;
                     return Ok(());
                 }
                 Received::Msg(other) => {
@@ -1065,6 +1399,80 @@ impl DistributedMonitor {
                 Received::TimedOut => self.handle_death(w, "checkpoint timed out".to_owned())?,
             }
         }
+    }
+
+    /// Bookkeeping after a worker reported [`Message::CheckpointDone`]:
+    /// outrun detection, fault injection, read-back validation, coverage
+    /// advance, and pruning of the retained suffix and pending imports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restart failures from the outrun-recovery path.
+    fn complete_checkpoint(
+        &mut self,
+        w: usize,
+        through_batch: u64,
+        imports: u64,
+    ) -> Result<(), DistribError> {
+        // The durability invariant: a checkpoint's coverage must never
+        // outrun the merged stream, or a later resume would skip replaying
+        // batches whose alerts were never delivered. The worker writes its
+        // `AckThrough` for every covered part before the `CheckpointDone`
+        // on the same pipe, and this supervisor processes that pipe in
+        // order — so coverage can only outrun the merge when an ack was
+        // *swallowed*. Recover exactly as an ack timeout would, but
+        // immediately: demote the outrun file (the previous generation is
+        // consistent with the retained suffix) and restart the lane, which
+        // replays — and therefore re-acks — everything unmerged.
+        if through_batch > self.workers[w].merged_through {
+            self.stats.checkpoint_warnings.push(format!(
+                "worker {w}: checkpoint covering batch {through_batch} outran the merged stream \
+                 (acked through {}); demoting it and replaying the unacked suffix",
+                self.workers[w].merged_through
+            ));
+            let _ = std::fs::remove_file(self.workers[w].store.path());
+            self.handle_death(
+                w,
+                format!(
+                    "no ack for batches {}..={through_batch} although a checkpoint covers them \
+                     (ack frame lost)",
+                    self.workers[w].merged_through + 1
+                ),
+            )?;
+            return Ok(());
+        }
+        self.stats.checkpoints += 1;
+        self.workers[w].ckpt_ordinal += 1;
+        let ordinal = self.workers[w].ckpt_ordinal;
+        if self.config.fault_plan.corrupts_checkpoint(w, ordinal) {
+            self.corrupt_checkpoint_file(w);
+        }
+        // Read back what actually landed on disk before trusting it. A
+        // checkpoint that cannot be decoded must not advance coverage or
+        // prune the retained suffix: pruning against an unreadable file is
+        // how *both* generations end up undecodable with the replay data
+        // already gone.
+        let readable = std::fs::read(self.workers[w].store.path())
+            .ok()
+            .is_some_and(|bytes| decode_checkpoint(&bytes).is_ok());
+        if !readable {
+            self.stats.checkpoint_warnings.push(format!(
+                "worker {w}: checkpoint {ordinal} failed read-back validation at `{}`; keeping \
+                 previous coverage and full replay suffix",
+                self.workers[w].store.path().display()
+            ));
+            return Ok(());
+        }
+        let slot = &mut self.workers[w];
+        slot.prev_coverage = slot.coverage;
+        slot.prev_imports = slot.imports_cov;
+        slot.coverage = through_batch;
+        slot.imports_cov = imports;
+        let keep_batches_after = slot.prev_coverage;
+        slot.retained.retain(|(id, _)| *id > keep_batches_after);
+        let keep_imports_after = slot.prev_imports;
+        slot.pending_imports.retain(|(ordinal, _)| *ordinal > keep_imports_after);
+        Ok(())
     }
 
     /// The supervisor half of [`Fault::CorruptCheckpoint`](crate::fault::Fault):
@@ -1087,8 +1495,11 @@ impl Drop for DistributedMonitor {
     fn drop(&mut self) {
         for slot in &mut self.workers {
             if let Some(mut proc) = slot.proc.take() {
-                drop(proc.stdin);
+                drop(proc.writer_tx.take());
                 let _ = proc.child.kill();
+                if let Some(writer) = proc.writer.take() {
+                    let _ = writer.join();
+                }
                 let _ = proc.child.wait();
             }
         }

@@ -25,6 +25,28 @@
 //!   super-batch) rides with every event so the merged alert stream can be
 //!   re-sorted into exactly the order the in-process
 //!   [`IndexedMonitor`](privacy_runtime::IndexedMonitor) would emit.
+//!
+//! # Protocol versions
+//!
+//! Version 2 (current) adds the coalesced data plane:
+//!
+//! * [`IngestBatch`](Message::IngestBatch) carries **many** sub-batches in
+//!   one frame — one length, one checksum, one pipe write — instead of a
+//!   frame per sub-batch. It piggybacks the supervisor's acknowledged
+//!   high-water mark so the worker can prune its retained alert buffer
+//!   without any extra control frame.
+//! * [`AckThrough`](Message::AckThrough) acknowledges **cumulatively**: one
+//!   ack covers every sub-batch up to `through`, carrying the retained
+//!   alerts of all batches the supervisor has not yet confirmed. A single
+//!   lost ack therefore self-heals on the next one instead of forcing a
+//!   restart.
+//!
+//! Version 1 frames are still decoded (a v1 peer's `Ingest`/`Ack` traffic
+//! remains readable), but the v2-only tags are rejected with a typed
+//! [`CodecError::Malformed`] when they arrive in a v1 frame, and frames of
+//! any *other* version are rejected with
+//! [`CodecError::UnsupportedVersion`] — a v1↔v2 mismatch can never be
+//! silently misparsed.
 
 use privacy_interchange::binary::{CodecError, Decoder, Encoder};
 use privacy_lts::ActionKind;
@@ -36,12 +58,17 @@ use privacy_runtime::{Alert, Event};
 
 /// Artefact kind of every supervisor ⇄ worker message frame.
 pub const MESSAGE_KIND: [u8; 4] = *b"PDMG";
-/// Current message protocol version.
-pub const MESSAGE_VERSION: u32 = 1;
+/// Current message protocol version (coalesced frames, cumulative acks).
+pub const MESSAGE_VERSION: u32 = 2;
+/// The previous protocol version, still accepted on decode.
+pub const MESSAGE_VERSION_V1: u32 = 1;
 /// Artefact kind of the worker checkpoint file.
 pub const CHECKPOINT_KIND: [u8; 4] = *b"PDCP";
-/// Current checkpoint file version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint file version. Version 2 adopted the word-folded frame
+/// checksum (and carries version-2 snapshots); a version-1 file left on disk
+/// by an older build is rejected as unsupported, which the loader reports as
+/// a skipped generation rather than resuming from it.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One protocol message, in either direction.
 ///
@@ -88,12 +115,26 @@ pub enum Message {
         /// The profile to track.
         profile: UserProfile,
     },
-    /// One sub-batch of a super-batch, in stream order.
+    /// One sub-batch of a super-batch, in stream order (v1 data plane; v2
+    /// peers still accept it, one batch per frame).
     Ingest {
         /// Super-batch id (1-based, strictly increasing).
         batch: u64,
         /// Events with their positions within the super-batch.
         events: Vec<(u32, Event)>,
+    },
+    /// Several sub-batches coalesced into one frame (v2 data plane): one
+    /// length, one checksum, one pipe write for many batches. The worker
+    /// processes the parts in order and replies with a single cumulative
+    /// [`AckThrough`](Message::AckThrough).
+    IngestBatch {
+        /// The supervisor's acknowledged high-water mark for this worker:
+        /// every batch id `<= acked_through` has been received and merged,
+        /// so the worker may prune retained alerts up to it.
+        acked_through: u64,
+        /// `(super-batch id, events)` in stream order; ids are strictly
+        /// increasing within a frame.
+        parts: Vec<(u64, Vec<(u32, Event)>)>,
     },
     /// Asks the worker to checkpoint its state atomically.
     Checkpoint,
@@ -118,13 +159,26 @@ pub enum Message {
         resumed_users: u64,
     },
     /// Acknowledges one ingest: the batch is durable in worker memory and
-    /// these are the alerts it raised.
+    /// these are the alerts it raised (v1 data plane).
     Ack {
         /// The super-batch id being acknowledged.
         batch: u64,
         /// Alerts raised by this sub-batch, tagged with the super-batch
         /// positions of the events that raised them.
         alerts: Vec<(u32, Alert)>,
+    },
+    /// Cumulative acknowledgement (v2 data plane): every sub-batch with id
+    /// `<= through` has been processed. Carries the worker's whole retained
+    /// alert buffer — every alert the supervisor has not yet confirmed via
+    /// [`IngestBatch::acked_through`](Message::IngestBatch) — so a lost ack
+    /// self-heals: the next `AckThrough` re-carries the dropped alerts and
+    /// the supervisor deduplicates by batch id.
+    AckThrough {
+        /// The highest sub-batch id processed so far.
+        through: u64,
+        /// Retained alerts as `(super-batch id, position, alert)`, in raise
+        /// order within each batch.
+        alerts: Vec<(u64, u32, Alert)>,
     },
     /// Worker response to [`Checkpoint`](Message::Checkpoint).
     CheckpointDone {
@@ -160,12 +214,14 @@ const TAG_CHECKPOINT: u8 = 4;
 const TAG_EXPORT_SHARDS: u8 = 5;
 const TAG_IMPORT_SHARDS: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_INGEST_BATCH: u8 = 8; // v2-only
 const TAG_READY: u8 = 16;
 const TAG_ACK: u8 = 17;
 const TAG_CHECKPOINT_DONE: u8 = 18;
 const TAG_SHARD_EXPORT: u8 = 19;
 const TAG_IMPORTED: u8 = 20;
 const TAG_FATAL: u8 = 21;
+const TAG_ACK_THROUGH: u8 = 22; // v2-only
 
 fn put_u32_list(encoder: &mut Encoder, values: &[u32]) {
     encoder.u32(values.len() as u32);
@@ -297,11 +353,22 @@ fn get_alert(decoder: &mut Decoder<'_>) -> Result<Alert, CodecError> {
 }
 
 impl Message {
-    /// Seals the message into one wire frame, ready for
-    /// [`write_frame`](privacy_interchange::write_frame).
+    /// Seals the message into one wire frame at the current protocol
+    /// version, ready for [`write_frame`](privacy_interchange::write_frame).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut encoder = Encoder::new(MESSAGE_KIND, MESSAGE_VERSION);
+        self.encode_at(MESSAGE_VERSION)
+    }
+
+    /// Seals the message into a frame stamped with an explicit protocol
+    /// `version` — the compatibility seam: v1 frames written by an old peer
+    /// are reproduced by `encode_at(MESSAGE_VERSION_V1)` in tests, and a
+    /// v2-only message encoded at v1 yields exactly the mismatched frame a
+    /// v1↔v2 deployment skew would produce (which [`Message::decode`]
+    /// rejects with a typed error).
+    #[must_use]
+    pub fn encode_at(&self, version: u32) -> Vec<u8> {
+        let mut encoder = Encoder::new(MESSAGE_KIND, version);
         match self {
             Message::Init {
                 worker_index,
@@ -342,6 +409,19 @@ impl Message {
                     put_event(&mut encoder, event);
                 }
             }
+            Message::IngestBatch { acked_through, parts } => {
+                encoder.u8(TAG_INGEST_BATCH);
+                encoder.u64(*acked_through);
+                encoder.u32(parts.len() as u32);
+                for (batch, events) in parts {
+                    encoder.u64(*batch);
+                    encoder.u32(events.len() as u32);
+                    for (position, event) in events {
+                        encoder.u32(*position);
+                        put_event(&mut encoder, event);
+                    }
+                }
+            }
             Message::Checkpoint => encoder.u8(TAG_CHECKPOINT),
             Message::ExportShards { shards } => {
                 encoder.u8(TAG_EXPORT_SHARDS);
@@ -362,6 +442,16 @@ impl Message {
                 encoder.u64(*batch);
                 encoder.u32(alerts.len() as u32);
                 for (position, alert) in alerts {
+                    encoder.u32(*position);
+                    put_alert(&mut encoder, alert);
+                }
+            }
+            Message::AckThrough { through, alerts } => {
+                encoder.u8(TAG_ACK_THROUGH);
+                encoder.u64(*through);
+                encoder.u32(alerts.len() as u32);
+                for (batch, position, alert) in alerts {
+                    encoder.u64(*batch);
                     encoder.u32(*position);
                     put_alert(&mut encoder, alert);
                 }
@@ -388,16 +478,35 @@ impl Message {
         encoder.finish()
     }
 
-    /// Opens and decodes one wire frame.
+    /// Opens and decodes one wire frame, accepting the current protocol
+    /// version and [`MESSAGE_VERSION_V1`].
     ///
     /// # Errors
     ///
-    /// Returns the typed [`CodecError`] for a frame of the wrong kind or
-    /// version, corruption anywhere, an unknown message tag, or any field
-    /// that decodes to an impossible value.
+    /// Returns the typed [`CodecError`] for a frame of the wrong kind,
+    /// a version that is neither 1 nor 2, corruption anywhere, an unknown
+    /// message tag, a v2-only tag inside a v1 frame, or any field that
+    /// decodes to an impossible value.
     pub fn decode(frame: &[u8]) -> Result<Message, CodecError> {
-        let mut decoder = Decoder::new(frame, MESSAGE_KIND, MESSAGE_VERSION)?;
+        let (mut decoder, version) = match Decoder::new(frame, MESSAGE_KIND, MESSAGE_VERSION) {
+            Ok(decoder) => (decoder, MESSAGE_VERSION),
+            Err(CodecError::UnsupportedVersion { found, .. }) if found == MESSAGE_VERSION_V1 => {
+                (Decoder::new(frame, MESSAGE_KIND, MESSAGE_VERSION_V1)?, MESSAGE_VERSION_V1)
+            }
+            Err(error) => return Err(error),
+        };
         let tag = decoder.u8()?;
+        if version < MESSAGE_VERSION && matches!(tag, TAG_INGEST_BATCH | TAG_ACK_THROUGH) {
+            // A v1 peer can never have *sent* these; a v1-stamped frame
+            // carrying them is a version-skewed (or corrupted) sender.
+            return Err(CodecError::Malformed {
+                what: "message tag",
+                detail: format!(
+                    "message tag {tag} (coalesced data plane) requires protocol version \
+                     {MESSAGE_VERSION}, but the frame is version {version}"
+                ),
+            });
+        }
         let message = match tag {
             TAG_INIT => {
                 let worker_index = decoder.u32()?;
@@ -430,6 +539,22 @@ impl Message {
                 }
                 Message::Ingest { batch, events }
             }
+            TAG_INGEST_BATCH => {
+                let acked_through = decoder.u64()?;
+                let part_count = decoder.u32()? as usize;
+                let mut parts = Vec::with_capacity(part_count.min(4096));
+                for _ in 0..part_count {
+                    let batch = decoder.u64()?;
+                    let count = decoder.u32()? as usize;
+                    let mut events = Vec::with_capacity(count.min(65_536));
+                    for _ in 0..count {
+                        let position = decoder.u32()?;
+                        events.push((position, get_event(&mut decoder)?));
+                    }
+                    parts.push((batch, events));
+                }
+                Message::IngestBatch { acked_through, parts }
+            }
             TAG_CHECKPOINT => Message::Checkpoint,
             TAG_EXPORT_SHARDS => Message::ExportShards { shards: get_u32_list(&mut decoder)? },
             TAG_IMPORT_SHARDS => Message::ImportShards { snapshot: decoder.bytes()? },
@@ -446,6 +571,17 @@ impl Message {
                     alerts.push((position, get_alert(&mut decoder)?));
                 }
                 Message::Ack { batch, alerts }
+            }
+            TAG_ACK_THROUGH => {
+                let through = decoder.u64()?;
+                let count = decoder.u32()? as usize;
+                let mut alerts = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    let batch = decoder.u64()?;
+                    let position = decoder.u32()?;
+                    alerts.push((batch, position, get_alert(&mut decoder)?));
+                }
+                Message::AckThrough { through, alerts }
             }
             TAG_CHECKPOINT_DONE => {
                 Message::CheckpointDone { through_batch: decoder.u64()?, imports: decoder.u64()? }
@@ -584,12 +720,31 @@ mod tests {
                 batch: 9,
                 events: (0..5).map(|i| sample_event(100 + i, i as u32 * 2)).collect(),
             },
+            Message::IngestBatch {
+                acked_through: 7,
+                parts: vec![
+                    (8, (0..3).map(|i| sample_event(200 + i, i as u32)).collect()),
+                    (9, Vec::new()),
+                    (10, (0..2).map(|i| sample_event(300 + i, 5 + i as u32)).collect()),
+                ],
+            },
+            Message::IngestBatch { acked_through: 0, parts: Vec::new() },
             Message::Checkpoint,
             Message::ExportShards { shards: vec![7, 8] },
             Message::ImportShards { snapshot: vec![9; 64] },
             Message::Shutdown,
             Message::Ready { fingerprint: 42, resumed_users: 7 },
             Message::Ack { batch: 9, alerts: (0..3).map(sample_alert).collect() },
+            Message::AckThrough {
+                through: 10,
+                alerts: (0..3)
+                    .map(|i| {
+                        let (position, alert) = sample_alert(i);
+                        (8 + i, position, alert)
+                    })
+                    .collect(),
+            },
+            Message::AckThrough { through: 0, alerts: Vec::new() },
             Message::CheckpointDone { through_batch: 9, imports: 1 },
             Message::ShardExport { snapshot: vec![1; 10] },
             Message::Imported { users: 4 },
@@ -600,6 +755,50 @@ mod tests {
             let decoded = Message::decode(&frame).expect("frame decodes");
             assert_eq!(decoded, message);
         }
+    }
+
+    #[test]
+    fn version_1_frames_still_decode() {
+        // Everything a v1 peer can say must remain readable after the bump.
+        let legacy = vec![
+            Message::Register { profile: sample_profile() },
+            Message::Ingest { batch: 3, events: vec![sample_event(7, 0)] },
+            Message::Checkpoint,
+            Message::Shutdown,
+            Message::Ready { fingerprint: 42, resumed_users: 7 },
+            Message::Ack { batch: 3, alerts: vec![sample_alert(1)] },
+            Message::CheckpointDone { through_batch: 3, imports: 0 },
+            Message::Fatal { code: 12, message: "pipe".to_owned() },
+        ];
+        for message in legacy {
+            let frame = message.encode_at(MESSAGE_VERSION_V1);
+            assert_eq!(Message::decode(&frame).expect("v1 frame decodes"), message);
+        }
+    }
+
+    #[test]
+    fn v2_only_tags_in_v1_frames_are_rejected_with_a_typed_error() {
+        for message in [
+            Message::IngestBatch { acked_through: 1, parts: vec![(2, vec![sample_event(9, 0)])] },
+            Message::AckThrough { through: 2, alerts: Vec::new() },
+        ] {
+            let skewed = message.encode_at(MESSAGE_VERSION_V1);
+            let error = Message::decode(&skewed).expect_err("v1 frame with v2 tag must refuse");
+            assert!(
+                matches!(&error, CodecError::Malformed { what: "message tag", .. }),
+                "expected a typed tag rejection, got {error:?}"
+            );
+            assert!(error.to_string().contains("requires protocol version"));
+        }
+    }
+
+    #[test]
+    fn unknown_future_versions_are_typed_unsupported() {
+        let frame = Message::Checkpoint.encode_at(MESSAGE_VERSION + 1);
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(CodecError::UnsupportedVersion { found, .. }) if found == MESSAGE_VERSION + 1
+        ));
     }
 
     #[test]

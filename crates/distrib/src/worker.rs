@@ -8,24 +8,35 @@
 //!    supervisor's (a mismatch is a terminal, typed death: restarting cannot
 //!    help), and resume from the carried snapshot if there is one, keeping
 //!    only the owned shards.
-//! 2. [`Ingest`](Message::Ingest) — feed each event through the monitor in
-//!    stream order, tagging every raised alert with the event's position in
-//!    the super-batch, and ack the batch with those alerts. Events for users
-//!    the worker does not track are ignored, exactly as the in-process
-//!    `IndexedMonitor` ignores
+//! 2. [`IngestBatch`](Message::IngestBatch) — the v2 coalesced data plane:
+//!    many super-batch parts in one frame, answered with a single cumulative
+//!    [`AckThrough`](Message::AckThrough) that carries *every* alert the
+//!    supervisor has not yet confirmed (the frame's piggybacked
+//!    `acked_through` prunes that retained buffer). Because the reply repeats
+//!    unconfirmed alerts, a single swallowed ack self-heals on the next
+//!    frame instead of forcing a restart. The v1 per-batch
+//!    [`Ingest`](Message::Ingest)/[`Ack`](Message::Ack) pair is still served
+//!    for old supervisors. Events for users the worker does not track are
+//!    ignored, exactly as the in-process `IndexedMonitor` ignores
 //!    unregistered users — this also makes replayed pre-handoff batches
 //!    harmless after a shard has moved away.
-//! 3. [`Checkpoint`](Message::Checkpoint) — write the monitor snapshot plus
-//!    bookkeeping (covered super-batch, absorbed-import count) atomically
-//!    through the [`CheckpointStore`].
+//! 3. [`Checkpoint`](Message::Checkpoint) — encode the monitor snapshot plus
+//!    bookkeeping (covered super-batch, absorbed-import count) **inline**, at
+//!    the exact point in stream order the supervisor requested, then hand the
+//!    bytes to a dedicated checkpoint thread that writes them atomically
+//!    through the [`CheckpointStore`] and sends
+//!    [`CheckpointDone`](Message::CheckpointDone) once the fsync lands. The
+//!    ingest loop keeps evaluating the next coalesced frames while the disk
+//!    works — on a durable duty cycle this is what lets a worker fleet hide
+//!    checkpoint latency that an in-process monitor must pay inline.
 //! 4. [`ExportShards`](Message::ExportShards) /
 //!    [`ImportShards`](Message::ImportShards) — the two halves of a live
 //!    shard handoff.
 //!
 //! The injected faults ([`WorkerFaults`], armed via `--fault` arguments) are
 //! deliberately crude: `process::exit` mid-batch, a sleep before an ack, a
-//! swallowed ack. Crude is the point — they model the failure, not a polite
-//! simulation of it.
+//! swallowed ack, a sleep after every event. Crude is the point — they model
+//! the failure, not a polite simulation of it.
 
 use crate::checkpoint::CheckpointStore;
 use crate::exit;
@@ -36,7 +47,8 @@ use privacy_lts::LtsIndex;
 use privacy_runtime::{Alert, IndexedMonitor, MonitorSnapshot};
 use std::fmt;
 use std::io::{Read, Write};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 
 /// A typed worker failure, mapped onto the [`crate::exit`] taxonomy.
 #[derive(Debug)]
@@ -75,14 +87,32 @@ impl fmt::Display for WorkerFailure {
 
 impl std::error::Error for WorkerFailure {}
 
+/// In-flight checkpoint writes the ingest loop may run ahead of before it
+/// blocks — bounded, so a slow disk exerts backpressure on the whole lane
+/// instead of piling encoded snapshots up in worker memory.
+const CHECKPOINT_QUEUE: usize = 2;
+
+/// One encoded checkpoint handed from the ingest loop to the checkpoint
+/// thread. The snapshot is taken (and encoded) inline at the requested point
+/// in stream order; only the write + fsync happens off-thread.
+struct CheckpointJob {
+    file: Vec<u8>,
+    through_batch: u64,
+    imports: u64,
+}
+
 struct WorkerState {
     monitor: IndexedMonitor,
-    store: Option<CheckpointStore>,
     worker_index: u32,
     through_batch: u64,
     imports_absorbed: u64,
     events_seen: u64,
     ingests_seen: u64,
+    /// Alerts raised by batches the supervisor has not yet confirmed via a
+    /// piggybacked `acked_through`. Every [`Message::AckThrough`] repeats
+    /// this whole buffer, so a lost reply is repaired by the next one.
+    /// Bounded by the supervisor's send window.
+    pending_alerts: Vec<(u64, u32, Alert)>,
     faults: WorkerFaults,
 }
 
@@ -103,12 +133,47 @@ fn next_message(input: &mut impl Read) -> Result<Option<Message>, WorkerFailure>
     }
 }
 
-fn send(output: &mut impl Write, message: &Message) -> Result<(), WorkerFailure> {
-    // `write_frame` flushes, so a reply never sits in a stdout buffer while
-    // the worker blocks on its next command (which would deadlock the
-    // supervisor waiting for exactly that reply).
-    write_frame(output, &message.encode())
+/// Writes one reply frame through the shared output. The mutex is held only
+/// for the frame write, so the ingest loop and the checkpoint thread
+/// interleave whole frames, never bytes. `write_frame` flushes, so a reply
+/// never sits in a stdout buffer while the worker blocks on its next command
+/// (which would deadlock the supervisor waiting for exactly that reply).
+fn send<O: Write>(output: &Mutex<&mut O>, message: &Message) -> Result<(), WorkerFailure> {
+    let mut out = output.lock().expect("reply pipe mutex poisoned");
+    write_frame(&mut **out, &message.encode())
         .map_err(|error| WorkerFailure::Io(format!("writing reply pipe: {error}")))
+}
+
+/// The checkpoint thread: drains [`CheckpointJob`]s in order (generations on
+/// disk stay ordered), fsyncs each through the [`CheckpointStore`], and only
+/// then sends [`Message::CheckpointDone`] — the supervisor's coverage never
+/// advances past bytes that are not actually durable. A write failure is
+/// reported as a best-effort [`Message::Fatal`] and parked in `failed` for
+/// the ingest loop to surface as the worker's exit.
+fn checkpoint_thread<O: Write>(
+    store: &CheckpointStore,
+    jobs: Receiver<CheckpointJob>,
+    output: &Mutex<&mut O>,
+    failed: &Mutex<Option<WorkerFailure>>,
+) {
+    for job in jobs {
+        if let Err(error) = store.write(&job.file) {
+            let failure = WorkerFailure::Io(format!(
+                "checkpoint write to `{}` failed: {error}",
+                store.path().display()
+            ));
+            let fatal =
+                Message::Fatal { code: failure.exit_code() as u32, message: failure.to_string() };
+            let _ = send(output, &fatal);
+            *failed.lock().expect("checkpoint failure mutex poisoned") = Some(failure);
+            return;
+        }
+        let done =
+            Message::CheckpointDone { through_batch: job.through_batch, imports: job.imports };
+        if send(output, &done).is_err() {
+            return; // the supervisor is gone; the ingest loop will see EOF
+        }
+    }
 }
 
 /// Runs the worker protocol over the given pipes until the supervisor sends
@@ -124,7 +189,7 @@ fn send(output: &mut impl Write, message: &Message) -> Result<(), WorkerFailure>
 /// code via [`WorkerFailure::exit_code`].
 pub fn run_worker(
     input: &mut impl Read,
-    output: &mut impl Write,
+    output: &mut (impl Write + Send),
     faults: WorkerFaults,
 ) -> Result<(), WorkerFailure> {
     match serve(input, output, faults) {
@@ -140,7 +205,7 @@ pub fn run_worker(
 
 fn serve(
     input: &mut impl Read,
-    output: &mut impl Write,
+    output: &mut (impl Write + Send),
     faults: WorkerFaults,
 ) -> Result<(), WorkerFailure> {
     let Some(first) = next_message(input)? else {
@@ -196,16 +261,49 @@ fn serve(
 
     let mut state = WorkerState {
         monitor,
-        store: checkpoint_path.map(CheckpointStore::new),
         worker_index,
         through_batch: resume_through_batch,
         imports_absorbed: resume_imports,
         events_seen: 0,
         ingests_seen: 0,
+        pending_alerts: Vec::new(),
         faults,
     };
-    send(output, &Message::Ready { fingerprint, resumed_users })?;
+    let store = checkpoint_path.map(CheckpointStore::new);
+    let output = Mutex::new(output);
+    let ckpt_failure: Mutex<Option<WorkerFailure>> = Mutex::new(None);
 
+    std::thread::scope(|scope| {
+        send(&output, &Message::Ready { fingerprint, resumed_users })?;
+        let mut ckpt_tx = None;
+        let mut ckpt_thread = None;
+        if let Some(store) = &store {
+            let (tx, rx) = std::sync::mpsc::sync_channel(CHECKPOINT_QUEUE);
+            let (out, failed) = (&output, &ckpt_failure);
+            ckpt_thread = Some(scope.spawn(move || checkpoint_thread(store, rx, out, failed)));
+            ckpt_tx = Some(tx);
+        }
+        // `serve_loop` consumes the sender, so the checkpoint thread sees a
+        // closed channel — and drains its queue — as soon as the loop ends.
+        let result = serve_loop(input, &output, ckpt_tx, &mut state);
+        if let Some(thread) = ckpt_thread {
+            let _ = thread.join();
+        }
+        if result.is_ok() {
+            if let Some(failure) = ckpt_failure.lock().expect("failure mutex").take() {
+                return Err(failure);
+            }
+        }
+        result
+    })
+}
+
+fn serve_loop<O: Write + Send>(
+    input: &mut impl Read,
+    output: &Mutex<&mut O>,
+    ckpt_tx: Option<SyncSender<CheckpointJob>>,
+    state: &mut WorkerState,
+) -> Result<(), WorkerFailure> {
     while let Some(message) = next_message(input)? {
         match message {
             Message::Register { profile } => {
@@ -215,8 +313,11 @@ fn serve(
                     state.monitor.register_user(&profile);
                 }
             }
-            Message::Ingest { batch, events } => handle_ingest(&mut state, output, batch, events)?,
-            Message::Checkpoint => handle_checkpoint(&mut state, output)?,
+            Message::Ingest { batch, events } => handle_ingest(state, output, batch, events)?,
+            Message::IngestBatch { acked_through, parts } => {
+                handle_ingest_batch(state, output, acked_through, parts)?;
+            }
+            Message::Checkpoint => handle_checkpoint(state, output, ckpt_tx.as_ref())?,
             Message::ExportShards { shards } => {
                 let exported = state.monitor.snapshot().extract_shards(&shards);
                 for &shard in &shards {
@@ -246,18 +347,25 @@ fn serve(
     Ok(())
 }
 
-fn handle_ingest(
+/// Processes the events of one super-batch part, with the injected faults
+/// fired at **event granularity** — a kill or per-event sleep lands on the
+/// same event whether the part arrived alone (v1 `Ingest`) or coalesced
+/// into a v2 `IngestBatch` frame. Returns `true` when this part's ack (for
+/// v2: the whole frame's ack) must be swallowed by an armed `drop-ack`.
+fn ingest_part(
     state: &mut WorkerState,
-    output: &mut impl Write,
     batch: u64,
-    events: Vec<(u32, privacy_runtime::Event)>,
-) -> Result<(), WorkerFailure> {
-    let mut alerts: Vec<(u32, Alert)> = Vec::new();
-    for (position, event) in &events {
+    events: &[(u32, privacy_runtime::Event)],
+    alerts: &mut Vec<(u32, Alert)>,
+) -> bool {
+    for (position, event) in events {
         for alert in state.monitor.observe(event) {
             alerts.push((*position, alert));
         }
         state.events_seen += 1;
+        if let Some(millis) = state.faults.sleep_per_event {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
         if let Some(threshold) = state.faults.kill_after_events {
             if state.events_seen >= threshold {
                 // An injected crash: no ack, no cleanup, mid-batch.
@@ -276,38 +384,83 @@ fn handle_ingest(
             state.faults.stall_before_ack = None;
         }
     }
-    if state.faults.drop_ack == Some(state.ingests_seen) {
+    state.faults.drop_ack == Some(state.ingests_seen)
+}
+
+fn handle_ingest<O: Write>(
+    state: &mut WorkerState,
+    output: &Mutex<&mut O>,
+    batch: u64,
+    events: Vec<(u32, privacy_runtime::Event)>,
+) -> Result<(), WorkerFailure> {
+    let mut alerts: Vec<(u32, Alert)> = Vec::new();
+    if ingest_part(state, batch, &events, &mut alerts) {
         return Ok(()); // injected lost ack: the batch was processed silently
     }
     send(output, &Message::Ack { batch, alerts })
 }
 
-fn handle_checkpoint(
+fn handle_ingest_batch<O: Write>(
     state: &mut WorkerState,
-    output: &mut impl Write,
+    output: &Mutex<&mut O>,
+    acked_through: u64,
+    parts: Vec<(u64, Vec<(u32, privacy_runtime::Event)>)>,
 ) -> Result<(), WorkerFailure> {
-    if let Some(store) = &state.store {
-        let snapshot = state.monitor.snapshot().to_bytes();
-        let file = encode_checkpoint(
-            state.worker_index,
-            state.through_batch,
-            state.imports_absorbed,
-            &snapshot,
-        );
-        store.write(&file).map_err(|error| {
-            WorkerFailure::Io(format!(
-                "checkpoint write to `{}` failed: {error}",
-                store.path().display()
-            ))
-        })?;
+    // The supervisor has confirmed everything through `acked_through`; those
+    // alerts will never need re-sending.
+    state.pending_alerts.retain(|(batch, _, _)| *batch > acked_through);
+    let mut dropped = false;
+    for (batch, events) in &parts {
+        let mut alerts: Vec<(u32, Alert)> = Vec::new();
+        // A drop-ack ordinal landing on *any* coalesced part swallows the
+        // frame's single reply — the whole frame goes unacknowledged, which
+        // is exactly what a lost reply frame looks like on the wire.
+        dropped |= ingest_part(state, *batch, events, &mut alerts);
+        state
+            .pending_alerts
+            .extend(alerts.into_iter().map(|(position, alert)| (*batch, position, alert)));
+    }
+    if dropped {
+        return Ok(());
     }
     send(
         output,
-        &Message::CheckpointDone {
-            through_batch: state.through_batch,
-            imports: state.imports_absorbed,
-        },
+        &Message::AckThrough { through: state.through_batch, alerts: state.pending_alerts.clone() },
     )
+}
+
+fn handle_checkpoint<O: Write>(
+    state: &mut WorkerState,
+    output: &Mutex<&mut O>,
+    ckpt_tx: Option<&SyncSender<CheckpointJob>>,
+) -> Result<(), WorkerFailure> {
+    let Some(tx) = ckpt_tx else {
+        // No store configured: durability is a no-op, reply immediately.
+        return send(
+            output,
+            &Message::CheckpointDone {
+                through_batch: state.through_batch,
+                imports: state.imports_absorbed,
+            },
+        );
+    };
+    // The snapshot is taken and encoded here, at the exact point in stream
+    // order the supervisor asked for; only the write + fsync is off-thread.
+    // The checkpoint thread sends the `CheckpointDone` once the file is
+    // durable, while this loop moves on to the next coalesced frame.
+    let snapshot = state.monitor.snapshot().to_bytes();
+    let file = encode_checkpoint(
+        state.worker_index,
+        state.through_batch,
+        state.imports_absorbed,
+        &snapshot,
+    );
+    tx.send(CheckpointJob {
+        file,
+        through_batch: state.through_batch,
+        imports: state.imports_absorbed,
+    })
+    .map_err(|_| WorkerFailure::Io("checkpoint thread exited".to_owned()))
 }
 
 /// The `privacy-shardd` entry point: parses `--fault` switches, runs the
@@ -333,10 +486,10 @@ pub fn shardd_main(args: impl Iterator<Item = String>) -> i32 {
                     "privacy-shardd: shard-owning monitor worker; speaks framed messages on \
                      stdin/stdout.\nSpawned by the privacy-distrib supervisor — not meant to be \
                      run by hand.\n\nOptions:\n  --fault SPEC   arm an injected fault \
-                     (kill-after-events=N, stall-before-ack=N:MS,\n                 drop-ack=B); \
-                     test harness only\n  --help         this message\n\nExit codes: 0 ok, \
-                     2 usage, 11 snapshot/model mismatch, 12 i/o failure,\n13 protocol \
-                     violation, 101 injected fault."
+                     (kill-after-events=N, stall-before-ack=N:MS,\n                 drop-ack=B, \
+                     sleep-per-event=MS); test harness only\n  --help         this \
+                     message\n\nExit codes: 0 ok, 2 usage, 11 snapshot/model mismatch, 12 i/o \
+                     failure,\n13 protocol violation, 101 injected fault."
                 );
                 return exit::OK;
             }
@@ -347,9 +500,10 @@ pub fn shardd_main(args: impl Iterator<Item = String>) -> i32 {
         }
     }
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
     let mut input = std::io::BufReader::new(stdin.lock());
-    let mut output = stdout.lock();
+    // `Stdout` (unlike `StdoutLock`) is `Send`, which the checkpoint thread
+    // needs; per-frame locking already happens at the worker's reply mutex.
+    let mut output = std::io::stdout();
     match run_worker(&mut input, &mut output, faults) {
         Ok(()) => exit::OK,
         Err(failure) => {
@@ -447,6 +601,136 @@ mod tests {
         let Message::Ack { batch: 1, .. } = &replies[1] else {
             panic!("expected an ack, got {:?}", replies[1]);
         };
+    }
+
+    // Finds, by exhaustive probe against a scratch monitor, a
+    // (service, actor, field) combination whose first `Read` raises an alert
+    // for a fresh maximum-sensitivity user — the coalesced-path tests need
+    // events that *definitely* alert, and a repeat exposure never re-alerts,
+    // so each batch below uses the recipe with a distinct user.
+    fn alerting_recipe(
+        system: &privacy_core::PrivacySystem,
+    ) -> (privacy_model::ServiceId, privacy_model::ActorId, privacy_model::FieldId) {
+        let lts = system.generate_lts().unwrap();
+        let index = Arc::new(LtsIndex::build(&lts));
+        for service in system.catalog().services() {
+            for actor in system.catalog().identifying_actors() {
+                for field in system.catalog().fields() {
+                    let mut monitor = IndexedMonitor::new(
+                        system.catalog().clone(),
+                        system.policy().clone(),
+                        index.clone(),
+                    );
+                    let (profile, event) = recipe_user(
+                        "probe",
+                        0,
+                        &(service.id().clone(), actor.id().clone(), field.id().clone()),
+                    );
+                    monitor.register_user(&profile);
+                    if !monitor.observe(&event).is_empty() {
+                        return (service.id().clone(), actor.id().clone(), field.id().clone());
+                    }
+                }
+            }
+        }
+        panic!("tiny system has no alert-raising read at all");
+    }
+
+    fn recipe_user(
+        name: &str,
+        sequence: u64,
+        (service, actor, field): &(
+            privacy_model::ServiceId,
+            privacy_model::ActorId,
+            privacy_model::FieldId,
+        ),
+    ) -> (UserProfile, privacy_runtime::Event) {
+        let profile =
+            UserProfile::new(name).with_sensitivity(field.clone(), Sensitivity::new(1.0).unwrap());
+        let event = privacy_runtime::Event::new(
+            sequence,
+            name,
+            service.clone(),
+            actor.clone(),
+            ActionKind::Read,
+            [field.clone()],
+            None,
+            true,
+        );
+        (profile, event)
+    }
+
+    #[test]
+    fn coalesced_frames_ack_cumulatively_and_retain_unconfirmed_alerts() {
+        let (name, system) = tiny_system();
+        let recipe = alerting_recipe(&system);
+        let (ada, ada_read) = recipe_user("ada", 0, &recipe);
+        let (bob, bob_read) = recipe_user("bob", 1, &recipe);
+        let (eve, eve_read) = recipe_user("eve", 2, &recipe);
+        let replies = run_script(vec![
+            init_message(&name, &system),
+            Message::Register { profile: ada },
+            Message::Register { profile: bob },
+            Message::Register { profile: eve },
+            // Nothing confirmed yet: the reply must carry both parts' alerts…
+            Message::IngestBatch {
+                acked_through: 0,
+                parts: vec![(1, vec![(0, ada_read)]), (2, vec![(1, bob_read)])],
+            },
+            // …until a piggybacked acked_through prunes them.
+            Message::IngestBatch { acked_through: 2, parts: vec![(3, vec![(0, eve_read)])] },
+            Message::Shutdown,
+        ])
+        .expect("worker runs cleanly");
+        let Message::AckThrough { through: 2, alerts: first } = &replies[1] else {
+            panic!("expected AckThrough through 2, got {:?}", replies[1]);
+        };
+        assert!(first.iter().any(|(batch, _, _)| *batch == 1));
+        assert!(first.iter().any(|(batch, _, _)| *batch == 2));
+        let Message::AckThrough { through: 3, alerts: second } = &replies[2] else {
+            panic!("expected AckThrough through 3, got {:?}", replies[2]);
+        };
+        assert!(!second.is_empty(), "batch 3's alert must be present");
+        assert!(
+            second.iter().all(|(batch, _, _)| *batch == 3),
+            "confirmed batches must be pruned from the retained buffer: {second:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_ack_alerts_reappear_in_the_next_ack_through() {
+        let (name, system) = tiny_system();
+        let recipe = alerting_recipe(&system);
+        let (ada, ada_read) = recipe_user("ada", 0, &recipe);
+        let (bob, bob_read) = recipe_user("bob", 1, &recipe);
+        let mut input = Vec::new();
+        for message in [
+            init_message(&name, &system),
+            Message::Register { profile: ada },
+            Message::Register { profile: bob },
+            Message::IngestBatch { acked_through: 0, parts: vec![(1, vec![(0, ada_read)])] },
+            Message::IngestBatch { acked_through: 0, parts: vec![(2, vec![(0, bob_read)])] },
+            Message::Shutdown,
+        ] {
+            privacy_interchange::write_frame(&mut input, &message.encode()).unwrap();
+        }
+        let mut output = Vec::new();
+        let mut faults = WorkerFaults::default();
+        faults.parse_arg("drop-ack=1").unwrap();
+        run_worker(&mut &input[..], &mut output, faults).expect("worker runs cleanly");
+        let mut replies = Vec::new();
+        let mut reader = &output[..];
+        while let Some(frame) = read_frame(&mut reader).unwrap() {
+            replies.push(Message::decode(&frame).unwrap());
+        }
+        // Frame 1's ack was swallowed; frame 2's cumulative reply must carry
+        // batch 1's alerts anyway, because the supervisor never confirmed it.
+        assert_eq!(replies.len(), 2, "Ready plus exactly one AckThrough: {replies:?}");
+        let Message::AckThrough { through: 2, alerts } = &replies[1] else {
+            panic!("expected AckThrough through 2, got {:?}", replies[1]);
+        };
+        assert!(alerts.iter().any(|(batch, _, _)| *batch == 1));
+        assert!(alerts.iter().any(|(batch, _, _)| *batch == 2));
     }
 
     #[test]

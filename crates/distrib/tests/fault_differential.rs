@@ -13,8 +13,9 @@
 //! state, and live shard handoff is invisible downstream.
 
 use privacy_core::PrivacySystem;
+use privacy_distrib::wire::MESSAGE_VERSION_V1;
 use privacy_distrib::{
-    DistribError, DistribStats, DistributedMonitor, FaultPlan, SupervisorConfig,
+    exit, DistribError, DistribStats, DistributedMonitor, FaultPlan, Message, SupervisorConfig,
 };
 use privacy_lts::LtsIndex;
 use privacy_model::{FieldId, Record, ServiceId, UserProfile};
@@ -207,14 +208,166 @@ fn stalled_worker_is_reaped_restarted_and_matches() {
 fn dropped_ack_forces_replay_without_duplicate_alerts() {
     let fixture = fixture();
     let expected = reference_alerts(fixture, &fixture.batches);
-    // The worker processes its 2nd sub-batch fully but never acks it; after
-    // the timeout it is restarted and the batch is replayed. The merged
-    // stream must contain that batch's alerts exactly once.
+    // The worker processes its 2nd sub-batch fully but swallows the
+    // cumulative ack of the frame carrying it. A window of 1 makes the lane
+    // stop-and-wait: no later frame can reach the worker to carry a healing
+    // cumulative AckThrough, so the loss is terminal for this window — the
+    // timeout must reap the worker and the replacement must replay. The
+    // merged stream must contain that batch's alerts exactly once.
     let mut config = config("dropack", 2, FaultPlan::none().drop_ack(1, 0, 2));
+    config.ack_timeout = Duration::from_millis(400);
+    config.window = 1;
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert!(
+        stats.recoveries.iter().any(|r| r.worker == 1),
+        "the window-wide ack loss must force a replay: {:?} (warnings: {:?})",
+        stats.recoveries,
+        stats.checkpoint_warnings
+    );
+}
+
+#[test]
+fn dropped_mid_stream_ack_self_heals_without_restart() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // Same swallowed ack as above, but with one part per frame
+    // (max_frame_events 1) the loss is genuinely mid-stream: the next
+    // frame's cumulative AckThrough re-carries the dropped batch's alerts
+    // and advances `through` past it, so the supervisor catches up without
+    // ever arming the ack timeout. The restart path must stay cold.
+    let mut config = config("selfheal", 2, FaultPlan::none().drop_ack(1, 0, 2));
+    config.window = 8;
+    config.max_frame_events = 1;
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert!(
+        stats.recoveries.is_empty(),
+        "a mid-stream ack loss must self-heal via the next cumulative ack, not a restart: {:?}",
+        stats.recoveries
+    );
+}
+
+#[test]
+fn final_frame_ack_loss_recovers_via_the_ack_timeout() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // The very last part's ack is swallowed. No subsequent frame exists to
+    // piggyback a healing AckThrough on, so the loss surfaces either as an
+    // ack timeout at the final flush or — when a periodic checkpoint rides
+    // right behind the dropped frame — as the supervisor catching that
+    // checkpoint's coverage outrunning the merged stream. Both paths must
+    // end in a replacement worker replaying the unacked suffix, with the
+    // stream still matching.
+    let last = fixture.batches.len() as u64;
+    let mut config = config("dropfinal", 1, FaultPlan::none().drop_ack(0, 0, last));
     config.ack_timeout = Duration::from_millis(400);
     let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
     assert_eq!(alerts, expected);
-    assert!(stats.recoveries.iter().any(|r| r.worker == 1));
+    assert!(
+        stats.recoveries.iter().any(|r| r.worker == 0 && r.cause.contains("no ack")),
+        "a final-frame ack loss must surface as a missing ack: {:?}",
+        stats.recoveries
+    );
+}
+
+#[test]
+fn kill_and_stall_mid_multi_part_frame_recover_and_match() {
+    let fixture = fixture();
+    let expected = reference_alerts(fixture, &fixture.batches);
+    // Force genuinely multi-part frames: a wide window, no periodic
+    // checkpoint flushes and a long linger let the writer coalesce many
+    // sub-batches per frame. Worker 0 is killed mid-frame (event 40 lands
+    // inside a coalesced frame's part sequence) and worker 1 stalls before
+    // acking a mid-frame part — both must be reaped and replayed without
+    // disturbing the merged stream.
+    let plan = FaultPlan::none().kill_after(0, 0, 40).stall(1, 0, 30, 120_000);
+    let mut config = config("midframe", 2, plan);
+    config.window = 8;
+    config.checkpoint_every = 0;
+    config.linger = Duration::from_millis(50);
+    config.ack_timeout = Duration::from_millis(600);
+    let (alerts, stats) = distributed_alerts(fixture, &fixture.batches, config);
+    assert_eq!(alerts, expected);
+    assert!(
+        stats.recoveries.iter().any(|r| r.worker == 0),
+        "the mid-frame kill must be recovered: {:?}",
+        stats.recoveries
+    );
+    assert!(
+        stats.recoveries.iter().any(|r| r.worker == 1),
+        "the mid-frame stall must be recovered: {:?}",
+        stats.recoveries
+    );
+}
+
+#[test]
+fn large_legitimate_batches_do_not_trip_the_scaled_ack_timeout() {
+    let fixture = fixture();
+    let batches = &fixture.batches[..4];
+    let expected = reference_alerts(fixture, batches);
+    // A slow-but-healthy worker: 40ms per event makes one 16-event part
+    // take ~640ms, well past the 400ms base ack timeout. The per-event
+    // grace must scale the deadline with the in-flight event count so a
+    // large legitimate batch is waited out, never mistaken for a wedge.
+    let mut config = config("slowok", 1, FaultPlan::none().sleep_per_event(0, 0, 40));
+    config.ack_timeout = Duration::from_millis(400);
+    config.ack_grace_per_event = Duration::from_millis(50);
+    let (alerts, stats) = distributed_alerts(fixture, batches, config);
+    assert_eq!(alerts, expected);
+    assert!(
+        stats.recoveries.is_empty(),
+        "a slow legitimate batch must not trigger a restart: {:?}",
+        stats.recoveries
+    );
+}
+
+/// End-to-end protocol-skew rejection: a peer speaking the wrong wire
+/// version at a real `privacy-shardd` process gets a typed [`Message::Fatal`]
+/// and a [`exit::PROTOCOL_FATAL`] exit, not a misparse or a hang.
+#[test]
+fn protocol_version_skew_is_rejected_with_a_typed_fatal() {
+    use privacy_distrib::wire::MESSAGE_VERSION;
+    use privacy_interchange::{read_frame, write_frame};
+    use std::process::{Command, Stdio};
+
+    let event = fixture().batches[0][0].clone();
+    let cases: Vec<(Vec<u8>, &str)> = vec![
+        // A v2-only coalesced frame downgraded to a v1 envelope: the tag is
+        // meaningless at that version and must be named in the diagnostic.
+        (
+            Message::IngestBatch { acked_through: 0, parts: vec![(1, vec![(0, event)])] }
+                .encode_at(MESSAGE_VERSION_V1),
+            "requires protocol version",
+        ),
+        // A frame from the future: unsupported version, typed as such.
+        (Message::Checkpoint.encode_at(MESSAGE_VERSION + 1), "version"),
+    ];
+    for (frame, needle) in cases {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_privacy-shardd"))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("shardd spawns");
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        write_frame(&mut stdin, &frame).expect("skewed frame is written");
+        drop(stdin);
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let mut fatal = None;
+        while let Some(reply) = read_frame(&mut stdout).expect("replies frame cleanly") {
+            fatal = Some(Message::decode(&reply).expect("reply decodes at current version"));
+        }
+        match fatal {
+            Some(Message::Fatal { code, message }) => {
+                assert_eq!(code, exit::PROTOCOL_FATAL as u32, "wrong fatal code: {message}");
+                assert!(message.contains(needle), "diagnostic does not name the cause: {message}");
+            }
+            other => panic!("expected a Fatal reply, got {other:?}"),
+        }
+        let status = child.wait().expect("shardd exits");
+        assert_eq!(status.code(), Some(exit::PROTOCOL_FATAL));
+    }
 }
 
 #[test]

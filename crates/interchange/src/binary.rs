@@ -17,9 +17,9 @@
 //! * the explicit **version** lets readers reject formats they do not speak
 //!   with a typed error instead of misparsing them;
 //! * the **payload length** makes truncation detectable before any payload
-//!   read, and the trailing **FNV-1a checksum** (computed over everything
-//!   before it) makes corruption — bit flips anywhere in the frame —
-//!   detectable;
+//!   read, and the trailing **word-folded FNV-1a checksum** (computed over
+//!   everything before it) makes corruption — bit flips anywhere in the
+//!   frame — detectable;
 //! * every read returns a typed [`CodecError`]; no input, however mangled,
 //!   panics a decoder.
 //!
@@ -39,12 +39,28 @@ const HEADER_LEN: usize = 4 + 4 + 4 + 8;
 /// Trailing checksum width.
 const CHECKSUM_LEN: usize = 8;
 
-/// FNV-1a 64-bit over a byte slice — the frame checksum. Not cryptographic;
-/// it detects truncation remnants, bit flips and transposition, which is the
-/// threat model for state files on trusted storage.
+/// FNV-1a 64-bit folded over 8-byte words (tail bytes singly) — the frame
+/// checksum. Not cryptographic; it detects truncation remnants, bit flips
+/// and transposition, which is the threat model for state files on trusted
+/// storage.
+///
+/// Each step `h = (h ^ w) * prime` is a bijection of the running hash
+/// (xor with a constant and multiplication by an odd prime are both
+/// invertible mod 2⁶⁴), so any corruption confined to a single word — every
+/// single-bit flip in particular — provably changes the final checksum.
+/// Folding words instead of bytes keeps the serially dependent multiply
+/// chain an eighth of the length, which matters because every framed
+/// artefact — each wire message, snapshot, and checkpoint file — pays this
+/// hash at both ends; megabyte checkpoints were spending more time in the
+/// byte-at-a-time chain than in the fsync they guard.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in bytes {
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        hash ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &byte in words.remainder() {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }

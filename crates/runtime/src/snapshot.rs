@@ -48,8 +48,11 @@ pub const SNAPSHOT_KIND: [u8; 4] = *b"PMSN";
 
 /// The snapshot format version this build writes and reads. Bumped whenever
 /// the payload layout changes; older/newer frames are rejected with
-/// [`CodecError::UnsupportedVersion`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// [`CodecError::UnsupportedVersion`]. Version 2 switched the frame
+/// checksum to the word-folded FNV fold — the layout is unchanged, but
+/// bumping here lets a version-1 file surface as the stale artefact it is
+/// instead of a spurious checksum mismatch.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One registered user's persisted monitor state: the packed privacy-state
 /// words plus the registration-time resolved alert inputs, so resuming does

@@ -73,6 +73,33 @@ impl ModelGeneratorConfig {
         self.flows_per_service = flows_per_service;
         self
     }
+
+    /// A configuration whose **per-event evaluation cost** grows with
+    /// `weight` (≥ 1): more actors and fields mean more candidate
+    /// `(actor, field)` exposure pairs per monitored event, more flows mean
+    /// wider per-event field lists, and a generous grant probability keeps
+    /// the reader tables dense. Weight 1 is close to the default model;
+    /// each extra weight step adds actors and fields linearly, so the
+    /// pair-candidate work per event grows roughly quadratically while the
+    /// state space stays small enough for the LTS generator (workers
+    /// rebuild the LTS on every spawn).
+    ///
+    /// This is the knob the transport-crossover benchmark sweeps: it
+    /// changes how much computation one shipped event buys, without
+    /// changing the wire format or event count.
+    pub fn heavy_evaluation(weight: usize) -> Self {
+        let weight = weight.max(1);
+        ModelGeneratorConfig {
+            actors: 3 + 2 * weight,
+            fields: 4 + 2 * weight,
+            datastores: 2,
+            services: 2 + weight.min(4),
+            flows_per_service: 4 + weight,
+            anonymised_probability: 0.25,
+            grant_probability: 0.7,
+            seed: 42,
+        }
+    }
 }
 
 /// A generated system model: the three artefacts the LTS generator consumes.
@@ -199,6 +226,25 @@ fn random_subset<T: Clone>(rng: &mut StdRng, items: &[T]) -> Vec<T> {
 mod tests {
     use super::*;
     use privacy_dataflow::FlowKind;
+
+    #[test]
+    fn heavy_evaluation_grows_per_event_work_monotonically() {
+        // The candidate-pair work per event scales with actors × fields;
+        // the knob must grow it strictly with weight and clamp weight 0.
+        let sizes: Vec<usize> = [0, 1, 2, 4]
+            .into_iter()
+            .map(|weight| {
+                let config = ModelGeneratorConfig::heavy_evaluation(weight);
+                config.actors * config.fields
+            })
+            .collect();
+        assert_eq!(sizes[0], sizes[1], "weight 0 clamps to 1");
+        assert!(sizes[1] < sizes[2] && sizes[2] < sizes[3], "not monotone: {sizes:?}");
+        // And the generated model must actually honour the shape.
+        let config = ModelGeneratorConfig::heavy_evaluation(2);
+        let (catalog, _, _) = random_model(&config).unwrap();
+        assert_eq!(catalog.fields().count(), config.fields);
+    }
 
     #[test]
     fn generation_is_deterministic_for_equal_seeds() {

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Repository lint: invariants that are about the *tree*, not the code.
+#
+# 1. Every checked-in bench baseline (BENCH_*.json at the repo root) must
+#    carry the `"forced_baseline": true` provenance marker that
+#    `privacy_bench::write_report` stamps into a baseline recorded with
+#    `--force-baseline` — a baseline that lacks it was hand-edited or
+#    written by some path that bypassed the deliberate re-record flag.
+# 2. Every checked-in baseline must be a full run (`"quick": false`): the
+#    regression floors CI enforces are only meaningful against full-scale
+#    numbers, never against a --quick smoke accidentally promoted.
+# 3. CI scratch reports (*_ci.json) must not be committed: their names are
+#    exactly what the bench smokes write on every run, so a committed copy
+#    would be silently clobbered and diff-spammed forever.
+#
+# Run from anywhere; exits non-zero with one line per violation.
+
+set -u
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for file in "$root"/BENCH_*.json; do
+    [ -e "$file" ] || continue
+    name="$(basename "$file")"
+    case "$name" in
+    *_ci.json)
+        echo "repo-lint: $name is a CI scratch report and must not be committed" >&2
+        status=1
+        continue
+        ;;
+    esac
+    if ! grep -q '"forced_baseline": true' "$file"; then
+        echo "repo-lint: $name lacks the \"forced_baseline\" provenance marker — re-record it \
+with --force-baseline instead of editing or copying it" >&2
+        status=1
+    fi
+    if ! grep -q '"quick": false' "$file"; then
+        echo "repo-lint: $name is not a full run (\"quick\": false) — baselines must be recorded \
+without --quick" >&2
+        status=1
+    fi
+done
+
+for file in "$root"/CHAOS_*.json; do
+    [ -e "$file" ] || continue
+    echo "repo-lint: $(basename "$file") is a CI scratch report and must not be committed" >&2
+    status=1
+done
+
+[ "$status" -eq 0 ] && echo "repo-lint: ok"
+exit "$status"

@@ -15,9 +15,11 @@
 //! privacy-supervisor [--workers N] [--users N] [--requests N] [--batch N]
 //!                    [--checkpoint-dir PATH] [--checkpoint-every N]
 //!                    [--worker PATH] [--kill-after N] [--quiet]
-//!                    [--ack-timeout-ms N] [--control-timeout-ms N]
-//!                    [--max-restarts N] [--restart-base-ms N]
-//!                    [--restart-cap-ms N] [--reset-after-acks N]
+//!                    [--ack-timeout-ms N] [--ack-grace-us N]
+//!                    [--control-timeout-ms N] [--max-restarts N]
+//!                    [--restart-base-ms N] [--restart-cap-ms N]
+//!                    [--reset-after-acks N] [--max-frame-events N]
+//!                    [--linger-us N]
 //! ```
 //!
 //! The timeout and restart flags expose the supervisor's failure-detection
@@ -52,11 +54,14 @@ struct Options {
     kill_after: Option<u64>,
     quiet: bool,
     ack_timeout: Option<Duration>,
+    ack_grace: Option<Duration>,
     control_timeout: Option<Duration>,
     max_restarts: Option<u32>,
     restart_base: Option<Duration>,
     restart_cap: Option<Duration>,
     reset_after_acks: Option<u32>,
+    max_frame_events: Option<usize>,
+    linger: Option<Duration>,
 }
 
 const USAGE: &str = "usage: privacy-supervisor [OPTIONS]
@@ -74,9 +79,18 @@ Checkpointing:
   --checkpoint-dir PATH  per-worker checkpoint directory
   --checkpoint-every N   checkpoint all workers every N batches (default 4)
 
+Transport tuning:
+  --max-frame-events N   most events one coalesced wire frame may carry
+                         before the writer flushes it (default 1024)
+  --linger-us N          how long a writer holds a partial frame open for
+                         more sub-batches, in microseconds (default 2000)
+
 Failure detection and restart tuning:
   --ack-timeout-ms N     kill a worker that has not acked within N ms
-                         (default 10000)
+                         (default 10000); the deadline additionally grows
+                         by the per-event grace for events in flight
+  --ack-grace-us N       extra ack deadline per in-flight event, in
+                         microseconds (default 5000)
   --control-timeout-ms N give up on a checkpoint/export/import reply after
                          N ms (default 60000)
   --max-restarts N       restarts allowed without sustained progress before
@@ -105,11 +119,14 @@ fn parse_options() -> Result<Options, String> {
         kill_after: None,
         quiet: false,
         ack_timeout: None,
+        ack_grace: None,
         control_timeout: None,
         max_restarts: None,
         restart_base: None,
         restart_cap: None,
         reset_after_acks: None,
+        max_frame_events: None,
+        linger: None,
     };
     let mut args = std::env::args().skip(1);
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -162,6 +179,27 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --ack-timeout-ms value".to_owned())?;
                 options.ack_timeout = Some(Duration::from_millis(millis));
+            }
+            "--ack-grace-us" => {
+                let micros: u64 = next_value(&mut args, "--ack-grace-us")?
+                    .parse()
+                    .map_err(|_| "bad --ack-grace-us value".to_owned())?;
+                options.ack_grace = Some(Duration::from_micros(micros));
+            }
+            "--max-frame-events" => {
+                let count: usize = next_value(&mut args, "--max-frame-events")?
+                    .parse()
+                    .map_err(|_| "bad --max-frame-events value".to_owned())?;
+                if count == 0 {
+                    return Err("--max-frame-events must be at least 1".to_owned());
+                }
+                options.max_frame_events = Some(count);
+            }
+            "--linger-us" => {
+                let micros: u64 = next_value(&mut args, "--linger-us")?
+                    .parse()
+                    .map_err(|_| "bad --linger-us value".to_owned())?;
+                options.linger = Some(Duration::from_micros(micros));
             }
             "--control-timeout-ms" => {
                 let millis: u64 = next_value(&mut args, "--control-timeout-ms")?
@@ -259,6 +297,15 @@ fn run(options: &Options) -> Result<(), String> {
     config.checkpoint_every = options.checkpoint_every;
     if let Some(ack_timeout) = options.ack_timeout {
         config.ack_timeout = ack_timeout;
+    }
+    if let Some(grace) = options.ack_grace {
+        config.ack_grace_per_event = grace;
+    }
+    if let Some(count) = options.max_frame_events {
+        config.max_frame_events = count;
+    }
+    if let Some(linger) = options.linger {
+        config.linger = linger;
     }
     if let Some(control_timeout) = options.control_timeout {
         config.control_timeout = control_timeout;

@@ -306,6 +306,11 @@ impl MonitorSink for IndexedSink {
 /// The multi-process [`DistributedMonitor`] as a pipeline sink. The
 /// supervisor checkpoints its workers itself, so pipeline checkpoints
 /// embed no snapshot and `--resume` is scoped to the indexed sink.
+///
+/// Each `ingest` call maps to one supervisor super-batch; the supervisor's
+/// per-worker writer threads coalesce consecutive sub-batches into single
+/// wire frames, so small pipeline batches do not translate into per-event
+/// framing overhead on the pipes.
 #[derive(Debug)]
 pub struct DistributedSink {
     monitor: DistributedMonitor,
