@@ -28,9 +28,20 @@
 //! resume thread counts), and the final checkpointed report must equal the
 //! from-scratch `check_log_scan` over the full log.
 //!
+//! A third concern rides along since the sparse snapshot encoding (v3):
+//! the **population scenario** measures snapshot footprint at realistic
+//! population scale — a skewed `privacy-synth` population (cold majority,
+//! small engaged minority) over the healthcare model, reported as snapshot
+//! bytes per user, encode/resume throughput in users per second,
+//! steady-state RSS and the per-row encoding-choice histogram. The full
+//! run measures 1,000,000 users (`population_1m`); `--quick --population`
+//! scales down to 65,536 (`population_64k`). `--max-bytes-per-user` turns
+//! the footprint into a CI gate.
+//!
 //! ```text
 //! monitor_recovery [--quick] [--min-suffix-speedup X] [--out PATH]
 //!                  [--threads N] [--force-baseline]
+//!                  [--population] [--population-only] [--max-bytes-per-user X]
 //! ```
 //!
 //! See `docs/PERFORMANCE.md` for the recorded baseline.
@@ -43,11 +54,13 @@ use privacy_compliance::{
 use privacy_core::{casestudy, Pipeline, PrivacySystem};
 use privacy_lts::ActionKind;
 use privacy_model::{ActorId, Catalog, FieldId, ModelError, Record, ServiceId, UserProfile};
+use privacy_runtime::snapshot::SnapshotEncodingHistogram;
 use privacy_runtime::{
     Event, EventLog, EventLogIndex, IndexedMonitor, MonitorSnapshot, ServiceEngine,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One benchmark scenario.
@@ -103,6 +116,18 @@ struct Options {
     out: String,
     threads: Option<usize>,
     force_baseline: bool,
+    population: bool,
+    population_only: bool,
+    max_bytes_per_user: f64,
+}
+
+impl Options {
+    /// Whether this invocation measures the population scenario: always in
+    /// the full run, opt-in (`--population` / `--population-only`) under
+    /// `--quick` so the existing quick CI leg's timing is untouched.
+    fn wants_population(&self) -> bool {
+        self.population_only || self.population || !self.quick
+    }
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -112,6 +137,9 @@ fn parse_options() -> Result<Options, String> {
         out: "BENCH_recovery.json".to_owned(),
         threads: None,
         force_baseline: false,
+        population: false,
+        population_only: false,
+        max_bytes_per_user: 0.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -130,6 +158,14 @@ fn parse_options() -> Result<Options, String> {
                     Some(value.parse().map_err(|_| format!("bad --threads value `{value}`"))?);
             }
             "--force-baseline" => options.force_baseline = true,
+            "--population" => options.population = true,
+            "--population-only" => options.population_only = true,
+            "--max-bytes-per-user" => {
+                let value = args.next().ok_or("--max-bytes-per-user needs a value")?;
+                options.max_bytes_per_user = value
+                    .parse()
+                    .map_err(|_| format!("bad --max-bytes-per-user value `{value}`"))?;
+            }
             other => return Err(format!("unknown argument `{other}` (see docs/PERFORMANCE.md)")),
         }
     }
@@ -436,7 +472,188 @@ fn run(options: &Options) -> Result<Vec<Row>, String> {
     Ok(rows)
 }
 
-fn json_report(options: &Options, rows: &[Row]) -> String {
+/// One measured population-scale footprint row.
+struct PopulationRow {
+    name: String,
+    users: usize,
+    engaged: usize,
+    events: usize,
+    alerts: usize,
+    snapshot_bytes: usize,
+    encode_secs: f64,
+    resume_secs: f64,
+    rss_mb: f64,
+    histogram: SnapshotEncodingHistogram,
+}
+
+impl PopulationRow {
+    fn bytes_per_user(&self) -> f64 {
+        self.snapshot_bytes as f64 / self.users.max(1) as f64
+    }
+
+    fn encode_users_per_sec(&self) -> f64 {
+        self.users as f64 / self.encode_secs
+    }
+
+    fn resume_users_per_sec(&self) -> f64 {
+        self.users as f64 / self.resume_secs
+    }
+}
+
+/// Resident set size in MiB, from `/proc/self/status` (0.0 where absent).
+fn rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmRSS:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// The population-scale footprint scenario: a skewed million-user (64k
+/// under `--quick`) population over the healthcare model, where most users
+/// are cold and a small minority is engaged. The design-time index is
+/// built directly (`generate_lts` + `LtsIndex::build`) — no per-user
+/// population analysis — because what is measured here is the *monitor's*
+/// snapshot footprint and restart cost, not design-time analysis.
+///
+/// The same lossless-recovery gate as the main scenarios runs first at the
+/// mid-stream cut: prefix + post-resume alerts must equal the
+/// uninterrupted run, with per-user states equal on a deterministic sample
+/// of the population plus every engaged user.
+fn run_population(options: &Options) -> Result<PopulationRow, String> {
+    use privacy_lts::LtsIndex;
+    use privacy_synth::{
+        random_workload, skewed_population, SkewedPopulationConfig, WorkloadConfig,
+    };
+
+    let (name, count, requests) = if options.quick {
+        ("population_64k", 65_536, 2_000)
+    } else {
+        ("population_1m", 1_000_000, 20_000)
+    };
+    let target = if options.quick { Duration::from_millis(200) } else { Duration::from_secs(2) };
+
+    let system = casestudy::healthcare().map_err(|e| format!("{name}: healthcare model: {e}"))?;
+    let catalog = system.catalog().clone();
+    let policy = system.policy().clone();
+    let lts = system.generate_lts().map_err(|e| format!("{name}: LTS generation: {e}"))?;
+    let index = Arc::new(LtsIndex::build(&lts));
+
+    let services: Vec<ServiceId> = catalog.services().map(|s| s.id().clone()).collect();
+    let fields: Vec<FieldId> = catalog.fields().map(|f| f.id().clone()).collect();
+    let population = skewed_population(&SkewedPopulationConfig {
+        count,
+        seed: 41,
+        services: services.clone(),
+        fields: fields.clone(),
+        ..SkewedPopulationConfig::default()
+    });
+    eprintln!("{name}: {count} users ({} engaged), registering…", population.engaged.len());
+
+    let mut proto = IndexedMonitor::new(catalog.clone(), policy.clone(), index.clone());
+    for user in &population.profiles {
+        proto.register_user(user);
+    }
+
+    // The event stream exercises the engaged minority only — cold users
+    // exist to be *carried* (registered, snapshotted, resumed), which is
+    // exactly the skew the sparse encoding exploits.
+    let workload = random_workload(&WorkloadConfig {
+        length: requests,
+        seed: 43,
+        users: population.engaged.clone(),
+        services: services.iter().map(|s| (s.clone(), 1.0)).collect(),
+    });
+    let mut engine =
+        ServiceEngine::new(catalog.clone(), system.dataflows().clone(), policy.clone());
+    for request in &workload {
+        let record = fields
+            .iter()
+            .fold(Record::new(), |record, field| record.with(field.clone(), format!("v-{field}")));
+        let _ = engine.execute(request.user(), request.service(), &record);
+    }
+    let events = engine.log().events().to_vec();
+    let cut = events.len() / 2;
+
+    // ── Lossless-recovery gate at the cut point.
+    let mut at_cut = proto.clone();
+    let prefix_alerts = at_cut.ingest_batch(&events[..cut]);
+    let _ = at_cut.drain_alerts();
+    let snapshot = at_cut.snapshot();
+    let snapshot_bytes_vec = snapshot.to_bytes();
+    let histogram = snapshot.encoding_histogram();
+    drop(snapshot);
+
+    let mut uninterrupted = proto;
+    let full_alerts = uninterrupted.ingest_batch(&events);
+
+    let decoded = MonitorSnapshot::from_bytes(&snapshot_bytes_vec)
+        .map_err(|e| format!("{name}: snapshot round-trip failed: {e}"))?;
+    let mut resumed =
+        IndexedMonitor::resume_from(catalog.clone(), policy.clone(), index.clone(), &decoded)
+            .map_err(|e| format!("{name}: resume failed: {e}"))?;
+    let tail_alerts = resumed.ingest_batch(&events[cut..]);
+    let mut recovered = prefix_alerts;
+    recovered.extend(tail_alerts);
+    if recovered != full_alerts {
+        return Err(format!("{name}: recovered alert stream diverges from the uninterrupted run"));
+    }
+    for user in
+        population.profiles.iter().step_by(499).map(|u| u.id()).chain(population.engaged.iter())
+    {
+        if resumed.state_of(user) != uninterrupted.state_of(user) {
+            return Err(format!("{name}: post-recovery state of `{user}` diverges"));
+        }
+    }
+
+    // ── Timings: encode the cut-point snapshot, resume from its bytes.
+    let (encode_secs, snapshot_bytes) = time_runs(target, || at_cut.snapshot().to_bytes().len());
+    let (resume_secs, _) = time_runs(target, || {
+        let snapshot = MonitorSnapshot::from_bytes(&snapshot_bytes_vec).expect("validated above");
+        IndexedMonitor::resume_from(catalog.clone(), policy.clone(), index.clone(), &snapshot)
+            .expect("validated above")
+            .user_count()
+    });
+
+    let row = PopulationRow {
+        name: name.to_owned(),
+        users: count,
+        engaged: population.engaged.len(),
+        events: events.len(),
+        alerts: full_alerts.len(),
+        snapshot_bytes,
+        encode_secs,
+        resume_secs,
+        rss_mb: rss_mb(),
+        histogram,
+    };
+    eprintln!(
+        "{:<20} {:>7} users ({} engaged) | snapshot {:>9} B = {:>6.2} B/user | encode \
+         {:>9.0} users/s, resume {:>9.0} users/s | rss {:>7.1} MB | rows: {} dense / {} \
+         indexed / {} runs words, {} dense / {} based sens",
+        row.name,
+        row.users,
+        row.engaged,
+        row.snapshot_bytes,
+        row.bytes_per_user(),
+        row.encode_users_per_sec(),
+        row.resume_users_per_sec(),
+        row.rss_mb,
+        row.histogram.words_dense,
+        row.histogram.words_indexed,
+        row.histogram.words_runs,
+        row.histogram.sensitivities_dense,
+        row.histogram.sensitivities_based,
+    );
+    Ok(row)
+}
+
+fn json_report(options: &Options, rows: &[Row], population_rows: &[PopulationRow]) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -490,6 +707,35 @@ fn json_report(options: &Options, rows: &[Row]) -> String {
         );
         out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"population_rows\": [\n");
+    for (i, row) in population_rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"users\": {}, \"engaged\": {}, \"events\": {}, \"alerts\": {}, \
+             \"snapshot_bytes\": {}, \"bytes_per_user\": {:.3}, \"encode_users_per_sec\": {:.0}, \
+             \"resume_users_per_sec\": {:.0}, \"rss_mb\": {:.1}, \"words_dense\": {}, \
+             \"words_indexed\": {}, \"words_runs\": {}, \"sensitivities_dense\": {}, \
+             \"sensitivities_based\": {}",
+            row.name,
+            row.users,
+            row.engaged,
+            row.events,
+            row.alerts,
+            row.snapshot_bytes,
+            row.bytes_per_user(),
+            row.encode_users_per_sec(),
+            row.resume_users_per_sec(),
+            row.rss_mb,
+            row.histogram.words_dense,
+            row.histogram.words_indexed,
+            row.histogram.words_runs,
+            row.histogram.sensitivities_dense,
+            row.histogram.sensitivities_based,
+        );
+        out.push_str(if i + 1 == population_rows.len() { "}\n" } else { "},\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -503,20 +749,58 @@ fn main() -> ExitCode {
         }
     };
 
-    let rows = match run(&options) {
-        Ok(rows) => rows,
-        Err(message) => {
-            eprintln!("monitor_recovery: {message}");
-            return ExitCode::FAILURE;
+    let rows = if options.population_only {
+        Vec::new()
+    } else {
+        match run(&options) {
+            Ok(rows) => rows,
+            Err(message) => {
+                eprintln!("monitor_recovery: {message}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
-    let report = json_report(&options, &rows);
+    let population_rows = if options.wants_population() {
+        match run_population(&options) {
+            Ok(row) => vec![row],
+            Err(message) => {
+                eprintln!("monitor_recovery: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = json_report(&options, &rows, &population_rows);
     if let Err(message) = write_report(&options.out, &report, options.force_baseline) {
         eprintln!("monitor_recovery: {message}");
         return ExitCode::FAILURE;
     }
     eprintln!("monitor_recovery: wrote {}", options.out);
+
+    if options.max_bytes_per_user > 0.0 {
+        if population_rows.is_empty() {
+            eprintln!(
+                "monitor_recovery: regression guard failed: --max-bytes-per-user given but no \
+                 population row was measured (pass --population or drop --quick)"
+            );
+            return ExitCode::FAILURE;
+        }
+        for row in &population_rows {
+            if row.bytes_per_user() > options.max_bytes_per_user {
+                eprintln!(
+                    "monitor_recovery: regression guard failed: `{}` snapshot footprint \
+                     {:.2} bytes/user exceeds the allowed {:.2}",
+                    row.name,
+                    row.bytes_per_user(),
+                    options.max_bytes_per_user
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if options.min_suffix_speedup > 0.0 {
         let guarded: Vec<&Row> = rows.iter().filter(|row| row.guarded()).collect();

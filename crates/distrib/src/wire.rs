@@ -64,11 +64,17 @@ pub const MESSAGE_VERSION: u32 = 2;
 pub const MESSAGE_VERSION_V1: u32 = 1;
 /// Artefact kind of the worker checkpoint file.
 pub const CHECKPOINT_KIND: [u8; 4] = *b"PDCP";
-/// Current checkpoint file version. Version 2 adopted the word-folded frame
-/// checksum (and carries version-2 snapshots); a version-1 file left on disk
-/// by an older build is rejected as unsupported, which the loader reports as
-/// a skipped generation rather than resuming from it.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// Current checkpoint file version. Version 3 carries sparse version-3
+/// monitor snapshots (the bookkeeping layout is unchanged); version 2
+/// (word-folded checksum, dense snapshots) is still decoded via
+/// [`CHECKPOINT_VERSION_V2`], so a worker restarting across the v3
+/// deployment resumes from its existing checkpoint and writes v3 from then
+/// on. A version-1 file left on disk by an older build is rejected as
+/// unsupported, which the loader reports as a skipped generation rather
+/// than resuming from it.
+pub const CHECKPOINT_VERSION: u32 = 3;
+/// The previous checkpoint file version, still accepted on decode.
+pub const CHECKPOINT_VERSION_V2: u32 = 2;
 
 /// One protocol message, in either direction.
 ///
@@ -611,7 +617,23 @@ pub fn encode_checkpoint(
     imports: u64,
     snapshot: &[u8],
 ) -> Vec<u8> {
-    let mut encoder = Encoder::new(CHECKPOINT_KIND, CHECKPOINT_VERSION);
+    encode_checkpoint_at(CHECKPOINT_VERSION, worker_index, through_batch, imports, snapshot)
+}
+
+/// [`encode_checkpoint`] at an explicit file version — the compatibility
+/// seam: tests use it to produce old-version checkpoint files and prove
+/// current readers still accept them. The bookkeeping layout is identical
+/// across v2/v3; only the version stamp (and the snapshot format the nested
+/// blob is expected to carry) differs.
+#[must_use]
+pub fn encode_checkpoint_at(
+    version: u32,
+    worker_index: u32,
+    through_batch: u64,
+    imports: u64,
+    snapshot: &[u8],
+) -> Vec<u8> {
+    let mut encoder = Encoder::new(CHECKPOINT_KIND, version);
     encoder.u32(worker_index);
     encoder.u64(through_batch);
     encoder.u64(imports);
@@ -619,7 +641,10 @@ pub fn encode_checkpoint(
     encoder.finish()
 }
 
-/// Opens a worker checkpoint file sealed by [`encode_checkpoint`].
+/// Opens a worker checkpoint file sealed by [`encode_checkpoint`] — current
+/// ([`CHECKPOINT_VERSION`]) or previous ([`CHECKPOINT_VERSION_V2`]) version;
+/// the nested snapshot blob is passed through opaquely, and
+/// `MonitorSnapshot::from_bytes` applies its own dual-version handling.
 ///
 /// The outer checksum covers the nested snapshot bytes too, so corruption
 /// *anywhere* in the file — header, bookkeeping, or snapshot — surfaces here
@@ -630,7 +655,13 @@ pub fn encode_checkpoint(
 /// Returns the typed [`CodecError`] describing the first problem with the
 /// envelope or the bookkeeping fields.
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointFile, CodecError> {
-    let mut decoder = Decoder::new(bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION)?;
+    let mut decoder = match Decoder::new(bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+        Ok(decoder) => decoder,
+        Err(CodecError::UnsupportedVersion { found, .. }) if found == CHECKPOINT_VERSION_V2 => {
+            Decoder::new(bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION_V2)?
+        }
+        Err(error) => return Err(error),
+    };
     let worker_index = decoder.u32()?;
     let through_batch = decoder.u64()?;
     let imports = decoder.u64()?;
@@ -869,6 +900,28 @@ mod tests {
                 decode_checkpoint(&corrupt).is_err(),
                 "flipping byte {position} went undetected"
             );
+        }
+    }
+
+    #[test]
+    fn checkpoint_v2_files_still_decode_after_the_v3_bump() {
+        // A checkpoint left on disk by a pre-sparse-snapshot build: the
+        // bookkeeping layout is identical, only the version stamp differs,
+        // and the loader must accept it so a worker restarting across the
+        // deployment resumes instead of discarding its state.
+        let snapshot = vec![9u8; 64];
+        let old = encode_checkpoint_at(CHECKPOINT_VERSION_V2, 2, 17, 5, &snapshot);
+        let file = decode_checkpoint(&old).unwrap();
+        assert_eq!((file.worker_index, file.through_batch, file.imports), (2, 17, 5));
+        assert_eq!(file.snapshot, snapshot);
+        // The compatibility window is exactly {v2, v3}: v1 and future
+        // versions are typed rejections, not best-effort parses.
+        for version in [1, CHECKPOINT_VERSION + 1] {
+            let alien = encode_checkpoint_at(version, 2, 17, 5, &snapshot);
+            assert!(matches!(
+                decode_checkpoint(&alien),
+                Err(CodecError::UnsupportedVersion { found, .. }) if found == version
+            ));
         }
     }
 

@@ -67,6 +67,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The largest element count a row codec will materialise for one row
+/// (2²² words or values — a 32 MB dense row). Rows describe per-user state;
+/// a declared dimension past this is a corrupted or hostile header, and
+/// rejecting it before the first row read keeps a bad frame from driving a
+/// multi-gigabyte allocation out of a few sparse bytes.
+pub const MAX_ROW_ELEMS: usize = 1 << 22;
+
 /// A typed decoding failure. Every variant names what was being read, so the
 /// error message alone places the corruption.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +232,43 @@ impl Encoder {
         self.payload.extend_from_slice(value);
     }
 
+    /// Appends a canonical LEB128 varint (see [`put_varu`]).
+    pub fn varu(&mut self, value: u64) {
+        put_varu(&mut self.payload, value);
+    }
+
+    /// Appends an `f64` in the packed representation of [`put_f64_packed`].
+    pub fn f64_packed(&mut self, value: f64) {
+        put_f64_packed(&mut self.payload, value);
+    }
+
+    /// Appends a varint-length-prefixed UTF-8 string — one length byte
+    /// instead of four for the short identifiers per-user rows are keyed by.
+    pub fn str_var(&mut self, value: &str) {
+        put_varu(&mut self.payload, value.len() as u64);
+        self.payload.extend_from_slice(value.as_bytes());
+    }
+
+    /// Appends raw bytes verbatim, with **no** length prefix. The caller's
+    /// format must make the extent recoverable (normally by pairing with
+    /// [`Encoder::varu`]); this exists so pre-encoded rows can be moved into
+    /// a frame without a second length field or a re-encode.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.payload.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64` row under the smallest of the three row encodings
+    /// (see [`put_u64_row`]); returns the tag chosen.
+    pub fn u64_row(&mut self, words: &[u64]) -> u8 {
+        put_u64_row(&mut self.payload, words)
+    }
+
+    /// Appends an `f64` row under the smaller of the two value-row encodings
+    /// (see [`put_f64_row`]); returns the tag chosen.
+    pub fn f64_row(&mut self, values: &[f64]) -> u8 {
+        put_f64_row(&mut self.payload, values)
+    }
+
     /// Seals the frame: header, payload, trailing checksum.
     pub fn finish(self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + CHECKSUM_LEN);
@@ -363,6 +407,49 @@ impl<'a> Decoder<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// Reads a canonical LEB128 varint (see [`get_varu`]).
+    pub fn varu(&mut self) -> Result<u64, CodecError> {
+        get_varu(self.payload, &mut self.offset)
+    }
+
+    /// Reads an `f64` written by [`Encoder::f64_packed`].
+    pub fn f64_packed(&mut self) -> Result<f64, CodecError> {
+        get_f64_packed(self.payload, &mut self.offset)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn string_var(&mut self) -> Result<String, CodecError> {
+        let len = self.varu()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated {
+            needed: usize::MAX,
+            available: self.payload.len() - self.offset,
+        })?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|error| CodecError::Malformed { what: "string", detail: error.to_string() })
+    }
+
+    /// Reads `len` raw bytes (the counterpart of [`Encoder::raw`]).
+    pub fn raw(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        self.take(len)
+    }
+
+    /// Reads a `u64` row written by [`Encoder::u64_row`] into `row` (resized
+    /// to `expected_words`); returns the encoding tag found.
+    pub fn u64_row_into(
+        &mut self,
+        expected_words: usize,
+        row: &mut Vec<u64>,
+    ) -> Result<u8, CodecError> {
+        get_u64_row(self.payload, &mut self.offset, expected_words, row)
+    }
+
+    /// Reads an `f64` row written by [`Encoder::f64_row`] into `row` (resized
+    /// to `expected`); returns the encoding tag found.
+    pub fn f64_row_into(&mut self, expected: usize, row: &mut Vec<f64>) -> Result<u8, CodecError> {
+        get_f64_row(self.payload, &mut self.offset, expected, row)
+    }
+
     /// Reads a length-prefixed `u64` slice.
     pub fn u64_slice(&mut self) -> Result<Vec<u64>, CodecError> {
         let len = self.u32()? as usize;
@@ -392,6 +479,475 @@ impl<'a> Decoder<'a> {
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------------
+// Varints, packed floats, and the per-user row codec
+// ---------------------------------------------------------------------------
+//
+// These operate on plain byte buffers rather than on `Encoder`/`Decoder`, so
+// a row can be encoded once into its own `Vec<u8>` and then *moved* between
+// frames (snapshot split/merge, shard handoff) without a decode/encode round
+// trip. The `Encoder`/`Decoder` methods above are thin wrappers.
+
+/// The encoded length of `value` as a LEB128 varint (1–10 bytes).
+#[must_use]
+pub fn varu_len(value: u64) -> usize {
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.max(1).div_ceil(7)
+}
+
+/// Appends `value` as a canonical LEB128 varint: 7 value bits per byte,
+/// low-order bits first, high bit set on every byte but the last.
+pub fn put_varu(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a canonical LEB128 varint at `*offset`, advancing the offset past
+/// it. Overlong encodings — a zero final byte after a continuation, or bits
+/// past the 64th — are rejected as [`CodecError::Malformed`], so every value
+/// has exactly one representation: the sizes computed at encode time stay
+/// honest and re-encoding a decoded artefact is byte-identical.
+pub fn get_varu(bytes: &[u8], offset: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*offset) else {
+            return Err(CodecError::Truncated { needed: 1, available: 0 });
+        };
+        *offset += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Malformed {
+                what: "varint",
+                detail: "value does not fit in 64 bits".to_owned(),
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift != 0 {
+                return Err(CodecError::Malformed {
+                    what: "varint",
+                    detail: "overlong encoding (zero final byte)".to_owned(),
+                });
+            }
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// The encoded length of `value` under [`put_f64_packed`].
+#[must_use]
+pub fn f64_packed_len(value: f64) -> usize {
+    varu_len(value.to_bits().swap_bytes())
+}
+
+/// Appends an `f64` as the varint of its byte-swapped IEEE-754 bits.
+///
+/// "Round" doubles — `0.0`, `1.0`, `0.25`, the questionnaire-style
+/// sensitivity grades per-user state is full of — have bit patterns whose
+/// low-order bytes are zero; swapping moves the information into the low
+/// bits, so such values pack into 1–3 varint bytes. Arbitrary doubles cost
+/// at most 10 bytes.
+pub fn put_f64_packed(out: &mut Vec<u8>, value: f64) {
+    put_varu(out, value.to_bits().swap_bytes());
+}
+
+/// Reads an `f64` written by [`put_f64_packed`].
+pub fn get_f64_packed(bytes: &[u8], offset: &mut usize) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(get_varu(bytes, offset)?.swap_bytes()))
+}
+
+/// `u64`-row encoding tag: every word stored raw (little-endian, no count —
+/// the row width comes from the reader's declared dimensions).
+pub const U64_ROW_DENSE: u8 = 0;
+/// `u64`-row encoding tag: only the nonzero words, as strictly increasing
+/// (varint word index, raw word) pairs.
+pub const U64_ROW_INDEXED: u8 = 1;
+/// `u64`-row encoding tag: maximal runs of set bits, as (varint gap from the
+/// previous run's end, varint run length) pairs.
+pub const U64_ROW_RUNS: u8 = 2;
+
+/// The maximal runs of set bits in `words` as ascending (first bit, length)
+/// pairs, runs merging across word boundaries.
+fn bit_runs(words: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for (index, &word) in words.iter().enumerate() {
+        let base = index as u64 * 64;
+        let mut w = word;
+        while w != 0 {
+            let start = u64::from(w.trailing_zeros());
+            let len = u64::from((!(w >> start)).trailing_zeros());
+            let run_start = base + start;
+            match runs.last_mut() {
+                Some((prev_start, prev_len)) if *prev_start + *prev_len == run_start => {
+                    *prev_len += len;
+                }
+                _ => runs.push((run_start, len)),
+            }
+            if start + len >= 64 {
+                break;
+            }
+            w &= !(((1u64 << len) - 1) << start);
+        }
+    }
+    runs
+}
+
+/// Sets bits `start..end` in `row`, whole words at a time.
+fn set_bit_range(row: &mut [u64], start: u64, end: u64) {
+    let mut bit = start;
+    while bit < end {
+        let lo = bit % 64;
+        let take = (64 - lo).min(end - bit);
+        let mask = if take == 64 { u64::MAX } else { ((1u64 << take) - 1) << lo };
+        row[(bit / 64) as usize] |= mask;
+        bit += take;
+    }
+}
+
+/// Appends `words` under whichever of the three row encodings is smallest —
+/// dense raw words, (index, word) pairs for scattered-word rows, or bit
+/// runs for clustered-bit rows — and returns the tag chosen. Ties break
+/// toward the lower tag, so the choice is deterministic and re-encoding a
+/// decoded row is byte-stable.
+pub fn put_u64_row(out: &mut Vec<u8>, words: &[u64]) -> u8 {
+    let mut nonzero = 0usize;
+    let mut indexed_body = 0usize;
+    for (index, &word) in words.iter().enumerate() {
+        if word != 0 {
+            nonzero += 1;
+            indexed_body += varu_len(index as u64) + 8;
+        }
+    }
+    let runs = bit_runs(words);
+    let mut runs_size = 1 + varu_len(runs.len() as u64);
+    let mut prev_end = 0u64;
+    for &(start, len) in &runs {
+        runs_size += varu_len(start - prev_end) + varu_len(len);
+        prev_end = start + len;
+    }
+    let dense_size = 1 + 8 * words.len();
+    let indexed_size = 1 + varu_len(nonzero as u64) + indexed_body;
+
+    if dense_size <= indexed_size && dense_size <= runs_size {
+        out.push(U64_ROW_DENSE);
+        for &word in words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        U64_ROW_DENSE
+    } else if indexed_size <= runs_size {
+        out.push(U64_ROW_INDEXED);
+        put_varu(out, nonzero as u64);
+        for (index, &word) in words.iter().enumerate() {
+            if word != 0 {
+                put_varu(out, index as u64);
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        U64_ROW_INDEXED
+    } else {
+        out.push(U64_ROW_RUNS);
+        put_varu(out, runs.len() as u64);
+        let mut prev_end = 0u64;
+        for &(start, len) in &runs {
+            put_varu(out, start - prev_end);
+            put_varu(out, len);
+            prev_end = start + len;
+        }
+        U64_ROW_RUNS
+    }
+}
+
+/// Reads a row written by [`put_u64_row`] into `row` (cleared and resized to
+/// `expected_words`), advancing `*offset` past it. Returns the encoding tag
+/// found.
+///
+/// # Errors
+///
+/// Rejects, as typed [`CodecError`]s: widths past [`MAX_ROW_ELEMS`], unknown
+/// tags, truncation, and every non-canonical sparse form — zero words or
+/// non-increasing indices in an indexed row, empty / unmerged / overlapping
+/// runs, or a run past the row end.
+pub fn get_u64_row(
+    bytes: &[u8],
+    offset: &mut usize,
+    expected_words: usize,
+    row: &mut Vec<u64>,
+) -> Result<u8, CodecError> {
+    if expected_words > MAX_ROW_ELEMS {
+        return Err(CodecError::Malformed {
+            what: "u64 row",
+            detail: format!("declared width of {expected_words} words exceeds {MAX_ROW_ELEMS}"),
+        });
+    }
+    let Some(&tag) = bytes.get(*offset) else {
+        return Err(CodecError::Truncated { needed: 1, available: 0 });
+    };
+    *offset += 1;
+    match tag {
+        U64_ROW_DENSE => {
+            let needed = expected_words * 8;
+            let available = bytes.len() - *offset;
+            if available < needed {
+                return Err(CodecError::Truncated { needed, available });
+            }
+            row.clear();
+            row.extend(
+                bytes[*offset..*offset + needed]
+                    .chunks_exact(8)
+                    .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8 bytes"))),
+            );
+            *offset += needed;
+        }
+        U64_ROW_INDEXED => {
+            let count = get_varu(bytes, offset)?;
+            if count > expected_words as u64 {
+                return Err(CodecError::Malformed {
+                    what: "u64 row",
+                    detail: format!("{count} indexed words in a {expected_words}-word row"),
+                });
+            }
+            row.clear();
+            row.resize(expected_words, 0);
+            let mut prev: Option<u64> = None;
+            for _ in 0..count {
+                let index = get_varu(bytes, offset)?;
+                if index >= expected_words as u64 {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: format!(
+                            "word index {index} out of range (row has {expected_words} words)"
+                        ),
+                    });
+                }
+                if prev.is_some_and(|p| index <= p) {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: "word indices not strictly increasing".to_owned(),
+                    });
+                }
+                let available = bytes.len() - *offset;
+                if available < 8 {
+                    return Err(CodecError::Truncated { needed: 8, available });
+                }
+                let word =
+                    u64::from_le_bytes(bytes[*offset..*offset + 8].try_into().expect("8 bytes"));
+                *offset += 8;
+                if word == 0 {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: format!("zero word stored at index {index} of an indexed row"),
+                    });
+                }
+                row[index as usize] = word;
+                prev = Some(index);
+            }
+        }
+        U64_ROW_RUNS => {
+            let run_count = get_varu(bytes, offset)?;
+            row.clear();
+            row.resize(expected_words, 0);
+            let total_bits = expected_words as u64 * 64;
+            let mut cursor = 0u64;
+            for i in 0..run_count {
+                let gap = get_varu(bytes, offset)?;
+                if i > 0 && gap == 0 {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: "adjacent bit runs not merged".to_owned(),
+                    });
+                }
+                let len = get_varu(bytes, offset)?;
+                if len == 0 {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: "empty bit run".to_owned(),
+                    });
+                }
+                let (Some(start), Some(end)) = (
+                    cursor.checked_add(gap),
+                    cursor.checked_add(gap).and_then(|s| s.checked_add(len)),
+                ) else {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: "bit-run position overflows".to_owned(),
+                    });
+                };
+                if end > total_bits {
+                    return Err(CodecError::Malformed {
+                        what: "u64 row",
+                        detail: format!(
+                            "run of {len} bits at bit {start} passes the row end ({total_bits} \
+                             bits)"
+                        ),
+                    });
+                }
+                set_bit_range(row, start, end);
+                cursor = end;
+            }
+        }
+        other => {
+            return Err(CodecError::Malformed {
+                what: "u64 row",
+                detail: format!("unknown encoding tag {other}"),
+            });
+        }
+    }
+    Ok(tag)
+}
+
+/// `f64`-row encoding tag: every value stored packed ([`put_f64_packed`]).
+pub const F64_ROW_DENSE: u8 = 0;
+/// `f64`-row encoding tag: a packed base value (the row's most common) plus
+/// strictly increasing (varint index, packed value) exceptions.
+pub const F64_ROW_BASED: u8 = 1;
+
+/// Appends `values` under the smaller of the two value-row encodings —
+/// dense packed values, or a base value plus exceptions (1 + a few bytes for
+/// the constant rows that dominate per-user sensitivity state) — and returns
+/// the tag chosen. Values compare by bit pattern, so the decoded row is
+/// bit-exact, NaNs included; ties break toward dense.
+pub fn put_f64_row(out: &mut Vec<u8>, values: &[f64]) -> u8 {
+    let mut dense_size = 1usize;
+    for &value in values {
+        dense_size += f64_packed_len(value);
+    }
+    let based = if values.is_empty() {
+        None
+    } else {
+        // The mode by bit pattern: sort a copy, scan for the longest group
+        // (smallest pattern on ties, keeping the choice deterministic).
+        let mut bits: Vec<u64> = values.iter().map(|value| value.to_bits()).collect();
+        bits.sort_unstable();
+        let mut best = (bits[0], 0usize);
+        let mut current = (bits[0], 0usize);
+        for &b in &bits {
+            if b == current.0 {
+                current.1 += 1;
+            } else {
+                current = (b, 1);
+            }
+            if current.1 > best.1 {
+                best = current;
+            }
+        }
+        let base_bits = best.0;
+        let mut size = 1 + f64_packed_len(f64::from_bits(base_bits));
+        let mut exceptions = 0u64;
+        let mut body = 0usize;
+        for (index, &value) in values.iter().enumerate() {
+            if value.to_bits() != base_bits {
+                exceptions += 1;
+                body += varu_len(index as u64) + f64_packed_len(value);
+            }
+        }
+        size += varu_len(exceptions) + body;
+        Some((base_bits, size))
+    };
+    match based {
+        Some((base_bits, size)) if size < dense_size => {
+            out.push(F64_ROW_BASED);
+            put_f64_packed(out, f64::from_bits(base_bits));
+            let exceptions = values.iter().filter(|value| value.to_bits() != base_bits).count();
+            put_varu(out, exceptions as u64);
+            for (index, &value) in values.iter().enumerate() {
+                if value.to_bits() != base_bits {
+                    put_varu(out, index as u64);
+                    put_f64_packed(out, value);
+                }
+            }
+            F64_ROW_BASED
+        }
+        _ => {
+            out.push(F64_ROW_DENSE);
+            for &value in values {
+                put_f64_packed(out, value);
+            }
+            F64_ROW_DENSE
+        }
+    }
+}
+
+/// Reads a row written by [`put_f64_row`] into `row` (cleared and resized to
+/// `expected`), advancing `*offset` past it. Returns the encoding tag found.
+///
+/// # Errors
+///
+/// Rejects, as typed [`CodecError`]s: widths past [`MAX_ROW_ELEMS`], unknown
+/// tags, truncation, and exception lists that are over-long, out of range,
+/// or not strictly increasing.
+pub fn get_f64_row(
+    bytes: &[u8],
+    offset: &mut usize,
+    expected: usize,
+    row: &mut Vec<f64>,
+) -> Result<u8, CodecError> {
+    if expected > MAX_ROW_ELEMS {
+        return Err(CodecError::Malformed {
+            what: "f64 row",
+            detail: format!("declared width of {expected} values exceeds {MAX_ROW_ELEMS}"),
+        });
+    }
+    let Some(&tag) = bytes.get(*offset) else {
+        return Err(CodecError::Truncated { needed: 1, available: 0 });
+    };
+    *offset += 1;
+    match tag {
+        F64_ROW_DENSE => {
+            row.clear();
+            for _ in 0..expected {
+                row.push(get_f64_packed(bytes, offset)?);
+            }
+        }
+        F64_ROW_BASED => {
+            let base = get_f64_packed(bytes, offset)?;
+            row.clear();
+            row.resize(expected, base);
+            let count = get_varu(bytes, offset)?;
+            if count > expected as u64 {
+                return Err(CodecError::Malformed {
+                    what: "f64 row",
+                    detail: format!("{count} exceptions in a {expected}-value row"),
+                });
+            }
+            let mut prev: Option<u64> = None;
+            for _ in 0..count {
+                let index = get_varu(bytes, offset)?;
+                if index >= expected as u64 {
+                    return Err(CodecError::Malformed {
+                        what: "f64 row",
+                        detail: format!(
+                            "exception index {index} out of range (row has {expected} values)"
+                        ),
+                    });
+                }
+                if prev.is_some_and(|p| index <= p) {
+                    return Err(CodecError::Malformed {
+                        what: "f64 row",
+                        detail: "exception indices not strictly increasing".to_owned(),
+                    });
+                }
+                row[index as usize] = get_f64_packed(bytes, offset)?;
+                prev = Some(index);
+            }
+        }
+        other => {
+            return Err(CodecError::Malformed {
+                what: "f64 row",
+                detail: format!("unknown encoding tag {other}"),
+            });
+        }
+    }
+    Ok(tag)
 }
 
 /// The largest frame [`read_frame`] will accept from a byte stream. Frames
@@ -664,6 +1220,252 @@ mod tests {
         let bytes = encoder.finish();
         let mut decoder = Decoder::new(&bytes, KIND, 1).unwrap();
         assert!(matches!(decoder.bytes(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn varints_round_trip_and_reject_overlong_forms() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::from(u32::MAX), u64::MAX];
+        for &value in &values {
+            let mut out = Vec::new();
+            put_varu(&mut out, value);
+            assert_eq!(out.len(), varu_len(value), "length formula for {value}");
+            let mut offset = 0;
+            assert_eq!(get_varu(&out, &mut offset).unwrap(), value);
+            assert_eq!(offset, out.len());
+        }
+        // Overlong: 0x80 0x00 also "encodes" 0, but only 0x00 is canonical.
+        let mut offset = 0;
+        assert!(matches!(
+            get_varu(&[0x80, 0x00], &mut offset),
+            Err(CodecError::Malformed { what: "varint", .. })
+        ));
+        // 11 continuation bytes: more than 64 bits of payload.
+        let mut offset = 0;
+        assert!(matches!(
+            get_varu(&[0xFF; 11], &mut offset),
+            Err(CodecError::Malformed { what: "varint", .. })
+        ));
+        // Truncated mid-varint.
+        let mut offset = 0;
+        assert!(matches!(get_varu(&[0x80], &mut offset), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn packed_floats_round_trip_bit_exact_and_round_values_pack_small() {
+        for value in
+            [0.0, -0.0, 0.25, 0.5, 0.75, 1.0, -1.0, f64::NAN, f64::INFINITY, 1.0e300, 0.123_456_789]
+        {
+            let mut out = Vec::new();
+            put_f64_packed(&mut out, value);
+            let mut offset = 0;
+            let back = get_f64_packed(&out, &mut offset).unwrap();
+            assert_eq!(back.to_bits(), value.to_bits(), "packed f64 {value} not bit-exact");
+        }
+        assert_eq!(f64_packed_len(0.0), 1);
+        assert!(f64_packed_len(0.25) <= 3, "quarter grades must stay small");
+        assert!(f64_packed_len(1.0) <= 3);
+    }
+
+    fn u64_row_round_trip(words: &[u64], expect_tag: u8) {
+        let mut out = Vec::new();
+        let tag = put_u64_row(&mut out, words);
+        assert_eq!(tag, expect_tag, "encoding choice for {words:?}");
+        assert_eq!(out[0], expect_tag);
+        let mut offset = 0;
+        let mut row = Vec::new();
+        assert_eq!(get_u64_row(&out, &mut offset, words.len(), &mut row).unwrap(), expect_tag);
+        assert_eq!(offset, out.len(), "row decode must consume the row exactly");
+        assert_eq!(row, words);
+    }
+
+    #[test]
+    fn u64_rows_pick_the_smallest_encoding_and_round_trip() {
+        // Scattered random-ish bits everywhere: dense wins.
+        u64_row_round_trip(
+            &[0x9E37_79B9_7F4A_7C15, 0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF],
+            U64_ROW_DENSE,
+        );
+        // Few nonzero words with scattered bits in a wide row: indexed wins.
+        let mut scattered = vec![0u64; 64];
+        scattered[17] = 0xAAAA_AAAA_AAAA_AAAA;
+        u64_row_round_trip(&scattered, U64_ROW_INDEXED);
+        // Empty row: 2 bytes either sparse way; the tie breaks to indexed.
+        u64_row_round_trip(&[0u64; 64], U64_ROW_INDEXED);
+        u64_row_round_trip(&[], U64_ROW_DENSE);
+        // Clustered bits, including a run spanning word boundaries: runs win.
+        let mut clustered = vec![0u64; 64];
+        clustered[3] = u64::MAX;
+        clustered[4] = u64::MAX;
+        clustered[5] = 0b111;
+        u64_row_round_trip(&clustered, U64_ROW_RUNS);
+        // All ones is a single run.
+        u64_row_round_trip(&[u64::MAX; 64], U64_ROW_RUNS);
+        // Single low bit.
+        u64_row_round_trip(&[1], U64_ROW_RUNS);
+    }
+
+    #[test]
+    fn u64_row_decoder_rejects_non_canonical_and_hostile_rows() {
+        let decode = |bytes: &[u8], expected: usize| {
+            let mut offset = 0;
+            let mut row = Vec::new();
+            get_u64_row(bytes, &mut offset, expected, &mut row)
+        };
+        // Unknown tag.
+        assert!(matches!(decode(&[9], 1), Err(CodecError::Malformed { what: "u64 row", .. })));
+        // Truncated dense row.
+        assert!(matches!(decode(&[U64_ROW_DENSE, 1, 2], 1), Err(CodecError::Truncated { .. })));
+        // Indexed: count past the row width (rejected before any allocation).
+        let mut bytes = vec![U64_ROW_INDEXED];
+        put_varu(&mut bytes, 2);
+        assert!(matches!(decode(&bytes, 1), Err(CodecError::Malformed { .. })));
+        // Indexed: a zero word is not canonical.
+        let mut bytes = vec![U64_ROW_INDEXED];
+        put_varu(&mut bytes, 1);
+        put_varu(&mut bytes, 0);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(decode(&bytes, 4), Err(CodecError::Malformed { .. })));
+        // Indexed: indices must strictly increase.
+        let mut bytes = vec![U64_ROW_INDEXED];
+        put_varu(&mut bytes, 2);
+        for _ in 0..2 {
+            put_varu(&mut bytes, 1);
+            bytes.extend_from_slice(&7u64.to_le_bytes());
+        }
+        assert!(matches!(decode(&bytes, 4), Err(CodecError::Malformed { .. })));
+        // Runs: a run past the row end.
+        let mut bytes = vec![U64_ROW_RUNS];
+        put_varu(&mut bytes, 1);
+        put_varu(&mut bytes, 0);
+        put_varu(&mut bytes, 65);
+        assert!(matches!(decode(&bytes, 1), Err(CodecError::Malformed { .. })));
+        // Runs: empty and unmerged runs are not canonical.
+        let mut bytes = vec![U64_ROW_RUNS];
+        put_varu(&mut bytes, 1);
+        put_varu(&mut bytes, 0);
+        put_varu(&mut bytes, 0);
+        assert!(matches!(decode(&bytes, 1), Err(CodecError::Malformed { .. })));
+        let mut bytes = vec![U64_ROW_RUNS];
+        put_varu(&mut bytes, 2);
+        for _ in 0..2 {
+            put_varu(&mut bytes, 0);
+            put_varu(&mut bytes, 1);
+        }
+        assert!(matches!(decode(&bytes, 1), Err(CodecError::Malformed { .. })));
+        // A width past MAX_ROW_ELEMS is rejected before any allocation.
+        assert!(matches!(
+            decode(&[U64_ROW_INDEXED, 0], MAX_ROW_ELEMS + 1),
+            Err(CodecError::Malformed { .. })
+        ));
+    }
+
+    fn f64_row_round_trip(values: &[f64], expect_tag: u8) {
+        let mut out = Vec::new();
+        let tag = put_f64_row(&mut out, values);
+        assert_eq!(tag, expect_tag, "encoding choice for {values:?}");
+        let mut offset = 0;
+        let mut row = Vec::new();
+        assert_eq!(get_f64_row(&out, &mut offset, values.len(), &mut row).unwrap(), expect_tag);
+        assert_eq!(offset, out.len());
+        let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let back: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(back, bits, "f64 row not bit-exact");
+    }
+
+    #[test]
+    fn f64_rows_pick_the_smaller_encoding_and_round_trip() {
+        f64_row_round_trip(&[], F64_ROW_DENSE);
+        f64_row_round_trip(&[0.25], F64_ROW_DENSE);
+        f64_row_round_trip(&[0.0; 8], F64_ROW_BASED);
+        f64_row_round_trip(&[0.0, 0.0, 0.75, 0.0, 0.0, 0.25, 0.0, 0.0], F64_ROW_BASED);
+        f64_row_round_trip(&[0.1, 0.2, 0.3, 0.4], F64_ROW_DENSE);
+    }
+
+    #[test]
+    fn f64_row_decoder_rejects_malformed_exception_lists() {
+        let decode = |bytes: &[u8], expected: usize| {
+            let mut offset = 0;
+            let mut row = Vec::new();
+            get_f64_row(bytes, &mut offset, expected, &mut row)
+        };
+        assert!(matches!(decode(&[7], 1), Err(CodecError::Malformed { what: "f64 row", .. })));
+        // More exceptions than values.
+        let mut bytes = vec![F64_ROW_BASED];
+        put_f64_packed(&mut bytes, 0.0);
+        put_varu(&mut bytes, 3);
+        assert!(matches!(decode(&bytes, 2), Err(CodecError::Malformed { .. })));
+        // Exception index out of range.
+        let mut bytes = vec![F64_ROW_BASED];
+        put_f64_packed(&mut bytes, 0.0);
+        put_varu(&mut bytes, 1);
+        put_varu(&mut bytes, 5);
+        put_f64_packed(&mut bytes, 1.0);
+        assert!(matches!(decode(&bytes, 2), Err(CodecError::Malformed { .. })));
+        // Non-increasing exception indices.
+        let mut bytes = vec![F64_ROW_BASED];
+        put_f64_packed(&mut bytes, 0.0);
+        put_varu(&mut bytes, 2);
+        for _ in 0..2 {
+            put_varu(&mut bytes, 0);
+            put_f64_packed(&mut bytes, 1.0);
+        }
+        assert!(matches!(decode(&bytes, 3), Err(CodecError::Malformed { .. })));
+        // Truncated mid-row.
+        assert!(matches!(decode(&[F64_ROW_DENSE], 2), Err(CodecError::Truncated { .. })));
+    }
+
+    /// A frame exercising all three `u64` row encodings plus both `f64` row
+    /// encodings, for the envelope-integrity sweeps below.
+    fn row_frame() -> Vec<u8> {
+        let mut encoder = Encoder::new(KIND, 5);
+        encoder.varu(3);
+        encoder.str_var("u123");
+        assert_eq!(encoder.u64_row(&[0xDEAD_BEEF_0BAD_F00D, 0x0123_4567_89AB_CDEF]), U64_ROW_DENSE);
+        let mut scattered = vec![0u64; 32];
+        scattered[9] = 0x5555_5555_5555_5555;
+        assert_eq!(encoder.u64_row(&scattered), U64_ROW_INDEXED);
+        assert_eq!(encoder.u64_row(&[0b1111_0000]), U64_ROW_RUNS);
+        assert_eq!(encoder.f64_row(&[0.5, 0.25, 0.125]), F64_ROW_DENSE);
+        assert_eq!(encoder.f64_row(&[0.0; 6]), F64_ROW_BASED);
+        encoder.finish()
+    }
+
+    fn decode_row_frame(bytes: &[u8]) -> Result<(), CodecError> {
+        let mut decoder = Decoder::new(bytes, KIND, 5)?;
+        assert_eq!(decoder.varu()?, 3);
+        assert_eq!(decoder.string_var()?, "u123");
+        let mut words = Vec::new();
+        decoder.u64_row_into(2, &mut words)?;
+        assert_eq!(words, vec![0xDEAD_BEEF_0BAD_F00D, 0x0123_4567_89AB_CDEF]);
+        decoder.u64_row_into(32, &mut words)?;
+        assert_eq!(words[9], 0x5555_5555_5555_5555);
+        decoder.u64_row_into(1, &mut words)?;
+        assert_eq!(words, vec![0b1111_0000]);
+        let mut values = Vec::new();
+        decoder.f64_row_into(3, &mut values)?;
+        assert_eq!(values, vec![0.5, 0.25, 0.125]);
+        decoder.f64_row_into(6, &mut values)?;
+        assert_eq!(values, vec![0.0; 6]);
+        decoder.finish()
+    }
+
+    #[test]
+    fn row_frames_round_trip_and_reject_every_bit_flip_and_truncation() {
+        let bytes = row_frame();
+        decode_row_frame(&bytes).expect("intact row frame decodes");
+        for len in 0..bytes.len() {
+            assert!(decode_row_frame(&bytes[..len]).is_err(), "prefix of {len} bytes accepted");
+        }
+        for position in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[position] ^= 1 << bit;
+                assert!(
+                    decode_row_frame(&flipped).is_err(),
+                    "flipping bit {bit} of byte {position} went undetected"
+                );
+            }
+        }
     }
 
     #[test]

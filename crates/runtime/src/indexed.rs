@@ -286,6 +286,7 @@ impl IndexedMonitor {
     /// is identical whatever thread count produced the state.
     pub fn snapshot(&self) -> MonitorSnapshot {
         let space = self.index.space();
+        let mut sens_scratch: Vec<f64> = Vec::new();
         let shards = self
             .shards
             .iter()
@@ -295,11 +296,10 @@ impl IndexedMonitor {
                 let mut users: Vec<UserRow> = shard
                     .users
                     .iter()
-                    .map(|(user, slot)| UserRow {
-                        user: user.clone(),
-                        words: slot.words.clone(),
-                        allowed: slot.allowed.clone(),
-                        sensitivities: slot.sensitivities.iter().map(|s| s.value()).collect(),
+                    .map(|(user, slot)| {
+                        sens_scratch.clear();
+                        sens_scratch.extend(slot.sensitivities.iter().map(|s| s.value()));
+                        UserRow::from_state(user.clone(), &slot.words, &slot.allowed, &sens_scratch)
                     })
                     .collect();
                 users.sort_by(|a, b| a.user.cmp(&b.user));
@@ -380,24 +380,22 @@ impl IndexedMonitor {
         Ok(absorbed)
     }
 
-    /// Inserts every user row of the snapshot, re-deriving shards from ids.
+    /// Inserts every user row of the snapshot, re-deriving shards from ids
+    /// and decoding each sparse row back into its dense in-memory slot.
     fn restore_rows(&mut self, snapshot: &MonitorSnapshot) -> Result<usize, SnapshotError> {
+        let dims = (snapshot.state_words, snapshot.allowed_words, snapshot.field_count);
         let mut restored = 0usize;
         for shard in &snapshot.shards {
             for row in &shard.users {
-                let sensitivities = row
-                    .sensitivities
+                let (words, allowed, sens_values) = row.decode(dims)?;
+                let sensitivities = sens_values
                     .iter()
                     .map(|&value| Sensitivity::new(value))
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|error| SnapshotError::Malformed {
                         detail: format!("user `{}`: {error}", row.user),
                     })?;
-                let slot = UserSlot {
-                    words: row.words.clone(),
-                    allowed: row.allowed.clone(),
-                    sensitivities,
-                };
+                let slot = UserSlot { words, allowed, sensitivities };
                 self.shards[shard_of(&row.user)].users.insert(row.user.clone(), slot);
                 restored += 1;
             }

@@ -24,7 +24,7 @@
 //!   exactly the "state carried across analysis rounds" soundness break the
 //!   static-assessment literature warns about;
 //! * the byte form goes through the `privacy-interchange` framed
-//!   [`binary`](privacy_interchange::binary) codec: explicit kind tag and
+//!   [`binary`] codec: explicit kind tag and
 //!   format version, declared length and trailing checksum, so truncated,
 //!   bit-flipped or wrong-version inputs all surface as typed
 //!   [`CodecError`]s — never a panic, never a silent partial resume.
@@ -35,9 +35,23 @@
 //! [`MonitorSnapshot::merge`] them regardless of the thread count on either
 //! side — shard assignment depends only on the user id, never on the
 //! ingestion parallelism.
+//!
+//! Since format version 3 each user row is stored **sparsely**: the state
+//! words, allowed-actor bitset and sensitivity vector are each encoded under
+//! whichever row encoding is smallest for that row (dense words, index+word
+//! pairs, or bit-run lists — see [`binary::put_u64_row`]). At
+//! population scale most users have touched at most a handful of fields, so
+//! their rows collapse from hundreds of dense bytes to a couple of dozen.
+//! Rows stay in their encoded byte form inside [`MonitorSnapshot`]:
+//! [`MonitorSnapshot::split`], [`merge`](MonitorSnapshot::merge) and the
+//! shard-handoff extract/retain operations *move* row bytes without a
+//! decode/encode round trip, which is what keeps re-grouped snapshot bytes
+//! byte-identical to the original. Version-2 (dense) frames still decode.
 
 use crate::monitor::Alert;
-use privacy_interchange::binary::{CodecError, Decoder, Encoder};
+use privacy_interchange::binary::{
+    self, CodecError, Decoder, Encoder, F64_ROW_DENSE, U64_ROW_INDEXED, U64_ROW_RUNS,
+};
 use privacy_model::{RiskLevel, UserId};
 use std::error::Error;
 use std::fmt;
@@ -46,27 +60,126 @@ use std::fmt;
 /// SNapshot").
 pub const SNAPSHOT_KIND: [u8; 4] = *b"PMSN";
 
-/// The snapshot format version this build writes and reads. Bumped whenever
-/// the payload layout changes; older/newer frames are rejected with
-/// [`CodecError::UnsupportedVersion`]. Version 2 switched the frame
-/// checksum to the word-folded FNV fold — the layout is unchanged, but
-/// bumping here lets a version-1 file surface as the stale artefact it is
-/// instead of a spurious checksum mismatch.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// The snapshot format version this build writes. Bumped whenever the
+/// payload layout changes; frames newer than this are rejected with
+/// [`CodecError::UnsupportedVersion`]. Version 3 introduced the sparse
+/// per-user row encodings and varint framing of counts and identifiers;
+/// version 2 (dense rows, see [`SNAPSHOT_VERSION_V2`]) is still decoded.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// The previous, dense-row snapshot format. [`MonitorSnapshot::from_bytes`]
+/// still decodes it — a monitor restarting across the v3 deployment resumes
+/// from its existing v2 checkpoint and writes v3 from then on.
+pub const SNAPSHOT_VERSION_V2: u32 = 2;
+
+/// The largest per-row dimension (state words, allowed words, or field
+/// count) a snapshot header may declare. Sparse rows encode huge rows in a
+/// few bytes, so without this cap a corrupted or hostile header could drive
+/// a multi-gigabyte materialisation; 2²² words is a 32 MB row, far past any
+/// real model.
+const MAX_DIM: u32 = 1 << 22;
 
 /// One registered user's persisted monitor state: the packed privacy-state
 /// words plus the registration-time resolved alert inputs, so resuming does
 /// not need the original [`UserProfile`](privacy_model::UserProfile)s.
+///
+/// The row is held in its *encoded* sparse byte form — three back-to-back
+/// row encodings (state words, allowed bitset, sensitivities) — so snapshot
+/// re-grouping moves bytes instead of re-encoding state. Rows are validated
+/// structurally when they enter a snapshot (at [`UserRow::from_state`] by
+/// construction, at [`MonitorSnapshot::from_bytes`] by decode), so decoding
+/// an in-memory row cannot fail.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct UserRow {
     pub(crate) user: UserId,
-    /// Packed privacy-state bits in the index's
-    /// [`VarSpace`](privacy_lts::VarSpace) layout.
-    pub(crate) words: Vec<u64>,
-    /// Bitset over space actor indices: the user's allowed actors.
-    pub(crate) allowed: Vec<u64>,
-    /// Per space field index: the user's raw sensitivity `σ(d)`.
-    pub(crate) sensitivities: Vec<f64>,
+    /// The sparse-encoded row bytes: `u64` row of packed privacy-state bits
+    /// in the index's [`VarSpace`](privacy_lts::VarSpace) layout, `u64` row
+    /// of the allowed-actor bitset, `f64` row of per-field sensitivities.
+    pub(crate) encoded: Vec<u8>,
+}
+
+/// The dimensions every row of a snapshot must decode against: state words,
+/// allowed words, field count.
+type RowDims = (u32, u32, u32);
+
+/// A row decoded back to dense form: state words, allowed words,
+/// sensitivities.
+type DecodedRow = (Vec<u64>, Vec<u64>, Vec<f64>);
+
+impl UserRow {
+    /// Encodes a user's state into its sparse row form, choosing the
+    /// smallest encoding per row.
+    pub(crate) fn from_state(
+        user: UserId,
+        words: &[u64],
+        allowed: &[u64],
+        sensitivities: &[f64],
+    ) -> UserRow {
+        let mut encoded = Vec::with_capacity(8);
+        binary::put_u64_row(&mut encoded, words);
+        binary::put_u64_row(&mut encoded, allowed);
+        binary::put_f64_row(&mut encoded, sensitivities);
+        UserRow { user, encoded }
+    }
+
+    /// Decodes the row back into dense state against the snapshot's declared
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] naming the user and the
+    /// row-level problem — possible only for rows that skipped validation,
+    /// which no public path constructs.
+    pub(crate) fn decode(&self, dims: RowDims) -> Result<DecodedRow, SnapshotError> {
+        let mut words = Vec::new();
+        let mut allowed = Vec::new();
+        let mut sensitivities = Vec::new();
+        self.decode_into(dims, &mut words, &mut allowed, &mut sensitivities)?;
+        Ok((words, allowed, sensitivities))
+    }
+
+    /// [`UserRow::decode`] into caller-owned scratch buffers, returning the
+    /// three encoding tags — the allocation-free validation walk
+    /// `from_bytes` runs over every row, and the source of the encoding
+    /// histogram.
+    pub(crate) fn decode_into(
+        &self,
+        (state_words, allowed_words, field_count): RowDims,
+        words: &mut Vec<u64>,
+        allowed: &mut Vec<u64>,
+        sensitivities: &mut Vec<f64>,
+    ) -> Result<(u8, u8, u8), SnapshotError> {
+        let row_error = |detail: String| SnapshotError::Malformed {
+            detail: format!("user `{}` row: {detail}", self.user),
+        };
+        let mut offset = 0;
+        let words_tag =
+            binary::get_u64_row(&self.encoded, &mut offset, state_words as usize, words)
+                .map_err(|error| row_error(error.to_string()))?;
+        let allowed_tag =
+            binary::get_u64_row(&self.encoded, &mut offset, allowed_words as usize, allowed)
+                .map_err(|error| row_error(error.to_string()))?;
+        let sens_tag =
+            binary::get_f64_row(&self.encoded, &mut offset, field_count as usize, sensitivities)
+                .map_err(|error| row_error(error.to_string()))?;
+        if offset != self.encoded.len() {
+            return Err(row_error(format!(
+                "{} undeclared bytes after the sensitivity row",
+                self.encoded.len() - offset
+            )));
+        }
+        for &value in sensitivities.iter() {
+            if value.is_nan() || !(0.0..=1.0).contains(&value) {
+                return Err(SnapshotError::Malformed {
+                    detail: format!(
+                        "sensitivity {value} of user `{}` is outside [0, 1]",
+                        self.user
+                    ),
+                });
+            }
+        }
+        Ok((words_tag, allowed_tag, sens_tag))
+    }
 }
 
 /// The persisted users of one monitor shard, sorted by user id.
@@ -272,10 +385,58 @@ impl MonitorSnapshot {
     }
 
     /// Serializes the snapshot through the framed
-    /// [`binary`](privacy_interchange::binary) codec (kind
+    /// [`binary`] codec (kind
     /// [`SNAPSHOT_KIND`], version [`SNAPSHOT_VERSION`], trailing checksum).
+    /// Rows are written in their stored sparse form — serialization never
+    /// re-encodes a row, so snapshots that were split, merged or
+    /// shard-filtered serialize byte-identically to the original grouping.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut encoder = Encoder::new(SNAPSHOT_KIND, SNAPSHOT_VERSION);
+        encoder.u64(self.fingerprint);
+        encoder.u32(self.state_words);
+        encoder.u32(self.allowed_words);
+        encoder.u32(self.field_count);
+        encoder.varu(self.shards.len() as u64);
+        for shard in &self.shards {
+            encoder.varu(u64::from(shard.shard));
+            encoder.varu(shard.users.len() as u64);
+            for row in &shard.users {
+                encoder.str_var(row.user.as_str());
+                encoder.varu(row.encoded.len() as u64);
+                encoder.raw(&row.encoded);
+            }
+        }
+        encoder.varu(self.pending_alerts.len() as u64);
+        for alert in &self.pending_alerts {
+            encoder.varu(alert.sequence());
+            encoder.str_var(alert.user().as_str());
+            encoder.u8(alert.level().index() as u8);
+            encoder.str_var(alert.message());
+        }
+        encoder.finish()
+    }
+
+    /// [`MonitorSnapshot::to_bytes`] at an explicit format version — the
+    /// compatibility seam: tests (and only tests) use it to produce
+    /// old-version frames and prove current readers still accept them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version this build cannot write ([`SNAPSHOT_VERSION`] and
+    /// [`SNAPSHOT_VERSION_V2`] are supported) or — for v2, which must
+    /// re-encode rows densely — on a row that fails to decode, which no
+    /// public path constructs.
+    #[must_use]
+    pub fn to_bytes_at(&self, version: u32) -> Vec<u8> {
+        if version == SNAPSHOT_VERSION {
+            return self.to_bytes();
+        }
+        assert!(
+            version == SNAPSHOT_VERSION_V2,
+            "snapshot format version {version} cannot be written by this build"
+        );
+        let dims = (self.state_words, self.allowed_words, self.field_count);
+        let mut encoder = Encoder::new(SNAPSHOT_KIND, SNAPSHOT_VERSION_V2);
         encoder.u64(self.fingerprint);
         encoder.u32(self.state_words);
         encoder.u32(self.allowed_words);
@@ -285,11 +446,13 @@ impl MonitorSnapshot {
             encoder.u32(shard.shard);
             encoder.u32(shard.users.len() as u32);
             for row in &shard.users {
+                let (words, allowed, sensitivities) =
+                    row.decode(dims).expect("validated row decodes");
                 encoder.str(row.user.as_str());
-                encoder.u64_slice(&row.words);
-                encoder.u64_slice(&row.allowed);
-                encoder.u32(row.sensitivities.len() as u32);
-                for &sensitivity in &row.sensitivities {
+                encoder.u64_slice(&words);
+                encoder.u64_slice(&allowed);
+                encoder.u32(sensitivities.len() as u32);
+                for &sensitivity in &sensitivities {
                     encoder.f64(sensitivity);
                 }
             }
@@ -305,21 +468,91 @@ impl MonitorSnapshot {
     }
 
     /// Deserializes a snapshot, validating the frame (magic, kind, version,
-    /// length, checksum) and every field.
+    /// length, checksum) and every field — including a structural decode of
+    /// every sparse row against the declared dimensions, so a snapshot that
+    /// constructs is a snapshot whose rows are known to decode.
+    ///
+    /// Both the current version-3 (sparse) and the previous version-2
+    /// (dense) layouts are accepted; v2 rows are re-encoded sparsely on the
+    /// way in, so everything downstream — split, merge, `to_bytes` — sees
+    /// one in-memory form.
     ///
     /// # Errors
     ///
     /// Returns [`SnapshotError::Codec`] for any envelope or primitive-level
-    /// problem — truncation, corruption, a wrong or future format version —
-    /// and [`SnapshotError::Malformed`] for values that decode but cannot be
+    /// problem — truncation, corruption, a future format version — and
+    /// [`SnapshotError::Malformed`] for values that decode but cannot be
     /// valid monitor state (a sensitivity outside `[0, 1]`, an unknown risk
-    /// level, a user persisted twice). Never panics on arbitrary input.
+    /// level, a user persisted twice, a row disagreeing with the declared
+    /// dimensions). Never panics on arbitrary input.
     pub fn from_bytes(bytes: &[u8]) -> Result<MonitorSnapshot, SnapshotError> {
-        let mut decoder = Decoder::new(bytes, SNAPSHOT_KIND, SNAPSHOT_VERSION)?;
+        let mut decoder = match Decoder::new(bytes, SNAPSHOT_KIND, SNAPSHOT_VERSION) {
+            Ok(decoder) => decoder,
+            Err(CodecError::UnsupportedVersion { found, .. }) if found == SNAPSHOT_VERSION_V2 => {
+                return Self::from_bytes_v2(bytes);
+            }
+            Err(error) => return Err(error.into()),
+        };
         let fingerprint = decoder.u64()?;
         let state_words = decoder.u32()?;
         let allowed_words = decoder.u32()?;
         let field_count = decoder.u32()?;
+        Self::check_dims(state_words, allowed_words, field_count)?;
+        let dims = (state_words, allowed_words, field_count);
+        let shard_count = decoder.varu()? as usize;
+        let mut shards = Vec::new();
+        let mut words_scratch = Vec::new();
+        let mut allowed_scratch = Vec::new();
+        let mut sens_scratch = Vec::new();
+        for _ in 0..shard_count {
+            let shard = u32::try_from(decoder.varu()?).map_err(|_| SnapshotError::Malformed {
+                detail: "shard index does not fit in 32 bits".into(),
+            })?;
+            let user_count = decoder.varu()? as usize;
+            let mut users = Vec::new();
+            for _ in 0..user_count {
+                let user = UserId::new(decoder.string_var()?);
+                let row_len = decoder.varu()? as usize;
+                let encoded = decoder.raw(row_len)?.to_vec();
+                let row = UserRow { user, encoded };
+                row.decode_into(dims, &mut words_scratch, &mut allowed_scratch, &mut sens_scratch)?;
+                users.push(row);
+            }
+            shards.push(ShardSnapshot { shard, users });
+        }
+        let alert_count = decoder.varu()? as usize;
+        let mut pending_alerts = Vec::new();
+        for _ in 0..alert_count {
+            let sequence = decoder.varu()?;
+            let user = UserId::new(decoder.string_var()?);
+            let level_index = decoder.u8()?;
+            let level =
+                RiskLevel::from_index(level_index as usize).ok_or(SnapshotError::Malformed {
+                    detail: format!("{level_index} is not a risk-level index"),
+                })?;
+            let message = decoder.string_var()?;
+            pending_alerts.push(Alert::raise(sequence, user, level, message));
+        }
+        decoder.finish()?;
+        Self::check_unique_users(&shards)?;
+        Ok(MonitorSnapshot {
+            fingerprint,
+            state_words,
+            allowed_words,
+            field_count,
+            shards,
+            pending_alerts,
+        })
+    }
+
+    /// Decodes the version-2 dense layout, re-encoding each row sparsely.
+    fn from_bytes_v2(bytes: &[u8]) -> Result<MonitorSnapshot, SnapshotError> {
+        let mut decoder = Decoder::new(bytes, SNAPSHOT_KIND, SNAPSHOT_VERSION_V2)?;
+        let fingerprint = decoder.u64()?;
+        let state_words = decoder.u32()?;
+        let allowed_words = decoder.u32()?;
+        let field_count = decoder.u32()?;
+        Self::check_dims(state_words, allowed_words, field_count)?;
         let shard_count = decoder.u32()? as usize;
         let mut shards = Vec::new();
         for _ in 0..shard_count {
@@ -358,7 +591,7 @@ impl MonitorSnapshot {
                         ),
                     });
                 }
-                users.push(UserRow { user, words, allowed, sensitivities });
+                users.push(UserRow::from_state(user, &words, &allowed, &sensitivities));
             }
             shards.push(ShardSnapshot { shard, users });
         }
@@ -376,15 +609,7 @@ impl MonitorSnapshot {
             pending_alerts.push(Alert::raise(sequence, user, level, message));
         }
         decoder.finish()?;
-
-        let mut seen: Vec<&UserId> =
-            shards.iter().flat_map(|shard| shard.users.iter().map(|row| &row.user)).collect();
-        seen.sort_unstable();
-        if seen.windows(2).any(|pair| pair[0] == pair[1]) {
-            return Err(SnapshotError::Malformed {
-                detail: "a user is persisted more than once".into(),
-            });
-        }
+        Self::check_unique_users(&shards)?;
         Ok(MonitorSnapshot {
             fingerprint,
             state_words,
@@ -393,6 +618,98 @@ impl MonitorSnapshot {
             shards,
             pending_alerts,
         })
+    }
+
+    fn check_dims(
+        state_words: u32,
+        allowed_words: u32,
+        field_count: u32,
+    ) -> Result<(), SnapshotError> {
+        for (what, dim) in [
+            ("state words", state_words),
+            ("allowed words", allowed_words),
+            ("field count", field_count),
+        ] {
+            if dim > MAX_DIM {
+                return Err(SnapshotError::Malformed {
+                    detail: format!("declared {what} dimension {dim} exceeds {MAX_DIM}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_unique_users(shards: &[ShardSnapshot]) -> Result<(), SnapshotError> {
+        let mut seen: Vec<&UserId> =
+            shards.iter().flat_map(|shard| shard.users.iter().map(|row| &row.user)).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|pair| pair[0] == pair[1]) {
+            return Err(SnapshotError::Malformed {
+                detail: "a user is persisted more than once".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Counts, per constituent row kind, which sparse encoding each stored
+    /// row chose — the footprint-analysis view behind the benchmark and
+    /// `PERFORMANCE.md` histogram tables.
+    #[must_use]
+    pub fn encoding_histogram(&self) -> SnapshotEncodingHistogram {
+        let dims = (self.state_words, self.allowed_words, self.field_count);
+        let mut histogram = SnapshotEncodingHistogram::default();
+        let mut words = Vec::new();
+        let mut allowed = Vec::new();
+        let mut sensitivities = Vec::new();
+        for shard in &self.shards {
+            for row in &shard.users {
+                let (words_tag, allowed_tag, sens_tag) = row
+                    .decode_into(dims, &mut words, &mut allowed, &mut sensitivities)
+                    .expect("validated row decodes");
+                histogram.count_word_row(words_tag);
+                histogram.count_word_row(allowed_tag);
+                match sens_tag {
+                    F64_ROW_DENSE => histogram.sensitivities_dense += 1,
+                    _ => histogram.sensitivities_based += 1,
+                }
+            }
+        }
+        histogram
+    }
+}
+
+/// How many stored rows chose each sparse encoding, across one snapshot.
+/// Word rows (privacy state and allowed-actor bitsets) choose between
+/// dense/indexed/runs; sensitivity rows between dense and base+exceptions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotEncodingHistogram {
+    /// Word rows stored dense
+    /// ([`U64_ROW_DENSE`](privacy_interchange::binary::U64_ROW_DENSE)).
+    pub words_dense: usize,
+    /// Word rows stored as index+word pairs ([`U64_ROW_INDEXED`]).
+    pub words_indexed: usize,
+    /// Word rows stored as bit-run lists ([`U64_ROW_RUNS`]).
+    pub words_runs: usize,
+    /// Sensitivity rows stored dense ([`F64_ROW_DENSE`]).
+    pub sensitivities_dense: usize,
+    /// Sensitivity rows stored as base+exceptions
+    /// ([`F64_ROW_BASED`](privacy_interchange::binary::F64_ROW_BASED)).
+    pub sensitivities_based: usize,
+}
+
+impl SnapshotEncodingHistogram {
+    fn count_word_row(&mut self, tag: u8) {
+        match tag {
+            U64_ROW_INDEXED => self.words_indexed += 1,
+            U64_ROW_RUNS => self.words_runs += 1,
+            _ => self.words_dense += 1,
+        }
+    }
+
+    /// Word rows counted (dense + indexed + runs) — two per user.
+    #[must_use]
+    pub fn word_rows(&self) -> usize {
+        self.words_dense + self.words_indexed + self.words_runs
     }
 }
 

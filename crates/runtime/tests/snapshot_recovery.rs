@@ -12,7 +12,7 @@
 use privacy_interchange::binary::{CodecError, Encoder};
 use privacy_lts::{generate_lts, ActionKind, GeneratorConfig, LtsIndex};
 use privacy_model::{DatastoreId, FieldId, Record, UserId};
-use privacy_runtime::snapshot::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
+use privacy_runtime::snapshot::{SNAPSHOT_KIND, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2};
 use privacy_runtime::{Event, IndexedMonitor, MonitorSnapshot, ServiceEngine, SnapshotError};
 use privacy_synth::{
     random_model, random_profiles, random_workload, ModelGeneratorConfig, ProfileGeneratorConfig,
@@ -133,6 +133,51 @@ fn monitor_over(fixture: &Fixture) -> IndexedMonitor {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sparse-encoded snapshot resume ≡ dense resume: for arbitrary cut
+    /// points, resuming from the current sparse (v3) bytes and from the
+    /// same state written densely as v2 yields identical monitors — same
+    /// pending alerts, same tail alerts, same per-user states. This pins
+    /// the sparse row encodings as a pure representation change.
+    #[test]
+    fn sparse_snapshot_resume_equals_dense_resume(
+        seed in 0u64..1_000_000,
+        actors in 1usize..5,
+        fields in 1usize..5,
+        raw_events in 0usize..40,
+        cut_fraction in 0.0f64..=1.0,
+    ) {
+        let fixture = fixture(seed, actors, fields, raw_events);
+        let cut = (((fixture.events.len() as f64) * cut_fraction) as usize)
+            .min(fixture.events.len());
+
+        let mut first_life = monitor_over(&fixture);
+        let _ = first_life.ingest_batch(&fixture.events[..cut]);
+        let snapshot = first_life.snapshot();
+        let sparse_bytes = snapshot.to_bytes();
+        let dense_bytes = snapshot.to_bytes_at(SNAPSHOT_VERSION_V2);
+        prop_assert!(sparse_bytes.len() <= dense_bytes.len(),
+            "sparse encoding ({}) larger than dense ({})", sparse_bytes.len(), dense_bytes.len());
+
+        let resume = |bytes: &[u8]| -> Result<IndexedMonitor, SnapshotError> {
+            IndexedMonitor::resume_from(
+                fixture.catalog.clone(),
+                fixture.policy.clone(),
+                Arc::clone(&fixture.index),
+                &MonitorSnapshot::from_bytes(bytes)?,
+            )
+        };
+        let mut from_sparse = resume(&sparse_bytes).expect("sparse bytes resume");
+        let mut from_dense = resume(&dense_bytes).expect("dense bytes resume");
+        prop_assert_eq!(from_sparse.alerts(), from_dense.alerts());
+        let sparse_tail = from_sparse.ingest_batch(&fixture.events[cut..]);
+        let dense_tail = from_dense.ingest_batch(&fixture.events[cut..]);
+        prop_assert_eq!(&sparse_tail, &dense_tail);
+        prop_assert_eq!(from_sparse.user_count(), from_dense.user_count());
+        for user in &fixture.users {
+            prop_assert_eq!(from_sparse.state_of(user.id()), from_dense.state_of(user.id()));
+        }
+    }
 
     /// The headline recovery property: snapshot → serialize → resume →
     /// ingest tail ≡ one uninterrupted run, for arbitrary cut points and
@@ -303,6 +348,63 @@ fn bit_flipped_snapshot_bytes_never_resume_silently() {
     }
 }
 
+/// Cross-version recovery: a monitor that crashed while the fleet ran the
+/// dense v2 format resumes from its v2 snapshot under this build, ingests
+/// the stream tail, and matches the uninterrupted run exactly — then writes
+/// v3 from its next snapshot on. Named for the repo-lint version-bump
+/// guard: bumping `SNAPSHOT_VERSION` again requires a test like this one
+/// naming the outgoing version.
+#[test]
+fn snapshot_v2_dense_frames_still_decode_and_resume() {
+    let fixture = fixture(91, 3, 3, 24);
+    let cut = fixture.events.len() / 2;
+
+    let mut uninterrupted = monitor_over(&fixture);
+    let full_alerts = uninterrupted.ingest_batch(&fixture.events);
+
+    let mut first_life = monitor_over(&fixture);
+    let prefix_alerts = first_life.ingest_batch(&fixture.events[..cut]);
+    let snapshot = first_life.snapshot();
+    let v2_bytes = snapshot.to_bytes_at(SNAPSHOT_VERSION_V2);
+
+    // The v2 frame decodes into exactly the snapshot the v3 bytes carry.
+    let decoded = MonitorSnapshot::from_bytes(&v2_bytes).expect("v2 frame decodes");
+    assert_eq!(decoded, snapshot);
+    // …and its re-serialization is the (smaller) v3 form, not v2.
+    assert_eq!(decoded.to_bytes(), snapshot.to_bytes());
+
+    let mut resumed = IndexedMonitor::resume_from(
+        fixture.catalog.clone(),
+        fixture.policy.clone(),
+        Arc::clone(&fixture.index),
+        &decoded,
+    )
+    .expect("v2 snapshot resumes");
+    assert_eq!(resumed.alerts(), &prefix_alerts[..]);
+    let tail_alerts = resumed.ingest_batch(&fixture.events[cut..]);
+    let mut recovered = prefix_alerts;
+    recovered.extend(tail_alerts);
+    assert_eq!(recovered, full_alerts, "v2 → v3 cross-version recovery diverges");
+    for user in &fixture.users {
+        assert_eq!(resumed.state_of(user.id()), uninterrupted.state_of(user.id()));
+    }
+
+    // The v2 corruption guarantees hold through the fallback path too.
+    for len in 0..v2_bytes.len() {
+        assert!(MonitorSnapshot::from_bytes(&v2_bytes[..len]).is_err(), "v2 prefix {len} decoded");
+    }
+    for position in 0..v2_bytes.len() {
+        for bit in 0..8 {
+            let mut flipped = v2_bytes.clone();
+            flipped[position] ^= 1 << bit;
+            assert!(
+                MonitorSnapshot::from_bytes(&flipped).is_err(),
+                "flipping bit {bit} of v2 byte {position} went undetected"
+            );
+        }
+    }
+}
+
 #[test]
 fn wrong_version_and_wrong_kind_frames_are_rejected() {
     // A well-formed frame of a future snapshot version…
@@ -314,6 +416,12 @@ fn wrong_version_and_wrong_kind_frames_are_rejected() {
         }
         other => panic!("future version produced {other:?}"),
     }
+    // A version-1 frame is ancient history: only v2 has a fallback decoder.
+    let ancient = Encoder::new(SNAPSHOT_KIND, 1).finish();
+    assert!(matches!(
+        MonitorSnapshot::from_bytes(&ancient),
+        Err(SnapshotError::Codec(CodecError::UnsupportedVersion { found: 1, .. }))
+    ));
     // …and a well-formed frame of some other artefact kind.
     let alien = Encoder::new(*b"OTHR", SNAPSHOT_VERSION).finish();
     assert!(matches!(

@@ -9,7 +9,7 @@
 //! (the torn-export case merge must never resolve by last-writer-wins), and
 //! fingerprint disagreement between parts.
 
-use privacy_interchange::binary::Encoder;
+use privacy_interchange::binary::{put_f64_row, put_u64_row, Encoder};
 use privacy_lts::LtsIndex;
 use privacy_model::{FieldId, Record, ServiceId};
 use privacy_runtime::snapshot::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
@@ -79,18 +79,21 @@ fn crafted_snapshot_bytes(fingerprint: u64, shards: &[(u32, &[&str])]) -> Vec<u8
     encoder.u32(1); // state words
     encoder.u32(1); // allowed words
     encoder.u32(0); // field count
-    encoder.u32(shards.len() as u32);
+    encoder.varu(shards.len() as u64);
     for (shard, users) in shards {
-        encoder.u32(*shard);
-        encoder.u32(users.len() as u32);
+        encoder.varu(u64::from(*shard));
+        encoder.varu(users.len() as u64);
         for user in *users {
-            encoder.str(user);
-            encoder.u64_slice(&[0]);
-            encoder.u64_slice(&[0]);
-            encoder.u32(0);
+            encoder.str_var(user);
+            let mut row = Vec::new();
+            put_u64_row(&mut row, &[0]); // state words
+            put_u64_row(&mut row, &[0]); // allowed words
+            put_f64_row(&mut row, &[]); // sensitivities
+            encoder.varu(row.len() as u64);
+            encoder.raw(&row);
         }
     }
-    encoder.u32(0); // pending alerts
+    encoder.varu(0); // pending alerts
     encoder.finish()
 }
 
@@ -135,6 +138,24 @@ fn split_merge_round_trips_at_mismatched_part_counts() {
     let resplit = MonitorSnapshot::merge(&snapshot.split(3)).expect("3-way merges").split(7);
     let merged = MonitorSnapshot::merge(&resplit).expect("7-way merges");
     assert_eq!(merged.to_bytes(), snapshot.to_bytes());
+}
+
+#[test]
+fn split_and_merge_move_rows_without_reencoding_across_a_serialize_cycle() {
+    // Split/merge/extract operate on *encoded* rows: re-grouping a decoded
+    // snapshot and serializing again must reproduce the original bytes
+    // exactly — any decode/encode round trip hiding in the path would have
+    // to be byte-perfectly canonical by accident to pass this.
+    let bytes = populated_monitor().snapshot().to_bytes();
+    let decoded = MonitorSnapshot::from_bytes(&bytes).expect("snapshot decodes");
+    assert_eq!(decoded.to_bytes(), bytes, "decode → encode must be byte-identical");
+    let reassembled: Vec<MonitorSnapshot> = decoded
+        .split(3)
+        .iter()
+        .map(|part| MonitorSnapshot::from_bytes(&part.to_bytes()).expect("part decodes"))
+        .collect();
+    let merged = MonitorSnapshot::merge(&reassembled).expect("serialized parts merge");
+    assert_eq!(merged.to_bytes(), bytes, "split → serialize → merge diverged");
 }
 
 #[test]

@@ -17,6 +17,8 @@
 //!   runtime simulator;
 //! * [`models`] — random whole-system models (catalog, data flows, access
 //!   policy) for the LTS engine's differential tests and scaling benches;
+//! * [`population`] — skewed large populations (a small engaged minority,
+//!   a cold majority) for the snapshot-footprint benchmarks;
 //! * [`logs`] — renders an event log back out in real wire formats (JSON
 //!   lines, logfmt, CSV): the synthetic-log emitter behind the
 //!   `privacy-ingest` round-trip differential tests.
@@ -29,12 +31,16 @@
 
 pub mod logs;
 pub mod models;
+pub mod population;
 pub mod profiles;
 pub mod records;
 pub mod workload;
 
 pub use logs::{render_event, render_events, render_log, LogFormat, CSV_HEADER};
 pub use models::{random_model, GeneratedModel, ModelGeneratorConfig};
+pub use population::{
+    skewed_population, SkewedPopulation, SkewedPopulationConfig, SENSITIVITY_PALETTE,
+};
 pub use profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
 pub use records::{
     random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,
@@ -45,6 +51,9 @@ pub use workload::{random_workload, ServiceRequest, WorkloadConfig};
 pub mod prelude {
     pub use crate::logs::{render_event, render_events, render_log, LogFormat, CSV_HEADER};
     pub use crate::models::{random_model, GeneratedModel, ModelGeneratorConfig};
+    pub use crate::population::{
+        skewed_population, SkewedPopulation, SkewedPopulationConfig, SENSITIVITY_PALETTE,
+    };
     pub use crate::profiles::{case_a_profile, random_profiles, ProfileGeneratorConfig};
     pub use crate::records::{
         random_health_records, table1_raw_records, table1_release, RecordGeneratorConfig,

@@ -1,0 +1,186 @@
+//! Skewed large-population generator for snapshot-footprint benchmarks.
+//!
+//! [`random_profiles`](crate::random_profiles) draws every user from the
+//! same per-field Bernoulli, which at benchmark probabilities makes *every*
+//! row dense — fine for stressing the monitor's hot path, useless for
+//! measuring the sparse snapshot encoding, whose whole premise is that real
+//! populations are skewed: most users interact with a service once, consent
+//! to little, and never fill in a sensitivity questionnaire, while a small
+//! engaged minority declares a handful of round-value answers.
+//!
+//! [`skewed_population`] generates exactly that shape, deterministically:
+//! a configurable *engaged fraction* (default 10%) consents to one or two
+//! services and declares 1..=[`max_engaged_fields`] sensitivities drawn
+//! from the questionnaire palette {0.25, 0.5, 0.75, 1.0}; everyone else is
+//! *cold* — at most one consent, no declared sensitivities. User ids are
+//! the short `u{index}` form so the measured bytes-per-user reflects the
+//! row encoding, not synthetic id padding.
+//!
+//! [`max_engaged_fields`]: SkewedPopulationConfig::max_engaged_fields
+
+use privacy_model::{FieldId, Sensitivity, ServiceId, UserId, UserProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The questionnaire palette: the paper's four named sensitivity categories
+/// mapped to their numeric anchors. Engaged users answer in these terms;
+/// nobody declares a sensitivity of 0.137.
+pub const SENSITIVITY_PALETTE: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Configuration of the skewed population generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedPopulationConfig {
+    /// Number of users to generate.
+    pub count: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// The services users may consent to.
+    pub services: Vec<ServiceId>,
+    /// The fields engaged users may declare sensitivities about.
+    pub fields: Vec<FieldId>,
+    /// Fraction of the population that is *engaged* (clamped to `0.0..=1.0`).
+    pub engaged_fraction: f64,
+    /// Most sensitivities an engaged user declares (at least one is always
+    /// declared; capped at the field count).
+    pub max_engaged_fields: usize,
+    /// Probability that a *cold* user holds their single consent.
+    pub cold_consent_probability: f64,
+}
+
+impl Default for SkewedPopulationConfig {
+    fn default() -> Self {
+        SkewedPopulationConfig {
+            count: 1000,
+            seed: 42,
+            services: Vec::new(),
+            fields: Vec::new(),
+            engaged_fraction: 0.1,
+            max_engaged_fields: 3,
+            cold_consent_probability: 0.5,
+        }
+    }
+}
+
+/// A generated skewed population: the profiles plus the ids of the engaged
+/// minority, so a benchmark can drive its event stream at the users who
+/// actually have monitoring state worth exercising.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedPopulation {
+    /// Every generated profile, cold and engaged, in index order.
+    pub profiles: Vec<UserProfile>,
+    /// The ids of the engaged users, in index order.
+    pub engaged: Vec<UserId>,
+}
+
+/// Generates a seeded skewed population per `config`.
+///
+/// Deterministic for a given configuration: the same `(count, seed, …)`
+/// always yields the same profiles, and prefixes agree — user `u17` is
+/// identical whether the population has a thousand users or a million,
+/// because each user consumes a fixed draw pattern from their own
+/// per-user generator.
+pub fn skewed_population(config: &SkewedPopulationConfig) -> SkewedPopulation {
+    let engaged_fraction = config.engaged_fraction.clamp(0.0, 1.0);
+    let max_fields = config.max_engaged_fields.clamp(1, config.fields.len().max(1));
+    let mut profiles = Vec::with_capacity(config.count);
+    let mut engaged = Vec::new();
+    for index in 0..config.count {
+        // One generator per user, keyed off (seed, index): population size
+        // never shifts the draws of earlier users.
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut user = UserProfile::new(format!("u{index}"));
+        let is_engaged = rng.gen_bool(engaged_fraction) && !config.fields.is_empty();
+        if is_engaged {
+            let consents = rng.gen_range(1..=2.min(config.services.len().max(1)));
+            for _ in 0..consents {
+                let service = &config.services[rng.gen_range(0..config.services.len())];
+                user.consent_mut().grant(service.clone());
+            }
+            let declared = rng.gen_range(1..=max_fields);
+            for _ in 0..declared {
+                let field = &config.fields[rng.gen_range(0..config.fields.len())];
+                let value = SENSITIVITY_PALETTE[rng.gen_range(0..SENSITIVITY_PALETTE.len())];
+                user.sensitivities_mut().set(field.clone(), Sensitivity::clamped(value));
+            }
+            engaged.push(user.id().clone());
+        } else if !config.services.is_empty()
+            && rng.gen_bool(config.cold_consent_probability.clamp(0.0, 1.0))
+        {
+            let service = &config.services[rng.gen_range(0..config.services.len())];
+            user.consent_mut().grant(service.clone());
+        }
+        profiles.push(user);
+    }
+    SkewedPopulation { profiles, engaged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(count: usize, seed: u64) -> SkewedPopulationConfig {
+        SkewedPopulationConfig {
+            count,
+            seed,
+            services: vec![ServiceId::new("A"), ServiceId::new("B"), ServiceId::new("C")],
+            fields: (0..8).map(|i| FieldId::new(format!("f{i}"))).collect(),
+            ..SkewedPopulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn populations_are_deterministic_and_prefix_stable() {
+        let small = skewed_population(&config(500, 7));
+        assert_eq!(small, skewed_population(&config(500, 7)));
+        assert_ne!(small, skewed_population(&config(500, 8)));
+        // Growing the population only appends: the first 500 users of the
+        // 2000-user population are the 500-user population.
+        let large = skewed_population(&config(2000, 7));
+        assert_eq!(&large.profiles[..500], &small.profiles[..]);
+    }
+
+    #[test]
+    fn the_population_is_actually_skewed() {
+        let population = skewed_population(&config(5000, 3));
+        assert_eq!(population.profiles.len(), 5000);
+        let engaged = population.engaged.len();
+        // ~10% engaged with generous slack for the Bernoulli draw.
+        assert!((250..=750).contains(&engaged), "unexpected engaged count: {engaged}");
+        let engaged_ids: std::collections::BTreeSet<_> =
+            population.engaged.iter().map(|id| id.as_str().to_owned()).collect();
+        for user in &population.profiles {
+            if engaged_ids.contains(user.id().as_str()) {
+                let declared = user.sensitivities().len();
+                assert!((1..=3).contains(&declared), "engaged user declares 1..=3");
+                assert!(!user.consent().is_empty(), "engaged users consent to something");
+            } else {
+                assert!(user.sensitivities().is_empty(), "cold users declare nothing");
+                assert!(user.consent().len() <= 1, "cold users hold at most one consent");
+            }
+        }
+    }
+
+    #[test]
+    fn declared_sensitivities_come_from_the_palette() {
+        let population = skewed_population(&config(2000, 11));
+        for user in &population.profiles {
+            for (_, sensitivity) in user.sensitivities().iter() {
+                assert!(
+                    SENSITIVITY_PALETTE.contains(&sensitivity.value()),
+                    "off-palette sensitivity: {}",
+                    sensitivity.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_short_and_unique() {
+        let population = skewed_population(&config(100, 1));
+        let ids: std::collections::BTreeSet<_> =
+            population.profiles.iter().map(|u| u.id().as_str().to_owned()).collect();
+        assert_eq!(ids.len(), 100);
+        assert!(ids.iter().all(|id| id.starts_with('u') && id.len() <= 4));
+    }
+}

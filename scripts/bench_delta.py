@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff a CI bench report against its checked-in baseline.
+
+Usage: bench_delta.py BASELINE.json REPORT.json
+
+Prints a GitHub-flavoured-markdown ratio table (one section per row array
+in the reports, rows matched by their "name" field) intended for
+``$GITHUB_STEP_SUMMARY``. Purely informational: the bench binaries' own
+gate flags are the enforcement, so this script never exits non-zero — a
+missing or unparsable file, a baseline name of "" (legs with no checked-in
+baseline), or mismatched schemas all degrade to an explanatory line.
+
+Quick CI runs measure scaled-down scenarios, so absolute ratios against the
+full-scale baseline are expected to be far from 1.0 for size-dependent
+columns (events, bytes); the per-unit and speedup columns are the ones
+worth reading.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"> bench-delta: cannot read `{path}`: {error}")
+        return None
+
+
+def numeric_keys(rows):
+    keys = []
+    for row in rows:
+        for key, value in row.items():
+            if key != "name" and isinstance(value, (int, float)) and key not in keys:
+                keys.append(key)
+    return keys
+
+
+def diff_rows(title, base_rows, ci_rows):
+    base_by_name = {r.get("name"): r for r in base_rows if isinstance(r, dict)}
+    ci_by_name = {r.get("name"): r for r in ci_rows if isinstance(r, dict)}
+    shared = [name for name in ci_by_name if name in base_by_name and name is not None]
+    if not shared:
+        print(f"> bench-delta: no `{title}` rows shared with the baseline "
+              f"(baseline: {sorted(base_by_name)}, ci: {sorted(ci_by_name)})")
+        return
+    keys = [k for k in numeric_keys([ci_by_name[n] for n in shared])
+            if any(k in base_by_name[n] for n in shared)]
+    print(f"#### {title}")
+    print()
+    print("| row | metric | baseline | ci | ratio |")
+    print("|---|---|---:|---:|---:|")
+    for name in shared:
+        base, ci = base_by_name[name], ci_by_name[name]
+        for key in keys:
+            if key not in base or key not in ci:
+                continue
+            b, c = float(base[key]), float(ci[key])
+            ratio = f"{c / b:.2f}x" if b else "n/a"
+            print(f"| {name} | {key} | {base[key]} | {ci[key]} | {ratio} |")
+    print()
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("> bench-delta: usage: bench_delta.py BASELINE.json REPORT.json")
+        return 0
+    baseline_path, report_path = argv[1], argv[2]
+    print("### Bench delta vs checked-in baseline")
+    print()
+    if not baseline_path:
+        print("> bench-delta: this leg has no checked-in baseline to diff against")
+        return 0
+    baseline, report = load(baseline_path), load(report_path)
+    if baseline is None or report is None:
+        return 0
+    print(f"`{report_path}` (quick CI run) vs `{baseline_path}` (full-scale baseline) — "
+          "size-dependent columns are expected to differ; read the per-unit and "
+          "speedup columns.")
+    print()
+    compared = False
+    for key, base_value in baseline.items():
+        ci_value = report.get(key)
+        if (isinstance(base_value, list) and isinstance(ci_value, list)
+                and all(isinstance(r, dict) for r in base_value + ci_value)):
+            diff_rows(key, base_value, ci_value)
+            compared = True
+    if not compared:
+        print("> bench-delta: the reports share no row arrays to compare")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except Exception as error:  # pragma: no cover — never fail the CI job
+        print(f"> bench-delta: internal error: {error}")
+        sys.exit(0)

@@ -12,6 +12,14 @@
 # 3. CI scratch reports (*_ci.json) must not be committed: their names are
 #    exactly what the bench smokes write on every run, so a committed copy
 #    would be silently clobbered and diff-spammed forever.
+# 4. Every checked-in baseline must parse as JSON (python3 json.load): a
+#    truncated or hand-mangled report would otherwise only surface when the
+#    delta tooling reads it.
+# 5. Format-version bumps must ship their compatibility test: when
+#    SNAPSHOT_VERSION is N, some test in crates/runtime must name
+#    `snapshot_v{N-1}`, and when CHECKPOINT_VERSION is N, some test in
+#    crates/distrib must name `checkpoint_v{N-1}` — the grep-level guarantee
+#    that bumping a version without pinning the old decode path fails CI.
 #
 # Run from anywhere; exits non-zero with one line per violation.
 
@@ -46,6 +54,44 @@ for file in "$root"/CHAOS_*.json; do
     echo "repo-lint: $(basename "$file") is a CI scratch report and must not be committed" >&2
     status=1
 done
+
+# 4. Baselines must parse as JSON.
+if command -v python3 >/dev/null 2>&1; then
+    for file in "$root"/BENCH_*.json; do
+        [ -e "$file" ] || continue
+        if ! python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$file" \
+            >/dev/null 2>&1; then
+            echo "repo-lint: $(basename "$file") is not valid JSON" >&2
+            status=1
+        fi
+    done
+else
+    echo "repo-lint: warning: python3 unavailable, skipping baseline JSON validation" >&2
+fi
+
+# 5. Version bumps must ship their compatibility test.
+check_version_compat() {
+    # $1 constant name, $2 file defining it, $3 test-name prefix,
+    # $4 directory the compatibility test must live under.
+    constant="$1" source="$2" prefix="$3" dir="$4"
+    version="$(sed -n "s/^pub const $constant: u32 = \([0-9][0-9]*\);.*/\1/p" "$root/$source")"
+    if [ -z "$version" ]; then
+        echo "repo-lint: cannot extract $constant from $source — the version-compat guard \
+needs the 'pub const $constant: u32 = N;' form" >&2
+        status=1
+        return
+    fi
+    [ "$version" -le 1 ] && return
+    prev=$((version - 1))
+    if ! grep -rq "${prefix}${prev}" "$root/$dir"; then
+        echo "repo-lint: $constant is $version but no test under $dir names \
+'${prefix}${prev}' — a version bump must keep a compatibility test proving \
+version $prev still decodes" >&2
+        status=1
+    fi
+}
+check_version_compat SNAPSHOT_VERSION crates/runtime/src/snapshot.rs snapshot_v crates/runtime
+check_version_compat CHECKPOINT_VERSION crates/distrib/src/wire.rs checkpoint_v crates/distrib
 
 [ "$status" -eq 0 ] && echo "repo-lint: ok"
 exit "$status"
